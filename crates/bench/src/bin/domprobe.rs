@@ -1,0 +1,28 @@
+use std::time::Duration;
+use csl_contracts::Contract;
+use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
+use csl_cpu::Defense;
+use csl_mc::{CheckOptions, Verdict};
+
+fn main() {
+    for contract in Contract::ALL {
+        let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::DomSpectre), contract);
+        let opts = CheckOptions {
+            total_budget: Duration::from_secs(360),
+            bmc_depth: 16,
+            attack_only: true,
+            ..Default::default()
+        };
+        let report = verify(Scheme::Shadow, &cfg, &opts);
+        match &report.verdict {
+            Verdict::Attack(t) => println!(
+                "DoM-spectre / {:<14} ATTACK at depth {} in {:.1}s (bad `{}`)",
+                contract.name(), t.depth(), report.elapsed.as_secs_f64(), t.bad_name
+            ),
+            other => println!(
+                "DoM-spectre / {:<14} {} in {:.1}s",
+                contract.name(), other.cell(), report.elapsed.as_secs_f64()
+            ),
+        }
+    }
+}

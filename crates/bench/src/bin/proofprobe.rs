@@ -1,0 +1,31 @@
+use std::time::{Duration, Instant};
+use csl_contracts::Contract;
+use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
+use csl_cpu::Defense;
+use csl_mc::{CheckOptions, Verdict};
+
+fn run(design: DesignKind, contract: Contract, budget: u64, depth: usize) {
+    let opts = CheckOptions {
+        total_budget: Duration::from_secs(budget),
+        bmc_depth: depth,
+        attack_only: false,
+        kind_max_k: 4,
+        ..Default::default()
+    };
+    let cfg = InstanceConfig::new(design, contract);
+    let t = Instant::now();
+    let report = verify(Scheme::Shadow, &cfg, &opts);
+    let extra = match &report.verdict {
+        Verdict::Proof(e) => format!("{e:?}"),
+        Verdict::Unknown { reason } => reason.clone(),
+        _ => String::new(),
+    };
+    println!("{:28} {:14} -> {:6} [{:.1}s] {}", design.name(), contract.name(), report.verdict.cell(), t.elapsed().as_secs_f64(), extra);
+    for n in &report.notes { println!("   | {n}"); }
+}
+
+fn main() {
+    run(DesignKind::InOrder, Contract::Sandboxing, 600, 4);
+    run(DesignKind::SimpleOoo(Defense::DelayFuturistic), Contract::Sandboxing, 900, 4);
+    run(DesignKind::SimpleOoo(Defense::DelaySpectre), Contract::Sandboxing, 900, 4);
+}

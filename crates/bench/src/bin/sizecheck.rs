@@ -1,0 +1,13 @@
+use csl_contracts::Contract;
+use csl_core::{build_baseline_instance, build_shadow_instance, DesignKind, InstanceConfig};
+use csl_cpu::Defense;
+use csl_mc::TransitionSystem;
+fn main() {
+    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
+    let s = build_shadow_instance(&cfg);
+    let b = build_baseline_instance(&cfg);
+    let ts_s = TransitionSystem::new(s.aig.clone(), false);
+    let ts_b = TransitionSystem::new(b.aig.clone(), false);
+    println!("shadow:   latches={} ands={} | COI {}", s.aig.num_latches(), s.aig.num_ands(), ts_s.summary());
+    println!("baseline: latches={} ands={} | COI {}", b.aig.num_latches(), b.aig.num_ands(), ts_b.summary());
+}

@@ -1,0 +1,37 @@
+use std::time::{Duration, Instant};
+use csl_contracts::Contract;
+use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
+use csl_cpu::Defense;
+use csl_mc::{CheckOptions, Verdict};
+
+fn run(design: DesignKind, contract: Contract, scheme: Scheme, attack_only: bool, budget: u64, depth: usize) {
+    let opts = CheckOptions {
+        total_budget: Duration::from_secs(budget),
+        bmc_depth: depth,
+        attack_only,
+        ..Default::default()
+    };
+    let cfg = InstanceConfig::new(design, contract);
+    let t = Instant::now();
+    let report = verify(scheme, &cfg, &opts);
+    let extra = match &report.verdict {
+        Verdict::Attack(tr) => format!("depth {} bad `{}`", tr.depth(), tr.bad_name),
+        Verdict::Proof(e) => format!("{e:?}"),
+        Verdict::Unknown { reason } => reason.clone(),
+        Verdict::Timeout => String::new(),
+    };
+    println!("{:28} {:14} {:8} -> {:6} [{:.1}s] {}", design.name(), contract.name(), scheme.name(), report.verdict.cell(), t.elapsed().as_secs_f64(), extra);
+}
+
+fn main() {
+    use Contract::*;
+    use Scheme::*;
+    // Insecure: expect CEX.
+    run(DesignKind::SimpleOoo(Defense::None), Sandboxing, Shadow, true, 120, 14);
+    run(DesignKind::SimpleOoo(Defense::None), ConstantTime, Shadow, true, 120, 14);
+    run(DesignKind::SimpleOoo(Defense::NoFwdFuturistic), ConstantTime, Shadow, true, 120, 14);
+    // Secure: expect NO cex within depth 12 (UNK in attack-only mode).
+    run(DesignKind::SimpleOoo(Defense::DelaySpectre), Sandboxing, Shadow, true, 300, 12);
+    run(DesignKind::SimpleOoo(Defense::DelayFuturistic), Sandboxing, Shadow, true, 300, 12);
+    run(DesignKind::InOrder, Sandboxing, Shadow, true, 120, 12);
+}

@@ -1,0 +1,80 @@
+//! Shared helpers for the benchmark harnesses that regenerate the paper's
+//! tables and figures.
+//!
+//! Budgets: every verification task runs under a wall-clock budget standing
+//! in for the paper's 7-day timeout. Defaults are chosen so a full
+//! `cargo bench` pass finishes in tens of minutes; set `CSL_BUDGET_SECS`
+//! to raise or lower them uniformly, and `CSL_FAST=1` to shrink everything
+//! for smoke runs.
+
+use std::time::Duration;
+
+use csl_mc::{CheckOptions, CheckReport, Verdict};
+
+/// Per-task budget in seconds, honouring `CSL_BUDGET_SECS` / `CSL_FAST`.
+pub fn budget_secs(default: u64) -> u64 {
+    if let Ok(v) = std::env::var("CSL_BUDGET_SECS") {
+        if let Ok(n) = v.parse::<u64>() {
+            return n;
+        }
+    }
+    if std::env::var("CSL_FAST").is_ok_and(|v| v == "1") {
+        (default / 10).max(5)
+    } else {
+        default
+    }
+}
+
+/// BMC depth, honouring `CSL_FAST`.
+pub fn bmc_depth(default: usize) -> usize {
+    if std::env::var("CSL_FAST").is_ok_and(|v| v == "1") {
+        default.min(8)
+    } else {
+        default
+    }
+}
+
+/// Standard options for an attack-or-proof task.
+pub fn task_options(budget_s: u64, depth: usize, attack_only: bool) -> CheckOptions {
+    CheckOptions {
+        total_budget: Duration::from_secs(budget_s),
+        bmc_depth: depth,
+        attack_only,
+        ..Default::default()
+    }
+}
+
+/// Table cell text matching the paper's symbols: attacks (their lightning
+/// bolt), proofs (smiley), timeouts (clock), and LEAVE's false
+/// counterexamples (warning triangle).
+pub fn paper_cell(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Attack(_) => "ATTACK",
+        Verdict::Proof(_) => "PROOF",
+        Verdict::Timeout => "T/O",
+        Verdict::Unknown { .. } => "UNKNOWN",
+    }
+}
+
+/// One formatted result line.
+pub fn show(label: &str, report: &CheckReport) {
+    println!(
+        "{label:<52} {:<8} {:>8.1}s",
+        paper_cell(&report.verdict),
+        report.elapsed.as_secs_f64()
+    );
+    if std::env::var("CSL_VERBOSE").is_ok() {
+        for n in &report.notes {
+            println!("    | {n}");
+        }
+    }
+}
+
+/// Prints a benchmark header.
+pub fn header(title: &str, paper_ref: &str) {
+    println!();
+    println!("==============================================================");
+    println!("{title}");
+    println!("(reproduces {paper_ref}; shapes matter, absolute times do not)");
+    println!("==============================================================");
+}

@@ -1,0 +1,256 @@
+//! `csl-contracts` — software-hardware contracts for secure speculation.
+//!
+//! A contract (paper §2.2, Eq. 1) has two halves:
+//!
+//! * the **software constraint** — an indistinguishability condition on
+//!   ISA-level observation traces (`O_ISA`) of the two executions, and
+//! * the **hardware guarantee** — indistinguishability of
+//!   microarchitectural observation traces (`O_uarch`).
+//!
+//! This crate defines the two contracts evaluated in the paper
+//! ([`Contract::Sandboxing`] and [`Contract::ConstantTime`]), the
+//! per-committed-instruction ISA observation record each induces, and the
+//! projection of interpreter [`StepInfo`]s onto those records (the
+//! ISA-side half; the RTL-side extraction lives in the shadow logic of
+//! `csl-core`).
+//!
+//! `O_uarch` is fixed across contracts, matching §2.2: the address
+//! sequence on the memory bus plus the commit time of every committed
+//! instruction.
+
+use csl_isa::{Exception, Inst, IsaConfig, StepInfo};
+
+/// The software-hardware contract being verified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Contract {
+    /// The sandboxing contract: executing the program sequentially never
+    /// makes the two executions' *committed load data* differ — i.e. the
+    /// program does not load secrets into registers. `O_ISA` is the data
+    /// written by every committed load (plus the exception event stream,
+    /// which is implied equal and included for robustness).
+    Sandboxing,
+    /// The constant-time contract: committed memory addresses, branch
+    /// conditions, and multiplier operands are secret-independent.
+    ConstantTime,
+}
+
+impl Contract {
+    /// All contracts, for sweeps.
+    pub const ALL: [Contract; 2] = [Contract::Sandboxing, Contract::ConstantTime];
+
+    /// Short table label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Contract::Sandboxing => "sandboxing",
+            Contract::ConstantTime => "constant-time",
+        }
+    }
+}
+
+/// Layout of one `O_ISA` record: named field widths, in order. Both the
+/// ISA-side projection and the RTL-side shadow extraction must agree on
+/// this layout; keeping it in one place is what makes the shadow logic
+/// reusable across designs (§5.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordLayout {
+    fields: Vec<(&'static str, usize)>,
+}
+
+impl RecordLayout {
+    /// The layout induced by `contract` for `cfg`.
+    pub fn for_contract(contract: Contract, cfg: &IsaConfig) -> RecordLayout {
+        let mut fields: Vec<(&'static str, usize)> = Vec::new();
+        match contract {
+            Contract::Sandboxing => {
+                fields.push(("is_load", 1));
+                fields.push(("load_data", cfg.xlen));
+                fields.push(("exception", 2));
+            }
+            Contract::ConstantTime => {
+                fields.push(("is_mem", 1));
+                fields.push(("mem_word", cfg.dmem_bits()));
+                fields.push(("exception", 2));
+                fields.push(("is_branch", 1));
+                fields.push(("br_taken", 1));
+                if cfg.enable_mul {
+                    fields.push(("is_mul", 1));
+                    fields.push(("mul_a", cfg.xlen));
+                    fields.push(("mul_b", cfg.xlen));
+                }
+            }
+        }
+        RecordLayout { fields }
+    }
+
+    /// Field names and widths, in order.
+    pub fn fields(&self) -> &[(&'static str, usize)] {
+        &self.fields
+    }
+
+    /// Total record width in bits.
+    pub fn total_bits(&self) -> usize {
+        self.fields.iter().map(|(_, w)| w).sum()
+    }
+}
+
+/// Encoding of an exception into the record's 2-bit field.
+pub fn exception_code(e: Option<Exception>) -> u32 {
+    match e {
+        None => 0,
+        Some(Exception::Misaligned) => 1,
+        Some(Exception::Illegal) => 2,
+    }
+}
+
+/// One `O_ISA` record: field values matching a [`RecordLayout`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IsaRecord {
+    pub values: Vec<u32>,
+}
+
+/// Projects a retired instruction onto the contract's `O_ISA` record.
+/// Every committed instruction produces a record (fields not applicable
+/// to its opcode are zero), so two record streams are comparable
+/// position-by-position.
+pub fn isa_record(contract: Contract, cfg: &IsaConfig, info: &StepInfo) -> IsaRecord {
+    let faulted = info.exception.is_some();
+    let values = match contract {
+        Contract::Sandboxing => {
+            let is_load = info.inst.is_load() && !faulted;
+            let data = if is_load {
+                info.writeback.map(|(_, v)| v).unwrap_or(0)
+            } else {
+                0
+            };
+            vec![is_load as u32, data, exception_code(info.exception)]
+        }
+        Contract::ConstantTime => {
+            let is_mem = info.mem_word.is_some();
+            let word = info.mem_word.unwrap_or(0);
+            let is_br = info.inst.is_branch();
+            let taken = info.branch_taken.unwrap_or(false);
+            let mut v = vec![
+                is_mem as u32,
+                word,
+                exception_code(info.exception),
+                is_br as u32,
+                taken as u32,
+            ];
+            if cfg.enable_mul {
+                let is_mul = matches!(info.inst, Inst::Mul { .. });
+                let (a, b) = info.mul_operands.unwrap_or((0, 0));
+                v.extend([is_mul as u32, a, b]);
+            }
+            v
+        }
+    };
+    IsaRecord { values }
+}
+
+/// Checks the software constraint over two retirement streams: true iff
+/// the `O_ISA` traces are equal (the hypothesis of Eq. 1).
+pub fn traces_indistinguishable(
+    contract: Contract,
+    cfg: &IsaConfig,
+    a: &[StepInfo],
+    b: &[StepInfo],
+) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| isa_record(contract, cfg, x) == isa_record(contract, cfg, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csl_isa::{assemble, interp, ArchState};
+
+    fn run(cfg: &IsaConfig, src: &str, dmem: &[u32], n: usize) -> Vec<StepInfo> {
+        let imem = assemble(cfg, src).unwrap();
+        let mut st = ArchState::reset(cfg);
+        interp::run(cfg, &mut st, &imem, &dmem.to_vec(), n)
+    }
+
+    #[test]
+    fn layout_widths() {
+        let cfg = IsaConfig::default();
+        let sb = RecordLayout::for_contract(Contract::Sandboxing, &cfg);
+        assert_eq!(sb.total_bits(), 1 + 4 + 2);
+        let ct = RecordLayout::for_contract(Contract::ConstantTime, &cfg);
+        assert_eq!(ct.total_bits(), 1 + 2 + 2 + 1 + 1);
+        let ct_mul = RecordLayout::for_contract(
+            Contract::ConstantTime,
+            &IsaConfig {
+                enable_mul: true,
+                ..cfg
+            },
+        );
+        assert_eq!(ct_mul.total_bits(), 7 + 1 + 4 + 4);
+    }
+
+    #[test]
+    fn sandboxing_distinguishes_secret_loads() {
+        let cfg = IsaConfig::default();
+        let src = "LI r1, 2\nLD r2, (r1)"; // loads dmem[2] = secret region
+        let a = run(&cfg, src, &[0, 0, 5, 0], 2);
+        let b = run(&cfg, src, &[0, 0, 9, 0], 2);
+        assert!(!traces_indistinguishable(Contract::Sandboxing, &cfg, &a, &b));
+        // Under constant-time the *address* is public, so the traces are
+        // indistinguishable even though the data differs.
+        assert!(traces_indistinguishable(Contract::ConstantTime, &cfg, &a, &b));
+    }
+
+    #[test]
+    fn constant_time_distinguishes_secret_addresses() {
+        let cfg = IsaConfig::default();
+        // Load the secret, then use it as an address.
+        let src = "LI r1, 2\nLD r2, (r1)\nLD r3, (r2)";
+        let a = run(&cfg, src, &[0, 0, 0, 0], 3);
+        let b = run(&cfg, src, &[0, 0, 1, 0], 3);
+        assert!(!traces_indistinguishable(Contract::ConstantTime, &cfg, &a, &b));
+    }
+
+    #[test]
+    fn constant_time_distinguishes_secret_branches() {
+        let cfg = IsaConfig::default();
+        let src = "LI r1, 2\nLD r2, (r1)\nBNZ r2, 0";
+        let a = run(&cfg, src, &[0, 0, 0, 0], 3);
+        let b = run(&cfg, src, &[0, 0, 1, 0], 3);
+        assert!(!traces_indistinguishable(Contract::ConstantTime, &cfg, &a, &b));
+        // Sandboxing *does* filter this program too (it loads the secret).
+        assert!(!traces_indistinguishable(Contract::Sandboxing, &cfg, &a, &b));
+    }
+
+    #[test]
+    fn public_programs_are_indistinguishable() {
+        let cfg = IsaConfig::default();
+        let src = "LI r1, 1\nLD r2, (r1)\nADD r3, r2, r2\nBNZ r3, 0";
+        let a = run(&cfg, src, &[3, 4, 5, 6], 8);
+        let b = run(&cfg, src, &[3, 4, 9, 1], 8);
+        for c in Contract::ALL {
+            assert!(traces_indistinguishable(c, &cfg, &a, &b), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn exception_events_recorded() {
+        let cfg = IsaConfig {
+            exceptions: true,
+            ..IsaConfig::default()
+        };
+        let src = "LI r1, 5\nLD r2, (r1)"; // misaligned
+        let a = run(&cfg, src, &[0; 4], 2);
+        let rec = isa_record(Contract::Sandboxing, &cfg, &a[1]);
+        assert_eq!(rec.values, vec![0, 0, 1]); // not a load-commit; exc=misaligned
+        let rec_ct = isa_record(Contract::ConstantTime, &cfg, &a[1]);
+        assert_eq!(rec_ct.values[2], 1);
+        assert_eq!(rec_ct.values[0], 0, "faulting load is not a mem access");
+    }
+
+    #[test]
+    fn contract_names() {
+        assert_eq!(Contract::Sandboxing.name(), "sandboxing");
+        assert_eq!(Contract::ConstantTime.name(), "constant-time");
+    }
+}

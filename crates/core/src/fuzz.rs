@@ -1,0 +1,222 @@
+//! Differential fuzzing — the paper's §9 contrast class (SpecDoctor,
+//! Revizor, SpeechMiner…).
+//!
+//! Instead of model checking, run the two-machine product on the concrete
+//! netlist simulator over random programs and random secret pairs, and
+//! compare the microarchitectural observation traces directly. Finding a
+//! divergence on a program whose ISA observation traces match is a
+//! concrete attack — no solver involved. The trade-off the paper draws is
+//! reproduced here measurably: fuzzing can be fast per trial and needs no
+//! formal machinery, but offers no coverage guarantee (secure designs get
+//! "no attack found after N trials", never a proof).
+//!
+//! The fuzzer reuses the shadow instance's netlist: the `no_leakage`
+//! assertion firing with all contract assumes held *is* the oracle, so the
+//! fuzzing and formal flows check the identical property.
+
+use csl_isa::{progen, IsaConfig};
+use csl_mc::{Sim, SimState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::harness::{build_shadow_instance, InstanceConfig};
+
+/// One reproducible finding: the program and secret pair that leaked.
+#[derive(Clone, Debug)]
+pub struct FuzzFinding {
+    pub imem: Vec<u32>,
+    pub public: Vec<u32>,
+    pub secret_a: Vec<u32>,
+    pub secret_b: Vec<u32>,
+    /// Cycle at which the leakage assertion fired.
+    pub cycle: usize,
+    /// Trials executed before the finding.
+    pub trials: usize,
+}
+
+/// Outcome of a fuzzing campaign.
+#[derive(Clone, Debug)]
+pub enum FuzzOutcome {
+    /// A leak was observed (and is replayable from the finding).
+    Leak(Box<FuzzFinding>),
+    /// No leak in the given number of trials — *not* a security proof.
+    Exhausted { trials: usize },
+}
+
+/// Configuration for [`fuzz_design`].
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzOptions {
+    pub trials: usize,
+    /// Cycles to simulate per trial.
+    pub cycles: usize,
+    pub seed: u64,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            trials: 2000,
+            cycles: 24,
+            seed: 0xF0_55,
+        }
+    }
+}
+
+fn load_memories(
+    aig: &csl_hdl::Aig,
+    imem: &[u32],
+    public: &[u32],
+    sec_a: &[u32],
+    sec_b: &[u32],
+) -> SimState {
+    SimState::reset_with(aig, |_, name| {
+        fn parse(name: &str) -> Option<(&str, usize, usize)> {
+            let open = name.rfind("][")?;
+            let bit: usize = name[open + 2..name.len() - 1].parse().ok()?;
+            let head = &name[..open + 1];
+            let open2 = head.rfind('[')?;
+            let word: usize = head[open2 + 1..head.len() - 1].parse().ok()?;
+            Some((&head[..open2], word, bit))
+        }
+        let Some((prefix, word, bit)) = parse(name) else {
+            return false;
+        };
+        let v = match prefix {
+            "imem" => imem[word],
+            "dmem_pub" => public[word],
+            "cpu1.dmem_sec" => sec_a[word],
+            "cpu2.dmem_sec" => sec_b[word],
+            _ => return false,
+        };
+        (v >> bit) & 1 == 1
+    })
+}
+
+/// Runs a fuzzing campaign against a design × contract.
+///
+/// Each trial draws a random program, random public memory, and two random
+/// (differing) secrets, then simulates the instrumented product machine.
+/// A trial counts as a leak only if the `no_leakage` assertion fires while
+/// every contract assume held up to and including that cycle — the same
+/// validity condition the model checker enforces.
+pub fn fuzz_design(cfg: &InstanceConfig, opts: &FuzzOptions) -> FuzzOutcome {
+    let mut shadow_cfg = cfg.clone();
+    shadow_cfg.with_candidates = false;
+    let task = build_shadow_instance(&shadow_cfg);
+    let isa: IsaConfig = shadow_cfg.cpu_config().isa;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let half = isa.dmem_size / 2;
+    let mut sim = Sim::new(&task.aig);
+    for trial in 0..opts.trials {
+        let imem = if trial % 2 == 0 {
+            progen::random_program(&isa, &progen::OpMix::default(), &mut rng)
+        } else {
+            progen::random_imem(&isa, &mut rng)
+        };
+        let public: Vec<u32> = (0..half).map(|_| rng.gen::<u32>() & isa.xmask()).collect();
+        let secret_a: Vec<u32> = (0..half).map(|_| rng.gen::<u32>() & isa.xmask()).collect();
+        let mut secret_b: Vec<u32> = (0..half).map(|_| rng.gen::<u32>() & isa.xmask()).collect();
+        if secret_a == secret_b {
+            // Enforce the threat model's "differ in at least one location".
+            secret_b[0] ^= 1;
+        }
+        let mut state = load_memories(&task.aig, &imem, &public, &secret_a, &secret_b);
+        for cycle in 0..opts.cycles {
+            let r = sim.step(&state, |_, _| false);
+            if !r.violated_assumes.is_empty() {
+                break; // invalid program for this contract: next trial
+            }
+            if r.fired_bads.iter().any(|b| b.contains("no_leakage")) {
+                return FuzzOutcome::Leak(Box::new(FuzzFinding {
+                    imem,
+                    public,
+                    secret_a,
+                    secret_b,
+                    cycle,
+                    trials: trial + 1,
+                }));
+            }
+            state = r.next;
+        }
+    }
+    FuzzOutcome::Exhausted {
+        trials: opts.trials,
+    }
+}
+
+/// Replays a finding, returning true iff it still leaks (determinism /
+/// regression guard for stored findings).
+pub fn replay_finding(cfg: &InstanceConfig, finding: &FuzzFinding, cycles: usize) -> bool {
+    let mut shadow_cfg = cfg.clone();
+    shadow_cfg.with_candidates = false;
+    let task = build_shadow_instance(&shadow_cfg);
+    let mut sim = Sim::new(&task.aig);
+    let mut state = load_memories(
+        &task.aig,
+        &finding.imem,
+        &finding.public,
+        &finding.secret_a,
+        &finding.secret_b,
+    );
+    for _ in 0..cycles {
+        let r = sim.step(&state, |_, _| false);
+        if !r.violated_assumes.is_empty() {
+            return false;
+        }
+        if r.fired_bads.iter().any(|b| b.contains("no_leakage")) {
+            return true;
+        }
+        state = r.next;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::DesignKind;
+    use csl_contracts::Contract;
+    use csl_cpu::Defense;
+
+    #[test]
+    fn fuzzer_finds_the_simple_ooo_leak() {
+        let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
+        // The debug-profile simulator is an order of magnitude slower, so
+        // scale the campaign; under `--release` insist on the find.
+        let trials = if cfg!(debug_assertions) { 700 } else { 5000 };
+        let opts = FuzzOptions {
+            trials,
+            cycles: 20,
+            seed: 7,
+        };
+        match fuzz_design(&cfg, &opts) {
+            FuzzOutcome::Leak(f) => {
+                assert!(replay_finding(&cfg, &f, 24), "finding must replay");
+            }
+            FuzzOutcome::Exhausted { trials } => {
+                assert!(
+                    cfg!(debug_assertions),
+                    "no leak in {trials} trials on an insecure design"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzer_silent_on_secure_design() {
+        let cfg = InstanceConfig::new(
+            DesignKind::SimpleOoo(Defense::DelaySpectre),
+            Contract::Sandboxing,
+        );
+        let trials = if cfg!(debug_assertions) { 120 } else { 600 };
+        let opts = FuzzOptions {
+            trials,
+            cycles: 20,
+            seed: 9,
+        };
+        match fuzz_design(&cfg, &opts) {
+            FuzzOutcome::Exhausted { .. } => {}
+            FuzzOutcome::Leak(f) => panic!("false leak on secure design: {f:?}"),
+        }
+    }
+}

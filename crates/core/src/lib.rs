@@ -1,0 +1,49 @@
+//! `csl-core` — Contract Shadow Logic: RTL verification for secure
+//! speculation (reproduction of the ASPLOS'25 paper).
+//!
+//! The crate assembles everything below it into the paper's verification
+//! methodology:
+//!
+//! * [`record`] — RTL-side `O_ISA` record extraction from commit ports
+//!   (§5.1's shadow metadata),
+//! * [`fifo`] — commit-record skid FIFOs (§5.3's superscalar trace
+//!   buffering),
+//! * [`shadow`] — the two-phase shadow monitor: divergence detection,
+//!   pause-based re-alignment (synchronisation requirement) and drain
+//!   tracking (instruction-inclusion requirement),
+//! * [`harness`] — verification-instance construction for the two-machine
+//!   (Fig. 1b) and four-machine baseline (Fig. 1a) setups,
+//! * [`verify`] — the four schemes of Table 2 (Baseline, LEAVE, UPEC,
+//!   Contract Shadow Logic) run to one of the paper's verdicts: an attack
+//!   counterexample, an unbounded proof, UNKNOWN, or a timeout.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use csl_contracts::Contract;
+//! use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
+//! use csl_cpu::Defense;
+//! use csl_mc::CheckOptions;
+//!
+//! // Is the insecure SimpleOoO core safe under the sandboxing contract?
+//! let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
+//! let report = verify(Scheme::Shadow, &cfg, &CheckOptions::default());
+//! assert!(report.verdict.is_attack()); // Spectre-style leak found
+//! ```
+
+pub mod fifo;
+pub mod fuzz;
+pub mod harness;
+pub mod record;
+pub mod shadow;
+pub mod verify;
+
+pub use fifo::{FifoPlan, RecordFifo};
+pub use fuzz::{fuzz_design, replay_finding, FuzzFinding, FuzzOptions, FuzzOutcome};
+pub use harness::{
+    build_baseline_instance, build_leave_instance, build_shadow_instance, DesignKind,
+    ExcludeRule, InstanceConfig,
+};
+pub use record::{extract_record, pack_isa_record};
+pub use shadow::{uarch_trace_diff, ShadowOptions, ShadowPre};
+pub use verify::{build_instance, verify, Scheme};

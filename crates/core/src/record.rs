@@ -1,0 +1,67 @@
+//! RTL-side `O_ISA` record extraction — the §5.1 shadow metadata readout.
+//!
+//! The shadow logic monitors the commit ports and packs, per committed
+//! instruction, exactly the fields the contract's observation function
+//! names. The packing order is defined once in
+//! [`csl_contracts::RecordLayout`], shared with the ISA-side projection, so
+//! the RTL extraction and the interpreter agree by construction (tested in
+//! `tests/record_agreement.rs`).
+
+use csl_contracts::{Contract, RecordLayout};
+use csl_cpu::CommitPort;
+use csl_hdl::{Design, Word};
+use csl_isa::IsaConfig;
+
+/// Packs one commit port's fields into the contract's record word.
+pub fn extract_record(
+    d: &mut Design,
+    contract: Contract,
+    cfg: &IsaConfig,
+    port: &CommitPort,
+) -> Word {
+    let layout = RecordLayout::for_contract(contract, cfg);
+    let mut parts: Vec<Word> = Vec::new();
+    for &(name, width) in layout.fields() {
+        let w = match name {
+            "is_load" | "is_mem" => Word::from_bit(port.is_load),
+            "load_data" => {
+                let zero = d.lit(width, 0);
+                let v = d.resize(&port.value, width);
+                d.mux(port.is_load, &v, &zero)
+            }
+            "mem_word" => d.resize(&port.mem_word, width),
+            "exception" => d.resize(&port.exception, width),
+            "is_branch" => Word::from_bit(port.is_branch),
+            "br_taken" => Word::from_bit(port.taken),
+            "is_mul" => Word::from_bit(port.is_mul),
+            "mul_a" => d.resize(&port.mul_a, width),
+            "mul_b" => d.resize(&port.mul_b, width),
+            other => panic!("unknown record field {other}"),
+        };
+        assert_eq!(w.width(), width, "field {name} width mismatch");
+        parts.push(w);
+    }
+    let mut out = parts[0].clone();
+    for p in &parts[1..] {
+        out = out.concat(p);
+    }
+    assert_eq!(out.width(), layout.total_bits());
+    out
+}
+
+/// Packs an ISA-side record ([`csl_contracts::IsaRecord`]) into the same
+/// bit layout, for cross-checking RTL extraction against the interpreter.
+pub fn pack_isa_record(
+    contract: Contract,
+    cfg: &IsaConfig,
+    rec: &csl_contracts::IsaRecord,
+) -> u64 {
+    let layout = RecordLayout::for_contract(contract, cfg);
+    let mut out = 0u64;
+    let mut shift = 0;
+    for (&(_, width), &value) in layout.fields().iter().zip(&rec.values) {
+        out |= (value as u64 & ((1 << width) - 1)) << shift;
+        shift += width;
+    }
+    out
+}

@@ -1,0 +1,235 @@
+//! Contract Shadow Logic — the paper's contribution (§5).
+//!
+//! Given two copies of a processor (same program, same public data,
+//! different secrets), the shadow logic performs both halves of the
+//! software-hardware contract check on the pair itself, eliminating the
+//! baseline's two single-cycle machines:
+//!
+//! * **ISA-trace extraction** (§5.1): commit-port records enter per-machine
+//!   skid FIFOs; popped pairs are compared under `assume`, enforcing the
+//!   contract constraint check on the *committed* instruction stream.
+//! * **Phase 1 → phase 2** (§5.3): the first microarchitectural trace
+//!   divergence (commit timing or memory-bus address) latches `phase2`.
+//! * **Synchronisation requirement** (§5.2.2): in phase 2 the machine whose
+//!   record FIFO runs ahead is paused by gating its registers — the
+//!   Listing 1 `pause ? 0 : clk` clock trick — re-aligning the derived ISA
+//!   traces.
+//! * **Instruction-inclusion requirement** (§5.2.1): at the phase
+//!   transition the shadow snapshots each machine's in-flight instruction
+//!   count and counts commits + squash drops until the snapshot is
+//!   drained, covering every instruction whose side effects the leakage
+//!   check already observed (including the "recorded tail is squashed"
+//!   case — squashed instructions never commit and need no contract
+//!   check).
+//! * **Leakage assertion**: bad = phase2 ∧ both drained ∧ both FIFOs empty —
+//!   a divergence that survives a completed contract constraint check.
+//!
+//! The two requirements can be individually disabled through
+//! [`ShadowOptions`] to reproduce the §5.2 failure modes (ablation
+//! benchmark): without synchronisation the FIFOs overflow (their overflow
+//! assertion fires — a false counterexample); without drain tracking the
+//! assertion fires before in-flight bound-to-commit instructions were
+//! checked, again yielding false counterexamples on secure designs.
+
+use csl_contracts::Contract;
+use csl_cpu::CpuPorts;
+use csl_hdl::{Bit, Design, Init, Reg, Word};
+use csl_isa::IsaConfig;
+
+use crate::fifo::RecordFifo;
+use crate::record::extract_record;
+
+/// Construction options (ablation knobs; defaults = the paper's scheme).
+#[derive(Clone, Copy, Debug)]
+pub struct ShadowOptions {
+    /// Enforce the synchronisation requirement (phase-2 pausing).
+    pub enable_sync: bool,
+    /// Enforce the instruction-inclusion requirement (drain tracking).
+    pub enable_drain: bool,
+    /// FIFO depth override (0 = automatic from commit width).
+    pub fifo_depth: usize,
+}
+
+impl Default for ShadowOptions {
+    fn default() -> Self {
+        ShadowOptions {
+            enable_sync: true,
+            enable_drain: true,
+            fifo_depth: 0,
+        }
+    }
+}
+
+/// Phase-one handle: created *before* the processors so its pause
+/// registers can drive their enable inputs (the clock-gating loop of
+/// Listing 1 lines 1-2).
+pub struct ShadowPre {
+    pause: [Reg; 2],
+    opts: ShadowOptions,
+}
+
+impl ShadowPre {
+    /// Allocates the pause registers under scope `shadow`.
+    pub fn new(d: &mut Design, opts: ShadowOptions) -> ShadowPre {
+        d.push_scope("shadow");
+        let pause = [
+            d.reg("pause1", 1, Init::Zero),
+            d.reg("pause2", 1, Init::Zero),
+        ];
+        d.pop_scope();
+        ShadowPre { pause, opts }
+    }
+
+    /// Enable signal for machine `i` (0 or 1): `!pause_i`.
+    pub fn enable(&self, i: usize) -> Bit {
+        self.pause[i].q().bit(0).not()
+    }
+
+    /// Wires the monitor given both machines' ports. Adds all assumes and
+    /// the leakage assertion; must be called exactly once.
+    pub fn finish(
+        self,
+        d: &mut Design,
+        contract: Contract,
+        cfg: &IsaConfig,
+        ports: [&CpuPorts; 2],
+    ) {
+        let opts = self.opts;
+        let width = ports[0].commits.len();
+        assert_eq!(width, ports[1].commits.len(), "asymmetric commit widths");
+        d.push_scope("shadow");
+
+        // ---- microarchitectural trace comparison (O_uarch) ---------------
+        let uarch_diff = uarch_trace_diff(d, ports[0], ports[1]);
+
+        let phase2 = d.reg("phase2", 1, Init::Zero);
+        let phase2_now = phase2.q().bit(0);
+        let phase2_next = d.or_bit(phase2_now, uarch_diff);
+        d.set_next(&phase2, Word::from_bit(phase2_next));
+
+        // ---- ISA-trace extraction + comparison (contract constraint) -----
+        let depth = if opts.fifo_depth > 0 {
+            opts.fifo_depth
+        } else {
+            RecordFifo::depth_for_width(width)
+        };
+        let rec_width =
+            csl_contracts::RecordLayout::for_contract(contract, cfg).total_bits();
+        let max_pop = width + 1;
+        let mut plans = Vec::new();
+        let mut fifos = Vec::new();
+        for (i, p) in ports.iter().enumerate() {
+            let fifo = RecordFifo::new(d, &format!("fifo{}", i + 1), depth, rec_width);
+            let pushes: Vec<(Bit, Word)> = p
+                .commits
+                .iter()
+                .map(|c| (c.valid, extract_record(d, contract, cfg, c)))
+                .collect();
+            let plan = fifo.plan(d, &pushes);
+            plans.push(plan);
+            fifos.push(fifo);
+        }
+        // pop_n = min(count1, count2, max_pop)
+        let cw = plans[0].eff_count.width().max(plans[1].eff_count.width());
+        let c1 = d.resize(&plans[0].eff_count, cw);
+        let c2 = d.resize(&plans[1].eff_count, cw);
+        let lt = d.ult(&c1, &c2);
+        let m = d.mux(lt, &c1, &c2);
+        let cap = d.lit(cw, max_pop as u64);
+        let over = d.ult(&cap, &m);
+        let pop_n = d.mux(over, &cap, &m);
+        // Per-lane contract constraint check: popped pairs must be equal.
+        for k in 0..max_pop {
+            let k_lit = d.lit(cw, k as u64);
+            let active = d.ult(&k_lit, &pop_n);
+            let eq = d.eq(&plans[0].eff[k], &plans[1].eff[k]);
+            let ok = d.implies_bit(active, eq);
+            d.assume(ok);
+        }
+        // FIFO-overflow assertions: reachable only if synchronisation is
+        // broken (see module docs).
+        d.assert_always("fifo1_no_overflow", plans[0].overflow.not());
+        d.assert_always("fifo2_no_overflow", plans[1].overflow.not());
+
+        // ---- synchronisation requirement: phase-2 pausing ----------------
+        if opts.enable_sync {
+            let ahead1 = d.ult(&c2, &c1);
+            let ahead2 = d.ult(&c1, &c2);
+            let p1 = d.and_bit(phase2_next, ahead1);
+            let p2 = d.and_bit(phase2_next, ahead2);
+            d.set_next(&self.pause[0], Word::from_bit(p1));
+            d.set_next(&self.pause[1], Word::from_bit(p2));
+        } else {
+            let zero = d.lit(1, 0);
+            d.set_next(&self.pause[0], zero.clone());
+            d.set_next(&self.pause[1], zero);
+        }
+
+        // ---- instruction-inclusion requirement: drain tracking ------------
+        let iw = ports[0]
+            .inflight
+            .width()
+            .max(ports[1].inflight.width())
+            .max(ports[0].resolved.width())
+            .max(ports[1].resolved.width());
+        let mut drained_bits: Vec<Bit> = Vec::new();
+        for (i, p) in ports.iter().enumerate() {
+            let remaining = d.reg(&format!("remaining{}", i + 1), iw, Init::Zero);
+            let inflight = d.resize(&p.inflight, iw);
+            let resolved = d.resize(&p.resolved, iw);
+            // Saturating subtraction from either the live occupancy
+            // (phase 1: continuously re-snapshot) or the tracked remainder
+            // (phase 2: drain).
+            let base = d.mux(phase2_now, &remaining.q(), &inflight);
+            let exhausted = d.ule(&base, &resolved);
+            let sub = d.sub(&base, &resolved);
+            let zero = d.lit(iw, 0);
+            let nxt = d.mux(exhausted, &zero, &sub);
+            d.set_next(&remaining, nxt);
+            drained_bits.push(if opts.enable_drain {
+                d.is_zero(&remaining.q())
+            } else {
+                Bit::TRUE
+            });
+        }
+
+        // ---- leakage assertion ---------------------------------------------
+        let empty1 = d.is_zero(&fifos[0].stored_count());
+        let empty2 = d.is_zero(&fifos[1].stored_count());
+        let bad = d.all(&[
+            phase2_now,
+            drained_bits[0],
+            drained_bits[1],
+            empty1,
+            empty2,
+        ]);
+        d.assert_always("no_leakage", bad.not());
+
+        // Seal the FIFOs.
+        for (fifo, plan) in fifos.into_iter().zip(&plans) {
+            fifo.commit(d, plan, &pop_n, max_pop);
+        }
+
+        // Probes for attack listings.
+        d.probe("uarch_diff", &Word::from_bit(uarch_diff));
+        let ph = phase2.q();
+        d.probe("phase2", &ph);
+        d.probe("pop_n", &pop_n);
+        d.pop_scope();
+    }
+}
+
+/// The microarchitectural observation comparison (`O_uarch`, §2.2): commit
+/// timing (per-slot valid bits) and the memory-bus address sequence.
+/// Shared by the shadow and baseline schemes.
+pub fn uarch_trace_diff(d: &mut Design, a: &CpuPorts, b: &CpuPorts) -> Bit {
+    let mut diffs: Vec<Bit> = Vec::new();
+    for (ca, cb) in a.commits.iter().zip(&b.commits) {
+        diffs.push(d.xor_bit(ca.valid, cb.valid));
+    }
+    diffs.push(d.xor_bit(a.bus_valid, b.bus_valid));
+    let both_bus = d.and_bit(a.bus_valid, b.bus_valid);
+    let addr_ne = d.ne(&a.bus_addr, &b.bus_addr);
+    diffs.push(d.and_bit(both_bus, addr_ne));
+    d.any(&diffs)
+}

@@ -1,0 +1,187 @@
+//! The top-level verification API: scheme × design × contract → verdict.
+//!
+//! Dispatches to the four verification schemes the paper compares
+//! (Table 2):
+//!
+//! * [`Scheme::Shadow`] — Contract Shadow Logic (this paper): the
+//!   two-machine instance plus the full engine pipeline (BMC attack
+//!   search, Houdini lemmas, k-induction, PDR).
+//! * [`Scheme::Baseline`] — the four-machine instance of §4.1, same
+//!   engines.
+//! * [`Scheme::Leave`] — LEAVE's method (§7.1.3): the relational-invariant
+//!   Houdini search *alone*; if the surviving invariants do not imply
+//!   safety the result is UNKNOWN ("false counterexamples").
+//! * [`Scheme::Upec`] — an approximation of UPEC (§7.1.4): the user fixes
+//!   the mis-speculation source to branch misprediction (faults are
+//!   assumed away), and unbounded proofs only come from the 1-cycle
+//!   induction that UPEC's conservative-defence invariant admits.
+
+use std::time::Instant;
+
+use csl_mc::{
+    bmc, check_safety, houdini, k_induction, BmcResult, CheckOptions, CheckReport,
+    HoudiniResult, KindOptions, KindResult, ProofEngine, SafetyCheck, Sim, TransitionSystem,
+    Verdict,
+};
+use csl_sat::Budget;
+
+use crate::harness::{
+    build_baseline_instance, build_leave_instance, build_shadow_instance, ExcludeRule,
+    InstanceConfig,
+};
+
+/// The verification schemes compared in Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    Shadow,
+    Baseline,
+    Leave,
+    Upec,
+}
+
+impl Scheme {
+    pub const ALL: [Scheme; 4] = [Scheme::Baseline, Scheme::Leave, Scheme::Upec, Scheme::Shadow];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Shadow => "ContractShadowLogic",
+            Scheme::Baseline => "Baseline",
+            Scheme::Leave => "LEAVE",
+            Scheme::Upec => "UPEC",
+        }
+    }
+}
+
+/// Builds the model-checking instance for a scheme.
+pub fn build_instance(scheme: Scheme, cfg: &InstanceConfig) -> SafetyCheck {
+    match scheme {
+        Scheme::Baseline => build_baseline_instance(cfg),
+        Scheme::Leave => build_leave_instance(cfg),
+        Scheme::Shadow => build_shadow_instance(cfg),
+        Scheme::Upec => {
+            let mut cfg = cfg.clone();
+            // UPEC's user-declared speculation source: branch misprediction
+            // only. Exception speculation is assumed away.
+            if !cfg.excludes.contains(&ExcludeRule::AnyFault) {
+                cfg.excludes.push(ExcludeRule::AnyFault);
+            }
+            build_shadow_instance(&cfg)
+        }
+    }
+}
+
+/// Runs a scheme to a verdict.
+pub fn verify(scheme: Scheme, cfg: &InstanceConfig, opts: &CheckOptions) -> CheckReport {
+    let task = build_instance(scheme, cfg);
+    match scheme {
+        Scheme::Shadow | Scheme::Baseline => check_safety(&task, opts),
+        Scheme::Leave => run_leave(&task, opts),
+        Scheme::Upec => run_upec(&task, opts),
+    }
+}
+
+/// LEAVE: Houdini-filtered relational invariants or bust.
+fn run_leave(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
+    let start = Instant::now();
+    let deadline = start + opts.total_budget;
+    let budget = Budget {
+        max_conflicts: 0,
+        deadline: Some(deadline),
+    };
+    let ts = TransitionSystem::new(task.aig.clone(), opts.keep_probes);
+    let mut notes = vec![format!("netlist: {}", ts.summary())];
+    match houdini(&ts, &task.candidates, budget) {
+        HoudiniResult::Done(out) => {
+            notes.push(format!(
+                "houdini: {}/{} candidates survive after {} rounds ({} dropped at init)",
+                out.survivors.len(),
+                task.candidates.len(),
+                out.rounds,
+                out.dropped_at_init,
+            ));
+            let verdict = if out.proves_safety {
+                Verdict::Proof(ProofEngine::Houdini {
+                    invariants: out.survivors.len(),
+                })
+            } else {
+                Verdict::Unknown {
+                    reason: format!(
+                        "invariant search exhausted ({} survivors insufficient): \
+                         induction yields false counterexamples",
+                        out.survivors.len()
+                    ),
+                }
+            };
+            CheckReport {
+                verdict,
+                elapsed: start.elapsed(),
+                notes,
+            }
+        }
+        HoudiniResult::Timeout => CheckReport {
+            verdict: Verdict::Timeout,
+            elapsed: start.elapsed(),
+            notes,
+        },
+    }
+}
+
+/// UPEC approximation: BMC with the branch-only speculation assumption;
+/// proofs only via 1-step induction.
+fn run_upec(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
+    let start = Instant::now();
+    let deadline = start + opts.total_budget;
+    let budget = || Budget {
+        max_conflicts: 0,
+        deadline: Some(deadline),
+    };
+    let ts = TransitionSystem::new(task.aig.clone(), opts.keep_probes);
+    let mut notes = vec![format!("netlist: {}", ts.summary())];
+    match bmc(&ts, opts.bmc_depth, budget()) {
+        BmcResult::Cex(trace) => {
+            let (ok, bad) = Sim::new(ts.aig()).replay(&trace);
+            notes.push(format!("cex replay: assumes={ok} bad={bad}"));
+            return CheckReport {
+                verdict: Verdict::Attack(trace),
+                elapsed: start.elapsed(),
+                notes,
+            };
+        }
+        BmcResult::Clean { depth_checked } => {
+            notes.push(format!("bmc clean to depth {depth_checked}"));
+        }
+        BmcResult::Timeout { .. } => {
+            return CheckReport {
+                verdict: Verdict::Timeout,
+                elapsed: start.elapsed(),
+                notes,
+            };
+        }
+    }
+    match k_induction(
+        &ts,
+        KindOptions {
+            max_k: 1,
+            unique_states: false,
+            budget: budget(),
+        },
+    ) {
+        KindResult::Proof { k } => CheckReport {
+            verdict: Verdict::Proof(ProofEngine::KInduction { k }),
+            elapsed: start.elapsed(),
+            notes,
+        },
+        KindResult::Timeout => CheckReport {
+            verdict: Verdict::Timeout,
+            elapsed: start.elapsed(),
+            notes,
+        },
+        _ => CheckReport {
+            verdict: Verdict::Unknown {
+                reason: "1-cycle induction (UPEC's invariant shape) insufficient".into(),
+            },
+            elapsed: start.elapsed(),
+            notes,
+        },
+    }
+}

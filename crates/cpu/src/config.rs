@@ -1,0 +1,184 @@
+//! Processor configuration: microarchitectural knobs layered on an
+//! [`IsaConfig`].
+
+use csl_isa::IsaConfig;
+
+/// The defence mechanisms of the paper's §7.2, applied to the out-of-order
+/// generator. `None` is the insecure baseline core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Defense {
+    /// Insecure baseline: loads issue and forward speculatively.
+    None,
+    /// Do not forward load data to younger instructions until commit
+    /// (all loads) — NDA/STT-futuristic flavour.
+    NoFwdFuturistic,
+    /// As above, but only for loads dispatched with a branch ahead in the
+    /// ROB — spectre flavour.
+    NoFwdSpectre,
+    /// Delay load issue until the load is the oldest in-flight instruction
+    /// (all loads).
+    DelayFuturistic,
+    /// As above, but only for loads dispatched with a branch ahead in the
+    /// ROB. This is the paper's secure core "SimpleOoO-S".
+    DelaySpectre,
+    /// Delay-on-Miss (simplified, §7.2): loads always probe the single-entry
+    /// cache; hits complete speculatively, misses of tainted loads are held
+    /// at the (blocking) memory port until the load is oldest.
+    DomSpectre,
+}
+
+impl Defense {
+    /// All defences, in the paper's Table 3 order.
+    pub const TABLE3: [Defense; 5] = [
+        Defense::NoFwdFuturistic,
+        Defense::NoFwdSpectre,
+        Defense::DelayFuturistic,
+        Defense::DelaySpectre,
+        Defense::DomSpectre,
+    ];
+
+    /// Table label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Defense::None => "none",
+            Defense::NoFwdFuturistic => "NoFwd-futuristic",
+            Defense::NoFwdSpectre => "NoFwd-spectre",
+            Defense::DelayFuturistic => "Delay-futuristic",
+            Defense::DelaySpectre => "Delay-spectre",
+            Defense::DomSpectre => "DoM-spectre",
+        }
+    }
+
+    /// Whether this defence is secure on the exception-free SimpleOoO for
+    /// the given contract (the paper's ground truth for Table 3).
+    pub fn expected_secure(self, constant_time: bool) -> bool {
+        match self {
+            Defense::None | Defense::DomSpectre => false,
+            Defense::DelayFuturistic | Defense::DelaySpectre => true,
+            // NoFwd protects load *data*, not transient loads from using
+            // architecturally-present secrets as addresses: secure for
+            // sandboxing, insecure for constant-time.
+            Defense::NoFwdFuturistic | Defense::NoFwdSpectre => !constant_time,
+        }
+    }
+}
+
+/// Configuration of the out-of-order generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuConfig {
+    pub isa: IsaConfig,
+    /// Reorder-buffer entries (power of two, >= 2).
+    pub rob_size: usize,
+    /// Instructions fetched/committed per cycle (1 or 2).
+    pub width: usize,
+    pub defense: Defense,
+}
+
+impl CpuConfig {
+    /// The paper's SimpleOoO: 4-entry ROB, 1-wide, chosen defence.
+    pub fn simple_ooo(defense: Defense) -> CpuConfig {
+        CpuConfig {
+            isa: IsaConfig::default(),
+            rob_size: 4,
+            width: 1,
+            defense,
+        }
+    }
+
+    /// The Ridecore stand-in: 8-entry ROB, 2-wide commit, insecure.
+    pub fn super_ooo() -> CpuConfig {
+        CpuConfig {
+            isa: IsaConfig::default(),
+            rob_size: 8,
+            width: 2,
+            defense: Defense::None,
+        }
+    }
+
+    /// The BOOM stand-in: exception semantics enabled, 8-entry ROB by
+    /// default (configurable towards SmallBoom's 32), insecure.
+    pub fn big_ooo() -> CpuConfig {
+        CpuConfig {
+            isa: IsaConfig {
+                exceptions: true,
+                ..IsaConfig::default()
+            },
+            rob_size: 8,
+            width: 1,
+            defense: Defense::None,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters.
+    pub fn validate(&self) {
+        self.isa.validate();
+        assert!(self.rob_size.is_power_of_two() && self.rob_size >= 2);
+        assert!(self.width == 1 || self.width == 2, "width must be 1 or 2");
+        assert!(
+            self.width < self.rob_size,
+            "ROB must be larger than the commit width"
+        );
+        if self.defense == Defense::DomSpectre {
+            assert!(
+                !self.isa.exceptions,
+                "DoM model is defined for the exception-free core"
+            );
+        }
+    }
+
+    /// Bits in a ROB index.
+    pub fn rob_bits(&self) -> usize {
+        self.rob_size.trailing_zeros() as usize
+    }
+
+    /// Bits in the ROB occupancy counter (0..=rob_size).
+    pub fn count_bits(&self) -> usize {
+        self.rob_bits() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        CpuConfig::simple_ooo(Defense::None).validate();
+        CpuConfig::simple_ooo(Defense::DelaySpectre).validate();
+        CpuConfig::super_ooo().validate();
+        CpuConfig::big_ooo().validate();
+    }
+
+    #[test]
+    fn expected_security_matches_paper() {
+        use Defense::*;
+        assert!(NoFwdFuturistic.expected_secure(false));
+        assert!(!NoFwdFuturistic.expected_secure(true));
+        assert!(NoFwdSpectre.expected_secure(false));
+        assert!(!NoFwdSpectre.expected_secure(true));
+        assert!(DelayFuturistic.expected_secure(false));
+        assert!(DelayFuturistic.expected_secure(true));
+        assert!(DelaySpectre.expected_secure(true));
+        assert!(!DomSpectre.expected_secure(false));
+        assert!(!DomSpectre.expected_secure(true));
+        assert!(!None.expected_secure(false));
+    }
+
+    #[test]
+    fn rob_bits() {
+        let c = CpuConfig::simple_ooo(Defense::None);
+        assert_eq!(c.rob_bits(), 2);
+        assert_eq!(c.count_bits(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dom_with_exceptions_rejected() {
+        let mut c = CpuConfig::simple_ooo(Defense::DomSpectre);
+        c.isa.exceptions = true;
+        c.validate();
+    }
+}

@@ -1,0 +1,220 @@
+//! Co-simulation of processor generators against the reference interpreter.
+//!
+//! The paper's methodology *assumes* the processor is functionally correct
+//! (§5.4) because security verification is deliberately decoupled from
+//! functional verification. This harness is where that assumption is
+//! earned in this reproduction: each generator runs cycle-by-cycle on the
+//! netlist simulator over concrete memories, and its committed-instruction
+//! stream must equal the ISA interpreter's retirement stream.
+
+use std::collections::HashMap;
+
+use csl_hdl::{Aig, Bit, Design};
+use csl_isa::{interp, ArchState, IsaConfig};
+use csl_mc::{Sim, SimState};
+
+use crate::config::CpuConfig;
+use crate::inorder::build_inorder;
+use crate::memsys::{SecretMem, SharedMem};
+use crate::ooo::build_ooo;
+use crate::single_cycle::build_single_cycle;
+
+/// Which generator to co-simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreKind {
+    SingleCycle,
+    InOrder,
+    Ooo,
+}
+
+/// One committed instruction, as observed at a commit port or derived from
+/// an interpreter step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitEvent {
+    pub pc: u64,
+    pub writes_reg: bool,
+    pub value: u64,
+    pub is_load: bool,
+    pub mem_word: u64,
+    pub is_branch: bool,
+    pub taken: bool,
+    pub exception: u64,
+}
+
+/// A built standalone core ready for simulation.
+pub struct Standalone {
+    pub aig: Aig,
+    pub cfg: CpuConfig,
+    pub width: usize,
+    probes: HashMap<String, Vec<csl_hdl::Bit>>,
+}
+
+/// Builds one processor instance (scope `cpu`) with always-on enable and
+/// no fetch stall, for functional testing.
+pub fn build_standalone(kind: CoreKind, cfg: &CpuConfig) -> Standalone {
+    let mut d = Design::new("cosim");
+    let shared = SharedMem::new(&mut d, &cfg.isa);
+    d.push_scope("cpu");
+    let secret = SecretMem::new(&mut d, &cfg.isa);
+    d.pop_scope();
+    let width = match kind {
+        CoreKind::Ooo => {
+            build_ooo(&mut d, cfg, "cpu", &shared, &secret, Bit::TRUE, Bit::FALSE);
+            cfg.width
+        }
+        CoreKind::InOrder => {
+            build_inorder(&mut d, &cfg.isa, "cpu", &shared, &secret, Bit::TRUE, Bit::FALSE);
+            1
+        }
+        CoreKind::SingleCycle => {
+            build_single_cycle(&mut d, &cfg.isa, "cpu", &shared, &secret, Bit::TRUE);
+            1
+        }
+    };
+    shared.seal(&mut d);
+    let aig = d.finish();
+    let probes = aig
+        .probes()
+        .iter()
+        .map(|p| (p.name.clone(), p.bits.clone()))
+        .collect();
+    Standalone {
+        aig,
+        cfg: *cfg,
+        width,
+        probes,
+    }
+}
+
+/// Parses a memory-latch name of the form `prefix[word][bit]`.
+fn parse_mem_latch<'a>(name: &'a str) -> Option<(&'a str, usize, usize)> {
+    let open = name.rfind("][")?;
+    let bit: usize = name[open + 2..name.len() - 1].parse().ok()?;
+    let head = &name[..open + 1]; // "prefix[word]"
+    let open2 = head.rfind('[')?;
+    let word: usize = head[open2 + 1..head.len() - 1].parse().ok()?;
+    Some((&head[..open2], word, bit))
+}
+
+/// Initial simulator state with the given memory images. `secret` fills
+/// every region whose latch name ends with `dmem_sec`.
+pub fn initial_state(aig: &Aig, cfg: &IsaConfig, imem: &[u32], dmem: &[u32]) -> SimState {
+    assert_eq!(imem.len(), cfg.imem_size);
+    assert_eq!(dmem.len(), cfg.dmem_size);
+    let half = cfg.dmem_size / 2;
+    SimState::reset_with(aig, |_, name| {
+        let Some((prefix, word, bit)) = parse_mem_latch(name) else {
+            return false;
+        };
+        let value = if prefix == "imem" {
+            imem[word]
+        } else if prefix == "dmem_pub" {
+            dmem[word]
+        } else if prefix.ends_with("dmem_sec") {
+            dmem[half + word]
+        } else {
+            return false;
+        };
+        (value >> bit) & 1 == 1
+    })
+}
+
+impl Standalone {
+    fn probe(&self, name: &str) -> &[csl_hdl::Bit] {
+        self.probes
+            .get(name)
+            .unwrap_or_else(|| panic!("missing probe {name}"))
+    }
+
+    /// Runs `cycles` cycles and collects the commit-event stream.
+    pub fn run(&self, imem: &[u32], dmem: &[u32], cycles: usize) -> Vec<CommitEvent> {
+        let mut sim = Sim::new(&self.aig);
+        let mut state = initial_state(&self.aig, &self.cfg.isa, imem, dmem);
+        let mut events = Vec::new();
+        for _ in 0..cycles {
+            let r = sim.step(&state, |_, _| false);
+            for slot in 0..self.width {
+                let p = |f: &str| format!("cpu.c{slot}.{f}");
+                if r.values.word(self.probe(&p("valid"))) == 1 {
+                    events.push(CommitEvent {
+                        pc: r.values.word(self.probe(&p("pc"))),
+                        writes_reg: r.values.word(self.probe(&p("writes_reg"))) == 1,
+                        value: r.values.word(self.probe(&p("value"))),
+                        is_load: r.values.word(self.probe(&p("is_load"))) == 1,
+                        mem_word: r.values.word(self.probe(&p("mem_word"))),
+                        is_branch: r.values.word(self.probe(&p("is_branch"))) == 1,
+                        taken: r.values.word(self.probe(&p("taken"))) == 1,
+                        exception: r.values.word(self.probe(&p("exception"))),
+                    });
+                }
+            }
+            state = r.next;
+        }
+        events
+    }
+}
+
+/// The interpreter's view of the same program, as commit events.
+pub fn reference_events(cfg: &IsaConfig, imem: &[u32], dmem: &[u32], n: usize) -> Vec<CommitEvent> {
+    let mut st = ArchState::reset(cfg);
+    let dmem_v = dmem.to_vec();
+    interp::run(cfg, &mut st, imem, &dmem_v, n)
+        .into_iter()
+        .map(|info| CommitEvent {
+            pc: info.pc as u64,
+            writes_reg: info.writeback.is_some(),
+            value: info.writeback.map(|(_, v)| v as u64).unwrap_or(0),
+            is_load: info.mem_word.is_some(),
+            mem_word: info.mem_word.unwrap_or(0) as u64,
+            is_branch: info.branch_taken.is_some(),
+            taken: info.branch_taken.unwrap_or(false),
+            exception: csl_contracts::exception_code(info.exception) as u64,
+        })
+        .collect()
+}
+
+/// Asserts that the core's commit stream is a prefix-match of the
+/// reference stream. Returns the number of commits compared.
+///
+/// # Panics
+/// Panics (with context) on the first mismatching commit.
+pub fn check_against_reference(
+    core: &Standalone,
+    imem: &[u32],
+    dmem: &[u32],
+    cycles: usize,
+) -> usize {
+    let got = core.run(imem, dmem, cycles);
+    let want = reference_events(&core.cfg.isa, imem, dmem, got.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(
+            g, w,
+            "commit #{i} mismatch\n  hardware: {g:?}\n  reference: {w:?}\n  program: {}",
+            render_program(&core.cfg.isa, imem)
+        );
+    }
+    got.len()
+}
+
+fn render_program(cfg: &IsaConfig, imem: &[u32]) -> String {
+    imem.iter()
+        .enumerate()
+        .map(|(i, &w)| format!("{i}: {}", csl_isa::mnemonic(csl_isa::decode(cfg, w))))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_latch_names() {
+        assert_eq!(parse_mem_latch("imem[3][10]"), Some(("imem", 3, 10)));
+        assert_eq!(
+            parse_mem_latch("cpu.dmem_sec[1][0]"),
+            Some(("cpu.dmem_sec", 1, 0))
+        );
+        assert_eq!(parse_mem_latch("cpu.pc[0]"), None);
+    }
+}

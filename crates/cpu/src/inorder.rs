@@ -1,0 +1,174 @@
+//! The 2-stage in-order pipeline (Sodor stand-in).
+//!
+//! Stage IF fetches into an instruction register; stage EXE executes,
+//! accesses memory, and retires — one instruction per cycle apart from the
+//! single bubble after every taken branch (and trap). The only
+//! "speculation" is the not-yet-killed fetch during a branch's EXE cycle,
+//! and the killed instruction never touches memory, so the core is secure
+//! for both contracts — the configuration in which both the paper's scheme
+//! and LEAVE find proofs (Table 2, column "Sodor").
+
+use csl_hdl::{Bit, Design, Init, Word};
+use csl_isa::IsaConfig;
+
+use crate::decode::decode;
+use crate::memsys::{read_dmem, read_imem, SecretMem, SharedMem};
+use crate::ports::{CommitPort, CpuPorts};
+use crate::single_cycle::resolve_load_hdl;
+
+/// Builds the in-order core under the scope `name`.
+///
+/// `stall_fetch` suppresses new fetches (shadow logic drain support);
+/// in-flight work still completes.
+pub fn build_inorder(
+    d: &mut Design,
+    cfg: &IsaConfig,
+    name: &str,
+    shared: &SharedMem,
+    secret: &SecretMem,
+    enable: Bit,
+    stall_fetch: Bit,
+) -> CpuPorts {
+    cfg.validate();
+    d.push_scope(name);
+    let mark = d.reg_mark();
+    let pc = d.reg("pc", cfg.pc_bits(), Init::Zero);
+    let if_valid = d.reg("if_valid", 1, Init::Zero);
+    let if_inst = d.reg("if_inst", cfg.inst_bits(), Init::Zero);
+    let if_pc = d.reg("if_pc", cfg.pc_bits(), Init::Zero);
+    let rf: Vec<_> = (0..cfg.nregs)
+        .map(|r| d.reg(&format!("rf[{r}]"), cfg.xlen, Init::Zero))
+        .collect();
+
+    // ---- EXE stage ---------------------------------------------------------
+    let exe_valid = if_valid.q().bit(0);
+    let dec = decode(d, cfg, &if_inst.q());
+    let rf_words: Vec<Word> = rf.iter().map(|r| r.q()).collect();
+    let v1 = d.select(&dec.rs1, &rf_words);
+    let v2 = d.select(&dec.rs2, &rf_words);
+
+    let (mem_word, exc) = resolve_load_hdl(d, cfg, &v1);
+    let faulted = {
+        let z = d.is_zero(&exc);
+        z.not()
+    };
+    let load_fault = d.all(&[exe_valid, dec.is_ld, faulted]);
+    let load_ok = d.all(&[exe_valid, dec.is_ld, faulted.not()]);
+    let load_data = read_dmem(d, shared, secret, &mem_word);
+
+    let imm_x = d.resize(&dec.imm, cfg.xlen);
+    let sum = d.add(&v1, &v2);
+    let zero_x = d.lit(cfg.xlen, 0);
+    let mut value = d.mux(dec.is_li, &imm_x, &zero_x);
+    value = d.mux(dec.is_add, &sum, &value);
+    if cfg.enable_mul {
+        let prod = d.mul(&v1, &v2);
+        value = d.mux(dec.is_mul, &prod, &value);
+    }
+    value = d.mux(load_ok, &load_data, &value);
+
+    let taken_raw = {
+        let z = d.is_zero(&v1);
+        z.not()
+    };
+    let taken = d.all(&[exe_valid, dec.is_bnz, taken_raw]);
+
+    let writes = d.all(&[exe_valid, dec.has_rd, load_fault.not()]);
+    for (r, reg) in rf.iter().enumerate() {
+        let here = d.eq_const(&dec.rd, r as u64);
+        let we = d.and_bit(writes, here);
+        let nxt = d.mux(we, &value, &reg.q());
+        d.set_next(reg, nxt);
+    }
+
+    // Redirect: taken branch to target, fault to the trap vector. Either
+    // way the instruction currently being fetched is killed (bubble).
+    let redirect = d.or_bit(taken, load_fault);
+    let target = d.resize(&dec.imm, cfg.pc_bits());
+    let trap = d.lit(cfg.pc_bits(), 0);
+    let redirect_pc = d.mux(load_fault, &trap, &target);
+
+    // ---- IF stage ----------------------------------------------------------
+    let fetch_now = d.and_bit(stall_fetch.not(), redirect.not());
+    let fetched = read_imem(d, shared, &pc.q());
+    let next_if_valid = Word::from_bit(fetch_now);
+    d.set_next(&if_valid, next_if_valid);
+    let held_inst = d.mux(fetch_now, &fetched, &if_inst.q());
+    d.set_next(&if_inst, held_inst);
+    let held_pc = d.mux(fetch_now, &pc.q(), &if_pc.q());
+    d.set_next(&if_pc, held_pc);
+
+    let pc1 = d.add_const(&pc.q(), 1);
+    let mut next_pc = d.mux(fetch_now, &pc1, &pc.q());
+    next_pc = d.mux(redirect, &redirect_pc, &next_pc);
+    d.set_next(&pc, next_pc);
+
+    d.gate_regs_since(mark, enable);
+
+    // ---- observation ports --------------------------------------------------
+    let commit_valid = d.and_bit(exe_valid, enable);
+    let zero_a = d.lit(cfg.dmem_bits(), 0);
+    let zero_e = d.lit(2, 0);
+    let commit = CommitPort {
+        valid: commit_valid,
+        pc: if_pc.q(),
+        writes_reg: d.and_bit(writes, enable),
+        value: d.mux(writes, &value, &zero_x),
+        is_load: load_ok,
+        mem_word: d.mux(load_ok, &mem_word, &zero_a),
+        is_branch: d.and_bit(exe_valid, dec.is_bnz),
+        taken,
+        exception: {
+            let ld_exc = d.and_bit(exe_valid, dec.is_ld);
+            d.mux(ld_exc, &exc, &zero_e)
+        },
+        is_mul: d.and_bit(exe_valid, dec.is_mul),
+        mul_a: {
+            let m = d.and_bit(exe_valid, dec.is_mul);
+            d.mux(m, &v1, &zero_x)
+        },
+        mul_b: {
+            let m = d.and_bit(exe_valid, dec.is_mul);
+            d.mux(m, &v2, &zero_x)
+        },
+    };
+    let bus_valid = d.and_bit(load_ok, enable);
+    let ports = CpuPorts {
+        bus_addr: d.mux(bus_valid, &mem_word, &zero_a),
+        bus_valid,
+        commits: vec![commit],
+        inflight: Word::from_bit(exe_valid),
+        resolved: Word::from_bit(commit_valid),
+        exec_fault: {
+            let zero_e = d.lit(2, 0);
+            let ld_exec = d.and_bit(exe_valid, dec.is_ld);
+            let gated = d.and_bit(ld_exec, enable);
+            d.mux(gated, &exc, &zero_e)
+        },
+        secret_words: secret.words.clone(),
+    };
+    ports.add_probes(d);
+    d.pop_scope();
+    ports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_seals() {
+        let cfg = IsaConfig::default();
+        let mut d = Design::new("t");
+        let shared = SharedMem::new(&mut d, &cfg);
+        let secret = SecretMem::new(&mut d, &cfg);
+        let ports = build_inorder(&mut d, &cfg, "ino", &shared, &secret, Bit::TRUE, Bit::FALSE);
+        shared.seal(&mut d);
+        d.assert_always("dummy", Bit::TRUE);
+        let aig = d.finish();
+        // pc + if_valid + if_inst + if_pc + regfile + secret.
+        let expect = 3 + 1 + 11 + 3 + 16 + 8;
+        assert_eq!(aig.num_latches(), 88 + 8 + expect);
+        assert_eq!(ports.commits.len(), 1);
+    }
+}

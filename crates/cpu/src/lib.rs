@@ -1,0 +1,39 @@
+//! `csl-cpu` — processor generators for the Contract Shadow Logic
+//! reproduction.
+//!
+//! Four machines, mirroring the paper's Table 1:
+//!
+//! | paper design | here | builder |
+//! |--------------|------|---------|
+//! | Sodor (2-stage in-order, RV32I) | `InOrder` over MiniISA | [`build_inorder`] |
+//! | SimpleOoO (4-entry ROB + 5 defences) | [`build_ooo`] with [`CpuConfig::simple_ooo`] | [`build_ooo`] |
+//! | Ridecore (8-entry ROB, 2-wide) | [`build_ooo`] with [`CpuConfig::super_ooo`] | [`build_ooo`] |
+//! | BOOM (SmallBoom, exceptions) | [`build_ooo`] with [`CpuConfig::big_ooo`] | [`build_ooo`] |
+//!
+//! plus the single-cycle ISA machine ([`build_single_cycle`]) that the
+//! baseline verification scheme instantiates twice (paper Fig. 1a) and the
+//! Contract Shadow Logic scheme eliminates.
+//!
+//! All generators emit gates into a shared [`csl_hdl::Design`], read the
+//! shared symbolic program/public memory ([`memsys::SharedMem`]), own a
+//! private symbolic secret region, and expose the uniform observation
+//! ports ([`ports::CpuPorts`]) the schemes consume. The [`cosim`] module
+//! checks every generator against the ISA interpreter.
+
+pub mod config;
+pub mod cosim;
+pub mod decode;
+pub mod inorder;
+pub mod memsys;
+pub mod ooo;
+pub mod pick;
+pub mod ports;
+pub mod single_cycle;
+
+pub use config::{CpuConfig, Defense};
+pub use cosim::{build_standalone, check_against_reference, CoreKind, Standalone};
+pub use inorder::build_inorder;
+pub use memsys::{read_dmem, read_imem, SecretMem, SharedMem};
+pub use ooo::build_ooo;
+pub use ports::{CommitPort, CpuPorts};
+pub use single_cycle::build_single_cycle;

@@ -1,0 +1,139 @@
+//! The memory system shared by processor copies.
+//!
+//! Both processor instances of a hyperproperty check run the *same*
+//! program over the *same* public data but *different* secrets (paper §4.1,
+//! §6 step 3). Because MiniISA has no stores, instruction memory and the
+//! public half of data memory are read-only and can be physically shared
+//! between the two copies — which halves the symbolic state and is one of
+//! the scalability levers of the two-machine scheme. Each processor owns a
+//! private symbolic secret region (the upper half of the data address
+//! space, §3).
+
+use csl_hdl::{Design, Init, MemArray, Word};
+use csl_isa::IsaConfig;
+
+/// Read-only memories shared by every machine in a verification instance.
+pub struct SharedMem {
+    /// Encoded-instruction slots, fully symbolic ("all programs", §6).
+    pub imem: MemArray,
+    /// Public data words (the lower half of the address space).
+    pub dmem_pub: MemArray,
+}
+
+impl SharedMem {
+    /// Allocates the shared memories (unsealed; call [`SharedMem::seal`]
+    /// after all readers are built).
+    pub fn new(d: &mut Design, cfg: &IsaConfig) -> SharedMem {
+        let imem = MemArray::new(d, "imem", cfg.imem_size, cfg.inst_bits(), Init::Symbolic);
+        let dmem_pub = MemArray::new(
+            d,
+            "dmem_pub",
+            cfg.dmem_size / 2,
+            cfg.xlen,
+            Init::Symbolic,
+        );
+        SharedMem { imem, dmem_pub }
+    }
+
+    /// Seals both memories as symbolic constants.
+    pub fn seal(self, d: &mut Design) {
+        self.imem.seal_const(d);
+        self.dmem_pub.seal_const(d);
+    }
+}
+
+/// One processor's private secret region.
+pub struct SecretMem {
+    /// Current values of the secret words (symbolic constants).
+    pub words: Vec<Word>,
+}
+
+impl SecretMem {
+    /// Allocates and seals a secret region under the current scope.
+    pub fn new(d: &mut Design, cfg: &IsaConfig) -> SecretMem {
+        let mem = MemArray::new(
+            d,
+            "dmem_sec",
+            cfg.dmem_size / 2,
+            cfg.xlen,
+            Init::Symbolic,
+        );
+        let words = (0..mem.len()).map(|i| mem.word(i)).collect();
+        mem.seal_const(d);
+        SecretMem { words }
+    }
+}
+
+/// Combinational data-memory read: `word_addr` is a word index
+/// (`dmem_bits` wide); the top bit selects the secret region.
+pub fn read_dmem(
+    d: &mut Design,
+    shared: &SharedMem,
+    secret: &SecretMem,
+    word_addr: &Word,
+) -> Word {
+    let db = word_addr.width();
+    let is_secret = word_addr.bit(db - 1);
+    let low = if db == 1 {
+        // Degenerate 2-word memory: one public, one secret word.
+        d.lit(1, 0)
+    } else {
+        word_addr.slice(0, db - 1)
+    };
+    let pub_data = shared.dmem_pub.read(d, &low);
+    let sec_data = select_word(d, &secret.words, &low);
+    d.mux(is_secret, &sec_data, &pub_data)
+}
+
+fn select_word(d: &mut Design, words: &[Word], idx: &Word) -> Word {
+    d.select(idx, words)
+}
+
+/// Fetch: combinational instruction-memory read.
+pub fn read_imem(d: &mut Design, shared: &SharedMem, pc: &Word) -> Word {
+    shared.imem.read(d, pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_shapes() {
+        let cfg = IsaConfig::default();
+        let mut d = Design::new("t");
+        let sm = SharedMem::new(&mut d, &cfg);
+        assert_eq!(sm.imem.len(), 8);
+        assert_eq!(sm.imem.width(), 11);
+        assert_eq!(sm.dmem_pub.len(), 2);
+        d.push_scope("cpu1");
+        let sec = SecretMem::new(&mut d, &cfg);
+        d.pop_scope();
+        assert_eq!(sec.words.len(), 2);
+        let addr = d.lit(cfg.dmem_bits(), 3);
+        let _ = read_dmem(&mut d, &sm, &sec, &addr);
+        sm.seal(&mut d);
+        let aig = d.finish();
+        // 8*11 imem + 2*4 public + 2*4 secret latches.
+        assert_eq!(aig.num_latches(), 88 + 8 + 8);
+        assert!(aig.latches().iter().any(|l| l.name.starts_with("cpu1.dmem_sec")));
+    }
+
+    #[test]
+    fn secret_select_uses_top_bit() {
+        // Constant-fold check: addr 0b10 (word 2) must hit secret word 0.
+        let cfg = IsaConfig::default();
+        let mut d = Design::new("t");
+        let sm = SharedMem::new(&mut d, &cfg);
+        let sec = SecretMem::new(&mut d, &cfg);
+        let addr = d.lit(2, 2);
+        let data = read_dmem(&mut d, &sm, &sec, &addr);
+        assert_eq!(data, sec.words[0]);
+        let addr = d.lit(2, 3);
+        let data = read_dmem(&mut d, &sm, &sec, &addr);
+        assert_eq!(data, sec.words[1]);
+        sm.seal(&mut d);
+        let _ = d.finish();
+    }
+
+}

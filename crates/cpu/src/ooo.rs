@@ -1,0 +1,1009 @@
+//! The out-of-order processor generator.
+//!
+//! One parametric generator covers the paper's three OoO designs:
+//!
+//! * **SimpleOoO** — `rob_size = 4`, 1-wide, no exceptions (+ one of the
+//!   five §7.2 defence policies),
+//! * **SuperOoO** (Ridecore stand-in) — `rob_size = 8`, 2-wide
+//!   fetch/commit,
+//! * **BigOoO** (BOOM stand-in) — exception semantics enabled, so
+//!   mis-speculation arises from *three* sources: branch misprediction,
+//!   misaligned-access faults and illegal-access faults (§7.1.4).
+//!
+//! # Microarchitecture
+//!
+//! A merged fetch/dispatch stage allocates into a circular ROB whose
+//! entries carry operands Tomasulo-style (value or producer tag); a single
+//! ALU and a single memory port execute the oldest ready instruction;
+//! results broadcast on completion; a one-deep commit stage retires in
+//! order, resolving branches and exceptions *at commit* with a full-pipeline
+//! flush. Branch prediction is always-not-taken, so every taken branch is a
+//! misprediction with a speculation window until its commit — the Spectre
+//! source. Loads execute (and, by default, forward) speculatively: the
+//! insecure baseline. Crucially, execution units still fire during the
+//! flush cycle, so a transient load's memory-bus transaction is observable
+//! even though the instruction never commits — exactly the transient side
+//! effect the contracts police.
+//!
+//! The defence policies modify only the issue/forwarding rules (§7.2):
+//! `NoFwd*` suppress result broadcast until commit, `Delay*` hold loads
+//! until they are the oldest in-flight instruction, and `DomSpectre` adds a
+//! single-entry cache with a *blocking* memory port — speculative hits
+//! complete invisibly, tainted misses hold the port (the speculative-
+//! interference leak the paper cites as DoM's known vulnerability).
+
+use csl_hdl::{Bit, Design, Init, Reg, Word};
+
+use crate::config::{CpuConfig, Defense};
+use crate::decode::{decode, Decoded};
+use crate::memsys::{read_dmem, read_imem, SecretMem, SharedMem};
+use crate::pick::{onehot_encode, onehot_mux, pick_oldest, pick_oldest2, Grant};
+use crate::ports::{CommitPort, CpuPorts};
+use crate::single_cycle::resolve_load_hdl;
+
+/// Registers of one ROB entry.
+struct EntryRegs {
+    busy: Reg,
+    op: Reg,
+    rd: Reg,
+    imm: Reg,
+    pc: Reg,
+    q1b: Reg,
+    q1t: Reg,
+    v1: Reg,
+    q2b: Reg,
+    q2t: Reg,
+    v2: Reg,
+    done: Reg,
+    value: Reg,
+    mem_word: Reg,
+    exc: Reg,
+    taken: Reg,
+    tainted: Reg,
+}
+
+/// A value broadcast channel (completion or commit).
+#[derive(Clone)]
+struct Bcast {
+    valid: Bit,
+    tag: Word,
+    value: Word,
+}
+
+/// One commit-stage slot's registers.
+struct CpRegs {
+    valid: Reg,
+    tag: Reg,
+    pc: Reg,
+    rd: Reg,
+    value: Reg,
+    mem_word: Reg,
+    exc: Reg,
+    taken: Reg,
+    is_ld: Reg,
+    is_bnz: Reg,
+    has_rd: Reg,
+    target: Reg,
+    /// Present only with the multiply extension: the retiring instruction's
+    /// operand values and MUL flag, for constant-time FU observations.
+    mul: Option<(Reg, Reg, Reg)>,
+}
+
+/// Builds an out-of-order core under the scope `name`.
+///
+/// `enable` gates every register (the shadow pause); `stall_fetch`
+/// suppresses dispatch of new instructions (shadow drain support).
+pub fn build_ooo(
+    d: &mut Design,
+    cfg: &CpuConfig,
+    name: &str,
+    shared: &SharedMem,
+    secret: &SecretMem,
+    enable: Bit,
+    stall_fetch: Bit,
+) -> CpuPorts {
+    cfg.validate();
+    let isa = &cfg.isa;
+    let r = cfg.rob_size;
+    let rw = cfg.rob_bits();
+    let xlen = isa.xlen;
+    let db = isa.dmem_bits();
+    let cntw = cfg.count_bits();
+    let width = cfg.width;
+    let dom = cfg.defense == Defense::DomSpectre;
+
+    d.push_scope(name);
+    let mark = d.reg_mark();
+
+    // ---- state ---------------------------------------------------------
+    let pc = d.reg("pc", isa.pc_bits(), Init::Zero);
+    let rf: Vec<Reg> = (0..isa.nregs)
+        .map(|i| d.reg(&format!("rf[{i}]"), xlen, Init::Zero))
+        .collect();
+    let rs_busy: Vec<Reg> = (0..isa.nregs)
+        .map(|i| d.reg(&format!("rs_busy[{i}]"), 1, Init::Zero))
+        .collect();
+    let rs_tag: Vec<Reg> = (0..isa.nregs)
+        .map(|i| d.reg(&format!("rs_tag[{i}]"), rw, Init::Zero))
+        .collect();
+    let head = d.reg("head", rw, Init::Zero);
+    let count = d.reg("count", cntw, Init::Zero);
+    let entries: Vec<EntryRegs> = (0..r)
+        .map(|e| {
+            d.push_scope(format!("rob{e}"));
+            let er = EntryRegs {
+                busy: d.reg("busy", 1, Init::Zero),
+                op: d.reg("op", 3, Init::Zero),
+                rd: d.reg("rd", isa.reg_bits(), Init::Zero),
+                imm: d.reg("imm", isa.imm_bits(), Init::Zero),
+                pc: d.reg("pc", isa.pc_bits(), Init::Zero),
+                q1b: d.reg("q1b", 1, Init::Zero),
+                q1t: d.reg("q1t", rw, Init::Zero),
+                v1: d.reg("v1", xlen, Init::Zero),
+                q2b: d.reg("q2b", 1, Init::Zero),
+                q2t: d.reg("q2t", rw, Init::Zero),
+                v2: d.reg("v2", xlen, Init::Zero),
+                done: d.reg("done", 1, Init::Zero),
+                value: d.reg("value", xlen, Init::Zero),
+                mem_word: d.reg("mem_word", db, Init::Zero),
+                exc: d.reg("exc", 2, Init::Zero),
+                taken: d.reg("taken", 1, Init::Zero),
+                tainted: d.reg("tainted", 1, Init::Zero),
+            };
+            d.pop_scope();
+            er
+        })
+        .collect();
+    let cps: Vec<CpRegs> = (0..width)
+        .map(|i| {
+            d.push_scope(format!("cp{i}"));
+            let cp = CpRegs {
+                valid: d.reg("valid", 1, Init::Zero),
+                tag: d.reg("tag", rw, Init::Zero),
+                pc: d.reg("pc", isa.pc_bits(), Init::Zero),
+                rd: d.reg("rd", isa.reg_bits(), Init::Zero),
+                value: d.reg("value", xlen, Init::Zero),
+                mem_word: d.reg("mem_word", db, Init::Zero),
+                exc: d.reg("exc", 2, Init::Zero),
+                taken: d.reg("taken", 1, Init::Zero),
+                is_ld: d.reg("is_ld", 1, Init::Zero),
+                is_bnz: d.reg("is_bnz", 1, Init::Zero),
+                has_rd: d.reg("has_rd", 1, Init::Zero),
+                target: d.reg("target", isa.pc_bits(), Init::Zero),
+                mul: isa.enable_mul.then(|| {
+                    (
+                        d.reg("is_mul", 1, Init::Zero),
+                        d.reg("mul_a", xlen, Init::Zero),
+                        d.reg("mul_b", xlen, Init::Zero),
+                    )
+                }),
+            };
+            d.pop_scope();
+            cp
+        })
+        .collect();
+    // DoM-only state.
+    let cache_valid = dom.then(|| d.reg("cache.valid", 1, Init::Zero));
+    let cache_tag = dom.then(|| d.reg("cache.tag", db, Init::Zero));
+    let cache_data = dom.then(|| d.reg("cache.data", xlen, Init::Zero));
+    let port_busy = dom.then(|| d.reg("port.busy", 1, Init::Zero));
+    let port_tag = dom.then(|| d.reg("port.tag", rw, Init::Zero));
+    let port_ctr = dom.then(|| d.reg("port.ctr", 2, Init::Zero));
+
+    // ---- convenient field views -----------------------------------------
+    let e_busy: Vec<Bit> = entries.iter().map(|e| e.busy.q().bit(0)).collect();
+    let e_done: Vec<Bit> = entries.iter().map(|e| e.done.q().bit(0)).collect();
+    let e_op: Vec<Word> = entries.iter().map(|e| e.op.q()).collect();
+    let e_v1: Vec<Word> = entries.iter().map(|e| e.v1.q()).collect();
+    let e_v2: Vec<Word> = entries.iter().map(|e| e.v2.q()).collect();
+    let e_q1b: Vec<Bit> = entries.iter().map(|e| e.q1b.q().bit(0)).collect();
+    let e_q2b: Vec<Bit> = entries.iter().map(|e| e.q2b.q().bit(0)).collect();
+    let e_tainted: Vec<Bit> = entries.iter().map(|e| e.tainted.q().bit(0)).collect();
+    let e_is_ld: Vec<Bit> = e_op
+        .iter()
+        .map(|op| d.eq_const(op, csl_isa::opcode::LD as u64))
+        .collect();
+    let e_is_bnz: Vec<Bit> = e_op
+        .iter()
+        .map(|op| d.eq_const(op, csl_isa::opcode::BNZ as u64))
+        .collect();
+    let e_is_li: Vec<Bit> = e_op
+        .iter()
+        .map(|op| d.eq_const(op, csl_isa::opcode::LI as u64))
+        .collect();
+    let e_is_add: Vec<Bit> = e_op
+        .iter()
+        .map(|op| d.eq_const(op, csl_isa::opcode::ADD as u64))
+        .collect();
+    let e_is_mul: Vec<Bit> = if isa.enable_mul {
+        e_op.iter()
+            .map(|op| d.eq_const(op, csl_isa::opcode::MUL as u64))
+            .collect()
+    } else {
+        vec![Bit::FALSE; r]
+    };
+    let e_has_rd: Vec<Bit> = (0..r)
+        .map(|e| d.any(&[e_is_li[e], e_is_add[e], e_is_ld[e], e_is_mul[e]]))
+        .collect();
+    let e_at_head: Vec<Bit> = (0..r).map(|e| d.eq_const(&head.q(), e as u64)).collect();
+
+    // ---- commit stage ----------------------------------------------------
+    let cp_valid: Vec<Bit> = cps.iter().map(|c| c.valid.q().bit(0)).collect();
+    let any_cp_valid = d.any(&cp_valid);
+    let cp_redirect: Vec<Bit> = cps
+        .iter()
+        .map(|c| {
+            let br = d.and_bit(c.is_bnz.q().bit(0), c.taken.q().bit(0));
+            let exc_nz = {
+                let z = d.is_zero(&c.exc.q());
+                z.not()
+            };
+            let redir = d.or_bit(br, exc_nz);
+            d.and_bit(c.valid.q().bit(0), redir)
+        })
+        .collect();
+    let flush = d.any(&cp_redirect);
+    // Redirect PC: oldest redirecting slot wins (younger slot is only valid
+    // if the older one does not redirect, so at most one fires).
+    let trap = d.lit(isa.pc_bits(), 0);
+    let mut redirect_pc = trap.clone();
+    for (i, c) in cps.iter().enumerate().rev() {
+        let exc_nz = {
+            let z = d.is_zero(&c.exc.q());
+            z.not()
+        };
+        let tgt = d.mux(exc_nz, &trap, &c.target.q());
+        redirect_pc = d.mux(cp_redirect[i], &tgt, &redirect_pc);
+    }
+    // Register-file writes and commit broadcasts.
+    let commit_writes: Vec<Bit> = cps
+        .iter()
+        .map(|c| {
+            let exc_z = d.is_zero(&c.exc.q());
+            d.all(&[c.valid.q().bit(0), c.has_rd.q().bit(0), exc_z])
+        })
+        .collect();
+    let mut bcasts: Vec<Bcast> = cps
+        .iter()
+        .zip(&commit_writes)
+        .map(|(c, &w)| Bcast {
+            valid: w,
+            tag: c.tag.q(),
+            value: c.value.q(),
+        })
+        .collect();
+
+    // ---- execute: ALU(s) ---------------------------------------------------
+    let alu_ready: Vec<Bit> = (0..r)
+        .map(|e| {
+            let srcs_ok = d.and_bit(e_q1b[e].not(), e_q2b[e].not());
+            let alu_class = e_is_ld[e].not();
+            d.all(&[e_busy[e], e_done[e].not(), alu_class, srcs_ok])
+        })
+        .collect();
+    let alu_grants: Vec<Grant> = if width == 2 {
+        let (g1, g2) = pick_oldest2(d, &alu_ready, &head.q());
+        vec![g1, g2]
+    } else {
+        vec![pick_oldest(d, &alu_ready, &head.q())]
+    };
+    struct AluResult {
+        grant: Grant,
+        value: Word,
+        taken: Bit,
+    }
+    let alu_results: Vec<AluResult> = alu_grants
+        .into_iter()
+        .map(|grant| {
+            let v1 = onehot_mux(d, &grant.onehot, &e_v1);
+            let v2 = onehot_mux(d, &grant.onehot, &e_v2);
+            let imm = {
+                let imms: Vec<Word> = entries.iter().map(|e| e.imm.q()).collect();
+                onehot_mux(d, &grant.onehot, &imms)
+            };
+            let is_li = onehot_mux_bit(d, &grant.onehot, &e_is_li);
+            let is_add = onehot_mux_bit(d, &grant.onehot, &e_is_add);
+            let sum = d.add(&v1, &v2);
+            let imm_x = d.resize(&imm, xlen);
+            let zero_x = d.lit(xlen, 0);
+            let mut value = d.mux(is_li, &imm_x, &zero_x);
+            value = d.mux(is_add, &sum, &value);
+            if isa.enable_mul {
+                let is_mul = onehot_mux_bit(d, &grant.onehot, &e_is_mul);
+                let prod = d.mul(&v1, &v2);
+                value = d.mux(is_mul, &prod, &value);
+            }
+            let taken = {
+                let z = d.is_zero(&v1);
+                z.not()
+            };
+            AluResult { grant, value, taken }
+        })
+        .collect();
+    for ar in &alu_results {
+        bcasts.push(Bcast {
+            valid: ar.grant.any,
+            tag: onehot_encode(d, &ar.grant.onehot, rw),
+            value: ar.value.clone(),
+        });
+    }
+
+    // ---- execute: memory -----------------------------------------------------
+    // Per-entry load-issue permission, per the defence policy (§7.2).
+    let oldest_inflight: Vec<Bit> = (0..r)
+        .map(|e| d.and_bit(e_at_head[e], any_cp_valid.not()))
+        .collect();
+    let issue_ok: Vec<Bit> = (0..r)
+        .map(|e| match cfg.defense {
+            Defense::None | Defense::NoFwdFuturistic | Defense::NoFwdSpectre => Bit::TRUE,
+            Defense::DelayFuturistic => oldest_inflight[e],
+            Defense::DelaySpectre => d.or_bit(e_tainted[e].not(), oldest_inflight[e]),
+            // DoM always lets loads reach the port; the miss path is gated
+            // inside the port logic instead.
+            Defense::DomSpectre => Bit::TRUE,
+        })
+        .collect();
+    let ld_ready: Vec<Bit> = (0..r)
+        .map(|e| {
+            d.all(&[
+                e_busy[e],
+                e_done[e].not(),
+                e_is_ld[e],
+                e_q1b[e].not(),
+                issue_ok[e],
+            ])
+        })
+        .collect();
+
+    // Load completion signals, filled by one of the two memory models.
+    let ld_done_here: Vec<Bit>;
+    let ld_value: Word;
+    let ld_word: Word;
+    let ld_exc: Word;
+    let bus_valid_raw: Bit;
+    let bus_addr_raw: Word;
+    let ld_bcast_tag: Word;
+    let ld_bcast_valid_raw: Bit;
+    let exec_fault_raw: Word;
+
+    if !dom {
+        // Simple model: the granted load completes combinationally.
+        let grant = pick_oldest(d, &ld_ready, &head.q());
+        let v1 = onehot_mux(d, &grant.onehot, &e_v1);
+        let (word, exc) = resolve_load_hdl(d, isa, &v1);
+        let data = read_dmem(d, shared, secret, &word);
+        ld_done_here = grant.onehot.clone();
+        ld_value = data;
+        ld_word = word.clone();
+        ld_exc = exc;
+        bus_valid_raw = grant.any;
+        bus_addr_raw = word;
+        ld_bcast_tag = onehot_encode(d, &grant.onehot, rw);
+        exec_fault_raw = {
+            let zero_e = d.lit(2, 0);
+            d.mux(grant.any, &ld_exc, &zero_e)
+        };
+        // Forwarding policy: NoFwd* suppress the completion broadcast; the
+        // value reaches consumers only through the commit broadcast.
+        let tainted_pick = onehot_mux_bit(d, &grant.onehot, &e_tainted);
+        ld_bcast_valid_raw = match cfg.defense {
+            Defense::NoFwdFuturistic => Bit::FALSE,
+            Defense::NoFwdSpectre => d.and_bit(grant.any, tainted_pick.not()),
+            _ => grant.any,
+        };
+    } else {
+        // DoM model: a blocking single-load port in front of a one-entry
+        // cache. Grabbing is registered; hits complete in one active cycle
+        // with no bus transaction; allowed misses put the address on the
+        // bus and fill for three cycles; tainted misses hold the port.
+        let pbusy = port_busy.as_ref().unwrap().q().bit(0);
+        let ptag = port_tag.as_ref().unwrap().q();
+        let pctr = port_ctr.as_ref().unwrap().q();
+        let cvalid = cache_valid.as_ref().unwrap().q().bit(0);
+        let ctag = cache_tag.as_ref().unwrap().q();
+        let cdata = cache_data.as_ref().unwrap().q();
+
+        let port_onehot: Vec<Bit> = (0..r)
+            .map(|e| {
+                let here = d.eq_const(&ptag, e as u64);
+                d.and_bit(pbusy, here)
+            })
+            .collect();
+        let v1p = onehot_mux(d, &port_onehot, &e_v1);
+        let (word, exc) = resolve_load_hdl(d, isa, &v1p);
+        let hit = {
+            let same = d.eq(&ctag, &word);
+            d.and_bit(cvalid, same)
+        };
+        let tainted_p = onehot_mux_bit(d, &port_onehot, &e_tainted);
+        let oldest_p = onehot_mux_bit(d, &port_onehot, &oldest_inflight);
+        let miss_allowed = d.or_bit(tainted_p.not(), oldest_p);
+        let miss = hit.not();
+        let ctr_zero = d.is_zero(&pctr);
+        let fill_start = d.all(&[pbusy, miss, miss_allowed, ctr_zero]);
+        let filling = d.and_bit(pbusy, ctr_zero.not());
+        let fill_done = {
+            let at2 = d.eq_const(&pctr, 2);
+            d.and_bit(pbusy, at2)
+        };
+        let mem_data = read_dmem(d, shared, secret, &word);
+        let complete = {
+            let h = d.and_bit(pbusy, hit);
+            d.or_bit(h, fill_done)
+        };
+        ld_done_here = port_onehot
+            .iter()
+            .map(|&oh| d.and_bit(oh, complete))
+            .collect();
+        ld_value = d.mux(hit, &cdata, &mem_data);
+        ld_word = word.clone();
+        ld_exc = exc; // zero: DoM configs are exception-free
+        bus_valid_raw = fill_start;
+        bus_addr_raw = word.clone();
+        ld_bcast_tag = ptag.clone();
+        ld_bcast_valid_raw = complete;
+        exec_fault_raw = d.lit(2, 0);
+
+        // Port grab: when free, take the oldest ready un-ported load.
+        let grab = pick_oldest(d, &ld_ready, &head.q());
+        let grab_now = d.and_bit(pbusy.not(), grab.any);
+        let grab_tag = onehot_encode(d, &grab.onehot, rw);
+        let release = complete;
+        let next_pbusy = {
+            let stay = d.and_bit(pbusy, release.not());
+            let started = d.or_bit(stay, grab_now);
+            d.and_bit(started, flush.not())
+        };
+        d.set_next(port_busy.as_ref().unwrap(), Word::from_bit(next_pbusy));
+        let next_ptag = d.mux(grab_now, &grab_tag, &ptag);
+        d.set_next(port_tag.as_ref().unwrap(), next_ptag);
+        let ctr1 = d.add_const(&pctr, 1);
+        let zero2 = d.lit(2, 0);
+        let one2 = d.lit(2, 1);
+        let mut next_ctr = d.mux(filling, &ctr1, &pctr);
+        next_ctr = d.mux(fill_start, &one2, &next_ctr);
+        next_ctr = d.mux(release, &zero2, &next_ctr);
+        next_ctr = d.mux(grab_now, &zero2, &next_ctr);
+        let fl_ctr = d.mux(flush, &zero2, &next_ctr);
+        d.set_next(port_ctr.as_ref().unwrap(), fl_ctr);
+        // Cache fill on completed misses (bound-to-commit loads only, since
+        // tainted misses never complete before squash).
+        let next_cv = d.or_bit(cvalid, fill_done);
+        d.set_next(cache_valid.as_ref().unwrap(), Word::from_bit(next_cv));
+        let next_ct = d.mux(fill_done, &word, &ctag);
+        d.set_next(cache_tag.as_ref().unwrap(), next_ct);
+        let next_cd = d.mux(fill_done, &mem_data, &cdata);
+        d.set_next(cache_data.as_ref().unwrap(), next_cd);
+    }
+    bcasts.push(Bcast {
+        valid: ld_bcast_valid_raw,
+        tag: ld_bcast_tag,
+        value: ld_value.clone(),
+    });
+
+    // ---- dispatch ------------------------------------------------------------
+    let tainted_base = {
+        let brs: Vec<Bit> = (0..r).map(|e| d.and_bit(e_busy[e], e_is_bnz[e])).collect();
+        d.any(&brs)
+    };
+    let tail = {
+        let head_x = d.resize(&head.q(), cntw);
+        let sum = d.add(&head_x, &count.q());
+        d.resize(&sum, rw)
+    };
+    struct DispatchSlot {
+        go: Bit,
+        alloc: Word,
+        dec: Decoded,
+        pc: Word,
+        tainted: Bit,
+        q1b: Bit,
+        q1t: Word,
+        v1: Word,
+        q2b: Bit,
+        q2t: Word,
+        v2: Word,
+    }
+    let mut slots: Vec<DispatchSlot> = Vec::new();
+    for s in 0..width {
+        let fetch_pc = if s == 0 {
+            pc.q()
+        } else {
+            d.add_const(&pc.q(), s as u64)
+        };
+        let inst = read_imem(d, shared, &fetch_pc);
+        let dec = decode(d, isa, &inst);
+        let room = {
+            // count + s < r
+            let lim = d.lit(cntw, (r - s) as u64);
+            d.ult(&count.q(), &lim)
+        };
+        let mut go = d.all(&[stall_fetch.not(), flush.not(), room]);
+        if s > 0 {
+            go = d.and_bit(go, slots[s - 1].go);
+        }
+        let alloc = if s == 0 {
+            tail.clone()
+        } else {
+            d.add_const(&tail, s as u64)
+        };
+        let mut tainted = tainted_base;
+        for prev in slots.iter().take(s) {
+            tainted = d.or_bit(tainted, prev.dec.is_bnz);
+        }
+        // Source lookup for rs1/rs2: register file / register status / ROB
+        // (respecting the forwarding policy), then this cycle's broadcasts,
+        // then intra-group producers (which must win over stale broadcasts
+        // that may reuse a freed ROB tag this very cycle).
+        let views: Vec<DispatchSlotView> = slots
+            .iter()
+            .map(|sl| DispatchSlotView {
+                go: sl.go,
+                alloc: sl.alloc.clone(),
+                rd: sl.dec.rd.clone(),
+                has_rd: sl.dec.has_rd,
+            })
+            .collect();
+        let resolve_src = |d: &mut Design, rs: &Word, uses: Bit| -> (Bit, Word, Word) {
+            let (qb0, qt0, v0) = lookup_source(
+                d, cfg, rs, uses, &rf, &rs_busy, &rs_tag, &entries, &e_busy, &e_done, &e_is_ld,
+                &e_tainted,
+            );
+            let ((mut qb, mut qt), mut v) = resolve_operand(d, qb0, &qt0, &v0, &bcasts);
+            for view in &views {
+                let same = d.eq(&view.rd, rs);
+                let hit = d.all(&[uses, view.go, view.has_rd, same]);
+                qb = d.or_bit(qb, hit);
+                qt = d.mux(hit, &view.alloc, &qt);
+                let zero_v = d.lit(xlen, 0);
+                v = d.mux(hit, &zero_v, &v);
+            }
+            (qb, qt, v)
+        };
+        let (q1b, q1t, v1) = resolve_src(d, &dec.rs1, dec.uses_rs1);
+        let (q2b, q2t, v2) = resolve_src(d, &dec.rs2, dec.uses_rs2);
+        slots.push(DispatchSlot {
+            go,
+            alloc,
+            dec,
+            pc: fetch_pc,
+            tainted,
+            q1b,
+            q1t,
+            v1,
+            q2b,
+            q2t,
+            v2,
+        });
+    }
+
+    // ---- commit-stage latch ----------------------------------------------------
+    // Slot i latches ROB[head + i] when it is done and no older slot (this
+    // cycle or in the commit stage) redirects.
+    let mut latch: Vec<Bit> = Vec::new();
+    let mut latch_idx: Vec<Word> = Vec::new();
+    for i in 0..width {
+        let idx = if i == 0 {
+            head.q()
+        } else {
+            d.add_const(&head.q(), i as u64)
+        };
+        let oh: Vec<Bit> = (0..r).map(|e| d.eq_const(&idx, e as u64)).collect();
+        let busy_i = onehot_mux_bit(d, &oh, &e_busy);
+        let done_i = onehot_mux_bit(d, &oh, &e_done);
+        let mut go = d.all(&[busy_i, done_i, flush.not()]);
+        if i > 0 {
+            // Older slot must also latch, and must not be a redirect.
+            let older_oh: Vec<Bit> = (0..r)
+                .map(|e| d.eq_const(&latch_idx[i - 1], e as u64))
+                .collect();
+            let older_bnz_taken = {
+                let b = onehot_mux_bit(d, &older_oh, &e_is_bnz);
+                let t: Vec<Bit> = entries.iter().map(|e| e.taken.q().bit(0)).collect();
+                let tk = onehot_mux_bit(d, &older_oh, &t);
+                d.and_bit(b, tk)
+            };
+            let older_exc = {
+                let excs: Vec<Word> = entries.iter().map(|e| e.exc.q()).collect();
+                let x = onehot_mux(d, &older_oh, &excs);
+                let z = d.is_zero(&x);
+                z.not()
+            };
+            let older_redirects = d.or_bit(older_bnz_taken, older_exc);
+            go = d.all(&[go, latch[i - 1], older_redirects.not()]);
+        }
+        latch.push(go);
+        latch_idx.push(idx);
+    }
+    for (i, cp) in cps.iter().enumerate() {
+        let oh: Vec<Bit> = (0..r).map(|e| d.eq_const(&latch_idx[i], e as u64)).collect();
+        let field = |d: &mut Design, f: &dyn Fn(&EntryRegs) -> Word| -> Word {
+            let ws: Vec<Word> = entries.iter().map(f).collect();
+            onehot_mux(d, &oh, &ws)
+        };
+        d.set_next(&cp.valid, Word::from_bit(latch[i]));
+        let tagw = latch_idx[i].clone();
+        d.set_next(&cp.tag, tagw);
+        let f_pc = field(d, &|e| e.pc.q());
+        d.set_next(&cp.pc, f_pc);
+        let f_rd = field(d, &|e| e.rd.q());
+        d.set_next(&cp.rd, f_rd);
+        let f_value = field(d, &|e| e.value.q());
+        d.set_next(&cp.value, f_value);
+        let f_word = field(d, &|e| e.mem_word.q());
+        d.set_next(&cp.mem_word, f_word);
+        let f_exc = field(d, &|e| e.exc.q());
+        d.set_next(&cp.exc, f_exc);
+        let f_taken = field(d, &|e| e.taken.q());
+        d.set_next(&cp.taken, f_taken);
+        let isld = onehot_mux_bit(d, &oh, &e_is_ld);
+        d.set_next(&cp.is_ld, Word::from_bit(isld));
+        let isbnz = onehot_mux_bit(d, &oh, &e_is_bnz);
+        d.set_next(&cp.is_bnz, Word::from_bit(isbnz));
+        let hasrd = onehot_mux_bit(d, &oh, &e_has_rd);
+        d.set_next(&cp.has_rd, Word::from_bit(hasrd));
+        let tgt = {
+            let imms: Vec<Word> = entries.iter().map(|e| e.imm.q()).collect();
+            let imm = onehot_mux(d, &oh, &imms);
+            d.resize(&imm, isa.pc_bits())
+        };
+        d.set_next(&cp.target, tgt);
+        if let Some((is_mul_r, a_r, b_r)) = &cp.mul {
+            let ismul = onehot_mux_bit(d, &oh, &e_is_mul);
+            d.set_next(is_mul_r, Word::from_bit(ismul));
+            let f_v1 = field(d, &|e| e.v1.q());
+            d.set_next(a_r, f_v1);
+            let f_v2 = field(d, &|e| e.v2.q());
+            d.set_next(b_r, f_v2);
+        }
+    }
+
+    // ---- architectural state updates ---------------------------------------------
+    // Register file: older commit slot first so the younger wins conflicts.
+    for (ri, reg) in rf.iter().enumerate() {
+        let mut nxt = reg.q();
+        for (ci, cp) in cps.iter().enumerate() {
+            let here = d.eq_const(&cp.rd.q(), ri as u64);
+            let we = d.and_bit(commit_writes[ci], here);
+            nxt = d.mux(we, &cp.value.q(), &nxt);
+        }
+        d.set_next(reg, nxt);
+    }
+    // Register status: set by dispatch (youngest wins), cleared by commit
+    // of the matching producer, cleared wholesale on flush.
+    for ri in 0..isa.nregs {
+        let mut busy_n = rs_busy[ri].q().bit(0);
+        let mut tag_n = rs_tag[ri].q();
+        for (ci, cp) in cps.iter().enumerate() {
+            let same_reg = d.eq_const(&cp.rd.q(), ri as u64);
+            let same_tag = d.eq(&rs_tag[ri].q(), &cp.tag.q());
+            let clear = d.all(&[commit_writes[ci], same_reg, same_tag]);
+            busy_n = d.and_bit(busy_n, clear.not());
+        }
+        for slot in &slots {
+            let here = d.eq_const(&slot.dec.rd, ri as u64);
+            let set = d.all(&[slot.go, slot.dec.has_rd, here]);
+            busy_n = d.or_bit(busy_n, set);
+            tag_n = d.mux(set, &slot.alloc, &tag_n);
+        }
+        busy_n = d.and_bit(busy_n, flush.not());
+        d.set_next(&rs_busy[ri], Word::from_bit(busy_n));
+        d.set_next(&rs_tag[ri], tag_n);
+    }
+
+    // ---- pointer/counter updates ------------------------------------------------
+    let dispatched = {
+        let gos: Vec<Bit> = slots.iter().map(|s| s.go).collect();
+        popcount(d, &gos, cntw)
+    };
+    let left = {
+        let ls: Vec<Bit> = latch.clone();
+        popcount(d, &ls, cntw)
+    };
+    let commits_now = {
+        let vs: Vec<Bit> = cp_valid.clone();
+        popcount(d, &vs, cntw)
+    };
+    let next_head = {
+        let left_rw = d.resize(&left, rw);
+        let h = d.add(&head.q(), &left_rw);
+        let zero_h = d.lit(rw, 0);
+        d.mux(flush, &zero_h, &h)
+    };
+    d.set_next(&head, next_head);
+    let next_count = {
+        let up = d.add(&count.q(), &dispatched);
+        let dn = d.sub(&up, &left);
+        let zero_c = d.lit(cntw, 0);
+        d.mux(flush, &zero_c, &dn)
+    };
+    d.set_next(&count, next_count);
+    let next_pc = {
+        let adv = d.resize(&dispatched, isa.pc_bits());
+        let p = d.add(&pc.q(), &adv);
+        d.mux(flush, &redirect_pc, &p)
+    };
+    d.set_next(&pc, next_pc);
+
+    // ---- ROB entry next-state -------------------------------------------------------
+    for (e, er) in entries.iter().enumerate() {
+        // Execution updates.
+        let mut done_n = er.done.q().bit(0);
+        let mut value_n = er.value.q();
+        let mut taken_n = er.taken.q().bit(0);
+        let mut word_n = er.mem_word.q();
+        let mut exc_n = er.exc.q();
+        for ar in &alu_results {
+            let g = ar.grant.onehot[e];
+            done_n = d.or_bit(done_n, g);
+            value_n = d.mux(g, &ar.value, &value_n);
+            let tk = d.and_bit(ar.taken, e_is_bnz[e]);
+            let tk_sel = d.mux_bit(g, tk, taken_n);
+            taken_n = tk_sel;
+        }
+        {
+            let g = ld_done_here[e];
+            done_n = d.or_bit(done_n, g);
+            value_n = d.mux(g, &ld_value, &value_n);
+            word_n = d.mux(g, &ld_word, &word_n);
+            exc_n = d.mux(g, &ld_exc, &exc_n);
+        }
+        // Broadcast resolution on waiting operands.
+        let (q1b_n, v1_n) = resolve_operand(d, er.q1b.q().bit(0), &er.q1t.q(), &er.v1.q(), &bcasts);
+        let (q2b_n, v2_n) = resolve_operand(d, er.q2b.q().bit(0), &er.q2t.q(), &er.v2.q(), &bcasts);
+
+        // Leaving (latched into the commit stage) or being allocated.
+        let mut leave = Bit::FALSE;
+        for i in 0..width {
+            let here = d.eq_const(&latch_idx[i], e as u64);
+            let l = d.and_bit(latch[i], here);
+            leave = d.or_bit(leave, l);
+        }
+        let mut disp_here = Bit::FALSE;
+        for slot in &slots {
+            let here = d.eq_const(&slot.alloc, e as u64);
+            let g = d.and_bit(slot.go, here);
+            disp_here = d.or_bit(disp_here, g);
+        }
+
+        let busy_after = {
+            let b = er.busy.q().bit(0);
+            let stay = d.and_bit(b, leave.not());
+            let set = d.or_bit(stay, disp_here);
+            d.and_bit(set, flush.not())
+        };
+        d.set_next(&er.busy, Word::from_bit(busy_after));
+
+        // Field updates: dispatch overrides execution/broadcast updates.
+        let set_field = |d: &mut Design,
+                         reg: &Reg,
+                         updated: &Word,
+                         new: &dyn Fn(&DispatchSlot, &mut Design) -> Word| {
+            let mut v = updated.clone();
+            for slot in &slots {
+                let here = d.eq_const(&slot.alloc, e as u64);
+                let g = d.and_bit(slot.go, here);
+                let nv = new(slot, d);
+                v = d.mux(g, &nv, &v);
+            }
+            d.set_next(reg, v);
+        };
+        set_field(d, &er.op, &er.op.q(), &|s, _| s.dec.op.clone());
+        set_field(d, &er.rd, &er.rd.q(), &|s, _| s.dec.rd.clone());
+        set_field(d, &er.imm, &er.imm.q(), &|s, _| s.dec.imm.clone());
+        set_field(d, &er.pc, &er.pc.q(), &|s, _| s.pc.clone());
+        set_field(d, &er.q1t, &q1b_n.1, &|s, _| s.q1t.clone());
+        set_field(d, &er.v1, &v1_n, &|s, _| s.v1.clone());
+        set_field(d, &er.q2t, &q2b_n.1, &|s, _| s.q2t.clone());
+        set_field(d, &er.v2, &v2_n, &|s, _| s.v2.clone());
+        set_field(d, &er.value, &value_n, &|_, d| d.lit(xlen, 0));
+        set_field(d, &er.mem_word, &word_n, &|_, d| d.lit(db, 0));
+        set_field(d, &er.exc, &exc_n, &|_, d| d.lit(2, 0));
+        let taken_w = Word::from_bit(taken_n);
+        set_field(d, &er.taken, &taken_w, &|_, d| d.lit(1, 0));
+        let done_w = Word::from_bit(done_n);
+        set_field(d, &er.done, &done_w, &|_, d| d.lit(1, 0));
+        let tainted_w = er.tainted.q();
+        set_field(d, &er.tainted, &tainted_w, &|s, _| Word::from_bit(s.tainted));
+        let q1b_w = Word::from_bit(q1b_n.0);
+        set_field(d, &er.q1b, &q1b_w, &|s, _| Word::from_bit(s.q1b));
+        let q2b_w = Word::from_bit(q2b_n.0);
+        set_field(d, &er.q2b, &q2b_w, &|s, _| Word::from_bit(s.q2b));
+    }
+
+    d.gate_regs_since(mark, enable);
+
+    // ---- observation ports -----------------------------------------------------------
+    let zero_x = d.lit(xlen, 0);
+    let zero_a = d.lit(db, 0);
+    let commits: Vec<CommitPort> = cps
+        .iter()
+        .enumerate()
+        .map(|(i, cp)| {
+            let valid = d.and_bit(cp_valid[i], enable);
+            let exc_z = d.is_zero(&cp.exc.q());
+            let load_ok = d.all(&[valid, cp.is_ld.q().bit(0), exc_z]);
+            CommitPort {
+                valid,
+                pc: cp.pc.q(),
+                writes_reg: d.and_bit(commit_writes[i], enable),
+                value: {
+                    let w = d.and_bit(commit_writes[i], enable);
+                    d.mux(w, &cp.value.q(), &zero_x)
+                },
+                is_load: load_ok,
+                mem_word: d.mux(load_ok, &cp.mem_word.q(), &zero_a),
+                is_branch: d.and_bit(valid, cp.is_bnz.q().bit(0)),
+                taken: d.all(&[valid, cp.is_bnz.q().bit(0), cp.taken.q().bit(0)]),
+                exception: {
+                    let zero_e = d.lit(2, 0);
+                    d.mux(valid, &cp.exc.q(), &zero_e)
+                },
+                is_mul: cp
+                    .mul
+                    .as_ref()
+                    .map(|(m, _, _)| {
+                        let raw = m.q().bit(0);
+                        d.and_bit(valid, raw)
+                    })
+                    .unwrap_or(Bit::FALSE),
+                mul_a: cp
+                    .mul
+                    .as_ref()
+                    .map(|(m, a, _)| {
+                        let g = d.and_bit(valid, m.q().bit(0));
+                        d.mux(g, &a.q(), &zero_x)
+                    })
+                    .unwrap_or_else(|| zero_x.clone()),
+                mul_b: cp
+                    .mul
+                    .as_ref()
+                    .map(|(m, _, b)| {
+                        let g = d.and_bit(valid, m.q().bit(0));
+                        d.mux(g, &b.q(), &zero_x)
+                    })
+                    .unwrap_or_else(|| zero_x.clone()),
+            }
+        })
+        .collect();
+    let bus_valid = d.and_bit(bus_valid_raw, enable);
+    let inflight = {
+        let c = d.resize(&count.q(), cntw + 1);
+        let cv = d.resize(&commits_now, cntw + 1);
+        d.add(&c, &cv)
+    };
+    let resolved = {
+        let drops = {
+            let zero_c = d.lit(cntw, 0);
+            d.mux(flush, &count.q(), &zero_c)
+        };
+        let drops_w = d.resize(&drops, cntw + 1);
+        let commits_w = d.resize(&commits_now, cntw + 1);
+        let sum = d.add(&drops_w, &commits_w);
+        // Only meaningful while enabled; a paused machine resolves nothing.
+        let zero = d.lit(cntw + 1, 0);
+        d.mux(enable, &sum, &zero)
+    };
+    let ports = CpuPorts {
+        commits,
+        bus_valid,
+        bus_addr: d.mux(bus_valid, &bus_addr_raw, &zero_a),
+        inflight,
+        resolved,
+        exec_fault: {
+            let zero_e = d.lit(2, 0);
+            d.mux(enable, &exec_fault_raw, &zero_e)
+        },
+        secret_words: secret.words.clone(),
+    };
+    ports.add_probes(d);
+    d.probe("pc", &pc.q());
+    let count_q = count.q();
+    d.probe("rob_count", &count_q);
+    d.pop_scope();
+    ports
+}
+
+/// Resolves one waiting operand against all broadcast channels.
+/// Returns `((still_waiting, tag), value)`.
+fn resolve_operand(
+    d: &mut Design,
+    qb: Bit,
+    qt: &Word,
+    v: &Word,
+    bcasts: &[Bcast],
+) -> ((Bit, Word), Word) {
+    let mut waiting = qb;
+    let mut value = v.clone();
+    for bc in bcasts {
+        let same = d.eq(qt, &bc.tag);
+        let hit = d.all(&[qb, bc.valid, same]);
+        value = d.mux(hit, &bc.value, &value);
+        waiting = d.and_bit(waiting, hit.not());
+    }
+    ((waiting, qt.clone()), value)
+}
+
+/// Dispatch-time source lookup against the register file, the register
+/// status table and the ROB (respecting the forwarding policy). Returns
+/// `(waiting, tag, value)` *before* broadcast resolution and intra-group
+/// bypass, which the caller layers on top in the correct order.
+#[allow(clippy::too_many_arguments)]
+fn lookup_source(
+    d: &mut Design,
+    cfg: &CpuConfig,
+    rs: &Word,
+    uses: Bit,
+    rf: &[Reg],
+    rs_busy: &[Reg],
+    rs_tag: &[Reg],
+    entries: &[EntryRegs],
+    e_busy: &[Bit],
+    e_done: &[Bit],
+    e_is_ld: &[Bit],
+    e_tainted: &[Bit],
+) -> (Bit, Word, Word) {
+    let r = entries.len();
+    // Architectural value.
+    let rf_words: Vec<Word> = rf.iter().map(|x| x.q()).collect();
+    let arch = d.select(rs, &rf_words);
+    // Register-status lookup.
+    let busy_bits: Vec<Word> = rs_busy.iter().map(|x| x.q()).collect();
+    let tag_words: Vec<Word> = rs_tag.iter().map(|x| x.q()).collect();
+    let sbusy = d.select(rs, &busy_bits).bit(0);
+    let stag = d.select(rs, &tag_words);
+    // Can we read the producer's value straight from the ROB? NoFwd*
+    // policies block reading completed-but-uncommitted load results (§7.2).
+    let fwd_ok: Vec<Bit> = (0..r)
+        .map(|e| {
+            let blocked = match cfg.defense {
+                Defense::NoFwdFuturistic => e_is_ld[e],
+                Defense::NoFwdSpectre => d.and_bit(e_is_ld[e], e_tainted[e]),
+                _ => Bit::FALSE,
+            };
+            blocked.not()
+        })
+        .collect();
+    let readable: Vec<Bit> = (0..r)
+        .map(|e| d.all(&[e_busy[e], e_done[e], fwd_ok[e]]))
+        .collect();
+    let readable_sel = {
+        let bits: Vec<Word> = readable.iter().map(|&b| Word::from_bit(b)).collect();
+        d.select(&stag, &bits).bit(0)
+    };
+    let rob_value = {
+        let vals: Vec<Word> = entries.iter().map(|e| e.value.q()).collect();
+        d.select(&stag, &vals)
+    };
+    // Compose: default architectural; override when a producer is in flight.
+    let mut qb = d.and_bit(uses, sbusy);
+    let take_rob = d.and_bit(qb, readable_sel);
+    qb = d.and_bit(qb, readable_sel.not());
+    let qt = stag.clone();
+    let v = d.mux(take_rob, &rob_value, &arch);
+    (qb, qt, v)
+}
+
+/// The subset of dispatch-slot signals `lookup_source` needs from older
+/// slots in the same dispatch group.
+struct DispatchSlotView {
+    go: Bit,
+    alloc: Word,
+    rd: Word,
+    has_rd: Bit,
+}
+
+/// Counts set bits into a `width`-bit word.
+fn popcount(d: &mut Design, bits: &[Bit], width: usize) -> Word {
+    let mut acc = d.lit(width, 0);
+    for &b in bits {
+        let bw = d.resize(&Word::from_bit(b), width);
+        acc = d.add(&acc, &bw);
+    }
+    acc
+}
+
+fn onehot_mux_bit(d: &mut Design, onehot: &[Bit], bits: &[Bit]) -> Bit {
+    let words: Vec<Word> = bits.iter().map(|&b| Word::from_bit(b)).collect();
+    onehot_mux(d, onehot, &words).bit(0)
+}

@@ -1,0 +1,201 @@
+//! Age-ordered arbitration over a circular reorder buffer.
+//!
+//! The execute stage must grant the *oldest* ready instruction (program
+//! order = age from the ROB head). [`pick_oldest`] rotates the request
+//! vector by the dynamic head pointer, applies a priority chain, and
+//! un-rotates the grant back to entry space; [`pick_oldest2`] grants the
+//! two oldest for the 2-wide core.
+
+use csl_hdl::{Bit, Design, Word};
+
+/// Result of an arbitration: a one-hot grant vector and its validity.
+#[derive(Clone, Debug)]
+pub struct Grant {
+    /// One-hot over ROB entries.
+    pub onehot: Vec<Bit>,
+    /// Some request was granted.
+    pub any: Bit,
+}
+
+/// Rotates `requests` so offset 0 is the head entry.
+fn rotate_by_head(d: &mut Design, requests: &[Bit], head: &Word) -> Vec<Bit> {
+    let n = requests.len();
+    (0..n)
+        .map(|offset| {
+            // rotated[offset] = requests[(head + offset) % n]
+            let options: Vec<Word> = (0..n)
+                .map(|h| Word::from_bit(requests[(h + offset) % n]))
+                .collect();
+            d.select(head, &options).bit(0)
+        })
+        .collect()
+}
+
+/// Un-rotates a one-hot grant from head-relative space to entry space.
+fn unrotate(d: &mut Design, grant_rot: &[Bit], head: &Word) -> Vec<Bit> {
+    let n = grant_rot.len();
+    (0..n)
+        .map(|entry| {
+            // onehot[entry] = OR_h (head == h && grant_rot[(entry - h) mod n])
+            let mut acc = Bit::FALSE;
+            for h in 0..n {
+                let offset = (entry + n - h) % n;
+                let head_is = d.eq_const(head, h as u64);
+                let term = d.and_bit(head_is, grant_rot[offset]);
+                acc = d.or_bit(acc, term);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Priority chain in rotated space: grant the first request.
+fn priority(d: &mut Design, requests_rot: &[Bit]) -> Vec<Bit> {
+    let mut taken = Bit::FALSE;
+    let mut grants = Vec::with_capacity(requests_rot.len());
+    for &r in requests_rot {
+        grants.push(d.and_bit(r, taken.not()));
+        taken = d.or_bit(taken, r);
+    }
+    grants
+}
+
+/// Grants the oldest requester (relative to `head`).
+pub fn pick_oldest(d: &mut Design, requests: &[Bit], head: &Word) -> Grant {
+    let rot = rotate_by_head(d, requests, head);
+    let grant_rot = priority(d, &rot);
+    let any = d.any(&rot);
+    let onehot = unrotate(d, &grant_rot, head);
+    Grant { onehot, any }
+}
+
+/// Grants the two oldest requesters. The second grant excludes the first.
+pub fn pick_oldest2(d: &mut Design, requests: &[Bit], head: &Word) -> (Grant, Grant) {
+    let rot = rotate_by_head(d, requests, head);
+    let first_rot = priority(d, &rot);
+    let any1 = d.any(&rot);
+    // Mask out the first grant, re-arbitrate.
+    let rest: Vec<Bit> = rot
+        .iter()
+        .zip(&first_rot)
+        .map(|(&r, &g)| d.and_bit(r, g.not()))
+        .collect();
+    let second_rot = priority(d, &rest);
+    let any2 = d.any(&rest);
+    let g1 = Grant {
+        onehot: unrotate(d, &first_rot, head),
+        any: any1,
+    };
+    let g2 = Grant {
+        onehot: unrotate(d, &second_rot, head),
+        any: any2,
+    };
+    (g1, g2)
+}
+
+/// One-hot multiplexer: returns `words[i]` where `onehot[i]` is set
+/// (all-zero word when nothing is granted).
+pub fn onehot_mux(d: &mut Design, onehot: &[Bit], words: &[Word]) -> Word {
+    assert_eq!(onehot.len(), words.len());
+    let width = words[0].width();
+    let mut acc = d.lit(width, 0);
+    for (g, w) in onehot.iter().zip(words) {
+        let masked = Word::from_bits(w.bits().iter().map(|&b| d.and_bit(b, *g)).collect());
+        acc = d.or(&acc, &masked);
+    }
+    acc
+}
+
+/// Encodes a one-hot vector into a binary index word of `width` bits.
+pub fn onehot_encode(d: &mut Design, onehot: &[Bit], width: usize) -> Word {
+    let words: Vec<Word> = (0..onehot.len()).map(|i| d.lit(width, i as u64)).collect();
+    onehot_mux(d, onehot, &words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Constant-fold the arbiter for every head/request combination and
+    /// compare against a software model.
+    #[test]
+    fn matches_software_model() {
+        let n = 4usize;
+        for head in 0..n {
+            for req_mask in 0..(1u32 << n) {
+                let mut d = Design::new("t");
+                let reqs: Vec<Bit> = (0..n)
+                    .map(|i| {
+                        if (req_mask >> i) & 1 == 1 {
+                            Bit::TRUE
+                        } else {
+                            Bit::FALSE
+                        }
+                    })
+                    .collect();
+                let head_w = d.lit(2, head as u64);
+                let g = pick_oldest(&mut d, &reqs, &head_w);
+                // Software model: first set bit scanning from head.
+                let expected = (0..n)
+                    .map(|o| (head + o) % n)
+                    .find(|&e| (req_mask >> e) & 1 == 1);
+                assert_eq!(
+                    g.any,
+                    if expected.is_some() { Bit::TRUE } else { Bit::FALSE },
+                    "head={head} mask={req_mask:#b}"
+                );
+                for (e, &bit) in g.onehot.iter().enumerate() {
+                    let want = expected == Some(e);
+                    assert_eq!(
+                        bit,
+                        if want { Bit::TRUE } else { Bit::FALSE },
+                        "head={head} mask={req_mask:#b} entry={e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_oldest() {
+        let n = 4usize;
+        for head in 0..n {
+            for req_mask in 0..(1u32 << n) {
+                let mut d = Design::new("t");
+                let reqs: Vec<Bit> = (0..n)
+                    .map(|i| {
+                        if (req_mask >> i) & 1 == 1 {
+                            Bit::TRUE
+                        } else {
+                            Bit::FALSE
+                        }
+                    })
+                    .collect();
+                let head_w = d.lit(2, head as u64);
+                let (g1, g2) = pick_oldest2(&mut d, &reqs, &head_w);
+                let order: Vec<usize> = (0..n)
+                    .map(|o| (head + o) % n)
+                    .filter(|&e| (req_mask >> e) & 1 == 1)
+                    .collect();
+                let want1 = order.first().copied();
+                let want2 = order.get(1).copied();
+                for (e, &bit) in g1.onehot.iter().enumerate() {
+                    assert_eq!(bit == Bit::TRUE, want1 == Some(e));
+                }
+                for (e, &bit) in g2.onehot.iter().enumerate() {
+                    assert_eq!(bit == Bit::TRUE, want2 == Some(e), "h{head} m{req_mask:#b}");
+                }
+                assert_eq!(g2.any == Bit::TRUE, want2.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn onehot_mux_and_encode() {
+        let mut d = Design::new("t");
+        let words: Vec<Word> = (0..4).map(|i| d.lit(8, 10 + i)).collect();
+        let onehot = vec![Bit::FALSE, Bit::FALSE, Bit::TRUE, Bit::FALSE];
+        assert_eq!(onehot_mux(&mut d, &onehot, &words), d.lit(8, 12));
+        assert_eq!(onehot_encode(&mut d, &onehot, 2), d.lit(2, 2));
+    }
+}

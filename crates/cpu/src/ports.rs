@@ -1,0 +1,88 @@
+//! Processor observation ports.
+//!
+//! Every generator exposes the same port bundle so the shadow logic, the
+//! baseline scheme, and the co-simulation harness are generator-agnostic —
+//! the reusability property the paper claims for its methodology (§5.1):
+//! swapping the design under verification swaps only the generator call.
+
+use csl_hdl::{Bit, Design, Word};
+
+/// One commit slot's worth of retired-instruction information — the raw
+/// material for both `O_uarch` (the `valid` bit is the commit-timing
+/// observation) and the contract's `O_ISA` record (the shadow metadata of
+/// §5.1, recorded at dispatch/execute and read out here at commit).
+#[derive(Clone, Debug)]
+pub struct CommitPort {
+    /// An instruction retires this cycle through this slot.
+    pub valid: Bit,
+    /// Retiring instruction's PC (probe/debug; not part of any contract).
+    pub pc: Word,
+    /// Writes a destination register this cycle.
+    pub writes_reg: Bit,
+    /// Writeback value (zero when `writes_reg` is false).
+    pub value: Word,
+    /// Retiring instruction is a non-faulting load.
+    pub is_load: Bit,
+    /// Word address of the load (zero otherwise).
+    pub mem_word: Word,
+    /// Retiring instruction is a branch.
+    pub is_branch: Bit,
+    /// Branch outcome.
+    pub taken: Bit,
+    /// Exception code (0 none, 1 misaligned, 2 illegal).
+    pub exception: Word,
+    /// Retiring instruction is a multiply (always false without the
+    /// extension).
+    pub is_mul: Bit,
+    /// Multiplier operands (constant-time contract observations; zero
+    /// without the extension).
+    pub mul_a: Word,
+    pub mul_b: Word,
+}
+
+/// The full observation bundle of one processor instance.
+#[derive(Clone, Debug)]
+pub struct CpuPorts {
+    /// Commit slots, oldest first (`width` entries).
+    pub commits: Vec<CommitPort>,
+    /// A memory-bus transaction is visible this cycle (`O_uarch`).
+    pub bus_valid: Bit,
+    /// Word address on the memory bus (`O_uarch`).
+    pub bus_addr: Word,
+    /// Number of in-flight bound-or-squash instructions (ROB occupancy
+    /// plus the commit stage) — consumed by the shadow logic's drain
+    /// tracker (instruction-inclusion requirement, §5.2.1).
+    pub inflight: Word,
+    /// Instructions leaving the machine this cycle: commits plus squash
+    /// drops.
+    pub resolved: Word,
+    /// Exception code raised by a load *executing* this cycle (including
+    /// transient loads that will squash) — the hook for the §7.1.4
+    /// exclusion assumptions.
+    pub exec_fault: Word,
+    /// This machine's private secret words (for "secrets differ" assumes).
+    pub secret_words: Vec<Word>,
+}
+
+impl CpuPorts {
+    /// Registers waveform probes for every port signal under the current
+    /// scope, so counterexample listings show the attack.
+    pub fn add_probes(&self, d: &mut Design) {
+        for (i, c) in self.commits.iter().enumerate() {
+            let p = format!("c{i}");
+            d.probe(&format!("{p}.valid"), &Word::from_bit(c.valid));
+            d.probe(&format!("{p}.pc"), &c.pc);
+            d.probe(&format!("{p}.value"), &c.value);
+            d.probe(&format!("{p}.is_load"), &Word::from_bit(c.is_load));
+            d.probe(&format!("{p}.mem_word"), &c.mem_word);
+            d.probe(&format!("{p}.is_branch"), &Word::from_bit(c.is_branch));
+            d.probe(&format!("{p}.taken"), &Word::from_bit(c.taken));
+            d.probe(&format!("{p}.exception"), &c.exception);
+            d.probe(&format!("{p}.writes_reg"), &Word::from_bit(c.writes_reg));
+            d.probe(&format!("{p}.is_mul"), &Word::from_bit(c.is_mul));
+        }
+        d.probe("bus.valid", &Word::from_bit(self.bus_valid));
+        d.probe("bus.addr", &self.bus_addr);
+        d.probe("inflight", &self.inflight);
+    }
+}

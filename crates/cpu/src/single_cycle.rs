@@ -1,0 +1,218 @@
+//! The single-cycle (ISA) machine.
+//!
+//! Executes exactly one instruction per cycle — the hardware form of the
+//! reference interpreter, and the machine the baseline scheme duplicates
+//! to run the contract constraint check (paper §4.1, Fig. 1a). The
+//! Contract Shadow Logic scheme's whole point is to *eliminate* this
+//! machine; having it lets the benchmarks measure what that elimination
+//! buys.
+
+use csl_hdl::{Bit, Design, Init, Word};
+use csl_isa::IsaConfig;
+
+use crate::decode::decode;
+use crate::memsys::{read_dmem, read_imem, SecretMem, SharedMem};
+use crate::ports::{CommitPort, CpuPorts};
+
+/// Builds a single-cycle machine under the scope `name`.
+///
+/// `enable` gates every register (the pause mechanism); the machine has no
+/// speculation, so there is no fetch-stall input.
+pub fn build_single_cycle(
+    d: &mut Design,
+    cfg: &IsaConfig,
+    name: &str,
+    shared: &SharedMem,
+    secret: &SecretMem,
+    enable: Bit,
+) -> CpuPorts {
+    cfg.validate();
+    d.push_scope(name);
+    let mark = d.reg_mark();
+    let pc = d.reg("pc", cfg.pc_bits(), Init::Zero);
+    let rf: Vec<_> = (0..cfg.nregs)
+        .map(|r| d.reg(&format!("rf[{r}]"), cfg.xlen, Init::Zero))
+        .collect();
+
+    let inst = read_imem(d, shared, &pc.q());
+    let dec = decode(d, cfg, &inst);
+
+    // Source operands.
+    let rf_words: Vec<Word> = rf.iter().map(|r| r.q()).collect();
+    let v1 = d.select(&dec.rs1, &rf_words);
+    let v2 = d.select(&dec.rs2, &rf_words);
+
+    // Load address resolution (+ faults in the exceptions model).
+    let (mem_word, exc) = resolve_load_hdl(d, cfg, &v1);
+    let faulted = {
+        let z = d.is_zero(&exc);
+        z.not()
+    };
+    let load_fault = d.and_bit(dec.is_ld, faulted);
+    let load_data = read_dmem(d, shared, secret, &mem_word);
+
+    // ALU.
+    let imm_x = d.resize(&dec.imm, cfg.xlen);
+    let sum = d.add(&v1, &v2);
+    let zero_x = d.lit(cfg.xlen, 0);
+    let mut value = d.mux(dec.is_li, &imm_x, &zero_x);
+    value = d.mux(dec.is_add, &sum, &value);
+    if cfg.enable_mul {
+        let prod = d.mul(&v1, &v2);
+        value = d.mux(dec.is_mul, &prod, &value);
+    }
+    let load_ok = d.and_bit(dec.is_ld, faulted.not());
+    value = d.mux(load_ok, &load_data, &value);
+
+    // Branch.
+    let taken_raw = {
+        let z = d.is_zero(&v1);
+        z.not()
+    };
+    let taken = d.and_bit(dec.is_bnz, taken_raw);
+
+    // Writeback.
+    let writes = d.and_bit(dec.has_rd, load_fault.not());
+    for (r, reg) in rf.iter().enumerate() {
+        let here = d.eq_const(&dec.rd, r as u64);
+        let we = d.and_bit(writes, here);
+        let nxt = d.mux(we, &value, &reg.q());
+        d.set_next(reg, nxt);
+    }
+
+    // Next PC: taken branch -> target; fault -> trap vector 0; else +1.
+    let pc1 = d.add_const(&pc.q(), 1);
+    let target = d.resize(&dec.imm, cfg.pc_bits());
+    let trap = d.lit(cfg.pc_bits(), 0);
+    let mut next_pc = d.mux(taken, &target, &pc1);
+    next_pc = d.mux(load_fault, &trap, &next_pc);
+    d.set_next(&pc, next_pc);
+
+    d.gate_regs_since(mark, enable);
+
+    let commit = CommitPort {
+        valid: enable,
+        pc: pc.q(),
+        writes_reg: d.and_bit(writes, enable),
+        value: {
+            let masked = d.mux(writes, &value, &zero_x);
+            masked
+        },
+        is_load: load_ok,
+        mem_word: {
+            let zero_a = d.lit(cfg.dmem_bits(), 0);
+            d.mux(load_ok, &mem_word, &zero_a)
+        },
+        is_branch: dec.is_bnz,
+        taken,
+        exception: {
+            let zero_e = d.lit(2, 0);
+            d.mux(dec.is_ld, &exc, &zero_e)
+        },
+        is_mul: dec.is_mul,
+        mul_a: d.mux(dec.is_mul, &v1, &zero_x),
+        mul_b: d.mux(dec.is_mul, &v2, &zero_x),
+    };
+    let bus_valid = d.and_bit(load_ok, enable);
+    let ports = CpuPorts {
+        bus_addr: {
+            let zero_a = d.lit(cfg.dmem_bits(), 0);
+            d.mux(bus_valid, &mem_word, &zero_a)
+        },
+        bus_valid,
+        commits: vec![commit],
+        inflight: d.lit(1, 0),
+        resolved: d.lit(1, 0),
+        exec_fault: {
+            let zero_e = d.lit(2, 0);
+            let ld_exec = d.and_bit(dec.is_ld, enable);
+            d.mux(ld_exec, &exc, &zero_e)
+        },
+        secret_words: secret.words.clone(),
+    };
+    ports.add_probes(d);
+    d.pop_scope();
+    ports
+}
+
+/// Shared by all generators: resolves a load's register operand to a word
+/// index and a 2-bit exception code, per the configuration's addressing
+/// model. Insecure implementations still read `word` on a fault (wrap
+/// addressing), which is exactly the Meltdown-style behaviour the BigOoO
+/// core exploits.
+pub fn resolve_load_hdl(d: &mut Design, cfg: &IsaConfig, reg_value: &Word) -> (Word, Word) {
+    if cfg.exceptions {
+        let misaligned = reg_value.bit(0);
+        let word_full = reg_value.slice(1, cfg.xlen);
+        let db = cfg.dmem_bits();
+        let above = if word_full.width() > db {
+            let hi = word_full.slice(db, word_full.width());
+            d.reduce_or(&hi)
+        } else {
+            Bit::FALSE
+        };
+        let illegal = d.and_bit(misaligned.not(), above);
+        let word = d.resize(&word_full, db);
+        let one = d.lit(2, 1);
+        let two = d.lit(2, 2);
+        let zero = d.lit(2, 0);
+        let mut exc = d.mux(illegal, &two, &zero);
+        exc = d.mux(misaligned, &one, &exc);
+        (word, exc)
+    } else {
+        (d.resize(reg_value, cfg.dmem_bits()), d.lit(2, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_seals() {
+        let cfg = IsaConfig::default();
+        let mut d = Design::new("t");
+        let shared = SharedMem::new(&mut d, &cfg);
+        let secret = SecretMem::new(&mut d, &cfg);
+        let ports = build_single_cycle(&mut d, &cfg, "isa1", &shared, &secret, Bit::TRUE);
+        shared.seal(&mut d);
+        d.assert_always("dummy", Bit::TRUE);
+        let aig = d.finish();
+        assert!(aig.num_latches() > 0);
+        assert_eq!(ports.commits.len(), 1);
+    }
+
+    #[test]
+    fn fault_codes_fold_on_constants() {
+        let cfg = IsaConfig {
+            exceptions: true,
+            ..IsaConfig::default()
+        };
+        let mut d = Design::new("t");
+        // 5 = 0b0101: misaligned.
+        let v = d.lit(4, 5);
+        let (_, exc) = resolve_load_hdl(&mut d, &cfg, &v);
+        assert_eq!(exc, d.lit(2, 1));
+        // 12 = 0b1100: word 6 >= 4: illegal.
+        let v = d.lit(4, 12);
+        let (word, exc) = resolve_load_hdl(&mut d, &cfg, &v);
+        assert_eq!(exc, d.lit(2, 2));
+        // Transiently-touched word wraps to 2 (the secret region).
+        assert_eq!(word, d.lit(2, 2));
+        // 4 = 0b0100: word 2, legal.
+        let v = d.lit(4, 4);
+        let (word, exc) = resolve_load_hdl(&mut d, &cfg, &v);
+        assert_eq!(exc, d.lit(2, 0));
+        assert_eq!(word, d.lit(2, 2));
+    }
+
+    #[test]
+    fn wrap_addressing_without_exceptions() {
+        let cfg = IsaConfig::default();
+        let mut d = Design::new("t");
+        let v = d.lit(4, 13);
+        let (word, exc) = resolve_load_hdl(&mut d, &cfg, &v);
+        assert_eq!(word, d.lit(2, 1));
+        assert_eq!(exc, d.lit(2, 0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Randomised co-simulation: every processor generator, over hundreds of
+//! random programs and memories, must commit exactly the instruction
+//! stream the ISA interpreter retires (the §5.4 functional-correctness
+//! assumption, tested rather than assumed).
+
+use csl_cpu::{build_standalone, check_against_reference, CoreKind, CpuConfig, Defense};
+use csl_isa::{progen, IsaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fuzz(kind: CoreKind, cfg: CpuConfig, programs: usize, cycles: usize, seed: u64) {
+    let core = build_standalone(kind, &cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total_commits = 0;
+    for _ in 0..programs {
+        // Mix raw bit soup (covers undefined opcodes) and well-formed
+        // programs (denser interesting behaviour).
+        let imem = if total_commits % 3 == 0 {
+            progen::random_imem(&cfg.isa, &mut rng)
+        } else {
+            progen::random_program(&cfg.isa, &progen::OpMix::default(), &mut rng)
+        };
+        let dmem = progen::random_dmem(&cfg.isa, &mut rng);
+        total_commits += check_against_reference(&core, &imem, &dmem, cycles);
+    }
+    assert!(
+        total_commits > programs,
+        "suspiciously few commits: {total_commits}"
+    );
+}
+
+#[test]
+fn single_cycle_matches_reference() {
+    fuzz(
+        CoreKind::SingleCycle,
+        CpuConfig::simple_ooo(Defense::None),
+        40,
+        48,
+        11,
+    );
+}
+
+#[test]
+fn single_cycle_with_exceptions() {
+    let mut cfg = CpuConfig::simple_ooo(Defense::None);
+    cfg.isa.exceptions = true;
+    fuzz(CoreKind::SingleCycle, cfg, 40, 48, 12);
+}
+
+#[test]
+fn inorder_matches_reference() {
+    fuzz(
+        CoreKind::InOrder,
+        CpuConfig::simple_ooo(Defense::None),
+        40,
+        48,
+        13,
+    );
+}
+
+#[test]
+fn simple_ooo_insecure_matches_reference() {
+    fuzz(
+        CoreKind::Ooo,
+        CpuConfig::simple_ooo(Defense::None),
+        60,
+        64,
+        14,
+    );
+}
+
+#[test]
+fn simple_ooo_nofwd_futuristic_matches_reference() {
+    fuzz(
+        CoreKind::Ooo,
+        CpuConfig::simple_ooo(Defense::NoFwdFuturistic),
+        40,
+        64,
+        15,
+    );
+}
+
+#[test]
+fn simple_ooo_nofwd_spectre_matches_reference() {
+    fuzz(
+        CoreKind::Ooo,
+        CpuConfig::simple_ooo(Defense::NoFwdSpectre),
+        40,
+        64,
+        16,
+    );
+}
+
+#[test]
+fn simple_ooo_delay_futuristic_matches_reference() {
+    fuzz(
+        CoreKind::Ooo,
+        CpuConfig::simple_ooo(Defense::DelayFuturistic),
+        40,
+        64,
+        17,
+    );
+}
+
+#[test]
+fn simple_ooo_delay_spectre_matches_reference() {
+    fuzz(
+        CoreKind::Ooo,
+        CpuConfig::simple_ooo(Defense::DelaySpectre),
+        40,
+        64,
+        18,
+    );
+}
+
+#[test]
+fn simple_ooo_dom_matches_reference() {
+    // The paper's DoM experiments use an 8-entry ROB (§7.2 footnote).
+    let mut cfg = CpuConfig::simple_ooo(Defense::DomSpectre);
+    cfg.rob_size = 8;
+    fuzz(CoreKind::Ooo, cfg, 40, 80, 19);
+}
+
+#[test]
+fn super_ooo_matches_reference() {
+    fuzz(CoreKind::Ooo, CpuConfig::super_ooo(), 60, 64, 20);
+}
+
+#[test]
+fn big_ooo_matches_reference() {
+    fuzz(CoreKind::Ooo, CpuConfig::big_ooo(), 60, 64, 21);
+}
+
+#[test]
+fn rob_size_sweep_matches_reference() {
+    for rob in [2usize, 4, 8, 16] {
+        let mut cfg = CpuConfig::simple_ooo(Defense::None);
+        cfg.rob_size = rob;
+        fuzz(CoreKind::Ooo, cfg, 12, 48, 22 + rob as u64);
+    }
+}
+
+#[test]
+fn structure_sweep_matches_reference() {
+    for (nregs, dmem) in [(2usize, 4usize), (8, 8), (4, 16)] {
+        let cfg = CpuConfig {
+            isa: IsaConfig {
+                nregs,
+                dmem_size: dmem,
+                ..IsaConfig::default()
+            },
+            ..CpuConfig::simple_ooo(Defense::None)
+        };
+        fuzz(CoreKind::Ooo, cfg, 12, 48, 40 + nregs as u64);
+    }
+}
+
+#[test]
+fn mul_extension_matches_reference() {
+    let cfg = CpuConfig {
+        isa: IsaConfig {
+            enable_mul: true,
+            ..IsaConfig::default()
+        },
+        ..CpuConfig::simple_ooo(Defense::None)
+    };
+    let core = build_standalone(CoreKind::Ooo, &cfg);
+    let mut rng = StdRng::seed_from_u64(55);
+    let mix = progen::OpMix {
+        mul: 5,
+        ..progen::OpMix::default()
+    };
+    for _ in 0..25 {
+        let imem = progen::random_program(&cfg.isa, &mix, &mut rng);
+        let dmem = progen::random_dmem(&cfg.isa, &mut rng);
+        check_against_reference(&core, &imem, &dmem, 64);
+    }
+}

@@ -1,0 +1,184 @@
+//! AIGER 1.9 (ASCII `aag`) export.
+//!
+//! Writes a netlist in the standard model-checking interchange format, so
+//! instances built here can be cross-checked with external tools (ABC,
+//! nuXmv, AVR — the open-source tool the paper cites). Symbolic-init
+//! latches use the AIGER 1.9 "uninitialised" convention (reset literal =
+//! the latch's own literal); `assume` bits become invariant constraints
+//! and `bad` bits become bad-state properties.
+
+use std::fmt::Write as _;
+
+use crate::aig::{Aig, Bit, Init, Node};
+
+/// Renders the netlist as an ASCII AIGER (`aag`) document.
+///
+/// Node numbering: AIGER variable indices are assigned in netlist order
+/// (inputs and latches keep their creation order), so the export is
+/// deterministic.
+pub fn to_aag(aig: &Aig) -> String {
+    // Map each netlist node to an AIGER variable index (1-based).
+    let mut var_of: Vec<u32> = vec![0; aig.num_nodes()];
+    let mut next_var = 1u32;
+    let mut inputs = Vec::new();
+    let mut latches = Vec::new();
+    let mut ands = Vec::new();
+    for idx in 0..aig.num_nodes() {
+        let b = Bit::from_packed((idx as u32) << 1);
+        match aig.node(b) {
+            Node::Const => {}
+            Node::Input(_) => {
+                var_of[idx] = next_var;
+                inputs.push(idx);
+                next_var += 1;
+            }
+            Node::Latch(_) => {
+                var_of[idx] = next_var;
+                latches.push(idx);
+                next_var += 1;
+            }
+            Node::And(..) => {
+                var_of[idx] = next_var;
+                ands.push(idx);
+                next_var += 1;
+            }
+        }
+    }
+    let lit = |b: Bit| -> u32 {
+        let base = 2 * var_of[b.node() as usize];
+        base | b.is_complemented() as u32
+    };
+
+    let m = next_var - 1;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "aag {} {} {} 0 {} {} {}",
+        m,
+        inputs.len(),
+        latches.len(),
+        ands.len(),
+        aig.bads().len(),
+        aig.assumes().len(),
+    );
+    for &i in &inputs {
+        let _ = writeln!(out, "{}", 2 * var_of[i]);
+    }
+    for &l in &latches {
+        let b = Bit::from_packed((l as u32) << 1);
+        let Node::Latch(li) = aig.node(b) else { unreachable!() };
+        let info = &aig.latches()[li as usize];
+        let next = lit(info.next.expect("unsealed latch"));
+        match info.init {
+            Init::Zero => {
+                let _ = writeln!(out, "{} {} 0", 2 * var_of[l], next);
+            }
+            Init::One => {
+                let _ = writeln!(out, "{} {} 1", 2 * var_of[l], next);
+            }
+            Init::Symbolic => {
+                // AIGER 1.9: reset literal equal to the latch literal means
+                // "uninitialised".
+                let _ = writeln!(out, "{} {} {}", 2 * var_of[l], next, 2 * var_of[l]);
+            }
+        }
+    }
+    for b in aig.bads() {
+        let _ = writeln!(out, "{}", lit(b.bit));
+    }
+    for &a in aig.assumes() {
+        let _ = writeln!(out, "{}", lit(a));
+    }
+    for &n in &ands {
+        let b = Bit::from_packed((n as u32) << 1);
+        let Node::And(x, y) = aig.node(b) else { unreachable!() };
+        let _ = writeln!(out, "{} {} {}", 2 * var_of[n], lit(x), lit(y));
+    }
+    // Symbol table: inputs and latches by name, then a comment header.
+    for (pos, &i) in inputs.iter().enumerate() {
+        let b = Bit::from_packed((i as u32) << 1);
+        let Node::Input(ii) = aig.node(b) else { unreachable!() };
+        let _ = writeln!(out, "i{pos} {}", aig.inputs()[ii as usize].name);
+    }
+    for (pos, &l) in latches.iter().enumerate() {
+        let b = Bit::from_packed((l as u32) << 1);
+        let Node::Latch(li) = aig.node(b) else { unreachable!() };
+        let _ = writeln!(out, "l{pos} {}", aig.latches()[li as usize].name);
+    }
+    for (pos, b) in aig.bads().iter().enumerate() {
+        let _ = writeln!(out, "b{pos} {}", b.name);
+    }
+    let _ = writeln!(out, "c");
+    let _ = writeln!(out, "exported by csl-hdl (contract-shadow-logic)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+
+    #[test]
+    fn export_counter() {
+        let mut d = Design::new("t");
+        let en = d.input_bit("en");
+        let r = d.reg("r", 2, Init::Zero);
+        let inc = d.add_const(&r.q(), 1);
+        let next = d.mux(en, &inc, &r.q());
+        d.set_next(&r, next);
+        let bad = d.eq_const(&r.q(), 3);
+        d.assert_always("no3", bad.not());
+        d.assume(en);
+        let aig = d.finish();
+        let text = to_aag(&aig);
+        let header = text.lines().next().unwrap();
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        assert_eq!(parts[0], "aag");
+        assert_eq!(parts[2], "1"); // one input
+        assert_eq!(parts[3], "2"); // two latches
+        assert_eq!(parts[6], "1"); // one bad
+        assert_eq!(parts[7], "1"); // one constraint
+        assert!(text.contains("i0 en"));
+        assert!(text.contains("l0 r[0]"));
+        assert!(text.contains("b0 no3"));
+    }
+
+    #[test]
+    fn symbolic_latches_use_self_reset() {
+        let mut d = Design::new("t");
+        let r = d.reg("r", 1, Init::Symbolic);
+        d.hold(&r);
+        d.assert_always("x", crate::aig::Bit::TRUE);
+        let aig = d.finish();
+        let text = to_aag(&aig);
+        // Latch line: "<lit> <next> <lit>" (self reset = uninitialised).
+        let latch_line = text
+            .lines()
+            .nth(1)
+            .expect("latch line after header");
+        let parts: Vec<&str> = latch_line.split_whitespace().collect();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], parts[1]); // hold: next == self
+        assert_eq!(parts[0], parts[2]); // uninitialised marker
+    }
+
+    #[test]
+    fn and_lines_reference_lower_vars() {
+        let mut d = Design::new("t");
+        let a = d.input_bit("a");
+        let b = d.input_bit("b");
+        let x = d.and_bit(a, b);
+        d.assert_always("never", x.not());
+        let aig = d.finish();
+        let text = to_aag(&aig);
+        for line in text.lines().skip(1) {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() == 3 && !line.starts_with(['i', 'l', 'b', 'c']) {
+                let lhs: u32 = parts[0].parse().unwrap();
+                let rhs0: u32 = parts[1].parse().unwrap();
+                let rhs1: u32 = parts[2].parse().unwrap();
+                assert!(lhs > rhs0 && lhs > rhs1, "AIGER ordering violated");
+            }
+        }
+    }
+}

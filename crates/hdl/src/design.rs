@@ -1,0 +1,637 @@
+//! The word-level design builder.
+//!
+//! [`Design`] wraps an [`Aig`] with registers, memories, hierarchical
+//! naming, and the word-level operator library. Hardware generators (the
+//! processors in `csl-cpu`, the shadow logic in `csl-core`) are plain Rust
+//! functions over `&mut Design`; [`Design::finish`] seals every register
+//! and returns the underlying netlist for the model checker.
+//!
+//! # Example: a saturating counter with an enable
+//!
+//! ```
+//! use csl_hdl::{Design, Init};
+//!
+//! let mut d = Design::new("counter");
+//! let en = d.input_bit("en");
+//! let count = d.reg("count", 4, Init::Zero);
+//! let one = d.lit(4, 1);
+//! let next = d.add(&count.q(), &one);
+//! let held = d.mux(en, &next, &count.q());
+//! d.set_next(&count, held);
+//! let aig = d.finish();
+//! assert_eq!(aig.num_latches(), 4);
+//! ```
+
+use crate::aig::{Aig, Bit, Init};
+use crate::word::Word;
+
+/// Handle to a register created by [`Design::reg`].
+#[derive(Clone, Debug)]
+pub struct Reg {
+    index: usize,
+    q: Word,
+}
+
+impl Reg {
+    /// The register's current-state output word.
+    pub fn q(&self) -> Word {
+        self.q.clone()
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.q.width()
+    }
+}
+
+struct RegSlot {
+    name: String,
+    q: Word,
+    next: Option<Word>,
+}
+
+/// Opaque marker for [`Design::reg_mark`] / [`Design::gate_regs_since`].
+#[derive(Clone, Copy, Debug)]
+pub struct RegMark(usize);
+
+/// Word-level circuit builder over an [`Aig`]. See the module docs.
+pub struct Design {
+    aig: Aig,
+    name: String,
+    scopes: Vec<String>,
+    regs: Vec<RegSlot>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new(name: impl Into<String>) -> Design {
+        Design {
+            aig: Aig::new(),
+            name: name.into(),
+            scopes: Vec::new(),
+            regs: Vec::new(),
+        }
+    }
+
+    /// The design's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Read access to the underlying netlist (e.g. for statistics).
+    pub fn aig(&self) -> &Aig {
+        &self.aig
+    }
+
+    /// Enters a naming scope: subsequent registers/inputs are prefixed
+    /// `scope.`.
+    pub fn push_scope(&mut self, s: impl Into<String>) {
+        self.scopes.push(s.into());
+    }
+
+    /// Leaves the innermost naming scope.
+    ///
+    /// # Panics
+    /// Panics if no scope is open.
+    pub fn pop_scope(&mut self) {
+        self.scopes.pop().expect("pop_scope with no open scope");
+    }
+
+    fn qualify(&self, name: &str) -> String {
+        if self.scopes.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.scopes.join("."), name)
+        }
+    }
+
+    // ----- inputs, constants, registers ---------------------------------
+
+    /// A 1-bit primary input.
+    pub fn input_bit(&mut self, name: &str) -> Bit {
+        let n = self.qualify(name);
+        self.aig.input(n)
+    }
+
+    /// A multi-bit primary input.
+    pub fn input(&mut self, name: &str, width: usize) -> Word {
+        let n = self.qualify(name);
+        Word::from_bits(
+            (0..width)
+                .map(|i| self.aig.input(format!("{n}[{i}]")))
+                .collect(),
+        )
+    }
+
+    /// A constant word.
+    ///
+    /// # Panics
+    /// Panics if `value` does not fit in `width` bits.
+    pub fn lit(&mut self, width: usize, value: u64) -> Word {
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "literal {value} does not fit in {width} bits"
+        );
+        Word::from_bits(
+            (0..width)
+                .map(|i| {
+                    if (value >> i) & 1 == 1 {
+                        Bit::TRUE
+                    } else {
+                        Bit::FALSE
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// A register of `width` bits; all bits share the same [`Init`].
+    pub fn reg(&mut self, name: &str, width: usize, init: Init) -> Reg {
+        let n = self.qualify(name);
+        let q = Word::from_bits(
+            (0..width)
+                .map(|i| self.aig.latch(format!("{n}[{i}]"), init))
+                .collect(),
+        );
+        let index = self.regs.len();
+        self.regs.push(RegSlot {
+            name: n,
+            q: q.clone(),
+            next: None,
+        });
+        Reg { index, q }
+    }
+
+    /// A register with a concrete (non-zero) reset value.
+    pub fn reg_init_value(&mut self, name: &str, width: usize, value: u64) -> Reg {
+        let n = self.qualify(name);
+        let q = Word::from_bits(
+            (0..width)
+                .map(|i| {
+                    let init = if (value >> i) & 1 == 1 { Init::One } else { Init::Zero };
+                    self.aig.latch(format!("{n}[{i}]"), init)
+                })
+                .collect(),
+        );
+        let index = self.regs.len();
+        self.regs.push(RegSlot {
+            name: n,
+            q: q.clone(),
+            next: None,
+        });
+        Reg { index, q }
+    }
+
+    /// Sets the next-state of `reg`.
+    ///
+    /// # Panics
+    /// Panics on width mismatch or if the next-state was already set.
+    pub fn set_next(&mut self, reg: &Reg, next: Word) {
+        let slot = &mut self.regs[reg.index];
+        assert_eq!(
+            slot.q.width(),
+            next.width(),
+            "width mismatch setting next of {}",
+            slot.name
+        );
+        assert!(slot.next.is_none(), "next of {} set twice", slot.name);
+        slot.next = Some(next);
+    }
+
+    /// Makes `reg` hold its value forever (a symbolic constant, e.g. a
+    /// read-only memory).
+    pub fn hold(&mut self, reg: &Reg) {
+        self.set_next(reg, reg.q());
+    }
+
+    /// Current position in the register list; pair with
+    /// [`Design::gate_regs_since`].
+    pub fn reg_mark(&self) -> RegMark {
+        RegMark(self.regs.len())
+    }
+
+    /// Wraps the next-state of every register created since `mark` in
+    /// `mux(enable, next, q)` — the "clock gating" used by the shadow
+    /// logic's pause mechanism (paper §5.3, Listing 1 lines 1-2).
+    ///
+    /// # Panics
+    /// Panics if any such register has no next-state yet.
+    pub fn gate_regs_since(&mut self, mark: RegMark, enable: Bit) {
+        for idx in mark.0..self.regs.len() {
+            let slot = &mut self.regs[idx];
+            let next = slot
+                .next
+                .take()
+                .unwrap_or_else(|| panic!("register {} has no next-state to gate", slot.name));
+            let q = slot.q.clone();
+            // Inline mux to avoid borrow conflicts with self.aig.
+            let gated = Word::from_bits(
+                next.bits()
+                    .iter()
+                    .zip(q.bits())
+                    .map(|(&n, &c)| self.aig.mux(enable, n, c))
+                    .collect(),
+            );
+            self.regs[idx].next = Some(gated);
+        }
+    }
+
+    /// Seals all registers into the netlist and returns it.
+    ///
+    /// # Panics
+    /// Panics if any register lacks a next-state function.
+    pub fn finish(mut self) -> Aig {
+        for slot in &self.regs {
+            let next = slot
+                .next
+                .as_ref()
+                .unwrap_or_else(|| panic!("register {} has no next-state", slot.name));
+            for (qb, nb) in slot.q.bits().iter().zip(next.bits()) {
+                self.aig.set_next(*qb, *nb);
+            }
+        }
+        self.aig
+            .validate()
+            .unwrap_or_else(|names| panic!("unsealed latches: {names:?}"));
+        self.aig
+    }
+
+    // ----- verification intent -------------------------------------------
+
+    /// Adds a per-cycle environment constraint (SVA `assume`).
+    pub fn assume(&mut self, b: Bit) {
+        self.aig.add_assume(b);
+    }
+
+    /// Adds a property that must hold every cycle (SVA `assert`):
+    /// `ok` false at any reachable cycle is a violation.
+    pub fn assert_always(&mut self, name: &str, ok: Bit) {
+        let n = self.qualify(name);
+        self.aig.add_bad(n, ok.not());
+    }
+
+    /// Registers a named waveform probe.
+    pub fn probe(&mut self, name: &str, w: &Word) {
+        let n = self.qualify(name);
+        self.aig.add_probe(n, w.bits().to_vec());
+    }
+
+    // ----- bit operators ---------------------------------------------------
+
+    pub fn and_bit(&mut self, a: Bit, b: Bit) -> Bit {
+        self.aig.and(a, b)
+    }
+
+    pub fn or_bit(&mut self, a: Bit, b: Bit) -> Bit {
+        self.aig.or(a, b)
+    }
+
+    pub fn xor_bit(&mut self, a: Bit, b: Bit) -> Bit {
+        self.aig.xor(a, b)
+    }
+
+    pub fn mux_bit(&mut self, sel: Bit, t: Bit, f: Bit) -> Bit {
+        self.aig.mux(sel, t, f)
+    }
+
+    pub fn implies_bit(&mut self, a: Bit, b: Bit) -> Bit {
+        self.aig.implies(a, b)
+    }
+
+    pub fn all(&mut self, bits: &[Bit]) -> Bit {
+        self.aig.and_many(bits)
+    }
+
+    pub fn any(&mut self, bits: &[Bit]) -> Bit {
+        self.aig.or_many(bits)
+    }
+
+    // ----- word operators --------------------------------------------------
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: &Word) -> Word {
+        Word::from_bits(a.bits().iter().map(|b| b.not()).collect())
+    }
+
+    fn zip_map(&mut self, a: &Word, b: &Word, f: impl Fn(&mut Aig, Bit, Bit) -> Bit) -> Word {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        Word::from_bits(
+            a.bits()
+                .iter()
+                .zip(b.bits())
+                .map(|(&x, &y)| f(&mut self.aig, x, y))
+                .collect(),
+        )
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip_map(a, b, Aig::and)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip_map(a, b, Aig::or)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip_map(a, b, Aig::xor)
+    }
+
+    /// Addition modulo `2^width` (ripple carry).
+    pub fn add(&mut self, a: &Word, b: &Word) -> Word {
+        self.add_carry(a, b, Bit::FALSE).0
+    }
+
+    /// Addition with carry-in; returns `(sum, carry_out)`.
+    pub fn add_carry(&mut self, a: &Word, b: &Word, mut carry: Bit) -> (Word, Bit) {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        let mut bits = Vec::with_capacity(a.width());
+        for (&x, &y) in a.bits().iter().zip(b.bits()) {
+            let xy = self.aig.xor(x, y);
+            bits.push(self.aig.xor(xy, carry));
+            let c1 = self.aig.and(x, y);
+            let c2 = self.aig.and(xy, carry);
+            carry = self.aig.or(c1, c2);
+        }
+        (Word::from_bits(bits), carry)
+    }
+
+    /// Subtraction modulo `2^width`.
+    pub fn sub(&mut self, a: &Word, b: &Word) -> Word {
+        let nb = self.not(b);
+        self.add_carry(a, &nb, Bit::TRUE).0
+    }
+
+    /// `a + constant`.
+    pub fn add_const(&mut self, a: &Word, k: u64) -> Word {
+        let kw = self.lit(a.width(), k & mask(a.width()));
+        self.add(a, &kw)
+    }
+
+    /// Unsigned multiply, truncated to `a.width()` bits (shift-and-add).
+    pub fn mul(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        let w = a.width();
+        let mut acc = self.lit(w, 0);
+        for i in 0..w {
+            let shifted = self.shl_const(a, i);
+            let gated = Word::from_bits(
+                shifted
+                    .bits()
+                    .iter()
+                    .map(|&x| self.aig.and(x, b.bit(i)))
+                    .collect(),
+            );
+            acc = self.add(&acc, &gated);
+        }
+        acc
+    }
+
+    /// Equality of two words.
+    pub fn eq(&mut self, a: &Word, b: &Word) -> Bit {
+        let xors = self.xor(a, b);
+        let diff = self.aig.or_many(xors.bits());
+        diff.not()
+    }
+
+    /// Equality with a constant.
+    pub fn eq_const(&mut self, a: &Word, k: u64) -> Bit {
+        let kw = self.lit(a.width(), k);
+        self.eq(a, &kw)
+    }
+
+    /// Inequality of two words.
+    pub fn ne(&mut self, a: &Word, b: &Word) -> Bit {
+        self.eq(a, b).not()
+    }
+
+    /// Unsigned `a < b`.
+    pub fn ult(&mut self, a: &Word, b: &Word) -> Bit {
+        // a < b  <=>  carry-out of a + !b + 1 is 0
+        let nb = self.not(b);
+        let (_, carry) = self.add_carry(a, &nb, Bit::TRUE);
+        carry.not()
+    }
+
+    /// Unsigned `a <= b`.
+    pub fn ule(&mut self, a: &Word, b: &Word) -> Bit {
+        self.ult(b, a).not()
+    }
+
+    /// Word-level mux: `if sel { t } else { f }`.
+    pub fn mux(&mut self, sel: Bit, t: &Word, f: &Word) -> Word {
+        assert_eq!(t.width(), f.width(), "mux width mismatch");
+        Word::from_bits(
+            t.bits()
+                .iter()
+                .zip(f.bits())
+                .map(|(&x, &y)| self.aig.mux(sel, x, y))
+                .collect(),
+        )
+    }
+
+    /// True iff the word is all-zero.
+    pub fn is_zero(&mut self, a: &Word) -> Bit {
+        self.aig.or_many(a.bits()).not()
+    }
+
+    /// OR-reduction of all bits.
+    pub fn reduce_or(&mut self, a: &Word) -> Bit {
+        self.aig.or_many(a.bits())
+    }
+
+    /// AND-reduction of all bits.
+    pub fn reduce_and(&mut self, a: &Word) -> Bit {
+        self.aig.and_many(a.bits())
+    }
+
+    /// Zero-extends (or truncates) to `width`.
+    pub fn resize(&mut self, a: &Word, width: usize) -> Word {
+        let mut bits: Vec<Bit> = a.bits().iter().copied().take(width).collect();
+        while bits.len() < width {
+            bits.push(Bit::FALSE);
+        }
+        Word::from_bits(bits)
+    }
+
+    /// Left shift by a constant (zero fill).
+    pub fn shl_const(&mut self, a: &Word, k: usize) -> Word {
+        let w = a.width();
+        let mut bits = vec![Bit::FALSE; k.min(w)];
+        bits.extend(a.bits().iter().copied().take(w.saturating_sub(k)));
+        Word::from_bits(bits)
+    }
+
+    /// Right shift by a constant (zero fill).
+    pub fn shr_const(&mut self, a: &Word, k: usize) -> Word {
+        let w = a.width();
+        let mut bits: Vec<Bit> = a.bits().iter().copied().skip(k.min(w)).collect();
+        while bits.len() < w {
+            bits.push(Bit::FALSE);
+        }
+        Word::from_bits(bits)
+    }
+
+    /// Selects `options[idx]` with a balanced mux tree. `options.len()` must
+    /// be a power of two covering the index width, or the index is treated
+    /// modulo `options.len()` (which must then be a power of two).
+    ///
+    /// # Panics
+    /// Panics if `options` is empty or not a power of two in length.
+    pub fn select(&mut self, idx: &Word, options: &[Word]) -> Word {
+        assert!(!options.is_empty(), "select with no options");
+        assert!(
+            options.len().is_power_of_two(),
+            "select requires a power-of-two option count"
+        );
+        let need_bits = options.len().trailing_zeros() as usize;
+        let mut layer: Vec<Word> = options.to_vec();
+        for level in 0..need_bits {
+            let sel = idx.bit(level.min(idx.width() - 1));
+            let sel = if level < idx.width() { sel } else { Bit::FALSE };
+            layer = layer
+                .chunks(2)
+                .map(|pair| self.mux(sel, &pair[1], &pair[0]))
+                .collect();
+        }
+        layer.pop().unwrap()
+    }
+
+    /// One-hot decode of `idx` into `n` bits (`out[i] = (idx == i)`).
+    pub fn decode(&mut self, idx: &Word, n: usize) -> Vec<Bit> {
+        (0..n).map(|i| self.eq_const(idx, i as u64)).collect()
+    }
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_bits() {
+        let mut d = Design::new("t");
+        let w = d.lit(4, 0b1010);
+        assert_eq!(w.bit(0), Bit::FALSE);
+        assert_eq!(w.bit(1), Bit::TRUE);
+        assert_eq!(w.bit(3), Bit::TRUE);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn literal_overflow() {
+        let mut d = Design::new("t");
+        let _ = d.lit(3, 8);
+    }
+
+    #[test]
+    fn constant_arithmetic_folds() {
+        let mut d = Design::new("t");
+        let a = d.lit(8, 37);
+        let b = d.lit(8, 205);
+        let s = d.add(&a, &b);
+        let expect = d.lit(8, (37 + 205) & 0xff);
+        assert_eq!(s, expect);
+        let df = d.sub(&a, &b);
+        let expect = d.lit(8, (37u64.wrapping_sub(205)) & 0xff);
+        assert_eq!(df, expect);
+        let p = d.mul(&a, &b);
+        let expect = d.lit(8, (37 * 205) & 0xff);
+        assert_eq!(p, expect);
+        assert_eq!(d.eq(&a, &b), Bit::FALSE);
+        assert_eq!(d.ult(&a, &b), Bit::TRUE);
+        assert_eq!(d.ule(&b, &a), Bit::FALSE);
+    }
+
+    #[test]
+    fn select_folds_on_constants() {
+        let mut d = Design::new("t");
+        let options: Vec<Word> = (0..4).map(|i| d.lit(8, i * 11)).collect();
+        let idx = d.lit(2, 3);
+        let picked = d.select(&idx, &options);
+        let expect = d.lit(8, 33);
+        assert_eq!(picked, expect);
+    }
+
+    #[test]
+    fn decode_onehot() {
+        let mut d = Design::new("t");
+        let idx = d.lit(2, 2);
+        let oh = d.decode(&idx, 4);
+        assert_eq!(oh, vec![Bit::FALSE, Bit::FALSE, Bit::TRUE, Bit::FALSE]);
+    }
+
+    #[test]
+    fn register_flow() {
+        let mut d = Design::new("t");
+        let r = d.reg("r", 3, Init::Zero);
+        let next = d.add_const(&r.q(), 1);
+        d.set_next(&r, next);
+        let aig = d.finish();
+        assert_eq!(aig.num_latches(), 3);
+        assert!(aig.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "no next-state")]
+    fn unsealed_register_panics() {
+        let mut d = Design::new("t");
+        let _ = d.reg("r", 2, Init::Zero);
+        let _ = d.finish();
+    }
+
+    #[test]
+    fn scoping_prefixes_names() {
+        let mut d = Design::new("t");
+        d.push_scope("cpu1");
+        d.push_scope("rob");
+        let r = d.reg("head", 2, Init::Zero);
+        d.pop_scope();
+        d.pop_scope();
+        d.hold(&r);
+        let aig = d.finish();
+        assert!(aig.latches()[0].name.starts_with("cpu1.rob.head"));
+    }
+
+    #[test]
+    fn gate_regs_holds_when_disabled() {
+        let mut d = Design::new("t");
+        let en = d.input_bit("en");
+        let mark = d.reg_mark();
+        let r = d.reg("r", 2, Init::Zero);
+        let next = d.add_const(&r.q(), 1);
+        d.set_next(&r, next);
+        d.gate_regs_since(mark, en);
+        let aig = d.finish();
+        // The next-state function must depend on the enable input.
+        let coi_roots: Vec<String> = aig.latches().iter().map(|l| l.name.clone()).collect();
+        assert_eq!(coi_roots.len(), 2);
+        assert!(aig.num_ands() > 0);
+    }
+
+    #[test]
+    fn shifts() {
+        let mut d = Design::new("t");
+        let a = d.lit(8, 0b0110_1001);
+        assert_eq!(d.shl_const(&a, 2), d.lit(8, 0b1010_0100));
+        assert_eq!(d.shr_const(&a, 3), d.lit(8, 0b0000_1101));
+        assert_eq!(d.shl_const(&a, 9), d.lit(8, 0));
+    }
+
+    #[test]
+    fn resize_extends_and_truncates() {
+        let mut d = Design::new("t");
+        let a = d.lit(4, 0b1011);
+        assert_eq!(d.resize(&a, 6), d.lit(6, 0b1011));
+        assert_eq!(d.resize(&a, 2), d.lit(2, 0b11));
+    }
+}

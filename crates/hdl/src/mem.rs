@@ -1,0 +1,198 @@
+//! Register-file / memory arrays.
+//!
+//! A [`MemArray`] is a bank of word registers with mux-tree reads and
+//! decoded write ports. Writes are queued on the handle and applied when
+//! the array is sealed, so multiple write ports (e.g. a 2-wide commit)
+//! compose with well-defined priority: **later queued writes win**.
+//!
+//! Read ports observe the *current* register values (read-old semantics),
+//! matching a flip-flop based register file.
+
+use crate::aig::{Bit, Init};
+use crate::design::{Design, Reg};
+use crate::word::Word;
+
+/// A bank of `n` registers, each `width` bits wide.
+#[derive(Debug)]
+pub struct MemArray {
+    name: String,
+    words: Vec<Reg>,
+    width: usize,
+    writes: Vec<QueuedWrite>,
+    sealed: bool,
+}
+
+#[derive(Debug)]
+struct QueuedWrite {
+    enable: Bit,
+    addr: Word,
+    data: Word,
+}
+
+impl MemArray {
+    /// Creates the array. `n` must be a power of two (so an address word
+    /// indexes it exactly).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(d: &mut Design, name: &str, n: usize, width: usize, init: Init) -> MemArray {
+        assert!(n.is_power_of_two(), "memory size must be a power of two");
+        let words = (0..n)
+            .map(|i| d.reg(&format!("{name}[{i}]"), width, init))
+            .collect();
+        MemArray {
+            name: name.to_string(),
+            words,
+            width,
+            writes: Vec::new(),
+            sealed: false,
+        }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Address width needed to index the array.
+    pub fn addr_width(&self) -> usize {
+        self.words.len().trailing_zeros() as usize
+    }
+
+    /// Direct access to word `i`'s current value (for initial-state
+    /// constraints and debugging).
+    pub fn word(&self, i: usize) -> Word {
+        self.words[i].q()
+    }
+
+    /// Combinational read port. `addr` wider than needed is truncated
+    /// (memory wraps), matching power-of-two address decoding in hardware.
+    pub fn read(&self, d: &mut Design, addr: &Word) -> Word {
+        let aw = self.addr_width().max(1);
+        let idx = d.resize(addr, aw);
+        let options: Vec<Word> = self.words.iter().map(|r| r.q()).collect();
+        d.select(&idx, &options)
+    }
+
+    /// Queues a write port: when `enable` holds, word `addr` becomes `data`
+    /// at the next clock edge. Later queued writes take priority.
+    ///
+    /// # Panics
+    /// Panics if the array is already sealed or on width mismatch.
+    pub fn write(&mut self, enable: Bit, addr: Word, data: Word) {
+        assert!(!self.sealed, "write to sealed memory {}", self.name);
+        assert_eq!(data.width(), self.width, "data width mismatch");
+        self.writes.push(QueuedWrite { enable, addr, data });
+    }
+
+    /// Applies all queued writes and seals every register. Must be called
+    /// exactly once, before `Design::finish` (and before any enclosing
+    /// [`Design::gate_regs_since`] so pause gating also freezes memory).
+    pub fn seal(mut self, d: &mut Design) {
+        self.sealed = true;
+        let aw = self.addr_width().max(1);
+        for (i, reg) in self.words.iter().enumerate() {
+            let mut next = reg.q();
+            for w in &self.writes {
+                let idx = d.resize(&w.addr, aw);
+                let here = d.eq_const(&idx, i as u64);
+                let strike = d.and_bit(here, w.enable);
+                next = d.mux(strike, &w.data, &next);
+            }
+            d.set_next(reg, next);
+        }
+    }
+
+    /// Seals a read-only memory: every word holds its (symbolic) value
+    /// forever. Used for instruction memory and the shared public data
+    /// memory.
+    ///
+    /// # Panics
+    /// Panics if writes were queued.
+    pub fn seal_const(self, d: &mut Design) {
+        assert!(
+            self.writes.is_empty(),
+            "seal_const on memory {} with queued writes",
+            self.name
+        );
+        for reg in &self.words {
+            d.hold(reg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_of_constant_contents() {
+        let mut d = Design::new("t");
+        let mut m = MemArray::new(&mut d, "m", 4, 8, Init::Zero);
+        // Write constants into all words via write ports enabled always.
+        for i in 0..4u64 {
+            let addr = d.lit(2, i);
+            let data = d.lit(8, i * 7);
+            m.write(Bit::TRUE, addr, data);
+        }
+        m.seal(&mut d);
+        let _ = d.finish();
+    }
+
+    #[test]
+    fn later_writes_win() {
+        let mut d = Design::new("t");
+        let mut m = MemArray::new(&mut d, "m", 2, 4, Init::Zero);
+        let a0 = d.lit(1, 0);
+        let d1 = d.lit(4, 1);
+        let d2 = d.lit(4, 2);
+        m.write(Bit::TRUE, a0.clone(), d1);
+        m.write(Bit::TRUE, a0, d2);
+        m.seal(&mut d);
+        let aig = d.finish();
+        // Word 0, bit 1 must become constant TRUE next (value 2), bit 0 FALSE.
+        let l0_next = aig.latches()[0].next.unwrap();
+        let l1_next = aig.latches()[1].next.unwrap();
+        assert_eq!(l0_next, Bit::FALSE);
+        assert_eq!(l1_next, Bit::TRUE);
+    }
+
+    #[test]
+    fn read_only_memory_holds() {
+        let mut d = Design::new("t");
+        let m = MemArray::new(&mut d, "rom", 4, 4, Init::Symbolic);
+        let addr = d.input("a", 2);
+        let _data = m.read(&mut d, &addr);
+        m.seal_const(&mut d);
+        let aig = d.finish();
+        for l in aig.latches() {
+            assert_eq!(l.next.unwrap(), l.output);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut d = Design::new("t");
+        let _ = MemArray::new(&mut d, "m", 3, 4, Init::Zero);
+    }
+
+    #[test]
+    fn addr_width() {
+        let mut d = Design::new("t");
+        let m = MemArray::new(&mut d, "m", 8, 4, Init::Zero);
+        assert_eq!(m.addr_width(), 3);
+        assert_eq!(m.len(), 8);
+        m.seal_const(&mut d);
+        let _ = d.finish();
+    }
+}

@@ -1,0 +1,88 @@
+//! Multi-bit words over the AIG.
+//!
+//! A [`Word`] is an ordered vector of [`Bit`]s, least-significant first.
+//! All arithmetic is unsigned and width-checked; operations live on
+//! [`Design`](crate::Design) because they allocate gates.
+
+use crate::aig::Bit;
+
+/// A fixed-width bundle of netlist bits (LSB first).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Word {
+    bits: Vec<Bit>,
+}
+
+impl Word {
+    /// Builds a word from bits (LSB first).
+    pub fn from_bits(bits: Vec<Bit>) -> Word {
+        Word { bits }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The `i`-th bit (0 = LSB).
+    ///
+    /// # Panics
+    /// Panics if `i >= width()`.
+    pub fn bit(&self, i: usize) -> Bit {
+        self.bits[i]
+    }
+
+    /// All bits, LSB first.
+    pub fn bits(&self) -> &[Bit] {
+        &self.bits
+    }
+
+    /// A single-bit word.
+    pub fn from_bit(b: Bit) -> Word {
+        Word { bits: vec![b] }
+    }
+
+    /// Sub-word `[lo, hi)` (LSB-relative, half-open).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or empty.
+    pub fn slice(&self, lo: usize, hi: usize) -> Word {
+        assert!(lo < hi && hi <= self.bits.len(), "bad slice {lo}..{hi}");
+        Word {
+            bits: self.bits[lo..hi].to_vec(),
+        }
+    }
+
+    /// Concatenates `self` (low part) with `high`.
+    pub fn concat(&self, high: &Word) -> Word {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&high.bits);
+        Word { bits }
+    }
+}
+
+impl From<Bit> for Word {
+    fn from(b: Bit) -> Word {
+        Word::from_bit(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_and_concat() {
+        let bits: Vec<Bit> = (0..4).map(|_| Bit::FALSE).collect();
+        let w = Word::from_bits(bits);
+        assert_eq!(w.width(), 4);
+        assert_eq!(w.slice(1, 3).width(), 2);
+        assert_eq!(w.concat(&Word::from_bit(Bit::TRUE)).width(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad slice")]
+    fn slice_out_of_range() {
+        let w = Word::from_bits(vec![Bit::FALSE]);
+        let _ = w.slice(0, 2);
+    }
+}

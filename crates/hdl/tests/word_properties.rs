@@ -1,0 +1,122 @@
+//! Property-based testing of the word-level operator library against
+//! `u64` reference semantics: on constant inputs the AIG constant-folds,
+//! so equality with the expected literal is a complete functional check.
+
+use csl_hdl::{Design, Word};
+use proptest::prelude::*;
+
+fn mask(w: usize) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1 << w) - 1
+    }
+}
+
+fn lit(d: &mut Design, w: usize, v: u64) -> Word {
+    d.lit(w, v & mask(w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_matches(w in 1usize..12, a in any::<u64>(), b in any::<u64>()) {
+        let mut d = Design::new("t");
+        let x = lit(&mut d, w, a);
+        let y = lit(&mut d, w, b);
+        let got = d.add(&x, &y);
+        let want = lit(&mut d, w, a.wrapping_add(b));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sub_matches(w in 1usize..12, a in any::<u64>(), b in any::<u64>()) {
+        let mut d = Design::new("t");
+        let x = lit(&mut d, w, a);
+        let y = lit(&mut d, w, b);
+        let got = d.sub(&x, &y);
+        let want = lit(&mut d, w, (a & mask(w)).wrapping_sub(b & mask(w)));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mul_matches(w in 1usize..9, a in any::<u64>(), b in any::<u64>()) {
+        let mut d = Design::new("t");
+        let x = lit(&mut d, w, a);
+        let y = lit(&mut d, w, b);
+        let got = d.mul(&x, &y);
+        let want = lit(&mut d, w, (a & mask(w)).wrapping_mul(b & mask(w)));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn comparisons_match(w in 1usize..12, a in any::<u64>(), b in any::<u64>()) {
+        let mut d = Design::new("t");
+        let (am, bm) = (a & mask(w), b & mask(w));
+        let x = lit(&mut d, w, a);
+        let y = lit(&mut d, w, b);
+        prop_assert_eq!(d.eq(&x, &y) == csl_hdl::Bit::TRUE, am == bm);
+        prop_assert_eq!(d.ult(&x, &y) == csl_hdl::Bit::TRUE, am < bm);
+        prop_assert_eq!(d.ule(&x, &y) == csl_hdl::Bit::TRUE, am <= bm);
+        prop_assert_eq!(d.is_zero(&x) == csl_hdl::Bit::TRUE, am == 0);
+    }
+
+    #[test]
+    fn bitwise_match(w in 1usize..16, a in any::<u64>(), b in any::<u64>()) {
+        let mut d = Design::new("t");
+        let x = lit(&mut d, w, a);
+        let y = lit(&mut d, w, b);
+        let and = d.and(&x, &y);
+        let or = d.or(&x, &y);
+        let xor = d.xor(&x, &y);
+        let not = d.not(&x);
+        prop_assert_eq!(and, lit(&mut d, w, a & b));
+        prop_assert_eq!(or, lit(&mut d, w, a | b));
+        prop_assert_eq!(xor, lit(&mut d, w, a ^ b));
+        prop_assert_eq!(not, lit(&mut d, w, !a));
+    }
+
+    #[test]
+    fn mux_matches(w in 1usize..12, s in any::<bool>(), a in any::<u64>(), b in any::<u64>()) {
+        let mut d = Design::new("t");
+        let x = lit(&mut d, w, a);
+        let y = lit(&mut d, w, b);
+        let sel = if s { csl_hdl::Bit::TRUE } else { csl_hdl::Bit::FALSE };
+        let got = d.mux(sel, &x, &y);
+        let want = lit(&mut d, w, if s { a } else { b });
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn select_matches(idx in 0usize..8, vals in prop::collection::vec(any::<u64>(), 8)) {
+        let mut d = Design::new("t");
+        let options: Vec<Word> = vals.iter().map(|&v| lit(&mut d, 8, v)).collect();
+        let i = d.lit(3, idx as u64);
+        let got = d.select(&i, &options);
+        let want = lit(&mut d, 8, vals[idx]);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shifts_match(w in 1usize..16, k in 0usize..20, a in any::<u64>()) {
+        let mut d = Design::new("t");
+        let x = lit(&mut d, w, a);
+        let shl = d.shl_const(&x, k);
+        let shr = d.shr_const(&x, k);
+        let am = a & mask(w);
+        let want_shl = if k >= 64 { 0 } else { am << k };
+        let want_shr = if k >= 64 { 0 } else { am >> k };
+        prop_assert_eq!(shl, lit(&mut d, w, want_shl));
+        prop_assert_eq!(shr, lit(&mut d, w, want_shr));
+    }
+
+    #[test]
+    fn add_const_matches(w in 1usize..12, a in any::<u64>(), k in any::<u64>()) {
+        let mut d = Design::new("t");
+        let x = lit(&mut d, w, a);
+        let got = d.add_const(&x, k & mask(w));
+        let want = lit(&mut d, w, a.wrapping_add(k & mask(w)));
+        prop_assert_eq!(got, want);
+    }
+}

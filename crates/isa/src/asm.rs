@@ -1,0 +1,304 @@
+//! A small two-pass assembler for MiniISA.
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//! ; attacker gadget (comments with ';' or '#')
+//!         LI   r3, 2
+//!         LI   r1, 1
+//! loop:   BNZ  r1, loop     ; labels are branch targets
+//!         LD   r2, (r3)
+//!         LD   r0, (r2)
+//!         NOP
+//! ```
+
+use std::collections::HashMap;
+
+use crate::config::IsaConfig;
+use crate::inst::{encode, Inst};
+
+/// An assembler diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "asm error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles a program into encoded instruction words, NOP-padded to the
+/// configured instruction-memory size.
+///
+/// # Errors
+/// Returns [`AsmError`] on syntax errors, unknown mnemonics/labels, field
+/// overflow, or programs longer than the instruction memory.
+pub fn assemble(cfg: &IsaConfig, source: &str) -> Result<Vec<u32>, AsmError> {
+    // Pass 1: strip comments/labels, record label addresses.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut text = raw;
+        if let Some(i) = text.find([';', '#']) {
+            text = &text[..i];
+        }
+        let mut text = text.trim().to_string();
+        while let Some(colon) = text.find(':') {
+            let label = text[..colon].trim().to_string();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(AsmError {
+                    line: lineno,
+                    message: format!("bad label {label:?}"),
+                });
+            }
+            if labels.insert(label.clone(), lines.len() as u32).is_some() {
+                return Err(AsmError {
+                    line: lineno,
+                    message: format!("duplicate label {label:?}"),
+                });
+            }
+            text = text[colon + 1..].trim().to_string();
+        }
+        if !text.is_empty() {
+            lines.push((lineno, text));
+        }
+    }
+    if lines.len() > cfg.imem_size {
+        return Err(AsmError {
+            line: lines.last().map(|l| l.0).unwrap_or(0),
+            message: format!(
+                "program has {} instructions but imem holds {}",
+                lines.len(),
+                cfg.imem_size
+            ),
+        });
+    }
+
+    // Pass 2: parse each instruction.
+    let mut imem = vec![encode(cfg, Inst::Nop); cfg.imem_size];
+    for (slot, (lineno, text)) in lines.iter().enumerate() {
+        let inst = parse_inst(cfg, text, &labels).map_err(|message| AsmError {
+            line: *lineno,
+            message,
+        })?;
+        check_fields(cfg, inst).map_err(|message| AsmError {
+            line: *lineno,
+            message,
+        })?;
+        imem[slot] = encode(cfg, inst);
+    }
+    Ok(imem)
+}
+
+fn parse_reg(tok: &str) -> Result<u8, String> {
+    let t = tok.trim().trim_start_matches('(').trim_end_matches(')');
+    let t = t.strip_prefix(['r', 'R']).ok_or(format!("expected register, got {tok:?}"))?;
+    t.parse::<u8>().map_err(|e| format!("bad register {tok:?}: {e}"))
+}
+
+fn parse_value(tok: &str, labels: &HashMap<String, u32>) -> Result<u32, String> {
+    let t = tok.trim();
+    if let Some(&addr) = labels.get(t) {
+        return Ok(addr);
+    }
+    if let Some(hex) = t.strip_prefix("0x") {
+        return u32::from_str_radix(hex, 16).map_err(|e| format!("bad value {tok:?}: {e}"));
+    }
+    t.parse::<u32>().map_err(|e| format!("bad value {tok:?}: {e}"))
+}
+
+fn parse_inst(
+    cfg: &IsaConfig,
+    text: &str,
+    labels: &HashMap<String, u32>,
+) -> Result<Inst, String> {
+    let (mn, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let need = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{mn} expects {n} operands, got {}", ops.len()))
+        }
+    };
+    match mn.to_ascii_uppercase().as_str() {
+        "LI" => {
+            need(2)?;
+            Ok(Inst::Li {
+                rd: parse_reg(ops[0])?,
+                imm: parse_value(ops[1], labels)?,
+            })
+        }
+        "ADD" => {
+            need(3)?;
+            Ok(Inst::Add {
+                rd: parse_reg(ops[0])?,
+                rs1: parse_reg(ops[1])?,
+                rs2: parse_reg(ops[2])?,
+            })
+        }
+        "MUL" => {
+            need(3)?;
+            if !cfg.enable_mul {
+                return Err("MUL requires the multiply extension".into());
+            }
+            Ok(Inst::Mul {
+                rd: parse_reg(ops[0])?,
+                rs1: parse_reg(ops[1])?,
+                rs2: parse_reg(ops[2])?,
+            })
+        }
+        "LD" => {
+            need(2)?;
+            Ok(Inst::Ld {
+                rd: parse_reg(ops[0])?,
+                rs1: parse_reg(ops[1])?,
+            })
+        }
+        "BNZ" => {
+            need(2)?;
+            Ok(Inst::Bnz {
+                rs1: parse_reg(ops[0])?,
+                target: parse_value(ops[1], labels)?,
+            })
+        }
+        "NOP" => {
+            need(0)?;
+            Ok(Inst::Nop)
+        }
+        other => Err(format!("unknown mnemonic {other:?}")),
+    }
+}
+
+fn check_fields(cfg: &IsaConfig, inst: Inst) -> Result<(), String> {
+    let rmax = (cfg.nregs - 1) as u8;
+    let check_reg = |r: u8| -> Result<(), String> {
+        if r > rmax {
+            Err(format!("register r{r} exceeds r{rmax}"))
+        } else {
+            Ok(())
+        }
+    };
+    match inst {
+        Inst::Li { rd, imm } => {
+            check_reg(rd)?;
+            if u64::from(imm) >= (1 << cfg.imm_bits()) {
+                return Err(format!("immediate {imm} too wide"));
+            }
+        }
+        Inst::Add { rd, rs1, rs2 } | Inst::Mul { rd, rs1, rs2 } => {
+            check_reg(rd)?;
+            check_reg(rs1)?;
+            check_reg(rs2)?;
+        }
+        Inst::Ld { rd, rs1 } => {
+            check_reg(rd)?;
+            check_reg(rs1)?;
+        }
+        Inst::Bnz { rs1, target } => {
+            check_reg(rs1)?;
+            if target as usize >= cfg.imem_size {
+                return Err(format!("branch target {target} outside imem"));
+            }
+        }
+        Inst::Nop => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::decode;
+
+    fn cfg() -> IsaConfig {
+        IsaConfig::default()
+    }
+
+    #[test]
+    fn assembles_spectre_gadget() {
+        let c = cfg();
+        let imem = assemble(
+            &c,
+            "
+            ; spectre v1 gadget for MiniISA
+                    LI  r3, 2
+                    LI  r1, 1
+                    BNZ r1, done
+                    LD  r2, (r3)     ; transient: load secret
+                    LD  r0, (r2)     ; transient: leak via address
+            done:   NOP
+            ",
+        )
+        .unwrap();
+        assert_eq!(decode(&c, imem[0]), Inst::Li { rd: 3, imm: 2 });
+        assert_eq!(decode(&c, imem[2]), Inst::Bnz { rs1: 1, target: 5 });
+        assert_eq!(decode(&c, imem[3]), Inst::Ld { rd: 2, rs1: 3 });
+        assert_eq!(decode(&c, imem[5]), Inst::Nop);
+        assert_eq!(imem.len(), c.imem_size);
+    }
+
+    #[test]
+    fn label_forward_and_backward() {
+        let c = cfg();
+        let imem = assemble(&c, "top: LI r1, 1\nBNZ r1, top").unwrap();
+        assert_eq!(decode(&c, imem[1]), Inst::Bnz { rs1: 1, target: 0 });
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let err = assemble(&cfg(), "FOO r1, r2").unwrap_err();
+        assert!(err.message.contains("unknown mnemonic"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_register_out_of_range() {
+        let err = assemble(&cfg(), "LI r9, 1").unwrap_err();
+        assert!(err.message.contains("exceeds"));
+    }
+
+    #[test]
+    fn rejects_overlong_program() {
+        let src = "NOP\n".repeat(9);
+        let err = assemble(&cfg(), &src).unwrap_err();
+        assert!(err.message.contains("imem holds"));
+    }
+
+    #[test]
+    fn rejects_duplicate_label() {
+        let err = assemble(&cfg(), "a: NOP\na: NOP").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn hex_values() {
+        let c = cfg();
+        let imem = assemble(&c, "LI r1, 0xb").unwrap();
+        assert_eq!(decode(&c, imem[0]), Inst::Li { rd: 1, imm: 0xb });
+    }
+
+    #[test]
+    fn mul_gated_by_extension() {
+        assert!(assemble(&cfg(), "MUL r1, r2, r3").is_err());
+        let c = IsaConfig {
+            enable_mul: true,
+            ..cfg()
+        };
+        assert!(assemble(&c, "MUL r1, r2, r3").is_ok());
+    }
+}

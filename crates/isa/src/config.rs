@@ -1,0 +1,165 @@
+//! ISA configuration.
+//!
+//! MiniISA is the paper's SimpleOoO instruction set — "4 customized insts
+//! (loadimm, ALU, load, branch)" (Table 1) — made parametric so every
+//! structure-size sweep of Figure 2 is a configuration change. The BigOoO
+//! (BOOM stand-in) additionally enables a faulting load semantics that
+//! reproduces the mis-speculation sources of §7.1.4 (misaligned and
+//! illegal accesses), and an optional multiply for constant-time workloads.
+
+/// Parameters shared by the ISA semantics, the reference interpreter and
+/// every processor generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IsaConfig {
+    /// Data width in bits (register and memory word width). 2..=16.
+    pub xlen: usize,
+    /// Number of architectural registers (power of two).
+    pub nregs: usize,
+    /// Instruction-memory slots (power of two); the PC wraps around, so a
+    /// program is an infinite instruction stream.
+    pub imem_size: usize,
+    /// Data-memory words (power of two). The upper half is the secret
+    /// region of the threat model (§3).
+    pub dmem_size: usize,
+    /// Enable the faulting-load semantics (BigOoO / BOOM stand-in):
+    /// load addresses are byte addresses (bit 0 = half-word offset);
+    /// odd addresses fault MISALIGNED, word indices past `dmem_size` fault
+    /// ILLEGAL. Without it, load addresses wrap modulo `dmem_size` and
+    /// never fault.
+    pub exceptions: bool,
+    /// Decode opcode 4 as MUL (otherwise it is a NOP).
+    pub enable_mul: bool,
+}
+
+impl Default for IsaConfig {
+    /// The paper's SimpleOoO-scale default: 4-bit data, 4 registers,
+    /// 8-slot instruction memory, 4-word data memory, no exceptions.
+    fn default() -> Self {
+        IsaConfig {
+            xlen: 4,
+            nregs: 4,
+            imem_size: 8,
+            dmem_size: 4,
+            exceptions: false,
+            enable_mul: false,
+        }
+    }
+}
+
+impl IsaConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics on out-of-range or non-power-of-two parameters.
+    pub fn validate(&self) {
+        assert!((2..=16).contains(&self.xlen), "xlen out of range");
+        assert!(self.nregs.is_power_of_two() && self.nregs >= 2);
+        assert!(self.imem_size.is_power_of_two() && self.imem_size >= 2);
+        assert!(self.dmem_size.is_power_of_two() && self.dmem_size >= 2);
+        assert!(
+            self.reg_bits() <= self.xlen,
+            "register index must fit in a data word"
+        );
+        if self.exceptions {
+            assert!(
+                self.dmem_size <= 1 << (self.xlen - 1),
+                "byte-addressed memory must be reachable from xlen-bit registers"
+            );
+        }
+    }
+
+    /// Bits in a register index.
+    pub fn reg_bits(&self) -> usize {
+        self.nregs.trailing_zeros() as usize
+    }
+
+    /// Bits in a program counter.
+    pub fn pc_bits(&self) -> usize {
+        self.imem_size.trailing_zeros() as usize
+    }
+
+    /// Bits in a data-memory word index.
+    pub fn dmem_bits(&self) -> usize {
+        self.dmem_size.trailing_zeros() as usize
+    }
+
+    /// Bits in the immediate field: must hold a data constant or a branch
+    /// target.
+    pub fn imm_bits(&self) -> usize {
+        self.xlen.max(self.pc_bits())
+    }
+
+    /// Total encoded instruction width:
+    /// `op(3) | rd | rs1 | imm` (rs2 aliases the low bits of imm).
+    pub fn inst_bits(&self) -> usize {
+        3 + 2 * self.reg_bits() + self.imm_bits()
+    }
+
+    /// Mask for a data word.
+    pub fn xmask(&self) -> u32 {
+        ((1u64 << self.xlen) - 1) as u32
+    }
+
+    /// First data-memory word index of the secret region (upper half).
+    pub fn secret_base(&self) -> usize {
+        self.dmem_size / 2
+    }
+
+    /// Whether a word index lies in the secret region.
+    pub fn is_secret_word(&self, word: usize) -> bool {
+        word >= self.secret_base() && word < self.dmem_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_scale() {
+        let c = IsaConfig::default();
+        c.validate();
+        assert_eq!(c.reg_bits(), 2);
+        assert_eq!(c.pc_bits(), 3);
+        assert_eq!(c.imm_bits(), 4);
+        assert_eq!(c.inst_bits(), 11);
+        assert_eq!(c.xmask(), 0xf);
+        assert_eq!(c.secret_base(), 2);
+        assert!(c.is_secret_word(2));
+        assert!(c.is_secret_word(3));
+        assert!(!c.is_secret_word(1));
+    }
+
+    #[test]
+    fn exceptions_config_validates() {
+        let c = IsaConfig {
+            exceptions: true,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_xlen() {
+        IsaConfig {
+            xlen: 1,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn wide_config() {
+        let c = IsaConfig {
+            xlen: 8,
+            nregs: 8,
+            imem_size: 16,
+            dmem_size: 16,
+            exceptions: false,
+            enable_mul: true,
+        };
+        c.validate();
+        assert_eq!(c.inst_bits(), 3 + 6 + 8);
+    }
+}

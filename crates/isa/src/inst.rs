@@ -1,0 +1,207 @@
+//! Instruction set, encoding and decoding.
+//!
+//! MiniISA has four base instructions (exactly the paper's SimpleOoO set)
+//! plus an optional multiply:
+//!
+//! | op | mnemonic | semantics                                              |
+//! |----|----------|--------------------------------------------------------|
+//! | 0  | `LI`     | `r[rd] = imm`                                          |
+//! | 1  | `ADD`    | `r[rd] = r[rs1] + r[rs2]` (mod 2^xlen)                 |
+//! | 2  | `LD`     | `r[rd] = dmem[r[rs1]]` (addressing mode per config)    |
+//! | 3  | `BNZ`    | `if r[rs1] != 0 { pc = imm } else { pc += 1 }`         |
+//! | 4  | `MUL`    | `r[rd] = r[rs1] * r[rs2]` (if enabled, else NOP)       |
+//! | 5-7| `NOP`    | no effect but advancing the PC                          |
+//!
+//! Every bit pattern decodes to *some* instruction (undefined opcodes are
+//! NOPs), which matters because model checking explores a fully symbolic
+//! instruction memory.
+//!
+//! Encoding, LSB first: `imm | rs1 | rd | op(3)`, with `rs2` aliased to the
+//! low bits of `imm` for register-register ops.
+
+use crate::config::IsaConfig;
+
+/// A decoded instruction. Register and immediate fields are already
+/// truncated to the configured widths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inst {
+    /// Load immediate: `r[rd] = imm`.
+    Li { rd: u8, imm: u32 },
+    /// Register add: `r[rd] = r[rs1] + r[rs2]`.
+    Add { rd: u8, rs1: u8, rs2: u8 },
+    /// Memory load: `r[rd] = dmem[addr(r[rs1])]`.
+    Ld { rd: u8, rs1: u8 },
+    /// Branch if non-zero to an absolute target.
+    Bnz { rs1: u8, target: u32 },
+    /// Register multiply (optional extension).
+    Mul { rd: u8, rs1: u8, rs2: u8 },
+    /// No operation (undefined opcodes).
+    Nop,
+}
+
+/// Numeric opcodes (the `op` field values).
+pub mod opcode {
+    pub const LI: u32 = 0;
+    pub const ADD: u32 = 1;
+    pub const LD: u32 = 2;
+    pub const BNZ: u32 = 3;
+    pub const MUL: u32 = 4;
+}
+
+impl Inst {
+    /// The destination register, if the instruction writes one.
+    pub fn rd(&self) -> Option<u8> {
+        match *self {
+            Inst::Li { rd, .. } | Inst::Add { rd, .. } | Inst::Ld { rd, .. } | Inst::Mul { rd, .. } => {
+                Some(rd)
+            }
+            Inst::Bnz { .. } | Inst::Nop => None,
+        }
+    }
+
+    /// True for memory loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Ld { .. })
+    }
+
+    /// True for branches.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Inst::Bnz { .. })
+    }
+}
+
+/// Encodes an instruction to its bit pattern.
+///
+/// # Panics
+/// Panics if a field exceeds its configured width, or if `MUL` is encoded
+/// for a configuration without the multiply extension.
+pub fn encode(cfg: &IsaConfig, inst: Inst) -> u32 {
+    let rb = cfg.reg_bits();
+    let ib = cfg.imm_bits();
+    let rmask = (1u32 << rb) - 1;
+    let imask = ((1u64 << ib) - 1) as u32;
+    let pack = |op: u32, rd: u32, rs1: u32, imm: u32| -> u32 {
+        assert!(rd <= rmask && rs1 <= rmask && imm <= imask, "field overflow");
+        imm | (rs1 << ib) | (rd << (ib + rb)) | (op << (ib + 2 * rb))
+    };
+    match inst {
+        Inst::Li { rd, imm } => pack(opcode::LI, rd as u32, 0, imm),
+        Inst::Add { rd, rs1, rs2 } => pack(opcode::ADD, rd as u32, rs1 as u32, rs2 as u32),
+        Inst::Ld { rd, rs1 } => pack(opcode::LD, rd as u32, rs1 as u32, 0),
+        Inst::Bnz { rs1, target } => pack(opcode::BNZ, 0, rs1 as u32, target),
+        Inst::Mul { rd, rs1, rs2 } => {
+            assert!(cfg.enable_mul, "MUL encoded without the multiply extension");
+            pack(opcode::MUL, rd as u32, rs1 as u32, rs2 as u32)
+        }
+        Inst::Nop => pack(7, 0, 0, 0),
+    }
+}
+
+/// Decodes a bit pattern. Never fails: undefined opcodes become [`Inst::Nop`].
+pub fn decode(cfg: &IsaConfig, bits: u32) -> Inst {
+    let rb = cfg.reg_bits();
+    let ib = cfg.imm_bits();
+    let rmask = (1u32 << rb) - 1;
+    let imask = ((1u64 << ib) - 1) as u32;
+    let imm = bits & imask;
+    let rs1 = ((bits >> ib) & rmask) as u8;
+    let rd = ((bits >> (ib + rb)) & rmask) as u8;
+    let op = (bits >> (ib + 2 * rb)) & 0b111;
+    let rs2 = (imm & rmask) as u8;
+    match op {
+        opcode::LI => Inst::Li {
+            rd,
+            imm: imm & cfg.xmask(),
+        },
+        opcode::ADD => Inst::Add { rd, rs1, rs2 },
+        opcode::LD => Inst::Ld { rd, rs1 },
+        opcode::BNZ => Inst::Bnz {
+            rs1,
+            target: imm & ((cfg.imem_size - 1) as u32),
+        },
+        opcode::MUL if cfg.enable_mul => Inst::Mul { rd, rs1, rs2 },
+        _ => Inst::Nop,
+    }
+}
+
+/// Renders an instruction in assembler syntax.
+pub fn mnemonic(inst: Inst) -> String {
+    match inst {
+        Inst::Li { rd, imm } => format!("LI r{rd}, {imm}"),
+        Inst::Add { rd, rs1, rs2 } => format!("ADD r{rd}, r{rs1}, r{rs2}"),
+        Inst::Ld { rd, rs1 } => format!("LD r{rd}, (r{rs1})"),
+        Inst::Bnz { rs1, target } => format!("BNZ r{rs1}, {target}"),
+        Inst::Mul { rd, rs1, rs2 } => format!("MUL r{rd}, r{rs1}, r{rs2}"),
+        Inst::Nop => "NOP".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> IsaConfig {
+        IsaConfig::default()
+    }
+
+    #[test]
+    fn roundtrip_all_base_instructions() {
+        let c = cfg();
+        let cases = [
+            Inst::Li { rd: 3, imm: 9 },
+            Inst::Add { rd: 1, rs1: 2, rs2: 3 },
+            Inst::Ld { rd: 0, rs1: 3 },
+            Inst::Bnz { rs1: 2, target: 5 },
+        ];
+        for inst in cases {
+            assert_eq!(decode(&c, encode(&c, inst)), inst, "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn mul_requires_extension() {
+        let mut c = cfg();
+        c.enable_mul = true;
+        let m = Inst::Mul { rd: 1, rs1: 2, rs2: 3 };
+        assert_eq!(decode(&c, encode(&c, m)), m);
+        // Without the extension the same bits decode to NOP.
+        let bits = encode(&c, m);
+        c.enable_mul = false;
+        assert_eq!(decode(&c, bits), Inst::Nop);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiply extension")]
+    fn mul_encode_rejected_without_extension() {
+        encode(&cfg(), Inst::Mul { rd: 0, rs1: 0, rs2: 0 });
+    }
+
+    #[test]
+    fn every_bit_pattern_decodes() {
+        let c = cfg();
+        for bits in 0..(1u32 << c.inst_bits()) {
+            let _ = decode(&c, bits); // must not panic
+        }
+    }
+
+    #[test]
+    fn undefined_opcodes_are_nops() {
+        let c = cfg();
+        for op in 4..8u32 {
+            let bits = op << (c.imm_bits() + 2 * c.reg_bits());
+            assert_eq!(decode(&c, bits), Inst::Nop);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "field overflow")]
+    fn rejects_oversized_field() {
+        encode(&cfg(), Inst::Li { rd: 4, imm: 0 });
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(mnemonic(Inst::Ld { rd: 2, rs1: 1 }), "LD r2, (r1)");
+        assert_eq!(mnemonic(Inst::Nop), "NOP");
+    }
+}

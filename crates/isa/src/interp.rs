@@ -1,0 +1,333 @@
+//! The reference interpreter: MiniISA's architectural semantics.
+//!
+//! This is the "single-cycle machine" of the paper's baseline scheme
+//! (§4.1) in executable form: it retires exactly one instruction per step
+//! and is the ground truth both for the contract constraint check's ISA
+//! observations and for co-simulating every processor generator
+//! ("functional correctness" assumption, §5.4).
+
+use crate::config::IsaConfig;
+use crate::inst::{decode, Inst};
+
+/// Architectural exception kinds (BigOoO / BOOM stand-in semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exception {
+    /// Load byte-address has the half-word offset bit set (the paper's
+    /// `lhu` misalignment attack source, §7.1.4).
+    Misaligned,
+    /// Load word index beyond the physical memory (the paper's illegal
+    /// memory access attack source, §7.1.4).
+    Illegal,
+}
+
+/// Architectural state: program counter and register file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArchState {
+    pub pc: u32,
+    pub regs: Vec<u32>,
+}
+
+impl ArchState {
+    /// Reset state: `pc = 0`, all registers zero.
+    pub fn reset(cfg: &IsaConfig) -> ArchState {
+        ArchState {
+            pc: 0,
+            regs: vec![0; cfg.nregs],
+        }
+    }
+}
+
+/// Everything observable about one retired instruction — the raw material
+/// from which each contract's `O_ISA` record is projected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepInfo {
+    /// PC of the retired instruction.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Exception raised (suppresses writeback and the memory access).
+    pub exception: Option<Exception>,
+    /// Register written and its value.
+    pub writeback: Option<(u8, u32)>,
+    /// Data-memory word index read (loads that do not fault).
+    pub mem_word: Option<u32>,
+    /// Branch outcome (branches only).
+    pub branch_taken: Option<bool>,
+    /// Multiplier operands (MUL only; constant-time contract observes them).
+    pub mul_operands: Option<(u32, u32)>,
+}
+
+/// Resolves a load address to a word index, or faults.
+///
+/// With `cfg.exceptions` the register value is a byte address: bit 0 is a
+/// half-word offset that must be zero, the remaining bits form the word
+/// index which must be in range. Without exceptions the value wraps
+/// modulo the memory size and never faults.
+pub fn resolve_load(cfg: &IsaConfig, reg_value: u32) -> Result<u32, Exception> {
+    if cfg.exceptions {
+        if reg_value & 1 != 0 {
+            return Err(Exception::Misaligned);
+        }
+        let word = reg_value >> 1;
+        if word as usize >= cfg.dmem_size {
+            return Err(Exception::Illegal);
+        }
+        Ok(word)
+    } else {
+        Ok(reg_value & ((cfg.dmem_size - 1) as u32))
+    }
+}
+
+/// The word a faulting load *speculatively* touches in an insecure
+/// implementation (wrap-around addressing) — used by the BigOoO generator
+/// and by tests that predict leakage, never by architectural semantics.
+pub fn transient_load_word(cfg: &IsaConfig, reg_value: u32) -> u32 {
+    (reg_value >> 1) & ((cfg.dmem_size - 1) as u32)
+}
+
+/// Executes one instruction.
+///
+/// On an exception the instruction has no architectural effect except
+/// redirecting the PC to the trap vector (address 0).
+pub fn step(cfg: &IsaConfig, state: &mut ArchState, imem: &[u32], dmem: &[u32]) -> StepInfo {
+    debug_assert_eq!(imem.len(), cfg.imem_size);
+    debug_assert_eq!(dmem.len(), cfg.dmem_size);
+    let pc = state.pc & ((cfg.imem_size - 1) as u32);
+    let inst = decode(cfg, imem[pc as usize]);
+    let xm = cfg.xmask();
+    let mut info = StepInfo {
+        pc,
+        inst,
+        exception: None,
+        writeback: None,
+        mem_word: None,
+        branch_taken: None,
+        mul_operands: None,
+    };
+    let mut next_pc = (pc + 1) & ((cfg.imem_size - 1) as u32);
+    match inst {
+        Inst::Li { rd, imm } => {
+            let v = imm & xm;
+            state.regs[rd as usize] = v;
+            info.writeback = Some((rd, v));
+        }
+        Inst::Add { rd, rs1, rs2 } => {
+            let v = (state.regs[rs1 as usize] + state.regs[rs2 as usize]) & xm;
+            state.regs[rd as usize] = v;
+            info.writeback = Some((rd, v));
+        }
+        Inst::Mul { rd, rs1, rs2 } => {
+            let a = state.regs[rs1 as usize];
+            let b = state.regs[rs2 as usize];
+            let v = a.wrapping_mul(b) & xm;
+            state.regs[rd as usize] = v;
+            info.writeback = Some((rd, v));
+            info.mul_operands = Some((a, b));
+        }
+        Inst::Ld { rd, rs1 } => match resolve_load(cfg, state.regs[rs1 as usize]) {
+            Ok(word) => {
+                let v = dmem[word as usize] & xm;
+                state.regs[rd as usize] = v;
+                info.writeback = Some((rd, v));
+                info.mem_word = Some(word);
+            }
+            Err(e) => {
+                info.exception = Some(e);
+                next_pc = 0; // trap vector
+            }
+        },
+        Inst::Bnz { rs1, target } => {
+            let taken = state.regs[rs1 as usize] != 0;
+            info.branch_taken = Some(taken);
+            if taken {
+                next_pc = target & ((cfg.imem_size - 1) as u32);
+            }
+        }
+        Inst::Nop => {}
+    }
+    state.pc = next_pc;
+    info
+}
+
+/// Convenience: runs `n` steps and collects the retirement stream.
+pub fn run(
+    cfg: &IsaConfig,
+    state: &mut ArchState,
+    imem: &[u32],
+    dmem: &[u32],
+    n: usize,
+) -> Vec<StepInfo> {
+    (0..n).map(|_| step(cfg, state, imem, dmem)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::encode;
+
+    fn cfg() -> IsaConfig {
+        IsaConfig::default()
+    }
+
+    fn assemble(cfg: &IsaConfig, prog: &[Inst]) -> Vec<u32> {
+        let mut imem = vec![encode(cfg, Inst::Nop); cfg.imem_size];
+        for (i, &inst) in prog.iter().enumerate() {
+            imem[i] = encode(cfg, inst);
+        }
+        imem
+    }
+
+    #[test]
+    fn li_add_ld_sequence() {
+        let c = cfg();
+        let imem = assemble(
+            &c,
+            &[
+                Inst::Li { rd: 1, imm: 3 },
+                Inst::Li { rd: 2, imm: 2 },
+                Inst::Add { rd: 3, rs1: 1, rs2: 2 },
+                Inst::Ld { rd: 0, rs1: 2 },
+            ],
+        );
+        let dmem = vec![7, 8, 9, 10];
+        let mut st = ArchState::reset(&c);
+        let infos = run(&c, &mut st, &imem, &dmem, 4);
+        assert_eq!(st.regs[1], 3);
+        assert_eq!(st.regs[2], 2);
+        assert_eq!(st.regs[3], 5);
+        assert_eq!(st.regs[0], 9); // dmem[2]
+        assert_eq!(infos[3].mem_word, Some(2));
+        assert_eq!(infos[3].writeback, Some((0, 9)));
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let c = cfg();
+        let imem = assemble(
+            &c,
+            &[
+                Inst::Bnz { rs1: 0, target: 5 }, // r0 == 0: not taken
+                Inst::Li { rd: 0, imm: 1 },
+                Inst::Bnz { rs1: 0, target: 6 }, // r0 == 1: taken
+            ],
+        );
+        let dmem = vec![0; 4];
+        let mut st = ArchState::reset(&c);
+        let i0 = step(&c, &mut st, &imem, &dmem);
+        assert_eq!(i0.branch_taken, Some(false));
+        assert_eq!(st.pc, 1);
+        let _ = step(&c, &mut st, &imem, &dmem);
+        let i2 = step(&c, &mut st, &imem, &dmem);
+        assert_eq!(i2.branch_taken, Some(true));
+        assert_eq!(st.pc, 6);
+    }
+
+    #[test]
+    fn pc_wraps_around_imem() {
+        let c = cfg();
+        let imem = assemble(&c, &[]);
+        let dmem = vec![0; 4];
+        let mut st = ArchState::reset(&c);
+        st.pc = (c.imem_size - 1) as u32;
+        step(&c, &mut st, &imem, &dmem);
+        assert_eq!(st.pc, 0);
+    }
+
+    #[test]
+    fn misaligned_load_faults_without_effects() {
+        let c = IsaConfig {
+            exceptions: true,
+            ..cfg()
+        };
+        let imem = assemble(
+            &c,
+            &[Inst::Li { rd: 1, imm: 5 }, Inst::Ld { rd: 2, rs1: 1 }],
+        );
+        let dmem = vec![1, 2, 3, 4];
+        let mut st = ArchState::reset(&c);
+        step(&c, &mut st, &imem, &dmem);
+        let i = step(&c, &mut st, &imem, &dmem);
+        assert_eq!(i.exception, Some(Exception::Misaligned));
+        assert_eq!(i.writeback, None);
+        assert_eq!(i.mem_word, None);
+        assert_eq!(st.regs[2], 0, "faulting load must not write");
+        assert_eq!(st.pc, 0, "trap vector");
+    }
+
+    #[test]
+    fn illegal_load_faults() {
+        let c = IsaConfig {
+            exceptions: true,
+            ..cfg()
+        };
+        // r1 = 12 -> byte addr 12, word 6 >= dmem_size 4 -> illegal.
+        let imem = assemble(
+            &c,
+            &[Inst::Li { rd: 1, imm: 12 }, Inst::Ld { rd: 2, rs1: 1 }],
+        );
+        let dmem = vec![1, 2, 3, 4];
+        let mut st = ArchState::reset(&c);
+        step(&c, &mut st, &imem, &dmem);
+        let i = step(&c, &mut st, &imem, &dmem);
+        assert_eq!(i.exception, Some(Exception::Illegal));
+        // The transiently-touched word wraps into the secret region.
+        assert_eq!(transient_load_word(&c, 12), 2);
+    }
+
+    #[test]
+    fn aligned_legal_load_with_exceptions_enabled() {
+        let c = IsaConfig {
+            exceptions: true,
+            ..cfg()
+        };
+        // r1 = 4 -> word 2 (secret region, but architecturally legal).
+        let imem = assemble(
+            &c,
+            &[Inst::Li { rd: 1, imm: 4 }, Inst::Ld { rd: 2, rs1: 1 }],
+        );
+        let dmem = vec![1, 2, 3, 4];
+        let mut st = ArchState::reset(&c);
+        step(&c, &mut st, &imem, &dmem);
+        let i = step(&c, &mut st, &imem, &dmem);
+        assert_eq!(i.exception, None);
+        assert_eq!(i.mem_word, Some(2));
+        assert_eq!(st.regs[2], 3);
+    }
+
+    #[test]
+    fn load_wraps_without_exceptions() {
+        let c = cfg();
+        let imem = assemble(
+            &c,
+            &[Inst::Li { rd: 1, imm: 13 }, Inst::Ld { rd: 2, rs1: 1 }],
+        );
+        let dmem = vec![1, 2, 3, 4];
+        let mut st = ArchState::reset(&c);
+        step(&c, &mut st, &imem, &dmem);
+        let i = step(&c, &mut st, &imem, &dmem);
+        assert_eq!(i.mem_word, Some(1)); // 13 mod 4
+        assert_eq!(st.regs[2], 2);
+    }
+
+    #[test]
+    fn mul_records_operands() {
+        let c = IsaConfig {
+            enable_mul: true,
+            ..cfg()
+        };
+        let imem = assemble(
+            &c,
+            &[
+                Inst::Li { rd: 1, imm: 3 },
+                Inst::Li { rd: 2, imm: 5 },
+                Inst::Mul { rd: 3, rs1: 1, rs2: 2 },
+            ],
+        );
+        let dmem = vec![0; 4];
+        let mut st = ArchState::reset(&c);
+        run(&c, &mut st, &imem, &dmem, 2);
+        let i = step(&c, &mut st, &imem, &dmem);
+        assert_eq!(i.mul_operands, Some((3, 5)));
+        assert_eq!(st.regs[3], 15);
+    }
+}

@@ -1,0 +1,401 @@
+//! Verification engine orchestration.
+//!
+//! [`check_safety`] is the "push-button model checker" entry point the
+//! schemes in `csl-core` call: it mirrors the paper's JasperGold workflow
+//! (§6) of running attack-finding (their `Ht` engine → our BMC) and proof
+//! engines (their `Mp`/`AM` → our Houdini / k-induction / PDR) against one
+//! instrumented design, with a wall-clock budget standing in for the
+//! 7-day timeout, and reports one of the paper's three outcomes: a
+//! counterexample (attack), an unbounded proof, or a timeout.
+
+use std::time::{Duration, Instant};
+
+use csl_hdl::Aig;
+use csl_sat::Budget;
+
+use crate::bmc::{bmc, BmcResult};
+use crate::houdini::{houdini, Candidate, HoudiniResult};
+use crate::kind::{k_induction, KindOptions, KindResult};
+use crate::pdr::{pdr, PdrOptions, PdrResult};
+use crate::sim::Sim;
+use crate::trace::Trace;
+use crate::ts::TransitionSystem;
+
+/// Which engine completed an unbounded proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofEngine {
+    /// Houdini-filtered relational invariants alone imply safety
+    /// (LEAVE's success mode).
+    Houdini { invariants: usize },
+    /// k-induction (optionally strengthened by Houdini lemmas).
+    KInduction { k: usize },
+    /// IC3/PDR (optionally strengthened by Houdini lemmas).
+    Pdr { frames: usize, clauses: usize },
+}
+
+/// The paper's verification outcomes (§5.3 "Model Checking with Contract
+/// Shadow Logic" lists exactly these three, plus LEAVE's UNKNOWN).
+#[derive(Debug)]
+pub enum Verdict {
+    /// A counterexample: a program + secret pair that satisfies the contract
+    /// constraint yet produces distinguishable microarchitectural traces.
+    Attack(Box<Trace>),
+    /// Unbounded proof of the contract property.
+    Proof(ProofEngine),
+    /// Engines exhausted without a verdict inside the budget.
+    Timeout,
+    /// Inconclusive for a structural reason (e.g. LEAVE's invariant set
+    /// collapsed); `reason` is human-readable.
+    Unknown { reason: String },
+}
+
+impl Verdict {
+    pub fn is_attack(&self) -> bool {
+        matches!(self, Verdict::Attack(_))
+    }
+
+    pub fn is_proof(&self) -> bool {
+        matches!(self, Verdict::Proof(_))
+    }
+
+    /// Short cell text for the result tables ("CEX", "PROOF", "T/O", "UNK").
+    pub fn cell(&self) -> &'static str {
+        match self {
+            Verdict::Attack(_) => "CEX",
+            Verdict::Proof(_) => "PROOF",
+            Verdict::Timeout => "T/O",
+            Verdict::Unknown { .. } => "UNK",
+        }
+    }
+}
+
+/// Options for [`check_safety`].
+#[derive(Clone, Debug)]
+pub struct CheckOptions {
+    /// Total wall-clock budget (the "7 days" stand-in).
+    pub total_budget: Duration,
+    /// Maximum BMC depth for the attack-finding phase.
+    pub bmc_depth: usize,
+    /// Skip the proof phase entirely (pure attack hunting).
+    pub attack_only: bool,
+    /// Maximum k for k-induction (0 disables the engine).
+    pub kind_max_k: usize,
+    /// Run PDR if earlier engines are inconclusive.
+    pub use_pdr: bool,
+    /// PDR frame cap.
+    pub pdr_max_frames: usize,
+    /// Keep probe logic alive (larger encodings, readable traces).
+    pub keep_probes: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            total_budget: Duration::from_secs(60),
+            bmc_depth: 20,
+            attack_only: false,
+            kind_max_k: 6,
+            use_pdr: true,
+            pdr_max_frames: 40,
+            keep_probes: true,
+        }
+    }
+}
+
+/// A verification task: an instrumented netlist plus optional relational
+/// invariant candidates (used as Houdini lemmas and for the LEAVE scheme).
+pub struct SafetyCheck {
+    pub aig: Aig,
+    pub candidates: Vec<Candidate>,
+}
+
+/// The result of a [`check_safety`] run.
+#[derive(Debug)]
+pub struct CheckReport {
+    pub verdict: Verdict,
+    pub elapsed: Duration,
+    /// Engine-by-engine notes (sizes, intermediate outcomes).
+    pub notes: Vec<String>,
+}
+
+fn remaining_budget(deadline: Instant) -> Budget {
+    Budget {
+        max_conflicts: 0,
+        deadline: Some(deadline),
+    }
+}
+
+/// Runs the engine pipeline. See the module docs.
+pub fn check_safety(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
+    let start = Instant::now();
+    let deadline = start + opts.total_budget;
+    let mut notes = Vec::new();
+
+    let ts = TransitionSystem::new(task.aig.clone(), opts.keep_probes);
+    notes.push(format!("netlist: {}", ts.summary()));
+
+    // ---- phase 1: attack search (BMC) -------------------------------------
+    match bmc(&ts, opts.bmc_depth, remaining_budget(deadline)) {
+        BmcResult::Cex(trace) => {
+            let (assumes_ok, bad) = Sim::new(ts.aig()).replay(&trace);
+            if !(assumes_ok && bad) {
+                notes.push("WARNING: counterexample failed simulation replay".into());
+            } else {
+                notes.push(format!("cex validated by replay at depth {}", trace.depth()));
+            }
+            return CheckReport {
+                verdict: Verdict::Attack(trace),
+                elapsed: start.elapsed(),
+                notes,
+            };
+        }
+        BmcResult::Clean { depth_checked } => {
+            notes.push(format!("bmc clean to depth {depth_checked}"));
+        }
+        BmcResult::Timeout { depth_checked } => {
+            notes.push(format!("bmc timeout (clean to {depth_checked:?})"));
+            return CheckReport {
+                verdict: Verdict::Timeout,
+                elapsed: start.elapsed(),
+                notes,
+            };
+        }
+    }
+    if opts.attack_only {
+        return CheckReport {
+            verdict: Verdict::Unknown {
+                reason: format!("no attack within bmc depth {}", opts.bmc_depth),
+            },
+            elapsed: start.elapsed(),
+            notes,
+        };
+    }
+
+    // ---- phase 2: Houdini lemmas -------------------------------------------
+    let mut proof_aig = task.aig.clone();
+    if !task.candidates.is_empty() {
+        match houdini(&ts, &task.candidates, remaining_budget(deadline)) {
+            HoudiniResult::Done(out) => {
+                notes.push(format!(
+                    "houdini: {}/{} candidates survive after {} rounds",
+                    out.survivors.len(),
+                    task.candidates.len(),
+                    out.rounds
+                ));
+                if out.proves_safety {
+                    return CheckReport {
+                        verdict: Verdict::Proof(ProofEngine::Houdini {
+                            invariants: out.survivors.len(),
+                        }),
+                        elapsed: start.elapsed(),
+                        notes,
+                    };
+                }
+                // Conjoin surviving invariants as constraints for the
+                // remaining engines — sound because they are inductive.
+                for &i in &out.survivors {
+                    proof_aig.add_assume(task.candidates[i].bit);
+                }
+            }
+            HoudiniResult::Timeout => {
+                notes.push("houdini timeout".into());
+                return CheckReport {
+                    verdict: Verdict::Timeout,
+                    elapsed: start.elapsed(),
+                    notes,
+                };
+            }
+        }
+    }
+    let proof_ts = TransitionSystem::new(proof_aig, opts.keep_probes);
+
+    // ---- phase 3: k-induction ----------------------------------------------
+    if opts.kind_max_k > 0 {
+        match k_induction(
+            &proof_ts,
+            KindOptions {
+                max_k: opts.kind_max_k,
+                unique_states: false,
+                budget: remaining_budget(deadline),
+            },
+        ) {
+            KindResult::Proof { k } => {
+                return CheckReport {
+                    verdict: Verdict::Proof(ProofEngine::KInduction { k }),
+                    elapsed: start.elapsed(),
+                    notes,
+                };
+            }
+            KindResult::Cex(trace) => {
+                // Deeper than the BMC bound: a real attack. Validate on the
+                // original (lemma-free) netlist.
+                let (assumes_ok, bad) = Sim::new(ts.aig()).replay(&trace);
+                if assumes_ok && bad {
+                    notes.push(format!("k-induction base found cex at depth {}", trace.depth()));
+                    return CheckReport {
+                        verdict: Verdict::Attack(trace),
+                        elapsed: start.elapsed(),
+                        notes,
+                    };
+                }
+                notes.push("k-induction base cex failed replay; ignoring".into());
+            }
+            KindResult::Unknown { max_k_tried } => {
+                notes.push(format!("k-induction inconclusive to k={max_k_tried}"));
+            }
+            KindResult::Timeout => {
+                notes.push("k-induction timeout".into());
+                return CheckReport {
+                    verdict: Verdict::Timeout,
+                    elapsed: start.elapsed(),
+                    notes,
+                };
+            }
+        }
+    }
+
+    // ---- phase 4: PDR --------------------------------------------------------
+    if opts.use_pdr {
+        match pdr(
+            &proof_ts,
+            PdrOptions {
+                max_frames: opts.pdr_max_frames,
+                budget: remaining_budget(deadline),
+            },
+        ) {
+            PdrResult::Proof {
+                frames,
+                invariant_clauses,
+            } => {
+                return CheckReport {
+                    verdict: Verdict::Proof(ProofEngine::Pdr {
+                        frames,
+                        clauses: invariant_clauses,
+                    }),
+                    elapsed: start.elapsed(),
+                    notes,
+                };
+            }
+            PdrResult::Cex { depth_hint } => {
+                notes.push(format!("pdr reports cex near depth {depth_hint}"));
+                // Regenerate a concrete trace with BMC beyond the earlier bound.
+                let deep = depth_hint.max(opts.bmc_depth + 1) + 8;
+                if let BmcResult::Cex(trace) = bmc(&ts, deep, remaining_budget(deadline)) {
+                    let (assumes_ok, bad) = Sim::new(ts.aig()).replay(&trace);
+                    if assumes_ok && bad {
+                        return CheckReport {
+                            verdict: Verdict::Attack(trace),
+                            elapsed: start.elapsed(),
+                            notes,
+                        };
+                    }
+                }
+                notes.push("bmc could not reconstruct pdr cex in budget".into());
+                return CheckReport {
+                    verdict: Verdict::Timeout,
+                    elapsed: start.elapsed(),
+                    notes,
+                };
+            }
+            PdrResult::Timeout => {
+                notes.push("pdr timeout".into());
+                return CheckReport {
+                    verdict: Verdict::Timeout,
+                    elapsed: start.elapsed(),
+                    notes,
+                };
+            }
+            PdrResult::FrameLimit { frames } => {
+                notes.push(format!("pdr frame limit at {frames}"));
+            }
+        }
+    }
+
+    CheckReport {
+        verdict: Verdict::Unknown {
+            reason: "all engines inconclusive".into(),
+        },
+        elapsed: start.elapsed(),
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csl_hdl::{Design, Init};
+
+    fn counter_task(width: usize, target: u64, reachable: bool) -> SafetyCheck {
+        let mut d = Design::new("t");
+        let r = d.reg("r", width, Init::Zero);
+        let limit = if reachable { (1 << width) - 1 } else { target - 1 };
+        let at_limit = d.eq_const(&r.q(), limit);
+        let inc = d.add_const(&r.q(), 1);
+        let nxt = d.mux(at_limit, &r.q(), &inc);
+        d.set_next(&r, nxt);
+        let bad = d.eq_const(&r.q(), target);
+        d.assert_always("hit", bad.not());
+        SafetyCheck {
+            aig: d.finish(),
+            candidates: vec![],
+        }
+    }
+
+    #[test]
+    fn attack_found_and_validated() {
+        let task = counter_task(4, 6, true);
+        let report = check_safety(&task, &CheckOptions::default());
+        assert!(report.verdict.is_attack(), "{:?}", report.verdict);
+        assert_eq!(report.verdict.cell(), "CEX");
+    }
+
+    #[test]
+    fn proof_found_for_saturating() {
+        let task = counter_task(4, 6, false);
+        let report = check_safety(&task, &CheckOptions::default());
+        assert!(report.verdict.is_proof(), "{:?} {:?}", report.verdict, report.notes);
+    }
+
+    #[test]
+    fn attack_only_mode_reports_unknown() {
+        let task = counter_task(4, 6, false);
+        let report = check_safety(
+            &task,
+            &CheckOptions {
+                attack_only: true,
+                bmc_depth: 4,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(report.verdict, Verdict::Unknown { .. }));
+    }
+
+    #[test]
+    fn deep_cex_beyond_bmc_found_by_pdr_then_reconstructed() {
+        // Bad state at depth 12 but BMC capped at 4: PDR flags it, BMC
+        // reconstructs.
+        let task = counter_task(4, 12, true);
+        let report = check_safety(
+            &task,
+            &CheckOptions {
+                bmc_depth: 4,
+                kind_max_k: 2,
+                ..Default::default()
+            },
+        );
+        assert!(report.verdict.is_attack(), "{:?} {:?}", report.verdict, report.notes);
+    }
+
+    #[test]
+    fn zero_budget_times_out() {
+        let task = counter_task(4, 6, false);
+        let report = check_safety(
+            &task,
+            &CheckOptions {
+                total_budget: Duration::from_secs(0),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(report.verdict, Verdict::Timeout), "{:?}", report.verdict);
+    }
+}

@@ -1,0 +1,57 @@
+//! `csl-mc` — model-checking engines over `csl-hdl` netlists.
+//!
+//! This crate is the reproduction's stand-in for the commercial model
+//! checker (Cadence JasperGold) used by the paper. It provides:
+//!
+//! * [`ts::TransitionSystem`] — cone-of-influence-reduced view of a netlist,
+//! * [`sim`] — concrete simulation, counterexample replay and waveforms,
+//! * [`bmc`] — bounded model checking (attack finding; the paper's `Ht`
+//!   engine role),
+//! * [`kind`] — k-induction with optional unique-state constraints,
+//! * [`houdini`] — invariant filtering over candidate relational
+//!   invariants (the mechanism behind the LEAVE comparison scheme),
+//! * [`pdr`] — IC3/property-directed reachability (unbounded proofs; the
+//!   paper's `Mp`/`AM` engine role),
+//! * [`engine::check_safety`] — the orchestrated pipeline producing the
+//!   paper's three outcomes: attack counterexample, unbounded proof, or
+//!   timeout.
+//!
+//! # Example: prove a saturating counter never overflows
+//!
+//! ```
+//! use csl_hdl::{Design, Init};
+//! use csl_mc::{check_safety, CheckOptions, SafetyCheck};
+//!
+//! let mut d = Design::new("sat");
+//! let r = d.reg("r", 3, Init::Zero);
+//! let at_max = d.eq_const(&r.q(), 3);
+//! let inc = d.add_const(&r.q(), 1);
+//! let nxt = d.mux(at_max, &r.q(), &inc);
+//! d.set_next(&r, nxt);
+//! let bad = d.eq_const(&r.q(), 7);
+//! d.assert_always("no7", bad.not());
+//!
+//! let task = SafetyCheck { aig: d.finish(), candidates: vec![] };
+//! let report = check_safety(&task, &CheckOptions::default());
+//! assert!(report.verdict.is_proof());
+//! ```
+
+pub mod bmc;
+pub mod engine;
+pub mod houdini;
+pub mod kind;
+pub mod pdr;
+pub mod sim;
+pub mod trace;
+pub mod ts;
+pub mod unroll;
+
+pub use bmc::{bmc, BmcResult};
+pub use engine::{check_safety, CheckOptions, CheckReport, ProofEngine, SafetyCheck, Verdict};
+pub use houdini::{houdini, Candidate, HoudiniOutcome, HoudiniResult};
+pub use kind::{k_induction, KindOptions, KindResult};
+pub use pdr::{pdr, Cube, PdrOptions, PdrResult};
+pub use sim::{CycleValues, Sim, SimState, StepResult};
+pub use trace::Trace;
+pub use ts::TransitionSystem;
+pub use unroll::{InitMode, Unroller};

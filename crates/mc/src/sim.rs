@@ -1,0 +1,262 @@
+//! Two-valued concrete simulation of a netlist.
+//!
+//! The simulator serves three roles:
+//! * cycle-accurate execution of processor generators for co-simulation
+//!   against the ISA interpreter (testing the paper's "functional
+//!   correctness" assumption, §5.4),
+//! * replay of model-checker counterexamples, validating that every
+//!   reported attack actually drives the design into the bad state,
+//! * waveform extraction for human-readable attack listings.
+
+use csl_hdl::{Aig, Bit, Init, Node};
+
+use crate::trace::Trace;
+
+/// Concrete state of all latches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimState {
+    latch_values: Vec<bool>,
+}
+
+impl SimState {
+    /// Reset state: declared init values, with symbolic latches taking the
+    /// provided default (commonly driven from a counterexample's frame 0 or
+    /// a random generator).
+    pub fn reset_with(aig: &Aig, mut symbolic: impl FnMut(usize, &str) -> bool) -> SimState {
+        let latch_values = aig
+            .latches()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| match l.init {
+                Init::Zero => false,
+                Init::One => true,
+                Init::Symbolic => symbolic(i, &l.name),
+            })
+            .collect();
+        SimState { latch_values }
+    }
+
+    /// Reset state with all symbolic latches at 0.
+    pub fn reset(aig: &Aig) -> SimState {
+        SimState::reset_with(aig, |_, _| false)
+    }
+
+    /// Value of latch `i`.
+    pub fn latch(&self, i: usize) -> bool {
+        self.latch_values[i]
+    }
+
+    /// Overrides latch `i` (used when replaying counterexamples).
+    pub fn set_latch(&mut self, i: usize, v: bool) {
+        self.latch_values[i] = v;
+    }
+
+    pub fn num_latches(&self) -> usize {
+        self.latch_values.len()
+    }
+}
+
+/// Combinational values of every node for one cycle.
+#[derive(Clone, Debug)]
+pub struct CycleValues {
+    values: Vec<bool>,
+}
+
+impl CycleValues {
+    /// Value of an arbitrary bit this cycle.
+    #[inline]
+    pub fn bit(&self, b: Bit) -> bool {
+        self.values[b.node() as usize] ^ b.is_complemented()
+    }
+
+    /// Value of a multi-bit word as an unsigned integer (LSB first).
+    pub fn word(&self, bits: &[Bit]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((self.bit(b) as u64) << i))
+    }
+}
+
+/// The simulator. Holds no mutable state besides scratch buffers; the
+/// latch state lives in [`SimState`] so callers can fork/rewind executions.
+pub struct Sim<'a> {
+    aig: &'a Aig,
+    scratch: Vec<bool>,
+}
+
+/// Result of one simulated cycle.
+pub struct StepResult {
+    /// Node values during the cycle (combinational snapshot).
+    pub values: CycleValues,
+    /// State after the clock edge.
+    pub next: SimState,
+    /// Indices of assume bits that were violated this cycle.
+    pub violated_assumes: Vec<usize>,
+    /// Names of bad bits that fired this cycle.
+    pub fired_bads: Vec<String>,
+}
+
+impl<'a> Sim<'a> {
+    pub fn new(aig: &'a Aig) -> Sim<'a> {
+        Sim {
+            aig,
+            scratch: vec![false; aig.num_nodes()],
+        }
+    }
+
+    /// Evaluates one cycle: combinational settle, then clock edge.
+    ///
+    /// `inputs(i, name)` supplies each primary input's value.
+    pub fn step(&mut self, state: &SimState, mut inputs: impl FnMut(usize, &str) -> bool) -> StepResult {
+        let aig = self.aig;
+        let values = &mut self.scratch;
+        // Nodes are created in topological order, so a single pass suffices.
+        for idx in 0..aig.num_nodes() {
+            let b = Bit::from_packed((idx as u32) << 1);
+            values[idx] = match aig.node(b) {
+                Node::Const => false,
+                Node::Input(i) => inputs(i as usize, &aig.inputs()[i as usize].name),
+                Node::Latch(l) => state.latch(l as usize),
+                Node::And(x, y) => {
+                    (values[x.node() as usize] ^ x.is_complemented())
+                        && (values[y.node() as usize] ^ y.is_complemented())
+                }
+            };
+        }
+        let read = |b: Bit| values[b.node() as usize] ^ b.is_complemented();
+        let next = SimState {
+            latch_values: aig
+                .latches()
+                .iter()
+                .map(|l| read(l.next.expect("unsealed latch")))
+                .collect(),
+        };
+        let violated_assumes = aig
+            .assumes()
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| !read(a))
+            .map(|(i, _)| i)
+            .collect();
+        let fired_bads = aig
+            .bads()
+            .iter()
+            .filter(|b| read(b.bit))
+            .map(|b| b.name.clone())
+            .collect();
+        StepResult {
+            values: CycleValues {
+                values: values.clone(),
+            },
+            next,
+            violated_assumes,
+            fired_bads,
+        }
+    }
+
+    /// Replays a [`Trace`]: starts from the trace's initial latch values,
+    /// drives its inputs, and reports what happened at each cycle.
+    ///
+    /// Returns `(all_assumes_held, bad_fired_at_last_cycle)` — a valid
+    /// counterexample must yield `(true, true)`.
+    pub fn replay(&mut self, trace: &Trace) -> (bool, bool) {
+        let mut state = SimState::reset(self.aig);
+        for (i, v) in &trace.initial_latches {
+            state.set_latch(*i as usize, *v);
+        }
+        let mut assumes_ok = true;
+        let mut bad_last = false;
+        for cycle in 0..trace.depth() {
+            let r = self.step(&state, |i, _| trace.input(cycle, i as u32).unwrap_or(false));
+            assumes_ok &= r.violated_assumes.is_empty();
+            bad_last = !r.fired_bads.is_empty();
+            state = r.next;
+        }
+        (assumes_ok, bad_last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csl_hdl::Design;
+
+    /// A 3-bit counter with wraparound and an `en` input.
+    fn counter() -> Aig {
+        let mut d = Design::new("counter");
+        let en = d.input_bit("en");
+        let c = d.reg("c", 3, Init::Zero);
+        let inc = d.add_const(&c.q(), 1);
+        let next = d.mux(en, &inc, &c.q());
+        d.set_next(&c, next);
+        let q = c.q();
+        d.probe("c", &q);
+        let is7 = d.eq_const(&c.q(), 7);
+        d.assert_always("never7", is7.not());
+        d.finish()
+    }
+
+    fn probe_word(aig: &Aig, name: &str) -> Vec<Bit> {
+        aig.probes()
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap()
+            .bits
+            .clone()
+    }
+
+    #[test]
+    fn counter_counts_when_enabled() {
+        let aig = counter();
+        let mut sim = Sim::new(&aig);
+        let mut state = SimState::reset(&aig);
+        let c = probe_word(&aig, "c");
+        for expect in 0..7u64 {
+            let r = sim.step(&state, |_, _| true);
+            assert_eq!(r.values.word(&c), expect);
+            assert!(r.fired_bads.is_empty());
+            state = r.next;
+        }
+        // Cycle 7: counter reads 7, the assertion fires.
+        let r = sim.step(&state, |_, _| true);
+        assert_eq!(r.values.word(&c), 7);
+        assert_eq!(r.fired_bads, vec!["never7".to_string()]);
+    }
+
+    #[test]
+    fn counter_holds_when_disabled() {
+        let aig = counter();
+        let mut sim = Sim::new(&aig);
+        let mut state = SimState::reset(&aig);
+        for _ in 0..10 {
+            let r = sim.step(&state, |_, _| false);
+            state = r.next;
+        }
+        assert!(!state.latch(0) && !state.latch(1) && !state.latch(2));
+    }
+
+    #[test]
+    fn symbolic_init_defaults() {
+        let mut d = Design::new("t");
+        let r = d.reg("r", 2, Init::Symbolic);
+        d.hold(&r);
+        let aig = d.finish();
+        let s = SimState::reset_with(&aig, |i, _| i == 1);
+        assert!(!s.latch(0));
+        assert!(s.latch(1));
+    }
+
+    #[test]
+    fn assume_violations_reported() {
+        let mut d = Design::new("t");
+        let x = d.input_bit("x");
+        d.assume(x);
+        let aig = d.finish();
+        let mut sim = Sim::new(&aig);
+        let state = SimState::reset(&aig);
+        let r = sim.step(&state, |_, _| false);
+        assert_eq!(r.violated_assumes, vec![0]);
+        let r = sim.step(&state, |_, _| true);
+        assert!(r.violated_assumes.is_empty());
+    }
+}

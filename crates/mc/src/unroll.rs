@@ -1,0 +1,291 @@
+//! Time-frame expansion: encoding netlist frames into CNF.
+//!
+//! The [`Unroller`] maintains one incremental SAT instance and a per-frame
+//! map from netlist nodes to solver literals. Frame `t+1` latch literals
+//! *alias* the frame-`t` encodings of their next-state functions, so the
+//! transition relation costs no equality clauses. Initial-state handling is
+//! configurable: with [`InitMode::Reset`] frame 0 respects latch init values
+//! (BMC); with [`InitMode::Free`] frame-0 latches are unconstrained
+//! (induction-step and Houdini-consecution queries).
+
+use std::collections::HashMap;
+
+use csl_hdl::{Bit, Node};
+use csl_sat::{Budget, Lit, SolveResult, Solver};
+
+use crate::trace::Trace;
+use crate::ts::TransitionSystem;
+
+/// Frame-0 treatment of latches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InitMode {
+    /// Latches start at their declared init value (symbolic ones free).
+    Reset,
+    /// All latches free: the query ranges over arbitrary states.
+    Free,
+}
+
+/// Incremental multi-frame CNF encoder. See the module docs.
+pub struct Unroller<'a> {
+    ts: &'a TransitionSystem,
+    pub solver: Solver,
+    /// `frame_lits[t][node] = Some(lit)` once encoded.
+    frame_lits: Vec<Vec<Option<Lit>>>,
+    /// Frames whose assume bits have been asserted.
+    assumes_added: usize,
+    /// Cached per-frame "some bad fired" indicator literals.
+    bad_any: HashMap<usize, Lit>,
+    init_mode: InitMode,
+    const_true: Lit,
+}
+
+impl<'a> Unroller<'a> {
+    pub fn new(ts: &'a TransitionSystem, init_mode: InitMode) -> Unroller<'a> {
+        let mut solver = Solver::new();
+        let const_true = solver.new_var().positive();
+        solver.add_clause(&[const_true]);
+        let mut u = Unroller {
+            ts,
+            solver,
+            frame_lits: Vec::new(),
+            assumes_added: 0,
+            bad_any: HashMap::new(),
+            init_mode,
+            const_true,
+        };
+        u.push_frame0();
+        u
+    }
+
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.solver.set_budget(budget);
+    }
+
+    /// Number of frames currently encoded.
+    pub fn num_frames(&self) -> usize {
+        self.frame_lits.len()
+    }
+
+    fn fresh_map(&self) -> Vec<Option<Lit>> {
+        vec![None; self.ts.aig().num_nodes()]
+    }
+
+    fn push_frame0(&mut self) {
+        let mut map = self.fresh_map();
+        for &li in self.ts.active_latches() {
+            let latch = &self.ts.aig().latches()[li as usize];
+            let v = self.solver.new_var().positive();
+            map[latch.output.node() as usize] = Some(v);
+            if self.init_mode == InitMode::Reset {
+                match self.ts.latch_init(li) {
+                    Some(true) => {
+                        self.solver.add_clause(&[v]);
+                    }
+                    Some(false) => {
+                        self.solver.add_clause(&[!v]);
+                    }
+                    None => {}
+                }
+            }
+        }
+        self.frame_lits.push(map);
+    }
+
+    /// Adds frame `num_frames()`: latch literals alias the previous frame's
+    /// next-state encodings.
+    pub fn push_frame(&mut self) {
+        let prev = self.frame_lits.len() - 1;
+        let mut nexts: Vec<(u32, Lit)> = Vec::with_capacity(self.ts.active_latches().len());
+        for &li in self.ts.active_latches() {
+            let next_bit = self.ts.aig().latches()[li as usize]
+                .next
+                .expect("unsealed latch");
+            let l = self.lit_of(next_bit, prev);
+            nexts.push((li, l));
+        }
+        let mut map = self.fresh_map();
+        for (li, l) in nexts {
+            let latch = &self.ts.aig().latches()[li as usize];
+            map[latch.output.node() as usize] = Some(l);
+        }
+        self.frame_lits.push(map);
+    }
+
+    /// Ensures frames `0..=t` exist.
+    pub fn ensure_frames(&mut self, t: usize) {
+        while self.frame_lits.len() <= t {
+            self.push_frame();
+        }
+    }
+
+    /// Solver literal for bit `b` at frame `t`, encoding the cone on demand.
+    ///
+    /// # Panics
+    /// Panics if `t` is not yet unrolled, or if `b` depends on a latch
+    /// outside the cone of influence.
+    pub fn lit_of(&mut self, b: Bit, t: usize) -> Lit {
+        assert!(t < self.frame_lits.len(), "frame {t} not unrolled yet");
+        // Iterative DFS over the combinational cone at frame t.
+        let mut stack = vec![b.node()];
+        while let Some(n) = stack.pop() {
+            if self.frame_lits[t][n as usize].is_some() {
+                continue;
+            }
+            let nb = Bit::from_packed(n << 1);
+            match self.ts.aig().node(nb) {
+                Node::Const => {
+                    self.frame_lits[t][n as usize] = Some(!self.const_true);
+                }
+                Node::Input(_) => {
+                    let v = self.solver.new_var().positive();
+                    self.frame_lits[t][n as usize] = Some(v);
+                }
+                Node::Latch(li) => {
+                    // A latch outside the cone of influence, referenced by
+                    // an auxiliary query (e.g. a Houdini candidate). Its
+                    // next-state function is not part of the encoded
+                    // transition relation, so model it as unconstrained —
+                    // except at frame 0 under Reset, where its declared
+                    // init value still applies. Sound: candidates over
+                    // such latches can only be *dropped* by consecution.
+                    let v = self.solver.new_var().positive();
+                    if t == 0 && self.init_mode == InitMode::Reset {
+                        match self.ts.latch_init(li) {
+                            Some(true) => {
+                                self.solver.add_clause(&[v]);
+                            }
+                            Some(false) => {
+                                self.solver.add_clause(&[!v]);
+                            }
+                            None => {}
+                        }
+                    }
+                    self.frame_lits[t][n as usize] = Some(v);
+                }
+                Node::And(x, y) => {
+                    let lx = self.frame_lits[t][x.node() as usize];
+                    let ly = self.frame_lits[t][y.node() as usize];
+                    match (lx, ly) {
+                        (Some(lx), Some(ly)) => {
+                            let lx = if x.is_complemented() { !lx } else { lx };
+                            let ly = if y.is_complemented() { !ly } else { ly };
+                            let v = self.solver.new_var().positive();
+                            // v <-> lx & ly
+                            self.solver.add_clause(&[!v, lx]);
+                            self.solver.add_clause(&[!v, ly]);
+                            self.solver.add_clause(&[v, !lx, !ly]);
+                            self.frame_lits[t][n as usize] = Some(v);
+                        }
+                        _ => {
+                            stack.push(n);
+                            if lx.is_none() {
+                                stack.push(x.node());
+                            }
+                            if ly.is_none() {
+                                stack.push(y.node());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let raw = self.frame_lits[t][b.node() as usize].unwrap();
+        if b.is_complemented() {
+            !raw
+        } else {
+            raw
+        }
+    }
+
+    /// Asserts all assume bits as unit clauses for frames `0..=t`.
+    pub fn assert_assumes_through(&mut self, t: usize) {
+        self.ensure_frames(t);
+        while self.assumes_added <= t {
+            let f = self.assumes_added;
+            let assumes: Vec<Bit> = self.ts.aig().assumes().to_vec();
+            for a in assumes {
+                let l = self.lit_of(a, f);
+                self.solver.add_clause(&[l]);
+            }
+            self.assumes_added += 1;
+        }
+    }
+
+    /// A literal implying "some bad bit fired at frame `t`" (one-directional:
+    /// asserting it as an assumption forces a bad bit true; its negation as a
+    /// unit clause forces all bad bits false).
+    pub fn bad_any_at(&mut self, t: usize) -> Lit {
+        if let Some(&l) = self.bad_any.get(&t) {
+            return l;
+        }
+        self.ensure_frames(t);
+        let bads: Vec<Bit> = self.ts.aig().bads().iter().map(|b| b.bit).collect();
+        let lits: Vec<Lit> = bads.iter().map(|&b| self.lit_of(b, t)).collect();
+        let y = self.solver.new_var().positive();
+        // y -> (b1 | b2 | ...)
+        let mut clause = vec![!y];
+        clause.extend(lits.iter().copied());
+        self.solver.add_clause(&clause);
+        // bi -> y (so !y blocks all bads)
+        for &b in &lits {
+            self.solver.add_clause(&[!b, y]);
+        }
+        self.bad_any.insert(t, y);
+        y
+    }
+
+    /// Which bad bit is true at frame `t` in the current model.
+    pub fn fired_bad_name(&mut self, t: usize) -> Option<String> {
+        let bads: Vec<(String, Bit)> = self
+            .ts
+            .aig()
+            .bads()
+            .iter()
+            .map(|b| (b.name.clone(), b.bit))
+            .collect();
+        for (name, bit) in bads {
+            let l = self.lit_of(bit, t);
+            if self.solver.value(l) == Some(true) {
+                return Some(name);
+            }
+        }
+        None
+    }
+
+    /// Extracts a trace of `depth` cycles from the current SAT model.
+    pub fn extract_trace(&mut self, depth: usize, bad_name: String) -> Trace {
+        let mut initial_latches = Vec::new();
+        for &li in self.ts.active_latches() {
+            let out = self.ts.aig().latches()[li as usize].output;
+            let l = self.lit_of(out, 0);
+            if let Some(v) = self.solver.value(l) {
+                initial_latches.push((li, v));
+            }
+        }
+        let mut inputs = Vec::with_capacity(depth);
+        for t in 0..depth {
+            let mut m = HashMap::new();
+            for &ii in self.ts.active_inputs() {
+                let out = self.ts.aig().inputs()[ii as usize].output;
+                // Only read inputs the frame actually encoded.
+                if self.frame_lits[t][out.node() as usize].is_some() {
+                    let l = self.lit_of(out, t);
+                    if let Some(v) = self.solver.value(l) {
+                        m.insert(ii, v);
+                    }
+                }
+            }
+            inputs.push(m);
+        }
+        Trace {
+            initial_latches,
+            inputs,
+            bad_name,
+        }
+    }
+
+    /// Direct access to the solve call with assumptions.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solver.solve_with(assumptions)
+    }
+}

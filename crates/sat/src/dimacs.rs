@@ -1,0 +1,178 @@
+//! DIMACS CNF import/export, mainly for debugging and cross-checking the
+//! solver against external tools.
+
+use std::fmt::Write as _;
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// An error while parsing DIMACS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// A parsed CNF: variable count and clause list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    pub num_vars: usize,
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads the CNF into a fresh solver.
+    pub fn into_solver(self) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+}
+
+fn lit_from_dimacs(n: i64) -> Lit {
+    let v = Var::from_index((n.unsigned_abs() - 1) as usize);
+    v.lit(n < 0)
+}
+
+fn lit_to_dimacs(l: Lit) -> i64 {
+    let n = (l.var().index() + 1) as i64;
+    if l.is_negative() {
+        -n
+    } else {
+        n
+    }
+}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+/// Returns [`ParseDimacsError`] on malformed headers, unterminated clauses,
+/// or literals out of the declared variable range.
+pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::default();
+    let mut declared: Option<(usize, usize)> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 || parts[1] != "cnf" {
+                return Err(ParseDimacsError {
+                    line: lineno,
+                    message: format!("bad problem line {line:?}"),
+                });
+            }
+            let nv = parts[2].parse::<usize>().map_err(|e| ParseDimacsError {
+                line: lineno,
+                message: e.to_string(),
+            })?;
+            let nc = parts[3].parse::<usize>().map_err(|e| ParseDimacsError {
+                line: lineno,
+                message: e.to_string(),
+            })?;
+            declared = Some((nv, nc));
+            cnf.num_vars = nv;
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let n = tok.parse::<i64>().map_err(|e| ParseDimacsError {
+                line: lineno,
+                message: format!("bad literal {tok:?}: {e}"),
+            })?;
+            if n == 0 {
+                cnf.clauses.push(std::mem::take(&mut current));
+            } else {
+                if let Some((nv, _)) = declared {
+                    if n.unsigned_abs() as usize > nv {
+                        return Err(ParseDimacsError {
+                            line: lineno,
+                            message: format!("literal {n} exceeds declared {nv} variables"),
+                        });
+                    }
+                }
+                current.push(lit_from_dimacs(n));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError {
+            line: text.lines().count(),
+            message: "unterminated clause (missing 0)".into(),
+        });
+    }
+    Ok(cnf)
+}
+
+/// Renders a CNF as DIMACS text.
+pub fn render(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for c in &cnf.clauses {
+        for &l in c {
+            let _ = write!(out, "{} ", lit_to_dimacs(l));
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parse_simple() {
+        let cnf = parse("c comment\np cnf 2 2\n1 2 0\n-1 2 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 2);
+        assert_eq!(cnf.clauses.len(), 2);
+        let mut s = cnf.into_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Var::from_index(1).positive()), Some(true));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cnf = parse("p cnf 3 2\n1 -2 0\n3 0\n").unwrap();
+        let text = render(&cnf);
+        let cnf2 = parse(&text).unwrap();
+        assert_eq!(cnf, cnf2);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = parse("p cnf 1 1\n2 0\n").unwrap_err();
+        assert!(err.message.contains("exceeds"));
+    }
+
+    #[test]
+    fn rejects_unterminated() {
+        let err = parse("p cnf 2 1\n1 2\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn multiline_clause() {
+        let cnf = parse("p cnf 3 1\n1\n2\n3 0\n").unwrap();
+        assert_eq!(cnf.clauses[0].len(), 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! Max-heap over variables ordered by VSIDS activity.
+//!
+//! The heap supports `decrease`/`increase` by index (required when a
+//! variable's activity is bumped while it sits in the heap), which a plain
+//! `BinaryHeap` cannot do. Indices map variables to heap positions.
+
+use crate::lit::Var;
+
+/// Activity-ordered variable heap (a MiniSat `Heap<VarOrderLt>`).
+#[derive(Default, Debug)]
+pub struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `u32::MAX` if absent.
+    position: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl VarHeap {
+    pub fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    /// Grows the index table to cover `n` variables.
+    pub fn grow(&mut self, n: usize) {
+        if self.position.len() < n {
+            self.position.resize(n, ABSENT);
+        }
+    }
+
+    #[inline]
+    pub fn contains(&self, v: Var) -> bool {
+        self.position[v.index()] != ABSENT
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Inserts `v` (must not already be present).
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        debug_assert!(!self.contains(v));
+        let pos = self.heap.len() as u32;
+        self.position[v.index()] = pos;
+        self.heap.push(v.0);
+        self.sift_up(pos as usize, activity);
+    }
+
+    /// Restores heap order for `v` after its activity increased.
+    pub fn update(&mut self, v: Var, activity: &[f64]) {
+        let pos = self.position[v.index()];
+        if pos != ABSENT {
+            self.sift_up(pos as usize, activity);
+        }
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.position[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var(top))
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        let item = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[parent] as usize] >= activity[item as usize] {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            self.position[self.heap[i] as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = item;
+        self.position[item as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        let item = self.heap[i];
+        let len = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < len
+                && activity[self.heap[right] as usize] > activity[self.heap[left] as usize]
+            {
+                right
+            } else {
+                left
+            };
+            if activity[self.heap[child] as usize] <= activity[item as usize] {
+                break;
+            }
+            self.heap[i] = self.heap[child];
+            self.position[self.heap[i] as usize] = i as u32;
+            i = child;
+        }
+        self.heap[i] = item;
+        self.position[item as usize] = i as u32;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self, activity: &[f64]) {
+        for (i, &v) in self.heap.iter().enumerate() {
+            assert_eq!(self.position[v as usize], i as u32);
+            if i > 0 {
+                let parent = self.heap[(i - 1) / 2];
+                assert!(activity[parent as usize] >= activity[v as usize]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0, 0.1];
+        let mut h = VarHeap::new();
+        h.grow(5);
+        for i in 0..5 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        h.check_invariants(&activity);
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn update_after_bump() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        h.grow(3);
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.update(Var::from_index(0), &activity);
+        h.check_invariants(&activity);
+        assert_eq!(h.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow(2);
+        let v = Var::from_index(1);
+        assert!(!h.contains(v));
+        h.insert(v, &activity);
+        assert!(h.contains(v));
+        h.pop_max(&activity);
+        assert!(!h.contains(v));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let activity = vec![1.0];
+        let mut h = VarHeap::new();
+        h.grow(1);
+        assert!(h.is_empty());
+        h.insert(Var::from_index(0), &activity);
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let activity = vec![1.0, 2.0, 0.5];
+        let mut h = VarHeap::new();
+        h.grow(3);
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        let top = h.pop_max(&activity).unwrap();
+        h.insert(top, &activity);
+        assert_eq!(h.len(), 3);
+        h.check_invariants(&activity);
+    }
+}

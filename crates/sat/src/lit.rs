@@ -1,0 +1,189 @@
+//! Variables and literals.
+//!
+//! A [`Var`] is a propositional variable; a [`Lit`] is a variable together
+//! with a polarity. Literals use the MiniSat packed encoding
+//! (`index = 2 * var + sign`), which keeps watch lists and assignment
+//! vectors directly indexable.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Creates a variable from its index.
+    #[inline]
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// The index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit((self.0 << 1) | 1)
+    }
+
+    /// The literal of this variable with the given sign (`true` = negated).
+    #[inline]
+    pub fn lit(self, negated: bool) -> Lit {
+        Lit((self.0 << 1) | negated as u32)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable with a polarity.
+///
+/// ```
+/// use csl_sat::{Lit, Var};
+/// let v = Var::from_index(3);
+/// let p = v.positive();
+/// assert_eq!(!p, v.negative());
+/// assert_eq!(p.var(), v);
+/// assert!(!p.is_negative());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The variable underlying this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this literal is the negation of its variable.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Packed index (`2 * var + sign`), usable for direct array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a literal from [`Lit::index`].
+    #[inline]
+    pub fn from_index(index: usize) -> Lit {
+        Lit(index as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "!v{}", self.0 >> 1)
+        } else {
+            write!(f, "v{}", self.0 >> 1)
+        }
+    }
+}
+
+/// A three-valued assignment: true, false, or unassigned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    True,
+    False,
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a concrete boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Flips true/false and leaves `Undef` as is.
+    #[inline]
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// `Some(bool)` if assigned.
+    #[inline]
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_packing_roundtrip() {
+        for i in 0..64 {
+            let v = Var::from_index(i);
+            assert_eq!(v.positive().var(), v);
+            assert_eq!(v.negative().var(), v);
+            assert!(v.negative().is_negative());
+            assert!(!v.positive().is_negative());
+            assert_eq!(v.positive().index() + 1, v.negative().index());
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        let l = Var::from_index(7).positive();
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+    }
+
+    #[test]
+    fn lit_sign_constructor() {
+        let v = Var::from_index(5);
+        assert_eq!(v.lit(false), v.positive());
+        assert_eq!(v.lit(true), v.negative());
+    }
+
+    #[test]
+    fn lbool_ops() {
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::False.to_option(), Some(false));
+        assert_eq!(LBool::Undef.to_option(), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! Randomised differential testing of the CDCL solver against a
+//! brute-force enumerator, including assumption handling and core checks.
+
+use csl_sat::{Lit, SolveResult, Solver, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Brute-force satisfiability over `n <= 20` variables.
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>], fixed: &[Lit]) -> bool {
+    assert!(num_vars <= 20);
+    'outer: for bits in 0u32..(1u32 << num_vars) {
+        let val = |l: Lit| -> bool {
+            let b = (bits >> l.var().index()) & 1 == 1;
+            b != l.is_negative()
+        };
+        for &f in fixed {
+            if !val(f) {
+                continue 'outer;
+            }
+        }
+        if clauses.iter().all(|c| c.iter().any(|&l| val(l))) {
+            return true;
+        }
+    }
+    false
+}
+
+fn random_instance(rng: &mut StdRng, num_vars: usize, num_clauses: usize) -> Vec<Vec<Lit>> {
+    (0..num_clauses)
+        .map(|_| {
+            let len = rng.gen_range(1..=3);
+            (0..len)
+                .map(|_| {
+                    let v = Var::from_index(rng.gen_range(0..num_vars));
+                    v.lit(rng.gen_bool(0.5))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn check_model(clauses: &[Vec<Lit>], solver: &Solver) {
+    for c in clauses {
+        assert!(
+            c.iter().any(|&l| solver.value(l) == Some(true)),
+            "model does not satisfy clause {c:?}"
+        );
+    }
+}
+
+#[test]
+fn random_3sat_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xC5_1CDC1);
+    for round in 0..300 {
+        let num_vars = rng.gen_range(3..=10);
+        // Around the phase-transition density to get a mix of SAT/UNSAT.
+        let num_clauses = rng.gen_range(1..=(num_vars * 5));
+        let clauses = random_instance(&mut rng, num_vars, num_clauses);
+        let mut s = Solver::new();
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        let mut ok = true;
+        for c in &clauses {
+            ok &= s.add_clause(c);
+        }
+        let expected = brute_force_sat(num_vars, &clauses, &[]);
+        if !ok {
+            assert!(!expected, "round {round}: early unsat but brute force sat");
+            continue;
+        }
+        match s.solve() {
+            SolveResult::Sat => {
+                assert!(expected, "round {round}: solver SAT, brute force UNSAT");
+                check_model(&clauses, &s);
+            }
+            SolveResult::Unsat => {
+                assert!(!expected, "round {round}: solver UNSAT, brute force SAT");
+            }
+            SolveResult::Canceled => panic!("no budget was set"),
+        }
+    }
+}
+
+#[test]
+fn random_instances_with_assumptions() {
+    let mut rng = StdRng::seed_from_u64(0xA55);
+    for round in 0..200 {
+        let num_vars = rng.gen_range(3..=9);
+        let num_clauses = rng.gen_range(1..=(num_vars * 4));
+        let clauses = random_instance(&mut rng, num_vars, num_clauses);
+        let n_assumps = rng.gen_range(0..=3.min(num_vars));
+        let mut assumptions: Vec<Lit> = Vec::new();
+        let mut used = vec![false; num_vars];
+        for _ in 0..n_assumps {
+            let vi = rng.gen_range(0..num_vars);
+            if used[vi] {
+                continue;
+            }
+            used[vi] = true;
+            assumptions.push(Var::from_index(vi).lit(rng.gen_bool(0.5)));
+        }
+        let mut s = Solver::new();
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        let mut ok = true;
+        for c in &clauses {
+            ok &= s.add_clause(c);
+        }
+        let expected = brute_force_sat(num_vars, &clauses, &assumptions);
+        if !ok {
+            assert!(!brute_force_sat(num_vars, &clauses, &[]), "round {round}");
+            continue;
+        }
+        match s.solve_with(&assumptions) {
+            SolveResult::Sat => {
+                assert!(expected, "round {round}: SAT but brute force disagrees");
+                check_model(&clauses, &s);
+                for &a in &assumptions {
+                    assert_eq!(s.value(a), Some(true), "assumption {a:?} not honoured");
+                }
+            }
+            SolveResult::Unsat => {
+                assert!(!expected, "round {round}: UNSAT but brute force disagrees");
+                // The core must be a subset of the assumptions, and assuming
+                // only the core must still be unsatisfiable.
+                let core = s.unsat_core().to_vec();
+                for &l in &core {
+                    assert!(assumptions.contains(&l), "core lit {l:?} not assumed");
+                }
+                assert!(
+                    !brute_force_sat(num_vars, &clauses, &core),
+                    "round {round}: unsat core is not actually sufficient"
+                );
+            }
+            SolveResult::Canceled => panic!("no budget was set"),
+        }
+    }
+}
+
+#[test]
+fn incremental_solving_is_consistent() {
+    // Add clauses in stages, solving between stages; compare each stage
+    // against a from-scratch solve.
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..50 {
+        let num_vars = 8;
+        let all_clauses = random_instance(&mut rng, num_vars, 24);
+        let mut s = Solver::new();
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        let mut added: Vec<Vec<Lit>> = Vec::new();
+        let mut alive = true;
+        for chunk in all_clauses.chunks(6) {
+            for c in chunk {
+                alive &= s.add_clause(c);
+                added.push(c.clone());
+            }
+            let expected = brute_force_sat(num_vars, &added, &[]);
+            if !alive {
+                assert!(!expected);
+                break;
+            }
+            let got = s.solve() == SolveResult::Sat;
+            assert_eq!(got, expected, "incremental stage diverged");
+        }
+    }
+}

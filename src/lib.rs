@@ -1,0 +1,63 @@
+//! # Contract Shadow Logic — RTL verification for secure speculation
+//!
+//! A full-system Rust reproduction of *"RTL Verification for Secure
+//! Speculation Using Contract Shadow Logic"* (ASPLOS 2025,
+//! arXiv:2407.12232): formal verification of software-hardware contracts
+//! for secure speculation on out-of-order processors, built from scratch —
+//! SAT solver, AIG netlist DSL, model-checking engines, processors,
+//! defences, contracts and the shadow-logic methodology itself.
+//!
+//! This façade crate re-exports the workspace layers:
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`sat`] | `csl-sat` | CDCL SAT solver (the decision procedure) |
+//! | [`hdl`] | `csl-hdl` | word-level hardware DSL over an AIG netlist |
+//! | [`mc`]  | `csl-mc`  | BMC / k-induction / Houdini / PDR engines |
+//! | [`isa`] | `csl-isa` | MiniISA: encoding, assembler, interpreter |
+//! | [`contracts`] | `csl-contracts` | sandboxing & constant-time contracts |
+//! | [`cpu`] | `csl-cpu` | in-order, SimpleOoO (+5 defences), superscalar, BigOoO |
+//! | [`core`] | `csl-core` | **the paper's contribution**: shadow logic + schemes |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use contract_shadow_logic::prelude::*;
+//! use std::time::Duration;
+//!
+//! // Hunt for speculative-execution attacks on the insecure SimpleOoO
+//! // core under the sandboxing contract, with Contract Shadow Logic.
+//! let cfg = InstanceConfig::new(
+//!     DesignKind::SimpleOoo(Defense::None),
+//!     Contract::Sandboxing,
+//! );
+//! let opts = CheckOptions {
+//!     total_budget: Duration::from_secs(60),
+//!     ..Default::default()
+//! };
+//! let report = verify(Scheme::Shadow, &cfg, &opts);
+//! println!("verdict: {}", report.verdict.cell()); // "CEX": Spectre found
+//! ```
+//!
+//! See `examples/` for runnable scenarios: `quickstart` (attack + proof),
+//! `spectre_hunt` (the §7.1.4 iterative attack discovery on the BOOM
+//! stand-in), and `defense_audit` (the §7.2 defence comparison).
+
+pub use csl_contracts as contracts;
+pub use csl_core as core;
+pub use csl_cpu as cpu;
+pub use csl_hdl as hdl;
+pub use csl_isa as isa;
+pub use csl_mc as mc;
+pub use csl_sat as sat;
+
+/// The commonly-needed types in one import.
+pub mod prelude {
+    pub use csl_contracts::Contract;
+    pub use csl_core::{
+        build_instance, verify, DesignKind, ExcludeRule, InstanceConfig, Scheme, ShadowOptions,
+    };
+    pub use csl_cpu::{CpuConfig, Defense};
+    pub use csl_isa::IsaConfig;
+    pub use csl_mc::{CheckOptions, CheckReport, ProofEngine, Verdict};
+}

@@ -1,0 +1,146 @@
+//! End-to-end integration tests: the Contract Shadow Logic scheme finds
+//! the paper's attacks on insecure designs, and never reports a false
+//! attack on secure designs. Every counterexample is replayed on the
+//! concrete simulator by the engine before being reported.
+//!
+//! The tests adapt to the build profile: under `--release` they insist the
+//! attacks are found at full depth; under the default debug profile (where
+//! the SAT substrate is an order of magnitude slower) they run shallower
+//! searches and only enforce soundness (no false attacks, no bogus
+//! proofs). Run `cargo test --release --test attacks` for the strong form.
+
+use std::time::Duration;
+
+use contract_shadow_logic::prelude::*;
+
+fn fast() -> bool {
+    cfg!(debug_assertions)
+}
+
+fn attack_opts(depth: usize, secs: u64) -> CheckOptions {
+    CheckOptions {
+        total_budget: Duration::from_secs(secs),
+        bmc_depth: if fast() { depth.min(7) } else { depth },
+        attack_only: true,
+        ..Default::default()
+    }
+}
+
+/// Insecure design: an attack must be found (release), or at minimum any
+/// verdict returned must be a *validated* attack (debug, shallow search).
+fn expect_attack(cfg: &InstanceConfig, scheme: Scheme, depth: usize, secs: u64) {
+    let report = verify(scheme, cfg, &attack_opts(depth, secs));
+    match &report.verdict {
+        Verdict::Attack(trace) => {
+            assert!(trace.bad_name.contains("no_leakage"), "{}", trace.bad_name);
+        }
+        other => {
+            assert!(
+                fast(),
+                "expected attack in release mode, got {other:?} ({:?})",
+                report.notes
+            );
+        }
+    }
+}
+
+/// Secure design: no attack may surface, ever.
+fn expect_no_attack(cfg: &InstanceConfig, depth: usize, secs: u64) {
+    let report = verify(Scheme::Shadow, cfg, &attack_opts(depth, secs));
+    assert!(
+        !report.verdict.is_attack(),
+        "FALSE ATTACK on secure design: {:?} ({:?})",
+        report.verdict,
+        report.notes
+    );
+}
+
+#[test]
+fn spectre_attack_on_insecure_simple_ooo_sandboxing() {
+    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
+    expect_attack(&cfg, Scheme::Shadow, 10, 300);
+}
+
+#[test]
+fn spectre_attack_on_insecure_simple_ooo_constant_time() {
+    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::ConstantTime);
+    expect_attack(&cfg, Scheme::Shadow, 10, 300);
+}
+
+#[test]
+fn baseline_finds_the_same_attack() {
+    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
+    expect_attack(&cfg, Scheme::Baseline, 10, 300);
+}
+
+#[test]
+fn nofwd_futuristic_leaks_under_constant_time() {
+    let cfg = InstanceConfig::new(
+        DesignKind::SimpleOoo(Defense::NoFwdFuturistic),
+        Contract::ConstantTime,
+    );
+    expect_attack(&cfg, Scheme::Shadow, 10, 300);
+}
+
+#[test]
+fn nofwd_spectre_leaks_under_constant_time() {
+    let cfg = InstanceConfig::new(
+        DesignKind::SimpleOoo(Defense::NoFwdSpectre),
+        Contract::ConstantTime,
+    );
+    expect_attack(&cfg, Scheme::Shadow, 10, 300);
+}
+
+#[test]
+fn nofwd_futuristic_clean_under_sandboxing() {
+    let cfg = InstanceConfig::new(
+        DesignKind::SimpleOoo(Defense::NoFwdFuturistic),
+        Contract::Sandboxing,
+    );
+    expect_no_attack(&cfg, 8, 120);
+}
+
+#[test]
+fn delay_spectre_clean_both_contracts() {
+    for contract in Contract::ALL {
+        let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::DelaySpectre), contract);
+        expect_no_attack(&cfg, 8, 120);
+    }
+}
+
+#[test]
+fn delay_futuristic_clean_both_contracts() {
+    for contract in Contract::ALL {
+        let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::DelayFuturistic), contract);
+        expect_no_attack(&cfg, 8, 120);
+    }
+}
+
+#[test]
+fn inorder_clean_within_bound() {
+    let cfg = InstanceConfig::new(DesignKind::InOrder, Contract::Sandboxing);
+    expect_no_attack(&cfg, 8, 120);
+}
+
+#[test]
+fn big_ooo_exception_attack_found() {
+    let cfg = InstanceConfig::new(DesignKind::BigOoo, Contract::Sandboxing);
+    expect_attack(&cfg, Scheme::Shadow, 10, 600);
+}
+
+#[test]
+fn big_ooo_all_sources_excluded_is_clean() {
+    let mut cfg = InstanceConfig::new(DesignKind::BigOoo, Contract::Sandboxing);
+    cfg.excludes = vec![
+        ExcludeRule::MisalignedAccesses,
+        ExcludeRule::IllegalAccesses,
+        ExcludeRule::TakenBranches,
+    ];
+    expect_no_attack(&cfg, 7, 300);
+}
+
+#[test]
+fn superscalar_attack_found() {
+    let cfg = InstanceConfig::new(DesignKind::SuperOoo, Contract::Sandboxing);
+    expect_attack(&cfg, Scheme::Shadow, 9, 600);
+}
