@@ -24,7 +24,7 @@ use csl_core::{
     ShadowOptions,
 };
 use csl_cpu::Defense;
-use csl_mc::{bmc, BmcResult, Sim, SimState, TransitionSystem, Trace, Verdict};
+use csl_mc::{bmc, BmcResult, Sim, SimState, Trace, TransitionSystem, Verdict};
 use csl_sat::Budget;
 use std::time::{Duration, Instant};
 
@@ -48,16 +48,13 @@ fn main() {
         "ABLATION: the §5.2 requirements and the scheme structure",
         "paper §5.2 / §4.2 / §7.1.2",
     );
-    let budget = Budget {
-        max_conflicts: 0,
-        deadline: Some(Instant::now() + Duration::from_secs(budget_secs(240))),
-    };
+    let budget = Budget::until(Instant::now() + Duration::from_secs(budget_secs(240)));
 
     println!("-- (1) instruction-inclusion requirement (drain tracking) --");
     let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
     let sound = build_shadow_instance(&cfg);
     let ts = TransitionSystem::new(sound.aig.clone(), false);
-    let genuine = match bmc(&ts, bmc_depth(9), budget) {
+    let genuine = match bmc(&ts, bmc_depth(9), budget.clone()) {
         BmcResult::Cex(t) => {
             let clean = !assume_violated_extended(&sound.aig, &t, 16);
             println!(
@@ -80,7 +77,7 @@ fn main() {
     let broken = build_shadow_instance(&nodrain);
     let ts2 = TransitionSystem::new(broken.aig.clone(), false);
     let shallow = genuine.as_ref().map(|t| t.depth() - 1).unwrap_or(5);
-    match bmc(&ts2, shallow, budget) {
+    match bmc(&ts2, shallow, budget.clone()) {
         BmcResult::Cex(t) => {
             let violated = assume_violated_extended(&broken.aig, &t, 16);
             let verdict = if violated {
@@ -108,7 +105,10 @@ fn main() {
     );
     // Positive guarantee: with sync on, the FIFO overflow assertions are
     // unreachable within the bound even on the timing-divergent DoM core.
-    let dom = InstanceConfig::new(DesignKind::SimpleOoo(Defense::DomSpectre), Contract::Sandboxing);
+    let dom = InstanceConfig::new(
+        DesignKind::SimpleOoo(Defense::DomSpectre),
+        Contract::Sandboxing,
+    );
     let task = build_shadow_instance(&dom);
     let ts3 = TransitionSystem::new(task.aig.clone(), false);
     match bmc(&ts3, bmc_depth(10), budget) {
@@ -124,7 +124,11 @@ fn main() {
     println!("-- (3) attack finding: baseline vs shadow on insecure SimpleOoO --");
     for scheme in [Scheme::Baseline, Scheme::Shadow] {
         let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-        let report = verify(scheme, &cfg, &task_options(budget_secs(120), bmc_depth(10), true));
+        let report = verify(
+            scheme,
+            &cfg,
+            &task_options(budget_secs(120), bmc_depth(10), true),
+        );
         show(&format!("{} attack search", scheme.name()), &report);
         if let Verdict::Attack(t) = &report.verdict {
             println!("    attack depth {}", t.depth());

@@ -32,7 +32,11 @@ fn main() {
         "paper §7.1.4 attack sequence",
     );
     println!("-- Contract Shadow Logic: no speculation source specified --");
-    round(vec![], Scheme::Shadow, "round 1: unrestricted program space");
+    round(
+        vec![],
+        Scheme::Shadow,
+        "round 1: unrestricted program space",
+    );
     round(
         vec![ExcludeRule::MisalignedAccesses],
         Scheme::Shadow,

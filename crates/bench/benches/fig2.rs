@@ -45,7 +45,10 @@ fn configure(base: CpuConfig, axis: Axis, n: usize) -> CpuConfig {
 fn sweep(title: &str, defense: Defense, contract: Contract) {
     println!();
     println!("--- {title} ---");
-    println!("{:<10} {:>6} {:>10} {:>10}", "axis", "size", "verdict", "secs");
+    println!(
+        "{:<10} {:>6} {:>10} {:>10}",
+        "axis", "size", "verdict", "secs"
+    );
     for axis in [Axis::Regfile, Axis::DataMem, Axis::Rob] {
         for n in [2usize, 4, 8, 16] {
             if matches!(axis, Axis::Regfile) && n == 2 && defense == Defense::DomSpectre {

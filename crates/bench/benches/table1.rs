@@ -14,7 +14,10 @@ use csl_cpu::Defense;
 use csl_mc::TransitionSystem;
 
 fn main() {
-    header("TABLE 1: processor and shadow-logic inventory", "paper Table 1");
+    header(
+        "TABLE 1: processor and shadow-logic inventory",
+        "paper Table 1",
+    );
     println!(
         "{:<22} {:>8} {:>9} {:>9} {:>10} {:>8} {:>7}",
         "design", "width", "rob", "cpu-lat", "shadow-lat", "ands", "COI-lat"

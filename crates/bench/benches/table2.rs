@@ -12,56 +12,28 @@
 //!
 //! (`-` = not evaluated in the paper; we run every cell.)
 //!
+//! The whole matrix runs through the campaign runner: cells in parallel
+//! on the worker pool, engines inside each cell racing as a portfolio.
 //! Budgets stand in for the 7-day timeout; tune with `CSL_BUDGET_SECS`
 //! (uniform override) or `CSL_FAST=1`.
 
-use csl_bench::{bmc_depth, budget_secs, header, paper_cell, show, task_options};
-use csl_contracts::Contract;
-use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
-use csl_cpu::Defense;
+use csl_bench::{
+    bmc_depth, budget_secs, campaign_options, header, show, show_campaign, table2_cells,
+};
+use csl_core::run_campaign;
 
 fn main() {
     header(
         "TABLE 2: scheme comparison, sandboxing contract",
         "paper Table 2",
     );
-    let designs = [
-        DesignKind::InOrder,
-        DesignKind::SimpleOoo(Defense::DelaySpectre), // SimpleOoO-S
-        DesignKind::SimpleOoo(Defense::None),
-        DesignKind::SuperOoo,
-        DesignKind::BigOoo,
-    ];
-    let mut rows: Vec<(String, Vec<String>)> = Vec::new();
-    for scheme in Scheme::ALL {
-        let mut cells = Vec::new();
-        for design in designs {
-            let cfg = InstanceConfig::new(design, Contract::Sandboxing);
-            // Proof-capable budget; the BMC prefix is kept shallow so the
-            // proof engines (Houdini/k-induction/PDR) get the budget's
-            // remainder. The baseline is expected to burn it on secure
-            // designs and time out.
-            let opts = task_options(budget_secs(180), bmc_depth(6), false);
-            let report = verify(scheme, &cfg, &opts);
-            show(&format!("{} / {}", scheme.name(), design.name()), &report);
-            cells.push(format!(
-                "{}({:.0}s)",
-                paper_cell(&report.verdict),
-                report.elapsed.as_secs_f64()
-            ));
-        }
-        rows.push((scheme.name().to_string(), cells));
+    // Proof-capable budget; the BMC prefix is kept shallow so the proof
+    // engines (Houdini/k-induction/PDR) are not starved. The baseline is
+    // expected to burn its budget on secure designs and time out.
+    let opts = campaign_options(budget_secs(180), bmc_depth(6));
+    let report = run_campaign(&table2_cells(), &opts);
+    for r in &report.results {
+        show(&r.cell.label(), &r.report);
     }
-    println!();
-    println!(
-        "{:<22} {:<16} {:<16} {:<16} {:<16} {:<16}",
-        "scheme", "InOrder(Sodor)", "SimpleOoO-S", "SimpleOoO", "SuperOoO", "BigOoO(BOOM)"
-    );
-    for (name, cells) in rows {
-        print!("{name:<22} ");
-        for c in cells {
-            print!("{c:<16} ");
-        }
-        println!();
-    }
+    show_campaign(&report);
 }

@@ -53,7 +53,10 @@ fn main() {
         rows.push((defense.name(), cells));
     }
     println!();
-    println!("{:<20} {:<18} {:<18}", "defence", "sandboxing", "constant-time");
+    println!(
+        "{:<20} {:<18} {:<18}",
+        "defence", "sandboxing", "constant-time"
+    );
     for (name, cells) in rows {
         println!("{name:<20} {:<18} {:<18}", cells[0], cells[1]);
     }

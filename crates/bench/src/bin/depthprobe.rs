@@ -1,15 +1,20 @@
-use std::time::Instant;
 use csl_contracts::Contract;
 use csl_core::{build_instance, DesignKind, InstanceConfig, Scheme};
 use csl_cpu::Defense;
-use csl_mc::{TransitionSystem, Unroller, InitMode};
+use csl_mc::{InitMode, TransitionSystem, Unroller};
 use csl_sat::SolveResult;
+use std::time::Instant;
 
 fn probe(design: DesignKind, contract: Contract, maxd: usize) {
     let cfg = InstanceConfig::new(design, contract);
     let task = build_instance(Scheme::Shadow, &cfg);
     let ts = TransitionSystem::new(task.aig.clone(), false);
-    println!("== {} / {}: {}", design.name(), contract.name(), ts.summary());
+    println!(
+        "== {} / {}: {}",
+        design.name(),
+        contract.name(),
+        ts.summary()
+    );
     let mut u = Unroller::new(&ts, InitMode::Reset);
     let t0 = Instant::now();
     for k in 0..=maxd {
@@ -17,15 +22,33 @@ fn probe(design: DesignKind, contract: Contract, maxd: usize) {
         u.assert_assumes_through(k);
         let bad = u.bad_any_at(k);
         let r = u.solve_with(&[bad]);
-        println!("  depth {k:2}: {:?} in {:.2}s (cum {:.1}s)", r, t.elapsed().as_secs_f64(), t0.elapsed().as_secs_f64());
-        if r == SolveResult::Sat { break; }
+        println!(
+            "  depth {k:2}: {:?} in {:.2}s (cum {:.1}s)",
+            r,
+            t.elapsed().as_secs_f64(),
+            t0.elapsed().as_secs_f64()
+        );
+        if r == SolveResult::Sat {
+            break;
+        }
         u.solver.add_clause(&[!bad]);
-        if t0.elapsed().as_secs_f64() > 240.0 { println!("  (probe budget reached)"); break; }
+        if t0.elapsed().as_secs_f64() > 240.0 {
+            println!("  (probe budget reached)");
+            break;
+        }
     }
 }
 
 fn main() {
     probe(DesignKind::InOrder, Contract::Sandboxing, 14);
-    probe(DesignKind::SimpleOoo(Defense::DelaySpectre), Contract::Sandboxing, 12);
-    probe(DesignKind::SimpleOoo(Defense::DelaySpectre), Contract::ConstantTime, 12);
+    probe(
+        DesignKind::SimpleOoo(Defense::DelaySpectre),
+        Contract::Sandboxing,
+        12,
+    );
+    probe(
+        DesignKind::SimpleOoo(Defense::DelaySpectre),
+        Contract::ConstantTime,
+        12,
+    );
 }

@@ -1,8 +1,8 @@
-use std::time::Duration;
 use csl_contracts::Contract;
 use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
 use csl_cpu::Defense;
 use csl_mc::{CheckOptions, Verdict};
+use std::time::Duration;
 
 fn main() {
     for contract in Contract::ALL {
@@ -17,11 +17,16 @@ fn main() {
         match &report.verdict {
             Verdict::Attack(t) => println!(
                 "DoM-spectre / {:<14} ATTACK at depth {} in {:.1}s (bad `{}`)",
-                contract.name(), t.depth(), report.elapsed.as_secs_f64(), t.bad_name
+                contract.name(),
+                t.depth(),
+                report.elapsed.as_secs_f64(),
+                t.bad_name
             ),
             other => println!(
                 "DoM-spectre / {:<14} {} in {:.1}s",
-                contract.name(), other.cell(), report.elapsed.as_secs_f64()
+                contract.name(),
+                other.cell(),
+                report.elapsed.as_secs_f64()
             ),
         }
     }

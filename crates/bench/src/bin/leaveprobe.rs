@@ -1,15 +1,29 @@
-use std::time::Duration;
 use csl_contracts::Contract;
 use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
 use csl_cpu::Defense;
 use csl_mc::CheckOptions;
+use std::time::Duration;
 
 fn main() {
-    for design in [DesignKind::InOrder, DesignKind::SimpleOoo(Defense::DelaySpectre), DesignKind::SimpleOoo(Defense::None)] {
+    for design in [
+        DesignKind::InOrder,
+        DesignKind::SimpleOoo(Defense::DelaySpectre),
+        DesignKind::SimpleOoo(Defense::None),
+    ] {
         let cfg = InstanceConfig::new(design, Contract::Sandboxing);
-        let opts = CheckOptions { total_budget: Duration::from_secs(180), ..Default::default() };
+        let opts = CheckOptions {
+            total_budget: Duration::from_secs(180),
+            ..Default::default()
+        };
         let report = verify(Scheme::Leave, &cfg, &opts);
-        println!("LEAVE {:24} -> {:8} [{:.1}s]", design.name(), report.verdict.cell(), report.elapsed.as_secs_f64());
-        for n in &report.notes { println!("   | {n}"); }
+        println!(
+            "LEAVE {:24} -> {:8} [{:.1}s]",
+            design.name(),
+            report.verdict.cell(),
+            report.elapsed.as_secs_f64()
+        );
+        for n in &report.notes {
+            println!("   | {n}");
+        }
     }
 }

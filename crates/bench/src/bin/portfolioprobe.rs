@@ -1,0 +1,37 @@
+//! Diagnostic probe: sequential vs portfolio `check_safety` on the
+//! single-cycle design, every scheme, with per-engine notes. Use
+//! `CSL_BUDGET_SECS` to widen the per-cell budget when hunting for the
+//! point where the proof engines converge.
+
+use std::time::Duration;
+
+use csl_bench::{bmc_depth, budget_secs};
+use csl_contracts::Contract;
+use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
+use csl_mc::{CheckOptions, ExecMode};
+
+fn main() {
+    let cfg = InstanceConfig::new(DesignKind::SingleCycle, Contract::Sandboxing);
+    for scheme in Scheme::ALL {
+        for mode in [ExecMode::Sequential, ExecMode::Portfolio] {
+            let opts = CheckOptions {
+                total_budget: Duration::from_secs(budget_secs(45)),
+                bmc_depth: bmc_depth(6),
+                mode,
+                ..Default::default()
+            };
+            let t = std::time::Instant::now();
+            let r = verify(scheme, &cfg, &opts);
+            println!(
+                "{:<22} {:?}: {} in {:.1}s",
+                scheme.name(),
+                mode,
+                r.verdict.cell(),
+                t.elapsed().as_secs_f64()
+            );
+            for n in &r.notes {
+                println!("    | {n}");
+            }
+        }
+    }
+}

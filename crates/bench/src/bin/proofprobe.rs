@@ -1,8 +1,8 @@
-use std::time::{Duration, Instant};
 use csl_contracts::Contract;
 use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
 use csl_cpu::Defense;
 use csl_mc::{CheckOptions, Verdict};
+use std::time::{Duration, Instant};
 
 fn run(design: DesignKind, contract: Contract, budget: u64, depth: usize) {
     let opts = CheckOptions {
@@ -20,12 +20,31 @@ fn run(design: DesignKind, contract: Contract, budget: u64, depth: usize) {
         Verdict::Unknown { reason } => reason.clone(),
         _ => String::new(),
     };
-    println!("{:28} {:14} -> {:6} [{:.1}s] {}", design.name(), contract.name(), report.verdict.cell(), t.elapsed().as_secs_f64(), extra);
-    for n in &report.notes { println!("   | {n}"); }
+    println!(
+        "{:28} {:14} -> {:6} [{:.1}s] {}",
+        design.name(),
+        contract.name(),
+        report.verdict.cell(),
+        t.elapsed().as_secs_f64(),
+        extra
+    );
+    for n in &report.notes {
+        println!("   | {n}");
+    }
 }
 
 fn main() {
     run(DesignKind::InOrder, Contract::Sandboxing, 600, 4);
-    run(DesignKind::SimpleOoo(Defense::DelayFuturistic), Contract::Sandboxing, 900, 4);
-    run(DesignKind::SimpleOoo(Defense::DelaySpectre), Contract::Sandboxing, 900, 4);
+    run(
+        DesignKind::SimpleOoo(Defense::DelayFuturistic),
+        Contract::Sandboxing,
+        900,
+        4,
+    );
+    run(
+        DesignKind::SimpleOoo(Defense::DelaySpectre),
+        Contract::Sandboxing,
+        900,
+        4,
+    );
 }

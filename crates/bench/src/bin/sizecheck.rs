@@ -8,6 +8,16 @@ fn main() {
     let b = build_baseline_instance(&cfg);
     let ts_s = TransitionSystem::new(s.aig.clone(), false);
     let ts_b = TransitionSystem::new(b.aig.clone(), false);
-    println!("shadow:   latches={} ands={} | COI {}", s.aig.num_latches(), s.aig.num_ands(), ts_s.summary());
-    println!("baseline: latches={} ands={} | COI {}", b.aig.num_latches(), b.aig.num_ands(), ts_b.summary());
+    println!(
+        "shadow:   latches={} ands={} | COI {}",
+        s.aig.num_latches(),
+        s.aig.num_ands(),
+        ts_s.summary()
+    );
+    println!(
+        "baseline: latches={} ands={} | COI {}",
+        b.aig.num_latches(),
+        b.aig.num_ands(),
+        ts_b.summary()
+    );
 }

@@ -1,10 +1,18 @@
-use std::time::{Duration, Instant};
+use csl_bench::{bmc_depth, budget_secs, campaign_options, show_campaign, smoke_cells};
 use csl_contracts::Contract;
-use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
+use csl_core::{run_campaign, verify, DesignKind, InstanceConfig, Scheme};
 use csl_cpu::Defense;
 use csl_mc::{CheckOptions, Verdict};
+use std::time::{Duration, Instant};
 
-fn run(design: DesignKind, contract: Contract, scheme: Scheme, attack_only: bool, budget: u64, depth: usize) {
+fn run(
+    design: DesignKind,
+    contract: Contract,
+    scheme: Scheme,
+    attack_only: bool,
+    budget: u64,
+    depth: usize,
+) {
     let opts = CheckOptions {
         total_budget: Duration::from_secs(budget),
         bmc_depth: depth,
@@ -20,18 +28,68 @@ fn run(design: DesignKind, contract: Contract, scheme: Scheme, attack_only: bool
         Verdict::Unknown { reason } => reason.clone(),
         Verdict::Timeout => String::new(),
     };
-    println!("{:28} {:14} {:8} -> {:6} [{:.1}s] {}", design.name(), contract.name(), scheme.name(), report.verdict.cell(), t.elapsed().as_secs_f64(), extra);
+    println!(
+        "{:28} {:14} {:8} -> {:6} [{:.1}s] {}",
+        design.name(),
+        contract.name(),
+        scheme.name(),
+        report.verdict.cell(),
+        t.elapsed().as_secs_f64(),
+        extra
+    );
 }
 
 fn main() {
     use Contract::*;
     use Scheme::*;
     // Insecure: expect CEX.
-    run(DesignKind::SimpleOoo(Defense::None), Sandboxing, Shadow, true, 120, 14);
-    run(DesignKind::SimpleOoo(Defense::None), ConstantTime, Shadow, true, 120, 14);
-    run(DesignKind::SimpleOoo(Defense::NoFwdFuturistic), ConstantTime, Shadow, true, 120, 14);
+    run(
+        DesignKind::SimpleOoo(Defense::None),
+        Sandboxing,
+        Shadow,
+        true,
+        120,
+        14,
+    );
+    run(
+        DesignKind::SimpleOoo(Defense::None),
+        ConstantTime,
+        Shadow,
+        true,
+        120,
+        14,
+    );
+    run(
+        DesignKind::SimpleOoo(Defense::NoFwdFuturistic),
+        ConstantTime,
+        Shadow,
+        true,
+        120,
+        14,
+    );
     // Secure: expect NO cex within depth 12 (UNK in attack-only mode).
-    run(DesignKind::SimpleOoo(Defense::DelaySpectre), Sandboxing, Shadow, true, 300, 12);
-    run(DesignKind::SimpleOoo(Defense::DelayFuturistic), Sandboxing, Shadow, true, 300, 12);
+    run(
+        DesignKind::SimpleOoo(Defense::DelaySpectre),
+        Sandboxing,
+        Shadow,
+        true,
+        300,
+        12,
+    );
+    run(
+        DesignKind::SimpleOoo(Defense::DelayFuturistic),
+        Sandboxing,
+        Shadow,
+        true,
+        300,
+        12,
+    );
     run(DesignKind::InOrder, Sandboxing, Shadow, true, 120, 12);
+    // The smoke matrix through the campaign runner: every scheme on the
+    // single-cycle design, cells in parallel, engines racing per cell.
+    let report = run_campaign(
+        &smoke_cells(),
+        &campaign_options(budget_secs(60), bmc_depth(8)),
+    );
+    show_campaign(&report);
 }

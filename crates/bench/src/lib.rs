@@ -9,7 +9,10 @@
 
 use std::time::Duration;
 
-use csl_mc::{CheckOptions, CheckReport, Verdict};
+use csl_contracts::Contract;
+use csl_core::{matrix, CampaignCell, CampaignOptions, CampaignReport, DesignKind, Scheme};
+use csl_cpu::Defense;
+use csl_mc::{CheckOptions, CheckReport, ExecMode, Verdict};
 
 /// Per-task budget in seconds, honouring `CSL_BUDGET_SECS` / `CSL_FAST`.
 pub fn budget_secs(default: u64) -> u64 {
@@ -77,4 +80,56 @@ pub fn header(title: &str, paper_ref: &str) {
     println!("{title}");
     println!("(reproduces {paper_ref}; shapes matter, absolute times do not)");
     println!("==============================================================");
+}
+
+/// The five processor designs of Table 2, in column order.
+pub fn table2_designs() -> Vec<DesignKind> {
+    vec![
+        DesignKind::InOrder,
+        DesignKind::SimpleOoo(Defense::DelaySpectre), // SimpleOoO-S
+        DesignKind::SimpleOoo(Defense::None),
+        DesignKind::SuperOoo,
+        DesignKind::BigOoo,
+    ]
+}
+
+/// The full Table-2 matrix: every scheme × every design, sandboxing.
+pub fn table2_cells() -> Vec<CampaignCell> {
+    matrix(&Scheme::ALL, &table2_designs(), &[Contract::Sandboxing])
+}
+
+/// The smoke matrix: every scheme on the smallest design (LEAVE proves
+/// it fast; the other schemes spend their full per-cell budget, so total
+/// wall clock scales with the budget). Exercised by `cargo run --bin
+/// smoke` and the campaign tests.
+pub fn smoke_cells() -> Vec<CampaignCell> {
+    matrix(
+        &Scheme::ALL,
+        &[DesignKind::SingleCycle],
+        &[Contract::Sandboxing],
+    )
+}
+
+/// Standard campaign options: per-cell portfolio execution (each cell
+/// races its engines) across the worker pool. Callers pass the budget
+/// and depth through [`budget_secs`]/[`bmc_depth`] when they want the
+/// `CSL_BUDGET_SECS`/`CSL_FAST` overrides to apply.
+pub fn campaign_options(budget_s: u64, depth: usize) -> CampaignOptions {
+    CampaignOptions {
+        threads: 0,
+        cell: CheckOptions {
+            mode: ExecMode::Portfolio,
+            ..task_options(budget_s, depth, false)
+        },
+    }
+}
+
+/// Prints a finished campaign in the paper's table shape.
+pub fn show_campaign(report: &CampaignReport) {
+    println!();
+    print!("{}", report.render_table());
+    println!(
+        "(thread-pool speedup: {:.1}x)",
+        report.cpu_time().as_secs_f64() / report.wall.as_secs_f64().max(1e-9)
+    );
 }

@@ -195,10 +195,20 @@ mod tests {
         let src = "LI r1, 2\nLD r2, (r1)"; // loads dmem[2] = secret region
         let a = run(&cfg, src, &[0, 0, 5, 0], 2);
         let b = run(&cfg, src, &[0, 0, 9, 0], 2);
-        assert!(!traces_indistinguishable(Contract::Sandboxing, &cfg, &a, &b));
+        assert!(!traces_indistinguishable(
+            Contract::Sandboxing,
+            &cfg,
+            &a,
+            &b
+        ));
         // Under constant-time the *address* is public, so the traces are
         // indistinguishable even though the data differs.
-        assert!(traces_indistinguishable(Contract::ConstantTime, &cfg, &a, &b));
+        assert!(traces_indistinguishable(
+            Contract::ConstantTime,
+            &cfg,
+            &a,
+            &b
+        ));
     }
 
     #[test]
@@ -208,7 +218,12 @@ mod tests {
         let src = "LI r1, 2\nLD r2, (r1)\nLD r3, (r2)";
         let a = run(&cfg, src, &[0, 0, 0, 0], 3);
         let b = run(&cfg, src, &[0, 0, 1, 0], 3);
-        assert!(!traces_indistinguishable(Contract::ConstantTime, &cfg, &a, &b));
+        assert!(!traces_indistinguishable(
+            Contract::ConstantTime,
+            &cfg,
+            &a,
+            &b
+        ));
     }
 
     #[test]
@@ -217,9 +232,19 @@ mod tests {
         let src = "LI r1, 2\nLD r2, (r1)\nBNZ r2, 0";
         let a = run(&cfg, src, &[0, 0, 0, 0], 3);
         let b = run(&cfg, src, &[0, 0, 1, 0], 3);
-        assert!(!traces_indistinguishable(Contract::ConstantTime, &cfg, &a, &b));
+        assert!(!traces_indistinguishable(
+            Contract::ConstantTime,
+            &cfg,
+            &a,
+            &b
+        ));
         // Sandboxing *does* filter this program too (it loads the secret).
-        assert!(!traces_indistinguishable(Contract::Sandboxing, &cfg, &a, &b));
+        assert!(!traces_indistinguishable(
+            Contract::Sandboxing,
+            &cfg,
+            &a,
+            &b
+        ));
     }
 
     #[test]

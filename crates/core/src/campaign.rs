@@ -1,0 +1,278 @@
+//! Campaign runner: the scheme × design × contract matrix on a thread pool.
+//!
+//! Table 2 of the paper evaluates every verification scheme against every
+//! processor design under a contract, each cell with its own wall-clock
+//! budget. The cells are independent, so a campaign is embarrassingly
+//! parallel: [`run_campaign`] executes them on a pool of worker threads
+//! (each cell may itself be a portfolio race — the per-cell
+//! [`CheckOptions::mode`] controls that) and reassembles the results in
+//! matrix order, so the output table is deterministic regardless of which
+//! worker finished first.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use csl_contracts::Contract;
+use csl_mc::{CheckOptions, CheckReport, ExecMode};
+
+use crate::harness::{DesignKind, InstanceConfig};
+use crate::verify::{verify, Scheme};
+
+/// One cell of the evaluation matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CampaignCell {
+    pub scheme: Scheme,
+    pub design: DesignKind,
+    pub contract: Contract,
+}
+
+impl CampaignCell {
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.scheme.name(),
+            self.design.name(),
+            self.contract.name()
+        )
+    }
+}
+
+/// The full cross product in deterministic (scheme-major) order.
+pub fn matrix(
+    schemes: &[Scheme],
+    designs: &[DesignKind],
+    contracts: &[Contract],
+) -> Vec<CampaignCell> {
+    let mut cells = Vec::with_capacity(schemes.len() * designs.len() * contracts.len());
+    for &contract in contracts {
+        for &scheme in schemes {
+            for &design in designs {
+                cells.push(CampaignCell {
+                    scheme,
+                    design,
+                    contract,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Options for [`run_campaign`].
+#[derive(Clone, Debug, Default)]
+pub struct CampaignOptions {
+    /// Worker threads (0 = sized from the core count, accounting for the
+    /// engine lanes each cell spawns in portfolio mode).
+    pub threads: usize,
+    /// Per-cell check options; `total_budget` is the per-cell budget and
+    /// `mode` selects sequential or portfolio execution inside each cell.
+    pub cell: CheckOptions,
+}
+
+impl CampaignOptions {
+    fn worker_count(&self, cells: usize) -> usize {
+        let n = if self.threads == 0 {
+            let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+            // A portfolio cell spawns up to four engine lanes of its own;
+            // sizing the pool to the core count would oversubscribe the CPU
+            // 4x and let wall-clock contention flip borderline cells to
+            // timeouts. Budget cores to total threads, not to cells.
+            match self.cell.mode {
+                ExecMode::Portfolio => (hw / 4).max(1),
+                ExecMode::Sequential => hw,
+            }
+        } else {
+            self.threads
+        };
+        n.clamp(1, cells.max(1))
+    }
+}
+
+/// One finished cell.
+#[derive(Debug)]
+pub struct CellResult {
+    pub cell: CampaignCell,
+    pub report: CheckReport,
+}
+
+/// A finished campaign: results in the same order as the input cells
+/// (never completion order), plus the measured wall clock.
+#[derive(Debug)]
+pub struct CampaignReport {
+    pub results: Vec<CellResult>,
+    pub wall: Duration,
+}
+
+impl CampaignReport {
+    /// Looks up a cell's report.
+    pub fn get(
+        &self,
+        scheme: Scheme,
+        design: DesignKind,
+        contract: Contract,
+    ) -> Option<&CheckReport> {
+        self.results
+            .iter()
+            .find(|r| {
+                r.cell.scheme == scheme && r.cell.design == design && r.cell.contract == contract
+            })
+            .map(|r| &r.report)
+    }
+
+    /// Sum of per-cell elapsed times — what a sequential loop would have
+    /// paid (modulo early exits); compare with `wall` for the speedup.
+    pub fn cpu_time(&self) -> Duration {
+        self.results.iter().map(|r| r.report.elapsed).sum()
+    }
+
+    /// Renders the paper-style result table: one block per contract, one
+    /// row per scheme, one column per design, cells as
+    /// `VERDICT(elapsed)`. Row/column order follows first appearance in
+    /// the result list, which follows the input matrix — deterministic.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut contracts: Vec<Contract> = Vec::new();
+        let mut schemes: Vec<Scheme> = Vec::new();
+        let mut designs: Vec<DesignKind> = Vec::new();
+        for r in &self.results {
+            if !contracts.contains(&r.cell.contract) {
+                contracts.push(r.cell.contract);
+            }
+            if !schemes.contains(&r.cell.scheme) {
+                schemes.push(r.cell.scheme);
+            }
+            if !designs.contains(&r.cell.design) {
+                designs.push(r.cell.design);
+            }
+        }
+        let mut out = String::new();
+        for &contract in &contracts {
+            let _ = writeln!(out, "contract: {}", contract.name());
+            let _ = write!(out, "{:<22}", "scheme");
+            for &design in &designs {
+                let _ = write!(out, " {:<18}", design.name());
+            }
+            let _ = writeln!(out);
+            for &scheme in &schemes {
+                let _ = write!(out, "{:<22}", scheme.name());
+                for &design in &designs {
+                    let cell = match self.get(scheme, design, contract) {
+                        Some(report) => format!(
+                            "{}({:.1}s)",
+                            report.verdict.cell(),
+                            report.elapsed.as_secs_f64()
+                        ),
+                        None => "-".to_string(),
+                    };
+                    let _ = write!(out, " {cell:<18}");
+                }
+                let _ = writeln!(out);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "wall {:.1}s, cpu {:.1}s, {} cells",
+            self.wall.as_secs_f64(),
+            self.cpu_time().as_secs_f64(),
+            self.results.len()
+        );
+        out
+    }
+}
+
+/// Runs every cell on a worker pool and returns the results in matrix
+/// order. Workers pull cells from a shared queue, so long cells don't
+/// serialize behind each other; each cell runs `verify` with the shared
+/// per-cell options.
+pub fn run_campaign(cells: &[CampaignCell], opts: &CampaignOptions) -> CampaignReport {
+    let start = Instant::now();
+    let workers = opts.worker_count(cells.len());
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CellResult>>> =
+        Mutex::new((0..cells.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let cell = cells[i];
+                let cfg = InstanceConfig::new(cell.design, cell.contract);
+                let report = verify(cell.scheme, &cfg, &opts.cell);
+                slots.lock().unwrap()[i] = Some(CellResult { cell, report });
+            });
+        }
+    });
+
+    let results = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every cell ran"))
+        .collect();
+    CampaignReport {
+        results,
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csl_mc::ExecMode;
+
+    fn smoke_cells() -> Vec<CampaignCell> {
+        matrix(
+            &Scheme::ALL,
+            &[DesignKind::SingleCycle],
+            &[Contract::Sandboxing],
+        )
+    }
+
+    #[test]
+    fn matrix_order_is_deterministic_and_complete() {
+        let cells = matrix(
+            &Scheme::ALL,
+            &[DesignKind::SingleCycle, DesignKind::InOrder],
+            &[Contract::Sandboxing],
+        );
+        assert_eq!(cells.len(), 8);
+        // Scheme-major within a contract: all designs of a scheme first.
+        assert_eq!(cells[0].scheme, cells[1].scheme);
+        assert_ne!(cells[0].design, cells[1].design);
+        assert_eq!(
+            cells,
+            matrix(
+                &Scheme::ALL,
+                &[DesignKind::SingleCycle, DesignKind::InOrder],
+                &[Contract::Sandboxing],
+            )
+        );
+    }
+
+    #[test]
+    fn campaign_results_follow_input_order_regardless_of_workers() {
+        let cells = smoke_cells();
+        let opts = CampaignOptions {
+            threads: 4,
+            cell: CheckOptions {
+                total_budget: Duration::from_secs(8),
+                bmc_depth: 4,
+                mode: ExecMode::Portfolio,
+                ..Default::default()
+            },
+        };
+        let report = run_campaign(&cells, &opts);
+        assert_eq!(report.results.len(), cells.len());
+        for (r, c) in report.results.iter().zip(&cells) {
+            assert_eq!(r.cell, *c);
+        }
+        let table = report.render_table();
+        assert!(table.contains("ContractShadowLogic"), "{table}");
+        assert!(table.contains("SingleCycle"), "{table}");
+    }
+}

@@ -21,6 +21,12 @@ use crate::shadow::{ShadowOptions, ShadowPre};
 /// The designs under verification (paper Table 1 / Table 2 columns).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DesignKind {
+    /// The single-cycle ISA machine itself as the design under test: no
+    /// speculation, no microarchitectural state beyond the architectural
+    /// registers. The smallest instance in the matrix — LEAVE proves it
+    /// in under a second — which makes it the smoke-campaign and
+    /// portfolio-equivalence workhorse.
+    SingleCycle,
     /// Sodor stand-in: 2-stage in-order pipeline.
     InOrder,
     /// The paper's in-house toy OoO core with a defence policy.
@@ -36,6 +42,7 @@ impl DesignKind {
     /// Table label.
     pub fn name(&self) -> String {
         match self {
+            DesignKind::SingleCycle => "SingleCycle(ISA)".to_string(),
             DesignKind::InOrder => "InOrder(Sodor)".to_string(),
             DesignKind::SimpleOoo(Defense::None) => "SimpleOoO".to_string(),
             DesignKind::SimpleOoo(Defense::DelaySpectre) => "SimpleOoO-S".to_string(),
@@ -48,6 +55,8 @@ impl DesignKind {
     /// Default processor configuration.
     pub fn cpu_config(&self) -> CpuConfig {
         match self {
+            // Only the ISA sub-config matters for the single-cycle machine.
+            DesignKind::SingleCycle => CpuConfig::simple_ooo(Defense::None),
             DesignKind::InOrder => CpuConfig::simple_ooo(Defense::None),
             DesignKind::SimpleOoo(def) => {
                 let mut c = CpuConfig::simple_ooo(*def);
@@ -109,7 +118,8 @@ impl InstanceConfig {
 
     /// Resolved processor configuration.
     pub fn cpu_config(&self) -> CpuConfig {
-        self.cpu_override.unwrap_or_else(|| self.design.cpu_config())
+        self.cpu_override
+            .unwrap_or_else(|| self.design.cpu_config())
     }
 }
 
@@ -124,6 +134,13 @@ fn build_machine(
     stall: Bit,
 ) -> CpuPorts {
     match kind {
+        DesignKind::SingleCycle => {
+            // The single-cycle machine has no fetch-stall input (nothing
+            // speculative to stall); fold the stall into the register
+            // enable so pause-based re-alignment still holds it.
+            let run = d.and_bit(enable, stall.not());
+            build_single_cycle(d, &cfg.isa, name, shared, secret, run)
+        }
         DesignKind::InOrder => build_inorder(d, &cfg.isa, name, shared, secret, enable, stall),
         DesignKind::SimpleOoo(_) | DesignKind::SuperOoo | DesignKind::BigOoo => {
             build_ooo(d, cfg, name, shared, secret, enable, stall)
@@ -401,11 +418,13 @@ mod tests {
             DesignKind::BigOoo,
         ] {
             for contract in Contract::ALL {
-                let task =
-                    build_shadow_instance(&InstanceConfig::new(design, contract));
+                let task = build_shadow_instance(&InstanceConfig::new(design, contract));
                 assert!(task.aig.validate().is_ok(), "{design:?}");
                 assert!(
-                    task.aig.bads().iter().any(|b| b.name.contains("no_leakage")),
+                    task.aig
+                        .bads()
+                        .iter()
+                        .any(|b| b.name.contains("no_leakage")),
                     "{design:?}"
                 );
                 assert!(!task.candidates.is_empty(), "{design:?}");
@@ -434,9 +453,8 @@ mod tests {
         let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
         let shadow = build_shadow_instance(&cfg);
         let baseline = build_baseline_instance(&cfg);
-        let has_prefix = |aig: &csl_hdl::Aig, p: &str| {
-            aig.latches().iter().any(|l| l.name.starts_with(p))
-        };
+        let has_prefix =
+            |aig: &csl_hdl::Aig, p: &str| aig.latches().iter().any(|l| l.name.starts_with(p));
         assert!(!has_prefix(&shadow.aig, "isa1."));
         assert!(!has_prefix(&shadow.aig, "isa2."));
         assert!(has_prefix(&baseline.aig, "isa1."));
@@ -450,9 +468,6 @@ mod tests {
             DesignKind::SimpleOoo(Defense::None),
             Contract::Sandboxing,
         ));
-        assert!(task
-            .candidates
-            .iter()
-            .all(|c| !c.name.contains("dmem_sec")));
+        assert!(task.candidates.iter().all(|c| !c.name.contains("dmem_sec")));
     }
 }

@@ -15,7 +15,10 @@
 //!   (Fig. 1b) and four-machine baseline (Fig. 1a) setups,
 //! * [`verify`] — the four schemes of Table 2 (Baseline, LEAVE, UPEC,
 //!   Contract Shadow Logic) run to one of the paper's verdicts: an attack
-//!   counterexample, an unbounded proof, UNKNOWN, or a timeout.
+//!   counterexample, an unbounded proof, UNKNOWN, or a timeout,
+//! * [`campaign`] — the scheme × design × contract matrix evaluated on a
+//!   worker pool with per-cell budgets and a deterministic result table
+//!   (the Table-2 reproduction engine).
 //!
 //! # Quickstart
 //!
@@ -31,6 +34,7 @@
 //! assert!(report.verdict.is_attack()); // Spectre-style leak found
 //! ```
 
+pub mod campaign;
 pub mod fifo;
 pub mod fuzz;
 pub mod harness;
@@ -38,11 +42,14 @@ pub mod record;
 pub mod shadow;
 pub mod verify;
 
+pub use campaign::{
+    matrix, run_campaign, CampaignCell, CampaignOptions, CampaignReport, CellResult,
+};
 pub use fifo::{FifoPlan, RecordFifo};
 pub use fuzz::{fuzz_design, replay_finding, FuzzFinding, FuzzOptions, FuzzOutcome};
 pub use harness::{
-    build_baseline_instance, build_leave_instance, build_shadow_instance, DesignKind,
-    ExcludeRule, InstanceConfig,
+    build_baseline_instance, build_leave_instance, build_shadow_instance, DesignKind, ExcludeRule,
+    InstanceConfig,
 };
 pub use record::{extract_record, pack_isa_record};
 pub use shadow::{uarch_trace_diff, ShadowOptions, ShadowPre};

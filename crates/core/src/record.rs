@@ -51,11 +51,7 @@ pub fn extract_record(
 
 /// Packs an ISA-side record ([`csl_contracts::IsaRecord`]) into the same
 /// bit layout, for cross-checking RTL extraction against the interpreter.
-pub fn pack_isa_record(
-    contract: Contract,
-    cfg: &IsaConfig,
-    rec: &csl_contracts::IsaRecord,
-) -> u64 {
+pub fn pack_isa_record(contract: Contract, cfg: &IsaConfig, rec: &csl_contracts::IsaRecord) -> u64 {
     let layout = RecordLayout::for_contract(contract, cfg);
     let mut out = 0u64;
     let mut shift = 0;

@@ -113,8 +113,7 @@ impl ShadowPre {
         } else {
             RecordFifo::depth_for_width(width)
         };
-        let rec_width =
-            csl_contracts::RecordLayout::for_contract(contract, cfg).total_bits();
+        let rec_width = csl_contracts::RecordLayout::for_contract(contract, cfg).total_bits();
         let max_pop = width + 1;
         let mut plans = Vec::new();
         let mut fifos = Vec::new();
@@ -196,13 +195,7 @@ impl ShadowPre {
         // ---- leakage assertion ---------------------------------------------
         let empty1 = d.is_zero(&fifos[0].stored_count());
         let empty2 = d.is_zero(&fifos[1].stored_count());
-        let bad = d.all(&[
-            phase2_now,
-            drained_bits[0],
-            drained_bits[1],
-            empty1,
-            empty2,
-        ]);
+        let bad = d.all(&[phase2_now, drained_bits[0], drained_bits[1], empty1, empty2]);
         d.assert_always("no_leakage", bad.not());
 
         // Seal the FIFOs.

@@ -19,9 +19,8 @@
 use std::time::Instant;
 
 use csl_mc::{
-    bmc, check_safety, houdini, k_induction, BmcResult, CheckOptions, CheckReport,
-    HoudiniResult, KindOptions, KindResult, ProofEngine, SafetyCheck, Sim, TransitionSystem,
-    Verdict,
+    bmc, check_safety, houdini, k_induction, BmcResult, CheckOptions, CheckReport, HoudiniResult,
+    KindOptions, KindResult, ProofEngine, SafetyCheck, Sim, TransitionSystem, Verdict,
 };
 use csl_sat::Budget;
 
@@ -40,7 +39,12 @@ pub enum Scheme {
 }
 
 impl Scheme {
-    pub const ALL: [Scheme; 4] = [Scheme::Baseline, Scheme::Leave, Scheme::Upec, Scheme::Shadow];
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Baseline,
+        Scheme::Leave,
+        Scheme::Upec,
+        Scheme::Shadow,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -84,10 +88,7 @@ pub fn verify(scheme: Scheme, cfg: &InstanceConfig, opts: &CheckOptions) -> Chec
 fn run_leave(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
     let start = Instant::now();
     let deadline = start + opts.total_budget;
-    let budget = Budget {
-        max_conflicts: 0,
-        deadline: Some(deadline),
-    };
+    let budget = Budget::until(deadline);
     let ts = TransitionSystem::new(task.aig.clone(), opts.keep_probes);
     let mut notes = vec![format!("netlist: {}", ts.summary())];
     match houdini(&ts, &task.candidates, budget) {
@@ -131,10 +132,7 @@ fn run_leave(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
 fn run_upec(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
     let start = Instant::now();
     let deadline = start + opts.total_budget;
-    let budget = || Budget {
-        max_conflicts: 0,
-        deadline: Some(deadline),
-    };
+    let budget = || Budget::until(deadline);
     let ts = TransitionSystem::new(task.aig.clone(), opts.keep_probes);
     let mut notes = vec![format!("netlist: {}", ts.summary())];
     match bmc(&ts, opts.bmc_depth, budget()) {

@@ -1,0 +1,108 @@
+//! Portfolio-vs-sequential agreement on real verification instances, and
+//! the campaign runner's wall-clock sanity.
+//!
+//! The single-cycle design is the smallest instance in the matrix and its
+//! verdict landscape is stable across budgets (measured in release:
+//! LEAVE proves in under a second; Baseline, UPEC and Shadow all exhaust
+//! any test-sized budget — the shadow instance's relational candidates do
+//! not survive Houdini, so no fast proof exists). That stability is what
+//! makes the cross-mode agreement checks below deterministic: each cell
+//! is either decisively fast (LEAVE) or decisively out of reach (the
+//! rest), never near the budget boundary.
+
+use std::time::{Duration, Instant};
+
+use csl_contracts::Contract;
+use csl_core::{matrix, run_campaign, verify, CampaignOptions, DesignKind, InstanceConfig, Scheme};
+use csl_mc::{CheckOptions, ExecMode};
+
+fn opts(mode: ExecMode) -> CheckOptions {
+    CheckOptions {
+        total_budget: Duration::from_secs(10),
+        bmc_depth: 4,
+        mode,
+        ..Default::default()
+    }
+}
+
+/// Every scheme on the single-cycle design: the portfolio must return the
+/// same verdict kind as the sequential pipeline.
+#[test]
+fn portfolio_matches_sequential_on_single_cycle_for_all_schemes() {
+    let cfg = InstanceConfig::new(DesignKind::SingleCycle, Contract::Sandboxing);
+    for scheme in Scheme::ALL {
+        let seq = verify(scheme, &cfg, &opts(ExecMode::Sequential));
+        let par = verify(scheme, &cfg, &opts(ExecMode::Portfolio));
+        assert_eq!(
+            seq.verdict.cell(),
+            par.verdict.cell(),
+            "{}: sequential {:?} vs portfolio {:?}\nseq notes: {:?}\npar notes: {:?}",
+            scheme.name(),
+            seq.verdict,
+            par.verdict,
+            seq.notes,
+            par.notes
+        );
+    }
+}
+
+/// LEAVE on the speculation-free design is the decisive-proof anchor: its
+/// Houdini candidates are all inductive and imply safety, so both modes
+/// must return PROOF well inside the budget (not merely agree).
+#[test]
+fn single_cycle_leave_instance_is_proved_in_both_modes() {
+    let cfg = InstanceConfig::new(DesignKind::SingleCycle, Contract::Sandboxing);
+    for mode in [ExecMode::Sequential, ExecMode::Portfolio] {
+        let report = verify(Scheme::Leave, &cfg, &opts(mode));
+        assert!(
+            report.verdict.is_proof(),
+            "{mode:?}: {:?} {:?}",
+            report.verdict,
+            report.notes
+        );
+    }
+}
+
+/// The campaign runner completes the smoke matrix no slower than running
+/// the same cells in a plain sequential loop (modulo scheduling slack).
+#[test]
+fn campaign_wall_clock_no_worse_than_sequential_loop() {
+    let cells = matrix(
+        &Scheme::ALL,
+        &[DesignKind::SingleCycle],
+        &[Contract::Sandboxing],
+    );
+    let cell_opts = opts(ExecMode::Portfolio);
+
+    let seq_start = Instant::now();
+    let mut seq_verdicts = Vec::new();
+    for cell in &cells {
+        let cfg = InstanceConfig::new(cell.design, cell.contract);
+        seq_verdicts.push(verify(cell.scheme, &cfg, &cell_opts).verdict.cell());
+    }
+    let seq_wall = seq_start.elapsed();
+
+    let report = run_campaign(
+        &cells,
+        &CampaignOptions {
+            threads: 0,
+            cell: cell_opts,
+        },
+    );
+    let par_verdicts: Vec<&str> = report
+        .results
+        .iter()
+        .map(|r| r.report.verdict.cell())
+        .collect();
+    assert_eq!(seq_verdicts, par_verdicts);
+    // "No worse" with slack for scheduler overhead and noisy-neighbour CI:
+    // the pool must never be meaningfully slower than the loop.
+    let limit = seq_wall.mul_f64(1.25) + Duration::from_secs(2);
+    assert!(
+        report.wall <= limit,
+        "campaign wall {:?} exceeds sequential loop {:?} (limit {:?})",
+        report.wall,
+        seq_wall,
+        limit
+    );
+}

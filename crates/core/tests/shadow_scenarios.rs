@@ -21,7 +21,14 @@ fn probe_map(aig: &Aig) -> HashMap<String, Vec<Bit>> {
 }
 
 /// Initial state: program + public data shared, secrets per machine.
-fn init_state(aig: &Aig, cfg: &IsaConfig, imem: &[u32], pubw: &[u32], sec1: &[u32], sec2: &[u32]) -> SimState {
+fn init_state(
+    aig: &Aig,
+    cfg: &IsaConfig,
+    imem: &[u32],
+    pubw: &[u32],
+    sec1: &[u32],
+    sec2: &[u32],
+) -> SimState {
     SimState::reset_with(aig, |_, name| {
         let parse = |name: &str| -> Option<(String, usize, usize)> {
             let open = name.rfind("][")?;
@@ -96,8 +103,14 @@ fn spectre_gadget_walks_the_two_phase_protocol() {
     let div = saw_divergence_at.expect("transient loads must diverge the bus trace");
     let ph2 = phase2_at.expect("phase 2 must latch");
     let bad = bad_at.expect("leakage assertion must fire after drain");
-    assert!(div < ph2 || div + 1 == ph2, "phase2 latches right after divergence");
-    assert!(bad > div, "assertion fires only after the divergence is drained");
+    assert!(
+        div < ph2 || div + 1 == ph2,
+        "phase2 latches right after divergence"
+    );
+    assert!(
+        bad > div,
+        "assertion fires only after the divergence is drained"
+    );
 }
 
 /// The same gadget against the Delay-spectre defence: the transient loads
@@ -155,7 +168,10 @@ loop:   BNZ r1, loop
         violated |= !r.violated_assumes.is_empty();
         st = r.next;
     }
-    assert!(violated, "sandboxing must filter programs that load secrets");
+    assert!(
+        violated,
+        "sandboxing must filter programs that load secrets"
+    );
 }
 
 /// Same architectural secret load under constant-time: the *data* may

@@ -4,18 +4,13 @@
 use std::time::Duration;
 
 use csl_contracts::Contract;
-use csl_core::{
-    build_shadow_instance, verify, DesignKind, InstanceConfig, Scheme, ShadowOptions,
-};
+use csl_core::{build_shadow_instance, verify, DesignKind, InstanceConfig, Scheme, ShadowOptions};
 use csl_cpu::Defense;
 use csl_mc::{bmc, BmcResult, CheckOptions, TransitionSystem, Verdict};
 use csl_sat::Budget;
 
 fn short_budget(secs: u64) -> Budget {
-    Budget {
-        max_conflicts: 0,
-        deadline: Some(std::time::Instant::now() + Duration::from_secs(secs)),
-    }
+    Budget::until(std::time::Instant::now() + Duration::from_secs(secs))
 }
 
 /// With synchronisation enabled, the record FIFOs must never overflow:

@@ -63,7 +63,15 @@ pub fn build_standalone(kind: CoreKind, cfg: &CpuConfig) -> Standalone {
             cfg.width
         }
         CoreKind::InOrder => {
-            build_inorder(&mut d, &cfg.isa, "cpu", &shared, &secret, Bit::TRUE, Bit::FALSE);
+            build_inorder(
+                &mut d,
+                &cfg.isa,
+                "cpu",
+                &shared,
+                &secret,
+                Bit::TRUE,
+                Bit::FALSE,
+            );
             1
         }
         CoreKind::SingleCycle => {
@@ -188,7 +196,8 @@ pub fn check_against_reference(
     let want = reference_events(&core.cfg.isa, imem, dmem, got.len());
     for (i, (g, w)) in got.iter().zip(&want).enumerate() {
         assert_eq!(
-            g, w,
+            g,
+            w,
             "commit #{i} mismatch\n  hardware: {g:?}\n  reference: {w:?}\n  program: {}",
             render_program(&core.cfg.isa, imem)
         );

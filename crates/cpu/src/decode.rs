@@ -106,7 +106,14 @@ mod tests {
     #[test]
     fn field_extraction_on_known_encoding() {
         let cfg = IsaConfig::default();
-        let enc = csl_isa::encode(&cfg, Inst::Add { rd: 3, rs1: 1, rs2: 2 });
+        let enc = csl_isa::encode(
+            &cfg,
+            Inst::Add {
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+            },
+        );
         let mut d = Design::new("t");
         let w = d.lit(cfg.inst_bits(), enc as u64);
         let dec = decode(&mut d, &cfg, &w);
@@ -119,7 +126,14 @@ mod tests {
     fn mul_flag_respects_extension() {
         let mut cfg = IsaConfig::default();
         cfg.enable_mul = true;
-        let enc = csl_isa::encode(&cfg, Inst::Mul { rd: 1, rs1: 1, rs2: 1 });
+        let enc = csl_isa::encode(
+            &cfg,
+            Inst::Mul {
+                rd: 1,
+                rs1: 1,
+                rs2: 1,
+            },
+        );
         let mut d = Design::new("t");
         let w = d.lit(cfg.inst_bits(), enc as u64);
         let dec = decode(&mut d, &cfg, &w);

@@ -25,13 +25,7 @@ impl SharedMem {
     /// after all readers are built).
     pub fn new(d: &mut Design, cfg: &IsaConfig) -> SharedMem {
         let imem = MemArray::new(d, "imem", cfg.imem_size, cfg.inst_bits(), Init::Symbolic);
-        let dmem_pub = MemArray::new(
-            d,
-            "dmem_pub",
-            cfg.dmem_size / 2,
-            cfg.xlen,
-            Init::Symbolic,
-        );
+        let dmem_pub = MemArray::new(d, "dmem_pub", cfg.dmem_size / 2, cfg.xlen, Init::Symbolic);
         SharedMem { imem, dmem_pub }
     }
 
@@ -51,13 +45,7 @@ pub struct SecretMem {
 impl SecretMem {
     /// Allocates and seals a secret region under the current scope.
     pub fn new(d: &mut Design, cfg: &IsaConfig) -> SecretMem {
-        let mem = MemArray::new(
-            d,
-            "dmem_sec",
-            cfg.dmem_size / 2,
-            cfg.xlen,
-            Init::Symbolic,
-        );
+        let mem = MemArray::new(d, "dmem_sec", cfg.dmem_size / 2, cfg.xlen, Init::Symbolic);
         let words = (0..mem.len()).map(|i| mem.word(i)).collect();
         mem.seal_const(d);
         SecretMem { words }
@@ -66,12 +54,7 @@ impl SecretMem {
 
 /// Combinational data-memory read: `word_addr` is a word index
 /// (`dmem_bits` wide); the top bit selects the secret region.
-pub fn read_dmem(
-    d: &mut Design,
-    shared: &SharedMem,
-    secret: &SecretMem,
-    word_addr: &Word,
-) -> Word {
+pub fn read_dmem(d: &mut Design, shared: &SharedMem, secret: &SecretMem, word_addr: &Word) -> Word {
     let db = word_addr.width();
     let is_secret = word_addr.bit(db - 1);
     let low = if db == 1 {
@@ -116,7 +99,10 @@ mod tests {
         let aig = d.finish();
         // 8*11 imem + 2*4 public + 2*4 secret latches.
         assert_eq!(aig.num_latches(), 88 + 8 + 8);
-        assert!(aig.latches().iter().any(|l| l.name.starts_with("cpu1.dmem_sec")));
+        assert!(aig
+            .latches()
+            .iter()
+            .any(|l| l.name.starts_with("cpu1.dmem_sec")));
     }
 
     #[test]
@@ -135,5 +121,4 @@ mod tests {
         sm.seal(&mut d);
         let _ = d.finish();
     }
-
 }

@@ -317,7 +317,11 @@ pub fn build_ooo(
                 let z = d.is_zero(&v1);
                 z.not()
             };
-            AluResult { grant, value, taken }
+            AluResult {
+                grant,
+                value,
+                taken,
+            }
         })
         .collect();
     for ar in &alu_results {
@@ -616,7 +620,9 @@ pub fn build_ooo(
         latch_idx.push(idx);
     }
     for (i, cp) in cps.iter().enumerate() {
-        let oh: Vec<Bit> = (0..r).map(|e| d.eq_const(&latch_idx[i], e as u64)).collect();
+        let oh: Vec<Bit> = (0..r)
+            .map(|e| d.eq_const(&latch_idx[i], e as u64))
+            .collect();
         let field = |d: &mut Design, f: &dyn Fn(&EntryRegs) -> Word| -> Word {
             let ws: Vec<Word> = entries.iter().map(f).collect();
             onehot_mux(d, &oh, &ws)
@@ -804,7 +810,9 @@ pub fn build_ooo(
         let done_w = Word::from_bit(done_n);
         set_field(d, &er.done, &done_w, &|_, d| d.lit(1, 0));
         let tainted_w = er.tainted.q();
-        set_field(d, &er.tainted, &tainted_w, &|s, _| Word::from_bit(s.tainted));
+        set_field(d, &er.tainted, &tainted_w, &|s, _| {
+            Word::from_bit(s.tainted)
+        });
         let q1b_w = Word::from_bit(q1b_n.0);
         set_field(d, &er.q1b, &q1b_w, &|s, _| Word::from_bit(s.q1b));
         let q2b_w = Word::from_bit(q2b_n.0);

@@ -141,7 +141,11 @@ mod tests {
                     .find(|&e| (req_mask >> e) & 1 == 1);
                 assert_eq!(
                     g.any,
-                    if expected.is_some() { Bit::TRUE } else { Bit::FALSE },
+                    if expected.is_some() {
+                        Bit::TRUE
+                    } else {
+                        Bit::FALSE
+                    },
                     "head={head} mask={req_mask:#b}"
                 );
                 for (e, &bit) in g.onehot.iter().enumerate() {

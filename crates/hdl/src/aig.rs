@@ -282,7 +282,11 @@ impl Aig {
             return a;
         }
         // Canonical operand order for hashing.
-        let (x, y) = if a.packed() <= b.packed() { (a, b) } else { (b, a) };
+        let (x, y) = if a.packed() <= b.packed() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         if let Some(&n) = self.strash.get(&(x, y)) {
             return Bit::new(n, false);
         }

@@ -66,7 +66,9 @@ pub fn to_aag(aig: &Aig) -> String {
     }
     for &l in &latches {
         let b = Bit::from_packed((l as u32) << 1);
-        let Node::Latch(li) = aig.node(b) else { unreachable!() };
+        let Node::Latch(li) = aig.node(b) else {
+            unreachable!()
+        };
         let info = &aig.latches()[li as usize];
         let next = lit(info.next.expect("unsealed latch"));
         match info.init {
@@ -91,18 +93,24 @@ pub fn to_aag(aig: &Aig) -> String {
     }
     for &n in &ands {
         let b = Bit::from_packed((n as u32) << 1);
-        let Node::And(x, y) = aig.node(b) else { unreachable!() };
+        let Node::And(x, y) = aig.node(b) else {
+            unreachable!()
+        };
         let _ = writeln!(out, "{} {} {}", 2 * var_of[n], lit(x), lit(y));
     }
     // Symbol table: inputs and latches by name, then a comment header.
     for (pos, &i) in inputs.iter().enumerate() {
         let b = Bit::from_packed((i as u32) << 1);
-        let Node::Input(ii) = aig.node(b) else { unreachable!() };
+        let Node::Input(ii) = aig.node(b) else {
+            unreachable!()
+        };
         let _ = writeln!(out, "i{pos} {}", aig.inputs()[ii as usize].name);
     }
     for (pos, &l) in latches.iter().enumerate() {
         let b = Bit::from_packed((l as u32) << 1);
-        let Node::Latch(li) = aig.node(b) else { unreachable!() };
+        let Node::Latch(li) = aig.node(b) else {
+            unreachable!()
+        };
         let _ = writeln!(out, "l{pos} {}", aig.latches()[li as usize].name);
     }
     for (pos, b) in aig.bads().iter().enumerate() {
@@ -152,10 +160,7 @@ mod tests {
         let aig = d.finish();
         let text = to_aag(&aig);
         // Latch line: "<lit> <next> <lit>" (self reset = uninitialised).
-        let latch_line = text
-            .lines()
-            .nth(1)
-            .expect("latch line after header");
+        let latch_line = text.lines().nth(1).expect("latch line after header");
         let parts: Vec<&str> = latch_line.split_whitespace().collect();
         assert_eq!(parts.len(), 3);
         assert_eq!(parts[0], parts[1]); // hold: next == self

@@ -168,7 +168,11 @@ impl Design {
         let q = Word::from_bits(
             (0..width)
                 .map(|i| {
-                    let init = if (value >> i) & 1 == 1 { Init::One } else { Init::Zero };
+                    let init = if (value >> i) & 1 == 1 {
+                        Init::One
+                    } else {
+                        Init::Zero
+                    };
                     self.aig.latch(format!("{n}[{i}]"), init)
                 })
                 .collect(),

@@ -44,7 +44,9 @@ pub mod design;
 pub mod mem;
 pub mod word;
 
-pub use aig::{Aig, BadInfo, Bit, CoiMarks, Init, InputInfo, LatchInfo, Node, PrefixStats, ProbeInfo};
+pub use aig::{
+    Aig, BadInfo, Bit, CoiMarks, Init, InputInfo, LatchInfo, Node, PrefixStats, ProbeInfo,
+};
 pub use design::{Design, Reg, RegMark};
 pub use mem::MemArray;
 pub use word::Word;

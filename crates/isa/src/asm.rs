@@ -99,8 +99,11 @@ pub fn assemble(cfg: &IsaConfig, source: &str) -> Result<Vec<u32>, AsmError> {
 
 fn parse_reg(tok: &str) -> Result<u8, String> {
     let t = tok.trim().trim_start_matches('(').trim_end_matches(')');
-    let t = t.strip_prefix(['r', 'R']).ok_or(format!("expected register, got {tok:?}"))?;
-    t.parse::<u8>().map_err(|e| format!("bad register {tok:?}: {e}"))
+    let t = t
+        .strip_prefix(['r', 'R'])
+        .ok_or(format!("expected register, got {tok:?}"))?;
+    t.parse::<u8>()
+        .map_err(|e| format!("bad register {tok:?}: {e}"))
 }
 
 fn parse_value(tok: &str, labels: &HashMap<String, u32>) -> Result<u32, String> {
@@ -111,14 +114,11 @@ fn parse_value(tok: &str, labels: &HashMap<String, u32>) -> Result<u32, String> 
     if let Some(hex) = t.strip_prefix("0x") {
         return u32::from_str_radix(hex, 16).map_err(|e| format!("bad value {tok:?}: {e}"));
     }
-    t.parse::<u32>().map_err(|e| format!("bad value {tok:?}: {e}"))
+    t.parse::<u32>()
+        .map_err(|e| format!("bad value {tok:?}: {e}"))
 }
 
-fn parse_inst(
-    cfg: &IsaConfig,
-    text: &str,
-    labels: &HashMap<String, u32>,
-) -> Result<Inst, String> {
+fn parse_inst(cfg: &IsaConfig, text: &str, labels: &HashMap<String, u32>) -> Result<Inst, String> {
     let (mn, rest) = match text.split_once(char::is_whitespace) {
         Some((m, r)) => (m, r),
         None => (text, ""),

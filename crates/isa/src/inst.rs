@@ -52,9 +52,10 @@ impl Inst {
     /// The destination register, if the instruction writes one.
     pub fn rd(&self) -> Option<u8> {
         match *self {
-            Inst::Li { rd, .. } | Inst::Add { rd, .. } | Inst::Ld { rd, .. } | Inst::Mul { rd, .. } => {
-                Some(rd)
-            }
+            Inst::Li { rd, .. }
+            | Inst::Add { rd, .. }
+            | Inst::Ld { rd, .. }
+            | Inst::Mul { rd, .. } => Some(rd),
             Inst::Bnz { .. } | Inst::Nop => None,
         }
     }
@@ -81,7 +82,10 @@ pub fn encode(cfg: &IsaConfig, inst: Inst) -> u32 {
     let rmask = (1u32 << rb) - 1;
     let imask = ((1u64 << ib) - 1) as u32;
     let pack = |op: u32, rd: u32, rs1: u32, imm: u32| -> u32 {
-        assert!(rd <= rmask && rs1 <= rmask && imm <= imask, "field overflow");
+        assert!(
+            rd <= rmask && rs1 <= rmask && imm <= imask,
+            "field overflow"
+        );
         imm | (rs1 << ib) | (rd << (ib + rb)) | (op << (ib + 2 * rb))
     };
     match inst {
@@ -149,7 +153,11 @@ mod tests {
         let c = cfg();
         let cases = [
             Inst::Li { rd: 3, imm: 9 },
-            Inst::Add { rd: 1, rs1: 2, rs2: 3 },
+            Inst::Add {
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            },
             Inst::Ld { rd: 0, rs1: 3 },
             Inst::Bnz { rs1: 2, target: 5 },
         ];
@@ -162,7 +170,11 @@ mod tests {
     fn mul_requires_extension() {
         let mut c = cfg();
         c.enable_mul = true;
-        let m = Inst::Mul { rd: 1, rs1: 2, rs2: 3 };
+        let m = Inst::Mul {
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+        };
         assert_eq!(decode(&c, encode(&c, m)), m);
         // Without the extension the same bits decode to NOP.
         let bits = encode(&c, m);
@@ -173,7 +185,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiply extension")]
     fn mul_encode_rejected_without_extension() {
-        encode(&cfg(), Inst::Mul { rd: 0, rs1: 0, rs2: 0 });
+        encode(
+            &cfg(),
+            Inst::Mul {
+                rd: 0,
+                rs1: 0,
+                rs2: 0,
+            },
+        );
     }
 
     #[test]

@@ -185,7 +185,11 @@ mod tests {
             &[
                 Inst::Li { rd: 1, imm: 3 },
                 Inst::Li { rd: 2, imm: 2 },
-                Inst::Add { rd: 3, rs1: 1, rs2: 2 },
+                Inst::Add {
+                    rd: 3,
+                    rs1: 1,
+                    rs2: 2,
+                },
                 Inst::Ld { rd: 0, rs1: 2 },
             ],
         );
@@ -320,7 +324,11 @@ mod tests {
             &[
                 Inst::Li { rd: 1, imm: 3 },
                 Inst::Li { rd: 2, imm: 5 },
-                Inst::Mul { rd: 3, rs1: 1, rs2: 2 },
+                Inst::Mul {
+                    rd: 3,
+                    rs1: 1,
+                    rs2: 2,
+                },
             ],
         );
         let dmem = vec![0; 4];

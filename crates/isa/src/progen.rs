@@ -92,7 +92,9 @@ pub fn random_program(cfg: &IsaConfig, mix: &OpMix, rng: &mut impl Rng) -> Vec<u
 /// opcodes (which decode to NOP).
 pub fn random_imem(cfg: &IsaConfig, rng: &mut impl Rng) -> Vec<u32> {
     let mask = ((1u64 << cfg.inst_bits()) - 1) as u32;
-    (0..cfg.imem_size).map(|_| rng.gen::<u32>() & mask).collect()
+    (0..cfg.imem_size)
+        .map(|_| rng.gen::<u32>() & mask)
+        .collect()
 }
 
 /// A random data memory image.

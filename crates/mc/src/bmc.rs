@@ -7,8 +7,6 @@
 //! pair that satisfies the contract constraint check yet produces divergent
 //! microarchitectural observations.
 
-use std::time::Instant;
-
 use csl_sat::{Budget, SolveResult};
 
 use crate::trace::Trace;
@@ -39,13 +37,13 @@ impl BmcResult {
 /// Runs BMC from depth 0 to `max_depth` (inclusive) under `budget`.
 pub fn bmc(ts: &TransitionSystem, max_depth: usize, budget: Budget) -> BmcResult {
     let mut u = Unroller::new(ts, InitMode::Reset);
-    u.set_budget(budget);
+    u.set_budget(budget.clone());
     let mut checked: Option<usize> = None;
     for k in 0..=max_depth {
-        if let Some(d) = budget.deadline {
-            if Instant::now() >= d {
-                return BmcResult::Timeout { depth_checked: checked };
-            }
+        if budget.out_of_time() {
+            return BmcResult::Timeout {
+                depth_checked: checked,
+            };
         }
         u.assert_assumes_through(k);
         let bad = u.bad_any_at(k);
@@ -63,7 +61,9 @@ pub fn bmc(ts: &TransitionSystem, max_depth: usize, budget: Budget) -> BmcResult
                 u.solver.add_clause(&[!bad]);
             }
             SolveResult::Canceled => {
-                return BmcResult::Timeout { depth_checked: checked };
+                return BmcResult::Timeout {
+                    depth_checked: checked,
+                };
             }
         }
     }
@@ -77,6 +77,7 @@ mod tests {
     use super::*;
     use crate::sim::Sim;
     use csl_hdl::{Design, Init};
+    use std::time::Instant;
 
     /// Counter that reaches the bad value `target` after `target` cycles.
     fn counter_design(width: usize, target: u64) -> TransitionSystem {
@@ -154,10 +155,7 @@ mod tests {
     #[test]
     fn budget_timeout_reported() {
         let ts = counter_design(4, 9);
-        let budget = Budget {
-            max_conflicts: 0,
-            deadline: Some(Instant::now()),
-        };
+        let budget = Budget::until(Instant::now());
         match bmc(&ts, 16, budget) {
             BmcResult::Timeout { .. } => {}
             other => panic!("expected timeout, got {other:?}"),

@@ -7,6 +7,12 @@
 //! instrumented design, with a wall-clock budget standing in for the
 //! 7-day timeout, and reports one of the paper's three outcomes: a
 //! counterexample (attack), an unbounded proof, or a timeout.
+//!
+//! Two execution modes share identical verdict semantics
+//! ([`ExecMode`]): the classic sequential pipeline (BMC → Houdini →
+//! k-induction → PDR, each inheriting the remaining wall clock) and the
+//! portfolio mode of [`crate::portfolio`], which races the same engines
+//! on threads and cancels the losers as soon as one lane is decisive.
 
 use std::time::{Duration, Instant};
 
@@ -17,6 +23,9 @@ use crate::bmc::{bmc, BmcResult};
 use crate::houdini::{houdini, Candidate, HoudiniResult};
 use crate::kind::{k_induction, KindOptions, KindResult};
 use crate::pdr::{pdr, PdrOptions, PdrResult};
+use crate::portfolio::{
+    race, BmcEngine, Engine, EngineOutcome, HoudiniEngine, KindEngine, PdrEngine,
+};
 use crate::sim::Sim;
 use crate::trace::Trace;
 use crate::ts::TransitionSystem;
@@ -69,6 +78,18 @@ impl Verdict {
     }
 }
 
+/// How [`check_safety`] schedules its engines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One engine at a time: BMC, then Houdini, then k-induction, then
+    /// PDR, each inheriting whatever wall clock remains.
+    #[default]
+    Sequential,
+    /// All engines race on threads; the first decisive lane (attack or
+    /// proof) cancels the rest through the shared stop flag.
+    Portfolio,
+}
+
 /// Options for [`check_safety`].
 #[derive(Clone, Debug)]
 pub struct CheckOptions {
@@ -86,6 +107,8 @@ pub struct CheckOptions {
     pub pdr_max_frames: usize,
     /// Keep probe logic alive (larger encodings, readable traces).
     pub keep_probes: bool,
+    /// Sequential pipeline or thread-racing portfolio.
+    pub mode: ExecMode,
 }
 
 impl Default for CheckOptions {
@@ -98,7 +121,16 @@ impl Default for CheckOptions {
             use_pdr: true,
             pdr_max_frames: 40,
             keep_probes: true,
+            mode: ExecMode::Sequential,
         }
+    }
+}
+
+impl CheckOptions {
+    /// The same options with portfolio scheduling enabled.
+    pub fn portfolio(mut self) -> CheckOptions {
+        self.mode = ExecMode::Portfolio;
+        self
     }
 }
 
@@ -119,14 +151,123 @@ pub struct CheckReport {
 }
 
 fn remaining_budget(deadline: Instant) -> Budget {
-    Budget {
-        max_conflicts: 0,
-        deadline: Some(deadline),
+    Budget::until(deadline)
+}
+
+/// Runs the engine pipeline, sequentially or as a portfolio race
+/// depending on [`CheckOptions::mode`]. Both modes produce the same
+/// verdict kinds: an attack beats a proof, a proof beats a timeout, and
+/// Houdini survivors strengthen the unbounded-proof engines.
+pub fn check_safety(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
+    match opts.mode {
+        ExecMode::Sequential => check_safety_sequential(task, opts),
+        ExecMode::Portfolio => check_safety_portfolio(task, opts),
     }
 }
 
-/// Runs the engine pipeline. See the module docs.
-pub fn check_safety(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
+/// Portfolio mode: one lane per engine, racing under the shared budget.
+fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
+    let start = Instant::now();
+    let deadline = start + opts.total_budget;
+    // Summarize from the raw netlist: every lane builds its own
+    // cone-of-influence-reduced TransitionSystem, so building one here
+    // too would only delay the race start.
+    let mut notes = vec![format!(
+        "netlist: {} ands, {} latches, {} inputs, {} assumes, {} bads",
+        task.aig.num_ands(),
+        task.aig.num_latches(),
+        task.aig.num_inputs(),
+        task.aig.assumes().len(),
+        task.aig.bads().len()
+    )];
+
+    let mut engines: Vec<Box<dyn Engine>> = vec![Box::new(BmcEngine {
+        depth: opts.bmc_depth,
+    })];
+    if !opts.attack_only {
+        if opts.kind_max_k > 0 {
+            engines.push(Box::new(KindEngine {
+                max_k: opts.kind_max_k,
+            }));
+        }
+        if opts.use_pdr {
+            engines.push(Box::new(PdrEngine {
+                max_frames: opts.pdr_max_frames,
+                bmc_depth: opts.bmc_depth,
+            }));
+        }
+        if !task.candidates.is_empty() {
+            engines.push(Box::new(HoudiniEngine {
+                candidates: task.candidates.clone(),
+                base_aig: task.aig.clone(),
+                keep_probes: opts.keep_probes,
+                kind_max_k: opts.kind_max_k,
+                pdr_max_frames: if opts.use_pdr { opts.pdr_max_frames } else { 0 },
+                bmc_depth: opts.bmc_depth,
+            }));
+        }
+    }
+    notes.push(format!("portfolio: racing {} engines", engines.len()));
+
+    let report = race(engines, &task.aig, opts.keep_probes, deadline);
+
+    // Merge lane outcomes under the sequential precedence: an attack beats
+    // a proof beats a timeout beats inconclusive. Lanes canceled by the
+    // winner report Timeout and only contribute notes.
+    let mut attack: Option<Box<Trace>> = None;
+    let mut proof: Option<ProofEngine> = None;
+    let mut timed_out = false;
+    for lane in report.lanes {
+        notes.push(format!(
+            "{} [{:.2}s]: {}",
+            lane.engine,
+            lane.elapsed.as_secs_f64(),
+            match &lane.outcome {
+                EngineOutcome::Attack(t) => format!("attack at depth {}", t.depth()),
+                EngineOutcome::Proof(p) => format!("proof {p:?}"),
+                EngineOutcome::Inconclusive(reason) => reason.clone(),
+                EngineOutcome::Timeout => "timeout/canceled".into(),
+            }
+        ));
+        match lane.outcome {
+            EngineOutcome::Attack(t) => {
+                // Keep the shallowest counterexample for readability.
+                if attack.as_ref().is_none_or(|a| t.depth() < a.depth()) {
+                    attack = Some(t);
+                }
+            }
+            EngineOutcome::Proof(p) => {
+                // First decisive proof wins; later ones add nothing.
+                proof.get_or_insert(p);
+            }
+            EngineOutcome::Timeout => timed_out = true,
+            EngineOutcome::Inconclusive(_) => {}
+        }
+    }
+    let verdict = if let Some(trace) = attack {
+        Verdict::Attack(trace)
+    } else if let Some(p) = proof {
+        Verdict::Proof(p)
+    } else if opts.attack_only && !timed_out {
+        Verdict::Unknown {
+            reason: format!("no attack within bmc depth {}", opts.bmc_depth),
+        }
+    } else if timed_out {
+        Verdict::Timeout
+    } else {
+        Verdict::Unknown {
+            reason: "all engines inconclusive".into(),
+        }
+    };
+    CheckReport {
+        verdict,
+        elapsed: start.elapsed(),
+        notes,
+    }
+}
+
+/// The classic one-engine-at-a-time pipeline.
+fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
     let start = Instant::now();
     let deadline = start + opts.total_budget;
     let mut notes = Vec::new();
@@ -141,7 +282,10 @@ pub fn check_safety(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             if !(assumes_ok && bad) {
                 notes.push("WARNING: counterexample failed simulation replay".into());
             } else {
-                notes.push(format!("cex validated by replay at depth {}", trace.depth()));
+                notes.push(format!(
+                    "cex validated by replay at depth {}",
+                    trace.depth()
+                ));
             }
             return CheckReport {
                 verdict: Verdict::Attack(trace),
@@ -231,7 +375,10 @@ pub fn check_safety(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 // original (lemma-free) netlist.
                 let (assumes_ok, bad) = Sim::new(ts.aig()).replay(&trace);
                 if assumes_ok && bad {
-                    notes.push(format!("k-induction base found cex at depth {}", trace.depth()));
+                    notes.push(format!(
+                        "k-induction base found cex at depth {}",
+                        trace.depth()
+                    ));
                     return CheckReport {
                         verdict: Verdict::Attack(trace),
                         elapsed: start.elapsed(),
@@ -328,7 +475,11 @@ mod tests {
     fn counter_task(width: usize, target: u64, reachable: bool) -> SafetyCheck {
         let mut d = Design::new("t");
         let r = d.reg("r", width, Init::Zero);
-        let limit = if reachable { (1 << width) - 1 } else { target - 1 };
+        let limit = if reachable {
+            (1 << width) - 1
+        } else {
+            target - 1
+        };
         let at_limit = d.eq_const(&r.q(), limit);
         let inc = d.add_const(&r.q(), 1);
         let nxt = d.mux(at_limit, &r.q(), &inc);
@@ -353,7 +504,12 @@ mod tests {
     fn proof_found_for_saturating() {
         let task = counter_task(4, 6, false);
         let report = check_safety(&task, &CheckOptions::default());
-        assert!(report.verdict.is_proof(), "{:?} {:?}", report.verdict, report.notes);
+        assert!(
+            report.verdict.is_proof(),
+            "{:?} {:?}",
+            report.verdict,
+            report.notes
+        );
     }
 
     #[test]
@@ -383,7 +539,12 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(report.verdict.is_attack(), "{:?} {:?}", report.verdict, report.notes);
+        assert!(
+            report.verdict.is_attack(),
+            "{:?} {:?}",
+            report.verdict,
+            report.notes
+        );
     }
 
     #[test]
@@ -396,6 +557,72 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(matches!(report.verdict, Verdict::Timeout), "{:?}", report.verdict);
+        assert!(
+            matches!(report.verdict, Verdict::Timeout),
+            "{:?}",
+            report.verdict
+        );
+    }
+
+    /// Portfolio mode must agree with the sequential pipeline on verdict
+    /// kind for every scenario the sequential tests above cover.
+    #[test]
+    fn portfolio_matches_sequential_verdicts() {
+        let scenarios: Vec<(&str, SafetyCheck, CheckOptions)> = vec![
+            ("attack", counter_task(4, 6, true), CheckOptions::default()),
+            ("proof", counter_task(4, 6, false), CheckOptions::default()),
+            (
+                "attack-only unknown",
+                counter_task(4, 6, false),
+                CheckOptions {
+                    attack_only: true,
+                    bmc_depth: 4,
+                    ..Default::default()
+                },
+            ),
+            (
+                "deep cex via pdr",
+                counter_task(4, 12, true),
+                CheckOptions {
+                    bmc_depth: 4,
+                    kind_max_k: 2,
+                    ..Default::default()
+                },
+            ),
+            (
+                "zero budget",
+                counter_task(4, 6, false),
+                CheckOptions {
+                    total_budget: Duration::from_secs(0),
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (label, task, opts) in scenarios {
+            let seq = check_safety(&task, &opts);
+            let par = check_safety(&task, &opts.clone().portfolio());
+            assert_eq!(
+                seq.verdict.cell(),
+                par.verdict.cell(),
+                "{label}: sequential {:?} vs portfolio {:?}\nportfolio notes: {:?}",
+                seq.verdict,
+                par.verdict,
+                par.notes
+            );
+        }
+    }
+
+    /// The portfolio prefers an attack over a proof when both lanes report
+    /// (can happen when a canceled-but-decided proof lane drains late).
+    #[test]
+    fn portfolio_attack_beats_proof_on_unsafe_design() {
+        let task = counter_task(4, 6, true);
+        let report = check_safety(&task, &CheckOptions::default().portfolio());
+        assert!(
+            report.verdict.is_attack(),
+            "{:?} {:?}",
+            report.verdict,
+            report.notes
+        );
     }
 }

@@ -47,14 +47,10 @@ pub struct HoudiniOutcome {
 }
 
 /// Runs the Houdini fixpoint. See the module docs.
-pub fn houdini(
-    ts: &TransitionSystem,
-    candidates: &[Candidate],
-    budget: Budget,
-) -> HoudiniResult {
+pub fn houdini(ts: &TransitionSystem, candidates: &[Candidate], budget: Budget) -> HoudiniResult {
     // ---- phase 1: drop candidates violated in some initial state ---------
     let mut init = Unroller::new(ts, InitMode::Reset);
-    init.set_budget(budget);
+    init.set_budget(budget.clone());
     init.assert_assumes_through(0);
     let mut alive: Vec<bool> = vec![true; candidates.len()];
     let mut dropped_at_init = 0;
@@ -72,7 +68,7 @@ pub fn houdini(
 
     // ---- phase 2: consecution fixpoint ------------------------------------
     let mut step = Unroller::new(ts, InitMode::Free);
-    step.set_budget(budget);
+    step.set_budget(budget.clone());
     step.assert_assumes_through(1);
     let lits0: Vec<Lit> = candidates.iter().map(|c| step.lit_of(c.bit, 0)).collect();
     let lits1: Vec<Lit> = candidates.iter().map(|c| step.lit_of(c.bit, 1)).collect();

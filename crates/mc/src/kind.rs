@@ -27,7 +27,7 @@ pub enum KindResult {
 }
 
 /// Options for [`k_induction`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct KindOptions {
     /// Largest induction depth to try.
     pub max_k: usize,
@@ -49,11 +49,14 @@ impl Default for KindOptions {
 /// Runs k-induction for `k = 1..=max_k`.
 pub fn k_induction(ts: &TransitionSystem, opts: KindOptions) -> KindResult {
     let mut base = Unroller::new(ts, InitMode::Reset);
-    base.set_budget(opts.budget);
+    base.set_budget(opts.budget.clone());
     let mut step = Unroller::new(ts, InitMode::Free);
-    step.set_budget(opts.budget);
+    step.set_budget(opts.budget.clone());
 
     for k in 1..=opts.max_k {
+        if opts.budget.out_of_time() {
+            return KindResult::Timeout;
+        }
         // ---- base: no violation in frames 0..k-1 -------------------------
         let f = k - 1;
         base.assert_assumes_through(f);
@@ -181,7 +184,13 @@ mod tests {
         let bad = d.eq_const(&r.q(), 2);
         d.assert_always("no2", bad.not());
         let ts = TransitionSystem::new(d.finish(), false);
-        match k_induction(&ts, KindOptions { max_k: 6, ..Default::default() }) {
+        match k_induction(
+            &ts,
+            KindOptions {
+                max_k: 6,
+                ..Default::default()
+            },
+        ) {
             KindResult::Cex(t) => assert_eq!(t.depth(), 3),
             other => panic!("expected cex, got {other:?}"),
         }
@@ -197,7 +206,7 @@ mod tests {
                 unique_states: true,
                 budget: Budget {
                     max_conflicts: 1,
-                    deadline: None,
+                    ..Budget::unlimited()
                 },
             },
         );

@@ -14,7 +14,11 @@
 //!   paper's `Mp`/`AM` engine role),
 //! * [`engine::check_safety`] — the orchestrated pipeline producing the
 //!   paper's three outcomes: attack counterexample, unbounded proof, or
-//!   timeout.
+//!   timeout,
+//! * [`portfolio`] — the [`portfolio::Engine`] trait and the thread-racing
+//!   scheduler behind `check_safety`'s portfolio mode: all engines run
+//!   concurrently and the first decisive lane cancels the rest through a
+//!   stop flag shared via `csl_sat::Budget`.
 //!
 //! # Example: prove a saturating counter never overflows
 //!
@@ -41,16 +45,20 @@ pub mod engine;
 pub mod houdini;
 pub mod kind;
 pub mod pdr;
+pub mod portfolio;
 pub mod sim;
 pub mod trace;
 pub mod ts;
 pub mod unroll;
 
 pub use bmc::{bmc, BmcResult};
-pub use engine::{check_safety, CheckOptions, CheckReport, ProofEngine, SafetyCheck, Verdict};
+pub use engine::{
+    check_safety, CheckOptions, CheckReport, ExecMode, ProofEngine, SafetyCheck, Verdict,
+};
 pub use houdini::{houdini, Candidate, HoudiniOutcome, HoudiniResult};
 pub use kind::{k_induction, KindOptions, KindResult};
 pub use pdr::{pdr, Cube, PdrOptions, PdrResult};
+pub use portfolio::{race, Engine, EngineOutcome, LaneResult, RaceReport};
 pub use sim::{CycleValues, Sim, SimState, StepResult};
 pub use trace::Trace;
 pub use ts::TransitionSystem;

@@ -20,7 +20,6 @@
 //! syntactic check of classic AIGER-based IC3.
 
 use std::collections::BinaryHeap;
-use std::time::Instant;
 
 use csl_sat::{Budget, Lit, SolveResult};
 
@@ -48,7 +47,7 @@ pub enum PdrResult {
 }
 
 /// Options for [`pdr`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct PdrOptions {
     pub max_frames: usize,
     pub budget: Budget,
@@ -84,10 +83,7 @@ impl PartialOrd for Obligation {
 impl Ord for Obligation {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; we want the *lowest* level first.
-        other
-            .level
-            .cmp(&self.level)
-            .then(other.seq.cmp(&self.seq))
+        other.level.cmp(&self.level).then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -106,14 +102,14 @@ struct PdrState<'a> {
     bad0: Lit,
     /// "No bad bit at frame 0" gate, for lifting queries.
     seq: u64,
-    deadline: Option<Instant>,
+    budget: Budget,
     queries_since_cleanup: usize,
 }
 
 impl<'a> PdrState<'a> {
     fn new(ts: &'a TransitionSystem, opts: &PdrOptions) -> PdrState<'a> {
         let mut u = Unroller::new(ts, InitMode::Free);
-        u.set_budget(opts.budget);
+        u.set_budget(opts.budget.clone());
         u.assert_assumes_through(1);
         let bad0 = u.bad_any_at(0);
         let mut lit0 = Vec::new();
@@ -143,13 +139,13 @@ impl<'a> PdrState<'a> {
             latch_pos,
             bad0,
             seq: 0,
-            deadline: opts.budget.deadline,
+            budget: opts.budget.clone(),
             queries_since_cleanup: 0,
         }
     }
 
     fn out_of_time(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.budget.out_of_time()
     }
 
     fn top_level(&self) -> usize {
@@ -529,8 +525,7 @@ pub fn pdr(ts: &TransitionSystem, opts: PdrOptions) -> PdrResult {
         match st.propagate() {
             Err(()) => return PdrResult::Timeout,
             Ok(Some(_empty_level)) => {
-                let invariant_clauses: usize =
-                    st.frames.iter().map(|f| f.len()).sum();
+                let invariant_clauses: usize = st.frames.iter().map(|f| f.len()).sum();
                 return PdrResult::Proof {
                     frames: st.top_level(),
                     invariant_clauses,
@@ -568,6 +563,7 @@ fn is_subset(a: &Cube, b: &Cube) -> bool {
 mod tests {
     use super::*;
     use csl_hdl::{Design, Init, Word};
+    use std::time::Instant;
 
     #[test]
     fn proves_saturating_counter() {
@@ -673,10 +669,7 @@ mod tests {
             &ts,
             PdrOptions {
                 max_frames: 1000,
-                budget: Budget {
-                    max_conflicts: 0,
-                    deadline: Some(Instant::now()),
-                },
+                budget: Budget::until(Instant::now()),
             },
         );
         assert!(matches!(r, PdrResult::Timeout), "{r:?}");

@@ -1,0 +1,481 @@
+//! Portfolio execution: verification engines racing on threads.
+//!
+//! The paper's JasperGold workflow (§6) runs an attack-finding engine and
+//! several proof engines against the same instrumented design under one
+//! wall-clock budget. The sequential pipeline in [`crate::engine`] burns
+//! that budget one engine at a time; this module instead races every
+//! engine on its own `std::thread` worker — first decisive verdict wins —
+//! with cooperative cancellation: the shared [`AtomicBool`] stop flag is
+//! threaded through [`csl_sat::Budget`], so the losers' in-flight SAT
+//! queries abort at their next conflict boundary instead of running to
+//! their own timeouts.
+//!
+//! Verdict semantics match the sequential pipeline: an attack
+//! counterexample beats a proof, a proof beats a timeout, and Houdini
+//! survivors still strengthen k-induction/PDR — the Houdini lane re-runs
+//! both proof engines on the lemma-strengthened netlist when the filter
+//! completes without proving safety outright.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csl_hdl::Aig;
+use csl_sat::Budget;
+
+use crate::bmc::{bmc, BmcResult};
+use crate::engine::ProofEngine;
+use crate::houdini::{houdini, Candidate, HoudiniResult};
+use crate::kind::{k_induction, KindOptions, KindResult};
+use crate::pdr::{pdr, PdrOptions, PdrResult};
+use crate::sim::Sim;
+use crate::trace::Trace;
+use crate::ts::TransitionSystem;
+
+/// What a single engine produced. [`EngineOutcome::Attack`] and
+/// [`EngineOutcome::Proof`] are decisive: the first of either ends the
+/// race and cancels the other lanes.
+#[derive(Debug)]
+pub enum EngineOutcome {
+    /// A replay-validated counterexample.
+    Attack(Box<Trace>),
+    /// An unbounded proof.
+    Proof(ProofEngine),
+    /// Finished inside the budget without a verdict (bounded-clean BMC,
+    /// induction that never closed, PDR frame cap, …).
+    Inconclusive(String),
+    /// Budget exhausted or canceled by a winning sibling.
+    Timeout,
+}
+
+impl EngineOutcome {
+    pub fn is_decisive(&self) -> bool {
+        matches!(self, EngineOutcome::Attack(_) | EngineOutcome::Proof(_))
+    }
+}
+
+/// One lane of the portfolio: a named engine that checks a transition
+/// system under a (cancellable) budget. Implementations must validate
+/// their own counterexamples (replay on the concrete simulator) before
+/// reporting [`EngineOutcome::Attack`].
+pub trait Engine: Send {
+    fn name(&self) -> &'static str;
+    fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome;
+}
+
+/// Validates a trace by concrete replay; decisive only if the replay
+/// satisfies the assumptions and fires a bad bit.
+fn validated_attack(ts: &TransitionSystem, trace: Box<Trace>, engine: &str) -> EngineOutcome {
+    let (assumes_ok, bad) = Sim::new(ts.aig()).replay(&trace);
+    if assumes_ok && bad {
+        EngineOutcome::Attack(trace)
+    } else {
+        EngineOutcome::Inconclusive(format!("{engine}: counterexample failed simulation replay"))
+    }
+}
+
+/// Bounded model checking — the attack-finding lane (the paper's `Ht`).
+pub struct BmcEngine {
+    pub depth: usize,
+}
+
+impl Engine for BmcEngine {
+    fn name(&self) -> &'static str {
+        "bmc"
+    }
+
+    fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome {
+        match bmc(ts, self.depth, budget) {
+            // The sequential pipeline reports a BMC cex as an attack even if
+            // the replay check fails (with a warning note); mirror that here
+            // so the two modes cannot diverge on verdict kind.
+            BmcResult::Cex(trace) => EngineOutcome::Attack(trace),
+            BmcResult::Clean { depth_checked } => {
+                EngineOutcome::Inconclusive(format!("bmc clean to depth {depth_checked}"))
+            }
+            BmcResult::Timeout { .. } => EngineOutcome::Timeout,
+        }
+    }
+}
+
+/// k-induction on the plain (lemma-free) netlist.
+pub struct KindEngine {
+    pub max_k: usize,
+}
+
+impl Engine for KindEngine {
+    fn name(&self) -> &'static str {
+        "k-induction"
+    }
+
+    fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome {
+        match k_induction(
+            ts,
+            KindOptions {
+                max_k: self.max_k,
+                unique_states: false,
+                budget,
+            },
+        ) {
+            KindResult::Proof { k } => EngineOutcome::Proof(ProofEngine::KInduction { k }),
+            KindResult::Cex(trace) => validated_attack(ts, trace, "k-induction"),
+            KindResult::Unknown { max_k_tried } => {
+                EngineOutcome::Inconclusive(format!("k-induction inconclusive to k={max_k_tried}"))
+            }
+            KindResult::Timeout => EngineOutcome::Timeout,
+        }
+    }
+}
+
+/// IC3/PDR on the plain netlist; a cex depth hint is reconstructed into a
+/// concrete trace with a deeper BMC pass, as in the sequential pipeline.
+pub struct PdrEngine {
+    pub max_frames: usize,
+    /// Reconstruction floor: the BMC pass hunts at least this deep.
+    pub bmc_depth: usize,
+}
+
+impl Engine for PdrEngine {
+    fn name(&self) -> &'static str {
+        "pdr"
+    }
+
+    fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome {
+        match pdr(
+            ts,
+            PdrOptions {
+                max_frames: self.max_frames,
+                budget: budget.clone(),
+            },
+        ) {
+            PdrResult::Proof {
+                frames,
+                invariant_clauses,
+            } => EngineOutcome::Proof(ProofEngine::Pdr {
+                frames,
+                clauses: invariant_clauses,
+            }),
+            PdrResult::Cex { depth_hint } => {
+                let deep = depth_hint.max(self.bmc_depth + 1) + 8;
+                match bmc(ts, deep, budget) {
+                    BmcResult::Cex(trace) => validated_attack(ts, trace, "pdr"),
+                    // Sequential maps an unreconstructed PDR cex to Timeout;
+                    // keep the portfolio lane on the same mapping.
+                    _ => EngineOutcome::Timeout,
+                }
+            }
+            PdrResult::Timeout => EngineOutcome::Timeout,
+            PdrResult::FrameLimit { frames } => {
+                EngineOutcome::Inconclusive(format!("pdr frame limit at {frames}"))
+            }
+        }
+    }
+}
+
+/// The Houdini lane: filter candidate relational invariants to an
+/// inductive subset. If the survivors imply safety outright that is a
+/// proof (LEAVE's success mode); otherwise they are conjoined onto the
+/// netlist as assumptions and both proof engines re-run on the
+/// strengthened instance — the portfolio's version of "Houdini survivors
+/// strengthen k-induction/PDR".
+pub struct HoudiniEngine {
+    pub candidates: Vec<Candidate>,
+    /// The lemma-free netlist the strengthened instance is rebuilt from.
+    pub base_aig: Aig,
+    pub keep_probes: bool,
+    /// `max_k` for the strengthened k-induction pass (0 = skip).
+    pub kind_max_k: usize,
+    /// Frame cap for the strengthened PDR pass (0 = skip).
+    pub pdr_max_frames: usize,
+    /// Reconstruction floor for strengthened-PDR counterexamples.
+    pub bmc_depth: usize,
+}
+
+impl Engine for HoudiniEngine {
+    fn name(&self) -> &'static str {
+        "houdini"
+    }
+
+    fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome {
+        let out = match houdini(ts, &self.candidates, budget.clone()) {
+            HoudiniResult::Done(out) => out,
+            HoudiniResult::Timeout => return EngineOutcome::Timeout,
+        };
+        if out.proves_safety {
+            return EngineOutcome::Proof(ProofEngine::Houdini {
+                invariants: out.survivors.len(),
+            });
+        }
+        if out.survivors.is_empty() {
+            return EngineOutcome::Inconclusive(
+                "houdini: no surviving invariants to strengthen with".into(),
+            );
+        }
+        // Strengthen: surviving invariants are inductive, so conjoining
+        // them as assumptions is sound.
+        let mut strengthened = self.base_aig.clone();
+        for &i in &out.survivors {
+            strengthened.add_assume(self.candidates[i].bit);
+        }
+        let sts = TransitionSystem::new(strengthened, self.keep_probes);
+        let mut notes = vec![format!(
+            "houdini: {}/{} candidates survive after {} rounds",
+            out.survivors.len(),
+            self.candidates.len(),
+            out.rounds
+        )];
+        if self.kind_max_k > 0 {
+            let kind = KindEngine {
+                max_k: self.kind_max_k,
+            };
+            match kind.run(&sts, budget.clone()) {
+                // A cex from the strengthened instance was already replayed
+                // on the *strengthened* netlist; re-validate on the original
+                // before trusting it (the lemmas could mask init states). A
+                // replay failure is not a verdict — fall through to the
+                // strengthened PDR pass, like the sequential pipeline does.
+                EngineOutcome::Attack(trace) => {
+                    match validated_attack(ts, trace, "houdini+k-induction") {
+                        EngineOutcome::Inconclusive(n) => notes.push(n),
+                        decisive => return decisive,
+                    }
+                }
+                EngineOutcome::Proof(p) => return EngineOutcome::Proof(p),
+                EngineOutcome::Inconclusive(n) => notes.push(n),
+                EngineOutcome::Timeout => return EngineOutcome::Timeout,
+            }
+        }
+        if self.pdr_max_frames > 0 {
+            let pdr = PdrEngine {
+                max_frames: self.pdr_max_frames,
+                bmc_depth: self.bmc_depth,
+            };
+            match pdr.run(&sts, budget) {
+                EngineOutcome::Attack(trace) => return validated_attack(ts, trace, "houdini+pdr"),
+                EngineOutcome::Proof(p) => return EngineOutcome::Proof(p),
+                EngineOutcome::Inconclusive(n) => notes.push(n),
+                EngineOutcome::Timeout => return EngineOutcome::Timeout,
+            }
+        }
+        EngineOutcome::Inconclusive(notes.join("; "))
+    }
+}
+
+/// The result of one lane, in arrival order.
+#[derive(Debug)]
+pub struct LaneResult {
+    pub engine: &'static str,
+    pub outcome: EngineOutcome,
+    pub elapsed: Duration,
+}
+
+/// Everything the race produced: per-lane results (in completion order)
+/// plus whether the stop flag was raised to cancel the stragglers.
+#[derive(Debug)]
+pub struct RaceReport {
+    pub lanes: Vec<LaneResult>,
+    pub canceled_stragglers: bool,
+}
+
+/// Races `engines` against each other, one thread per engine, until the
+/// first decisive outcome or `deadline`. Each lane builds its own
+/// [`TransitionSystem`] from a clone of `aig` (the build is cheap relative
+/// to any SAT query) and gets a budget carrying the shared stop flag; when
+/// a lane reports a decisive outcome the flag is raised and every other
+/// lane aborts at its next conflict/cycle boundary.
+pub fn race(
+    engines: Vec<Box<dyn Engine>>,
+    aig: &Aig,
+    keep_probes: bool,
+    deadline: Instant,
+) -> RaceReport {
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<LaneResult>();
+    let total = engines.len();
+    let mut handles = Vec::with_capacity(total);
+    for engine in engines {
+        let aig = aig.clone();
+        let stop = stop.clone();
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let start = Instant::now();
+            let ts = TransitionSystem::new(aig, keep_probes);
+            let budget = Budget::until(deadline).with_stop(stop);
+            let outcome = engine.run(&ts, budget);
+            // The receiver may be gone if the race was already decided.
+            let _ = tx.send(LaneResult {
+                engine: engine.name(),
+                outcome,
+                elapsed: start.elapsed(),
+            });
+        }));
+    }
+    drop(tx);
+
+    let mut lanes = Vec::with_capacity(total);
+    let mut canceled_stragglers = false;
+    while lanes.len() < total {
+        match rx.recv() {
+            Ok(lane) => {
+                let decisive = lane.outcome.is_decisive();
+                lanes.push(lane);
+                if decisive && !canceled_stragglers {
+                    stop.store(true, Ordering::Relaxed);
+                    canceled_stragglers = true;
+                }
+            }
+            Err(_) => break, // all senders gone
+        }
+    }
+    // By here every lane has reported (the recv loop only exits at `total`
+    // results, or on Err — which requires every sender already dropped with
+    // an empty channel), so the joins are immediate.
+    for h in handles {
+        let _ = h.join();
+    }
+    RaceReport {
+        lanes,
+        canceled_stragglers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csl_hdl::{Design, Init};
+
+    /// A 1-bit design with no bad states (engines under test ignore it).
+    fn trivial_aig() -> Aig {
+        let mut d = Design::new("trivial");
+        let r = d.reg("r", 1, Init::Zero);
+        let q = r.q();
+        d.set_next(&r, q);
+        d.finish()
+    }
+
+    /// Returns `outcome()` after `delay`, polling the stop flag every
+    /// millisecond; reports how it exited through the shared flags.
+    struct FakeEngine<F: Fn() -> EngineOutcome + Send + Sync> {
+        name: &'static str,
+        delay: Duration,
+        outcome: F,
+        saw_stop: Arc<AtomicBool>,
+        finished_naturally: Arc<AtomicBool>,
+    }
+
+    impl<F: Fn() -> EngineOutcome + Send + Sync> Engine for FakeEngine<F> {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+
+        fn run(&self, _ts: &TransitionSystem, budget: Budget) -> EngineOutcome {
+            let end = Instant::now() + self.delay;
+            while Instant::now() < end {
+                if budget.stop_requested() {
+                    self.saw_stop.store(true, Ordering::Relaxed);
+                    return EngineOutcome::Timeout;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            self.finished_naturally.store(true, Ordering::Relaxed);
+            (self.outcome)()
+        }
+    }
+
+    fn fake(
+        name: &'static str,
+        delay: Duration,
+        outcome: impl Fn() -> EngineOutcome + Send + Sync + 'static,
+    ) -> (Box<dyn Engine>, Arc<AtomicBool>, Arc<AtomicBool>) {
+        let saw_stop = Arc::new(AtomicBool::new(false));
+        let finished = Arc::new(AtomicBool::new(false));
+        let engine = Box::new(FakeEngine {
+            name,
+            delay,
+            outcome,
+            saw_stop: saw_stop.clone(),
+            finished_naturally: finished.clone(),
+        });
+        (engine, saw_stop, finished)
+    }
+
+    #[test]
+    fn fast_engine_wins_and_slow_loser_is_canceled_promptly() {
+        let slow_natural_delay = Duration::from_secs(30);
+        let (fast, _, _) = fake("fast", Duration::from_millis(10), || {
+            EngineOutcome::Proof(ProofEngine::KInduction { k: 1 })
+        });
+        let (slow, slow_saw_stop, slow_finished) = fake("slow", slow_natural_delay, || {
+            EngineOutcome::Proof(ProofEngine::Pdr {
+                frames: 1,
+                clauses: 0,
+            })
+        });
+        let start = Instant::now();
+        let report = race(
+            vec![fast, slow],
+            &trivial_aig(),
+            false,
+            Instant::now() + Duration::from_secs(60),
+        );
+        let wall = start.elapsed();
+        // The fast proof decided the race and the slow lane was stopped
+        // cooperatively, well before its natural completion time.
+        assert!(report.canceled_stragglers);
+        assert!(
+            wall < slow_natural_delay / 4,
+            "race took {wall:?}, cancellation was not prompt"
+        );
+        assert!(
+            slow_saw_stop.load(Ordering::Relaxed),
+            "loser never saw the stop flag"
+        );
+        assert!(!slow_finished.load(Ordering::Relaxed));
+        let winner = report
+            .lanes
+            .iter()
+            .find(|l| l.outcome.is_decisive())
+            .expect("decisive lane");
+        assert_eq!(winner.engine, "fast");
+    }
+
+    #[test]
+    fn inconclusive_lanes_do_not_cancel_each_other() {
+        let (a, _, a_fin) = fake("a", Duration::from_millis(5), || {
+            EngineOutcome::Inconclusive("nothing".into())
+        });
+        let (b, b_saw_stop, b_fin) = fake("b", Duration::from_millis(40), || {
+            EngineOutcome::Inconclusive("nothing".into())
+        });
+        let report = race(
+            vec![a, b],
+            &trivial_aig(),
+            false,
+            Instant::now() + Duration::from_secs(60),
+        );
+        assert!(!report.canceled_stragglers);
+        assert!(a_fin.load(Ordering::Relaxed));
+        assert!(b_fin.load(Ordering::Relaxed));
+        assert!(!b_saw_stop.load(Ordering::Relaxed));
+        assert_eq!(report.lanes.len(), 2);
+    }
+
+    #[test]
+    fn all_lanes_report_even_when_race_is_decided() {
+        // Three lanes: the winner plus two with staggered delays; every
+        // lane's result must be collected (for the notes) despite the stop.
+        let (w, _, _) = fake("winner", Duration::from_millis(1), || {
+            EngineOutcome::Proof(ProofEngine::KInduction { k: 2 })
+        });
+        let (l1, _, _) = fake("l1", Duration::from_secs(20), || EngineOutcome::Timeout);
+        let (l2, _, _) = fake("l2", Duration::from_secs(20), || EngineOutcome::Timeout);
+        let report = race(
+            vec![w, l1, l2],
+            &trivial_aig(),
+            false,
+            Instant::now() + Duration::from_secs(60),
+        );
+        assert_eq!(report.lanes.len(), 3);
+    }
+}

@@ -107,7 +107,11 @@ impl<'a> Sim<'a> {
     /// Evaluates one cycle: combinational settle, then clock edge.
     ///
     /// `inputs(i, name)` supplies each primary input's value.
-    pub fn step(&mut self, state: &SimState, mut inputs: impl FnMut(usize, &str) -> bool) -> StepResult {
+    pub fn step(
+        &mut self,
+        state: &SimState,
+        mut inputs: impl FnMut(usize, &str) -> bool,
+    ) -> StepResult {
         let aig = self.aig;
         let values = &mut self.scratch;
         // Nodes are created in topological order, so a single pass suffices.

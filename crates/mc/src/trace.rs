@@ -64,7 +64,12 @@ impl Trace {
             .unwrap_or(4)
             .max(5);
         let mut out = String::new();
-        let _ = writeln!(out, "counterexample for `{}` ({} cycles)", self.bad_name, self.depth());
+        let _ = writeln!(
+            out,
+            "counterexample for `{}` ({} cycles)",
+            self.bad_name,
+            self.depth()
+        );
         let _ = write!(out, "{:name_w$} |", "probe");
         for c in 0..self.depth() {
             let _ = write!(out, " c{c:<3}");

@@ -41,6 +41,7 @@ pub struct ClauseDb {
     freed: usize,
 }
 
+#[allow(dead_code)] // utility surface kept whole; not every method has a caller yet
 impl ClauseDb {
     pub fn new() -> ClauseDb {
         ClauseDb::default()

@@ -6,11 +6,13 @@
 //! incremental solving under assumptions with final-conflict (unsat core)
 //! extraction, and cooperative cancellation via conflict/wall-clock budgets.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::clause::{ClauseDb, ClauseRef};
-use crate::lit::{LBool, Lit, Var};
 use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
 
 /// Outcome of a [`Solver::solve_with`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -24,20 +26,54 @@ pub enum SolveResult {
     Canceled,
 }
 
-/// Resource limits for a solve call. The solver checks the wall clock every
-/// few thousand conflicts, so cancellation is approximate but cheap.
-#[derive(Clone, Copy, Debug, Default)]
+/// Resource limits for a solve call. The solver checks the budget at every
+/// conflict, so cancellation is approximate but cheap.
+#[derive(Clone, Debug, Default)]
 pub struct Budget {
     /// Maximum number of conflicts (0 = unlimited).
     pub max_conflicts: u64,
     /// Absolute deadline (None = unlimited).
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag, shared between racing engines: when a
+    /// sibling sets it, in-flight solves abort with `Canceled` at the next
+    /// conflict or restart boundary.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Budget {
     /// An unlimited budget.
     pub fn unlimited() -> Budget {
         Budget::default()
+    }
+
+    /// A wall-clock-only budget.
+    pub fn until(deadline: Instant) -> Budget {
+        Budget {
+            deadline: Some(deadline),
+            ..Budget::default()
+        }
+    }
+
+    /// Attaches a shared stop flag (builder style).
+    pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> Budget {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// True once cancellation has been requested through the stop flag.
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
+    /// True when the wall clock has run out or a stop was requested. This is
+    /// the check engines use in their outer loops, between solver calls.
+    pub fn out_of_time(&self) -> bool {
+        if self.stop_requested() {
+            return true;
+        }
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -310,7 +346,10 @@ impl Solver {
                     lits[0]
                 };
                 if first != w.blocker && self.lit_value(first) == LBool::True {
-                    ws[j] = Watcher { cref, blocker: first };
+                    ws[j] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
                     j += 1;
                     continue;
                 }
@@ -321,12 +360,18 @@ impl Solver {
                     if self.lit_value(lk) != LBool::False {
                         let lits = self.db.lits_mut(cref);
                         lits.swap(1, k);
-                        self.watches[(!lk).index()].push(Watcher { cref, blocker: first });
+                        self.watches[(!lk).index()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
                         continue 'watches;
                     }
                 }
                 // No new watch: clause is unit or conflicting.
-                ws[j] = Watcher { cref, blocker: first };
+                ws[j] = Watcher {
+                    cref,
+                    blocker: first,
+                };
                 j += 1;
                 if self.lit_value(first) == LBool::False {
                     conflict = Some(cref);
@@ -549,10 +594,12 @@ impl Solver {
         let mut learnts = self.db.learnt_refs();
         // Sort worst-first: high LBD then low activity.
         learnts.sort_by(|&a, &b| {
-            self.db
-                .lbd(b)
-                .cmp(&self.db.lbd(a))
-                .then(self.db.activity(a).partial_cmp(&self.db.activity(b)).unwrap())
+            self.db.lbd(b).cmp(&self.db.lbd(a)).then(
+                self.db
+                    .activity(a)
+                    .partial_cmp(&self.db.activity(b))
+                    .unwrap(),
+            )
         });
         let target = learnts.len() / 2;
         let mut removed = 0;
@@ -612,6 +659,9 @@ impl Solver {
 
     fn budget_exhausted(&self) -> bool {
         if self.budget.max_conflicts != 0 && self.stats.conflicts >= self.budget.max_conflicts {
+            return true;
+        }
+        if self.budget.stop_requested() {
             return true;
         }
         if let Some(d) = self.budget.deadline {
@@ -712,6 +762,14 @@ impl Solver {
         self.canceled = false;
         if !self.ok {
             return SolveResult::Unsat;
+        }
+        // Entry check: without it, a query that resolves with zero conflicts
+        // (pure propagation) would ignore an exhausted budget or a raised
+        // stop flag entirely — the in-loop checks only run at conflicts and
+        // restarts.
+        if self.budget_exhausted() {
+            self.canceled = true;
+            return SolveResult::Canceled;
         }
         if self.max_learnts == 0.0 {
             self.max_learnts = (self.db.len() as f64 * 0.3).max(4000.0);
@@ -896,11 +954,42 @@ mod tests {
         }
         s.set_budget(Budget {
             max_conflicts: 10,
-            deadline: None,
+            ..Budget::unlimited()
         });
         assert_eq!(s.solve(), SolveResult::Canceled);
         // Lifting the budget lets it finish.
         s.set_budget(Budget::unlimited());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn stop_flag_cancels_and_clears() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        // Same pigeonhole instance, canceled by a pre-set stop flag.
+        let mut s = Solver::new();
+        let np = 8;
+        let nh = 7;
+        let v = |s: &mut Solver, p: usize, h: usize| lit(s, p * nh + h);
+        for p in 0..np {
+            let cl: Vec<Lit> = (0..nh).map(|h| v(&mut s, p, h)).collect();
+            s.add_clause(&cl);
+        }
+        for h in 0..nh {
+            for p1 in 0..np {
+                for p2 in (p1 + 1)..np {
+                    let a = v(&mut s, p1, h);
+                    let b = v(&mut s, p2, h);
+                    s.add_clause(&[!a, !b]);
+                }
+            }
+        }
+        let stop = Arc::new(AtomicBool::new(true));
+        s.set_budget(Budget::unlimited().with_stop(stop.clone()));
+        assert_eq!(s.solve(), SolveResult::Canceled);
+        // Clearing the flag lets the same solver finish.
+        stop.store(false, Ordering::Relaxed);
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 

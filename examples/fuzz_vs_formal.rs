@@ -58,7 +58,13 @@ fn main() {
     println!();
     println!("== secure SimpleOoO-S (Delay-spectre), sandboxing ==");
     let t = Instant::now();
-    match fuzz_design(&secure, &FuzzOptions { trials: 1500, ..Default::default() }) {
+    match fuzz_design(
+        &secure,
+        &FuzzOptions {
+            trials: 1500,
+            ..Default::default()
+        },
+    ) {
         FuzzOutcome::Exhausted { trials } => println!(
             "fuzzer:  no leak in {trials} trials / {:.2}s — *not* a proof",
             t.elapsed().as_secs_f64()

@@ -55,9 +55,10 @@ pub use csl_sat as sat;
 pub mod prelude {
     pub use csl_contracts::Contract;
     pub use csl_core::{
-        build_instance, verify, DesignKind, ExcludeRule, InstanceConfig, Scheme, ShadowOptions,
+        build_instance, matrix, run_campaign, verify, CampaignCell, CampaignOptions,
+        CampaignReport, DesignKind, ExcludeRule, InstanceConfig, Scheme, ShadowOptions,
     };
     pub use csl_cpu::{CpuConfig, Defense};
     pub use csl_isa::IsaConfig;
-    pub use csl_mc::{CheckOptions, CheckReport, ProofEngine, Verdict};
+    pub use csl_mc::{CheckOptions, CheckReport, ExecMode, ProofEngine, Verdict};
 }
