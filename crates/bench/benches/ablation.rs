@@ -17,12 +17,10 @@
 //!    machines the shadow scheme eliminates are visible in the instance
 //!    statistics.
 
-use csl_bench::{bmc_depth, budget_secs, header, show, task_options};
+use csl_bench::{bmc_depth, budget_secs, header, show, verifier};
 use csl_contracts::Contract;
-use csl_core::{
-    build_instance, build_shadow_instance, verify, DesignKind, InstanceConfig, Scheme,
-    ShadowOptions,
-};
+use csl_core::api::Verifier;
+use csl_core::{DesignKind, Scheme, ShadowOptions};
 use csl_cpu::Defense;
 use csl_mc::{bmc, BmcResult, Sim, SimState, Trace, TransitionSystem, Verdict};
 use csl_sat::Budget;
@@ -51,8 +49,15 @@ fn main() {
     let budget = Budget::until(Instant::now() + Duration::from_secs(budget_secs(240)));
 
     println!("-- (1) instruction-inclusion requirement (drain tracking) --");
-    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-    let sound = build_shadow_instance(&cfg);
+    let base = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::None))
+        .contract(Contract::Sandboxing)
+        .scheme(Scheme::Shadow);
+    let sound = base
+        .clone()
+        .query()
+        .expect("design and contract are set")
+        .instance();
     let ts = TransitionSystem::new(sound.aig.clone(), false);
     let genuine = match bmc(&ts, bmc_depth(9), budget.clone()) {
         BmcResult::Cex(t) => {
@@ -68,13 +73,16 @@ fn main() {
             None
         }
     };
-    let mut nodrain = cfg.clone();
-    nodrain.shadow = ShadowOptions {
-        enable_drain: false,
-        ..ShadowOptions::default()
-    };
-    nodrain.with_candidates = false;
-    let broken = build_shadow_instance(&nodrain);
+    let broken = base
+        .clone()
+        .shadow(ShadowOptions {
+            enable_drain: false,
+            ..ShadowOptions::default()
+        })
+        .with_candidates(false)
+        .query()
+        .expect("design and contract are set")
+        .instance();
     let ts2 = TransitionSystem::new(broken.aig.clone(), false);
     let shallow = genuine.as_ref().map(|t| t.depth() - 1).unwrap_or(5);
     match bmc(&ts2, shallow, budget.clone()) {
@@ -105,11 +113,13 @@ fn main() {
     );
     // Positive guarantee: with sync on, the FIFO overflow assertions are
     // unreachable within the bound even on the timing-divergent DoM core.
-    let dom = InstanceConfig::new(
-        DesignKind::SimpleOoo(Defense::DomSpectre),
-        Contract::Sandboxing,
-    );
-    let task = build_shadow_instance(&dom);
+    let task = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::DomSpectre))
+        .contract(Contract::Sandboxing)
+        .scheme(Scheme::Shadow)
+        .query()
+        .expect("design and contract are set")
+        .instance();
     let ts3 = TransitionSystem::new(task.aig.clone(), false);
     match bmc(&ts3, bmc_depth(10), budget) {
         BmcResult::Cex(t) => println!(
@@ -123,12 +133,13 @@ fn main() {
     println!();
     println!("-- (3) attack finding: baseline vs shadow on insecure SimpleOoO --");
     for scheme in [Scheme::Baseline, Scheme::Shadow] {
-        let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-        let report = verify(
-            scheme,
-            &cfg,
-            &task_options(budget_secs(120), bmc_depth(10), true),
-        );
+        let report = verifier(budget_secs(120), bmc_depth(10), true)
+            .design(DesignKind::SimpleOoo(Defense::None))
+            .contract(Contract::Sandboxing)
+            .scheme(scheme)
+            .query()
+            .expect("design and contract are set")
+            .run();
         show(&format!("{} attack search", scheme.name()), &report);
         if let Verdict::Attack(t) = &report.verdict {
             println!("    attack depth {}", t.depth());
@@ -138,8 +149,13 @@ fn main() {
     println!();
     println!("-- (4) instance sizes (machines eliminated by the shadow scheme) --");
     for scheme in [Scheme::Baseline, Scheme::Shadow] {
-        let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-        let task = build_instance(scheme, &cfg);
+        let task = Verifier::new()
+            .design(DesignKind::SimpleOoo(Defense::None))
+            .contract(Contract::Sandboxing)
+            .scheme(scheme)
+            .query()
+            .expect("design and contract are set")
+            .instance();
         println!(
             "{:<10} latches={:<5} ands={:<6} machines={}",
             scheme.name(),

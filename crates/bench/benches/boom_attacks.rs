@@ -9,16 +9,20 @@
 //! branch misprediction is the only speculation source, cannot find (1) or
 //! (2).
 
-use csl_bench::{bmc_depth, budget_secs, header, show, task_options};
+use csl_bench::{bmc_depth, budget_secs, header, show, verifier};
 use csl_contracts::Contract;
-use csl_core::{verify, DesignKind, ExcludeRule, InstanceConfig, Scheme};
+use csl_core::{DesignKind, ExcludeRule, Scheme};
 use csl_mc::Verdict;
 
 fn round(excludes: Vec<ExcludeRule>, scheme: Scheme, label: &str) -> Option<String> {
-    let mut cfg = InstanceConfig::new(DesignKind::BigOoo, Contract::Sandboxing);
-    cfg.excludes = excludes;
-    let opts = task_options(budget_secs(240), bmc_depth(12), true);
-    let report = verify(scheme, &cfg, &opts);
+    let report = verifier(budget_secs(240), bmc_depth(12), true)
+        .design(DesignKind::BigOoo)
+        .contract(Contract::Sandboxing)
+        .scheme(scheme)
+        .excludes(&excludes)
+        .query()
+        .expect("design and contract are set")
+        .run();
     show(label, &report);
     match &report.verdict {
         Verdict::Attack(t) => Some(t.bad_name.clone()),

@@ -19,9 +19,9 @@
 //! exposes the same structural scaling (ROB explosive, regfile flat,
 //! memory mild and contract-dependent).
 
-use csl_bench::{bmc_depth, budget_secs, header, paper_cell, task_options};
+use csl_bench::{bmc_depth, budget_secs, header, paper_cell, verifier};
 use csl_contracts::Contract;
-use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
+use csl_core::{DesignKind, Scheme};
 use csl_cpu::{CpuConfig, Defense};
 use csl_isa::IsaConfig;
 
@@ -61,10 +61,14 @@ fn sweep(title: &str, defense: Defense, contract: Contract) {
                 defense,
             };
             let cpu = configure(base, axis, n);
-            let mut cfg = InstanceConfig::new(DesignKind::SimpleOoo(defense), contract);
-            cfg.cpu_override = Some(cpu);
-            let opts = task_options(budget_secs(120), bmc_depth(8), true);
-            let report = verify(Scheme::Shadow, &cfg, &opts);
+            let report = verifier(budget_secs(120), bmc_depth(8), true)
+                .design(DesignKind::SimpleOoo(defense))
+                .contract(contract)
+                .scheme(Scheme::Shadow)
+                .cpu_override(cpu)
+                .query()
+                .expect("design and contract are set")
+                .run();
             println!(
                 "{:<10} {:>6} {:>10} {:>10.1}",
                 format!("{axis:?}"),

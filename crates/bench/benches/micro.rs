@@ -5,7 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use csl_contracts::Contract;
-use csl_core::{build_instance, DesignKind, InstanceConfig, Scheme};
+use csl_core::api::Verifier;
+use csl_core::{DesignKind, Scheme};
 use csl_cpu::{build_standalone, CoreKind, CpuConfig, Defense};
 use csl_isa::progen;
 use csl_mc::{InitMode, Sim, TransitionSystem, Unroller};
@@ -35,12 +36,20 @@ fn bench_sat(c: &mut Criterion) {
     });
 }
 
+fn shadow_query() -> csl_core::api::Query {
+    Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::None))
+        .contract(Contract::Sandboxing)
+        .scheme(Scheme::Shadow)
+        .query()
+        .expect("design and contract are set")
+}
+
 fn bench_netlist_build(c: &mut Criterion) {
     c.bench_function("hdl/build_shadow_instance", |b| {
+        let query = shadow_query();
         b.iter(|| {
-            let cfg =
-                InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-            let task = build_instance(Scheme::Shadow, &cfg);
+            let task = query.instance();
             assert!(task.aig.num_ands() > 1000);
         })
     });
@@ -60,8 +69,7 @@ fn bench_simulation(c: &mut Criterion) {
 }
 
 fn bench_unroll(c: &mut Criterion) {
-    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-    let task = build_instance(Scheme::Shadow, &cfg);
+    let task = shadow_query().instance();
     let ts = TransitionSystem::new(task.aig.clone(), false);
     c.bench_function("mc/unroll_8_frames", |b| {
         b.iter(|| {
@@ -76,7 +84,7 @@ fn bench_unroll(c: &mut Criterion) {
         let state = csl_mc::SimState::reset(ts.aig());
         b.iter(|| {
             let r = sim.step(&state, |_, _| false);
-            assert!(!r.values.bit(csl_hdl::Bit::TRUE) == false);
+            assert!(r.values.bit(csl_hdl::Bit::TRUE));
         })
     });
 }

@@ -9,7 +9,8 @@
 
 use csl_bench::header;
 use csl_contracts::Contract;
-use csl_core::{build_instance, DesignKind, InstanceConfig, Scheme};
+use csl_core::api::Verifier;
+use csl_core::{DesignKind, Scheme};
 use csl_cpu::Defense;
 use csl_mc::TransitionSystem;
 
@@ -30,9 +31,14 @@ fn main() {
         DesignKind::SuperOoo,
         DesignKind::BigOoo,
     ] {
-        let cfg = InstanceConfig::new(design, Contract::Sandboxing);
-        let cpu = cfg.cpu_config();
-        let task = build_instance(Scheme::Shadow, &cfg);
+        let query = Verifier::new()
+            .design(design)
+            .contract(Contract::Sandboxing)
+            .scheme(Scheme::Shadow)
+            .query()
+            .expect("design and contract are set");
+        let cpu = query.config().cpu_config();
+        let task = query.instance();
         let stats = task.aig.stats_by_prefix(&["cpu1.", "cpu2.", "shadow."]);
         let ts = TransitionSystem::new(task.aig.clone(), false);
         println!(

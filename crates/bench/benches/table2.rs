@@ -17,10 +17,7 @@
 //! Budgets stand in for the 7-day timeout; tune with `CSL_BUDGET_SECS`
 //! (uniform override) or `CSL_FAST=1`.
 
-use csl_bench::{
-    bmc_depth, budget_secs, campaign_options, header, show, show_campaign, table2_cells,
-};
-use csl_core::run_campaign;
+use csl_bench::{bmc_depth, budget_secs, header, show, show_campaign, table2_matrix};
 
 fn main() {
     header(
@@ -30,10 +27,9 @@ fn main() {
     // Proof-capable budget; the BMC prefix is kept shallow so the proof
     // engines (Houdini/k-induction/PDR) are not starved. The baseline is
     // expected to burn its budget on secure designs and time out.
-    let opts = campaign_options(budget_secs(180), bmc_depth(6));
-    let report = run_campaign(&table2_cells(), &opts);
-    for r in &report.results {
-        show(&r.cell.label(), &r.report);
+    let report = table2_matrix(budget_secs(180), bmc_depth(6)).run_all();
+    for r in &report.reports {
+        show(&r.label(), r);
     }
     show_campaign(&report);
 }

@@ -15,9 +15,9 @@
 //! the conservative *futuristic* variants prove faster than the *spectre*
 //! variants; the same shadow logic is reused across all ten cells.
 
-use csl_bench::{bmc_depth, budget_secs, header, paper_cell, show, task_options};
+use csl_bench::{bmc_depth, budget_secs, header, paper_cell, show, verifier};
 use csl_contracts::Contract;
-use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
+use csl_core::{DesignKind, Scheme};
 use csl_cpu::Defense;
 
 fn main() {
@@ -29,17 +29,22 @@ fn main() {
     for defense in Defense::TABLE3 {
         let mut cells = Vec::new();
         for contract in Contract::ALL {
-            let cfg = InstanceConfig::new(DesignKind::SimpleOoo(defense), contract);
             let expect_secure = defense.expected_secure(contract == Contract::ConstantTime);
             // Insecure cells only need attack search; secure cells get the
             // full proof pipeline and a larger budget, mirroring the
             // paper's attack-fast / proof-slow asymmetry.
-            let opts = if expect_secure {
-                task_options(budget_secs(300), bmc_depth(8), false)
+            let base = if expect_secure {
+                verifier(budget_secs(300), bmc_depth(8), false)
             } else {
-                task_options(budget_secs(120), bmc_depth(14), true)
+                verifier(budget_secs(120), bmc_depth(14), true)
             };
-            let report = verify(Scheme::Shadow, &cfg, &opts);
+            let report = base
+                .design(DesignKind::SimpleOoo(defense))
+                .contract(contract)
+                .scheme(Scheme::Shadow)
+                .query()
+                .expect("design and contract are set")
+                .run();
             show(
                 &format!("{} / {}", defense.name(), contract.name()),
                 &report,

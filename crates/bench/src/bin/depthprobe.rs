@@ -1,13 +1,19 @@
+use csl_bench::verifier;
 use csl_contracts::Contract;
-use csl_core::{build_instance, DesignKind, InstanceConfig, Scheme};
+use csl_core::{DesignKind, Scheme};
 use csl_cpu::Defense;
 use csl_mc::{InitMode, TransitionSystem, Unroller};
 use csl_sat::SolveResult;
 use std::time::Instant;
 
 fn probe(design: DesignKind, contract: Contract, maxd: usize) {
-    let cfg = InstanceConfig::new(design, contract);
-    let task = build_instance(Scheme::Shadow, &cfg);
+    let task = verifier(240, maxd, true)
+        .design(design)
+        .contract(contract)
+        .scheme(Scheme::Shadow)
+        .query()
+        .expect("design and contract are set")
+        .instance();
     let ts = TransitionSystem::new(task.aig.clone(), false);
     println!(
         "== {} / {}: {}",

@@ -1,19 +1,18 @@
+use csl_bench::verifier;
 use csl_contracts::Contract;
-use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
+use csl_core::{DesignKind, Scheme};
 use csl_cpu::Defense;
-use csl_mc::{CheckOptions, Verdict};
-use std::time::Duration;
+use csl_mc::Verdict;
 
 fn main() {
     for contract in Contract::ALL {
-        let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::DomSpectre), contract);
-        let opts = CheckOptions {
-            total_budget: Duration::from_secs(360),
-            bmc_depth: 16,
-            attack_only: true,
-            ..Default::default()
-        };
-        let report = verify(Scheme::Shadow, &cfg, &opts);
+        let report = verifier(360, 16, true)
+            .design(DesignKind::SimpleOoo(Defense::DomSpectre))
+            .contract(contract)
+            .scheme(Scheme::Shadow)
+            .query()
+            .expect("design and contract are set")
+            .run();
         match &report.verdict {
             Verdict::Attack(t) => println!(
                 "DoM-spectre / {:<14} ATTACK at depth {} in {:.1}s (bad `{}`)",

@@ -1,8 +1,7 @@
+use csl_bench::verifier;
 use csl_contracts::Contract;
-use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
+use csl_core::{DesignKind, Scheme};
 use csl_cpu::Defense;
-use csl_mc::CheckOptions;
-use std::time::Duration;
 
 fn main() {
     for design in [
@@ -10,16 +9,17 @@ fn main() {
         DesignKind::SimpleOoo(Defense::DelaySpectre),
         DesignKind::SimpleOoo(Defense::None),
     ] {
-        let cfg = InstanceConfig::new(design, Contract::Sandboxing);
-        let opts = CheckOptions {
-            total_budget: Duration::from_secs(180),
-            ..Default::default()
-        };
-        let report = verify(Scheme::Leave, &cfg, &opts);
+        let report = verifier(180, 20, false)
+            .design(design)
+            .contract(Contract::Sandboxing)
+            .scheme(Scheme::Leave)
+            .query()
+            .expect("design and contract are set")
+            .run();
         println!(
             "LEAVE {:24} -> {:8} [{:.1}s]",
             design.name(),
-            report.verdict.cell(),
+            report.cell(),
             report.elapsed.as_secs_f64()
         );
         for n in &report.notes {

@@ -1,37 +1,54 @@
 //! Diagnostic probe: sequential vs portfolio `check_safety` on the
 //! single-cycle design, every scheme, with per-engine notes. Use
 //! `CSL_BUDGET_SECS` to widen the per-cell budget when hunting for the
-//! point where the proof engines converge.
+//! point where the proof engines converge. `--json <path>` /
+//! `--csv <path>` dump the probe results (both modes, all schemes) as a
+//! structured campaign report for cross-commit diffing.
 
 use std::time::Duration;
 
-use csl_bench::{bmc_depth, budget_secs};
+use csl_bench::{bmc_depth, budget_secs, report_args, write_reports};
 use csl_contracts::Contract;
-use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
-use csl_mc::{CheckOptions, ExecMode};
+use csl_core::api::{Budget, CampaignReport, Mode, Verifier};
+use csl_core::{DesignKind, Scheme};
 
 fn main() {
-    let cfg = InstanceConfig::new(DesignKind::SingleCycle, Contract::Sandboxing);
+    let (json, csv) = report_args("portfolioprobe");
+    let wall = std::time::Instant::now();
+    let mut reports = Vec::new();
     for scheme in Scheme::ALL {
-        for mode in [ExecMode::Sequential, ExecMode::Portfolio] {
-            let opts = CheckOptions {
-                total_budget: Duration::from_secs(budget_secs(45)),
-                bmc_depth: bmc_depth(6),
-                mode,
-                ..Default::default()
-            };
-            let t = std::time::Instant::now();
-            let r = verify(scheme, &cfg, &opts);
+        for mode in [Mode::Sequential, Mode::Portfolio] {
+            let report = Verifier::new()
+                .design(DesignKind::SingleCycle)
+                .contract(Contract::Sandboxing)
+                .scheme(scheme)
+                .mode(mode)
+                .budget(Budget::wall(Duration::from_secs(budget_secs(45))))
+                .bmc_depth(bmc_depth(6))
+                .query()
+                .expect("design and contract are set")
+                .run();
             println!(
                 "{:<22} {:?}: {} in {:.1}s",
                 scheme.name(),
                 mode,
-                r.verdict.cell(),
-                t.elapsed().as_secs_f64()
+                report.cell(),
+                report.elapsed.as_secs_f64()
             );
-            for n in &r.notes {
+            for n in &report.notes {
                 println!("    | {n}");
+            }
+            // Both modes of a scheme share a cell identity; only the
+            // sequential row goes into the diffable report so the cell
+            // set stays unique per (scheme, design, contract).
+            if mode == Mode::Sequential {
+                reports.push(report);
             }
         }
     }
+    let campaign = CampaignReport {
+        reports,
+        wall: wall.elapsed(),
+    };
+    write_reports(&campaign, json, csv);
 }

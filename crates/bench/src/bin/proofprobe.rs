@@ -1,20 +1,18 @@
+use csl_bench::verifier;
 use csl_contracts::Contract;
-use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
+use csl_core::{DesignKind, Scheme};
 use csl_cpu::Defense;
-use csl_mc::{CheckOptions, Verdict};
-use std::time::{Duration, Instant};
+use csl_mc::Verdict;
 
 fn run(design: DesignKind, contract: Contract, budget: u64, depth: usize) {
-    let opts = CheckOptions {
-        total_budget: Duration::from_secs(budget),
-        bmc_depth: depth,
-        attack_only: false,
-        kind_max_k: 4,
-        ..Default::default()
-    };
-    let cfg = InstanceConfig::new(design, contract);
-    let t = Instant::now();
-    let report = verify(Scheme::Shadow, &cfg, &opts);
+    let report = verifier(budget, depth, false)
+        .kind_max_k(4)
+        .design(design)
+        .contract(contract)
+        .scheme(Scheme::Shadow)
+        .query()
+        .expect("design and contract are set")
+        .run();
     let extra = match &report.verdict {
         Verdict::Proof(e) => format!("{e:?}"),
         Verdict::Unknown { reason } => reason.clone(),
@@ -24,8 +22,8 @@ fn run(design: DesignKind, contract: Contract, budget: u64, depth: usize) {
         "{:28} {:14} -> {:6} [{:.1}s] {}",
         design.name(),
         contract.name(),
-        report.verdict.cell(),
-        t.elapsed().as_secs_f64(),
+        report.cell(),
+        report.elapsed.as_secs_f64(),
         extra
     );
     for n in &report.notes {

@@ -1,11 +1,24 @@
 use csl_contracts::Contract;
-use csl_core::{build_baseline_instance, build_shadow_instance, DesignKind, InstanceConfig};
+use csl_core::api::Verifier;
+use csl_core::{DesignKind, Scheme};
 use csl_cpu::Defense;
 use csl_mc::TransitionSystem;
+
 fn main() {
-    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-    let s = build_shadow_instance(&cfg);
-    let b = build_baseline_instance(&cfg);
+    let base = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::None))
+        .contract(Contract::Sandboxing);
+    let s = base
+        .clone()
+        .scheme(Scheme::Shadow)
+        .query()
+        .expect("design and contract are set")
+        .instance();
+    let b = base
+        .scheme(Scheme::Baseline)
+        .query()
+        .expect("design and contract are set")
+        .instance();
     let ts_s = TransitionSystem::new(s.aig.clone(), false);
     let ts_b = TransitionSystem::new(b.aig.clone(), false);
     println!(

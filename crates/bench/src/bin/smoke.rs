@@ -1,9 +1,17 @@
-use csl_bench::{bmc_depth, budget_secs, campaign_options, show_campaign, smoke_cells};
+//! Fast end-to-end smoke run: a handful of representative single cells
+//! (insecure designs yield CEX, secure designs stay clean in attack-only
+//! mode) followed by the smoke campaign matrix. `--json <path>` /
+//! `--csv <path>` dump the campaign as a structured report so CI can
+//! archive it and diff verdicts across commits.
+
+use csl_bench::{
+    bmc_depth, budget_secs, report_args, show_campaign, smoke_matrix, verifier, write_reports,
+};
 use csl_contracts::Contract;
-use csl_core::{run_campaign, verify, DesignKind, InstanceConfig, Scheme};
+use csl_core::api::Report;
+use csl_core::{DesignKind, Scheme};
 use csl_cpu::Defense;
-use csl_mc::{CheckOptions, Verdict};
-use std::time::{Duration, Instant};
+use csl_mc::Verdict;
 
 fn run(
     design: DesignKind,
@@ -12,16 +20,14 @@ fn run(
     attack_only: bool,
     budget: u64,
     depth: usize,
-) {
-    let opts = CheckOptions {
-        total_budget: Duration::from_secs(budget),
-        bmc_depth: depth,
-        attack_only,
-        ..Default::default()
-    };
-    let cfg = InstanceConfig::new(design, contract);
-    let t = Instant::now();
-    let report = verify(scheme, &cfg, &opts);
+) -> Report {
+    let report = verifier(budget_secs(budget), bmc_depth(depth), attack_only)
+        .design(design)
+        .contract(contract)
+        .scheme(scheme)
+        .query()
+        .expect("design and contract are set")
+        .run();
     let extra = match &report.verdict {
         Verdict::Attack(tr) => format!("depth {} bad `{}`", tr.depth(), tr.bad_name),
         Verdict::Proof(e) => format!("{e:?}"),
@@ -33,15 +39,17 @@ fn run(
         design.name(),
         contract.name(),
         scheme.name(),
-        report.verdict.cell(),
-        t.elapsed().as_secs_f64(),
+        report.cell(),
+        report.elapsed.as_secs_f64(),
         extra
     );
+    report
 }
 
 fn main() {
     use Contract::*;
     use Scheme::*;
+    let (json, csv) = report_args("smoke");
     // Insecure: expect CEX.
     run(
         DesignKind::SimpleOoo(Defense::None),
@@ -87,9 +95,7 @@ fn main() {
     run(DesignKind::InOrder, Sandboxing, Shadow, true, 120, 12);
     // The smoke matrix through the campaign runner: every scheme on the
     // single-cycle design, cells in parallel, engines racing per cell.
-    let report = run_campaign(
-        &smoke_cells(),
-        &campaign_options(budget_secs(60), bmc_depth(8)),
-    );
+    let report = smoke_matrix(budget_secs(60), bmc_depth(8)).run_all();
     show_campaign(&report);
+    write_reports(&report, json, csv);
 }

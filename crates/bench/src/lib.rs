@@ -6,13 +6,20 @@
 //! `cargo bench` pass finishes in tens of minutes; set `CSL_BUDGET_SECS`
 //! to raise or lower them uniformly, and `CSL_FAST=1` to shrink everything
 //! for smoke runs.
+//!
+//! All harnesses drive the session API: [`verifier`] pre-configures a
+//! `csl_core::api::Verifier` with the standard budget/depth knobs, and
+//! [`smoke_matrix`]/[`table2_matrix`] build the standard campaigns. The
+//! `--json <path>` / `--csv <path>` flags the bins accept are parsed by
+//! [`report_args`] and written by [`write_reports`], so CI can archive a
+//! run and diff it against another commit's.
 
 use std::time::Duration;
 
 use csl_contracts::Contract;
-use csl_core::{matrix, CampaignCell, CampaignOptions, CampaignReport, DesignKind, Scheme};
+use csl_core::api::{Budget, CampaignReport, Matrix, Mode, Report, Verifier};
+use csl_core::{DesignKind, Scheme};
 use csl_cpu::Defense;
-use csl_mc::{CheckOptions, CheckReport, ExecMode, Verdict};
 
 /// Per-task budget in seconds, honouring `CSL_BUDGET_SECS` / `CSL_FAST`.
 pub fn budget_secs(default: u64) -> u64 {
@@ -37,30 +44,29 @@ pub fn bmc_depth(default: usize) -> usize {
     }
 }
 
-/// Standard options for an attack-or-proof task.
-pub fn task_options(budget_s: u64, depth: usize, attack_only: bool) -> CheckOptions {
-    CheckOptions {
-        total_budget: Duration::from_secs(budget_s),
-        bmc_depth: depth,
-        attack_only,
-        ..Default::default()
-    }
+/// A session builder with the standard budget/depth/attack knobs set.
+/// Chain `.design(..).contract(..).scheme(..)` and run.
+pub fn verifier(budget_s: u64, depth: usize, attack_only: bool) -> Verifier {
+    Verifier::new()
+        .budget(Budget::wall(Duration::from_secs(budget_s)))
+        .bmc_depth(depth)
+        .attack_only(attack_only)
 }
 
 /// Table cell text matching the paper's symbols: attacks (their lightning
 /// bolt), proofs (smiley), timeouts (clock), and LEAVE's false
 /// counterexamples (warning triangle).
-pub fn paper_cell(v: &Verdict) -> &'static str {
+pub fn paper_cell(v: &csl_mc::Verdict) -> &'static str {
     match v {
-        Verdict::Attack(_) => "ATTACK",
-        Verdict::Proof(_) => "PROOF",
-        Verdict::Timeout => "T/O",
-        Verdict::Unknown { .. } => "UNKNOWN",
+        csl_mc::Verdict::Attack(_) => "ATTACK",
+        csl_mc::Verdict::Proof(_) => "PROOF",
+        csl_mc::Verdict::Timeout => "T/O",
+        csl_mc::Verdict::Unknown { .. } => "UNKNOWN",
     }
 }
 
 /// One formatted result line.
-pub fn show(label: &str, report: &CheckReport) {
+pub fn show(label: &str, report: &Report) {
     println!(
         "{label:<52} {:<8} {:>8.1}s",
         paper_cell(&report.verdict),
@@ -93,35 +99,26 @@ pub fn table2_designs() -> Vec<DesignKind> {
     ]
 }
 
-/// The full Table-2 matrix: every scheme × every design, sandboxing.
-pub fn table2_cells() -> Vec<CampaignCell> {
-    matrix(&Scheme::ALL, &table2_designs(), &[Contract::Sandboxing])
+/// The full Table-2 campaign: every scheme × every design, sandboxing,
+/// cells in parallel on the worker pool, engines racing per cell.
+pub fn table2_matrix(budget_s: u64, depth: usize) -> Matrix {
+    campaign(&table2_designs(), budget_s, depth)
 }
 
-/// The smoke matrix: every scheme on the smallest design (LEAVE proves
+/// The smoke campaign: every scheme on the smallest design (LEAVE proves
 /// it fast; the other schemes spend their full per-cell budget, so total
 /// wall clock scales with the budget). Exercised by `cargo run --bin
 /// smoke` and the campaign tests.
-pub fn smoke_cells() -> Vec<CampaignCell> {
-    matrix(
-        &Scheme::ALL,
-        &[DesignKind::SingleCycle],
-        &[Contract::Sandboxing],
-    )
+pub fn smoke_matrix(budget_s: u64, depth: usize) -> Matrix {
+    campaign(&[DesignKind::SingleCycle], budget_s, depth)
 }
 
-/// Standard campaign options: per-cell portfolio execution (each cell
-/// races its engines) across the worker pool. Callers pass the budget
-/// and depth through [`budget_secs`]/[`bmc_depth`] when they want the
-/// `CSL_BUDGET_SECS`/`CSL_FAST` overrides to apply.
-pub fn campaign_options(budget_s: u64, depth: usize) -> CampaignOptions {
-    CampaignOptions {
-        threads: 0,
-        cell: CheckOptions {
-            mode: ExecMode::Portfolio,
-            ..task_options(budget_s, depth, false)
-        },
-    }
+fn campaign(designs: &[DesignKind], budget_s: u64, depth: usize) -> Matrix {
+    Verifier::new()
+        .budget(Budget::wall(Duration::from_secs(budget_s)))
+        .bmc_depth(depth)
+        .mode(Mode::Portfolio)
+        .into_matrix(&Scheme::ALL, designs, &[Contract::Sandboxing])
 }
 
 /// Prints a finished campaign in the paper's table shape.
@@ -132,4 +129,41 @@ pub fn show_campaign(report: &CampaignReport) {
         "(thread-pool speedup: {:.1}x)",
         report.cpu_time().as_secs_f64() / report.wall.as_secs_f64().max(1e-9)
     );
+}
+
+/// Parses the standard `--json <path>` / `--csv <path>` bin arguments.
+/// Returns `(json_path, csv_path)`; unknown arguments abort with usage.
+pub fn report_args(bin: &str) -> (Option<String>, Option<String>) {
+    let mut json = None;
+    let mut csv = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = |args: &mut dyn Iterator<Item = String>| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("usage: {bin} [--json <path>] [--csv <path>]");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--json" => json = Some(value(&mut args)),
+            "--csv" => csv = Some(value(&mut args)),
+            _ => {
+                eprintln!("unknown argument `{arg}`; usage: {bin} [--json <path>] [--csv <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (json, csv)
+}
+
+/// Writes the serialized campaign to the paths `report_args` collected.
+pub fn write_reports(report: &CampaignReport, json: Option<String>, csv: Option<String>) {
+    if let Some(path) = json {
+        std::fs::write(&path, report.to_json()).expect("write json report");
+        println!("json report written to {path}");
+    }
+    if let Some(path) = csv {
+        std::fs::write(&path, report.to_csv()).expect("write csv report");
+        println!("csv report written to {path}");
+    }
 }

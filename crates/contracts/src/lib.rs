@@ -45,6 +45,12 @@ impl Contract {
             Contract::ConstantTime => "constant-time",
         }
     }
+
+    /// Inverse of [`Contract::name`] (used when reading persisted
+    /// reports).
+    pub fn from_name(name: &str) -> Option<Contract> {
+        Contract::ALL.into_iter().find(|c| c.name() == name)
+    }
 }
 
 /// Layout of one `O_ISA` record: named field widths, in order. Both the
@@ -169,7 +175,7 @@ mod tests {
     fn run(cfg: &IsaConfig, src: &str, dmem: &[u32], n: usize) -> Vec<StepInfo> {
         let imem = assemble(cfg, src).unwrap();
         let mut st = ArchState::reset(cfg);
-        interp::run(cfg, &mut st, &imem, &dmem.to_vec(), n)
+        interp::run(cfg, &mut st, &imem, dmem, n)
     }
 
     #[test]

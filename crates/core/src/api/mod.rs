@@ -1,0 +1,541 @@
+//! The unified verification session API.
+//!
+//! The paper's workflow is one conceptual operation — *check a scheme ×
+//! design × contract cell under a budget* — and this module is its one
+//! entry point. A fluent [`Verifier`] builder produces a typed [`Query`];
+//! running the query yields a structured [`Report`] that can be persisted
+//! (JSON/CSV), reloaded, and diffed against another run. The same builder
+//! fans out to a whole matrix via [`Verifier::matrix`], which subsumes
+//! the old campaign runner.
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use csl_contracts::Contract;
+//! use csl_core::api::{Budget, Lane, LaneBudget, Mode, Verifier};
+//! use csl_core::{DesignKind, Scheme};
+//! use csl_cpu::Defense;
+//!
+//! let report = Verifier::new()
+//!     .design(DesignKind::SimpleOoo(Defense::None))
+//!     .contract(Contract::Sandboxing)
+//!     .scheme(Scheme::Shadow)
+//!     .mode(Mode::Portfolio)
+//!     .budget(
+//!         Budget::wall(Duration::from_secs(30))
+//!             .lane(Lane::Bmc, LaneBudget::depths(&[4, 8, 16])),
+//!     )
+//!     .query()
+//!     .unwrap()
+//!     .run();
+//! println!("{}", report.cell()); // "CEX": Spectre found
+//! std::fs::write("report.json", report.to_json()).unwrap();
+//! ```
+//!
+//! The free functions this replaces (`verify`, `run_campaign`, the
+//! `build_*_instance` family) remain as `#[deprecated]` shims for one
+//! release.
+
+mod json;
+mod report;
+
+use std::time::Duration;
+
+use csl_contracts::Contract;
+use csl_cpu::CpuConfig;
+use csl_mc::{CheckOptions, SafetyCheck};
+
+use crate::campaign::{matrix, run_cells, CampaignCell};
+use crate::harness::{DesignKind, ExcludeRule, InstanceConfig};
+use crate::shadow::ShadowOptions;
+use crate::verify::{instance_for, run_scheme, Scheme};
+
+pub use csl_mc::{ExecMode as Mode, Lane, LaneBudget, LanePlan};
+pub use json::{Json, JsonError};
+pub use report::{CampaignDiff, CampaignReport, ReadError, Report, VerdictChange};
+
+pub(crate) use report::{render_matrix_table, TableCell};
+
+/// The verification budget: a total wall clock (standing in for the
+/// paper's 7-day timeout) plus optional per-lane shaping — wall caps per
+/// engine lane and a depth schedule for the BMC attack search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Budget {
+    /// Total wall-clock budget shared by all lanes.
+    pub total: Duration,
+    /// Per-lane caps and schedules (empty = every lane on the shared
+    /// clock).
+    pub lanes: LanePlan,
+}
+
+impl Budget {
+    /// A plain wall-clock budget.
+    pub fn wall(total: Duration) -> Budget {
+        Budget {
+            total,
+            lanes: LanePlan::default(),
+        }
+    }
+
+    /// Shapes one lane (builder style): give BMC a depth schedule or a
+    /// short fuse, give PDR the full clock, and so on.
+    pub fn lane(mut self, lane: Lane, budget: LaneBudget) -> Budget {
+        self.lanes.set(lane, budget);
+        self
+    }
+}
+
+impl Default for Budget {
+    /// Matches the engine default (60 s, no lane shaping).
+    fn default() -> Budget {
+        Budget::wall(CheckOptions::default().total_budget)
+    }
+}
+
+/// A [`Verifier`] that is not yet a well-formed query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// No design under verification was given.
+    MissingDesign,
+    /// No contract to verify against was given.
+    MissingContract,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::MissingDesign => write!(f, "Verifier::design was never called"),
+            BuildError::MissingContract => write!(f, "Verifier::contract was never called"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Fluent builder for verification sessions: pick a design, a contract,
+/// a scheme and a budget, then [`Verifier::query`] for one cell or
+/// [`Verifier::matrix`] for a whole campaign.
+///
+/// Every knob of the old `CheckOptions`/`InstanceConfig` pair is
+/// reachable from here; the defaults match theirs (Contract Shadow Logic
+/// scheme, sequential mode, 60 s budget, candidates enabled).
+#[derive(Clone, Debug)]
+pub struct Verifier {
+    design: Option<DesignKind>,
+    contract: Option<Contract>,
+    scheme: Scheme,
+    mode: Mode,
+    budget: Budget,
+    attack_only: bool,
+    bmc_depth: usize,
+    kind_max_k: usize,
+    use_pdr: bool,
+    pdr_max_frames: usize,
+    keep_probes: bool,
+    excludes: Vec<ExcludeRule>,
+    cpu_override: Option<CpuConfig>,
+    shadow: ShadowOptions,
+    with_candidates: bool,
+    threads: usize,
+}
+
+impl Default for Verifier {
+    fn default() -> Verifier {
+        let opts = CheckOptions::default();
+        Verifier {
+            design: None,
+            contract: None,
+            scheme: Scheme::Shadow,
+            mode: opts.mode,
+            budget: Budget::default(),
+            attack_only: opts.attack_only,
+            bmc_depth: opts.bmc_depth,
+            kind_max_k: opts.kind_max_k,
+            use_pdr: opts.use_pdr,
+            pdr_max_frames: opts.pdr_max_frames,
+            keep_probes: opts.keep_probes,
+            excludes: Vec::new(),
+            cpu_override: None,
+            shadow: ShadowOptions::default(),
+            with_candidates: true,
+            threads: 0,
+        }
+    }
+}
+
+impl Verifier {
+    /// A fresh builder with the default options.
+    pub fn new() -> Verifier {
+        Verifier::default()
+    }
+
+    /// The design under verification (required).
+    pub fn design(mut self, design: DesignKind) -> Verifier {
+        self.design = Some(design);
+        self
+    }
+
+    /// The software-hardware contract to verify against (required).
+    pub fn contract(mut self, contract: Contract) -> Verifier {
+        self.contract = Some(contract);
+        self
+    }
+
+    /// The verification scheme (default: Contract Shadow Logic).
+    pub fn scheme(mut self, scheme: Scheme) -> Verifier {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sequential engine pipeline or thread-racing portfolio.
+    pub fn mode(mut self, mode: Mode) -> Verifier {
+        self.mode = mode;
+        self
+    }
+
+    /// Wall clock and per-lane shaping.
+    pub fn budget(mut self, budget: Budget) -> Verifier {
+        self.budget = budget;
+        self
+    }
+
+    /// Shorthand for setting the total wall clock; lane shaping already
+    /// configured via [`Verifier::budget`] is preserved.
+    pub fn wall(mut self, total: Duration) -> Verifier {
+        self.budget.total = total;
+        self
+    }
+
+    /// Skip the proof engines entirely (pure attack hunting).
+    pub fn attack_only(mut self, on: bool) -> Verifier {
+        self.attack_only = on;
+        self
+    }
+
+    /// Maximum BMC depth for the attack search.
+    pub fn bmc_depth(mut self, depth: usize) -> Verifier {
+        self.bmc_depth = depth;
+        self
+    }
+
+    /// Maximum k for k-induction (0 disables the engine).
+    pub fn kind_max_k(mut self, k: usize) -> Verifier {
+        self.kind_max_k = k;
+        self
+    }
+
+    /// Run PDR when earlier engines are inconclusive.
+    pub fn use_pdr(mut self, on: bool) -> Verifier {
+        self.use_pdr = on;
+        self
+    }
+
+    /// PDR frame cap.
+    pub fn pdr_max_frames(mut self, frames: usize) -> Verifier {
+        self.pdr_max_frames = frames;
+        self
+    }
+
+    /// Keep probe logic alive (larger encodings, readable traces).
+    pub fn keep_probes(mut self, on: bool) -> Verifier {
+        self.keep_probes = on;
+        self
+    }
+
+    /// Adds one program-space exclusion assumption (§7.1.4's "exclude the
+    /// first attack we found" workflow); callable repeatedly.
+    pub fn exclude(mut self, rule: ExcludeRule) -> Verifier {
+        if !self.excludes.contains(&rule) {
+            self.excludes.push(rule);
+        }
+        self
+    }
+
+    /// Replaces the whole exclusion set.
+    pub fn excludes(mut self, rules: &[ExcludeRule]) -> Verifier {
+        self.excludes = rules.to_vec();
+        self
+    }
+
+    /// Structure-size override for Figure-2 style sweeps.
+    pub fn cpu_override(mut self, cfg: CpuConfig) -> Verifier {
+        self.cpu_override = Some(cfg);
+        self
+    }
+
+    /// Shadow-logic knobs (sync/drain requirements, FIFO depth).
+    pub fn shadow(mut self, opts: ShadowOptions) -> Verifier {
+        self.shadow = opts;
+        self
+    }
+
+    /// Generate LEAVE-style relational invariant candidates (default on).
+    pub fn with_candidates(mut self, on: bool) -> Verifier {
+        self.with_candidates = on;
+        self
+    }
+
+    /// Worker threads for matrix runs (0 = sized from the core count).
+    pub fn threads(mut self, threads: usize) -> Verifier {
+        self.threads = threads;
+        self
+    }
+
+    /// Resolves the builder into a typed single-cell [`Query`].
+    pub fn query(self) -> Result<Query, BuildError> {
+        let design = self.design.ok_or(BuildError::MissingDesign)?;
+        let contract = self.contract.ok_or(BuildError::MissingContract)?;
+        let cfg = self.instance_config(design, contract);
+        let opts = self.check_options();
+        Ok(Query {
+            scheme: self.scheme,
+            design,
+            contract,
+            cfg,
+            opts,
+        })
+    }
+
+    /// A whole scheme × design × contract campaign sharing this builder's
+    /// options. The associated-function form
+    /// `Verifier::matrix(schemes, designs, contracts)` starts from the
+    /// defaults; chain the usual builder calls on the result.
+    pub fn matrix(schemes: &[Scheme], designs: &[DesignKind], contracts: &[Contract]) -> Matrix {
+        Verifier::new().into_matrix(schemes, designs, contracts)
+    }
+
+    /// Fans this configured builder out over a cell matrix (design,
+    /// contract and scheme settings on `self` are superseded by the
+    /// matrix axes).
+    pub fn into_matrix(
+        self,
+        schemes: &[Scheme],
+        designs: &[DesignKind],
+        contracts: &[Contract],
+    ) -> Matrix {
+        Matrix {
+            cells: matrix(schemes, designs, contracts),
+            base: self,
+        }
+    }
+
+    fn check_options(&self) -> CheckOptions {
+        CheckOptions {
+            total_budget: self.budget.total,
+            bmc_depth: self.bmc_depth,
+            attack_only: self.attack_only,
+            kind_max_k: self.kind_max_k,
+            use_pdr: self.use_pdr,
+            pdr_max_frames: self.pdr_max_frames,
+            keep_probes: self.keep_probes,
+            mode: self.mode,
+            lanes: self.budget.lanes.clone(),
+        }
+    }
+
+    fn instance_config(&self, design: DesignKind, contract: Contract) -> InstanceConfig {
+        InstanceConfig {
+            design,
+            cpu_override: self.cpu_override,
+            contract,
+            shadow: self.shadow,
+            excludes: self.excludes.clone(),
+            with_candidates: self.with_candidates,
+        }
+    }
+}
+
+/// A fully-resolved single-cell verification task. Cheap to clone and
+/// rerun; [`Query::run`] executes the scheme to a [`Report`], and
+/// [`Query::instance`] exposes the underlying model-checking instance for
+/// engine-level experiments.
+#[derive(Clone, Debug)]
+pub struct Query {
+    scheme: Scheme,
+    design: DesignKind,
+    contract: Contract,
+    cfg: InstanceConfig,
+    opts: CheckOptions,
+}
+
+impl Query {
+    /// The scheme this query runs.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The design under verification.
+    pub fn design(&self) -> DesignKind {
+        self.design
+    }
+
+    /// The contract being verified.
+    pub fn contract(&self) -> Contract {
+        self.contract
+    }
+
+    /// The resolved instance configuration.
+    pub fn config(&self) -> &InstanceConfig {
+        &self.cfg
+    }
+
+    /// The resolved engine options.
+    pub fn options(&self) -> &CheckOptions {
+        &self.opts
+    }
+
+    /// Runs the scheme to a verdict.
+    pub fn run(&self) -> Report {
+        let check = run_scheme(self.scheme, &self.cfg, &self.opts);
+        Report::from_check(self.scheme, self.design, self.contract, check)
+    }
+
+    /// Builds the model-checking instance without running it (the typed
+    /// replacement for the `build_*_instance` free functions).
+    pub fn instance(&self) -> SafetyCheck {
+        instance_for(self.scheme, &self.cfg)
+    }
+}
+
+/// A campaign: a cell matrix plus the shared per-cell options, run on a
+/// worker pool. Produced by [`Verifier::matrix`] /
+/// [`Verifier::into_matrix`].
+#[derive(Clone, Debug)]
+pub struct Matrix {
+    base: Verifier,
+    cells: Vec<CampaignCell>,
+}
+
+impl Matrix {
+    /// The cells, in deterministic matrix order.
+    pub fn cells(&self) -> &[CampaignCell] {
+        &self.cells
+    }
+
+    /// Per-cell wall clock and lane shaping.
+    pub fn budget(mut self, budget: Budget) -> Matrix {
+        self.base = self.base.budget(budget);
+        self
+    }
+
+    /// Per-cell execution mode (sequential or portfolio).
+    pub fn mode(mut self, mode: Mode) -> Matrix {
+        self.base = self.base.mode(mode);
+        self
+    }
+
+    /// Worker threads (0 = sized from the core count and mode).
+    pub fn threads(mut self, threads: usize) -> Matrix {
+        self.base = self.base.threads(threads);
+        self
+    }
+
+    /// Skip proof engines in every cell.
+    pub fn attack_only(mut self, on: bool) -> Matrix {
+        self.base = self.base.attack_only(on);
+        self
+    }
+
+    /// Per-cell BMC depth.
+    pub fn bmc_depth(mut self, depth: usize) -> Matrix {
+        self.base = self.base.bmc_depth(depth);
+        self
+    }
+
+    /// Arbitrary builder access for the remaining knobs.
+    pub fn configure(mut self, f: impl FnOnce(Verifier) -> Verifier) -> Matrix {
+        self.base = f(self.base);
+        self
+    }
+
+    /// Runs every cell on the worker pool and returns the reports in
+    /// matrix order (never completion order).
+    pub fn run_all(&self) -> CampaignReport {
+        let opts = self.base.check_options();
+        let make_cfg = |cell: &CampaignCell| self.base.instance_config(cell.design, cell.contract);
+        let (checks, wall) = run_cells(&self.cells, &make_cfg, &opts, self.base.threads);
+        let reports = self
+            .cells
+            .iter()
+            .zip(checks)
+            .map(|(cell, check)| Report::from_check(cell.scheme, cell.design, cell.contract, check))
+            .collect();
+        CampaignReport { reports, wall }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_requires_design_and_contract() {
+        assert_eq!(
+            Verifier::new().query().unwrap_err(),
+            BuildError::MissingDesign
+        );
+        assert_eq!(
+            Verifier::new()
+                .design(DesignKind::SingleCycle)
+                .query()
+                .unwrap_err(),
+            BuildError::MissingContract
+        );
+        let q = Verifier::new()
+            .design(DesignKind::SingleCycle)
+            .contract(Contract::Sandboxing)
+            .query()
+            .unwrap();
+        assert_eq!(q.scheme(), Scheme::Shadow);
+        assert_eq!(q.design(), DesignKind::SingleCycle);
+    }
+
+    #[test]
+    fn builder_threads_options_through() {
+        let q = Verifier::new()
+            .design(DesignKind::SingleCycle)
+            .contract(Contract::Sandboxing)
+            .scheme(Scheme::Upec)
+            .mode(Mode::Portfolio)
+            .budget(
+                Budget::wall(Duration::from_secs(7)).lane(Lane::Bmc, LaneBudget::depths(&[2, 4])),
+            )
+            .attack_only(true)
+            .bmc_depth(9)
+            .exclude(ExcludeRule::TakenBranches)
+            .exclude(ExcludeRule::TakenBranches)
+            .query()
+            .unwrap();
+        assert_eq!(q.options().total_budget, Duration::from_secs(7));
+        assert_eq!(q.options().mode, Mode::Portfolio);
+        assert!(q.options().attack_only);
+        assert_eq!(q.options().bmc_depth, 9);
+        assert_eq!(q.options().lanes.get(Lane::Bmc).depth_schedule, vec![2, 4]);
+        // Duplicate excludes collapse.
+        assert_eq!(q.config().excludes, vec![ExcludeRule::TakenBranches]);
+        // `wall` only replaces the total clock, never the lane shaping.
+        let q2 = Verifier::new()
+            .design(DesignKind::SingleCycle)
+            .contract(Contract::Sandboxing)
+            .budget(Budget::wall(Duration::from_secs(7)).lane(Lane::Bmc, LaneBudget::depths(&[2])))
+            .wall(Duration::from_secs(9))
+            .query()
+            .unwrap();
+        assert_eq!(q2.options().total_budget, Duration::from_secs(9));
+        assert_eq!(q2.options().lanes.get(Lane::Bmc).depth_schedule, vec![2]);
+        // UPEC adds its fault exclusion at instance-build time, not here.
+        let task = q.instance();
+        assert!(task.aig.num_ands() > 0);
+    }
+
+    #[test]
+    fn matrix_cells_follow_matrix_order() {
+        let m = Verifier::matrix(
+            &Scheme::ALL,
+            &[DesignKind::SingleCycle],
+            &[Contract::Sandboxing],
+        )
+        .threads(2);
+        assert_eq!(m.cells().len(), Scheme::ALL.len());
+        assert_eq!(m.cells()[0].scheme, Scheme::ALL[0]);
+    }
+}

@@ -1,0 +1,791 @@
+//! Structured, persistable verification reports.
+//!
+//! [`Report`] is one verified cell (scheme × design × contract → verdict)
+//! and [`CampaignReport`] a whole matrix; both serialize to a stable JSON
+//! shape (`csl-report-v1` / `csl-campaign-v1`) and a flat CSV so CI can
+//! archive a run and diff it against another commit's. The JSON writer is
+//! canonical: parsing a report and re-serializing it reproduces the input
+//! byte for byte, which is what makes archived artifacts diffable with
+//! plain line tools.
+//!
+//! [`CampaignReport::diff`] is the regression gate: it pairs cells across
+//! two runs and flags every verdict change, marking as regressions the
+//! changes that lose a decisive verdict (a proof or attack that became a
+//! timeout/unknown) or flip one decisive kind into the other.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use csl_contracts::Contract;
+use csl_mc::{CheckReport, ProofEngine, Trace, Verdict};
+
+use crate::api::json::{Json, JsonError};
+use crate::harness::DesignKind;
+use crate::verify::Scheme;
+
+/// Failure reading a persisted report: malformed JSON or a document that
+/// parses but does not match the report schema.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The text is not valid JSON.
+    Json(JsonError),
+    /// The JSON does not have the expected report shape.
+    Schema(String),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Json(e) => write!(f, "{e}"),
+            ReadError::Schema(msg) => write!(f, "report schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<JsonError> for ReadError {
+    fn from(e: JsonError) -> ReadError {
+        ReadError::Json(e)
+    }
+}
+
+fn schema_err<T>(msg: impl Into<String>) -> Result<T, ReadError> {
+    Err(ReadError::Schema(msg.into()))
+}
+
+/// One finished verification cell: the query identity plus the verdict,
+/// wall time, and the engines' notes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    pub scheme: Scheme,
+    pub design: DesignKind,
+    pub contract: Contract,
+    pub verdict: Verdict,
+    pub elapsed: Duration,
+    /// Engine-by-engine notes (sizes, intermediate outcomes).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Wraps an engine-level [`CheckReport`] with its query identity.
+    pub fn from_check(
+        scheme: Scheme,
+        design: DesignKind,
+        contract: Contract,
+        check: CheckReport,
+    ) -> Report {
+        Report {
+            scheme,
+            design,
+            contract,
+            verdict: check.verdict,
+            elapsed: check.elapsed,
+            notes: check.notes,
+        }
+    }
+
+    /// `Scheme/Design/contract` label for tables and diffs.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.scheme.name(),
+            self.design.name(),
+            self.contract.name()
+        )
+    }
+
+    /// Short verdict cell text ("CEX", "PROOF", "T/O", "UNK").
+    pub fn cell(&self) -> &'static str {
+        self.verdict.cell()
+    }
+
+    /// Serializes to the canonical `csl-report-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// Parses a document written by [`Report::to_json`].
+    pub fn from_json(text: &str) -> Result<Report, ReadError> {
+        Report::from_value(&Json::parse(text)?)
+    }
+
+    /// CSV header matching [`Report::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "scheme,design,contract,verdict,detail,elapsed_ms"
+    }
+
+    /// One flat CSV row (quoted where needed).
+    pub fn csv_row(&self) -> String {
+        let detail = match &self.verdict {
+            Verdict::Attack(t) => format!("depth {} bad {}", t.depth(), t.bad_name),
+            Verdict::Proof(p) => proof_detail(p),
+            Verdict::Timeout => String::new(),
+            Verdict::Unknown { reason } => reason.clone(),
+        };
+        [
+            csv_field(self.scheme.name()),
+            csv_field(&self.design.name()),
+            csv_field(self.contract.name()),
+            csv_field(self.cell()),
+            csv_field(&detail),
+            self.elapsed.as_millis().to_string(),
+        ]
+        .join(",")
+    }
+
+    fn to_value(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str("csl-report-v1".into())),
+            ("scheme", Json::Str(self.scheme.name().into())),
+            ("design", Json::Str(self.design.name())),
+            ("contract", Json::Str(self.contract.name().into())),
+            ("verdict", verdict_to_value(&self.verdict)),
+            ("elapsed", duration_to_value(self.elapsed)),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Json) -> Result<Report, ReadError> {
+        match v.get("schema").and_then(Json::as_str) {
+            Some("csl-report-v1") => {}
+            other => return schema_err(format!("unsupported report schema {other:?}")),
+        }
+        let scheme = parse_with("scheme", v, Scheme::from_name)?;
+        let design = parse_with("design", v, DesignKind::from_name)?;
+        let contract = parse_with("contract", v, Contract::from_name)?;
+        let verdict = verdict_from_value(
+            v.get("verdict")
+                .ok_or_else(|| ReadError::Schema("missing verdict".into()))?,
+        )?;
+        let elapsed = duration_from_value(
+            v.get("elapsed")
+                .ok_or_else(|| ReadError::Schema("missing elapsed".into()))?,
+        )?;
+        let notes = v
+            .get("notes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ReadError::Schema("missing notes".into()))?
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ReadError::Schema("non-string note".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Report {
+            scheme,
+            design,
+            contract,
+            verdict,
+            elapsed,
+            notes,
+        })
+    }
+}
+
+fn parse_with<T>(key: &str, v: &Json, parse: impl Fn(&str) -> Option<T>) -> Result<T, ReadError> {
+    let name = v
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ReadError::Schema(format!("missing {key}")))?;
+    parse(name).ok_or_else(|| ReadError::Schema(format!("unknown {key} `{name}`")))
+}
+
+fn proof_detail(p: &ProofEngine) -> String {
+    match p {
+        ProofEngine::Houdini { invariants } => format!("houdini invariants={invariants}"),
+        ProofEngine::KInduction { k } => format!("k-induction k={k}"),
+        ProofEngine::Pdr { frames, clauses } => format!("pdr frames={frames} clauses={clauses}"),
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn duration_to_value(d: Duration) -> Json {
+    Json::obj(vec![
+        ("secs", Json::Int(d.as_secs() as i64)),
+        ("nanos", Json::Int(d.subsec_nanos() as i64)),
+    ])
+}
+
+fn duration_from_value(v: &Json) -> Result<Duration, ReadError> {
+    let secs = v.get("secs").and_then(Json::as_int);
+    let nanos = v.get("nanos").and_then(Json::as_int);
+    match (secs, nanos) {
+        (Some(s), Some(n)) if s >= 0 && (0..1_000_000_000).contains(&n) => {
+            Ok(Duration::new(s as u64, n as u32))
+        }
+        _ => schema_err("malformed duration"),
+    }
+}
+
+fn verdict_to_value(v: &Verdict) -> Json {
+    match v {
+        Verdict::Attack(trace) => Json::obj(vec![
+            ("kind", Json::Str("attack".into())),
+            ("bad", Json::Str(trace.bad_name.clone())),
+            ("trace", trace_to_value(trace)),
+        ]),
+        Verdict::Proof(ProofEngine::Houdini { invariants }) => Json::obj(vec![
+            ("kind", Json::Str("proof".into())),
+            ("engine", Json::Str("houdini".into())),
+            ("invariants", Json::Int(*invariants as i64)),
+        ]),
+        Verdict::Proof(ProofEngine::KInduction { k }) => Json::obj(vec![
+            ("kind", Json::Str("proof".into())),
+            ("engine", Json::Str("k-induction".into())),
+            ("k", Json::Int(*k as i64)),
+        ]),
+        Verdict::Proof(ProofEngine::Pdr { frames, clauses }) => Json::obj(vec![
+            ("kind", Json::Str("proof".into())),
+            ("engine", Json::Str("pdr".into())),
+            ("frames", Json::Int(*frames as i64)),
+            ("clauses", Json::Int(*clauses as i64)),
+        ]),
+        Verdict::Timeout => Json::obj(vec![("kind", Json::Str("timeout".into()))]),
+        Verdict::Unknown { reason } => Json::obj(vec![
+            ("kind", Json::Str("unknown".into())),
+            ("reason", Json::Str(reason.clone())),
+        ]),
+    }
+}
+
+fn verdict_from_value(v: &Json) -> Result<Verdict, ReadError> {
+    let int_field = |key: &str| -> Result<usize, ReadError> {
+        v.get(key)
+            .and_then(Json::as_int)
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| ReadError::Schema(format!("missing {key}")))
+    };
+    match v.get("kind").and_then(Json::as_str) {
+        Some("attack") => {
+            let bad = v
+                .get("bad")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ReadError::Schema("missing bad".into()))?;
+            let mut trace = trace_from_value(
+                v.get("trace")
+                    .ok_or_else(|| ReadError::Schema("missing trace".into()))?,
+            )?;
+            trace.bad_name = bad.to_string();
+            Ok(Verdict::Attack(Box::new(trace)))
+        }
+        Some("proof") => match v.get("engine").and_then(Json::as_str) {
+            Some("houdini") => Ok(Verdict::Proof(ProofEngine::Houdini {
+                invariants: int_field("invariants")?,
+            })),
+            Some("k-induction") => Ok(Verdict::Proof(ProofEngine::KInduction {
+                k: int_field("k")?,
+            })),
+            Some("pdr") => Ok(Verdict::Proof(ProofEngine::Pdr {
+                frames: int_field("frames")?,
+                clauses: int_field("clauses")?,
+            })),
+            other => schema_err(format!("unknown proof engine {other:?}")),
+        },
+        Some("timeout") => Ok(Verdict::Timeout),
+        Some("unknown") => Ok(Verdict::Unknown {
+            reason: v
+                .get("reason")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ReadError::Schema("missing reason".into()))?
+                .to_string(),
+        }),
+        other => schema_err(format!("unknown verdict kind {other:?}")),
+    }
+}
+
+/// Canonical trace encoding: latch pairs in solver order, inputs per
+/// cycle sorted by index (HashMap iteration order must not leak into the
+/// byte stream).
+fn trace_to_value(t: &Trace) -> Json {
+    let latches = t
+        .initial_latches
+        .iter()
+        .map(|&(i, v)| Json::Arr(vec![Json::Int(i as i64), Json::Bool(v)]))
+        .collect();
+    let inputs = t
+        .inputs
+        .iter()
+        .map(|cycle| {
+            let mut pairs: Vec<(&u32, &bool)> = cycle.iter().collect();
+            pairs.sort_by_key(|(i, _)| **i);
+            Json::Arr(
+                pairs
+                    .into_iter()
+                    .map(|(&i, &v)| Json::Arr(vec![Json::Int(i as i64), Json::Bool(v)]))
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::obj(vec![
+        ("initial_latches", Json::Arr(latches)),
+        ("inputs", Json::Arr(inputs)),
+    ])
+}
+
+fn index_bool_pair(v: &Json) -> Result<(u32, bool), ReadError> {
+    match v.as_arr() {
+        Some([i, b]) => {
+            let i = i
+                .as_int()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| ReadError::Schema("bad index in trace pair".into()))?;
+            let b = b
+                .as_bool()
+                .ok_or_else(|| ReadError::Schema("bad value in trace pair".into()))?;
+            Ok((i, b))
+        }
+        _ => schema_err("trace pair is not [index, bool]"),
+    }
+}
+
+fn trace_from_value(v: &Json) -> Result<Trace, ReadError> {
+    let initial_latches = v
+        .get("initial_latches")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ReadError::Schema("missing initial_latches".into()))?
+        .iter()
+        .map(index_bool_pair)
+        .collect::<Result<Vec<_>, _>>()?;
+    let inputs = v
+        .get("inputs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ReadError::Schema("missing inputs".into()))?
+        .iter()
+        .map(|cycle| {
+            cycle
+                .as_arr()
+                .ok_or_else(|| ReadError::Schema("cycle is not an array".into()))?
+                .iter()
+                .map(index_bool_pair)
+                .collect::<Result<HashMap<u32, bool>, _>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Trace {
+        initial_latches,
+        inputs,
+        bad_name: String::new(),
+    })
+}
+
+/// A finished campaign under the session API: one [`Report`] per cell, in
+/// matrix order, plus the measured wall clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    pub reports: Vec<Report>,
+    pub wall: Duration,
+}
+
+impl CampaignReport {
+    /// Looks up a cell's report.
+    pub fn get(&self, scheme: Scheme, design: DesignKind, contract: Contract) -> Option<&Report> {
+        self.reports
+            .iter()
+            .find(|r| r.scheme == scheme && r.design == design && r.contract == contract)
+    }
+
+    /// Sum of per-cell elapsed times — what a sequential loop would have
+    /// paid (modulo early exits); compare with `wall` for the speedup.
+    pub fn cpu_time(&self) -> Duration {
+        self.reports.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Renders the paper-style result table: one block per contract, one
+    /// row per scheme, one column per design, cells as `VERDICT(elapsed)`.
+    /// Every column is padded to its own widest entry (label or cell), so
+    /// mixed-length design/scheme names stay aligned.
+    pub fn render_table(&self) -> String {
+        let cells: Vec<TableCell> = self
+            .reports
+            .iter()
+            .map(|r| TableCell {
+                scheme: r.scheme,
+                design: r.design,
+                contract: r.contract,
+                text: format!("{}({:.1}s)", r.cell(), r.elapsed.as_secs_f64()),
+            })
+            .collect();
+        render_matrix_table(&cells, self.wall, self.cpu_time(), self.reports.len())
+    }
+
+    /// Serializes to the canonical `csl-campaign-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("schema", Json::Str("csl-campaign-v1".into())),
+            ("wall", duration_to_value(self.wall)),
+            (
+                "reports",
+                Json::Arr(self.reports.iter().map(Report::to_value).collect()),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parses a document written by [`CampaignReport::to_json`].
+    pub fn from_json(text: &str) -> Result<CampaignReport, ReadError> {
+        let v = Json::parse(text)?;
+        match v.get("schema").and_then(Json::as_str) {
+            Some("csl-campaign-v1") => {}
+            other => return schema_err(format!("unsupported campaign schema {other:?}")),
+        }
+        let wall = duration_from_value(
+            v.get("wall")
+                .ok_or_else(|| ReadError::Schema("missing wall".into()))?,
+        )?;
+        let reports = v
+            .get("reports")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ReadError::Schema("missing reports".into()))?
+            .iter()
+            .map(Report::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignReport { reports, wall })
+    }
+
+    /// Flat CSV: header plus one row per cell.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.reports.len() + 1));
+        out.push_str(Report::csv_header());
+        out.push('\n');
+        for r in &self.reports {
+            out.push_str(&r.csv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Compares this run (before) against `other` (after), pairing cells
+    /// by scheme × design × contract and flagging verdict changes.
+    pub fn diff(&self, other: &CampaignReport) -> CampaignDiff {
+        let mut changes = Vec::new();
+        let mut missing_after = Vec::new();
+        for before in &self.reports {
+            match other.get(before.scheme, before.design, before.contract) {
+                None => missing_after.push(before.label()),
+                Some(after) if before.cell() != after.cell() => {
+                    let decisive = |cell: &str| cell == "CEX" || cell == "PROOF";
+                    changes.push(VerdictChange {
+                        label: before.label(),
+                        before: before.cell(),
+                        after: after.cell(),
+                        // Losing a decisive verdict — or flipping one
+                        // decisive kind into the other — is a regression;
+                        // UNK <-> T/O churn and new decisiveness are not.
+                        regression: decisive(before.cell()),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        let missing_before = other
+            .reports
+            .iter()
+            .filter(|r| self.get(r.scheme, r.design, r.contract).is_none())
+            .map(|r| r.label())
+            .collect();
+        CampaignDiff {
+            changes,
+            missing_before,
+            missing_after,
+        }
+    }
+}
+
+/// The result of [`CampaignReport::diff`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CampaignDiff {
+    /// Cells whose verdict kind changed between the runs.
+    pub changes: Vec<VerdictChange>,
+    /// Cells present only in the `after` run.
+    pub missing_before: Vec<String>,
+    /// Cells present only in the `before` run.
+    pub missing_after: Vec<String>,
+}
+
+/// One changed cell in a [`CampaignDiff`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerdictChange {
+    /// `Scheme/Design/contract` cell label.
+    pub label: String,
+    /// Verdict cell text in the `before` run.
+    pub before: &'static str,
+    /// Verdict cell text in the `after` run.
+    pub after: &'static str,
+    /// True when the change loses or flips a decisive verdict.
+    pub regression: bool,
+}
+
+impl CampaignDiff {
+    /// No changes at all (identical verdict landscape, same cell set).
+    pub fn is_clean(&self) -> bool {
+        self.changes.is_empty() && self.missing_before.is_empty() && self.missing_after.is_empty()
+    }
+
+    /// Any change that loses or flips a decisive verdict.
+    pub fn has_regressions(&self) -> bool {
+        self.changes.iter().any(|c| c.regression)
+    }
+
+    /// Human-readable summary, one line per change.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        if self.is_clean() {
+            return "no verdict changes\n".to_string();
+        }
+        let mut out = String::new();
+        for c in &self.changes {
+            let _ = writeln!(
+                out,
+                "{} {}: {} -> {}",
+                if c.regression { "REGRESSION" } else { "change" },
+                c.label,
+                c.before,
+                c.after
+            );
+        }
+        for label in &self.missing_after {
+            let _ = writeln!(out, "removed {label}");
+        }
+        for label in &self.missing_before {
+            let _ = writeln!(out, "added {label}");
+        }
+        out
+    }
+}
+
+/// One positioned cell of a rendered result table.
+pub(crate) struct TableCell {
+    pub scheme: Scheme,
+    pub design: DesignKind,
+    pub contract: Contract,
+    pub text: String,
+}
+
+/// Shared renderer for the paper-style table (used by both the session
+/// API's [`CampaignReport`] and the deprecated campaign shim). Row and
+/// column order follow first appearance in `cells` — deterministic for
+/// matrix-ordered input — and every column is padded to its own widest
+/// entry rather than a fixed width.
+pub(crate) fn render_matrix_table(
+    cells: &[TableCell],
+    wall: Duration,
+    cpu: Duration,
+    cell_count: usize,
+) -> String {
+    use std::fmt::Write as _;
+
+    let mut contracts: Vec<Contract> = Vec::new();
+    let mut schemes: Vec<Scheme> = Vec::new();
+    let mut designs: Vec<DesignKind> = Vec::new();
+    for c in cells {
+        if !contracts.contains(&c.contract) {
+            contracts.push(c.contract);
+        }
+        if !schemes.contains(&c.scheme) {
+            schemes.push(c.scheme);
+        }
+        if !designs.contains(&c.design) {
+            designs.push(c.design);
+        }
+    }
+    let text_of = |scheme: Scheme, design: DesignKind, contract: Contract| -> String {
+        cells
+            .iter()
+            .find(|c| c.scheme == scheme && c.design == design && c.contract == contract)
+            .map_or_else(|| "-".to_string(), |c| c.text.clone())
+    };
+    // Pad every column to its own widest entry (header or cell).
+    let scheme_w = schemes
+        .iter()
+        .map(|s| s.name().len())
+        .max()
+        .unwrap_or(0)
+        .max("scheme".len());
+    let design_w: Vec<usize> = designs
+        .iter()
+        .map(|&d| {
+            contracts
+                .iter()
+                .flat_map(|&ct| schemes.iter().map(move |&s| text_of(s, d, ct).len()))
+                .max()
+                .unwrap_or(0)
+                .max(d.name().len())
+        })
+        .collect();
+    let mut out = String::new();
+    for &contract in &contracts {
+        let _ = writeln!(out, "contract: {}", contract.name());
+        let _ = write!(out, "{:<scheme_w$}", "scheme");
+        for (&design, w) in designs.iter().zip(&design_w) {
+            let _ = write!(out, " {:<w$}", design.name());
+        }
+        let _ = writeln!(out);
+        for &scheme in &schemes {
+            let _ = write!(out, "{:<scheme_w$}", scheme.name());
+            for (&design, w) in designs.iter().zip(&design_w) {
+                let _ = write!(out, " {:<w$}", text_of(scheme, design, contract));
+            }
+            let _ = writeln!(out);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "wall {:.1}s, cpu {:.1}s, {} cells",
+        wall.as_secs_f64(),
+        cpu.as_secs_f64(),
+        cell_count
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csl_cpu::Defense;
+
+    fn sample_reports() -> Vec<Report> {
+        let trace = Trace {
+            initial_latches: vec![(3, true), (1, false)],
+            inputs: vec![
+                [(2u32, true), (0u32, false)].into_iter().collect(),
+                [(5u32, true)].into_iter().collect(),
+            ],
+            bad_name: "no_leakage".into(),
+        };
+        vec![
+            Report {
+                scheme: Scheme::Shadow,
+                design: DesignKind::SimpleOoo(Defense::None),
+                contract: Contract::Sandboxing,
+                verdict: Verdict::Attack(Box::new(trace)),
+                elapsed: Duration::new(3, 141_592_653),
+                notes: vec!["netlist: x".into(), "cex, with \"quotes\"".into()],
+            },
+            Report {
+                scheme: Scheme::Leave,
+                design: DesignKind::SingleCycle,
+                contract: Contract::Sandboxing,
+                verdict: Verdict::Proof(ProofEngine::Houdini { invariants: 12 }),
+                elapsed: Duration::from_millis(250),
+                notes: vec![],
+            },
+            Report {
+                scheme: Scheme::Upec,
+                design: DesignKind::InOrder,
+                contract: Contract::ConstantTime,
+                verdict: Verdict::Unknown {
+                    reason: "1-cycle induction insufficient".into(),
+                },
+                elapsed: Duration::from_secs(60),
+                notes: vec!["note".into()],
+            },
+            Report {
+                scheme: Scheme::Baseline,
+                design: DesignKind::BigOoo,
+                contract: Contract::ConstantTime,
+                verdict: Verdict::Timeout,
+                elapsed: Duration::from_secs(600),
+                notes: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn report_json_round_trip_is_lossless_and_byte_stable() {
+        for r in sample_reports() {
+            let text = r.to_json();
+            let parsed = Report::from_json(&text).unwrap();
+            assert_eq!(parsed, r);
+            assert_eq!(parsed.to_json(), text, "re-serialization must be canonical");
+        }
+    }
+
+    #[test]
+    fn campaign_json_and_csv_round_trip() {
+        let campaign = CampaignReport {
+            reports: sample_reports(),
+            wall: Duration::new(12, 5),
+        };
+        let text = campaign.to_json();
+        let parsed = CampaignReport::from_json(&text).unwrap();
+        assert_eq!(parsed, campaign);
+        assert_eq!(parsed.to_json(), text);
+
+        let csv = campaign.to_csv();
+        assert_eq!(csv.lines().count(), campaign.reports.len() + 1);
+        assert!(csv.lines().next().unwrap().starts_with("scheme,design"));
+        assert!(csv.contains("CEX"), "{csv}");
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(matches!(
+            Report::from_json("{\"schema\": \"bogus\"}"),
+            Err(ReadError::Schema(_))
+        ));
+        assert!(matches!(
+            Report::from_json("not json"),
+            Err(ReadError::Json(_))
+        ));
+        let r = &sample_reports()[0];
+        let tampered = r.to_json().replace("SimpleOoO", "NoSuchDesign");
+        assert!(matches!(
+            Report::from_json(&tampered),
+            Err(ReadError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn diff_flags_lost_decisive_verdicts_as_regressions() {
+        let before = CampaignReport {
+            reports: sample_reports(),
+            wall: Duration::from_secs(12),
+        };
+        let mut after = before.clone();
+        // PROOF -> T/O: regression. UNK -> PROOF: change, not regression.
+        after.reports[1].verdict = Verdict::Timeout;
+        after.reports[2].verdict = Verdict::Proof(ProofEngine::KInduction { k: 2 });
+        let diff = before.diff(&after);
+        assert!(!diff.is_clean());
+        assert!(diff.has_regressions());
+        assert_eq!(diff.changes.len(), 2);
+        let proof_loss = diff.changes.iter().find(|c| c.before == "PROOF").unwrap();
+        assert!(proof_loss.regression);
+        let improvement = diff.changes.iter().find(|c| c.after == "PROOF").unwrap();
+        assert!(!improvement.regression);
+        assert!(diff.render().contains("REGRESSION"));
+
+        // Identical runs diff clean even when timings differ.
+        let mut same = before.clone();
+        same.reports[0].elapsed = Duration::from_secs(999);
+        assert!(before.diff(&same).is_clean());
+    }
+
+    #[test]
+    fn table_columns_pad_to_widest_label() {
+        let campaign = CampaignReport {
+            reports: sample_reports(),
+            wall: Duration::from_secs(12),
+        };
+        let table = campaign.render_table();
+        // Every row of a contract block must be equally wide: the longest
+        // scheme name (ContractShadowLogic) sets the first column.
+        let lines: Vec<&str> = table.lines().collect();
+        let header = lines[1];
+        assert!(header.starts_with("scheme"));
+        let first_cell_col = header.find("SimpleOoO").unwrap();
+        assert!(first_cell_col >= "ContractShadowLogic".len());
+        assert!(table.contains("wall 12.0s"));
+    }
+}

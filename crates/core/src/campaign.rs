@@ -17,7 +17,7 @@ use csl_contracts::Contract;
 use csl_mc::{CheckOptions, CheckReport, ExecMode};
 
 use crate::harness::{DesignKind, InstanceConfig};
-use crate::verify::{verify, Scheme};
+use crate::verify::{run_scheme, Scheme};
 
 /// One cell of the evaluation matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,7 +59,66 @@ pub fn matrix(
     cells
 }
 
+/// Sizes the worker pool: 0 = derive from the core count, accounting for
+/// the engine lanes each cell spawns in portfolio mode.
+fn worker_count(threads: usize, mode: ExecMode, cells: usize) -> usize {
+    let n = if threads == 0 {
+        let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+        // A portfolio cell spawns up to four engine lanes of its own;
+        // sizing the pool to the core count would oversubscribe the CPU
+        // 4x and let wall-clock contention flip borderline cells to
+        // timeouts. Budget cores to total threads, not to cells.
+        match mode {
+            ExecMode::Portfolio => (hw / 4).max(1),
+            ExecMode::Sequential => hw,
+        }
+    } else {
+        threads
+    };
+    n.clamp(1, cells.max(1))
+}
+
+/// The worker-pool core shared by `api::Matrix::run_all` and the
+/// deprecated [`run_campaign`] shim: runs every cell, returns the engine
+/// reports in input order plus the measured wall clock.
+pub(crate) fn run_cells(
+    cells: &[CampaignCell],
+    make_cfg: &(dyn Fn(&CampaignCell) -> InstanceConfig + Sync),
+    cell_opts: &CheckOptions,
+    threads: usize,
+) -> (Vec<CheckReport>, Duration) {
+    let start = Instant::now();
+    let workers = worker_count(threads, cell_opts.mode, cells.len());
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CheckReport>>> =
+        Mutex::new((0..cells.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let cell = cells[i];
+                let cfg = make_cfg(&cell);
+                let report = run_scheme(cell.scheme, &cfg, cell_opts);
+                slots.lock().unwrap()[i] = Some(report);
+            });
+        }
+    });
+
+    let reports = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every cell ran"))
+        .collect();
+    (reports, start.elapsed())
+}
+
 /// Options for [`run_campaign`].
+#[deprecated(since = "0.2.0", note = "use csl_core::api::Verifier::matrix")]
 #[derive(Clone, Debug, Default)]
 pub struct CampaignOptions {
     /// Worker threads (0 = sized from the core count, accounting for the
@@ -70,26 +129,8 @@ pub struct CampaignOptions {
     pub cell: CheckOptions,
 }
 
-impl CampaignOptions {
-    fn worker_count(&self, cells: usize) -> usize {
-        let n = if self.threads == 0 {
-            let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
-            // A portfolio cell spawns up to four engine lanes of its own;
-            // sizing the pool to the core count would oversubscribe the CPU
-            // 4x and let wall-clock contention flip borderline cells to
-            // timeouts. Budget cores to total threads, not to cells.
-            match self.cell.mode {
-                ExecMode::Portfolio => (hw / 4).max(1),
-                ExecMode::Sequential => hw,
-            }
-        } else {
-            self.threads
-        };
-        n.clamp(1, cells.max(1))
-    }
-}
-
 /// One finished cell.
+#[deprecated(since = "0.2.0", note = "use csl_core::api::Report")]
 #[derive(Debug)]
 pub struct CellResult {
     pub cell: CampaignCell,
@@ -98,12 +139,15 @@ pub struct CellResult {
 
 /// A finished campaign: results in the same order as the input cells
 /// (never completion order), plus the measured wall clock.
+#[deprecated(since = "0.2.0", note = "use csl_core::api::CampaignReport")]
 #[derive(Debug)]
 pub struct CampaignReport {
+    #[allow(deprecated)]
     pub results: Vec<CellResult>,
     pub wall: Duration,
 }
 
+#[allow(deprecated)]
 impl CampaignReport {
     /// Looks up a cell's report.
     pub fn get(
@@ -126,98 +170,45 @@ impl CampaignReport {
         self.results.iter().map(|r| r.report.elapsed).sum()
     }
 
-    /// Renders the paper-style result table: one block per contract, one
-    /// row per scheme, one column per design, cells as
-    /// `VERDICT(elapsed)`. Row/column order follows first appearance in
-    /// the result list, which follows the input matrix — deterministic.
+    /// Renders the paper-style result table (shared renderer with
+    /// `api::CampaignReport`: every column pads to its widest entry).
     pub fn render_table(&self) -> String {
-        use std::fmt::Write as _;
-
-        let mut contracts: Vec<Contract> = Vec::new();
-        let mut schemes: Vec<Scheme> = Vec::new();
-        let mut designs: Vec<DesignKind> = Vec::new();
-        for r in &self.results {
-            if !contracts.contains(&r.cell.contract) {
-                contracts.push(r.cell.contract);
-            }
-            if !schemes.contains(&r.cell.scheme) {
-                schemes.push(r.cell.scheme);
-            }
-            if !designs.contains(&r.cell.design) {
-                designs.push(r.cell.design);
-            }
-        }
-        let mut out = String::new();
-        for &contract in &contracts {
-            let _ = writeln!(out, "contract: {}", contract.name());
-            let _ = write!(out, "{:<22}", "scheme");
-            for &design in &designs {
-                let _ = write!(out, " {:<18}", design.name());
-            }
-            let _ = writeln!(out);
-            for &scheme in &schemes {
-                let _ = write!(out, "{:<22}", scheme.name());
-                for &design in &designs {
-                    let cell = match self.get(scheme, design, contract) {
-                        Some(report) => format!(
-                            "{}({:.1}s)",
-                            report.verdict.cell(),
-                            report.elapsed.as_secs_f64()
-                        ),
-                        None => "-".to_string(),
-                    };
-                    let _ = write!(out, " {cell:<18}");
-                }
-                let _ = writeln!(out);
-            }
-        }
-        let _ = writeln!(
-            out,
-            "wall {:.1}s, cpu {:.1}s, {} cells",
-            self.wall.as_secs_f64(),
-            self.cpu_time().as_secs_f64(),
-            self.results.len()
-        );
-        out
+        let cells: Vec<crate::api::TableCell> = self
+            .results
+            .iter()
+            .map(|r| crate::api::TableCell {
+                scheme: r.cell.scheme,
+                design: r.cell.design,
+                contract: r.cell.contract,
+                text: format!(
+                    "{}({:.1}s)",
+                    r.report.verdict.cell(),
+                    r.report.elapsed.as_secs_f64()
+                ),
+            })
+            .collect();
+        crate::api::render_matrix_table(&cells, self.wall, self.cpu_time(), self.results.len())
     }
 }
 
 /// Runs every cell on a worker pool and returns the results in matrix
 /// order. Workers pull cells from a shared queue, so long cells don't
-/// serialize behind each other; each cell runs `verify` with the shared
+/// serialize behind each other; each cell runs the scheme with the shared
 /// per-cell options.
+#[deprecated(
+    since = "0.2.0",
+    note = "use csl_core::api::Verifier::matrix — `.run_all()` returns a persistable report"
+)]
+#[allow(deprecated)]
 pub fn run_campaign(cells: &[CampaignCell], opts: &CampaignOptions) -> CampaignReport {
-    let start = Instant::now();
-    let workers = opts.worker_count(cells.len());
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<CellResult>>> =
-        Mutex::new((0..cells.len()).map(|_| None).collect());
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let cell = cells[i];
-                let cfg = InstanceConfig::new(cell.design, cell.contract);
-                let report = verify(cell.scheme, &cfg, &opts.cell);
-                slots.lock().unwrap()[i] = Some(CellResult { cell, report });
-            });
-        }
-    });
-
-    let results = slots
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|r| r.expect("every cell ran"))
+    let make_cfg = |cell: &CampaignCell| InstanceConfig::new(cell.design, cell.contract);
+    let (reports, wall) = run_cells(cells, &make_cfg, &opts.cell, opts.threads);
+    let results = cells
+        .iter()
+        .zip(reports)
+        .map(|(&cell, report)| CellResult { cell, report })
         .collect();
-    CampaignReport {
-        results,
-        wall: start.elapsed(),
-    }
+    CampaignReport { results, wall }
 }
 
 #[cfg(test)]
@@ -255,18 +246,28 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn campaign_results_follow_input_order_regardless_of_workers() {
         let cells = smoke_cells();
-        let opts = CampaignOptions {
-            threads: 4,
-            cell: CheckOptions {
-                total_budget: Duration::from_secs(8),
-                bmc_depth: 4,
-                mode: ExecMode::Portfolio,
-                ..Default::default()
-            },
+        let opts = CheckOptions {
+            total_budget: Duration::from_secs(8),
+            bmc_depth: 4,
+            mode: ExecMode::Portfolio,
+            ..Default::default()
         };
-        let report = run_campaign(&cells, &opts);
+        let make_cfg = |cell: &CampaignCell| InstanceConfig::new(cell.design, cell.contract);
+        let (reports, _wall) = run_cells(&cells, &make_cfg, &opts, 4);
+        assert_eq!(reports.len(), cells.len());
+
+        // The deprecated shim must keep producing the same shape.
+        #[allow(deprecated)]
+        let report = run_campaign(
+            &cells,
+            &CampaignOptions {
+                threads: 4,
+                cell: opts,
+            },
+        );
         assert_eq!(report.results.len(), cells.len());
         for (r, c) in report.results.iter().zip(&cells) {
             assert_eq!(r.cell, *c);

@@ -52,6 +52,23 @@ impl DesignKind {
         }
     }
 
+    /// Inverse of [`DesignKind::name`] (used when reading persisted
+    /// reports).
+    pub fn from_name(name: &str) -> Option<DesignKind> {
+        match name {
+            "SingleCycle(ISA)" => Some(DesignKind::SingleCycle),
+            "InOrder(Sodor)" => Some(DesignKind::InOrder),
+            "SimpleOoO" => Some(DesignKind::SimpleOoo(Defense::None)),
+            "SimpleOoO-S" => Some(DesignKind::SimpleOoo(Defense::DelaySpectre)),
+            "SuperOoO(Ridecore)" => Some(DesignKind::SuperOoo),
+            "BigOoO(BOOM)" => Some(DesignKind::BigOoo),
+            other => {
+                let def = Defense::from_name(other.strip_prefix("SimpleOoO+")?)?;
+                Some(DesignKind::SimpleOoo(def))
+            }
+        }
+    }
+
     /// Default processor configuration.
     pub fn cpu_config(&self) -> CpuConfig {
         match self {
@@ -123,6 +140,7 @@ impl InstanceConfig {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_machine(
     d: &mut Design,
     kind: DesignKind,
@@ -218,7 +236,7 @@ fn relational_candidates(d: &mut Design) -> Vec<Candidate> {
 
 /// Builds the Contract Shadow Logic instance (Fig. 1b): two copies of the
 /// design plus the two-phase shadow monitor.
-pub fn build_shadow_instance(cfg: &InstanceConfig) -> SafetyCheck {
+pub(crate) fn shadow_instance(cfg: &InstanceConfig) -> SafetyCheck {
     let cpu = cfg.cpu_config();
     cpu.validate();
     let mut d = Design::new(format!("shadow:{}", cfg.design.name()));
@@ -274,7 +292,7 @@ pub fn build_shadow_instance(cfg: &InstanceConfig) -> SafetyCheck {
 /// inductive; on out-of-order cores commit-time skew makes the naive
 /// comparison (and the candidates) collapse — reproducing LEAVE's
 /// false-counterexample / UNKNOWN behaviour.
-pub fn build_leave_instance(cfg: &InstanceConfig) -> SafetyCheck {
+pub(crate) fn leave_instance(cfg: &InstanceConfig) -> SafetyCheck {
     let cpu = cfg.cpu_config();
     cpu.validate();
     let mut d = Design::new(format!("leave:{}", cfg.design.name()));
@@ -332,7 +350,7 @@ pub fn build_leave_instance(cfg: &InstanceConfig) -> SafetyCheck {
 /// Builds the baseline instance (Fig. 1a): two single-cycle machines run
 /// the contract constraint check in lockstep while two copies of the
 /// design are checked for microarchitectural divergence cycle by cycle.
-pub fn build_baseline_instance(cfg: &InstanceConfig) -> SafetyCheck {
+pub(crate) fn baseline_instance(cfg: &InstanceConfig) -> SafetyCheck {
     let cpu = cfg.cpu_config();
     cpu.validate();
     let mut d = Design::new(format!("baseline:{}", cfg.design.name()));
@@ -393,6 +411,33 @@ pub fn build_baseline_instance(cfg: &InstanceConfig) -> SafetyCheck {
     }
 }
 
+/// Builds the Contract Shadow Logic instance (Fig. 1b).
+#[deprecated(
+    since = "0.2.0",
+    note = "use csl_core::api::Verifier — `.scheme(Scheme::Shadow).query()?.instance()`"
+)]
+pub fn build_shadow_instance(cfg: &InstanceConfig) -> SafetyCheck {
+    shadow_instance(cfg)
+}
+
+/// Builds the LEAVE comparison instance.
+#[deprecated(
+    since = "0.2.0",
+    note = "use csl_core::api::Verifier — `.scheme(Scheme::Leave).query()?.instance()`"
+)]
+pub fn build_leave_instance(cfg: &InstanceConfig) -> SafetyCheck {
+    leave_instance(cfg)
+}
+
+/// Builds the four-machine baseline instance (Fig. 1a).
+#[deprecated(
+    since = "0.2.0",
+    note = "use csl_core::api::Verifier — `.scheme(Scheme::Baseline).query()?.instance()`"
+)]
+pub fn build_baseline_instance(cfg: &InstanceConfig) -> SafetyCheck {
+    baseline_instance(cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,7 +463,7 @@ mod tests {
             DesignKind::BigOoo,
         ] {
             for contract in Contract::ALL {
-                let task = build_shadow_instance(&InstanceConfig::new(design, contract));
+                let task = shadow_instance(&InstanceConfig::new(design, contract));
                 assert!(task.aig.validate().is_ok(), "{design:?}");
                 assert!(
                     task.aig
@@ -434,7 +479,7 @@ mod tests {
 
     #[test]
     fn baseline_instance_builds() {
-        let task = build_baseline_instance(&InstanceConfig::new(
+        let task = baseline_instance(&InstanceConfig::new(
             DesignKind::SimpleOoo(Defense::None),
             Contract::Sandboxing,
         ));
@@ -451,8 +496,8 @@ mod tests {
         // advantage shows up in proof hardness, see the table2 benchmark —
         // but the machine count is directly visible in the latch names.)
         let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-        let shadow = build_shadow_instance(&cfg);
-        let baseline = build_baseline_instance(&cfg);
+        let shadow = shadow_instance(&cfg);
+        let baseline = baseline_instance(&cfg);
         let has_prefix =
             |aig: &csl_hdl::Aig, p: &str| aig.latches().iter().any(|l| l.name.starts_with(p));
         assert!(!has_prefix(&shadow.aig, "isa1."));
@@ -464,7 +509,7 @@ mod tests {
 
     #[test]
     fn candidates_exclude_secrets() {
-        let task = build_shadow_instance(&InstanceConfig::new(
+        let task = shadow_instance(&InstanceConfig::new(
             DesignKind::SimpleOoo(Defense::None),
             Contract::Sandboxing,
         ));

@@ -18,22 +18,32 @@
 //!   counterexample, an unbounded proof, UNKNOWN, or a timeout,
 //! * [`campaign`] — the scheme × design × contract matrix evaluated on a
 //!   worker pool with per-cell budgets and a deterministic result table
-//!   (the Table-2 reproduction engine).
+//!   (the Table-2 reproduction engine),
+//! * [`api`] — **the unified entry point**: the fluent [`api::Verifier`]
+//!   session builder, typed [`api::Query`]s, and persistable
+//!   [`api::Report`]/[`api::CampaignReport`] results (JSON/CSV writers,
+//!   round-trip parsing, cross-run diffing). The free functions it
+//!   replaces remain as `#[deprecated]` shims.
 //!
 //! # Quickstart
 //!
 //! ```no_run
 //! use csl_contracts::Contract;
-//! use csl_core::{verify, DesignKind, InstanceConfig, Scheme};
+//! use csl_core::api::Verifier;
+//! use csl_core::DesignKind;
 //! use csl_cpu::Defense;
-//! use csl_mc::CheckOptions;
 //!
 //! // Is the insecure SimpleOoO core safe under the sandboxing contract?
-//! let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-//! let report = verify(Scheme::Shadow, &cfg, &CheckOptions::default());
+//! let report = Verifier::new()
+//!     .design(DesignKind::SimpleOoo(Defense::None))
+//!     .contract(Contract::Sandboxing)
+//!     .query()
+//!     .unwrap()
+//!     .run();
 //! assert!(report.verdict.is_attack()); // Spectre-style leak found
 //! ```
 
+pub mod api;
 pub mod campaign;
 pub mod fifo;
 pub mod fuzz;
@@ -42,15 +52,16 @@ pub mod record;
 pub mod shadow;
 pub mod verify;
 
-pub use campaign::{
-    matrix, run_campaign, CampaignCell, CampaignOptions, CampaignReport, CellResult,
-};
+pub use campaign::{matrix, CampaignCell};
+#[allow(deprecated)]
+pub use campaign::{run_campaign, CampaignOptions, CampaignReport, CellResult};
 pub use fifo::{FifoPlan, RecordFifo};
 pub use fuzz::{fuzz_design, replay_finding, FuzzFinding, FuzzOptions, FuzzOutcome};
-pub use harness::{
-    build_baseline_instance, build_leave_instance, build_shadow_instance, DesignKind, ExcludeRule,
-    InstanceConfig,
-};
+#[allow(deprecated)]
+pub use harness::{build_baseline_instance, build_leave_instance, build_shadow_instance};
+pub use harness::{DesignKind, ExcludeRule, InstanceConfig};
 pub use record::{extract_record, pack_isa_record};
 pub use shadow::{uarch_trace_diff, ShadowOptions, ShadowPre};
-pub use verify::{build_instance, verify, Scheme};
+pub use verify::Scheme;
+#[allow(deprecated)]
+pub use verify::{build_instance, verify};

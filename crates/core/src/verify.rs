@@ -24,10 +24,7 @@ use csl_mc::{
 };
 use csl_sat::Budget;
 
-use crate::harness::{
-    build_baseline_instance, build_leave_instance, build_shadow_instance, ExcludeRule,
-    InstanceConfig,
-};
+use crate::harness::{ExcludeRule, InstanceConfig};
 
 /// The verification schemes compared in Table 2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,14 +51,20 @@ impl Scheme {
             Scheme::Upec => "UPEC",
         }
     }
+
+    /// Inverse of [`Scheme::name`] (used when reading persisted reports).
+    pub fn from_name(name: &str) -> Option<Scheme> {
+        Scheme::ALL.into_iter().find(|s| s.name() == name)
+    }
 }
 
-/// Builds the model-checking instance for a scheme.
-pub fn build_instance(scheme: Scheme, cfg: &InstanceConfig) -> SafetyCheck {
+/// Builds the model-checking instance for a scheme (internal form; the
+/// public surface is `api::Query::instance`).
+pub(crate) fn instance_for(scheme: Scheme, cfg: &InstanceConfig) -> SafetyCheck {
     match scheme {
-        Scheme::Baseline => build_baseline_instance(cfg),
-        Scheme::Leave => build_leave_instance(cfg),
-        Scheme::Shadow => build_shadow_instance(cfg),
+        Scheme::Baseline => crate::harness::baseline_instance(cfg),
+        Scheme::Leave => crate::harness::leave_instance(cfg),
+        Scheme::Shadow => crate::harness::shadow_instance(cfg),
         Scheme::Upec => {
             let mut cfg = cfg.clone();
             // UPEC's user-declared speculation source: branch misprediction
@@ -69,19 +72,38 @@ pub fn build_instance(scheme: Scheme, cfg: &InstanceConfig) -> SafetyCheck {
             if !cfg.excludes.contains(&ExcludeRule::AnyFault) {
                 cfg.excludes.push(ExcludeRule::AnyFault);
             }
-            build_shadow_instance(&cfg)
+            crate::harness::shadow_instance(&cfg)
         }
     }
 }
 
-/// Runs a scheme to a verdict.
-pub fn verify(scheme: Scheme, cfg: &InstanceConfig, opts: &CheckOptions) -> CheckReport {
-    let task = build_instance(scheme, cfg);
+/// Runs a scheme to a verdict (internal form; the public surface is
+/// `api::Query::run`).
+pub(crate) fn run_scheme(scheme: Scheme, cfg: &InstanceConfig, opts: &CheckOptions) -> CheckReport {
+    let task = instance_for(scheme, cfg);
     match scheme {
         Scheme::Shadow | Scheme::Baseline => check_safety(&task, opts),
         Scheme::Leave => run_leave(&task, opts),
         Scheme::Upec => run_upec(&task, opts),
     }
+}
+
+/// Builds the model-checking instance for a scheme.
+#[deprecated(
+    since = "0.2.0",
+    note = "use csl_core::api::Verifier — `.query()?.instance()`"
+)]
+pub fn build_instance(scheme: Scheme, cfg: &InstanceConfig) -> SafetyCheck {
+    instance_for(scheme, cfg)
+}
+
+/// Runs a scheme to a verdict.
+#[deprecated(
+    since = "0.2.0",
+    note = "use csl_core::api::Verifier — `.query()?.run()` returns a persistable Report"
+)]
+pub fn verify(scheme: Scheme, cfg: &InstanceConfig, opts: &CheckOptions) -> CheckReport {
+    run_scheme(scheme, cfg, opts)
 }
 
 /// LEAVE: Houdini-filtered relational invariants or bust.

@@ -1,0 +1,201 @@
+//! The session API's contract with the rest of the repo:
+//!
+//! 1. **Equivalence** — a `Verifier` query returns the same verdict kind
+//!    as the deprecated `verify` free function, and `Verifier::matrix`
+//!    the same verdicts as the deprecated `run_campaign`, on the
+//!    SingleCycle smoke matrix (the stable-verdict workhorse).
+//! 2. **Persistence** — a report produced by a real verification run
+//!    round-trips through JSON losslessly and byte-stably, and survives
+//!    a file-system write/read cycle (what the `smoke --json` CI
+//!    artifact does).
+//! 3. **Regression diffing** — `CampaignReport::diff` flags an injected
+//!    verdict flip and stays clean on an identical run.
+
+use std::time::Duration;
+
+use csl_contracts::Contract;
+use csl_core::api::{Budget, CampaignReport, Mode, Report, Verifier};
+use csl_core::{DesignKind, InstanceConfig, Scheme};
+use csl_mc::{CheckOptions, ExecMode, ProofEngine, Verdict};
+
+const BUDGET: Duration = Duration::from_secs(10);
+const DEPTH: usize = 4;
+
+fn builder(scheme: Scheme) -> Verifier {
+    Verifier::new()
+        .design(DesignKind::SingleCycle)
+        .contract(Contract::Sandboxing)
+        .scheme(scheme)
+        .budget(Budget::wall(BUDGET))
+        .bmc_depth(DEPTH)
+}
+
+/// The builder and the deprecated `verify` free function must agree on
+/// verdict kind for every scheme (same engines, same budgets underneath).
+#[test]
+#[allow(deprecated)]
+fn builder_matches_legacy_verify() {
+    let cfg = InstanceConfig::new(DesignKind::SingleCycle, Contract::Sandboxing);
+    let opts = CheckOptions {
+        total_budget: BUDGET,
+        bmc_depth: DEPTH,
+        ..Default::default()
+    };
+    for scheme in Scheme::ALL {
+        let legacy = csl_core::verify(scheme, &cfg, &opts);
+        let session = builder(scheme).query().unwrap().run();
+        assert_eq!(
+            legacy.verdict.cell(),
+            session.cell(),
+            "{}: legacy {:?} vs session {:?}",
+            scheme.name(),
+            legacy.verdict,
+            session.verdict
+        );
+    }
+}
+
+/// `Verifier::matrix(..).run_all()` subsumes the deprecated
+/// `run_campaign`: same cells, same order, same verdict kinds.
+#[test]
+#[allow(deprecated)]
+fn matrix_matches_legacy_campaign() {
+    let cells = csl_core::matrix(
+        &Scheme::ALL,
+        &[DesignKind::SingleCycle],
+        &[Contract::Sandboxing],
+    );
+    let legacy = csl_core::run_campaign(
+        &cells,
+        &csl_core::CampaignOptions {
+            threads: 2,
+            cell: CheckOptions {
+                total_budget: BUDGET,
+                bmc_depth: DEPTH,
+                mode: ExecMode::Portfolio,
+                ..Default::default()
+            },
+        },
+    );
+    let session = Verifier::new()
+        .budget(Budget::wall(BUDGET))
+        .bmc_depth(DEPTH)
+        .mode(Mode::Portfolio)
+        .threads(2)
+        .into_matrix(
+            &Scheme::ALL,
+            &[DesignKind::SingleCycle],
+            &[Contract::Sandboxing],
+        )
+        .run_all();
+    assert_eq!(legacy.results.len(), session.reports.len());
+    for (l, s) in legacy.results.iter().zip(&session.reports) {
+        assert_eq!(l.cell.scheme, s.scheme);
+        assert_eq!(l.cell.design, s.design);
+        assert_eq!(l.cell.contract, s.contract);
+        assert_eq!(
+            l.report.verdict.cell(),
+            s.cell(),
+            "{}: legacy {:?} vs session {:?}",
+            s.label(),
+            l.report.verdict,
+            s.verdict
+        );
+    }
+}
+
+/// A report from a real run (LEAVE proof on SingleCycle — decisive and
+/// fast) round-trips through JSON losslessly and byte-for-byte stably,
+/// including through a real file.
+#[test]
+fn real_report_json_round_trips() {
+    let report = builder(Scheme::Leave).query().unwrap().run();
+    assert!(report.verdict.is_proof(), "{:?}", report.verdict);
+
+    let text = report.to_json();
+    let parsed = Report::from_json(&text).unwrap();
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.to_json(), text, "re-serialization must be canonical");
+
+    let dir = std::env::temp_dir().join("csl-api-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.json");
+    std::fs::write(&path, &text).unwrap();
+    let reread = Report::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(reread, report);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// An attack verdict (trace included) survives the campaign-level round
+/// trip too: run the smoke matrix, persist, reload, compare.
+#[test]
+fn campaign_json_round_trips_with_live_verdicts() {
+    let campaign = Verifier::new()
+        .budget(Budget::wall(BUDGET))
+        .bmc_depth(DEPTH)
+        .mode(Mode::Portfolio)
+        .into_matrix(
+            &Scheme::ALL,
+            &[DesignKind::SingleCycle],
+            &[Contract::Sandboxing],
+        )
+        .run_all();
+    let text = campaign.to_json();
+    let parsed = CampaignReport::from_json(&text).unwrap();
+    assert_eq!(parsed, campaign);
+    assert_eq!(parsed.to_json(), text);
+    // CSV: one row per cell plus the header.
+    assert_eq!(
+        campaign.to_csv().lines().count(),
+        campaign.reports.len() + 1
+    );
+}
+
+/// Diffing two runs: identical verdicts diff clean (even with different
+/// timings); an injected verdict flip is flagged, and losing the decisive
+/// proof is a regression.
+#[test]
+fn diff_flags_injected_verdict_flip() {
+    let report = builder(Scheme::Leave).query().unwrap().run();
+    let before = CampaignReport {
+        reports: vec![report],
+        wall: Duration::from_secs(1),
+    };
+
+    let mut same = before.clone();
+    same.reports[0].elapsed += Duration::from_secs(5);
+    same.wall = Duration::from_secs(9);
+    assert!(before.diff(&same).is_clean());
+
+    let mut after = before.clone();
+    after.reports[0].verdict = Verdict::Timeout;
+    let diff = before.diff(&after);
+    assert!(diff.has_regressions(), "{diff:?}");
+    assert_eq!(diff.changes.len(), 1);
+    assert_eq!(diff.changes[0].before, "PROOF");
+    assert_eq!(diff.changes[0].after, "T/O");
+
+    // The reverse direction (gaining a proof) is a change, not a
+    // regression.
+    let gain = after.diff(&before);
+    assert!(!gain.is_clean());
+    assert!(!gain.has_regressions());
+
+    // Flipping one decisive kind into the other (a PROOF cell suddenly
+    // reporting an attack) is a regression too: soundness changed.
+    let mut flipped = before.clone();
+    flipped.reports[0].verdict = Verdict::Attack(Box::new(csl_mc::Trace {
+        initial_latches: vec![],
+        inputs: vec![Default::default(); 3],
+        bad_name: "no_leakage".into(),
+    }));
+    let flip = before.diff(&flipped);
+    assert!(flip.has_regressions(), "{flip:?}");
+    assert_eq!(flip.changes[0].after, "CEX");
+
+    // An engine change inside the same verdict kind (k-induction proof
+    // instead of Houdini) is not a verdict change at all.
+    let mut same_kind = before.clone();
+    same_kind.reports[0].verdict = Verdict::Proof(ProofEngine::KInduction { k: 1 });
+    assert!(before.diff(&same_kind).is_clean());
+}

@@ -13,29 +13,32 @@
 use std::time::{Duration, Instant};
 
 use csl_contracts::Contract;
-use csl_core::{matrix, run_campaign, verify, CampaignOptions, DesignKind, InstanceConfig, Scheme};
-use csl_mc::{CheckOptions, ExecMode};
+use csl_core::api::{Budget, Mode, Report, Verifier};
+use csl_core::{DesignKind, Scheme};
 
-fn opts(mode: ExecMode) -> CheckOptions {
-    CheckOptions {
-        total_budget: Duration::from_secs(10),
-        bmc_depth: 4,
-        mode,
-        ..Default::default()
-    }
+fn single_cycle(scheme: Scheme, mode: Mode) -> Report {
+    Verifier::new()
+        .design(DesignKind::SingleCycle)
+        .contract(Contract::Sandboxing)
+        .scheme(scheme)
+        .mode(mode)
+        .budget(Budget::wall(Duration::from_secs(10)))
+        .bmc_depth(4)
+        .query()
+        .expect("design and contract are set")
+        .run()
 }
 
 /// Every scheme on the single-cycle design: the portfolio must return the
 /// same verdict kind as the sequential pipeline.
 #[test]
 fn portfolio_matches_sequential_on_single_cycle_for_all_schemes() {
-    let cfg = InstanceConfig::new(DesignKind::SingleCycle, Contract::Sandboxing);
     for scheme in Scheme::ALL {
-        let seq = verify(scheme, &cfg, &opts(ExecMode::Sequential));
-        let par = verify(scheme, &cfg, &opts(ExecMode::Portfolio));
+        let seq = single_cycle(scheme, Mode::Sequential);
+        let par = single_cycle(scheme, Mode::Portfolio);
         assert_eq!(
-            seq.verdict.cell(),
-            par.verdict.cell(),
+            seq.cell(),
+            par.cell(),
             "{}: sequential {:?} vs portfolio {:?}\nseq notes: {:?}\npar notes: {:?}",
             scheme.name(),
             seq.verdict,
@@ -51,9 +54,8 @@ fn portfolio_matches_sequential_on_single_cycle_for_all_schemes() {
 /// must return PROOF well inside the budget (not merely agree).
 #[test]
 fn single_cycle_leave_instance_is_proved_in_both_modes() {
-    let cfg = InstanceConfig::new(DesignKind::SingleCycle, Contract::Sandboxing);
-    for mode in [ExecMode::Sequential, ExecMode::Portfolio] {
-        let report = verify(Scheme::Leave, &cfg, &opts(mode));
+    for mode in [Mode::Sequential, Mode::Portfolio] {
+        let report = single_cycle(Scheme::Leave, mode);
         assert!(
             report.verdict.is_proof(),
             "{mode:?}: {:?} {:?}",
@@ -67,33 +69,25 @@ fn single_cycle_leave_instance_is_proved_in_both_modes() {
 /// the same cells in a plain sequential loop (modulo scheduling slack).
 #[test]
 fn campaign_wall_clock_no_worse_than_sequential_loop() {
-    let cells = matrix(
-        &Scheme::ALL,
-        &[DesignKind::SingleCycle],
-        &[Contract::Sandboxing],
-    );
-    let cell_opts = opts(ExecMode::Portfolio);
+    let matrix = Verifier::new()
+        .mode(Mode::Portfolio)
+        .budget(Budget::wall(Duration::from_secs(10)))
+        .bmc_depth(4)
+        .into_matrix(
+            &Scheme::ALL,
+            &[DesignKind::SingleCycle],
+            &[Contract::Sandboxing],
+        );
 
     let seq_start = Instant::now();
     let mut seq_verdicts = Vec::new();
-    for cell in &cells {
-        let cfg = InstanceConfig::new(cell.design, cell.contract);
-        seq_verdicts.push(verify(cell.scheme, &cfg, &cell_opts).verdict.cell());
+    for cell in matrix.cells() {
+        seq_verdicts.push(single_cycle(cell.scheme, Mode::Portfolio).cell());
     }
     let seq_wall = seq_start.elapsed();
 
-    let report = run_campaign(
-        &cells,
-        &CampaignOptions {
-            threads: 0,
-            cell: cell_opts,
-        },
-    );
-    let par_verdicts: Vec<&str> = report
-        .results
-        .iter()
-        .map(|r| r.report.verdict.cell())
-        .collect();
+    let report = matrix.run_all();
+    let par_verdicts: Vec<&str> = report.reports.iter().map(|r| r.cell()).collect();
     assert_eq!(seq_verdicts, par_verdicts);
     // "No worse" with slack for scheduler overhead and noisy-neighbour CI:
     // the pool must never be meaningfully slower than the loop.

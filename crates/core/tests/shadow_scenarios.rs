@@ -7,11 +7,24 @@
 use std::collections::HashMap;
 
 use csl_contracts::Contract;
-use csl_core::{build_shadow_instance, DesignKind, InstanceConfig};
+use csl_core::api::Verifier;
+use csl_core::DesignKind;
 use csl_cpu::Defense;
 use csl_hdl::{Aig, Bit};
 use csl_isa::{assemble, IsaConfig};
-use csl_mc::{Sim, SimState};
+use csl_mc::{SafetyCheck, Sim, SimState};
+
+/// The shadow instance plus the resolved ISA config for `design` ×
+/// `contract`, via the session API.
+fn shadow_task(design: DesignKind, contract: Contract) -> (SafetyCheck, IsaConfig) {
+    let query = Verifier::new()
+        .design(design)
+        .contract(contract)
+        .query()
+        .expect("design and contract are set");
+    let isa = query.config().cpu_config().isa;
+    (query.instance(), isa)
+}
 
 fn probe_map(aig: &Aig) -> HashMap<String, Vec<Bit>> {
     aig.probes()
@@ -66,10 +79,8 @@ done:   NOP
 
 #[test]
 fn spectre_gadget_walks_the_two_phase_protocol() {
-    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-    let task = build_shadow_instance(&cfg);
+    let (task, isa) = shadow_task(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
     let probes = probe_map(&task.aig);
-    let isa = cfg.cpu_config().isa;
     let imem = assemble(&isa, SPECTRE).unwrap();
     // Secrets differ at word 0 of the secret region (= memory word 2); the
     // differing values steer the transient bus addresses apart.
@@ -117,13 +128,11 @@ fn spectre_gadget_walks_the_two_phase_protocol() {
 /// never issue, traces stay identical, the monitor stays in phase 1.
 #[test]
 fn delay_spectre_keeps_the_gadget_silent() {
-    let cfg = InstanceConfig::new(
+    let (task, isa) = shadow_task(
         DesignKind::SimpleOoo(Defense::DelaySpectre),
         Contract::Sandboxing,
     );
-    let task = build_shadow_instance(&cfg);
     let probes = probe_map(&task.aig);
-    let isa = cfg.cpu_config().isa;
     let imem = assemble(&isa, SPECTRE).unwrap();
     let state = init_state(&task.aig, &isa, &imem, &[0, 0], &[1, 0], &[3, 0]);
 
@@ -147,9 +156,7 @@ fn delay_spectre_keeps_the_gadget_silent() {
 /// check doing its filtering job).
 #[test]
 fn architectural_secret_load_violates_the_constraint() {
-    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-    let task = build_shadow_instance(&cfg);
-    let isa = cfg.cpu_config().isa;
+    let (task, isa) = shadow_task(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
     let imem = assemble(
         &isa,
         "
@@ -179,9 +186,7 @@ loop:   BNZ r1, loop
 /// the secret as an address.
 #[test]
 fn constant_time_allows_secret_data_but_not_secret_addresses() {
-    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::ConstantTime);
-    let task = build_shadow_instance(&cfg);
-    let isa = cfg.cpu_config().isa;
+    let (task, isa) = shadow_task(DesignKind::SimpleOoo(Defense::None), Contract::ConstantTime);
     // Valid: load secret into r2, do arithmetic on it.
     let valid = assemble(&isa, "LI r1, 2\nLD r2, (r1)\nADD r3, r2, r2\nNOP").unwrap();
     let state = init_state(&task.aig, &isa, &valid, &[0, 0], &[5, 0], &[9, 0]);

@@ -4,9 +4,10 @@
 use std::time::Duration;
 
 use csl_contracts::Contract;
-use csl_core::{build_shadow_instance, verify, DesignKind, InstanceConfig, Scheme, ShadowOptions};
+use csl_core::api::Verifier;
+use csl_core::{DesignKind, Scheme, ShadowOptions};
 use csl_cpu::Defense;
-use csl_mc::{bmc, BmcResult, CheckOptions, TransitionSystem, Verdict};
+use csl_mc::{bmc, BmcResult, TransitionSystem, Verdict};
 use csl_sat::Budget;
 
 fn short_budget(secs: u64) -> Budget {
@@ -20,9 +21,13 @@ fn fifo_overflow_unreachable_with_sync() {
     // The insecure core has reachable leaks, so counterexamples exist; but
     // every counterexample BMC surfaces must be a genuine `no_leakage`
     // violation — the shadow's internal overflow assertions stay quiet.
-    let mut cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-    cfg.with_candidates = false;
-    let task = build_shadow_instance(&cfg);
+    let task = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::None))
+        .contract(Contract::Sandboxing)
+        .with_candidates(false)
+        .query()
+        .expect("design and contract are set")
+        .instance();
     let ts = TransitionSystem::new(task.aig.clone(), false);
     let depth = if cfg!(debug_assertions) { 7 } else { 10 };
     match bmc(&ts, depth, short_budget(240)) {
@@ -65,8 +70,12 @@ fn assume_violated_extended(aig: &csl_hdl::Aig, trace: &csl_mc::Trace, extra: us
 fn no_drain_ablation_yields_false_attacks() {
     let depth = if cfg!(debug_assertions) { 7 } else { 9 };
     // Genuine attack, full shadow logic: extended replay stays clean.
-    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-    let task = build_shadow_instance(&cfg);
+    let task = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::None))
+        .contract(Contract::Sandboxing)
+        .query()
+        .expect("design and contract are set")
+        .instance();
     let ts = TransitionSystem::new(task.aig.clone(), false);
     let BmcResult::Cex(good) = bmc(&ts, depth, short_budget(240)) else {
         panic!("expected the genuine attack");
@@ -79,13 +88,17 @@ fn no_drain_ablation_yields_false_attacks() {
     // Drain disabled: ask BMC for the *shallowest* counterexample and check
     // whether a false one (constraint violated post-window) exists at a
     // depth where the sound scheme has none.
-    let mut cfg2 = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-    cfg2.shadow = ShadowOptions {
-        enable_drain: false,
-        ..ShadowOptions::default()
-    };
-    cfg2.with_candidates = false;
-    let task2 = build_shadow_instance(&cfg2);
+    let task2 = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::None))
+        .contract(Contract::Sandboxing)
+        .shadow(ShadowOptions {
+            enable_drain: false,
+            ..ShadowOptions::default()
+        })
+        .with_candidates(false)
+        .query()
+        .expect("design and contract are set")
+        .instance();
     let ts2 = TransitionSystem::new(task2.aig.clone(), false);
     match bmc(&ts2, good.depth().saturating_sub(1), short_budget(240)) {
         BmcResult::Cex(bad_cex) => {
@@ -120,17 +133,16 @@ fn no_drain_ablation_yields_false_attacks() {
 /// design in attack-only mode.
 #[test]
 fn secure_design_has_no_shallow_attack() {
-    let cfg = InstanceConfig::new(
-        DesignKind::SimpleOoo(Defense::DelaySpectre),
-        Contract::Sandboxing,
-    );
-    let opts = CheckOptions {
-        total_budget: Duration::from_secs(120),
-        bmc_depth: if cfg!(debug_assertions) { 5 } else { 8 },
-        attack_only: true,
-        ..Default::default()
-    };
-    let report = verify(Scheme::Shadow, &cfg, &opts);
+    let report = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::DelaySpectre))
+        .contract(Contract::Sandboxing)
+        .scheme(Scheme::Shadow)
+        .wall(Duration::from_secs(120))
+        .bmc_depth(if cfg!(debug_assertions) { 5 } else { 8 })
+        .attack_only(true)
+        .query()
+        .expect("design and contract are set")
+        .run();
     assert!(!report.verdict.is_attack(), "{:?}", report.verdict);
 }
 
@@ -138,12 +150,14 @@ fn secure_design_has_no_shallow_attack() {
 /// collapses), matching §7.1.3.
 #[test]
 fn leave_unknown_on_ooo() {
-    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-    let opts = CheckOptions {
-        total_budget: Duration::from_secs(300),
-        ..Default::default()
-    };
-    let report = verify(Scheme::Leave, &cfg, &opts);
+    let report = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::None))
+        .contract(Contract::Sandboxing)
+        .scheme(Scheme::Leave)
+        .wall(Duration::from_secs(300))
+        .query()
+        .expect("design and contract are set")
+        .run();
     assert!(
         matches!(report.verdict, Verdict::Unknown { .. } | Verdict::Timeout),
         "{:?}",

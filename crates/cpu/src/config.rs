@@ -49,6 +49,20 @@ impl Defense {
         }
     }
 
+    /// Inverse of [`Defense::name`] (used when reading persisted
+    /// reports).
+    pub fn from_name(name: &str) -> Option<Defense> {
+        let all = [
+            Defense::None,
+            Defense::NoFwdFuturistic,
+            Defense::NoFwdSpectre,
+            Defense::DelayFuturistic,
+            Defense::DelaySpectre,
+            Defense::DomSpectre,
+        ];
+        all.into_iter().find(|d| d.name() == name)
+    }
+
     /// Whether this defence is secure on the exception-free SimpleOoO for
     /// the given contract (the paper's ground truth for Table 3).
     pub fn expected_secure(self, constant_time: bool) -> bool {

@@ -95,7 +95,7 @@ pub fn build_standalone(kind: CoreKind, cfg: &CpuConfig) -> Standalone {
 }
 
 /// Parses a memory-latch name of the form `prefix[word][bit]`.
-fn parse_mem_latch<'a>(name: &'a str) -> Option<(&'a str, usize, usize)> {
+fn parse_mem_latch(name: &str) -> Option<(&str, usize, usize)> {
     let open = name.rfind("][")?;
     let bit: usize = name[open + 2..name.len() - 1].parse().ok()?;
     let head = &name[..open + 1]; // "prefix[word]"

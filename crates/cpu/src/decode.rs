@@ -124,8 +124,10 @@ mod tests {
 
     #[test]
     fn mul_flag_respects_extension() {
-        let mut cfg = IsaConfig::default();
-        cfg.enable_mul = true;
+        let mut cfg = IsaConfig {
+            enable_mul: true,
+            ..Default::default()
+        };
         let enc = csl_isa::encode(
             &cfg,
             Inst::Mul {

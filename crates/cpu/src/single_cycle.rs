@@ -94,10 +94,7 @@ pub fn build_single_cycle(
         valid: enable,
         pc: pc.q(),
         writes_reg: d.and_bit(writes, enable),
-        value: {
-            let masked = d.mux(writes, &value, &zero_x);
-            masked
-        },
+        value: d.mux(writes, &value, &zero_x),
         is_load: load_ok,
         mem_word: {
             let zero_a = d.lit(cfg.dmem_bits(), 0);

@@ -43,7 +43,10 @@ impl Bit {
     }
 
     /// The complemented edge (logical NOT) — free in an AIG.
+    /// (Also available as the `!` operator; the method form reads better
+    /// in netlist-building chains.)
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Bit {
         Bit(self.0 ^ 1)
     }

@@ -23,6 +23,9 @@ pub fn to_aag(aig: &Aig) -> String {
     let mut inputs = Vec::new();
     let mut latches = Vec::new();
     let mut ands = Vec::new();
+    // (index loop kept: `idx` doubles as the packed-node id and the
+    // `var_of` slot, which an enumerate over `var_of` would obscure)
+    #[allow(clippy::needless_range_loop)]
     for idx in 0..aig.num_nodes() {
         let b = Bit::from_packed((idx as u32) << 1);
         match aig.node(b) {

@@ -22,6 +22,7 @@ use csl_sat::Budget;
 use crate::bmc::{bmc, BmcResult};
 use crate::houdini::{houdini, Candidate, HoudiniResult};
 use crate::kind::{k_induction, KindOptions, KindResult};
+use crate::lane::{Lane, LanePlan};
 use crate::pdr::{pdr, PdrOptions, PdrResult};
 use crate::portfolio::{
     race, BmcEngine, Engine, EngineOutcome, HoudiniEngine, KindEngine, PdrEngine,
@@ -44,7 +45,7 @@ pub enum ProofEngine {
 
 /// The paper's verification outcomes (§5.3 "Model Checking with Contract
 /// Shadow Logic" lists exactly these three, plus LEAVE's UNKNOWN).
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Verdict {
     /// A counterexample: a program + secret pair that satisfies the contract
     /// constraint yet produces distinguishable microarchitectural traces.
@@ -109,6 +110,9 @@ pub struct CheckOptions {
     pub keep_probes: bool,
     /// Sequential pipeline or thread-racing portfolio.
     pub mode: ExecMode,
+    /// Per-lane budget shaping (wall caps, BMC depth schedule). The empty
+    /// default leaves every lane on the shared clock.
+    pub lanes: LanePlan,
 }
 
 impl Default for CheckOptions {
@@ -122,6 +126,7 @@ impl Default for CheckOptions {
             pdr_max_frames: 40,
             keep_probes: true,
             mode: ExecMode::Sequential,
+            lanes: LanePlan::default(),
         }
     }
 }
@@ -142,7 +147,7 @@ pub struct SafetyCheck {
 }
 
 /// The result of a [`check_safety`] run.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CheckReport {
     pub verdict: Verdict,
     pub elapsed: Duration,
@@ -181,35 +186,49 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
         task.aig.bads().len()
     )];
 
-    let mut engines: Vec<Box<dyn Engine>> = vec![Box::new(BmcEngine {
-        depth: opts.bmc_depth,
-    })];
+    let lane_deadline = |lane: Lane| opts.lanes.deadline_for(lane, start, deadline);
+    let mut engines: Vec<(Box<dyn Engine>, Instant)> = vec![(
+        Box::new(BmcEngine {
+            depth: opts.bmc_depth,
+            schedule: opts.lanes.get(Lane::Bmc).depth_schedule.clone(),
+        }),
+        lane_deadline(Lane::Bmc),
+    )];
     if !opts.attack_only {
         if opts.kind_max_k > 0 {
-            engines.push(Box::new(KindEngine {
-                max_k: opts.kind_max_k,
-            }));
+            engines.push((
+                Box::new(KindEngine {
+                    max_k: opts.kind_max_k,
+                }),
+                lane_deadline(Lane::KInduction),
+            ));
         }
         if opts.use_pdr {
-            engines.push(Box::new(PdrEngine {
-                max_frames: opts.pdr_max_frames,
-                bmc_depth: opts.bmc_depth,
-            }));
+            engines.push((
+                Box::new(PdrEngine {
+                    max_frames: opts.pdr_max_frames,
+                    bmc_depth: opts.bmc_depth,
+                }),
+                lane_deadline(Lane::Pdr),
+            ));
         }
         if !task.candidates.is_empty() {
-            engines.push(Box::new(HoudiniEngine {
-                candidates: task.candidates.clone(),
-                base_aig: task.aig.clone(),
-                keep_probes: opts.keep_probes,
-                kind_max_k: opts.kind_max_k,
-                pdr_max_frames: if opts.use_pdr { opts.pdr_max_frames } else { 0 },
-                bmc_depth: opts.bmc_depth,
-            }));
+            engines.push((
+                Box::new(HoudiniEngine {
+                    candidates: task.candidates.clone(),
+                    base_aig: task.aig.clone(),
+                    keep_probes: opts.keep_probes,
+                    kind_max_k: opts.kind_max_k,
+                    pdr_max_frames: if opts.use_pdr { opts.pdr_max_frames } else { 0 },
+                    bmc_depth: opts.bmc_depth,
+                }),
+                lane_deadline(Lane::Houdini),
+            ));
         }
     }
     notes.push(format!("portfolio: racing {} engines", engines.len()));
 
-    let report = race(engines, &task.aig, opts.keep_probes, deadline);
+    let report = race(engines, &task.aig, opts.keep_probes);
 
     // Merge lane outcomes under the sequential precedence: an attack beats
     // a proof beats a timeout beats inconclusive. Lanes canceled by the
@@ -240,7 +259,16 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
                 // First decisive proof wins; later ones add nothing.
                 proof.get_or_insert(p);
             }
-            EngineOutcome::Timeout => timed_out = true,
+            EngineOutcome::Timeout => {
+                // A lane whose wall cap shortened its deadline below the
+                // shared one timed out locally, not globally — unless it
+                // was the only meaningful lane (attack-only mode), where
+                // the sequential pipeline also reports a global timeout.
+                let local_cap = !opts.attack_only && lane.deadline < deadline;
+                if !local_cap {
+                    timed_out = true;
+                }
+            }
             EngineOutcome::Inconclusive(_) => {}
         }
     }
@@ -275,8 +303,21 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
     let ts = TransitionSystem::new(task.aig.clone(), opts.keep_probes);
     notes.push(format!("netlist: {}", ts.summary()));
 
+    // A lane's phase runs until its own wall cap (if any), clipped to the
+    // shared deadline; a timeout that only exhausted the lane cap skips
+    // the phase instead of ending the check.
+    let lane_budget = |lane: Lane| Budget::until(opts.lanes.deadline_for(lane, start, deadline));
+    let lane_cap_fired = |lane: Lane| opts.lanes.is_capped(lane) && Instant::now() < deadline;
+
     // ---- phase 1: attack search (BMC) -------------------------------------
-    match bmc(&ts, opts.bmc_depth, remaining_budget(deadline)) {
+    let bmc_depth = opts
+        .lanes
+        .get(Lane::Bmc)
+        .depth_schedule
+        .last()
+        .copied()
+        .unwrap_or(opts.bmc_depth);
+    match bmc(&ts, bmc_depth, lane_budget(Lane::Bmc)) {
         BmcResult::Cex(trace) => {
             let (assumes_ok, bad) = Sim::new(ts.aig()).replay(&trace);
             if !(assumes_ok && bad) {
@@ -297,12 +338,18 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
             notes.push(format!("bmc clean to depth {depth_checked}"));
         }
         BmcResult::Timeout { depth_checked } => {
-            notes.push(format!("bmc timeout (clean to {depth_checked:?})"));
-            return CheckReport {
-                verdict: Verdict::Timeout,
-                elapsed: start.elapsed(),
-                notes,
-            };
+            if lane_cap_fired(Lane::Bmc) && !opts.attack_only {
+                notes.push(format!(
+                    "bmc lane cap exhausted (clean to {depth_checked:?}); continuing"
+                ));
+            } else {
+                notes.push(format!("bmc timeout (clean to {depth_checked:?})"));
+                return CheckReport {
+                    verdict: Verdict::Timeout,
+                    elapsed: start.elapsed(),
+                    notes,
+                };
+            }
         }
     }
     if opts.attack_only {
@@ -318,7 +365,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
     // ---- phase 2: Houdini lemmas -------------------------------------------
     let mut proof_aig = task.aig.clone();
     if !task.candidates.is_empty() {
-        match houdini(&ts, &task.candidates, remaining_budget(deadline)) {
+        match houdini(&ts, &task.candidates, lane_budget(Lane::Houdini)) {
             HoudiniResult::Done(out) => {
                 notes.push(format!(
                     "houdini: {}/{} candidates survive after {} rounds",
@@ -342,12 +389,16 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                 }
             }
             HoudiniResult::Timeout => {
-                notes.push("houdini timeout".into());
-                return CheckReport {
-                    verdict: Verdict::Timeout,
-                    elapsed: start.elapsed(),
-                    notes,
-                };
+                if lane_cap_fired(Lane::Houdini) {
+                    notes.push("houdini lane cap exhausted; continuing unstrengthened".into());
+                } else {
+                    notes.push("houdini timeout".into());
+                    return CheckReport {
+                        verdict: Verdict::Timeout,
+                        elapsed: start.elapsed(),
+                        notes,
+                    };
+                }
             }
         }
     }
@@ -360,7 +411,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
             KindOptions {
                 max_k: opts.kind_max_k,
                 unique_states: false,
-                budget: remaining_budget(deadline),
+                budget: lane_budget(Lane::KInduction),
             },
         ) {
             KindResult::Proof { k } => {
@@ -391,12 +442,16 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                 notes.push(format!("k-induction inconclusive to k={max_k_tried}"));
             }
             KindResult::Timeout => {
-                notes.push("k-induction timeout".into());
-                return CheckReport {
-                    verdict: Verdict::Timeout,
-                    elapsed: start.elapsed(),
-                    notes,
-                };
+                if lane_cap_fired(Lane::KInduction) {
+                    notes.push("k-induction lane cap exhausted; continuing".into());
+                } else {
+                    notes.push("k-induction timeout".into());
+                    return CheckReport {
+                        verdict: Verdict::Timeout,
+                        elapsed: start.elapsed(),
+                        notes,
+                    };
+                }
             }
         }
     }
@@ -407,7 +462,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
             &proof_ts,
             PdrOptions {
                 max_frames: opts.pdr_max_frames,
-                budget: remaining_budget(deadline),
+                budget: lane_budget(Lane::Pdr),
             },
         ) {
             PdrResult::Proof {
@@ -445,12 +500,16 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                 };
             }
             PdrResult::Timeout => {
-                notes.push("pdr timeout".into());
-                return CheckReport {
-                    verdict: Verdict::Timeout,
-                    elapsed: start.elapsed(),
-                    notes,
-                };
+                if lane_cap_fired(Lane::Pdr) {
+                    notes.push("pdr lane cap exhausted".into());
+                } else {
+                    notes.push("pdr timeout".into());
+                    return CheckReport {
+                        verdict: Verdict::Timeout,
+                        elapsed: start.elapsed(),
+                        notes,
+                    };
+                }
             }
             PdrResult::FrameLimit { frames } => {
                 notes.push(format!("pdr frame limit at {frames}"));
@@ -597,6 +656,21 @@ mod tests {
                     ..Default::default()
                 },
             ),
+            // Attack-only with a spent BMC lane cap: both modes must
+            // report the same (global) timeout — there is no other lane
+            // to fall through to.
+            (
+                "attack-only with capped bmc",
+                counter_task(4, 6, false),
+                CheckOptions {
+                    attack_only: true,
+                    lanes: crate::lane::LanePlan::new().with(
+                        crate::lane::Lane::Bmc,
+                        crate::lane::LaneBudget::wall(Duration::ZERO),
+                    ),
+                    ..Default::default()
+                },
+            ),
         ];
         for (label, task, opts) in scenarios {
             let seq = check_safety(&task, &opts);
@@ -608,6 +682,53 @@ mod tests {
                 seq.verdict,
                 par.verdict,
                 par.notes
+            );
+        }
+    }
+
+    /// A wall-capped lane that exhausts only its own clock is skipped in
+    /// sequential mode and ignored in portfolio mode — the check still
+    /// reaches the proof engines instead of reporting a global timeout.
+    #[test]
+    fn bmc_lane_cap_skips_phase_instead_of_timing_out() {
+        use crate::lane::{Lane, LaneBudget, LanePlan};
+        let task = counter_task(4, 6, false);
+        for mode in [ExecMode::Sequential, ExecMode::Portfolio] {
+            let opts = CheckOptions {
+                lanes: LanePlan::new().with(Lane::Bmc, LaneBudget::wall(Duration::ZERO)),
+                mode,
+                ..Default::default()
+            };
+            let report = check_safety(&task, &opts);
+            assert!(
+                report.verdict.is_proof(),
+                "{mode:?}: {:?} {:?}",
+                report.verdict,
+                report.notes
+            );
+        }
+    }
+
+    /// A BMC depth schedule still finds attacks beyond its shallow steps
+    /// (and beyond `bmc_depth`, which the schedule overrides).
+    #[test]
+    fn bmc_depth_schedule_reaches_deep_attack() {
+        use crate::lane::{Lane, LaneBudget, LanePlan};
+        let task = counter_task(4, 6, true);
+        for mode in [ExecMode::Sequential, ExecMode::Portfolio] {
+            let opts = CheckOptions {
+                bmc_depth: 2,
+                attack_only: true,
+                lanes: LanePlan::new().with(Lane::Bmc, LaneBudget::depths(&[2, 4, 8])),
+                mode,
+                ..Default::default()
+            };
+            let report = check_safety(&task, &opts);
+            assert!(
+                report.verdict.is_attack(),
+                "{mode:?}: {:?} {:?}",
+                report.verdict,
+                report.notes
             );
         }
     }

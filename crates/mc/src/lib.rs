@@ -18,7 +18,10 @@
 //! * [`portfolio`] — the [`portfolio::Engine`] trait and the thread-racing
 //!   scheduler behind `check_safety`'s portfolio mode: all engines run
 //!   concurrently and the first decisive lane cancels the rest through a
-//!   stop flag shared via `csl_sat::Budget`.
+//!   stop flag shared via `csl_sat::Budget`,
+//! * [`lane`] — per-lane budget shaping ([`LanePlan`]): wall caps and BMC
+//!   depth schedules threaded through [`CheckOptions::lanes`] into both
+//!   execution modes.
 //!
 //! # Example: prove a saturating counter never overflows
 //!
@@ -44,6 +47,7 @@ pub mod bmc;
 pub mod engine;
 pub mod houdini;
 pub mod kind;
+pub mod lane;
 pub mod pdr;
 pub mod portfolio;
 pub mod sim;
@@ -57,6 +61,7 @@ pub use engine::{
 };
 pub use houdini::{houdini, Candidate, HoudiniOutcome, HoudiniResult};
 pub use kind::{k_induction, KindOptions, KindResult};
+pub use lane::{Lane, LaneBudget, LanePlan};
 pub use pdr::{pdr, Cube, PdrOptions, PdrResult};
 pub use portfolio::{race, Engine, EngineOutcome, LaneResult, RaceReport};
 pub use sim::{CycleValues, Sim, SimState, StepResult};

@@ -78,6 +78,11 @@ fn validated_attack(ts: &TransitionSystem, trace: Box<Trace>, engine: &str) -> E
 /// Bounded model checking — the attack-finding lane (the paper's `Ht`).
 pub struct BmcEngine {
     pub depth: usize,
+    /// Progressive depth schedule from the lane plan: each step gets an
+    /// even share of the lane's remaining clock, deeper steps inherit
+    /// whatever earlier steps left over, and the first counterexample
+    /// ends the walk. Empty = one pass at `depth`.
+    pub schedule: Vec<usize>,
 }
 
 impl Engine for BmcEngine {
@@ -86,15 +91,57 @@ impl Engine for BmcEngine {
     }
 
     fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome {
-        match bmc(ts, self.depth, budget) {
-            // The sequential pipeline reports a BMC cex as an attack even if
-            // the replay check fails (with a warning note); mirror that here
-            // so the two modes cannot diverge on verdict kind.
-            BmcResult::Cex(trace) => EngineOutcome::Attack(trace),
-            BmcResult::Clean { depth_checked } => {
-                EngineOutcome::Inconclusive(format!("bmc clean to depth {depth_checked}"))
+        if self.schedule.is_empty() {
+            return match bmc(ts, self.depth, budget) {
+                // The sequential pipeline reports a BMC cex as an attack even
+                // if the replay check fails (with a warning note); mirror that
+                // here so the two modes cannot diverge on verdict kind.
+                BmcResult::Cex(trace) => EngineOutcome::Attack(trace),
+                BmcResult::Clean { depth_checked } => {
+                    EngineOutcome::Inconclusive(format!("bmc clean to depth {depth_checked}"))
+                }
+                BmcResult::Timeout { .. } => EngineOutcome::Timeout,
+            };
+        }
+        let lane_deadline = budget.deadline;
+        let mut clean_to: Option<usize> = None;
+        for (i, &depth) in self.schedule.iter().enumerate() {
+            // Split the remaining lane clock evenly over the remaining
+            // steps; the final step always gets everything that is left.
+            let step_budget = match lane_deadline {
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        return EngineOutcome::Timeout;
+                    }
+                    let steps_left = (self.schedule.len() - i) as u32;
+                    let step_deadline = now + (dl - now) / steps_left;
+                    Budget {
+                        deadline: Some(step_deadline),
+                        ..budget.clone()
+                    }
+                }
+                None => budget.clone(),
+            };
+            match bmc(ts, depth, step_budget) {
+                BmcResult::Cex(trace) => return EngineOutcome::Attack(trace),
+                BmcResult::Clean { depth_checked } => clean_to = Some(depth_checked),
+                BmcResult::Timeout { depth_checked } => {
+                    clean_to = depth_checked.or(clean_to);
+                    // A step timeout only ends the lane when its *lane*
+                    // clock (not just the step slice) is gone.
+                    if budget.out_of_time() || budget.stop_requested() {
+                        return EngineOutcome::Timeout;
+                    }
+                }
             }
-            BmcResult::Timeout { .. } => EngineOutcome::Timeout,
+        }
+        match clean_to {
+            Some(d) => EngineOutcome::Inconclusive(format!(
+                "bmc schedule {:?} clean to depth {d}",
+                self.schedule
+            )),
+            None => EngineOutcome::Timeout,
         }
     }
 }
@@ -268,6 +315,10 @@ pub struct LaneResult {
     pub engine: &'static str,
     pub outcome: EngineOutcome,
     pub elapsed: Duration,
+    /// The deadline this lane ran under — earlier than the race's shared
+    /// deadline exactly when a per-lane wall cap shortened it, which is
+    /// how the merge tells a lane-local timeout from a global one.
+    pub deadline: Instant,
 }
 
 /// Everything the race produced: per-lane results (in completion order)
@@ -279,22 +330,19 @@ pub struct RaceReport {
 }
 
 /// Races `engines` against each other, one thread per engine, until the
-/// first decisive outcome or `deadline`. Each lane builds its own
-/// [`TransitionSystem`] from a clone of `aig` (the build is cheap relative
-/// to any SAT query) and gets a budget carrying the shared stop flag; when
-/// a lane reports a decisive outcome the flag is raised and every other
-/// lane aborts at its next conflict/cycle boundary.
-pub fn race(
-    engines: Vec<Box<dyn Engine>>,
-    aig: &Aig,
-    keep_probes: bool,
-    deadline: Instant,
-) -> RaceReport {
+/// first decisive outcome or each lane's deadline (per-lane wall caps
+/// from a [`crate::LanePlan`] arrive here as distinct deadlines). Each
+/// lane builds its own [`TransitionSystem`] from a clone of `aig` (the
+/// build is cheap relative to any SAT query) and gets a budget carrying
+/// the shared stop flag; when a lane reports a decisive outcome the flag
+/// is raised and every other lane aborts at its next conflict/cycle
+/// boundary.
+pub fn race(engines: Vec<(Box<dyn Engine>, Instant)>, aig: &Aig, keep_probes: bool) -> RaceReport {
     let stop = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel::<LaneResult>();
     let total = engines.len();
     let mut handles = Vec::with_capacity(total);
-    for engine in engines {
+    for (engine, deadline) in engines {
         let aig = aig.clone();
         let stop = stop.clone();
         let tx = tx.clone();
@@ -308,6 +356,7 @@ pub fn race(
                 engine: engine.name(),
                 outcome,
                 elapsed: start.elapsed(),
+                deadline,
             });
         }));
     }
@@ -413,11 +462,11 @@ mod tests {
             })
         });
         let start = Instant::now();
+        let deadline = Instant::now() + Duration::from_secs(60);
         let report = race(
-            vec![fast, slow],
+            vec![(fast, deadline), (slow, deadline)],
             &trivial_aig(),
             false,
-            Instant::now() + Duration::from_secs(60),
         );
         let wall = start.elapsed();
         // The fast proof decided the race and the slow lane was stopped
@@ -448,12 +497,8 @@ mod tests {
         let (b, b_saw_stop, b_fin) = fake("b", Duration::from_millis(40), || {
             EngineOutcome::Inconclusive("nothing".into())
         });
-        let report = race(
-            vec![a, b],
-            &trivial_aig(),
-            false,
-            Instant::now() + Duration::from_secs(60),
-        );
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let report = race(vec![(a, deadline), (b, deadline)], &trivial_aig(), false);
         assert!(!report.canceled_stragglers);
         assert!(a_fin.load(Ordering::Relaxed));
         assert!(b_fin.load(Ordering::Relaxed));
@@ -470,11 +515,11 @@ mod tests {
         });
         let (l1, _, _) = fake("l1", Duration::from_secs(20), || EngineOutcome::Timeout);
         let (l2, _, _) = fake("l2", Duration::from_secs(20), || EngineOutcome::Timeout);
+        let deadline = Instant::now() + Duration::from_secs(60);
         let report = race(
-            vec![w, l1, l2],
+            vec![(w, deadline), (l1, deadline), (l2, deadline)],
             &trivial_aig(),
             false,
-            Instant::now() + Duration::from_secs(60),
         );
         assert_eq!(report.lanes.len(), 3);
     }

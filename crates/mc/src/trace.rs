@@ -15,7 +15,7 @@ use csl_hdl::Aig;
 use crate::sim::{Sim, SimState};
 
 /// A finite counterexample.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Trace {
     /// Initial values for latches (only those the solver constrained,
     /// typically the cone-of-influence subset; others default to reset).

@@ -687,7 +687,7 @@ impl Solver {
                     return Some(SolveResult::Unsat);
                 }
                 let (learnt, back_level) = self.analyze(confl);
-                self.cancel_until(back_level.max(0));
+                self.cancel_until(back_level);
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], ClauseRef::UNDEF);
                 } else {
@@ -783,7 +783,7 @@ impl Solver {
                 Some(r) => break r,
                 None => {
                     // Restart: occasionally allow the learnt DB to grow.
-                    if luby_index % 8 == 0 {
+                    if luby_index.is_multiple_of(8) {
                         self.max_learnts *= 1.1;
                     }
                     if self.budget_exhausted() {

@@ -27,13 +27,15 @@ fn main() {
     );
     for defense in Defense::TABLE3 {
         for contract in Contract::ALL {
-            let cfg = InstanceConfig::new(DesignKind::SimpleOoo(defense), contract);
-            let opts = CheckOptions {
-                total_budget: Duration::from_secs(budget),
-                bmc_depth: 14,
-                ..Default::default()
-            };
-            let report = verify(Scheme::Shadow, &cfg, &opts);
+            let report = Verifier::new()
+                .design(DesignKind::SimpleOoo(defense))
+                .contract(contract)
+                .scheme(Scheme::Shadow)
+                .wall(Duration::from_secs(budget))
+                .bmc_depth(14)
+                .query()
+                .expect("design and contract are set")
+                .run();
             let expected = if defense.expected_secure(contract == Contract::ConstantTime) {
                 "expect PROOF"
             } else {
@@ -43,7 +45,7 @@ fn main() {
                 "{:20} {:14} {:8} {:>7.1}s  {}",
                 defense.name(),
                 contract.name(),
-                report.verdict.cell(),
+                report.cell(),
                 report.elapsed.as_secs_f64(),
                 expected
             );

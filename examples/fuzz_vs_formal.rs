@@ -24,6 +24,18 @@ fn main() {
         DesignKind::SimpleOoo(Defense::DelaySpectre),
         Contract::Sandboxing,
     );
+    let formal = |defense: Defense, budget: u64, depth: usize| {
+        Verifier::new()
+            .design(DesignKind::SimpleOoo(defense))
+            .contract(Contract::Sandboxing)
+            .scheme(Scheme::Shadow)
+            .wall(Duration::from_secs(budget))
+            .bmc_depth(depth)
+            .attack_only(true)
+            .query()
+            .expect("design and contract are set")
+            .run()
+    };
 
     println!("== insecure SimpleOoO, sandboxing ==");
     let t = Instant::now();
@@ -39,19 +51,10 @@ fn main() {
         }
     }
     let t = Instant::now();
-    let report = verify(
-        Scheme::Shadow,
-        &insecure,
-        &CheckOptions {
-            total_budget: Duration::from_secs(120),
-            bmc_depth: 12,
-            attack_only: true,
-            ..Default::default()
-        },
-    );
+    let report = formal(Defense::None, 120, 12);
     println!(
         "formal:  {} in {:.2}s (exhaustive over all programs to the bound)",
-        report.verdict.cell(),
+        report.cell(),
         t.elapsed().as_secs_f64()
     );
 
@@ -72,20 +75,11 @@ fn main() {
         FuzzOutcome::Leak(f) => println!("fuzzer:  UNEXPECTED leak: {f:?}"),
     }
     let t = Instant::now();
-    let report = verify(
-        Scheme::Shadow,
-        &secure,
-        &CheckOptions {
-            total_budget: Duration::from_secs(60),
-            bmc_depth: 8,
-            attack_only: true,
-            ..Default::default()
-        },
-    );
+    let report = formal(Defense::DelaySpectre, 60, 8);
     println!(
         "formal:  {} in {:.2}s (exhaustive to depth 8; full proofs need\n\
          \u{20}        hours-scale budgets, see EXPERIMENTS.md)",
-        report.verdict.cell(),
+        report.cell(),
         t.elapsed().as_secs_f64()
     );
 }

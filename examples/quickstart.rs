@@ -12,14 +12,16 @@ use contract_shadow_logic::prelude::*;
 fn main() {
     // ---- 1. hunt: insecure SimpleOoO vs the sandboxing contract ---------
     println!("== attack hunt: SimpleOoO (no defence), sandboxing contract ==");
-    let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-    let opts = CheckOptions {
-        total_budget: Duration::from_secs(120),
-        bmc_depth: 16,
-        attack_only: true,
-        ..Default::default()
-    };
-    let report = verify(Scheme::Shadow, &cfg, &opts);
+    let query = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::None))
+        .contract(Contract::Sandboxing)
+        .scheme(Scheme::Shadow)
+        .wall(Duration::from_secs(120))
+        .bmc_depth(16)
+        .attack_only(true)
+        .query()
+        .expect("design and contract are set");
+    let report = query.run();
     match &report.verdict {
         Verdict::Attack(trace) => {
             println!(
@@ -29,24 +31,22 @@ fn main() {
             );
             // Render the counterexample waveform over the design's probes —
             // the concrete program and secret assignment are in the trace.
-            let instance = build_instance(Scheme::Shadow, &cfg);
-            println!("{}", trace.render(&instance.aig));
+            println!("{}", trace.render(&query.instance().aig));
         }
         other => println!("unexpected verdict: {other:?}"),
     }
 
     // ---- 2. prove: the Delay-spectre defence (SimpleOoO-S) --------------
     println!("== proof: SimpleOoO-S (Delay-spectre), sandboxing contract ==");
-    let cfg = InstanceConfig::new(
-        DesignKind::SimpleOoo(Defense::DelaySpectre),
-        Contract::Sandboxing,
-    );
-    let opts = CheckOptions {
-        total_budget: Duration::from_secs(600),
-        bmc_depth: 10,
-        ..Default::default()
-    };
-    let report = verify(Scheme::Shadow, &cfg, &opts);
+    let report = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::DelaySpectre))
+        .contract(Contract::Sandboxing)
+        .scheme(Scheme::Shadow)
+        .wall(Duration::from_secs(600))
+        .bmc_depth(10)
+        .query()
+        .expect("design and contract are set")
+        .run();
     match &report.verdict {
         Verdict::Proof(engine) => println!(
             "unbounded proof in {:.2}s via {engine:?}",

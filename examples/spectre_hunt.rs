@@ -15,19 +15,21 @@ use std::time::Duration;
 
 use contract_shadow_logic::prelude::*;
 
-fn hunt(excludes: Vec<ExcludeRule>, scheme: Scheme) -> CheckReport {
-    let mut cfg = InstanceConfig::new(DesignKind::BigOoo, Contract::Sandboxing);
-    cfg.excludes = excludes;
-    let opts = CheckOptions {
-        total_budget: Duration::from_secs(300),
-        bmc_depth: 16,
-        attack_only: true,
-        ..Default::default()
-    };
-    verify(scheme, &cfg, &opts)
+fn hunt(excludes: Vec<ExcludeRule>, scheme: Scheme) -> Report {
+    Verifier::new()
+        .design(DesignKind::BigOoo)
+        .contract(Contract::Sandboxing)
+        .scheme(scheme)
+        .excludes(&excludes)
+        .wall(Duration::from_secs(300))
+        .bmc_depth(16)
+        .attack_only(true)
+        .query()
+        .expect("design and contract are set")
+        .run()
 }
 
-fn describe(stage: &str, report: &CheckReport) {
+fn describe(stage: &str, report: &Report) {
     match &report.verdict {
         Verdict::Attack(trace) => println!(
             "{stage}: ATTACK in {:.1}s, {} cycles (bad `{}`)",

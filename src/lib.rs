@@ -27,16 +27,16 @@
 //!
 //! // Hunt for speculative-execution attacks on the insecure SimpleOoO
 //! // core under the sandboxing contract, with Contract Shadow Logic.
-//! let cfg = InstanceConfig::new(
-//!     DesignKind::SimpleOoo(Defense::None),
-//!     Contract::Sandboxing,
-//! );
-//! let opts = CheckOptions {
-//!     total_budget: Duration::from_secs(60),
-//!     ..Default::default()
-//! };
-//! let report = verify(Scheme::Shadow, &cfg, &opts);
-//! println!("verdict: {}", report.verdict.cell()); // "CEX": Spectre found
+//! let report = Verifier::new()
+//!     .design(DesignKind::SimpleOoo(Defense::None))
+//!     .contract(Contract::Sandboxing)
+//!     .scheme(Scheme::Shadow)
+//!     .wall(Duration::from_secs(60))
+//!     .query()
+//!     .unwrap()
+//!     .run();
+//! println!("verdict: {}", report.cell()); // "CEX": Spectre found
+//! std::fs::write("report.json", report.to_json()).unwrap(); // persist it
 //! ```
 //!
 //! See `examples/` for runnable scenarios: `quickstart` (attack + proof),
@@ -51,12 +51,21 @@ pub use csl_isa as isa;
 pub use csl_mc as mc;
 pub use csl_sat as sat;
 
-/// The commonly-needed types in one import.
+/// The commonly-needed types in one import: the [`csl_core::api`]
+/// session types plus the enums and configs they consume. The deprecated
+/// free functions (`verify`, `run_campaign`, `build_instance`) are still
+/// re-exported so existing code keeps compiling — with a deprecation
+/// nudge — for one release.
 pub mod prelude {
     pub use csl_contracts::Contract;
+    pub use csl_core::api::{
+        Budget, CampaignDiff, CampaignReport, Lane, LaneBudget, Matrix, Mode, Query, Report,
+        Verifier,
+    };
+    #[allow(deprecated)]
+    pub use csl_core::{build_instance, run_campaign, verify, CampaignOptions};
     pub use csl_core::{
-        build_instance, matrix, run_campaign, verify, CampaignCell, CampaignOptions,
-        CampaignReport, DesignKind, ExcludeRule, InstanceConfig, Scheme, ShadowOptions,
+        matrix, CampaignCell, DesignKind, ExcludeRule, InstanceConfig, Scheme, ShadowOptions,
     };
     pub use csl_cpu::{CpuConfig, Defense};
     pub use csl_isa::IsaConfig;

@@ -17,19 +17,24 @@ fn fast() -> bool {
     cfg!(debug_assertions)
 }
 
-fn attack_opts(depth: usize, secs: u64) -> CheckOptions {
-    CheckOptions {
-        total_budget: Duration::from_secs(secs),
-        bmc_depth: if fast() { depth.min(7) } else { depth },
-        attack_only: true,
-        ..Default::default()
-    }
+fn hunter(cfg: &InstanceConfig, scheme: Scheme, depth: usize, secs: u64) -> Report {
+    Verifier::new()
+        .design(cfg.design)
+        .contract(cfg.contract)
+        .scheme(scheme)
+        .excludes(&cfg.excludes)
+        .wall(Duration::from_secs(secs))
+        .bmc_depth(if fast() { depth.min(7) } else { depth })
+        .attack_only(true)
+        .query()
+        .expect("design and contract are set")
+        .run()
 }
 
 /// Insecure design: an attack must be found (release), or at minimum any
 /// verdict returned must be a *validated* attack (debug, shallow search).
 fn expect_attack(cfg: &InstanceConfig, scheme: Scheme, depth: usize, secs: u64) {
-    let report = verify(scheme, cfg, &attack_opts(depth, secs));
+    let report = hunter(cfg, scheme, depth, secs);
     match &report.verdict {
         Verdict::Attack(trace) => {
             assert!(trace.bad_name.contains("no_leakage"), "{}", trace.bad_name);
@@ -46,7 +51,7 @@ fn expect_attack(cfg: &InstanceConfig, scheme: Scheme, depth: usize, secs: u64) 
 
 /// Secure design: no attack may surface, ever.
 fn expect_no_attack(cfg: &InstanceConfig, depth: usize, secs: u64) {
-    let report = verify(Scheme::Shadow, cfg, &attack_opts(depth, secs));
+    let report = hunter(cfg, Scheme::Shadow, depth, secs);
     assert!(
         !report.verdict.is_attack(),
         "FALSE ATTACK on secure design: {:?} ({:?})",

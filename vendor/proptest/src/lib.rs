@@ -252,7 +252,7 @@ mod tests {
 
         #[test]
         fn range_strategy_in_bounds(w in 1usize..12) {
-            prop_assert!(w >= 1 && w < 12);
+            prop_assert!((1..12).contains(&w));
         }
 
         #[test]

@@ -251,8 +251,8 @@ mod tests {
     #[test]
     fn gen_bool_extremes() {
         let mut rng = StdRng::seed_from_u64(2);
-        assert!(!(0..100).map(|_| rng.gen_bool(0.0)).any(|b| b));
-        assert!((0..100).map(|_| rng.gen_bool(1.0)).all(|b| b));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
     }
 
     #[test]
