@@ -3,22 +3,25 @@
 //! `CSL_BUDGET_SECS` to widen the per-cell budget when hunting for the
 //! point where the proof engines converge. `--json <path>` /
 //! `--csv <path>` dump the probe results (both modes, all schemes) as a
-//! structured campaign report for cross-commit diffing.
+//! structured campaign report for cross-commit diffing. Decided cells
+//! are served from the session cache (the two modes key separately —
+//! the mode is part of the cache key) unless `--no-cache`.
 
 use std::time::Duration;
 
 use csl_bench::{bmc_depth, budget_secs, report_args, write_reports};
 use csl_contracts::Contract;
-use csl_core::api::{Budget, CampaignReport, Mode, Verifier};
+use csl_core::api::{Budget, CampaignReport, Mode, ReportCache, Verifier};
 use csl_core::{DesignKind, Scheme};
 
 fn main() {
-    let (json, csv) = report_args("portfolioprobe");
+    let args = report_args("portfolioprobe");
+    let cache = args.cache.as_ref().map(ReportCache::new);
     let wall = std::time::Instant::now();
     let mut reports = Vec::new();
     for scheme in Scheme::ALL {
         for mode in [Mode::Sequential, Mode::Portfolio] {
-            let report = Verifier::new()
+            let query = Verifier::new()
                 .design(DesignKind::SingleCycle)
                 .contract(Contract::Sandboxing)
                 .scheme(scheme)
@@ -26,8 +29,11 @@ fn main() {
                 .budget(Budget::wall(Duration::from_secs(budget_secs(45))))
                 .bmc_depth(bmc_depth(6))
                 .query()
-                .expect("design and contract are set")
-                .run();
+                .expect("design and contract are set");
+            let report = match &cache {
+                Some(cache) => query.run_cached(cache),
+                None => query.run(),
+            };
             println!(
                 "{:<22} {:?}: {} in {:.1}s",
                 scheme.name(),
@@ -50,5 +56,5 @@ fn main() {
         reports,
         wall: wall.elapsed(),
     };
-    write_reports(&campaign, json, csv);
+    write_reports(&campaign, &args);
 }

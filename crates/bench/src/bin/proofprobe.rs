@@ -15,7 +15,7 @@ fn run(design: DesignKind, contract: Contract, budget: u64, depth: usize) {
         .run();
     let extra = match &report.verdict {
         Verdict::Proof(e) => format!("{e:?}"),
-        Verdict::Unknown { reason } => reason.clone(),
+        Verdict::Unknown { reason } => reason.to_string(),
         _ => String::new(),
     };
     println!(

@@ -1,0 +1,40 @@
+//! CI regression gate over two archived campaign reports.
+//!
+//! `reportdiff <old.json> <new.json>` pairs cells by scheme × design ×
+//! contract, prints every verdict change, and exits nonzero when the new
+//! run *loses or flips* a decisive verdict (a proof or attack that
+//! became a timeout/unknown, or one decisive kind turning into the
+//! other) — `CampaignDiff::has_regressions`. UNK ↔ T/O churn and newly
+//! decisive cells pass.
+//!
+//! Exit codes: 0 clean-or-benign-changes, 1 regressions, 2 usage/IO/
+//! parse errors.
+
+use csl_core::api::CampaignReport;
+
+fn load(path: &str) -> CampaignReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("reportdiff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    CampaignReport::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("reportdiff: {path} is not a campaign report: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [old_path, new_path] = args.as_slice() else {
+        eprintln!("usage: reportdiff <old.json> <new.json>");
+        std::process::exit(2);
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    let diff = old.diff(&new);
+    print!("{}", diff.render());
+    if diff.has_regressions() {
+        eprintln!("reportdiff: decisive verdicts regressed between {old_path} and {new_path}");
+        std::process::exit(1);
+    }
+}

@@ -31,7 +31,7 @@ fn run(
     let extra = match &report.verdict {
         Verdict::Attack(tr) => format!("depth {} bad `{}`", tr.depth(), tr.bad_name),
         Verdict::Proof(e) => format!("{e:?}"),
-        Verdict::Unknown { reason } => reason.clone(),
+        Verdict::Unknown { reason } => reason.to_string(),
         Verdict::Timeout => String::new(),
     };
     println!(
@@ -49,7 +49,7 @@ fn run(
 fn main() {
     use Contract::*;
     use Scheme::*;
-    let (json, csv) = report_args("smoke");
+    let args = report_args("smoke");
     // Insecure: expect CEX.
     run(
         DesignKind::SimpleOoo(Defense::None),
@@ -95,7 +95,9 @@ fn main() {
     run(DesignKind::InOrder, Sandboxing, Shadow, true, 120, 12);
     // The smoke matrix through the campaign runner: every scheme on the
     // single-cycle design, cells in parallel, engines racing per cell.
-    let report = smoke_matrix(budget_secs(60), bmc_depth(8)).run_all();
+    // Decided cells are served from the session cache unless --no-cache.
+    let matrix = args.apply_cache(smoke_matrix(budget_secs(60), bmc_depth(8)));
+    let report = matrix.run_all();
     show_campaign(&report);
-    write_reports(&report, json, csv);
+    write_reports(&report, &args);
 }

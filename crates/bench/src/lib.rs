@@ -18,8 +18,12 @@ use std::time::Duration;
 
 use csl_contracts::Contract;
 use csl_core::api::{Budget, CampaignReport, Matrix, Mode, Report, Verifier};
-use csl_core::{DesignKind, Scheme};
+use csl_core::{CampaignCell, DesignKind, Scheme};
 use csl_cpu::Defense;
+
+/// Default on-disk location for the session result cache used by the
+/// bins (under `target/` so it is ignored and `cargo clean` clears it).
+pub const DEFAULT_CACHE_DIR: &str = "target/csl-report-cache";
 
 /// Per-task budget in seconds, honouring `CSL_BUDGET_SECS` / `CSL_FAST`.
 pub fn budget_secs(default: u64) -> u64 {
@@ -99,6 +103,21 @@ pub fn table2_designs() -> Vec<DesignKind> {
     ]
 }
 
+/// The Table-2 cell list (every scheme × every Table-2 design under
+/// sandboxing), for callers that iterate cells themselves.
+pub fn table2_cells() -> Vec<CampaignCell> {
+    csl_core::matrix(&Scheme::ALL, &table2_designs(), &[Contract::Sandboxing])
+}
+
+/// The smoke cell list: every scheme on the smallest design.
+pub fn smoke_cells() -> Vec<CampaignCell> {
+    csl_core::matrix(
+        &Scheme::ALL,
+        &[DesignKind::SingleCycle],
+        &[Contract::Sandboxing],
+    )
+}
+
 /// The full Table-2 campaign: every scheme × every design, sandboxing,
 /// cells in parallel on the worker pool, engines racing per cell.
 pub fn table2_matrix(budget_s: u64, depth: usize) -> Matrix {
@@ -131,39 +150,66 @@ pub fn show_campaign(report: &CampaignReport) {
     );
 }
 
-/// Parses the standard `--json <path>` / `--csv <path>` bin arguments.
-/// Returns `(json_path, csv_path)`; unknown arguments abort with usage.
-pub fn report_args(bin: &str) -> (Option<String>, Option<String>) {
-    let mut json = None;
-    let mut csv = None;
+/// The standard bin arguments: report dump paths plus the session-cache
+/// controls.
+pub struct BinArgs {
+    pub json: Option<String>,
+    pub csv: Option<String>,
+    /// Cache directory for campaign runs; defaults to
+    /// [`DEFAULT_CACHE_DIR`], `None` after `--no-cache`.
+    pub cache: Option<String>,
+}
+
+impl BinArgs {
+    /// Applies the cache setting to a campaign matrix.
+    pub fn apply_cache(&self, matrix: Matrix) -> Matrix {
+        match &self.cache {
+            Some(dir) => matrix.cache(dir),
+            None => matrix.no_cache(),
+        }
+    }
+}
+
+/// Parses the standard `--json <path>` / `--csv <path>` /
+/// `--cache <dir>` / `--no-cache` bin arguments; unknown arguments abort
+/// with usage.
+pub fn report_args(bin: &str) -> BinArgs {
+    let usage = format!("usage: {bin} [--json <path>] [--csv <path>] [--cache <dir> | --no-cache]");
+    let mut parsed = BinArgs {
+        json: None,
+        csv: None,
+        cache: Some(DEFAULT_CACHE_DIR.to_string()),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let value = |args: &mut dyn Iterator<Item = String>| {
             args.next().unwrap_or_else(|| {
-                eprintln!("usage: {bin} [--json <path>] [--csv <path>]");
+                eprintln!("{usage}");
                 std::process::exit(2);
             })
         };
         match arg.as_str() {
-            "--json" => json = Some(value(&mut args)),
-            "--csv" => csv = Some(value(&mut args)),
+            "--json" => parsed.json = Some(value(&mut args)),
+            "--csv" => parsed.csv = Some(value(&mut args)),
+            "--cache" => parsed.cache = Some(value(&mut args)),
+            "--no-cache" => parsed.cache = None,
             _ => {
-                eprintln!("unknown argument `{arg}`; usage: {bin} [--json <path>] [--csv <path>]");
+                eprintln!("unknown argument `{arg}`; {usage}");
                 std::process::exit(2);
             }
         }
     }
-    (json, csv)
+    parsed
 }
 
 /// Writes the serialized campaign to the paths `report_args` collected.
-pub fn write_reports(report: &CampaignReport, json: Option<String>, csv: Option<String>) {
-    if let Some(path) = json {
-        std::fs::write(&path, report.to_json()).expect("write json report");
+pub fn write_reports(report: &CampaignReport, args: &BinArgs) {
+    if let Some(path) = &args.json {
+        std::fs::write(path, report.to_json()).expect("write json report");
         println!("json report written to {path}");
     }
-    if let Some(path) = csv {
-        std::fs::write(&path, report.to_csv()).expect("write csv report");
+    if let Some(path) = &args.csv {
+        std::fs::write(path, report.to_csv()).expect("write csv report");
         println!("csv report written to {path}");
     }
 }

@@ -1,0 +1,72 @@
+//! Exchange on/off equivalence over the smoke cells.
+//!
+//! The clause/lemma bus only ships facts implied by the shared instance,
+//! so switching it on must never change a verdict — only (at best) how
+//! fast one arrives. The smoke cells' verdict landscape is stable across
+//! budgets (see `crates/core/tests/portfolio_equiv.rs`), which makes
+//! this check deterministic rather than budget-racy.
+
+use std::time::Duration;
+
+use csl_bench::smoke_cells;
+use csl_core::api::{Budget, ExchangeConfig, Mode, Report, Verifier};
+use csl_core::CampaignCell;
+
+fn run(cell: &CampaignCell, exchange: ExchangeConfig) -> Report {
+    Verifier::new()
+        .design(cell.design)
+        .contract(cell.contract)
+        .scheme(cell.scheme)
+        .mode(Mode::Portfolio)
+        .exchange(exchange)
+        .budget(Budget::wall(Duration::from_secs(10)))
+        .bmc_depth(4)
+        .query()
+        .expect("cell carries design and contract")
+        .run()
+}
+
+#[test]
+fn exchange_on_is_verdict_identical_to_off_across_smoke_cells() {
+    let mut on_total = Duration::ZERO;
+    let mut off_total = Duration::ZERO;
+    for cell in smoke_cells() {
+        let off = run(&cell, ExchangeConfig::off());
+        let on = run(&cell, ExchangeConfig::on());
+        assert_eq!(
+            off.cell(),
+            on.cell(),
+            "{}: exchange off {:?} vs on {:?}\non notes: {:?}",
+            cell.label(),
+            off.verdict,
+            on.verdict,
+            on.notes
+        );
+        assert!(
+            off.exchange.is_empty(),
+            "exchange-off reports must carry no traffic stats"
+        );
+        // The LEAVE/UPEC schemes bypass the portfolio entirely; only the
+        // check_safety schemes record lane traffic.
+        if matches!(
+            cell.scheme,
+            csl_core::Scheme::Shadow | csl_core::Scheme::Baseline
+        ) {
+            assert!(
+                !on.exchange.is_empty(),
+                "{}: exchange-on portfolio must record per-lane stats",
+                cell.label()
+            );
+        }
+        off_total += off.elapsed;
+        on_total += on.elapsed;
+    }
+    // Generous slack: the bus must not be a structural slowdown. (The
+    // timeout-bound cells dominate both sums identically, so this only
+    // trips if exchange overhead is pathological.)
+    let limit = off_total.mul_f64(1.5) + Duration::from_secs(5);
+    assert!(
+        on_total <= limit,
+        "exchange-on total {on_total:?} exceeds {limit:?} (off {off_total:?})"
+    );
+}

@@ -1,0 +1,289 @@
+//! Session-level result cache.
+//!
+//! Repeated campaigns mostly re-decide cells nothing changed in: the
+//! scheme, design, contract, engine options and the instrumented netlist
+//! are identical, so the verdict is too. [`ReportCache`] persists
+//! [`Report`]s under a cache directory keyed by a stable fingerprint of
+//! the *resolved query* — scheme × design × contract × every engine knob
+//! × a structural hash of the built netlist (plus its invariant
+//! candidates). Hashing the built instance rather than the builder knobs
+//! means any change that reaches the netlist — a new defense, a shadow
+//! option, an exclusion rule, even an edit to the CPU generators —
+//! changes the key and misses the cache.
+//!
+//! Only *decided* cells (attack or proof) are stored: a timeout or
+//! unknown depends on the machine and the budget draw, and caching one
+//! would mask a later, luckier run. `Matrix::run_all` consults the cache
+//! when one is configured (see `Matrix::cache`); the bench bins expose
+//! the `--no-cache` escape hatch.
+
+use std::path::{Path, PathBuf};
+
+use csl_hdl::{Aig, Node};
+use csl_mc::{Candidate, CheckOptions, SafetyCheck};
+
+use crate::api::report::Report;
+
+/// A 64-bit FNV-1a hasher; stable across runs and platforms (unlike
+/// `std::hash`, whose `Hasher` seeds may vary).
+pub(crate) struct Fingerprint(u64);
+
+impl Fingerprint {
+    pub fn new() -> Fingerprint {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.write(&[v as u8]);
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Structural fingerprint of a netlist: node graph, latch inits and
+/// next-state wiring, assumes, named bads.
+pub(crate) fn netlist_fingerprint(aig: &Aig) -> u64 {
+    let mut h = Fingerprint::new();
+    h.usize(aig.num_nodes());
+    for n in 0..aig.num_nodes() as u32 {
+        match aig.node(csl_hdl::Bit::from_packed(n << 1)) {
+            Node::Const => h.u64(0),
+            Node::Input(i) => {
+                h.u64(1);
+                h.u64(i as u64);
+            }
+            Node::Latch(l) => {
+                h.u64(2);
+                h.u64(l as u64);
+            }
+            Node::And(a, b) => {
+                h.u64(3);
+                h.u64(a.packed() as u64);
+                h.u64(b.packed() as u64);
+            }
+        }
+    }
+    h.usize(aig.latches().len());
+    for l in aig.latches() {
+        h.u64(l.output.packed() as u64);
+        h.u64(match l.init {
+            csl_hdl::Init::Zero => 0,
+            csl_hdl::Init::One => 1,
+            csl_hdl::Init::Symbolic => 2,
+        });
+        match l.next {
+            Some(next) => {
+                h.bool(true);
+                h.u64(next.packed() as u64);
+            }
+            None => h.bool(false),
+        }
+    }
+    h.usize(aig.assumes().len());
+    for a in aig.assumes() {
+        h.u64(a.packed() as u64);
+    }
+    h.usize(aig.bads().len());
+    for b in aig.bads() {
+        h.str(&b.name);
+        h.u64(b.bit.packed() as u64);
+    }
+    h.finish()
+}
+
+/// Folds a full verification instance (netlist + invariant candidates)
+/// into the hasher.
+pub(crate) fn instance_fingerprint(h: &mut Fingerprint, task: &SafetyCheck) {
+    h.u64(netlist_fingerprint(&task.aig));
+    h.usize(task.candidates.len());
+    for Candidate { name, bit } in &task.candidates {
+        h.str(name);
+        h.u64(bit.packed() as u64);
+    }
+}
+
+/// Folds every engine knob into the hasher.
+pub(crate) fn options_fingerprint(h: &mut Fingerprint, opts: &CheckOptions) {
+    h.u64(opts.total_budget.as_nanos() as u64);
+    h.usize(opts.bmc_depth);
+    h.bool(opts.attack_only);
+    h.usize(opts.kind_max_k);
+    h.bool(opts.use_pdr);
+    h.usize(opts.pdr_max_frames);
+    h.bool(opts.keep_probes);
+    h.u64(match opts.mode {
+        csl_mc::ExecMode::Sequential => 0,
+        csl_mc::ExecMode::Portfolio => 1,
+    });
+    for lane in csl_mc::Lane::ALL {
+        let b = opts.lanes.get(lane);
+        match b.wall {
+            Some(w) => {
+                h.bool(true);
+                h.u64(w.as_nanos() as u64);
+            }
+            None => h.bool(false),
+        }
+        h.usize(b.depth_schedule.len());
+        for &d in &b.depth_schedule {
+            h.usize(d);
+        }
+        h.bool(b.exchange.import);
+        h.bool(b.exchange.export);
+    }
+    let x = &opts.exchange;
+    h.bool(x.enabled);
+    h.usize(x.max_clause_len);
+    h.u64(x.max_clause_lbd as u64);
+    h.usize(x.max_imports_per_poll);
+    h.usize(x.capacity);
+}
+
+/// A directory of persisted [`Report`]s keyed by query fingerprint.
+#[derive(Clone, Debug)]
+pub struct ReportCache {
+    dir: PathBuf,
+}
+
+impl ReportCache {
+    /// Opens (without creating) a cache rooted at `dir`; the directory is
+    /// created lazily on the first store.
+    pub fn new(dir: impl Into<PathBuf>) -> ReportCache {
+        ReportCache { dir: dir.into() }
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Loads the report stored under `key`, if any. Unreadable or
+    /// unparsable entries are treated as misses (the cell just reruns).
+    pub fn load(&self, key: u64) -> Option<Report> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        Report::from_json(&text).ok()
+    }
+
+    /// [`ReportCache::load`] plus the standard cache-hit note — the one
+    /// protocol both `Query::run_cached` and `Matrix::run_all` serve
+    /// hits through.
+    pub(crate) fn serve(&self, key: u64) -> Option<Report> {
+        let mut hit = self.load(key)?;
+        hit.notes.push(format!("served from cache ({key:016x})"));
+        Some(hit)
+    }
+
+    /// Persists a *decided* report under `key`; timeouts and unknowns are
+    /// silently skipped (see the module docs).
+    pub fn store(&self, key: u64, report: &Report) -> std::io::Result<()> {
+        if !(report.verdict.is_attack() || report.verdict.is_proof()) {
+            return Ok(());
+        }
+        std::fs::create_dir_all(&self.dir)?;
+        std::fs::write(self.path_for(key), report.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csl_hdl::{Design, Init};
+
+    fn counter_aig(width: usize, bad_at: u64) -> Aig {
+        let mut d = Design::new("t");
+        let r = d.reg("r", width, Init::Zero);
+        let inc = d.add_const(&r.q(), 1);
+        d.set_next(&r, inc);
+        let hit = d.eq_const(&r.q(), bad_at);
+        d.assert_always("hit", hit.not());
+        d.finish()
+    }
+
+    #[test]
+    fn netlist_fingerprint_is_stable_and_discriminating() {
+        let a = netlist_fingerprint(&counter_aig(4, 9));
+        let same = netlist_fingerprint(&counter_aig(4, 9));
+        let different = netlist_fingerprint(&counter_aig(4, 10));
+        assert_eq!(a, same, "identical builds must fingerprint identically");
+        assert_ne!(a, different, "a changed constant must change the hash");
+    }
+
+    #[test]
+    fn options_fingerprint_sees_every_knob() {
+        let mut base = Fingerprint::new();
+        options_fingerprint(&mut base, &CheckOptions::default());
+        let base = base.finish();
+
+        let tweaked = [
+            CheckOptions {
+                bmc_depth: 21,
+                ..CheckOptions::default()
+            },
+            CheckOptions::default().portfolio(),
+            CheckOptions::default().with_exchange(csl_mc::ExchangeConfig::on()),
+            CheckOptions {
+                lanes: csl_mc::LanePlan::new()
+                    .with(csl_mc::Lane::Bmc, csl_mc::LaneBudget::depths(&[2, 4])),
+                ..CheckOptions::default()
+            },
+        ];
+        for opts in tweaked {
+            let mut h = Fingerprint::new();
+            options_fingerprint(&mut h, &opts);
+            assert_ne!(h.finish(), base, "{opts:?} must change the key");
+        }
+    }
+
+    #[test]
+    fn cache_stores_only_decided_reports() {
+        use csl_contracts::Contract;
+        use csl_mc::{ProofEngine, Verdict};
+
+        let dir = std::env::temp_dir().join(format!("csl-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ReportCache::new(&dir);
+        let mut report = Report {
+            scheme: crate::Scheme::Leave,
+            design: crate::DesignKind::SingleCycle,
+            contract: Contract::Sandboxing,
+            verdict: Verdict::Proof(ProofEngine::Houdini { invariants: 3 }),
+            elapsed: std::time::Duration::from_millis(10),
+            notes: vec![],
+            exchange: vec![],
+        };
+        assert!(cache.load(1).is_none());
+        cache.store(1, &report).unwrap();
+        assert_eq!(cache.load(1).unwrap(), report);
+
+        report.verdict = Verdict::Timeout;
+        cache.store(2, &report).unwrap();
+        assert!(cache.load(2).is_none(), "timeouts are never cached");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

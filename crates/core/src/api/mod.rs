@@ -35,9 +35,11 @@
 //! `build_*_instance` family) remain as `#[deprecated]` shims for one
 //! release.
 
+mod cache;
 mod json;
 mod report;
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use csl_contracts::Contract;
@@ -49,7 +51,11 @@ use crate::harness::{DesignKind, ExcludeRule, InstanceConfig};
 use crate::shadow::ShadowOptions;
 use crate::verify::{instance_for, run_scheme, Scheme};
 
-pub use csl_mc::{ExecMode as Mode, Lane, LaneBudget, LanePlan};
+pub use cache::ReportCache;
+pub use csl_mc::{
+    ExchangeConfig, ExchangeStats, ExecMode as Mode, InconclusiveReason, Lane, LaneBudget,
+    LaneExchange, LanePlan,
+};
 pub use json::{Json, JsonError};
 pub use report::{CampaignDiff, CampaignReport, ReadError, Report, VerdictChange};
 
@@ -136,6 +142,7 @@ pub struct Verifier {
     shadow: ShadowOptions,
     with_candidates: bool,
     threads: usize,
+    exchange: ExchangeConfig,
 }
 
 impl Default for Verifier {
@@ -158,6 +165,7 @@ impl Default for Verifier {
             shadow: ShadowOptions::default(),
             with_candidates: true,
             threads: 0,
+            exchange: opts.exchange,
         }
     }
 }
@@ -195,6 +203,15 @@ impl Verifier {
     /// Wall clock and per-lane shaping.
     pub fn budget(mut self, budget: Budget) -> Verifier {
         self.budget = budget;
+        self
+    }
+
+    /// Configures the cross-lane clause/lemma exchange bus (portfolio
+    /// mode): `ExchangeConfig::on()` lets BMC's learnt clauses seed
+    /// k-induction, streams Houdini survivors into the running proof
+    /// lanes, and records per-lane import/export counts in the report.
+    pub fn exchange(mut self, exchange: ExchangeConfig) -> Verifier {
+        self.exchange = exchange;
         self
     }
 
@@ -315,6 +332,7 @@ impl Verifier {
         Matrix {
             cells: matrix(schemes, designs, contracts),
             base: self,
+            cache_dir: None,
         }
     }
 
@@ -329,6 +347,7 @@ impl Verifier {
             keep_probes: self.keep_probes,
             mode: self.mode,
             lanes: self.budget.lanes.clone(),
+            exchange: self.exchange.clone(),
         }
     }
 
@@ -394,6 +413,35 @@ impl Query {
     pub fn instance(&self) -> SafetyCheck {
         instance_for(self.scheme, &self.cfg)
     }
+
+    /// Stable fingerprint of this query for the session result cache:
+    /// scheme × design × contract × every engine option × a structural
+    /// hash of the built netlist and its invariant candidates. Two
+    /// queries with the same key decide the same problem. Building the
+    /// instance costs netlist-construction time — trivial next to any
+    /// solving the key would spare.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = cache::Fingerprint::new();
+        h.str(self.scheme.name());
+        h.str(&self.design.name());
+        h.str(self.contract.name());
+        cache::options_fingerprint(&mut h, &self.opts);
+        cache::instance_fingerprint(&mut h, &self.instance());
+        h.finish()
+    }
+
+    /// [`Query::run`], consulting (and feeding) a [`ReportCache`]: a hit
+    /// skips solving entirely and returns the stored report with a note
+    /// appended; a decided miss is stored for next time.
+    pub fn run_cached(&self, cache: &ReportCache) -> Report {
+        let key = self.cache_key();
+        if let Some(hit) = cache.serve(key) {
+            return hit;
+        }
+        let report = self.run();
+        let _ = cache.store(key, &report);
+        report
+    }
 }
 
 /// A campaign: a cell matrix plus the shared per-cell options, run on a
@@ -403,6 +451,7 @@ impl Query {
 pub struct Matrix {
     base: Verifier,
     cells: Vec<CampaignCell>,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Matrix {
@@ -420,6 +469,28 @@ impl Matrix {
     /// Per-cell execution mode (sequential or portfolio).
     pub fn mode(mut self, mode: Mode) -> Matrix {
         self.base = self.base.mode(mode);
+        self
+    }
+
+    /// Per-cell exchange-bus configuration.
+    pub fn exchange(mut self, exchange: ExchangeConfig) -> Matrix {
+        self.base = self.base.exchange(exchange);
+        self
+    }
+
+    /// Enables the session result cache rooted at `dir`: `run_all` skips
+    /// cells whose [`Query::cache_key`] already has a decided report on
+    /// disk and stores newly decided ones. Timeouts/unknowns always
+    /// rerun.
+    pub fn cache(mut self, dir: impl Into<PathBuf>) -> Matrix {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Drops a previously configured cache (the `--no-cache` escape
+    /// hatch).
+    pub fn no_cache(mut self) -> Matrix {
+        self.cache_dir = None;
         self
     }
 
@@ -447,19 +518,60 @@ impl Matrix {
         self
     }
 
+    /// The fully-resolved query one cell of this matrix runs.
+    fn cell_query(&self, cell: &CampaignCell) -> Query {
+        self.base
+            .clone()
+            .design(cell.design)
+            .contract(cell.contract)
+            .scheme(cell.scheme)
+            .query()
+            .expect("matrix cells always carry a design and a contract")
+    }
+
     /// Runs every cell on the worker pool and returns the reports in
-    /// matrix order (never completion order).
+    /// matrix order (never completion order). With a cache configured
+    /// (see [`Matrix::cache`]), cells whose query fingerprint already has
+    /// a decided report on disk are skipped and served from it.
     pub fn run_all(&self) -> CampaignReport {
+        let start = std::time::Instant::now();
+        let cache = self.cache_dir.as_ref().map(ReportCache::new);
         let opts = self.base.check_options();
-        let make_cfg = |cell: &CampaignCell| self.base.instance_config(cell.design, cell.contract);
-        let (checks, wall) = run_cells(&self.cells, &make_cfg, &opts, self.base.threads);
-        let reports = self
-            .cells
-            .iter()
-            .zip(checks)
-            .map(|(cell, check)| Report::from_check(cell.scheme, cell.design, cell.contract, check))
+        let mut slots: Vec<Option<Report>> = vec![None; self.cells.len()];
+        let mut keys: Vec<Option<u64>> = vec![None; self.cells.len()];
+        if let Some(cache) = &cache {
+            // Serial key pass: cache_key builds each cell's instance once
+            // more than the pool will. Netlist construction is
+            // milliseconds against multi-second per-cell SAT budgets, so
+            // the lookup stays simple rather than threading key
+            // computation through the worker pool.
+            for (i, cell) in self.cells.iter().enumerate() {
+                let key = self.cell_query(cell).cache_key();
+                keys[i] = Some(key);
+                slots[i] = cache.serve(key);
+            }
+        }
+        let to_run: Vec<usize> = (0..self.cells.len())
+            .filter(|&i| slots[i].is_none())
             .collect();
-        CampaignReport { reports, wall }
+        let pending: Vec<CampaignCell> = to_run.iter().map(|&i| self.cells[i]).collect();
+        let make_cfg = |cell: &CampaignCell| self.base.instance_config(cell.design, cell.contract);
+        let (checks, _pool_wall) = run_cells(&pending, &make_cfg, &opts, self.base.threads);
+        for (&i, check) in to_run.iter().zip(checks) {
+            let cell = self.cells[i];
+            let report = Report::from_check(cell.scheme, cell.design, cell.contract, check);
+            if let (Some(cache), Some(key)) = (&cache, keys[i]) {
+                let _ = cache.store(key, &report);
+            }
+            slots[i] = Some(report);
+        }
+        CampaignReport {
+            reports: slots
+                .into_iter()
+                .map(|r| r.expect("every cell either cached or ran"))
+                .collect(),
+            wall: start.elapsed(),
+        }
     }
 }
 

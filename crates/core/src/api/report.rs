@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use csl_contracts::Contract;
-use csl_mc::{CheckReport, ProofEngine, Trace, Verdict};
+use csl_mc::{CheckReport, ExchangeStats, InconclusiveReason, Lane, ProofEngine, Trace, Verdict};
 
 use crate::api::json::{Json, JsonError};
 use crate::harness::DesignKind;
@@ -65,6 +65,9 @@ pub struct Report {
     pub elapsed: Duration,
     /// Engine-by-engine notes (sizes, intermediate outcomes).
     pub notes: Vec<String>,
+    /// Per-lane exchange-bus traffic (empty when the clause/lemma
+    /// exchange was off or the cell ran sequentially).
+    pub exchange: Vec<ExchangeStats>,
 }
 
 impl Report {
@@ -82,6 +85,7 @@ impl Report {
             verdict: check.verdict,
             elapsed: check.elapsed,
             notes: check.notes,
+            exchange: check.exchange,
         }
     }
 
@@ -121,7 +125,7 @@ impl Report {
             Verdict::Attack(t) => format!("depth {} bad {}", t.depth(), t.bad_name),
             Verdict::Proof(p) => proof_detail(p),
             Verdict::Timeout => String::new(),
-            Verdict::Unknown { reason } => reason.clone(),
+            Verdict::Unknown { reason } => reason.to_string(),
         };
         [
             csv_field(self.scheme.name()),
@@ -142,6 +146,10 @@ impl Report {
             ("contract", Json::Str(self.contract.name().into())),
             ("verdict", verdict_to_value(&self.verdict)),
             ("elapsed", duration_to_value(self.elapsed)),
+            (
+                "exchange",
+                Json::Arr(self.exchange.iter().map(exchange_to_value).collect()),
+            ),
             (
                 "notes",
                 Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
@@ -176,6 +184,14 @@ impl Report {
                     .ok_or_else(|| ReadError::Schema("non-string note".into()))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        // Absent in pre-exchange documents: default to no traffic.
+        let exchange = match v.get("exchange").and_then(Json::as_arr) {
+            Some(items) => items
+                .iter()
+                .map(exchange_from_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         Ok(Report {
             scheme,
             design,
@@ -183,8 +199,36 @@ impl Report {
             verdict,
             elapsed,
             notes,
+            exchange,
         })
     }
+}
+
+fn exchange_to_value(s: &ExchangeStats) -> Json {
+    Json::obj(vec![
+        ("lane", Json::Str(s.lane.name().into())),
+        ("imports", Json::Int(s.imports as i64)),
+        ("exports", Json::Int(s.exports as i64)),
+    ])
+}
+
+fn exchange_from_value(v: &Json) -> Result<ExchangeStats, ReadError> {
+    let lane = v
+        .get("lane")
+        .and_then(Json::as_str)
+        .and_then(Lane::from_name)
+        .ok_or_else(|| ReadError::Schema("bad exchange lane".into()))?;
+    let count = |key: &str| -> Result<usize, ReadError> {
+        v.get(key)
+            .and_then(Json::as_int)
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| ReadError::Schema(format!("bad exchange {key}")))
+    };
+    Ok(ExchangeStats {
+        lane,
+        imports: count("imports")?,
+        exports: count("exports")?,
+    })
 }
 
 fn parse_with<T>(key: &str, v: &Json, parse: impl Fn(&str) -> Option<T>) -> Result<T, ReadError> {
@@ -255,8 +299,88 @@ fn verdict_to_value(v: &Verdict) -> Json {
         Verdict::Timeout => Json::obj(vec![("kind", Json::Str("timeout".into()))]),
         Verdict::Unknown { reason } => Json::obj(vec![
             ("kind", Json::Str("unknown".into())),
-            ("reason", Json::Str(reason.clone())),
+            ("reason", reason_to_value(reason)),
         ]),
+    }
+}
+
+fn reason_to_value(r: &InconclusiveReason) -> Json {
+    let usize_obj = |kind: &str, key: &'static str, n: usize| {
+        Json::obj(vec![
+            ("kind", Json::Str(kind.into())),
+            (key, Json::Int(n as i64)),
+        ])
+    };
+    match r {
+        InconclusiveReason::BoundedClean { depth } => usize_obj("bounded-clean", "depth", *depth),
+        InconclusiveReason::InductionGap { max_k } => usize_obj("induction-gap", "max_k", *max_k),
+        InconclusiveReason::FrameCap { frames } => usize_obj("frame-cap", "frames", *frames),
+        InconclusiveReason::ReplayFailed { engine } => Json::obj(vec![
+            ("kind", Json::Str("replay-failed".into())),
+            ("engine", Json::Str(engine.clone())),
+        ]),
+        InconclusiveReason::NoInvariants => {
+            Json::obj(vec![("kind", Json::Str("no-invariants".into()))])
+        }
+        InconclusiveReason::InvariantsInsufficient { survivors } => {
+            usize_obj("invariants-insufficient", "survivors", *survivors)
+        }
+        InconclusiveReason::NoAttackWithinDepth { depth } => {
+            usize_obj("no-attack-within-depth", "depth", *depth)
+        }
+        InconclusiveReason::AllInconclusive => {
+            Json::obj(vec![("kind", Json::Str("all-inconclusive".into()))])
+        }
+        InconclusiveReason::Other(text) => Json::obj(vec![
+            ("kind", Json::Str("other".into())),
+            ("text", Json::Str(text.clone())),
+        ]),
+    }
+}
+
+fn reason_from_value(v: &Json) -> Result<InconclusiveReason, ReadError> {
+    // Pre-typed documents stored the reason as a plain string.
+    if let Some(text) = v.as_str() {
+        return Ok(InconclusiveReason::Other(text.to_string()));
+    }
+    let usize_field = |key: &str| -> Result<usize, ReadError> {
+        v.get(key)
+            .and_then(Json::as_int)
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| ReadError::Schema(format!("missing reason {key}")))
+    };
+    match v.get("kind").and_then(Json::as_str) {
+        Some("bounded-clean") => Ok(InconclusiveReason::BoundedClean {
+            depth: usize_field("depth")?,
+        }),
+        Some("induction-gap") => Ok(InconclusiveReason::InductionGap {
+            max_k: usize_field("max_k")?,
+        }),
+        Some("frame-cap") => Ok(InconclusiveReason::FrameCap {
+            frames: usize_field("frames")?,
+        }),
+        Some("replay-failed") => Ok(InconclusiveReason::ReplayFailed {
+            engine: v
+                .get("engine")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ReadError::Schema("missing reason engine".into()))?
+                .to_string(),
+        }),
+        Some("no-invariants") => Ok(InconclusiveReason::NoInvariants),
+        Some("invariants-insufficient") => Ok(InconclusiveReason::InvariantsInsufficient {
+            survivors: usize_field("survivors")?,
+        }),
+        Some("no-attack-within-depth") => Ok(InconclusiveReason::NoAttackWithinDepth {
+            depth: usize_field("depth")?,
+        }),
+        Some("all-inconclusive") => Ok(InconclusiveReason::AllInconclusive),
+        Some("other") => Ok(InconclusiveReason::Other(
+            v.get("text")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ReadError::Schema("missing reason text".into()))?
+                .to_string(),
+        )),
+        other => schema_err(format!("unknown reason kind {other:?}")),
     }
 }
 
@@ -295,11 +419,10 @@ fn verdict_from_value(v: &Json) -> Result<Verdict, ReadError> {
         },
         Some("timeout") => Ok(Verdict::Timeout),
         Some("unknown") => Ok(Verdict::Unknown {
-            reason: v
-                .get("reason")
-                .and_then(Json::as_str)
-                .ok_or_else(|| ReadError::Schema("missing reason".into()))?
-                .to_string(),
+            reason: reason_from_value(
+                v.get("reason")
+                    .ok_or_else(|| ReadError::Schema("missing reason".into()))?,
+            )?,
         }),
         other => schema_err(format!("unknown verdict kind {other:?}")),
     }
@@ -671,6 +794,18 @@ mod tests {
                 verdict: Verdict::Attack(Box::new(trace)),
                 elapsed: Duration::new(3, 141_592_653),
                 notes: vec!["netlist: x".into(), "cex, with \"quotes\"".into()],
+                exchange: vec![
+                    ExchangeStats {
+                        lane: Lane::Bmc,
+                        imports: 2,
+                        exports: 17,
+                    },
+                    ExchangeStats {
+                        lane: Lane::KInduction,
+                        imports: 9,
+                        exports: 0,
+                    },
+                ],
             },
             Report {
                 scheme: Scheme::Leave,
@@ -679,16 +814,18 @@ mod tests {
                 verdict: Verdict::Proof(ProofEngine::Houdini { invariants: 12 }),
                 elapsed: Duration::from_millis(250),
                 notes: vec![],
+                exchange: vec![],
             },
             Report {
                 scheme: Scheme::Upec,
                 design: DesignKind::InOrder,
                 contract: Contract::ConstantTime,
                 verdict: Verdict::Unknown {
-                    reason: "1-cycle induction insufficient".into(),
+                    reason: InconclusiveReason::InductionGap { max_k: 1 },
                 },
                 elapsed: Duration::from_secs(60),
                 notes: vec!["note".into()],
+                exchange: vec![],
             },
             Report {
                 scheme: Scheme::Baseline,
@@ -697,6 +834,18 @@ mod tests {
                 verdict: Verdict::Timeout,
                 elapsed: Duration::from_secs(600),
                 notes: vec![],
+                exchange: vec![],
+            },
+            Report {
+                scheme: Scheme::Shadow,
+                design: DesignKind::SuperOoo,
+                contract: Contract::Sandboxing,
+                verdict: Verdict::Unknown {
+                    reason: InconclusiveReason::Other("operator aborted".into()),
+                },
+                elapsed: Duration::from_secs(1),
+                notes: vec![],
+                exchange: vec![],
             },
         ]
     }
@@ -726,6 +875,49 @@ mod tests {
         assert_eq!(csv.lines().count(), campaign.reports.len() + 1);
         assert!(csv.lines().next().unwrap().starts_with("scheme,design"));
         assert!(csv.contains("CEX"), "{csv}");
+    }
+
+    #[test]
+    fn legacy_string_reason_and_missing_exchange_still_parse() {
+        // Documents written before the typed-reason/exchange fields must
+        // keep loading (the CI reportdiff gate reads older artifacts).
+        let legacy = "{\"schema\": \"csl-report-v1\", \"scheme\": \"UPEC\", \
+                      \"design\": \"InOrder(Sodor)\", \"contract\": \"constant-time\", \
+                      \"verdict\": {\"kind\": \"unknown\", \"reason\": \"old text\"}, \
+                      \"elapsed\": {\"secs\": 1, \"nanos\": 0}, \"notes\": []}";
+        let report = Report::from_json(legacy).unwrap();
+        assert_eq!(
+            report.verdict,
+            Verdict::Unknown {
+                reason: InconclusiveReason::Other("old text".into())
+            }
+        );
+        assert!(report.exchange.is_empty());
+    }
+
+    #[test]
+    fn typed_reasons_round_trip_through_json() {
+        let reasons = vec![
+            InconclusiveReason::BoundedClean { depth: 12 },
+            InconclusiveReason::InductionGap { max_k: 6 },
+            InconclusiveReason::FrameCap { frames: 40 },
+            InconclusiveReason::ReplayFailed {
+                engine: "pdr".into(),
+            },
+            InconclusiveReason::NoInvariants,
+            InconclusiveReason::InvariantsInsufficient { survivors: 3 },
+            InconclusiveReason::NoAttackWithinDepth { depth: 20 },
+            InconclusiveReason::AllInconclusive,
+            InconclusiveReason::Other("free text".into()),
+        ];
+        for reason in reasons {
+            let mut r = sample_reports()[2].clone();
+            r.verdict = Verdict::Unknown {
+                reason: reason.clone(),
+            };
+            let parsed = Report::from_json(&r.to_json()).unwrap();
+            assert_eq!(parsed.verdict, Verdict::Unknown { reason });
+        }
     }
 
     #[test]

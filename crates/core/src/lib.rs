@@ -20,10 +20,12 @@
 //!   worker pool with per-cell budgets and a deterministic result table
 //!   (the Table-2 reproduction engine),
 //! * [`api`] — **the unified entry point**: the fluent [`api::Verifier`]
-//!   session builder, typed [`api::Query`]s, and persistable
+//!   session builder (including the portfolio exchange-bus knob,
+//!   `.exchange(..)`), typed [`api::Query`]s with stable cache keys, a
+//!   persistent [`api::ReportCache`], and persistable
 //!   [`api::Report`]/[`api::CampaignReport`] results (JSON/CSV writers,
-//!   round-trip parsing, cross-run diffing). The free functions it
-//!   replaces remain as `#[deprecated]` shims.
+//!   round-trip parsing, cross-run diffing, per-lane exchange traffic).
+//!   The free functions it replaces remain as `#[deprecated]` shims.
 //!
 //! # Quickstart
 //!

@@ -20,7 +20,8 @@ use std::time::Instant;
 
 use csl_mc::{
     bmc, check_safety, houdini, k_induction, BmcResult, CheckOptions, CheckReport, HoudiniResult,
-    KindOptions, KindResult, ProofEngine, SafetyCheck, Sim, TransitionSystem, Verdict,
+    InconclusiveReason, KindOptions, KindResult, ProofEngine, SafetyCheck, Sim, TransitionSystem,
+    Verdict,
 };
 use csl_sat::Budget;
 
@@ -128,23 +129,23 @@ fn run_leave(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 })
             } else {
                 Verdict::Unknown {
-                    reason: format!(
-                        "invariant search exhausted ({} survivors insufficient): \
-                         induction yields false counterexamples",
-                        out.survivors.len()
-                    ),
+                    reason: InconclusiveReason::InvariantsInsufficient {
+                        survivors: out.survivors.len(),
+                    },
                 }
             };
             CheckReport {
                 verdict,
                 elapsed: start.elapsed(),
                 notes,
+                exchange: Vec::new(),
             }
         }
         HoudiniResult::Timeout => CheckReport {
             verdict: Verdict::Timeout,
             elapsed: start.elapsed(),
             notes,
+            exchange: Vec::new(),
         },
     }
 }
@@ -165,6 +166,7 @@ fn run_upec(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 verdict: Verdict::Attack(trace),
                 elapsed: start.elapsed(),
                 notes,
+                exchange: Vec::new(),
             };
         }
         BmcResult::Clean { depth_checked } => {
@@ -175,6 +177,7 @@ fn run_upec(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 verdict: Verdict::Timeout,
                 elapsed: start.elapsed(),
                 notes,
+                exchange: Vec::new(),
             };
         }
     }
@@ -190,18 +193,23 @@ fn run_upec(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             verdict: Verdict::Proof(ProofEngine::KInduction { k }),
             elapsed: start.elapsed(),
             notes,
+            exchange: Vec::new(),
         },
         KindResult::Timeout => CheckReport {
             verdict: Verdict::Timeout,
             elapsed: start.elapsed(),
             notes,
+            exchange: Vec::new(),
         },
         _ => CheckReport {
+            // UPEC's conservative-defence invariant shape admits only
+            // 1-cycle induction; an unclosed step is an induction gap.
             verdict: Verdict::Unknown {
-                reason: "1-cycle induction (UPEC's invariant shape) insufficient".into(),
+                reason: InconclusiveReason::InductionGap { max_k: 1 },
             },
             elapsed: start.elapsed(),
             notes,
+            exchange: Vec::new(),
         },
     }
 }

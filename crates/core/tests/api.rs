@@ -10,11 +10,13 @@
 //!    artifact does).
 //! 3. **Regression diffing** — `CampaignReport::diff` flags an injected
 //!    verdict flip and stays clean on an identical run.
+//! 4. **Caching** — `Query::cache_key` is stable and option-sensitive,
+//!    and a cached matrix serves decided cells from disk on the rerun.
 
 use std::time::Duration;
 
 use csl_contracts::Contract;
-use csl_core::api::{Budget, CampaignReport, Mode, Report, Verifier};
+use csl_core::api::{Budget, CampaignReport, ExchangeConfig, Mode, Report, Verifier};
 use csl_core::{DesignKind, InstanceConfig, Scheme};
 use csl_mc::{CheckOptions, ExecMode, ProofEngine, Verdict};
 
@@ -198,4 +200,96 @@ fn diff_flags_injected_verdict_flip() {
     let mut same_kind = before.clone();
     same_kind.reports[0].verdict = Verdict::Proof(ProofEngine::KInduction { k: 1 });
     assert!(before.diff(&same_kind).is_clean());
+}
+
+/// The `.exchange(..)` builder knob reaches the engine options, and the
+/// cache key distinguishes every axis it claims to cover while staying
+/// stable for identical queries.
+#[test]
+fn exchange_knob_and_cache_key_cover_the_query_identity() {
+    let q = builder(Scheme::Shadow)
+        .exchange(ExchangeConfig::on())
+        .query()
+        .unwrap();
+    assert!(q.options().exchange.enabled);
+
+    let base = builder(Scheme::Shadow).query().unwrap();
+    let again = builder(Scheme::Shadow).query().unwrap();
+    assert_eq!(
+        base.cache_key(),
+        again.cache_key(),
+        "identical queries must share a key"
+    );
+    let different: Vec<u64> = vec![
+        builder(Scheme::Leave).query().unwrap().cache_key(),
+        builder(Scheme::Shadow)
+            .contract(Contract::ConstantTime)
+            .query()
+            .unwrap()
+            .cache_key(),
+        builder(Scheme::Shadow)
+            .bmc_depth(DEPTH + 1)
+            .query()
+            .unwrap()
+            .cache_key(),
+        builder(Scheme::Shadow)
+            .exchange(ExchangeConfig::on())
+            .query()
+            .unwrap()
+            .cache_key(),
+        builder(Scheme::Shadow)
+            .design(DesignKind::InOrder)
+            .query()
+            .unwrap()
+            .cache_key(),
+    ];
+    for (i, key) in different.iter().enumerate() {
+        assert_ne!(*key, base.cache_key(), "axis {i} must change the key");
+    }
+}
+
+/// A cached matrix run serves decided cells from disk on the second
+/// pass: LEAVE proves SingleCycle fast, so its rerun must be a cache hit
+/// with the verdict intact.
+#[test]
+fn matrix_rerun_serves_decided_cells_from_cache() {
+    let dir = std::env::temp_dir().join(format!("csl-matrix-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let matrix = || {
+        Verifier::new()
+            .budget(Budget::wall(BUDGET))
+            .bmc_depth(DEPTH)
+            .into_matrix(
+                &[Scheme::Leave],
+                &[DesignKind::SingleCycle],
+                &[Contract::Sandboxing],
+            )
+            .cache(&dir)
+    };
+    let first = matrix().run_all();
+    assert!(first.reports[0].verdict.is_proof());
+    assert!(
+        !first.reports[0].notes.iter().any(|n| n.contains("cache")),
+        "first run must be a miss"
+    );
+
+    let second = matrix().run_all();
+    assert!(second.reports[0].verdict.is_proof());
+    assert!(
+        second.reports[0]
+            .notes
+            .iter()
+            .any(|n| n.starts_with("served from cache")),
+        "second run must hit: {:?}",
+        second.reports[0].notes
+    );
+    assert!(first.diff(&second).is_clean());
+
+    // The escape hatch bypasses the populated cache.
+    let bypass = matrix().no_cache().run_all();
+    assert!(
+        !bypass.reports[0].notes.iter().any(|n| n.contains("cache")),
+        "no_cache must force a fresh run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -9,6 +9,8 @@
 
 use csl_sat::{Budget, SolveResult};
 
+use crate::exchange::{ExchangeItem, SharedContext, SharedLemma};
+use crate::lane::Lane;
 use crate::trace::Trace;
 use crate::ts::TransitionSystem;
 use crate::unroll::{InitMode, Unroller};
@@ -36,8 +38,40 @@ impl BmcResult {
 
 /// Runs BMC from depth 0 to `max_depth` (inclusive) under `budget`.
 pub fn bmc(ts: &TransitionSystem, max_depth: usize, budget: Budget) -> BmcResult {
+    bmc_with(
+        ts,
+        max_depth,
+        budget,
+        &mut SharedContext::disabled(Lane::Bmc),
+        &mut Vec::new(),
+    )
+}
+
+/// [`bmc`] attached to the exchange bus: learnt clauses stream out
+/// through the [`csl_sat::Solver`] export hook at conflict boundaries,
+/// and foreign invariant lemmas are polled between depths and asserted at
+/// every frame (sound: a lemma holds in every reachable assume-satisfying
+/// state, and every model of the reset-initialised unrolling is such a
+/// run prefix — so the pruning can never mask a real counterexample).
+///
+/// `lemmas` is the caller's lemma memory: imports accumulate there so a
+/// depth-schedule walk can re-assert them in each step's fresh unroller.
+pub fn bmc_with(
+    ts: &TransitionSystem,
+    max_depth: usize,
+    budget: Budget,
+    ctx: &mut SharedContext,
+    lemmas: &mut Vec<SharedLemma>,
+) -> BmcResult {
     let mut u = Unroller::new(ts, InitMode::Reset);
     u.set_budget(budget.clone());
+    if let Some(exporter) = ctx.clause_exporter() {
+        let policy = ctx
+            .config()
+            .expect("exporter implies a bus")
+            .export_policy();
+        u.enable_clause_export(exporter, policy);
+    }
     let mut checked: Option<usize> = None;
     for k in 0..=max_depth {
         if budget.out_of_time() {
@@ -46,6 +80,20 @@ pub fn bmc(ts: &TransitionSystem, max_depth: usize, budget: Budget) -> BmcResult
             };
         }
         u.assert_assumes_through(k);
+        for item in ctx.poll() {
+            if let ExchangeItem::Lemma(l) = &*item {
+                // Catch the new lemma up on the frames already encoded;
+                // frame `k` is covered by the sweep below.
+                for f in 0..k {
+                    u.assert_lemma_at(l.bit, f);
+                }
+                lemmas.push(l.clone());
+                ctx.note_imported(1);
+            }
+        }
+        for l in lemmas.iter() {
+            u.assert_lemma_at(l.bit, k);
+        }
         let bad = u.bad_any_at(k);
         match u.solve_with(&[bad]) {
             SolveResult::Sat => {

@@ -20,12 +20,13 @@ use csl_hdl::Aig;
 use csl_sat::Budget;
 
 use crate::bmc::{bmc, BmcResult};
+use crate::exchange::{ExchangeConfig, ExchangeStats};
 use crate::houdini::{houdini, Candidate, HoudiniResult};
 use crate::kind::{k_induction, KindOptions, KindResult};
 use crate::lane::{Lane, LanePlan};
 use crate::pdr::{pdr, PdrOptions, PdrResult};
 use crate::portfolio::{
-    race, BmcEngine, Engine, EngineOutcome, HoudiniEngine, KindEngine, PdrEngine,
+    race, BmcBackend, EngineOutcome, HoudiniBackend, KindBackend, LaneSpec, PdrBackend,
 };
 use crate::sim::Sim;
 use crate::trace::Trace;
@@ -43,6 +44,64 @@ pub enum ProofEngine {
     Pdr { frames: usize, clauses: usize },
 }
 
+/// Why an engine (or a whole check) finished without a verdict. The
+/// typed variants replace the free-form strings the engines used to
+/// report, so reports can be filtered and diffed by reason kind; the
+/// `Display` impl reproduces the human-readable text for notes and
+/// tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InconclusiveReason {
+    /// BMC exhausted its depth bound without a counterexample.
+    BoundedClean { depth: usize },
+    /// k-induction never closed within its `k` bound.
+    InductionGap { max_k: usize },
+    /// PDR hit its frame cap without converging.
+    FrameCap { frames: usize },
+    /// A counterexample failed concrete simulation replay.
+    ReplayFailed { engine: String },
+    /// Houdini left no surviving invariants to work with.
+    NoInvariants,
+    /// The surviving invariants do not exclude the bad states (LEAVE's
+    /// "false counterexamples" outcome).
+    InvariantsInsufficient { survivors: usize },
+    /// Attack-only mode: the bounded search came back clean.
+    NoAttackWithinDepth { depth: usize },
+    /// Every engine finished without a verdict.
+    AllInconclusive,
+    /// Anything else (joined engine notes, external causes).
+    Other(String),
+}
+
+impl std::fmt::Display for InconclusiveReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InconclusiveReason::BoundedClean { depth } => {
+                write!(f, "bmc clean to depth {depth}")
+            }
+            InconclusiveReason::InductionGap { max_k } => {
+                write!(f, "k-induction inconclusive to k={max_k}")
+            }
+            InconclusiveReason::FrameCap { frames } => write!(f, "pdr frame limit at {frames}"),
+            InconclusiveReason::ReplayFailed { engine } => {
+                write!(f, "{engine}: counterexample failed simulation replay")
+            }
+            InconclusiveReason::NoInvariants => {
+                write!(f, "houdini: no surviving invariants to strengthen with")
+            }
+            InconclusiveReason::InvariantsInsufficient { survivors } => write!(
+                f,
+                "invariant search exhausted ({survivors} survivors insufficient): \
+                 induction yields false counterexamples"
+            ),
+            InconclusiveReason::NoAttackWithinDepth { depth } => {
+                write!(f, "no attack within bmc depth {depth}")
+            }
+            InconclusiveReason::AllInconclusive => write!(f, "all engines inconclusive"),
+            InconclusiveReason::Other(text) => f.write_str(text),
+        }
+    }
+}
+
 /// The paper's verification outcomes (§5.3 "Model Checking with Contract
 /// Shadow Logic" lists exactly these three, plus LEAVE's UNKNOWN).
 #[derive(Clone, Debug, PartialEq)]
@@ -55,8 +114,9 @@ pub enum Verdict {
     /// Engines exhausted without a verdict inside the budget.
     Timeout,
     /// Inconclusive for a structural reason (e.g. LEAVE's invariant set
-    /// collapsed); `reason` is human-readable.
-    Unknown { reason: String },
+    /// collapsed); `reason` is typed and renders to the human-readable
+    /// text via `Display`.
+    Unknown { reason: InconclusiveReason },
 }
 
 impl Verdict {
@@ -110,9 +170,13 @@ pub struct CheckOptions {
     pub keep_probes: bool,
     /// Sequential pipeline or thread-racing portfolio.
     pub mode: ExecMode,
-    /// Per-lane budget shaping (wall caps, BMC depth schedule). The empty
-    /// default leaves every lane on the shared clock.
+    /// Per-lane budget shaping (wall caps, BMC depth schedule, exchange
+    /// opt-outs). The empty default leaves every lane on the shared
+    /// clock.
     pub lanes: LanePlan,
+    /// The cross-lane clause/lemma exchange bus (portfolio mode only;
+    /// disabled by default — the isolated-lane race of v1).
+    pub exchange: ExchangeConfig,
 }
 
 impl Default for CheckOptions {
@@ -127,6 +191,7 @@ impl Default for CheckOptions {
             keep_probes: true,
             mode: ExecMode::Sequential,
             lanes: LanePlan::default(),
+            exchange: ExchangeConfig::default(),
         }
     }
 }
@@ -135,6 +200,12 @@ impl CheckOptions {
     /// The same options with portfolio scheduling enabled.
     pub fn portfolio(mut self) -> CheckOptions {
         self.mode = ExecMode::Portfolio;
+        self
+    }
+
+    /// The same options with the exchange bus configured (builder style).
+    pub fn with_exchange(mut self, exchange: ExchangeConfig) -> CheckOptions {
+        self.exchange = exchange;
         self
     }
 }
@@ -153,6 +224,9 @@ pub struct CheckReport {
     pub elapsed: Duration,
     /// Engine-by-engine notes (sizes, intermediate outcomes).
     pub notes: Vec<String>,
+    /// Per-lane exchange-bus traffic (empty when the bus was disabled or
+    /// the check ran sequentially).
+    pub exchange: Vec<ExchangeStats>,
 }
 
 fn remaining_budget(deadline: Instant) -> Budget {
@@ -186,49 +260,51 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
         task.aig.bads().len()
     )];
 
-    let lane_deadline = |lane: Lane| opts.lanes.deadline_for(lane, start, deadline);
-    let mut engines: Vec<(Box<dyn Engine>, Instant)> = vec![(
-        Box::new(BmcEngine {
-            depth: opts.bmc_depth,
-            schedule: opts.lanes.get(Lane::Bmc).depth_schedule.clone(),
-        }),
-        lane_deadline(Lane::Bmc),
-    )];
+    let lane_spec = |backend: Box<dyn crate::portfolio::Backend>| {
+        let lane = backend.lane();
+        let xc = opts.lanes.get(lane).exchange;
+        LaneSpec::new(backend, opts.lanes.deadline_for(lane, start, deadline))
+            .exchange(xc.import, xc.export)
+    };
+    let mut engines: Vec<LaneSpec> = vec![lane_spec(Box::new(BmcBackend {
+        depth: opts.bmc_depth,
+        schedule: opts.lanes.get(Lane::Bmc).depth_schedule.clone(),
+    }))];
     if !opts.attack_only {
         if opts.kind_max_k > 0 {
-            engines.push((
-                Box::new(KindEngine {
-                    max_k: opts.kind_max_k,
-                }),
-                lane_deadline(Lane::KInduction),
-            ));
+            engines.push(lane_spec(Box::new(KindBackend {
+                max_k: opts.kind_max_k,
+            })));
         }
         if opts.use_pdr {
-            engines.push((
-                Box::new(PdrEngine {
-                    max_frames: opts.pdr_max_frames,
-                    bmc_depth: opts.bmc_depth,
-                }),
-                lane_deadline(Lane::Pdr),
-            ));
+            engines.push(lane_spec(Box::new(PdrBackend {
+                max_frames: opts.pdr_max_frames,
+                bmc_depth: opts.bmc_depth,
+            })));
         }
         if !task.candidates.is_empty() {
-            engines.push((
-                Box::new(HoudiniEngine {
-                    candidates: task.candidates.clone(),
-                    base_aig: task.aig.clone(),
-                    keep_probes: opts.keep_probes,
-                    kind_max_k: opts.kind_max_k,
-                    pdr_max_frames: if opts.use_pdr { opts.pdr_max_frames } else { 0 },
-                    bmc_depth: opts.bmc_depth,
-                }),
-                lane_deadline(Lane::Houdini),
-            ));
+            engines.push(lane_spec(Box::new(HoudiniBackend {
+                candidates: task.candidates.clone(),
+                base_aig: task.aig.clone(),
+                keep_probes: opts.keep_probes,
+                kind_max_k: opts.kind_max_k,
+                pdr_max_frames: if opts.use_pdr { opts.pdr_max_frames } else { 0 },
+                bmc_depth: opts.bmc_depth,
+            })));
         }
     }
-    notes.push(format!("portfolio: racing {} engines", engines.len()));
+    notes.push(format!(
+        "portfolio: racing {} engines ({} exchange)",
+        engines.len(),
+        if opts.exchange.enabled { "with" } else { "no" }
+    ));
 
-    let report = race(engines, &task.aig, opts.keep_probes);
+    let report = race(engines, &task.aig, opts.keep_probes, &opts.exchange);
+    let exchange = if opts.exchange.enabled {
+        report.exchange_stats()
+    } else {
+        Vec::new()
+    };
 
     // Merge lane outcomes under the sequential precedence: an attack beats
     // a proof beats a timeout beats inconclusive. Lanes canceled by the
@@ -237,14 +313,19 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
     let mut proof: Option<ProofEngine> = None;
     let mut timed_out = false;
     for lane in report.lanes {
+        let traffic = if opts.exchange.enabled {
+            format!(" (imports {}, exports {})", lane.imports, lane.exports)
+        } else {
+            String::new()
+        };
         notes.push(format!(
-            "{} [{:.2}s]: {}",
+            "{} [{:.2}s]: {}{traffic}",
             lane.engine,
             lane.elapsed.as_secs_f64(),
             match &lane.outcome {
                 EngineOutcome::Attack(t) => format!("attack at depth {}", t.depth()),
                 EngineOutcome::Proof(p) => format!("proof {p:?}"),
-                EngineOutcome::Inconclusive(reason) => reason.clone(),
+                EngineOutcome::Inconclusive(reason) => reason.to_string(),
                 EngineOutcome::Timeout => "timeout/canceled".into(),
             }
         ));
@@ -278,19 +359,22 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
         Verdict::Proof(p)
     } else if opts.attack_only && !timed_out {
         Verdict::Unknown {
-            reason: format!("no attack within bmc depth {}", opts.bmc_depth),
+            reason: InconclusiveReason::NoAttackWithinDepth {
+                depth: opts.bmc_depth,
+            },
         }
     } else if timed_out {
         Verdict::Timeout
     } else {
         Verdict::Unknown {
-            reason: "all engines inconclusive".into(),
+            reason: InconclusiveReason::AllInconclusive,
         }
     };
     CheckReport {
         verdict,
         elapsed: start.elapsed(),
         notes,
+        exchange,
     }
 }
 
@@ -332,6 +416,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                 verdict: Verdict::Attack(trace),
                 elapsed: start.elapsed(),
                 notes,
+                exchange: Vec::new(),
             };
         }
         BmcResult::Clean { depth_checked } => {
@@ -348,6 +433,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                     verdict: Verdict::Timeout,
                     elapsed: start.elapsed(),
                     notes,
+                    exchange: Vec::new(),
                 };
             }
         }
@@ -355,10 +441,13 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
     if opts.attack_only {
         return CheckReport {
             verdict: Verdict::Unknown {
-                reason: format!("no attack within bmc depth {}", opts.bmc_depth),
+                reason: InconclusiveReason::NoAttackWithinDepth {
+                    depth: opts.bmc_depth,
+                },
             },
             elapsed: start.elapsed(),
             notes,
+            exchange: Vec::new(),
         };
     }
 
@@ -380,6 +469,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         }),
                         elapsed: start.elapsed(),
                         notes,
+                        exchange: Vec::new(),
                     };
                 }
                 // Conjoin surviving invariants as constraints for the
@@ -397,6 +487,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         verdict: Verdict::Timeout,
                         elapsed: start.elapsed(),
                         notes,
+                        exchange: Vec::new(),
                     };
                 }
             }
@@ -419,6 +510,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                     verdict: Verdict::Proof(ProofEngine::KInduction { k }),
                     elapsed: start.elapsed(),
                     notes,
+                    exchange: Vec::new(),
                 };
             }
             KindResult::Cex(trace) => {
@@ -434,6 +526,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         verdict: Verdict::Attack(trace),
                         elapsed: start.elapsed(),
                         notes,
+                        exchange: Vec::new(),
                     };
                 }
                 notes.push("k-induction base cex failed replay; ignoring".into());
@@ -450,6 +543,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         verdict: Verdict::Timeout,
                         elapsed: start.elapsed(),
                         notes,
+                        exchange: Vec::new(),
                     };
                 }
             }
@@ -476,6 +570,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                     }),
                     elapsed: start.elapsed(),
                     notes,
+                    exchange: Vec::new(),
                 };
             }
             PdrResult::Cex { depth_hint } => {
@@ -489,6 +584,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                             verdict: Verdict::Attack(trace),
                             elapsed: start.elapsed(),
                             notes,
+                            exchange: Vec::new(),
                         };
                     }
                 }
@@ -497,6 +593,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                     verdict: Verdict::Timeout,
                     elapsed: start.elapsed(),
                     notes,
+                    exchange: Vec::new(),
                 };
             }
             PdrResult::Timeout => {
@@ -508,6 +605,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         verdict: Verdict::Timeout,
                         elapsed: start.elapsed(),
                         notes,
+                        exchange: Vec::new(),
                     };
                 }
             }
@@ -519,10 +617,11 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
 
     CheckReport {
         verdict: Verdict::Unknown {
-            reason: "all engines inconclusive".into(),
+            reason: InconclusiveReason::AllInconclusive,
         },
         elapsed: start.elapsed(),
         notes,
+        exchange: Vec::new(),
     }
 }
 
@@ -731,6 +830,74 @@ mod tests {
                 report.notes
             );
         }
+    }
+
+    /// The exchange bus only ships implied facts, so switching it on must
+    /// never change a portfolio verdict — and the report must carry the
+    /// per-lane traffic counters.
+    #[test]
+    fn exchange_on_portfolio_matches_off_and_records_stats() {
+        let scenarios: Vec<(&str, SafetyCheck, CheckOptions)> = vec![
+            ("attack", counter_task(4, 6, true), CheckOptions::default()),
+            ("proof", counter_task(4, 6, false), CheckOptions::default()),
+            (
+                "deep cex via pdr",
+                counter_task(4, 12, true),
+                CheckOptions {
+                    bmc_depth: 4,
+                    kind_max_k: 2,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (label, task, opts) in scenarios {
+            let off = check_safety(&task, &opts.clone().portfolio());
+            let on = check_safety(
+                &task,
+                &opts.clone().portfolio().with_exchange(ExchangeConfig::on()),
+            );
+            assert_eq!(
+                off.verdict.cell(),
+                on.verdict.cell(),
+                "{label}: off {:?} vs on {:?}\non notes: {:?}",
+                off.verdict,
+                on.verdict,
+                on.notes
+            );
+            assert!(off.exchange.is_empty(), "{label}: off must report no bus");
+            assert!(
+                !on.exchange.is_empty(),
+                "{label}: on must report per-lane stats"
+            );
+        }
+    }
+
+    /// An exchange opt-out in the lane plan silences that lane's side of
+    /// the bus.
+    #[test]
+    fn lane_exchange_opt_out_is_honored() {
+        use crate::lane::{LaneBudget, LaneExchange, LanePlan};
+        let task = counter_task(4, 6, false);
+        let opts = CheckOptions {
+            lanes: LanePlan::new().with(
+                Lane::Bmc,
+                LaneBudget::default().with_exchange(LaneExchange {
+                    import: false,
+                    export: false,
+                }),
+            ),
+            ..CheckOptions::default()
+        }
+        .portfolio()
+        .with_exchange(ExchangeConfig::on());
+        let report = check_safety(&task, &opts);
+        let bmc = report
+            .exchange
+            .iter()
+            .find(|s| s.lane == Lane::Bmc)
+            .expect("bmc lane stats present");
+        assert_eq!(bmc.imports, 0);
+        assert_eq!(bmc.exports, 0);
     }
 
     /// The portfolio prefers an attack over a proof when both lanes report

@@ -1,0 +1,469 @@
+//! The cross-lane lemma/clause exchange bus.
+//!
+//! The portfolio of [`crate::portfolio`] races independent engines on the
+//! same two-machine instance, so without sharing every solver rediscovers
+//! the same facts about the product machine. This module makes the
+//! sharing a first-class API: an [`Exchange`] bus that lanes publish to
+//! and poll from through a per-lane [`SharedContext`] handle, carrying
+//! two kinds of knowledge:
+//!
+//! * [`SharedClause`] — a learnt clause in *netlist vocabulary*
+//!   (disjunction of "bit `b` is true at frame `t`" literals), exported
+//!   by the BMC lane at conflict boundaries through the
+//!   [`csl_sat::Solver`] export hook. A shared clause is a consequence of
+//!   the reset-initialised unrolling `Init ∧ T^k ∧ assumes(0..h)`; the
+//!   clause records `h` (as [`SharedClause::assume_frames`]) and its
+//!   deepest frame so importers can gate soundness: only a solver that
+//!   is itself reset-initialised, has unrolled at least as deep, and has
+//!   asserted the assumptions at least as far may add it (in this
+//!   portfolio: the k-induction *base* instance).
+//! * [`SharedLemma`] — an invariant bit proved inductive (and true in
+//!   all constrained initial states) by the Houdini lane, streamed as
+//!   soon as the consecution fixpoint lands rather than at filter
+//!   completion. A lemma holds in every reachable assume-satisfying
+//!   state, so *any* lane may assert it at every frame of a running
+//!   solver: BMC prunes its attack search with it, and k-induction/PDR
+//!   strengthen their induction hypotheses in place instead of being
+//!   respawned on a lemma-conjoined netlist.
+//!
+//! The bus is an append-only log under a read-write lock ("lock-free-ish":
+//! polls take the read side and only publications take the write side,
+//! and both are rare next to SAT work); consumers keep a private cursor,
+//! so a slow lane never blocks a fast one. Per-lane import/export
+//! counters surface through [`crate::LaneResult`] and
+//! [`crate::CheckReport::exchange`] into the session reports.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use csl_hdl::Bit;
+use csl_sat::ExportPolicy;
+
+use crate::lane::Lane;
+
+/// Bus-wide knobs, carried by [`crate::CheckOptions::exchange`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExchangeConfig {
+    /// Master switch; the default (`false`) reproduces the isolated-lane
+    /// portfolio exactly.
+    pub enabled: bool,
+    /// Export filter: longest clause the BMC lane publishes.
+    pub max_clause_len: usize,
+    /// Export filter: highest literal-block distance published.
+    pub max_clause_lbd: u32,
+    /// How many foreign items one [`SharedContext::poll`] call returns.
+    pub max_imports_per_poll: usize,
+    /// Bus capacity (items); *clause* publications beyond it are counted
+    /// and dropped so a clause-happy lane cannot balloon memory. Lemmas
+    /// are exempt: their count is bounded by the candidate set, and they
+    /// are the highest-value traffic — a BMC clause flood must not evict
+    /// them.
+    pub capacity: usize,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> ExchangeConfig {
+        ExchangeConfig {
+            enabled: false,
+            max_clause_len: 8,
+            max_clause_lbd: 4,
+            max_imports_per_poll: 64,
+            capacity: 4096,
+        }
+    }
+}
+
+impl ExchangeConfig {
+    /// The default knobs with the bus enabled.
+    pub fn on() -> ExchangeConfig {
+        ExchangeConfig {
+            enabled: true,
+            ..ExchangeConfig::default()
+        }
+    }
+
+    /// The disabled default (isolated lanes).
+    pub fn off() -> ExchangeConfig {
+        ExchangeConfig::default()
+    }
+
+    /// The solver-level export filter these knobs describe.
+    pub fn export_policy(&self) -> ExportPolicy {
+        ExportPolicy {
+            max_len: self.max_clause_len,
+            max_lbd: self.max_clause_lbd,
+        }
+    }
+}
+
+/// "Bit `bit` is true at frame `frame`" — one literal of a
+/// [`SharedClause`], in the netlist vocabulary every lane shares (all
+/// portfolio lanes unroll clones of the same [`csl_hdl::Aig`], so node
+/// ids are identical across solvers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedLit {
+    pub frame: usize,
+    pub bit: Bit,
+}
+
+/// A learnt clause translated out of solver numbering. Implied by
+/// `Init ∧ T^max_frame ∧ assumes(0..assume_frames-1)` of the shared
+/// netlist; see the import gate on [`crate::Unroller::can_import`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedClause {
+    /// The disjunction, every literal in netlist vocabulary.
+    pub lits: Vec<TimedLit>,
+    /// Deepest frame referenced.
+    pub max_frame: usize,
+    /// Number of frames whose assume bits were asserted in the exporting
+    /// solver when the clause was learnt.
+    pub assume_frames: usize,
+    pub source: Lane,
+}
+
+/// An invariant bit: true in all constrained initial states and inductive
+/// under the constrained transition relation (a Houdini survivor), hence
+/// true in every reachable assume-satisfying state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedLemma {
+    pub name: String,
+    pub bit: Bit,
+    pub source: Lane,
+}
+
+/// One bus item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExchangeItem {
+    Clause(SharedClause),
+    Lemma(SharedLemma),
+}
+
+impl ExchangeItem {
+    /// The lane that published this item.
+    pub fn source(&self) -> Lane {
+        match self {
+            ExchangeItem::Clause(c) => c.source,
+            ExchangeItem::Lemma(l) => l.source,
+        }
+    }
+}
+
+/// Per-lane bus traffic, as recorded in [`crate::CheckReport::exchange`]
+/// and the session-API reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExchangeStats {
+    pub lane: Lane,
+    /// Items this lane pulled off the bus and applied to its solvers.
+    pub imports: usize,
+    /// Items this lane published.
+    pub exports: usize,
+}
+
+/// The shared bus. Create one per portfolio race with [`Exchange::new`]
+/// and hand each lane a [`SharedContext`] via
+/// [`SharedContext::attached`].
+#[derive(Debug)]
+pub struct Exchange {
+    config: ExchangeConfig,
+    items: RwLock<Vec<Arc<ExchangeItem>>>,
+    dropped: AtomicUsize,
+}
+
+impl Exchange {
+    pub fn new(config: ExchangeConfig) -> Arc<Exchange> {
+        Arc::new(Exchange {
+            config,
+            items: RwLock::new(Vec::new()),
+            dropped: AtomicUsize::new(0),
+        })
+    }
+
+    pub fn config(&self) -> &ExchangeConfig {
+        &self.config
+    }
+
+    /// Items published so far (including ones every consumer has seen).
+    pub fn len(&self) -> usize {
+        self.items.read().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publications dropped at the capacity cap.
+    pub fn dropped(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Appends an item. Clauses beyond the capacity cap are dropped (and
+    /// counted); lemmas always land — see [`ExchangeConfig::capacity`].
+    fn publish(&self, item: ExchangeItem) -> bool {
+        let mut items = self.items.write().unwrap();
+        if matches!(item, ExchangeItem::Clause(_)) && items.len() >= self.config.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        items.push(Arc::new(item));
+        true
+    }
+
+    /// Scans forward from `cursor`, collecting up to `max` items not
+    /// published by `lane`; returns the batch and the new cursor.
+    fn fetch(&self, cursor: usize, lane: Lane, max: usize) -> (Vec<Arc<ExchangeItem>>, usize) {
+        let items = self.items.read().unwrap();
+        let mut out = Vec::new();
+        let mut pos = cursor;
+        while pos < items.len() && out.len() < max {
+            let item = &items[pos];
+            pos += 1;
+            if item.source() != lane {
+                out.push(item.clone());
+            }
+        }
+        (out, pos)
+    }
+}
+
+/// A clause-publication handle usable from inside the
+/// [`csl_sat::Solver`] export hook (the hook closure owns one; the
+/// surrounding [`SharedContext`] stays with the engine).
+#[derive(Clone)]
+pub struct ClauseExporter {
+    bus: Arc<Exchange>,
+    lane: Lane,
+    exports: Arc<AtomicUsize>,
+}
+
+impl ClauseExporter {
+    /// The publishing lane.
+    pub fn lane(&self) -> Lane {
+        self.lane
+    }
+
+    /// Publishes one translated clause; counts the export only when the
+    /// bus accepted it.
+    pub fn publish(&self, clause: SharedClause) {
+        if self.bus.publish(ExchangeItem::Clause(clause)) {
+            self.exports.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One lane's handle on the bus: publish survivors/clauses, poll foreign
+/// items, and count traffic for the reports. A disabled context (no bus)
+/// makes every operation a cheap no-op, so engine code is written once.
+pub struct SharedContext {
+    bus: Option<Arc<Exchange>>,
+    lane: Lane,
+    cursor: usize,
+    import_enabled: bool,
+    export_enabled: bool,
+    imports: Arc<AtomicUsize>,
+    exports: Arc<AtomicUsize>,
+}
+
+impl SharedContext {
+    /// A context with no bus: every publish/poll is a no-op. This is what
+    /// lanes get when the exchange is disabled (and what sequential-mode
+    /// engine calls use).
+    pub fn disabled(lane: Lane) -> SharedContext {
+        SharedContext {
+            bus: None,
+            lane,
+            cursor: 0,
+            import_enabled: false,
+            export_enabled: false,
+            imports: Arc::new(AtomicUsize::new(0)),
+            exports: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// A context attached to `bus`, with per-lane import/export opt-outs
+    /// (from [`crate::LaneBudget::exchange`]).
+    pub fn attached(bus: Arc<Exchange>, lane: Lane, import: bool, export: bool) -> SharedContext {
+        SharedContext {
+            bus: Some(bus),
+            lane,
+            cursor: 0,
+            import_enabled: import,
+            export_enabled: export,
+            imports: Arc::new(AtomicUsize::new(0)),
+            exports: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    pub fn lane(&self) -> Lane {
+        self.lane
+    }
+
+    /// Whether this lane is attached to a live bus at all.
+    pub fn is_attached(&self) -> bool {
+        self.bus.is_some()
+    }
+
+    /// The bus configuration, when attached.
+    pub fn config(&self) -> Option<&ExchangeConfig> {
+        self.bus.as_deref().map(Exchange::config)
+    }
+
+    /// A clause-publication handle for the solver export hook, or `None`
+    /// when this lane does not export.
+    pub fn clause_exporter(&self) -> Option<ClauseExporter> {
+        let bus = self.bus.as_ref()?;
+        if !self.export_enabled {
+            return None;
+        }
+        Some(ClauseExporter {
+            bus: bus.clone(),
+            lane: self.lane,
+            exports: self.exports.clone(),
+        })
+    }
+
+    /// Publishes a proven lemma.
+    pub fn publish_lemma(&self, name: impl Into<String>, bit: Bit) {
+        let Some(bus) = &self.bus else { return };
+        if !self.export_enabled {
+            return;
+        }
+        let accepted = bus.publish(ExchangeItem::Lemma(SharedLemma {
+            name: name.into(),
+            bit,
+            source: self.lane,
+        }));
+        if accepted {
+            self.exports.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Pulls the next batch of foreign items (bounded by
+    /// [`ExchangeConfig::max_imports_per_poll`]), advancing this lane's
+    /// cursor. Returns an empty batch when detached or importing is
+    /// disabled. Polling does not count as importing — call
+    /// [`SharedContext::note_imported`] for items actually applied.
+    pub fn poll(&mut self) -> Vec<Arc<ExchangeItem>> {
+        let Some(bus) = &self.bus else {
+            return Vec::new();
+        };
+        if !self.import_enabled {
+            return Vec::new();
+        }
+        let (batch, cursor) = bus.fetch(self.cursor, self.lane, bus.config.max_imports_per_poll);
+        self.cursor = cursor;
+        batch
+    }
+
+    /// Records `n` items as applied to this lane's solvers.
+    pub fn note_imported(&self, n: usize) {
+        self.imports.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn imports(&self) -> usize {
+        self.imports.load(Ordering::Relaxed)
+    }
+
+    pub fn exports(&self) -> usize {
+        self.exports.load(Ordering::Relaxed)
+    }
+
+    /// This lane's traffic counters.
+    pub fn stats(&self) -> ExchangeStats {
+        ExchangeStats {
+            lane: self.lane,
+            imports: self.imports(),
+            exports: self.exports(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lemma(name: &str, source: Lane) -> ExchangeItem {
+        ExchangeItem::Lemma(SharedLemma {
+            name: name.into(),
+            bit: Bit::from_packed(2),
+            source,
+        })
+    }
+
+    #[test]
+    fn poll_skips_own_items_and_tracks_cursor() {
+        let bus = Exchange::new(ExchangeConfig::on());
+        let mut bmc = SharedContext::attached(bus.clone(), Lane::Bmc, true, true);
+        let kind = SharedContext::attached(bus.clone(), Lane::KInduction, true, true);
+        kind.publish_lemma("from-kind", Bit::from_packed(2));
+        bus.publish(lemma("from-houdini", Lane::Houdini));
+        bmc.publish_lemma("from-bmc", Bit::from_packed(4));
+
+        let batch = bmc.poll();
+        assert_eq!(batch.len(), 2, "own item must be skipped");
+        assert!(bmc.poll().is_empty(), "cursor must advance");
+
+        bus.publish(lemma("late", Lane::Pdr));
+        assert_eq!(bmc.poll().len(), 1);
+        bmc.note_imported(3);
+        assert_eq!(bmc.stats().imports, 3);
+        assert_eq!(bmc.stats().exports, 1);
+        assert_eq!(kind.stats().exports, 1);
+    }
+
+    fn clause(source: Lane) -> SharedClause {
+        SharedClause {
+            lits: vec![TimedLit {
+                frame: 0,
+                bit: Bit::from_packed(2),
+            }],
+            max_frame: 0,
+            assume_frames: 0,
+            source,
+        }
+    }
+
+    #[test]
+    fn capacity_drops_clauses_but_never_lemmas() {
+        let bus = Exchange::new(ExchangeConfig {
+            enabled: true,
+            capacity: 2,
+            ..ExchangeConfig::default()
+        });
+        let ctx = SharedContext::attached(bus.clone(), Lane::Bmc, true, true);
+        let exporter = ctx.clause_exporter().unwrap();
+        exporter.publish(clause(Lane::Bmc));
+        exporter.publish(clause(Lane::Bmc));
+        exporter.publish(clause(Lane::Bmc));
+        assert_eq!(bus.len(), 2);
+        assert_eq!(bus.dropped(), 1);
+        assert_eq!(ctx.exports(), 2, "dropped publication must not count");
+        // A lemma still lands on the full bus: a clause flood must not
+        // evict the highest-value traffic.
+        ctx.publish_lemma("late survivor", Bit::from_packed(4));
+        assert_eq!(bus.len(), 3);
+        assert_eq!(ctx.exports(), 3);
+    }
+
+    #[test]
+    fn disabled_context_is_inert() {
+        let mut ctx = SharedContext::disabled(Lane::Bmc);
+        ctx.publish_lemma("x", Bit::from_packed(2));
+        assert!(ctx.poll().is_empty());
+        assert!(ctx.clause_exporter().is_none());
+        assert_eq!(ctx.stats().exports, 0);
+    }
+
+    #[test]
+    fn export_opt_out_blocks_publication() {
+        let bus = Exchange::new(ExchangeConfig::on());
+        let ctx = SharedContext::attached(bus.clone(), Lane::Bmc, true, false);
+        ctx.publish_lemma("x", Bit::from_packed(2));
+        assert!(bus.is_empty());
+        assert!(ctx.clause_exporter().is_none());
+
+        let mut no_import = SharedContext::attached(bus.clone(), Lane::Pdr, false, true);
+        no_import.publish_lemma("y", Bit::from_packed(2));
+        assert_eq!(bus.len(), 1);
+        assert!(no_import.poll().is_empty(), "import opt-out");
+    }
+}

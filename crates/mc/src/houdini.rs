@@ -48,6 +48,26 @@ pub struct HoudiniOutcome {
 
 /// Runs the Houdini fixpoint. See the module docs.
 pub fn houdini(ts: &TransitionSystem, candidates: &[Candidate], budget: Budget) -> HoudiniResult {
+    houdini_with(ts, candidates, budget, None)
+}
+
+/// Observer invoked once per survivor (with its candidate index) the
+/// moment the survivor set is proved — see [`houdini_with`].
+pub type SurvivorStream<'s> = &'s mut dyn FnMut(usize, &Candidate);
+
+/// [`houdini`] with a survivor stream: `on_proven` fires once per
+/// survivor the moment the consecution fixpoint lands — the earliest
+/// sound publication point (no candidate is an invariant until the whole
+/// remaining set passes consecution simultaneously) and strictly before
+/// the safety check, the return, and any strengthened re-runs. The
+/// portfolio's Houdini lane uses this to stream lemmas onto the exchange
+/// bus while it keeps working.
+pub fn houdini_with(
+    ts: &TransitionSystem,
+    candidates: &[Candidate],
+    budget: Budget,
+    mut on_proven: Option<SurvivorStream<'_>>,
+) -> HoudiniResult {
     // ---- phase 1: drop candidates violated in some initial state ---------
     let mut init = Unroller::new(ts, InitMode::Reset);
     init.set_budget(budget.clone());
@@ -89,6 +109,14 @@ pub fn houdini(ts: &TransitionSystem, candidates: &[Candidate], budget: Budget) 
         assumptions.push(y);
         match step.solve_with(&assumptions) {
             SolveResult::Unsat => {
+                // Fixpoint: every remaining candidate passed consecution
+                // simultaneously — they are invariants as of *now*, so
+                // stream them before the safety check below.
+                if let Some(stream) = on_proven.as_mut() {
+                    for &i in &survivors {
+                        stream(i, &candidates[i]);
+                    }
+                }
                 // Retire the helper variable and finish.
                 step.solver.add_clause(&[!y]);
                 break;

@@ -7,8 +7,11 @@
 //! increasing `k`. Optional unique-states ("simple path") constraints make
 //! the method complete for finite systems at the cost of quadratic clauses.
 
+use csl_hdl::Bit;
 use csl_sat::{Budget, Lit, SolveResult};
 
+use crate::exchange::{ExchangeItem, SharedClause, SharedContext};
+use crate::lane::Lane;
 use crate::trace::Trace;
 use crate::ts::TransitionSystem;
 use crate::unroll::{InitMode, Unroller};
@@ -48,18 +51,70 @@ impl Default for KindOptions {
 
 /// Runs k-induction for `k = 1..=max_k`.
 pub fn k_induction(ts: &TransitionSystem, opts: KindOptions) -> KindResult {
+    k_induction_with(ts, opts, &mut SharedContext::disabled(Lane::KInduction))
+}
+
+/// [`k_induction`] attached to the exchange bus. Between SAT queries it
+/// polls the bus and strengthens its *running* solvers in place:
+///
+/// * foreign invariant lemmas are asserted at every frame of both
+///   instances — in the free-init step instance this is the classic
+///   "strengthen the induction hypothesis with a known invariant" move,
+///   previously only reachable by respawning on a lemma-conjoined
+///   netlist;
+/// * shared learnt clauses go into the reset-init *base* instance only
+///   (they are consequences of the initialised unrolling), gated by
+///   [`Unroller::can_import`] and kept pending until the base has
+///   unrolled deep enough.
+///
+/// When new lemmas arrive after the sweep ended inconclusive, the
+/// *deepest* step query is retried with them (the incremental solver
+/// re-decides it cheaply) — late Houdini survivors can close an
+/// induction that was not inductive without them. Only `k = max_k` may
+/// be retried: the step instance has accumulated "no bad at frames
+/// `0..max_k-1`" units, so any shallower re-query would be vacuously
+/// UNSAT and report a false proof.
+pub fn k_induction_with(
+    ts: &TransitionSystem,
+    opts: KindOptions,
+    ctx: &mut SharedContext,
+) -> KindResult {
     let mut base = Unroller::new(ts, InitMode::Reset);
     base.set_budget(opts.budget.clone());
     let mut step = Unroller::new(ts, InitMode::Free);
     step.set_budget(opts.budget.clone());
+    let mut lemmas: Vec<Bit> = Vec::new();
+    let mut pending: Vec<SharedClause> = Vec::new();
+    // High-water marks so each (lemma, frame) unit is asserted once.
+    let (mut base_applied, mut base_frames) = (0usize, 0usize);
+    let (mut step_applied, mut step_frames) = (0usize, 0usize);
 
     for k in 1..=opts.max_k {
         if opts.budget.out_of_time() {
             return KindResult::Timeout;
         }
+        for item in ctx.poll() {
+            match &*item {
+                ExchangeItem::Lemma(l) => {
+                    lemmas.push(l.bit);
+                    ctx.note_imported(1);
+                }
+                ExchangeItem::Clause(c) => pending.push(c.clone()),
+            }
+        }
+
         // ---- base: no violation in frames 0..k-1 -------------------------
         let f = k - 1;
         base.assert_assumes_through(f);
+        pending.retain(|c| {
+            if base.import_clause(c) {
+                ctx.note_imported(1);
+                false
+            } else {
+                true // not deep enough yet; retry at a later k
+            }
+        });
+        assert_new_lemmas(&mut base, &lemmas, &mut base_applied, &mut base_frames);
         let bad = base.bad_any_at(f);
         match base.solve_with(&[bad]) {
             SolveResult::Sat => {
@@ -77,6 +132,7 @@ pub fn k_induction(ts: &TransitionSystem, opts: KindOptions) -> KindResult {
 
         // ---- step: k clean frames imply a clean frame k ------------------
         step.assert_assumes_through(k);
+        assert_new_lemmas(&mut step, &lemmas, &mut step_applied, &mut step_frames);
         // Bads known false at frames 0..k-1 (units accumulate across k).
         let prev_bad = step.bad_any_at(k - 1);
         step.solver.add_clause(&[!prev_bad]);
@@ -90,9 +146,61 @@ pub fn k_induction(ts: &TransitionSystem, opts: KindOptions) -> KindResult {
             SolveResult::Canceled => return KindResult::Timeout,
         }
     }
+
+    // Inconclusive — but while fresh lemmas keep arriving on the bus,
+    // retry the deepest step query with them. `k = max_k` is the only
+    // sound retry point: its accumulated hypothesis ("no bad at frames
+    // 0..max_k-1") matches exactly what the base half verified. A poll
+    // batch is capped, so keep draining while batches are non-empty — a
+    // lemma can sit behind a backlog of (here useless) clause items.
+    while ctx.is_attached() && !opts.budget.out_of_time() {
+        let batch = ctx.poll();
+        for item in &batch {
+            if let ExchangeItem::Lemma(l) = &**item {
+                lemmas.push(l.bit);
+                ctx.note_imported(1);
+            }
+        }
+        if lemmas.len() > step_applied {
+            assert_new_lemmas(&mut step, &lemmas, &mut step_applied, &mut step_frames);
+            let bad_k = step.bad_any_at(opts.max_k);
+            match step.solve_with(&[bad_k]) {
+                SolveResult::Unsat => return KindResult::Proof { k: opts.max_k },
+                SolveResult::Sat => { /* still open; poll again */ }
+                SolveResult::Canceled => return KindResult::Timeout,
+            }
+        } else if batch.is_empty() {
+            break; // bus drained and nothing new to try
+        }
+    }
     KindResult::Unknown {
         max_k_tried: opts.max_k,
     }
+}
+
+/// Asserts lemma units the instance has not seen yet: lemmas past
+/// `*applied` on every frame, and previously-applied lemmas on frames
+/// past `*frames_done` — so each (lemma, frame) pair costs one unit
+/// clause over the whole run instead of O(lemmas × frames) per call.
+fn assert_new_lemmas(
+    u: &mut Unroller<'_>,
+    lemmas: &[Bit],
+    applied: &mut usize,
+    frames_done: &mut usize,
+) {
+    let num_frames = u.num_frames();
+    for &b in &lemmas[..*applied] {
+        for t in *frames_done..num_frames {
+            u.assert_lemma_at(b, t);
+        }
+    }
+    for &b in &lemmas[*applied..] {
+        for t in 0..num_frames {
+            u.assert_lemma_at(b, t);
+        }
+    }
+    *applied = lemmas.len();
+    *frames_done = num_frames;
 }
 
 /// Adds `state(new_frame) != state(f)` for every earlier frame `f`.
@@ -194,6 +302,53 @@ mod tests {
             KindResult::Cex(t) => assert_eq!(t.depth(), 3),
             other => panic!("expected cex, got {other:?}"),
         }
+    }
+
+    /// Late lemmas may only retry the deepest step query: with a cex
+    /// beyond `max_k`, the retry path must never turn the accumulated
+    /// "no bad at shallow frames" units into a vacuous (false) proof.
+    #[test]
+    fn late_lemma_retry_never_fabricates_a_proof() {
+        use crate::exchange::{Exchange, ExchangeConfig, SharedContext};
+
+        // Counter whose bad state is at depth 12 — far beyond max_k=2,
+        // so base is clean, step is not inductive, and any Proof result
+        // would be unsound.
+        let mut d = Design::new("deep");
+        let r = d.reg("r", 4, Init::Zero);
+        let inc = d.add_const(&r.q(), 1);
+        d.set_next(&r, inc);
+        let bad = d.eq_const(&r.q(), 12);
+        d.assert_always("no12", bad.not());
+        let ts = TransitionSystem::new(d.finish(), false);
+
+        // Three trivially-true lemmas on the bus, but one poll returns
+        // only one item: the main sweep consumes two (k=1, k=2) and the
+        // third is left for the post-sweep retry path.
+        let bus = Exchange::new(ExchangeConfig {
+            enabled: true,
+            max_imports_per_poll: 1,
+            ..ExchangeConfig::default()
+        });
+        let publisher = SharedContext::attached(bus.clone(), Lane::Houdini, true, true);
+        for i in 0..3 {
+            publisher.publish_lemma(format!("trivial-{i}"), csl_hdl::Bit::TRUE);
+        }
+        let mut ctx = SharedContext::attached(bus, Lane::KInduction, true, true);
+        let result = k_induction_with(
+            &ts,
+            KindOptions {
+                max_k: 2,
+                unique_states: false,
+                budget: Budget::unlimited(),
+            },
+            &mut ctx,
+        );
+        assert!(
+            matches!(result, KindResult::Unknown { .. }),
+            "unsafe-beyond-max_k design must stay inconclusive, got {result:?}"
+        );
+        assert_eq!(ctx.imports(), 3, "all three lemmas must be consumed");
     }
 
     #[test]

@@ -15,13 +15,18 @@
 //! * [`engine::check_safety`] — the orchestrated pipeline producing the
 //!   paper's three outcomes: attack counterexample, unbounded proof, or
 //!   timeout,
-//! * [`portfolio`] — the [`portfolio::Engine`] trait and the thread-racing
-//!   scheduler behind `check_safety`'s portfolio mode: all engines run
-//!   concurrently and the first decisive lane cancels the rest through a
-//!   stop flag shared via `csl_sat::Budget`,
-//! * [`lane`] — per-lane budget shaping ([`LanePlan`]): wall caps and BMC
-//!   depth schedules threaded through [`CheckOptions::lanes`] into both
-//!   execution modes.
+//! * [`portfolio`] — the [`portfolio::Backend`] trait (API v2) and the
+//!   thread-racing scheduler behind `check_safety`'s portfolio mode: all
+//!   backends run concurrently, the first decisive lane cancels the rest
+//!   through a stop flag shared via `csl_sat::Budget`, and every backend
+//!   holds a handle on the exchange bus,
+//! * [`exchange`] — the cross-lane lemma/clause [`Exchange`] bus: BMC
+//!   publishes learnt clauses at conflict boundaries, Houdini streams
+//!   survivor lemmas at its consecution fixpoint, and k-induction/PDR
+//!   import both into their running solvers between SAT queries,
+//! * [`lane`] — per-lane budget shaping ([`LanePlan`]): wall caps, BMC
+//!   depth schedules and exchange opt-outs threaded through
+//!   [`CheckOptions::lanes`] into both execution modes.
 //!
 //! # Example: prove a saturating counter never overflows
 //!
@@ -45,6 +50,7 @@
 
 pub mod bmc;
 pub mod engine;
+pub mod exchange;
 pub mod houdini;
 pub mod kind;
 pub mod lane;
@@ -55,15 +61,25 @@ pub mod trace;
 pub mod ts;
 pub mod unroll;
 
-pub use bmc::{bmc, BmcResult};
+pub use bmc::{bmc, bmc_with, BmcResult};
 pub use engine::{
-    check_safety, CheckOptions, CheckReport, ExecMode, ProofEngine, SafetyCheck, Verdict,
+    check_safety, CheckOptions, CheckReport, ExecMode, InconclusiveReason, ProofEngine,
+    SafetyCheck, Verdict,
 };
-pub use houdini::{houdini, Candidate, HoudiniOutcome, HoudiniResult};
-pub use kind::{k_induction, KindOptions, KindResult};
-pub use lane::{Lane, LaneBudget, LanePlan};
-pub use pdr::{pdr, Cube, PdrOptions, PdrResult};
-pub use portfolio::{race, Engine, EngineOutcome, LaneResult, RaceReport};
+pub use exchange::{
+    Exchange, ExchangeConfig, ExchangeItem, ExchangeStats, SharedClause, SharedContext,
+    SharedLemma, TimedLit,
+};
+pub use houdini::{houdini, houdini_with, Candidate, HoudiniOutcome, HoudiniResult};
+pub use kind::{k_induction, k_induction_with, KindOptions, KindResult};
+pub use lane::{Lane, LaneBudget, LaneExchange, LanePlan};
+pub use pdr::{pdr, pdr_with, Cube, PdrOptions, PdrResult};
+#[allow(deprecated)]
+pub use portfolio::Engine;
+pub use portfolio::{
+    race, Backend, BmcBackend, EngineOutcome, HoudiniBackend, KindBackend, LaneResult, LaneSpec,
+    LegacyBackend, PdrBackend, RaceReport,
+};
 pub use sim::{CycleValues, Sim, SimState, StepResult};
 pub use trace::Trace;
 pub use ts::TransitionSystem;

@@ -23,6 +23,8 @@ use std::collections::BinaryHeap;
 
 use csl_sat::{Budget, Lit, SolveResult};
 
+use crate::exchange::{ExchangeItem, SharedContext};
+use crate::lane::Lane;
 use crate::ts::TransitionSystem;
 use crate::unroll::{InitMode, Unroller};
 
@@ -419,8 +421,35 @@ enum BlockOutcome {
     Predecessor(Cube),
 }
 
+impl PdrState<'_> {
+    /// Polls the exchange bus between SAT queries and asserts foreign
+    /// invariant lemmas at both frames of the running instance — the
+    /// in-place equivalent of conjoining them onto the netlist as
+    /// assumes, which is sound because a lemma is init-true and inductive
+    /// under the same assumes this instance asserts. Shared learnt
+    /// clauses are *not* importable here: they are consequences of the
+    /// reset-initialised unrolling, and this instance is free-init.
+    fn import_lemmas(&mut self, ctx: &mut SharedContext) {
+        for item in ctx.poll() {
+            if let ExchangeItem::Lemma(l) = &*item {
+                self.u.assert_lemma_at(l.bit, 0);
+                self.u.assert_lemma_at(l.bit, 1);
+                ctx.note_imported(1);
+            }
+        }
+    }
+}
+
 /// Runs IC3. See the module docs.
 pub fn pdr(ts: &TransitionSystem, opts: PdrOptions) -> PdrResult {
+    pdr_with(ts, opts, &mut SharedContext::disabled(Lane::Pdr))
+}
+
+/// [`pdr`] attached to the exchange bus: between frontier iterations the
+/// running solver imports invariant lemmas (see
+/// [`PdrState::import_lemmas`]), shrinking the reachable-state
+/// overapproximation it has to strengthen against.
+pub fn pdr_with(ts: &TransitionSystem, opts: PdrOptions, ctx: &mut SharedContext) -> PdrResult {
     let mut st = PdrState::new(ts, &opts);
 
     // Depth-0 base case: SAT?(Init ∧ bad).
@@ -444,6 +473,7 @@ pub fn pdr(ts: &TransitionSystem, opts: PdrOptions) -> PdrResult {
         if st.out_of_time() {
             return PdrResult::Timeout;
         }
+        st.import_lemmas(ctx);
         let frontier = st.top_level();
         // Exhaust bad states reachable at the frontier.
         loop {

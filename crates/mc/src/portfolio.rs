@@ -1,20 +1,35 @@
-//! Portfolio execution: verification engines racing on threads.
+//! Portfolio execution: verification backends racing on threads, with a
+//! shared lemma/clause exchange bus.
 //!
 //! The paper's JasperGold workflow (§6) runs an attack-finding engine and
 //! several proof engines against the same instrumented design under one
 //! wall-clock budget. The sequential pipeline in [`crate::engine`] burns
 //! that budget one engine at a time; this module instead races every
-//! engine on its own `std::thread` worker — first decisive verdict wins —
+//! backend on its own `std::thread` worker — first decisive verdict wins —
 //! with cooperative cancellation: the shared [`AtomicBool`] stop flag is
 //! threaded through [`csl_sat::Budget`], so the losers' in-flight SAT
 //! queries abort at their next conflict boundary instead of running to
 //! their own timeouts.
 //!
+//! **Backend API v2:** a lane is a [`Backend`], whose `run` receives a
+//! [`SharedContext`] handle on the [`crate::exchange`] bus in addition to
+//! the transition system and budget. With the bus enabled
+//! ([`ExchangeConfig::enabled`]), the BMC lane publishes learnt clauses at
+//! conflict boundaries, the Houdini lane streams survivor lemmas the
+//! moment its consecution fixpoint lands, and k-induction/PDR poll the
+//! bus between SAT queries to strengthen their *running* solvers in
+//! place. With the bus disabled every context is inert and the race is
+//! the isolated-lane portfolio of v1.
+//!
 //! Verdict semantics match the sequential pipeline: an attack
 //! counterexample beats a proof, a proof beats a timeout, and Houdini
-//! survivors still strengthen k-induction/PDR — the Houdini lane re-runs
-//! both proof engines on the lemma-strengthened netlist when the filter
-//! completes without proving safety outright.
+//! survivors still strengthen k-induction/PDR — over the bus when it is
+//! on, and through the lane's own strengthened re-runs either way (the
+//! re-runs stay as insurance for proof engines that finished before the
+//! lemmas arrived).
+//!
+//! The v1 [`Engine`] trait remains as a deprecated shim for one release;
+//! wrap leftover implementations in [`LegacyBackend`].
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -24,16 +39,18 @@ use std::time::{Duration, Instant};
 use csl_hdl::Aig;
 use csl_sat::Budget;
 
-use crate::bmc::{bmc, BmcResult};
-use crate::engine::ProofEngine;
-use crate::houdini::{houdini, Candidate, HoudiniResult};
-use crate::kind::{k_induction, KindOptions, KindResult};
-use crate::pdr::{pdr, PdrOptions, PdrResult};
+use crate::bmc::{bmc, bmc_with, BmcResult};
+use crate::engine::{InconclusiveReason, ProofEngine};
+use crate::exchange::{Exchange, ExchangeConfig, ExchangeStats, SharedContext, SharedLemma};
+use crate::houdini::{houdini_with, Candidate, HoudiniResult};
+use crate::kind::{k_induction_with, KindOptions, KindResult};
+use crate::lane::Lane;
+use crate::pdr::{pdr_with, PdrOptions, PdrResult};
 use crate::sim::Sim;
 use crate::trace::Trace;
 use crate::ts::TransitionSystem;
 
-/// What a single engine produced. [`EngineOutcome::Attack`] and
+/// What a single backend produced. [`EngineOutcome::Attack`] and
 /// [`EngineOutcome::Proof`] are decisive: the first of either ends the
 /// race and cancels the other lanes.
 #[derive(Debug)]
@@ -44,7 +61,7 @@ pub enum EngineOutcome {
     Proof(ProofEngine),
     /// Finished inside the budget without a verdict (bounded-clean BMC,
     /// induction that never closed, PDR frame cap, …).
-    Inconclusive(String),
+    Inconclusive(InconclusiveReason),
     /// Budget exhausted or canceled by a winning sibling.
     Timeout,
 }
@@ -55,13 +72,63 @@ impl EngineOutcome {
     }
 }
 
-/// One lane of the portfolio: a named engine that checks a transition
-/// system under a (cancellable) budget. Implementations must validate
-/// their own counterexamples (replay on the concrete simulator) before
-/// reporting [`EngineOutcome::Attack`].
+/// One lane of the portfolio, v2: a named engine that checks a
+/// transition system under a (cancellable) budget, publishing to and
+/// importing from the exchange bus through `ctx`. Implementations must
+/// validate their own counterexamples (replay on the concrete simulator)
+/// before reporting [`EngineOutcome::Attack`], and must only publish
+/// facts implied by the shared instance (see [`crate::exchange`] for the
+/// soundness rules the built-in backends follow).
+pub trait Backend: Send {
+    fn name(&self) -> &'static str;
+    /// The budget/exchange lane this backend occupies.
+    fn lane(&self) -> Lane;
+    fn run(&self, ts: &TransitionSystem, budget: Budget, ctx: &mut SharedContext) -> EngineOutcome;
+}
+
+/// The v1 lane trait: no exchange-bus access.
+#[deprecated(
+    since = "0.3.0",
+    note = "implement csl_mc::Backend (run takes a SharedContext); wrap stragglers in LegacyBackend"
+)]
 pub trait Engine: Send {
     fn name(&self) -> &'static str;
     fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome;
+}
+
+/// Adapter running a v1 [`Engine`] as a [`Backend`] that never touches
+/// the bus.
+#[allow(deprecated)]
+pub struct LegacyBackend {
+    inner: Box<dyn Engine>,
+    lane: Lane,
+}
+
+#[allow(deprecated)]
+impl LegacyBackend {
+    pub fn new(inner: Box<dyn Engine>, lane: Lane) -> LegacyBackend {
+        LegacyBackend { inner, lane }
+    }
+}
+
+#[allow(deprecated)]
+impl Backend for LegacyBackend {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn lane(&self) -> Lane {
+        self.lane
+    }
+
+    fn run(
+        &self,
+        ts: &TransitionSystem,
+        budget: Budget,
+        _ctx: &mut SharedContext,
+    ) -> EngineOutcome {
+        self.inner.run(ts, budget)
+    }
 }
 
 /// Validates a trace by concrete replay; decisive only if the replay
@@ -71,12 +138,16 @@ fn validated_attack(ts: &TransitionSystem, trace: Box<Trace>, engine: &str) -> E
     if assumes_ok && bad {
         EngineOutcome::Attack(trace)
     } else {
-        EngineOutcome::Inconclusive(format!("{engine}: counterexample failed simulation replay"))
+        EngineOutcome::Inconclusive(InconclusiveReason::ReplayFailed {
+            engine: engine.to_string(),
+        })
     }
 }
 
 /// Bounded model checking — the attack-finding lane (the paper's `Ht`).
-pub struct BmcEngine {
+/// With the bus on it exports learnt clauses and prunes with imported
+/// lemmas.
+pub struct BmcBackend {
     pub depth: usize,
     /// Progressive depth schedule from the lane plan: each step gets an
     /// even share of the lane's remaining clock, deeper steps inherit
@@ -85,20 +156,28 @@ pub struct BmcEngine {
     pub schedule: Vec<usize>,
 }
 
-impl Engine for BmcEngine {
+impl Backend for BmcBackend {
     fn name(&self) -> &'static str {
         "bmc"
     }
 
-    fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome {
+    fn lane(&self) -> Lane {
+        Lane::Bmc
+    }
+
+    fn run(&self, ts: &TransitionSystem, budget: Budget, ctx: &mut SharedContext) -> EngineOutcome {
+        // Imported lemmas outlive each schedule step's fresh unroller.
+        let mut lemmas: Vec<SharedLemma> = Vec::new();
         if self.schedule.is_empty() {
-            return match bmc(ts, self.depth, budget) {
+            return match bmc_with(ts, self.depth, budget, ctx, &mut lemmas) {
                 // The sequential pipeline reports a BMC cex as an attack even
                 // if the replay check fails (with a warning note); mirror that
                 // here so the two modes cannot diverge on verdict kind.
                 BmcResult::Cex(trace) => EngineOutcome::Attack(trace),
                 BmcResult::Clean { depth_checked } => {
-                    EngineOutcome::Inconclusive(format!("bmc clean to depth {depth_checked}"))
+                    EngineOutcome::Inconclusive(InconclusiveReason::BoundedClean {
+                        depth: depth_checked,
+                    })
                 }
                 BmcResult::Timeout { .. } => EngineOutcome::Timeout,
             };
@@ -123,7 +202,7 @@ impl Engine for BmcEngine {
                 }
                 None => budget.clone(),
             };
-            match bmc(ts, depth, step_budget) {
+            match bmc_with(ts, depth, step_budget, ctx, &mut lemmas) {
                 BmcResult::Cex(trace) => return EngineOutcome::Attack(trace),
                 BmcResult::Clean { depth_checked } => clean_to = Some(depth_checked),
                 BmcResult::Timeout { depth_checked } => {
@@ -137,38 +216,41 @@ impl Engine for BmcEngine {
             }
         }
         match clean_to {
-            Some(d) => EngineOutcome::Inconclusive(format!(
-                "bmc schedule {:?} clean to depth {d}",
-                self.schedule
-            )),
+            Some(d) => EngineOutcome::Inconclusive(InconclusiveReason::BoundedClean { depth: d }),
             None => EngineOutcome::Timeout,
         }
     }
 }
 
-/// k-induction on the plain (lemma-free) netlist.
-pub struct KindEngine {
+/// k-induction on the plain (lemma-free) netlist; with the bus on it
+/// imports shared clauses into its base instance and lemmas into both.
+pub struct KindBackend {
     pub max_k: usize,
 }
 
-impl Engine for KindEngine {
+impl Backend for KindBackend {
     fn name(&self) -> &'static str {
         "k-induction"
     }
 
-    fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome {
-        match k_induction(
+    fn lane(&self) -> Lane {
+        Lane::KInduction
+    }
+
+    fn run(&self, ts: &TransitionSystem, budget: Budget, ctx: &mut SharedContext) -> EngineOutcome {
+        match k_induction_with(
             ts,
             KindOptions {
                 max_k: self.max_k,
                 unique_states: false,
                 budget,
             },
+            ctx,
         ) {
             KindResult::Proof { k } => EngineOutcome::Proof(ProofEngine::KInduction { k }),
             KindResult::Cex(trace) => validated_attack(ts, trace, "k-induction"),
             KindResult::Unknown { max_k_tried } => {
-                EngineOutcome::Inconclusive(format!("k-induction inconclusive to k={max_k_tried}"))
+                EngineOutcome::Inconclusive(InconclusiveReason::InductionGap { max_k: max_k_tried })
             }
             KindResult::Timeout => EngineOutcome::Timeout,
         }
@@ -177,24 +259,30 @@ impl Engine for KindEngine {
 
 /// IC3/PDR on the plain netlist; a cex depth hint is reconstructed into a
 /// concrete trace with a deeper BMC pass, as in the sequential pipeline.
-pub struct PdrEngine {
+/// With the bus on it imports lemmas between frontier iterations.
+pub struct PdrBackend {
     pub max_frames: usize,
     /// Reconstruction floor: the BMC pass hunts at least this deep.
     pub bmc_depth: usize,
 }
 
-impl Engine for PdrEngine {
+impl Backend for PdrBackend {
     fn name(&self) -> &'static str {
         "pdr"
     }
 
-    fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome {
-        match pdr(
+    fn lane(&self) -> Lane {
+        Lane::Pdr
+    }
+
+    fn run(&self, ts: &TransitionSystem, budget: Budget, ctx: &mut SharedContext) -> EngineOutcome {
+        match pdr_with(
             ts,
             PdrOptions {
                 max_frames: self.max_frames,
                 budget: budget.clone(),
             },
+            ctx,
         ) {
             PdrResult::Proof {
                 frames,
@@ -214,19 +302,20 @@ impl Engine for PdrEngine {
             }
             PdrResult::Timeout => EngineOutcome::Timeout,
             PdrResult::FrameLimit { frames } => {
-                EngineOutcome::Inconclusive(format!("pdr frame limit at {frames}"))
+                EngineOutcome::Inconclusive(InconclusiveReason::FrameCap { frames })
             }
         }
     }
 }
 
 /// The Houdini lane: filter candidate relational invariants to an
-/// inductive subset. If the survivors imply safety outright that is a
-/// proof (LEAVE's success mode); otherwise they are conjoined onto the
+/// inductive subset. Survivors stream onto the exchange bus the moment
+/// the consecution fixpoint lands. If they imply safety outright that is
+/// a proof (LEAVE's success mode); otherwise they are conjoined onto the
 /// netlist as assumptions and both proof engines re-run on the
-/// strengthened instance — the portfolio's version of "Houdini survivors
-/// strengthen k-induction/PDR".
-pub struct HoudiniEngine {
+/// strengthened instance — insurance for racing proof lanes that ended
+/// before the lemmas reached the bus.
+pub struct HoudiniBackend {
     pub candidates: Vec<Candidate>,
     /// The lemma-free netlist the strengthened instance is rebuilt from.
     pub base_aig: Aig,
@@ -239,13 +328,20 @@ pub struct HoudiniEngine {
     pub bmc_depth: usize,
 }
 
-impl Engine for HoudiniEngine {
+impl Backend for HoudiniBackend {
     fn name(&self) -> &'static str {
         "houdini"
     }
 
-    fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome {
-        let out = match houdini(ts, &self.candidates, budget.clone()) {
+    fn lane(&self) -> Lane {
+        Lane::Houdini
+    }
+
+    fn run(&self, ts: &TransitionSystem, budget: Budget, ctx: &mut SharedContext) -> EngineOutcome {
+        let mut stream = |_: usize, c: &Candidate| {
+            ctx.publish_lemma(c.name.clone(), c.bit);
+        };
+        let out = match houdini_with(ts, &self.candidates, budget.clone(), Some(&mut stream)) {
             HoudiniResult::Done(out) => out,
             HoudiniResult::Timeout => return EngineOutcome::Timeout,
         };
@@ -255,9 +351,7 @@ impl Engine for HoudiniEngine {
             });
         }
         if out.survivors.is_empty() {
-            return EngineOutcome::Inconclusive(
-                "houdini: no surviving invariants to strengthen with".into(),
-            );
+            return EngineOutcome::Inconclusive(InconclusiveReason::NoInvariants);
         }
         // Strengthen: surviving invariants are inductive, so conjoining
         // them as assumptions is sound.
@@ -272,11 +366,14 @@ impl Engine for HoudiniEngine {
             self.candidates.len(),
             out.rounds
         )];
+        // The re-runs work a private instance already carrying the
+        // lemmas; they neither import nor re-export them.
+        let mut quiet = SharedContext::disabled(Lane::Houdini);
         if self.kind_max_k > 0 {
-            let kind = KindEngine {
+            let kind = KindBackend {
                 max_k: self.kind_max_k,
             };
-            match kind.run(&sts, budget.clone()) {
+            match kind.run(&sts, budget.clone(), &mut quiet) {
                 // A cex from the strengthened instance was already replayed
                 // on the *strengthened* netlist; re-validate on the original
                 // before trusting it (the lemmas could mask init states). A
@@ -284,28 +381,59 @@ impl Engine for HoudiniEngine {
                 // strengthened PDR pass, like the sequential pipeline does.
                 EngineOutcome::Attack(trace) => {
                     match validated_attack(ts, trace, "houdini+k-induction") {
-                        EngineOutcome::Inconclusive(n) => notes.push(n),
+                        EngineOutcome::Inconclusive(n) => notes.push(n.to_string()),
                         decisive => return decisive,
                     }
                 }
                 EngineOutcome::Proof(p) => return EngineOutcome::Proof(p),
-                EngineOutcome::Inconclusive(n) => notes.push(n),
+                EngineOutcome::Inconclusive(n) => notes.push(n.to_string()),
                 EngineOutcome::Timeout => return EngineOutcome::Timeout,
             }
         }
         if self.pdr_max_frames > 0 {
-            let pdr = PdrEngine {
+            let pdr = PdrBackend {
                 max_frames: self.pdr_max_frames,
                 bmc_depth: self.bmc_depth,
             };
-            match pdr.run(&sts, budget) {
+            match pdr.run(&sts, budget, &mut quiet) {
                 EngineOutcome::Attack(trace) => return validated_attack(ts, trace, "houdini+pdr"),
                 EngineOutcome::Proof(p) => return EngineOutcome::Proof(p),
-                EngineOutcome::Inconclusive(n) => notes.push(n),
+                EngineOutcome::Inconclusive(n) => notes.push(n.to_string()),
                 EngineOutcome::Timeout => return EngineOutcome::Timeout,
             }
         }
-        EngineOutcome::Inconclusive(notes.join("; "))
+        EngineOutcome::Inconclusive(InconclusiveReason::Other(notes.join("; ")))
+    }
+}
+
+/// One configured lane of a race: the backend, its deadline (per-lane
+/// wall caps from a [`crate::LanePlan`] arrive here as earlier
+/// deadlines), and its exchange participation.
+pub struct LaneSpec {
+    pub backend: Box<dyn Backend>,
+    pub deadline: Instant,
+    /// Pull foreign items off the bus.
+    pub import: bool,
+    /// Publish this lane's clauses/lemmas.
+    pub export: bool,
+}
+
+impl LaneSpec {
+    /// A lane participating fully in the exchange (when it is enabled).
+    pub fn new(backend: Box<dyn Backend>, deadline: Instant) -> LaneSpec {
+        LaneSpec {
+            backend,
+            deadline,
+            import: true,
+            export: true,
+        }
+    }
+
+    /// Sets the exchange participation (builder style).
+    pub fn exchange(mut self, import: bool, export: bool) -> LaneSpec {
+        self.import = import;
+        self.export = export;
+        self
     }
 }
 
@@ -313,12 +441,17 @@ impl Engine for HoudiniEngine {
 #[derive(Debug)]
 pub struct LaneResult {
     pub engine: &'static str,
+    pub lane: Lane,
     pub outcome: EngineOutcome,
     pub elapsed: Duration,
     /// The deadline this lane ran under — earlier than the race's shared
     /// deadline exactly when a per-lane wall cap shortened it, which is
     /// how the merge tells a lane-local timeout from a global one.
     pub deadline: Instant,
+    /// Exchange-bus items this lane applied to its solvers.
+    pub imports: usize,
+    /// Exchange-bus items this lane published.
+    pub exports: usize,
 }
 
 /// Everything the race produced: per-lane results (in completion order)
@@ -329,34 +462,64 @@ pub struct RaceReport {
     pub canceled_stragglers: bool,
 }
 
-/// Races `engines` against each other, one thread per engine, until the
-/// first decisive outcome or each lane's deadline (per-lane wall caps
-/// from a [`crate::LanePlan`] arrive here as distinct deadlines). Each
-/// lane builds its own [`TransitionSystem`] from a clone of `aig` (the
-/// build is cheap relative to any SAT query) and gets a budget carrying
-/// the shared stop flag; when a lane reports a decisive outcome the flag
-/// is raised and every other lane aborts at its next conflict/cycle
-/// boundary.
-pub fn race(engines: Vec<(Box<dyn Engine>, Instant)>, aig: &Aig, keep_probes: bool) -> RaceReport {
+impl RaceReport {
+    /// Per-lane exchange traffic, in completion order.
+    pub fn exchange_stats(&self) -> Vec<ExchangeStats> {
+        self.lanes
+            .iter()
+            .map(|l| ExchangeStats {
+                lane: l.lane,
+                imports: l.imports,
+                exports: l.exports,
+            })
+            .collect()
+    }
+}
+
+/// Races `lanes` against each other, one thread per backend, until the
+/// first decisive outcome or each lane's deadline. Each lane builds its
+/// own [`TransitionSystem`] from a clone of `aig` (the build is cheap
+/// relative to any SAT query) and gets a budget carrying the shared stop
+/// flag; when a lane reports a decisive outcome the flag is raised and
+/// every other lane aborts at its next conflict/cycle boundary.
+///
+/// When `exchange.enabled`, one [`Exchange`] bus is shared by every lane
+/// whose [`LaneSpec`] participates; otherwise every lane gets an inert
+/// context.
+pub fn race(
+    lanes: Vec<LaneSpec>,
+    aig: &Aig,
+    keep_probes: bool,
+    exchange: &ExchangeConfig,
+) -> RaceReport {
     let stop = Arc::new(AtomicBool::new(false));
+    let bus = exchange.enabled.then(|| Exchange::new(exchange.clone()));
     let (tx, rx) = mpsc::channel::<LaneResult>();
-    let total = engines.len();
+    let total = lanes.len();
     let mut handles = Vec::with_capacity(total);
-    for (engine, deadline) in engines {
+    for spec in lanes {
         let aig = aig.clone();
         let stop = stop.clone();
         let tx = tx.clone();
+        let lane = spec.backend.lane();
+        let mut ctx = match &bus {
+            Some(bus) => SharedContext::attached(bus.clone(), lane, spec.import, spec.export),
+            None => SharedContext::disabled(lane),
+        };
         handles.push(std::thread::spawn(move || {
             let start = Instant::now();
             let ts = TransitionSystem::new(aig, keep_probes);
-            let budget = Budget::until(deadline).with_stop(stop);
-            let outcome = engine.run(&ts, budget);
+            let budget = Budget::until(spec.deadline).with_stop(stop);
+            let outcome = spec.backend.run(&ts, budget, &mut ctx);
             // The receiver may be gone if the race was already decided.
             let _ = tx.send(LaneResult {
-                engine: engine.name(),
+                engine: spec.backend.name(),
+                lane,
                 outcome,
                 elapsed: start.elapsed(),
-                deadline,
+                deadline: spec.deadline,
+                imports: ctx.imports(),
+                exports: ctx.exports(),
             });
         }));
     }
@@ -394,7 +557,7 @@ mod tests {
     use super::*;
     use csl_hdl::{Design, Init};
 
-    /// A 1-bit design with no bad states (engines under test ignore it).
+    /// A 1-bit design with no bad states (backends under test ignore it).
     fn trivial_aig() -> Aig {
         let mut d = Design::new("trivial");
         let r = d.reg("r", 1, Init::Zero);
@@ -405,7 +568,7 @@ mod tests {
 
     /// Returns `outcome()` after `delay`, polling the stop flag every
     /// millisecond; reports how it exited through the shared flags.
-    struct FakeEngine<F: Fn() -> EngineOutcome + Send + Sync> {
+    struct FakeBackend<F: Fn() -> EngineOutcome + Send + Sync> {
         name: &'static str,
         delay: Duration,
         outcome: F,
@@ -413,12 +576,21 @@ mod tests {
         finished_naturally: Arc<AtomicBool>,
     }
 
-    impl<F: Fn() -> EngineOutcome + Send + Sync> Engine for FakeEngine<F> {
+    impl<F: Fn() -> EngineOutcome + Send + Sync> Backend for FakeBackend<F> {
         fn name(&self) -> &'static str {
             self.name
         }
 
-        fn run(&self, _ts: &TransitionSystem, budget: Budget) -> EngineOutcome {
+        fn lane(&self) -> Lane {
+            Lane::Bmc
+        }
+
+        fn run(
+            &self,
+            _ts: &TransitionSystem,
+            budget: Budget,
+            _ctx: &mut SharedContext,
+        ) -> EngineOutcome {
             let end = Instant::now() + self.delay;
             while Instant::now() < end {
                 if budget.stop_requested() {
@@ -436,17 +608,17 @@ mod tests {
         name: &'static str,
         delay: Duration,
         outcome: impl Fn() -> EngineOutcome + Send + Sync + 'static,
-    ) -> (Box<dyn Engine>, Arc<AtomicBool>, Arc<AtomicBool>) {
+    ) -> (Box<dyn Backend>, Arc<AtomicBool>, Arc<AtomicBool>) {
         let saw_stop = Arc::new(AtomicBool::new(false));
         let finished = Arc::new(AtomicBool::new(false));
-        let engine = Box::new(FakeEngine {
+        let backend = Box::new(FakeBackend {
             name,
             delay,
             outcome,
             saw_stop: saw_stop.clone(),
             finished_naturally: finished.clone(),
         });
-        (engine, saw_stop, finished)
+        (backend, saw_stop, finished)
     }
 
     #[test]
@@ -464,9 +636,10 @@ mod tests {
         let start = Instant::now();
         let deadline = Instant::now() + Duration::from_secs(60);
         let report = race(
-            vec![(fast, deadline), (slow, deadline)],
+            vec![LaneSpec::new(fast, deadline), LaneSpec::new(slow, deadline)],
             &trivial_aig(),
             false,
+            &ExchangeConfig::off(),
         );
         let wall = start.elapsed();
         // The fast proof decided the race and the slow lane was stopped
@@ -492,13 +665,18 @@ mod tests {
     #[test]
     fn inconclusive_lanes_do_not_cancel_each_other() {
         let (a, _, a_fin) = fake("a", Duration::from_millis(5), || {
-            EngineOutcome::Inconclusive("nothing".into())
+            EngineOutcome::Inconclusive(InconclusiveReason::Other("nothing".into()))
         });
         let (b, b_saw_stop, b_fin) = fake("b", Duration::from_millis(40), || {
-            EngineOutcome::Inconclusive("nothing".into())
+            EngineOutcome::Inconclusive(InconclusiveReason::Other("nothing".into()))
         });
         let deadline = Instant::now() + Duration::from_secs(60);
-        let report = race(vec![(a, deadline), (b, deadline)], &trivial_aig(), false);
+        let report = race(
+            vec![LaneSpec::new(a, deadline), LaneSpec::new(b, deadline)],
+            &trivial_aig(),
+            false,
+            &ExchangeConfig::off(),
+        );
         assert!(!report.canceled_stragglers);
         assert!(a_fin.load(Ordering::Relaxed));
         assert!(b_fin.load(Ordering::Relaxed));
@@ -517,10 +695,108 @@ mod tests {
         let (l2, _, _) = fake("l2", Duration::from_secs(20), || EngineOutcome::Timeout);
         let deadline = Instant::now() + Duration::from_secs(60);
         let report = race(
-            vec![(w, deadline), (l1, deadline), (l2, deadline)],
+            vec![
+                LaneSpec::new(w, deadline),
+                LaneSpec::new(l1, deadline),
+                LaneSpec::new(l2, deadline),
+            ],
             &trivial_aig(),
             false,
+            &ExchangeConfig::off(),
         );
         assert_eq!(report.lanes.len(), 3);
+    }
+
+    /// A lane that publishes over a live bus and one that imports: the
+    /// race must surface both sides' counters in its lane results.
+    #[test]
+    fn exchange_counters_reach_lane_results() {
+        struct Publisher;
+        impl Backend for Publisher {
+            fn name(&self) -> &'static str {
+                "pub"
+            }
+            fn lane(&self) -> Lane {
+                Lane::Houdini
+            }
+            fn run(
+                &self,
+                _ts: &TransitionSystem,
+                _budget: Budget,
+                ctx: &mut SharedContext,
+            ) -> EngineOutcome {
+                ctx.publish_lemma("lemma", csl_hdl::Bit::from_packed(2));
+                EngineOutcome::Inconclusive(InconclusiveReason::Other("done".into()))
+            }
+        }
+        struct Consumer;
+        impl Backend for Consumer {
+            fn name(&self) -> &'static str {
+                "con"
+            }
+            fn lane(&self) -> Lane {
+                Lane::KInduction
+            }
+            fn run(
+                &self,
+                _ts: &TransitionSystem,
+                budget: Budget,
+                ctx: &mut SharedContext,
+            ) -> EngineOutcome {
+                // Poll until the publisher's lemma arrives or time is up.
+                let end = Instant::now() + Duration::from_secs(5);
+                while Instant::now() < end && !budget.stop_requested() {
+                    let n = ctx.poll().len();
+                    if n > 0 {
+                        ctx.note_imported(n);
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                EngineOutcome::Inconclusive(InconclusiveReason::Other("done".into()))
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let report = race(
+            vec![
+                LaneSpec::new(Box::new(Publisher), deadline),
+                LaneSpec::new(Box::new(Consumer), deadline),
+            ],
+            &trivial_aig(),
+            false,
+            &ExchangeConfig::on(),
+        );
+        let stats = report.exchange_stats();
+        let publisher = stats.iter().find(|s| s.lane == Lane::Houdini).unwrap();
+        let consumer = stats.iter().find(|s| s.lane == Lane::KInduction).unwrap();
+        assert_eq!(publisher.exports, 1);
+        assert_eq!(consumer.imports, 1);
+    }
+
+    /// The deprecated v1 trait still runs through the adapter.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_engine_shim_races() {
+        struct OldSchool;
+        impl Engine for OldSchool {
+            fn name(&self) -> &'static str {
+                "old"
+            }
+            fn run(&self, _ts: &TransitionSystem, _budget: Budget) -> EngineOutcome {
+                EngineOutcome::Proof(ProofEngine::KInduction { k: 1 })
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let report = race(
+            vec![LaneSpec::new(
+                Box::new(LegacyBackend::new(Box::new(OldSchool), Lane::KInduction)),
+                deadline,
+            )],
+            &trivial_aig(),
+            false,
+            &ExchangeConfig::off(),
+        );
+        assert!(report.lanes[0].outcome.is_decisive());
+        assert_eq!(report.lanes[0].engine, "old");
     }
 }

@@ -1,0 +1,179 @@
+//! Exchange-bus soundness: everything a lane publishes must be implied
+//! by the shared instance.
+//!
+//! * **Clauses** (property test over random small AIGs): every clause the
+//!   BMC lane exports is checked against a *fresh* reset-initialised
+//!   unrolling of the same netlist — asserting the clause's negation on
+//!   top of `Init ∧ T ∧ assumes(0..h)` must be UNSAT. An exported clause
+//!   that fails this check would let an importer prune real behaviour.
+//! * **Lemmas**: every survivor Houdini streams must hold at every frame
+//!   of every reachable assume-satisfying run — its negation at any
+//!   reset-reachable frame must be UNSAT.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use csl_hdl::{Aig, Design, Init};
+use csl_mc::exchange::{Exchange, ExchangeConfig, ExchangeItem, SharedClause, SharedContext};
+use csl_mc::{
+    bmc_with, houdini_with, Candidate, InitMode, Lane, SharedLemma, TransitionSystem, Unroller,
+};
+use csl_sat::{Budget, Lit, SolveResult};
+
+/// A random small sequential design with enough structure to make the
+/// SAT search conflict (and therefore learn clauses): input-gated
+/// counters, a cross-register comparison, an assume, and an unreachable
+/// (or late-reachable) bad value.
+fn random_design(seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Design::new("rand");
+    let width = rng.gen_range(3usize..=4);
+    let x = d.input_bit("x");
+    let y = d.input_bit("y");
+
+    let a = d.reg("a", width, Init::Zero);
+    let b = d.reg("b", width, Init::Zero);
+    // a advances on x, by 1 or 2.
+    let a_step = rng.gen_range(1u64..=2);
+    let a_inc = d.add_const(&a.q(), a_step);
+    let a_next = d.mux(x, &a_inc, &a.q());
+    d.set_next(&a, a_next);
+    // b advances every cycle unless saturated at a random limit.
+    let limit = rng.gen_range(2u64..(1 << width) - 1);
+    let at_limit = d.eq_const(&b.q(), limit);
+    let b_inc = d.add_const(&b.q(), 1);
+    let b_next = d.mux(at_limit, &b.q(), &b_inc);
+    d.set_next(&b, b_next);
+
+    // Optionally couple the inputs through an assume.
+    if rng.gen_bool(0.5) {
+        let imp = d.implies_bit(y, x);
+        d.assume(imp);
+    }
+    // Bad: a hits a value it may or may not reach, and (sometimes) the
+    // registers agreeing on a marker value.
+    let target = rng.gen_range(1u64..(1 << width));
+    let hit = d.eq_const(&a.q(), target);
+    d.assert_always("a_hits", hit.not());
+    if rng.gen_bool(0.5) {
+        let eq = d.eq(&a.q(), &b.q());
+        let marker = d.eq_const(&b.q(), limit);
+        let both = d.and_bit(eq, marker);
+        d.assert_always("agree_at_limit", both.not());
+    }
+    d.finish()
+}
+
+/// Drains every clause currently on `bus` (as seen by a fresh consumer
+/// on a different lane).
+fn drain_clauses(bus: &std::sync::Arc<Exchange>) -> Vec<SharedClause> {
+    let mut consumer = SharedContext::attached(bus.clone(), Lane::Pdr, true, false);
+    let mut clauses = Vec::new();
+    loop {
+        let batch = consumer.poll();
+        if batch.is_empty() {
+            break;
+        }
+        for item in batch {
+            if let ExchangeItem::Clause(c) = &*item {
+                clauses.push(c.clone());
+            }
+        }
+    }
+    clauses
+}
+
+/// Checks one exported clause against a fresh reset-init unrolling:
+/// `Init ∧ T ∧ assumes(0..assume_frames-1) ∧ ¬clause` must be UNSAT.
+fn assert_clause_implied(ts: &TransitionSystem, clause: &SharedClause, seed: u64) {
+    let mut u = Unroller::new(ts, InitMode::Reset);
+    if clause.assume_frames > 0 {
+        u.assert_assumes_through(clause.assume_frames - 1);
+    }
+    u.ensure_frames(clause.max_frame);
+    let negated: Vec<Lit> = clause
+        .lits
+        .iter()
+        .map(|tl| !u.lit_of(tl.bit, tl.frame))
+        .collect();
+    assert_eq!(
+        u.solve_with(&negated),
+        SolveResult::Unsat,
+        "seed {seed}: exported clause {clause:?} is not implied by the source instance"
+    );
+}
+
+#[test]
+fn exported_bmc_clauses_are_implied_by_the_source_instance() {
+    let mut total_checked = 0usize;
+    for seed in 0..12u64 {
+        let aig = random_design(seed);
+        let ts = TransitionSystem::new(aig, false);
+        let bus = Exchange::new(ExchangeConfig {
+            enabled: true,
+            // Generous filters so the probe sees plenty of exports.
+            max_clause_len: 12,
+            max_clause_lbd: 20,
+            max_imports_per_poll: 256,
+            capacity: 1 << 16,
+        });
+        let mut ctx = SharedContext::attached(bus.clone(), Lane::Bmc, true, true);
+        let _ = bmc_with(&ts, 10, Budget::unlimited(), &mut ctx, &mut Vec::new());
+        // Bound the per-seed verification work; implication checks are
+        // individually cheap but the export stream can be long.
+        for clause in drain_clauses(&bus).into_iter().take(64) {
+            assert_clause_implied(&ts, &clause, seed);
+            total_checked += 1;
+        }
+    }
+    assert!(
+        total_checked > 0,
+        "the probe never exported a clause — the property test checked nothing"
+    );
+}
+
+/// Lockstep counters with an equality candidate: the survivor Houdini
+/// streams must hold at every reachable frame.
+#[test]
+fn streamed_houdini_lemmas_hold_on_all_reachable_frames() {
+    let mut d = Design::new("lockstep");
+    let a = d.reg("a", 3, Init::Zero);
+    let b = d.reg("b", 3, Init::Zero);
+    let an = d.add_const(&a.q(), 1);
+    let bn = d.add_const(&b.q(), 1);
+    d.set_next(&a, an);
+    d.set_next(&b, bn);
+    let eq = d.eq(&a.q(), &b.q());
+    d.assert_always("equal", eq);
+    let candidates = vec![Candidate {
+        name: "a==b".into(),
+        bit: eq,
+    }];
+    let ts = TransitionSystem::new(d.finish(), false);
+
+    let mut streamed: Vec<SharedLemma> = Vec::new();
+    let mut stream = |_: usize, c: &Candidate| {
+        streamed.push(SharedLemma {
+            name: c.name.clone(),
+            bit: c.bit,
+            source: Lane::Houdini,
+        });
+    };
+    let _ = houdini_with(&ts, &candidates, Budget::unlimited(), Some(&mut stream));
+    assert_eq!(streamed.len(), 1, "the lockstep candidate must survive");
+
+    let depth = 8;
+    for lemma in &streamed {
+        let mut u = Unroller::new(&ts, InitMode::Reset);
+        u.assert_assumes_through(depth);
+        for k in 0..=depth {
+            let l = u.lit_of(lemma.bit, k);
+            assert_eq!(
+                u.solve_with(&[!l]),
+                SolveResult::Unsat,
+                "lemma `{}` violated at reachable frame {k}",
+                lemma.name
+            );
+        }
+    }
+}

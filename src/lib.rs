@@ -59,8 +59,8 @@ pub use csl_sat as sat;
 pub mod prelude {
     pub use csl_contracts::Contract;
     pub use csl_core::api::{
-        Budget, CampaignDiff, CampaignReport, Lane, LaneBudget, Matrix, Mode, Query, Report,
-        Verifier,
+        Budget, CampaignDiff, CampaignReport, ExchangeConfig, ExchangeStats, Lane, LaneBudget,
+        LaneExchange, Matrix, Mode, Query, Report, ReportCache, Verifier,
     };
     #[allow(deprecated)]
     pub use csl_core::{build_instance, run_campaign, verify, CampaignOptions};
@@ -69,5 +69,7 @@ pub mod prelude {
     };
     pub use csl_cpu::{CpuConfig, Defense};
     pub use csl_isa::IsaConfig;
-    pub use csl_mc::{CheckOptions, CheckReport, ExecMode, ProofEngine, Verdict};
+    pub use csl_mc::{
+        CheckOptions, CheckReport, ExecMode, InconclusiveReason, ProofEngine, Verdict,
+    };
 }
