@@ -58,10 +58,10 @@ fn main() {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts = TransitionSystem::new(sound.aig.clone(), false);
+    let ts = TransitionSystem::new(sound.aig().clone(), false);
     let genuine = match bmc(&ts, bmc_depth(9), budget.clone()) {
         BmcResult::Cex(t) => {
-            let clean = !assume_violated_extended(&sound.aig, &t, 16);
+            let clean = !assume_violated_extended(sound.aig(), &t, 16);
             println!(
                 "sound scheme: attack at depth {}, constraint-clean in extension: {clean}",
                 t.depth()
@@ -83,11 +83,11 @@ fn main() {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts2 = TransitionSystem::new(broken.aig.clone(), false);
+    let ts2 = TransitionSystem::new(broken.aig().clone(), false);
     let shallow = genuine.as_ref().map(|t| t.depth() - 1).unwrap_or(5);
     match bmc(&ts2, shallow, budget.clone()) {
         BmcResult::Cex(t) => {
-            let violated = assume_violated_extended(&broken.aig, &t, 16);
+            let violated = assume_violated_extended(broken.aig(), &t, 16);
             let verdict = if violated {
                 "FALSE ATTACK (the §5.2.1 failure mode)"
             } else if genuine.as_ref().is_some_and(|g| t.depth() >= g.depth()) {
@@ -120,7 +120,7 @@ fn main() {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts3 = TransitionSystem::new(task.aig.clone(), false);
+    let ts3 = TransitionSystem::new(task.aig().clone(), false);
     match bmc(&ts3, bmc_depth(10), budget) {
         BmcResult::Cex(t) => println!(
             "DoM cex at depth {}: bad `{}` (a leak, never an overflow)",
@@ -159,8 +159,8 @@ fn main() {
         println!(
             "{:<10} latches={:<5} ands={:<6} machines={}",
             scheme.name(),
-            task.aig.num_latches(),
-            task.aig.num_ands(),
+            task.aig().num_latches(),
+            task.aig().num_ands(),
             if scheme == Scheme::Baseline { 4 } else { 2 },
         );
     }

@@ -38,7 +38,9 @@ fn main() {
             .query()
             .expect("design and contract are set");
         let cpu = query.config().cpu_config();
-        let task = query.instance();
+        // Table 1 inventories the instance as *built*; preparation
+        // statistics are prepprobe's job.
+        let task = query.raw_instance();
         let stats = task.aig.stats_by_prefix(&["cpu1.", "cpu2.", "shadow."]);
         let ts = TransitionSystem::new(task.aig.clone(), false);
         println!(

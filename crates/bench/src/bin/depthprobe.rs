@@ -14,7 +14,7 @@ fn probe(design: DesignKind, contract: Contract, maxd: usize) {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts = TransitionSystem::new(task.aig.clone(), false);
+    let ts = TransitionSystem::new(task.aig().clone(), false);
     println!(
         "== {} / {}: {}",
         design.name(),

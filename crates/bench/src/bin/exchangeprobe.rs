@@ -17,19 +17,29 @@
 
 use std::time::Duration;
 
-use csl_bench::{bmc_depth, budget_secs, report_args, smoke_cells, table2_designs, write_reports};
+use csl_bench::{
+    bmc_depth, budget_secs, median_duration, report_args, smoke_cells, table2_designs,
+    write_reports,
+};
 use csl_contracts::Contract;
 use csl_core::api::{Budget, CampaignReport, ExchangeConfig, Mode, Report, Verifier};
 use csl_core::{CampaignCell, DesignKind, Scheme};
 use csl_cpu::Defense;
 
-fn run_cell(cell: &CampaignCell, exchange: ExchangeConfig, budget_s: u64, depth: usize) -> Report {
+fn run_cell(
+    cell: &CampaignCell,
+    exchange: ExchangeConfig,
+    prepare: csl_core::api::PrepareConfig,
+    budget_s: u64,
+    depth: usize,
+) -> Report {
     Verifier::new()
         .design(cell.design)
         .contract(cell.contract)
         .scheme(cell.scheme)
         .mode(Mode::Portfolio)
         .exchange(exchange)
+        .prepare(prepare)
         .budget(Budget::wall(Duration::from_secs(budget_s)))
         .bmc_depth(depth)
         .query()
@@ -51,11 +61,6 @@ fn show_traffic(report: &Report) -> (usize, usize) {
         exports += s.exports;
     }
     (imports, exports)
-}
-
-fn median(mut xs: Vec<Duration>) -> Duration {
-    xs.sort_unstable();
-    xs[xs.len() / 2]
 }
 
 fn main() {
@@ -90,7 +95,13 @@ fn main() {
         .collect();
     let mut total_imports = 0;
     for cell in &probes {
-        let report = run_cell(cell, ExchangeConfig::on(), budget, depth);
+        let report = run_cell(
+            cell,
+            ExchangeConfig::on(),
+            args.prepare_config(),
+            budget,
+            depth,
+        );
         println!(
             "{:<44} -> {:6} [{:.1}s]",
             cell.label(),
@@ -110,8 +121,20 @@ fn main() {
     let mut on_walls = Vec::new();
     let mut agreed = true;
     for cell in smoke_cells() {
-        let off = run_cell(&cell, ExchangeConfig::off(), budget, depth);
-        let on = run_cell(&cell, ExchangeConfig::on(), budget, depth);
+        let off = run_cell(
+            &cell,
+            ExchangeConfig::off(),
+            args.prepare_config(),
+            budget,
+            depth,
+        );
+        let on = run_cell(
+            &cell,
+            ExchangeConfig::on(),
+            args.prepare_config(),
+            budget,
+            depth,
+        );
         let same = off.cell() == on.cell();
         agreed &= same;
         println!(
@@ -127,8 +150,8 @@ fn main() {
         on_walls.push(on.elapsed);
         archived.push(on);
     }
-    let off_median = median(off_walls);
-    let on_median = median(on_walls);
+    let off_median = median_duration(off_walls);
+    let on_median = median_duration(on_walls);
     println!(
         "median wall: off {:.2}s, on {:.2}s ({})",
         off_median.as_secs_f64(),

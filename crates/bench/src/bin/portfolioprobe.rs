@@ -16,7 +16,10 @@ use csl_core::{DesignKind, Scheme};
 
 fn main() {
     let args = report_args("portfolioprobe");
-    let cache = args.cache.as_ref().map(ReportCache::new);
+    let cache = args
+        .cache
+        .as_ref()
+        .map(|dir| ReportCache::new(dir).with_max_entries_opt(args.cache_max_entries));
     let wall = std::time::Instant::now();
     let mut reports = Vec::new();
     for scheme in Scheme::ALL {
@@ -26,6 +29,7 @@ fn main() {
                 .contract(Contract::Sandboxing)
                 .scheme(scheme)
                 .mode(mode)
+                .prepare(args.prepare_config())
                 .budget(Budget::wall(Duration::from_secs(budget_secs(45))))
                 .bmc_depth(bmc_depth(6))
                 .query()

@@ -1,0 +1,185 @@
+//! Instance-preparation probe: quantifies the netlist reduction and its
+//! effect on solve time.
+//!
+//! Part 1 builds every Table-2 cell's instance raw and prepared and
+//! prints the per-pass node/latch reductions — the evidence that the
+//! `csl_hdl::xform` pipeline actually shrinks the two-machine product
+//! instances (exit code 1 if no cell shows an AND reduction).
+//!
+//! Part 2 runs the smoke cells twice — preparation off, then on — and
+//! compares verdicts cell by cell plus median wall time, checking the
+//! pipeline is behaviour-preserving: a decided raw verdict must be
+//! reproduced exactly, while an undecided one may only be *upgraded*
+//! (the reduction deciding a cell the raw instance times out on is the
+//! point of the pass pipeline). Every attack returned with preparation
+//! on is replayed on the *raw* netlist to prove the trace came back in
+//! original vocabulary.
+//!
+//! `--json <path>` / `--csv <path>` dump the preparation-on runs as a
+//! structured campaign report (per-pass stats included) for CI to
+//! archive. Preparation runs never use the session cache: a cache hit
+//! would skip the pipeline and defeat the probe.
+
+use std::time::Duration;
+
+use csl_bench::{
+    bmc_depth, budget_secs, median_duration, report_args, show_pass_stats, smoke_cells,
+    table2_designs, write_reports,
+};
+use csl_contracts::Contract;
+use csl_core::api::{Budget, CampaignReport, Mode, PrepareConfig, Report, Verifier};
+use csl_core::{CampaignCell, Scheme};
+use csl_mc::{Sim, Verdict};
+
+fn query_for(
+    cell: &CampaignCell,
+    prepare: PrepareConfig,
+    budget_s: u64,
+    depth: usize,
+) -> csl_core::api::Query {
+    Verifier::new()
+        .design(cell.design)
+        .contract(cell.contract)
+        .scheme(cell.scheme)
+        .mode(Mode::Portfolio)
+        .prepare(prepare)
+        .budget(Budget::wall(Duration::from_secs(budget_s)))
+        .bmc_depth(depth)
+        .query()
+        .expect("cell carries design and contract")
+}
+
+fn main() {
+    let args = report_args("prepprobe");
+    if let Some(dir) = &args.cache {
+        println!("note: prepprobe always bypasses the result cache (ignoring {dir})");
+    }
+    let budget = budget_secs(30);
+    let depth = bmc_depth(10);
+    let wall = std::time::Instant::now();
+
+    println!("== part 1: netlist reduction on the Table-2 cells ==");
+    let mut reduced_cells = 0usize;
+    for design in table2_designs() {
+        let cell = CampaignCell {
+            scheme: Scheme::Shadow,
+            design,
+            contract: Contract::Sandboxing,
+        };
+        let q = query_for(&cell, PrepareConfig::on(), budget, depth);
+        let raw = q.raw_instance();
+        // Prepare the instance we already built instead of letting
+        // Query::instance() rebuild the raw netlist a second time.
+        let prepared = csl_mc::prepare(&raw, &PrepareConfig::on(), q.options().keep_probes);
+        let (ra, rl) = (raw.aig.num_ands(), raw.aig.num_latches());
+        let (pa, pl) = (prepared.aig().num_ands(), prepared.aig().num_latches());
+        let pct = |before: usize, after: usize| {
+            if before == 0 {
+                0.0
+            } else {
+                100.0 * (before - after) as f64 / before as f64
+            }
+        };
+        println!(
+            "{:<44} ands {ra:>6} -> {pa:<6} (-{:.1}%)  latches {rl:>5} -> {pl:<5} (-{:.1}%)",
+            cell.label(),
+            pct(ra, pa),
+            pct(rl, pl),
+        );
+        show_pass_stats(&prepared.stats);
+        if pa < ra {
+            reduced_cells += 1;
+        }
+    }
+
+    println!();
+    println!("== part 2: preparation on vs off over the smoke cells ==");
+    let mut archived: Vec<Report> = Vec::new();
+    let mut off_walls = Vec::new();
+    let mut on_walls = Vec::new();
+    let mut agreed = true;
+    let mut lifted_ok = true;
+    let decided = |cell: &str| cell == "CEX" || cell == "PROOF";
+    for cell in smoke_cells() {
+        let off = query_for(&cell, PrepareConfig::off(), budget, depth).run();
+        let on_query = query_for(&cell, PrepareConfig::on(), budget, depth);
+        let on = on_query.run();
+        // Decided verdicts must match; an undecided raw cell may only be
+        // upgraded by the reduction, never the other way round.
+        let same = off.cell() == on.cell();
+        let ok = same || (!decided(off.cell()) && decided(on.cell()));
+        agreed &= ok;
+        // An attack from the prepared run must be expressed in raw
+        // vocabulary: replay it on the raw netlist.
+        let replay = match &on.verdict {
+            Verdict::Attack(trace) => {
+                let raw = on_query.raw_instance();
+                let (assumes_ok, bad) = Sim::new(&raw.aig).replay(trace);
+                lifted_ok &= assumes_ok && bad;
+                if assumes_ok && bad {
+                    "  lifted cex replays on raw netlist"
+                } else {
+                    "  << LIFTED CEX FAILED RAW REPLAY"
+                }
+            }
+            _ => "",
+        };
+        println!(
+            "{:<44} off {:6} [{:.1}s]  on {:6} [{:.1}s]{}{replay}",
+            cell.label(),
+            off.cell(),
+            off.elapsed.as_secs_f64(),
+            on.cell(),
+            on.elapsed.as_secs_f64(),
+            if same {
+                ""
+            } else if ok {
+                "  (prepared instance decided inside the budget)"
+            } else {
+                "  << VERDICT MISMATCH"
+            }
+        );
+        off_walls.push(off.elapsed);
+        on_walls.push(on.elapsed);
+        archived.push(on);
+    }
+    let off_median = median_duration(off_walls);
+    let on_median = median_duration(on_walls);
+    println!(
+        "median wall: off {:.2}s, on {:.2}s ({})",
+        off_median.as_secs_f64(),
+        on_median.as_secs_f64(),
+        if on_median <= off_median + Duration::from_millis(500) {
+            "preparation is not a slowdown"
+        } else {
+            "preparation is slower here"
+        }
+    );
+
+    let campaign = CampaignReport {
+        reports: archived,
+        wall: wall.elapsed(),
+    };
+    write_reports(&campaign, &args);
+
+    let mut failed = false;
+    if reduced_cells == 0 {
+        println!("FAIL: no Table-2 cell showed an AND reduction");
+        failed = true;
+    }
+    if !agreed {
+        println!("FAIL: preparation flipped or downgraded at least one verdict");
+        failed = true;
+    }
+    if !lifted_ok {
+        println!("FAIL: a lifted counterexample did not replay on the raw netlist");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "ok: {reduced_cells}/{} cells reduced, verdicts identical, traces lift",
+        table2_designs().len()
+    );
+}

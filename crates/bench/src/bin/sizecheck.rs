@@ -4,33 +4,34 @@ use csl_core::{DesignKind, Scheme};
 use csl_cpu::Defense;
 use csl_mc::TransitionSystem;
 
-fn main() {
-    let base = Verifier::new()
+fn show(label: &str, scheme: Scheme) {
+    let query = Verifier::new()
         .design(DesignKind::SimpleOoo(Defense::None))
-        .contract(Contract::Sandboxing);
-    let s = base
-        .clone()
-        .scheme(Scheme::Shadow)
+        .contract(Contract::Sandboxing)
+        .scheme(scheme)
         .query()
-        .expect("design and contract are set")
-        .instance();
-    let b = base
-        .scheme(Scheme::Baseline)
-        .query()
-        .expect("design and contract are set")
-        .instance();
-    let ts_s = TransitionSystem::new(s.aig.clone(), false);
-    let ts_b = TransitionSystem::new(b.aig.clone(), false);
-    println!(
-        "shadow:   latches={} ands={} | COI {}",
-        s.aig.num_latches(),
-        s.aig.num_ands(),
-        ts_s.summary()
+        .expect("design and contract are set");
+    let raw = query.raw_instance();
+    // Prepare the already-built raw instance rather than rebuilding it
+    // through Query::instance().
+    let prepared = csl_mc::prepare(
+        &raw,
+        &csl_mc::PrepareConfig::on(),
+        query.options().keep_probes,
     );
+    let ts = TransitionSystem::new(prepared.aig().clone(), false);
     println!(
-        "baseline: latches={} ands={} | COI {}",
-        b.aig.num_latches(),
-        b.aig.num_ands(),
-        ts_b.summary()
+        "{label}: raw latches={} ands={} | prepared latches={} ands={} | COI {}",
+        raw.aig.num_latches(),
+        raw.aig.num_ands(),
+        prepared.aig().num_latches(),
+        prepared.aig().num_ands(),
+        ts.summary()
     );
+    csl_bench::show_pass_stats(&prepared.stats);
+}
+
+fn main() {
+    show("shadow", Scheme::Shadow);
+    show("baseline", Scheme::Baseline);
 }

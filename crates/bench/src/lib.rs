@@ -83,6 +83,26 @@ pub fn show(label: &str, report: &Report) {
     }
 }
 
+/// Median wall time, for the probes' on/off speed comparisons.
+///
+/// # Panics
+/// Panics on an empty set.
+pub fn median_duration(mut xs: Vec<Duration>) -> Duration {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Prints the per-pass reduction table of a preparation run (shared by
+/// `prepprobe` and `sizecheck`).
+pub fn show_pass_stats(stats: &csl_core::api::PrepareStats) {
+    for p in &stats.passes {
+        println!(
+            "    | {:<12} ands {:>6} -> {:<6} latches {:>5} -> {:<5}",
+            p.pass, p.before.ands, p.after.ands, p.before.latches, p.after.latches
+        );
+    }
+}
+
 /// Prints a benchmark header.
 pub fn header(title: &str, paper_ref: &str) {
     println!();
@@ -151,34 +171,61 @@ pub fn show_campaign(report: &CampaignReport) {
 }
 
 /// The standard bin arguments: report dump paths plus the session-cache
-/// controls.
+/// and instance-preparation controls.
 pub struct BinArgs {
     pub json: Option<String>,
     pub csv: Option<String>,
     /// Cache directory for campaign runs; defaults to
     /// [`DEFAULT_CACHE_DIR`], `None` after `--no-cache`.
     pub cache: Option<String>,
+    /// Size cap for the on-disk cache (`--max-entries <n>`): stores
+    /// prune the least-recently-used reports down to this count.
+    pub cache_max_entries: Option<usize>,
+    /// Instance preparation (`--no-prepare` turns the reduction pipeline
+    /// off; default on).
+    pub prepare: bool,
 }
 
 impl BinArgs {
-    /// Applies the cache setting to a campaign matrix.
+    /// Applies the cache and preparation settings to a campaign matrix.
     pub fn apply_cache(&self, matrix: Matrix) -> Matrix {
-        match &self.cache {
-            Some(dir) => matrix.cache(dir),
+        let matrix = match &self.cache {
+            Some(dir) => {
+                let m = matrix.cache(dir);
+                match self.cache_max_entries {
+                    Some(n) => m.cache_max_entries(n),
+                    None => m,
+                }
+            }
             None => matrix.no_cache(),
+        };
+        matrix.prepare(self.prepare_config())
+    }
+
+    /// The preparation pipeline these arguments select.
+    pub fn prepare_config(&self) -> csl_core::api::PrepareConfig {
+        if self.prepare {
+            csl_core::api::PrepareConfig::on()
+        } else {
+            csl_core::api::PrepareConfig::off()
         }
     }
 }
 
 /// Parses the standard `--json <path>` / `--csv <path>` /
-/// `--cache <dir>` / `--no-cache` bin arguments; unknown arguments abort
-/// with usage.
+/// `--cache <dir>` / `--no-cache` / `--max-entries <n>` /
+/// `--no-prepare` bin arguments; unknown arguments abort with usage.
 pub fn report_args(bin: &str) -> BinArgs {
-    let usage = format!("usage: {bin} [--json <path>] [--csv <path>] [--cache <dir> | --no-cache]");
+    let usage = format!(
+        "usage: {bin} [--json <path>] [--csv <path>] \
+         [--cache <dir> | --no-cache] [--max-entries <n>] [--no-prepare]"
+    );
     let mut parsed = BinArgs {
         json: None,
         csv: None,
         cache: Some(DEFAULT_CACHE_DIR.to_string()),
+        cache_max_entries: None,
+        prepare: true,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -193,6 +240,14 @@ pub fn report_args(bin: &str) -> BinArgs {
             "--csv" => parsed.csv = Some(value(&mut args)),
             "--cache" => parsed.cache = Some(value(&mut args)),
             "--no-cache" => parsed.cache = None,
+            "--max-entries" => {
+                let n = value(&mut args);
+                parsed.cache_max_entries = Some(n.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-entries takes a number; {usage}");
+                    std::process::exit(2);
+                }));
+            }
+            "--no-prepare" => parsed.prepare = false,
             _ => {
                 eprintln!("unknown argument `{arg}`; {usage}");
                 std::process::exit(2);

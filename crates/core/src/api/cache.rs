@@ -159,24 +159,57 @@ pub(crate) fn options_fingerprint(h: &mut Fingerprint, opts: &CheckOptions) {
     h.u64(x.max_clause_lbd as u64);
     h.usize(x.max_imports_per_poll);
     h.usize(x.capacity);
+    let p = &opts.prepare;
+    h.bool(p.enabled);
+    h.bool(p.coi);
+    h.bool(p.const_sweep);
+    h.bool(p.dead_latches);
+    h.bool(p.compact);
 }
 
-/// A directory of persisted [`Report`]s keyed by query fingerprint.
+/// A directory of persisted [`Report`]s keyed by query fingerprint,
+/// optionally size-capped: with [`ReportCache::with_max_entries`] the
+/// oldest entries — least-recently *used*, because a hit refreshes the
+/// file's mtime — are pruned after every store until the directory fits.
 #[derive(Clone, Debug)]
 pub struct ReportCache {
     dir: PathBuf,
+    max_entries: Option<usize>,
 }
 
 impl ReportCache {
-    /// Opens (without creating) a cache rooted at `dir`; the directory is
-    /// created lazily on the first store.
+    /// Opens (without creating) an unbounded cache rooted at `dir`; the
+    /// directory is created lazily on the first store.
     pub fn new(dir: impl Into<PathBuf>) -> ReportCache {
-        ReportCache { dir: dir.into() }
+        ReportCache {
+            dir: dir.into(),
+            max_entries: None,
+        }
+    }
+
+    /// The same cache with a size cap: stores prune down to `n` entries,
+    /// LRU by file mtime.
+    pub fn with_max_entries(mut self, n: usize) -> ReportCache {
+        self.max_entries = Some(n);
+        self
+    }
+
+    /// [`ReportCache::with_max_entries`] with an optional cap (`None` =
+    /// unbounded) — the one-liner for callers threading a `--max-entries`
+    /// style knob through.
+    pub fn with_max_entries_opt(mut self, n: Option<usize>) -> ReportCache {
+        self.max_entries = n;
+        self
     }
 
     /// The cache root.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The configured size cap, if any.
+    pub fn max_entries(&self) -> Option<usize> {
+        self.max_entries
     }
 
     fn path_for(&self, key: u64) -> PathBuf {
@@ -185,9 +218,55 @@ impl ReportCache {
 
     /// Loads the report stored under `key`, if any. Unreadable or
     /// unparsable entries are treated as misses (the cell just reruns).
+    /// A hit bumps the entry's mtime so LRU pruning spares it.
     pub fn load(&self, key: u64) -> Option<Report> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        Report::from_json(&text).ok()
+        let path = self.path_for(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        let report = Report::from_json(&text).ok()?;
+        // Best-effort recency touch; a read-only cache dir just means
+        // eviction degrades from LRU to FIFO.
+        if let Ok(f) = std::fs::OpenOptions::new().write(true).open(&path) {
+            let _ = f.set_modified(std::time::SystemTime::now());
+        }
+        Some(report)
+    }
+
+    /// Number of entries currently on disk.
+    pub fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn entries(&self) -> Vec<(std::time::SystemTime, PathBuf)> {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        dir.filter_map(|e| {
+            let e = e.ok()?;
+            let path = e.path();
+            if path.extension().is_none_or(|x| x != "json") {
+                return None;
+            }
+            let mtime = e.metadata().ok()?.modified().ok()?;
+            Some((mtime, path))
+        })
+        .collect()
+    }
+
+    /// Removes the oldest entries until at most `cap` remain.
+    fn prune_to(&self, cap: usize) {
+        let mut entries = self.entries();
+        if entries.len() <= cap {
+            return;
+        }
+        entries.sort_by_key(|e| e.0);
+        let excess = entries.len() - cap;
+        for (_, path) in entries.into_iter().take(excess) {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     /// [`ReportCache::load`] plus the standard cache-hit note — the one
@@ -200,13 +279,18 @@ impl ReportCache {
     }
 
     /// Persists a *decided* report under `key`; timeouts and unknowns are
-    /// silently skipped (see the module docs).
+    /// silently skipped (see the module docs). With a size cap, the
+    /// least-recently-used entries are pruned afterwards.
     pub fn store(&self, key: u64, report: &Report) -> std::io::Result<()> {
         if !(report.verdict.is_attack() || report.verdict.is_proof()) {
             return Ok(());
         }
         std::fs::create_dir_all(&self.dir)?;
-        std::fs::write(self.path_for(key), report.to_json())
+        std::fs::write(self.path_for(key), report.to_json())?;
+        if let Some(cap) = self.max_entries {
+            self.prune_to(cap);
+        }
+        Ok(())
     }
 }
 
@@ -247,6 +331,11 @@ mod tests {
             },
             CheckOptions::default().portfolio(),
             CheckOptions::default().with_exchange(csl_mc::ExchangeConfig::on()),
+            CheckOptions::default().with_prepare(csl_mc::PrepareConfig::off()),
+            CheckOptions::default().with_prepare(csl_mc::PrepareConfig {
+                const_sweep: false,
+                ..csl_mc::PrepareConfig::on()
+            }),
             CheckOptions {
                 lanes: csl_mc::LanePlan::new()
                     .with(csl_mc::Lane::Bmc, csl_mc::LaneBudget::depths(&[2, 4])),
@@ -276,6 +365,7 @@ mod tests {
             elapsed: std::time::Duration::from_millis(10),
             notes: vec![],
             exchange: vec![],
+            prepare: vec![],
         };
         assert!(cache.load(1).is_none());
         cache.store(1, &report).unwrap();
@@ -284,6 +374,50 @@ mod tests {
         report.verdict = Verdict::Timeout;
         cache.store(2, &report).unwrap();
         assert!(cache.load(2).is_none(), "timeouts are never cached");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_cap_evicts_least_recently_used() {
+        use csl_contracts::Contract;
+        use csl_mc::{ProofEngine, Verdict};
+        use std::time::{Duration, SystemTime};
+
+        let dir = std::env::temp_dir().join(format!("csl-cache-lru-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = Report {
+            scheme: crate::Scheme::Leave,
+            design: crate::DesignKind::SingleCycle,
+            contract: Contract::Sandboxing,
+            verdict: Verdict::Proof(ProofEngine::Houdini { invariants: 3 }),
+            elapsed: std::time::Duration::from_millis(10),
+            notes: vec![],
+            exchange: vec![],
+            prepare: vec![],
+        };
+        let unbounded = ReportCache::new(&dir);
+        // Three entries with strictly increasing (old) mtimes so the
+        // LRU order is unambiguous regardless of filesystem timestamp
+        // granularity.
+        let old = SystemTime::now() - Duration::from_secs(3600);
+        for key in 1..=3u64 {
+            unbounded.store(key, &report).unwrap();
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(dir.join(format!("{key:016x}.json")))
+                .unwrap();
+            f.set_modified(old + Duration::from_secs(key)).unwrap();
+        }
+        let capped = ReportCache::new(&dir).with_max_entries(3);
+        assert_eq!(capped.max_entries(), Some(3));
+        // A hit refreshes entry 1, making entry 2 the LRU victim.
+        assert!(capped.load(1).is_some());
+        capped.store(4, &report).unwrap();
+        assert_eq!(capped.len(), 3);
+        assert!(capped.load(2).is_none(), "LRU entry must be evicted");
+        assert!(capped.load(1).is_some(), "recently-hit entry survives");
+        assert!(capped.load(3).is_some());
+        assert!(capped.load(4).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -54,7 +54,7 @@ use crate::verify::{instance_for, run_scheme, Scheme};
 pub use cache::ReportCache;
 pub use csl_mc::{
     ExchangeConfig, ExchangeStats, ExecMode as Mode, InconclusiveReason, Lane, LaneBudget,
-    LaneExchange, LanePlan,
+    LaneExchange, LanePlan, PrepareConfig, PrepareStats, PreparedInstance,
 };
 pub use json::{Json, JsonError};
 pub use report::{CampaignDiff, CampaignReport, ReadError, Report, VerdictChange};
@@ -143,6 +143,7 @@ pub struct Verifier {
     with_candidates: bool,
     threads: usize,
     exchange: ExchangeConfig,
+    prepare: PrepareConfig,
 }
 
 impl Default for Verifier {
@@ -166,6 +167,7 @@ impl Default for Verifier {
             with_candidates: true,
             threads: 0,
             exchange: opts.exchange,
+            prepare: opts.prepare,
         }
     }
 }
@@ -212,6 +214,17 @@ impl Verifier {
     /// lanes, and records per-lane import/export counts in the report.
     pub fn exchange(mut self, exchange: ExchangeConfig) -> Verifier {
         self.exchange = exchange;
+        self
+    }
+
+    /// Configures instance preparation — the netlist reduction pipeline
+    /// every engine runs behind (cone-of-influence, constant sweep with
+    /// cross-copy re-strash, dead-latch elimination, compaction).
+    /// Default on; [`PrepareConfig::off()`] is the escape hatch that
+    /// hands the engines the raw instance. Counterexamples are always
+    /// expressed in raw-netlist vocabulary regardless.
+    pub fn prepare(mut self, prepare: PrepareConfig) -> Verifier {
+        self.prepare = prepare;
         self
     }
 
@@ -333,6 +346,7 @@ impl Verifier {
             cells: matrix(schemes, designs, contracts),
             base: self,
             cache_dir: None,
+            cache_max_entries: None,
         }
     }
 
@@ -348,6 +362,7 @@ impl Verifier {
             mode: self.mode,
             lanes: self.budget.lanes.clone(),
             exchange: self.exchange.clone(),
+            prepare: self.prepare.clone(),
         }
     }
 
@@ -408,25 +423,41 @@ impl Query {
         Report::from_check(self.scheme, self.design, self.contract, check)
     }
 
-    /// Builds the model-checking instance without running it (the typed
-    /// replacement for the `build_*_instance` free functions).
-    pub fn instance(&self) -> SafetyCheck {
+    /// Builds and *prepares* the model-checking instance without running
+    /// it (the typed replacement for the `build_*_instance` free
+    /// functions): the reduced netlist the engines would run on, the
+    /// [`csl_hdl::xform::Reconstruction`] that lifts traces back to the
+    /// raw netlist, and the per-pass reduction statistics. With
+    /// [`PrepareConfig::off()`] configured this is the raw instance
+    /// under an identity reconstruction.
+    pub fn instance(&self) -> PreparedInstance {
+        csl_mc::prepare(
+            &self.raw_instance(),
+            &self.opts.prepare,
+            self.opts.keep_probes,
+        )
+    }
+
+    /// Builds the raw (unprepared) model-checking instance.
+    pub fn raw_instance(&self) -> SafetyCheck {
         instance_for(self.scheme, &self.cfg)
     }
 
     /// Stable fingerprint of this query for the session result cache:
-    /// scheme × design × contract × every engine option × a structural
-    /// hash of the built netlist and its invariant candidates. Two
-    /// queries with the same key decide the same problem. Building the
-    /// instance costs netlist-construction time — trivial next to any
-    /// solving the key would spare.
+    /// scheme × design × contract × every engine option (the preparation
+    /// pipeline included) × a structural hash of the built netlist and
+    /// its invariant candidates. Two queries with the same key decide
+    /// the same problem. The raw netlist is hashed — preparation is
+    /// deterministic, so raw netlist + prepare config determine the
+    /// reduced instance — and building it costs netlist-construction
+    /// time, trivial next to any solving the key would spare.
     pub fn cache_key(&self) -> u64 {
         let mut h = cache::Fingerprint::new();
         h.str(self.scheme.name());
         h.str(&self.design.name());
         h.str(self.contract.name());
         cache::options_fingerprint(&mut h, &self.opts);
-        cache::instance_fingerprint(&mut h, &self.instance());
+        cache::instance_fingerprint(&mut h, &self.raw_instance());
         h.finish()
     }
 
@@ -452,6 +483,7 @@ pub struct Matrix {
     base: Verifier,
     cells: Vec<CampaignCell>,
     cache_dir: Option<PathBuf>,
+    cache_max_entries: Option<usize>,
 }
 
 impl Matrix {
@@ -478,12 +510,27 @@ impl Matrix {
         self
     }
 
+    /// Per-cell instance-preparation configuration.
+    pub fn prepare(mut self, prepare: PrepareConfig) -> Matrix {
+        self.base = self.base.prepare(prepare);
+        self
+    }
+
     /// Enables the session result cache rooted at `dir`: `run_all` skips
     /// cells whose [`Query::cache_key`] already has a decided report on
     /// disk and stores newly decided ones. Timeouts/unknowns always
     /// rerun.
     pub fn cache(mut self, dir: impl Into<PathBuf>) -> Matrix {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Caps the on-disk cache at `n` reports: after each store the
+    /// oldest entries (LRU by file mtime — hits refresh it) are pruned
+    /// until the directory fits. The `cache --max-entries` knob of the
+    /// bench bins lands here.
+    pub fn cache_max_entries(mut self, n: usize) -> Matrix {
+        self.cache_max_entries = Some(n);
         self
     }
 
@@ -535,7 +582,10 @@ impl Matrix {
     /// a decided report on disk are skipped and served from it.
     pub fn run_all(&self) -> CampaignReport {
         let start = std::time::Instant::now();
-        let cache = self.cache_dir.as_ref().map(ReportCache::new);
+        let cache = self
+            .cache_dir
+            .as_ref()
+            .map(|dir| ReportCache::new(dir).with_max_entries_opt(self.cache_max_entries));
         let opts = self.base.check_options();
         let mut slots: Vec<Option<Report>> = vec![None; self.cells.len()];
         let mut keys: Vec<Option<u64>> = vec![None; self.cells.len()];
@@ -636,7 +686,7 @@ mod tests {
         assert_eq!(q2.options().lanes.get(Lane::Bmc).depth_schedule, vec![2]);
         // UPEC adds its fault exclusion at instance-build time, not here.
         let task = q.instance();
-        assert!(task.aig.num_ands() > 0);
+        assert!(task.aig().num_ands() > 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use csl_contracts::Contract;
+use csl_hdl::xform::{PassStats, Shape};
 use csl_mc::{CheckReport, ExchangeStats, InconclusiveReason, Lane, ProofEngine, Trace, Verdict};
 
 use crate::api::json::{Json, JsonError};
@@ -68,6 +69,10 @@ pub struct Report {
     /// Per-lane exchange-bus traffic (empty when the clause/lemma
     /// exchange was off or the cell ran sequentially).
     pub exchange: Vec<ExchangeStats>,
+    /// Per-pass node/latch reduction statistics from instance
+    /// preparation (empty when preparation was off or the document
+    /// predates the field).
+    pub prepare: Vec<PassStats>,
 }
 
 impl Report {
@@ -86,6 +91,7 @@ impl Report {
             elapsed: check.elapsed,
             notes: check.notes,
             exchange: check.exchange,
+            prepare: check.prepare,
         }
     }
 
@@ -154,6 +160,10 @@ impl Report {
                 "notes",
                 Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
             ),
+            (
+                "prepare",
+                Json::Arr(self.prepare.iter().map(pass_stats_to_value).collect()),
+            ),
         ])
     }
 
@@ -192,6 +202,15 @@ impl Report {
                 .collect::<Result<Vec<_>, _>>()?,
             None => Vec::new(),
         };
+        // Absent in pre-preparation documents: default to no stats
+        // (same lenient treatment as the exchange field).
+        let prepare = match v.get("prepare").and_then(Json::as_arr) {
+            Some(items) => items
+                .iter()
+                .map(pass_stats_from_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         Ok(Report {
             scheme,
             design,
@@ -200,8 +219,62 @@ impl Report {
             elapsed,
             notes,
             exchange,
+            prepare,
         })
     }
+}
+
+fn shape_to_value(s: &Shape) -> Json {
+    Json::obj(vec![
+        ("nodes", Json::Int(s.nodes as i64)),
+        ("ands", Json::Int(s.ands as i64)),
+        ("latches", Json::Int(s.latches as i64)),
+        ("inputs", Json::Int(s.inputs as i64)),
+    ])
+}
+
+fn shape_from_value(v: &Json) -> Result<Shape, ReadError> {
+    let count = |key: &str| -> Result<usize, ReadError> {
+        v.get(key)
+            .and_then(Json::as_int)
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| ReadError::Schema(format!("bad shape {key}")))
+    };
+    Ok(Shape {
+        nodes: count("nodes")?,
+        ands: count("ands")?,
+        latches: count("latches")?,
+        inputs: count("inputs")?,
+    })
+}
+
+fn pass_stats_to_value(p: &PassStats) -> Json {
+    Json::obj(vec![
+        ("pass", Json::Str(p.pass.clone())),
+        ("before", shape_to_value(&p.before)),
+        ("after", shape_to_value(&p.after)),
+    ])
+}
+
+fn pass_stats_from_value(v: &Json) -> Result<PassStats, ReadError> {
+    let pass = v
+        .get("pass")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ReadError::Schema("missing pass name".into()))?
+        .to_string();
+    let before = shape_from_value(
+        v.get("before")
+            .ok_or_else(|| ReadError::Schema("missing pass before".into()))?,
+    )?;
+    let after = shape_from_value(
+        v.get("after")
+            .ok_or_else(|| ReadError::Schema("missing pass after".into()))?,
+    )?;
+    Ok(PassStats {
+        pass,
+        before,
+        after,
+    })
 }
 
 fn exchange_to_value(s: &ExchangeStats) -> Json {
@@ -806,6 +879,38 @@ mod tests {
                         exports: 0,
                     },
                 ],
+                prepare: vec![
+                    PassStats {
+                        pass: "coi".into(),
+                        before: Shape {
+                            nodes: 1200,
+                            ands: 900,
+                            latches: 200,
+                            inputs: 40,
+                        },
+                        after: Shape {
+                            nodes: 1000,
+                            ands: 800,
+                            latches: 150,
+                            inputs: 30,
+                        },
+                    },
+                    PassStats {
+                        pass: "const-sweep".into(),
+                        before: Shape {
+                            nodes: 1000,
+                            ands: 800,
+                            latches: 150,
+                            inputs: 30,
+                        },
+                        after: Shape {
+                            nodes: 900,
+                            ands: 710,
+                            latches: 140,
+                            inputs: 30,
+                        },
+                    },
+                ],
             },
             Report {
                 scheme: Scheme::Leave,
@@ -815,6 +920,7 @@ mod tests {
                 elapsed: Duration::from_millis(250),
                 notes: vec![],
                 exchange: vec![],
+                prepare: vec![],
             },
             Report {
                 scheme: Scheme::Upec,
@@ -826,6 +932,7 @@ mod tests {
                 elapsed: Duration::from_secs(60),
                 notes: vec!["note".into()],
                 exchange: vec![],
+                prepare: vec![],
             },
             Report {
                 scheme: Scheme::Baseline,
@@ -835,6 +942,7 @@ mod tests {
                 elapsed: Duration::from_secs(600),
                 notes: vec![],
                 exchange: vec![],
+                prepare: vec![],
             },
             Report {
                 scheme: Scheme::Shadow,
@@ -846,6 +954,7 @@ mod tests {
                 elapsed: Duration::from_secs(1),
                 notes: vec![],
                 exchange: vec![],
+                prepare: vec![],
             },
         ]
     }
@@ -893,6 +1002,10 @@ mod tests {
             }
         );
         assert!(report.exchange.is_empty());
+        assert!(
+            report.prepare.is_empty(),
+            "documents without a prepare block must parse leniently"
+        );
     }
 
     #[test]

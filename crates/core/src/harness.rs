@@ -414,7 +414,8 @@ pub(crate) fn baseline_instance(cfg: &InstanceConfig) -> SafetyCheck {
 /// Builds the Contract Shadow Logic instance (Fig. 1b).
 #[deprecated(
     since = "0.2.0",
-    note = "use csl_core::api::Verifier — `.scheme(Scheme::Shadow).query()?.instance()`"
+    note = "use csl_core::api::Verifier — `.scheme(Scheme::Shadow).query()?.instance()` \
+            (prepared) or `.raw_instance()`"
 )]
 pub fn build_shadow_instance(cfg: &InstanceConfig) -> SafetyCheck {
     shadow_instance(cfg)
@@ -423,7 +424,8 @@ pub fn build_shadow_instance(cfg: &InstanceConfig) -> SafetyCheck {
 /// Builds the LEAVE comparison instance.
 #[deprecated(
     since = "0.2.0",
-    note = "use csl_core::api::Verifier — `.scheme(Scheme::Leave).query()?.instance()`"
+    note = "use csl_core::api::Verifier — `.scheme(Scheme::Leave).query()?.instance()` \
+            (prepared) or `.raw_instance()`"
 )]
 pub fn build_leave_instance(cfg: &InstanceConfig) -> SafetyCheck {
     leave_instance(cfg)
@@ -432,7 +434,8 @@ pub fn build_leave_instance(cfg: &InstanceConfig) -> SafetyCheck {
 /// Builds the four-machine baseline instance (Fig. 1a).
 #[deprecated(
     since = "0.2.0",
-    note = "use csl_core::api::Verifier — `.scheme(Scheme::Baseline).query()?.instance()`"
+    note = "use csl_core::api::Verifier — `.scheme(Scheme::Baseline).query()?.instance()` \
+            (prepared) or `.raw_instance()`"
 )]
 pub fn build_baseline_instance(cfg: &InstanceConfig) -> SafetyCheck {
     baseline_instance(cfg)

@@ -21,11 +21,15 @@
 //!   (the Table-2 reproduction engine),
 //! * [`api`] — **the unified entry point**: the fluent [`api::Verifier`]
 //!   session builder (including the portfolio exchange-bus knob,
-//!   `.exchange(..)`), typed [`api::Query`]s with stable cache keys, a
-//!   persistent [`api::ReportCache`], and persistable
+//!   `.exchange(..)`, and the instance-preparation knob,
+//!   `.prepare(..)`), typed [`api::Query`]s with stable cache keys
+//!   whose `.instance()` yields a prepared (reduced) instance with a
+//!   trace back-map, a persistent [`api::ReportCache`] with optional
+//!   LRU size caps, and persistable
 //!   [`api::Report`]/[`api::CampaignReport`] results (JSON/CSV writers,
-//!   round-trip parsing, cross-run diffing, per-lane exchange traffic).
-//!   The free functions it replaces remain as `#[deprecated]` shims.
+//!   round-trip parsing, cross-run diffing, per-lane exchange traffic,
+//!   per-pass preparation stats). The free functions it replaces remain
+//!   as `#[deprecated]` shims.
 //!
 //! # Quickstart
 //!

@@ -18,6 +18,7 @@
 
 use std::time::Instant;
 
+use csl_mc::prepare::run_prepared;
 use csl_mc::{
     bmc, check_safety, houdini, k_induction, BmcResult, CheckOptions, CheckReport, HoudiniResult,
     InconclusiveReason, KindOptions, KindResult, ProofEngine, SafetyCheck, Sim, TransitionSystem,
@@ -92,7 +93,7 @@ pub(crate) fn run_scheme(scheme: Scheme, cfg: &InstanceConfig, opts: &CheckOptio
 /// Builds the model-checking instance for a scheme.
 #[deprecated(
     since = "0.2.0",
-    note = "use csl_core::api::Verifier — `.query()?.instance()`"
+    note = "use csl_core::api::Verifier — `.query()?.instance()` (prepared) or `.raw_instance()`"
 )]
 pub fn build_instance(scheme: Scheme, cfg: &InstanceConfig) -> SafetyCheck {
     instance_for(scheme, cfg)
@@ -107,8 +108,16 @@ pub fn verify(scheme: Scheme, cfg: &InstanceConfig, opts: &CheckOptions) -> Chec
     run_scheme(scheme, cfg, opts)
 }
 
-/// LEAVE: Houdini-filtered relational invariants or bust.
+/// LEAVE: Houdini-filtered relational invariants or bust. Like
+/// `check_safety`, the engine runs on the prepared (reduced) instance
+/// and the report is lifted back to raw-netlist vocabulary.
 fn run_leave(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
+    run_prepared(task, &opts.prepare, opts.keep_probes, |t| {
+        run_leave_prepared(t, opts)
+    })
+}
+
+fn run_leave_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
     let start = Instant::now();
     let deadline = start + opts.total_budget;
     let budget = Budget::until(deadline);
@@ -139,6 +148,7 @@ fn run_leave(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 elapsed: start.elapsed(),
                 notes,
                 exchange: Vec::new(),
+                prepare: Vec::new(),
             }
         }
         HoudiniResult::Timeout => CheckReport {
@@ -146,13 +156,21 @@ fn run_leave(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             elapsed: start.elapsed(),
             notes,
             exchange: Vec::new(),
+            prepare: Vec::new(),
         },
     }
 }
 
 /// UPEC approximation: BMC with the branch-only speculation assumption;
-/// proofs only via 1-step induction.
+/// proofs only via 1-step induction. Runs on the prepared instance with
+/// the report lifted back, like the other schemes.
 fn run_upec(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
+    run_prepared(task, &opts.prepare, opts.keep_probes, |t| {
+        run_upec_prepared(t, opts)
+    })
+}
+
+fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
     let start = Instant::now();
     let deadline = start + opts.total_budget;
     let budget = || Budget::until(deadline);
@@ -167,6 +185,7 @@ fn run_upec(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 elapsed: start.elapsed(),
                 notes,
                 exchange: Vec::new(),
+                prepare: Vec::new(),
             };
         }
         BmcResult::Clean { depth_checked } => {
@@ -178,6 +197,7 @@ fn run_upec(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 elapsed: start.elapsed(),
                 notes,
                 exchange: Vec::new(),
+                prepare: Vec::new(),
             };
         }
     }
@@ -194,12 +214,14 @@ fn run_upec(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             elapsed: start.elapsed(),
             notes,
             exchange: Vec::new(),
+            prepare: Vec::new(),
         },
         KindResult::Timeout => CheckReport {
             verdict: Verdict::Timeout,
             elapsed: start.elapsed(),
             notes,
             exchange: Vec::new(),
+            prepare: Vec::new(),
         },
         _ => CheckReport {
             // UPEC's conservative-defence invariant shape admits only
@@ -210,6 +232,7 @@ fn run_upec(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             elapsed: start.elapsed(),
             notes,
             exchange: Vec::new(),
+            prepare: Vec::new(),
         },
     }
 }

@@ -23,7 +23,9 @@ fn shadow_task(design: DesignKind, contract: Contract) -> (SafetyCheck, IsaConfi
         .query()
         .expect("design and contract are set");
     let isa = query.config().cpu_config().isa;
-    (query.instance(), isa)
+    // Directed simulation drives the full monitor by latch name;
+    // the raw (unprepared) netlist is the subject here.
+    (query.raw_instance(), isa)
 }
 
 fn probe_map(aig: &Aig) -> HashMap<String, Vec<Bit>> {

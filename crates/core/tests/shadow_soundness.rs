@@ -28,7 +28,7 @@ fn fifo_overflow_unreachable_with_sync() {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts = TransitionSystem::new(task.aig.clone(), false);
+    let ts = TransitionSystem::new(task.aig().clone(), false);
     let depth = if cfg!(debug_assertions) { 7 } else { 10 };
     match bmc(&ts, depth, short_budget(240)) {
         BmcResult::Cex(trace) => {
@@ -76,12 +76,12 @@ fn no_drain_ablation_yields_false_attacks() {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts = TransitionSystem::new(task.aig.clone(), false);
+    let ts = TransitionSystem::new(task.aig().clone(), false);
     let BmcResult::Cex(good) = bmc(&ts, depth, short_budget(240)) else {
         panic!("expected the genuine attack");
     };
     assert!(
-        !assume_violated_extended(&task.aig, &good, 16),
+        !assume_violated_extended(task.aig(), &good, 16),
         "the genuine attack's program must stay constraint-clean"
     );
 
@@ -99,7 +99,7 @@ fn no_drain_ablation_yields_false_attacks() {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts2 = TransitionSystem::new(task2.aig.clone(), false);
+    let ts2 = TransitionSystem::new(task2.aig().clone(), false);
     match bmc(&ts2, good.depth().saturating_sub(1), short_budget(240)) {
         BmcResult::Cex(bad_cex) => {
             // The weakened assertion admits a superset of traces. Whatever
@@ -112,7 +112,7 @@ fn no_drain_ablation_yields_false_attacks() {
             // of any architectural-data divergence, so the second outcome
             // is the common one; the requirement stays load-bearing for
             // deeper pipelines and is enforced structurally either way.
-            let violated = assume_violated_extended(&task2.aig, &bad_cex, 16);
+            let violated = assume_violated_extended(task2.aig(), &bad_cex, 16);
             let coincides = bad_cex.depth() >= good.depth();
             assert!(
                 violated || coincides,

@@ -17,6 +17,10 @@
 //!   (add/sub/mul/compare/mux/select/decode).
 //! * [`mem`]: register-file / memory arrays with queued write ports and
 //!   read-only (symbolic constant) sealing for instruction memory.
+//! * [`xform`]: post-build netlist reduction passes (cone-of-influence,
+//!   constant sweep + re-strash, dead-latch elimination, compaction)
+//!   with [`Reconstruction`] back-maps for lifting counterexamples on
+//!   the reduced netlist back to original names.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@ pub mod aiger;
 pub mod design;
 pub mod mem;
 pub mod word;
+pub mod xform;
 
 pub use aig::{
     Aig, BadInfo, Bit, CoiMarks, Init, InputInfo, LatchInfo, Node, PrefixStats, ProbeInfo,
@@ -50,3 +55,7 @@ pub use aig::{
 pub use design::{Design, Reg, RegMark};
 pub use mem::MemArray;
 pub use word::Word;
+pub use xform::{
+    CoiPass, CompactPass, ConstSweepPass, DeadLatchPass, Pass, PassOpts, PassStats, Pipeline,
+    PipelineStats, Reconstruction, Rewrite, Shape,
+};

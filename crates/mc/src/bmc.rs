@@ -9,11 +9,20 @@
 
 use csl_sat::{Budget, SolveResult};
 
-use crate::exchange::{ExchangeItem, SharedContext, SharedLemma};
+use crate::exchange::{ExchangeItem, SharedContext, SharedInvariant, SharedLemma};
 use crate::lane::Lane;
 use crate::trace::Trace;
 use crate::ts::TransitionSystem;
 use crate::unroll::{InitMode, Unroller};
+
+/// The caller's bus memory for [`bmc_with`]: imported lemmas and
+/// invariant clauses accumulate here so a depth-schedule walk can
+/// re-assert them in each step's fresh unroller.
+#[derive(Default)]
+pub struct BusMemory {
+    pub lemmas: Vec<SharedLemma>,
+    pub invariants: Vec<SharedInvariant>,
+}
 
 /// Outcome of a BMC run.
 #[derive(Debug)]
@@ -43,25 +52,26 @@ pub fn bmc(ts: &TransitionSystem, max_depth: usize, budget: Budget) -> BmcResult
         max_depth,
         budget,
         &mut SharedContext::disabled(Lane::Bmc),
-        &mut Vec::new(),
+        &mut BusMemory::default(),
     )
 }
 
 /// [`bmc`] attached to the exchange bus: learnt clauses stream out
 /// through the [`csl_sat::Solver`] export hook at conflict boundaries,
-/// and foreign invariant lemmas are polled between depths and asserted at
-/// every frame (sound: a lemma holds in every reachable assume-satisfying
-/// state, and every model of the reset-initialised unrolling is such a
-/// run prefix — so the pruning can never mask a real counterexample).
+/// and foreign invariant lemmas — plus PDR's exported invariant clauses
+/// — are polled between depths and asserted at every frame (sound: both
+/// hold in every reachable assume-satisfying state, and every model of
+/// the reset-initialised unrolling is such a run prefix — so the
+/// pruning can never mask a real counterexample).
 ///
-/// `lemmas` is the caller's lemma memory: imports accumulate there so a
+/// `memory` is the caller's bus memory: imports accumulate there so a
 /// depth-schedule walk can re-assert them in each step's fresh unroller.
 pub fn bmc_with(
     ts: &TransitionSystem,
     max_depth: usize,
     budget: Budget,
     ctx: &mut SharedContext,
-    lemmas: &mut Vec<SharedLemma>,
+    memory: &mut BusMemory,
 ) -> BmcResult {
     let mut u = Unroller::new(ts, InitMode::Reset);
     u.set_budget(budget.clone());
@@ -81,18 +91,31 @@ pub fn bmc_with(
         }
         u.assert_assumes_through(k);
         for item in ctx.poll() {
-            if let ExchangeItem::Lemma(l) = &*item {
-                // Catch the new lemma up on the frames already encoded;
-                // frame `k` is covered by the sweep below.
-                for f in 0..k {
-                    u.assert_lemma_at(l.bit, f);
+            match &*item {
+                ExchangeItem::Lemma(l) => {
+                    // Catch the new lemma up on the frames already
+                    // encoded; frame `k` is covered by the sweep below.
+                    for f in 0..k {
+                        u.assert_lemma_at(l.bit, f);
+                    }
+                    memory.lemmas.push(l.clone());
+                    ctx.note_imported(1);
                 }
-                lemmas.push(l.clone());
-                ctx.note_imported(1);
+                ExchangeItem::Invariant(inv) => {
+                    for f in 0..k {
+                        u.assert_clause_at(&inv.lits, f);
+                    }
+                    memory.invariants.push(inv.clone());
+                    ctx.note_imported(1);
+                }
+                ExchangeItem::Clause(_) => {}
             }
         }
-        for l in lemmas.iter() {
+        for l in memory.lemmas.iter() {
             u.assert_lemma_at(l.bit, k);
+        }
+        for inv in memory.invariants.iter() {
+            u.assert_clause_at(&inv.lits, k);
         }
         let bad = u.bad_any_at(k);
         match u.solve_with(&[bad]) {

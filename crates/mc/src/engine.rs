@@ -16,6 +16,7 @@
 
 use std::time::{Duration, Instant};
 
+use csl_hdl::xform::PassStats;
 use csl_hdl::Aig;
 use csl_sat::Budget;
 
@@ -28,6 +29,7 @@ use crate::pdr::{pdr, PdrOptions, PdrResult};
 use crate::portfolio::{
     race, BmcBackend, EngineOutcome, HoudiniBackend, KindBackend, LaneSpec, PdrBackend,
 };
+use crate::prepare::{run_prepared, PrepareConfig};
 use crate::sim::Sim;
 use crate::trace::Trace;
 use crate::ts::TransitionSystem;
@@ -177,6 +179,11 @@ pub struct CheckOptions {
     /// The cross-lane clause/lemma exchange bus (portfolio mode only;
     /// disabled by default — the isolated-lane race of v1).
     pub exchange: ExchangeConfig,
+    /// Instance preparation: the netlist reduction pipeline every engine
+    /// runs behind (default on; `PrepareConfig::off()` hands the engines
+    /// the raw instance). Attack traces are lifted back to the raw
+    /// netlist's vocabulary before they leave [`check_safety`].
+    pub prepare: PrepareConfig,
 }
 
 impl Default for CheckOptions {
@@ -192,6 +199,7 @@ impl Default for CheckOptions {
             mode: ExecMode::Sequential,
             lanes: LanePlan::default(),
             exchange: ExchangeConfig::default(),
+            prepare: PrepareConfig::default(),
         }
     }
 }
@@ -206,6 +214,13 @@ impl CheckOptions {
     /// The same options with the exchange bus configured (builder style).
     pub fn with_exchange(mut self, exchange: ExchangeConfig) -> CheckOptions {
         self.exchange = exchange;
+        self
+    }
+
+    /// The same options with the preparation pipeline configured
+    /// (builder style).
+    pub fn with_prepare(mut self, prepare: PrepareConfig) -> CheckOptions {
+        self.prepare = prepare;
         self
     }
 }
@@ -227,6 +242,9 @@ pub struct CheckReport {
     /// Per-lane exchange-bus traffic (empty when the bus was disabled or
     /// the check ran sequentially).
     pub exchange: Vec<ExchangeStats>,
+    /// Per-pass node/latch reduction statistics from instance
+    /// preparation (empty when preparation was off).
+    pub prepare: Vec<PassStats>,
 }
 
 fn remaining_budget(deadline: Instant) -> Budget {
@@ -237,7 +255,18 @@ fn remaining_budget(deadline: Instant) -> Budget {
 /// depending on [`CheckOptions::mode`]. Both modes produce the same
 /// verdict kinds: an attack beats a proof, a proof beats a timeout, and
 /// Houdini survivors strengthen the unbounded-proof engines.
+///
+/// The instance is prepared first (see [`CheckOptions::prepare`]): every
+/// engine — both modes, every portfolio lane — runs on the reduced
+/// netlist, and any attack trace is lifted back to the input netlist's
+/// latch/input indices before the report is returned.
 pub fn check_safety(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
+    run_prepared(task, &opts.prepare, opts.keep_probes, |t| {
+        check_safety_engines(t, opts)
+    })
+}
+
+fn check_safety_engines(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
     match opts.mode {
         ExecMode::Sequential => check_safety_sequential(task, opts),
         ExecMode::Portfolio => check_safety_portfolio(task, opts),
@@ -375,6 +404,7 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
         elapsed: start.elapsed(),
         notes,
         exchange,
+        prepare: Vec::new(),
     }
 }
 
@@ -417,6 +447,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                 elapsed: start.elapsed(),
                 notes,
                 exchange: Vec::new(),
+                prepare: Vec::new(),
             };
         }
         BmcResult::Clean { depth_checked } => {
@@ -434,6 +465,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                     elapsed: start.elapsed(),
                     notes,
                     exchange: Vec::new(),
+                    prepare: Vec::new(),
                 };
             }
         }
@@ -448,6 +480,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
             elapsed: start.elapsed(),
             notes,
             exchange: Vec::new(),
+            prepare: Vec::new(),
         };
     }
 
@@ -470,6 +503,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         elapsed: start.elapsed(),
                         notes,
                         exchange: Vec::new(),
+                        prepare: Vec::new(),
                     };
                 }
                 // Conjoin surviving invariants as constraints for the
@@ -488,6 +522,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         elapsed: start.elapsed(),
                         notes,
                         exchange: Vec::new(),
+                        prepare: Vec::new(),
                     };
                 }
             }
@@ -511,6 +546,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                     elapsed: start.elapsed(),
                     notes,
                     exchange: Vec::new(),
+                    prepare: Vec::new(),
                 };
             }
             KindResult::Cex(trace) => {
@@ -527,6 +563,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         elapsed: start.elapsed(),
                         notes,
                         exchange: Vec::new(),
+                        prepare: Vec::new(),
                     };
                 }
                 notes.push("k-induction base cex failed replay; ignoring".into());
@@ -544,6 +581,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         elapsed: start.elapsed(),
                         notes,
                         exchange: Vec::new(),
+                        prepare: Vec::new(),
                     };
                 }
             }
@@ -571,6 +609,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                     elapsed: start.elapsed(),
                     notes,
                     exchange: Vec::new(),
+                    prepare: Vec::new(),
                 };
             }
             PdrResult::Cex { depth_hint } => {
@@ -585,6 +624,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                             elapsed: start.elapsed(),
                             notes,
                             exchange: Vec::new(),
+                            prepare: Vec::new(),
                         };
                     }
                 }
@@ -594,6 +634,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                     elapsed: start.elapsed(),
                     notes,
                     exchange: Vec::new(),
+                    prepare: Vec::new(),
                 };
             }
             PdrResult::Timeout => {
@@ -606,6 +647,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         elapsed: start.elapsed(),
                         notes,
                         exchange: Vec::new(),
+                        prepare: Vec::new(),
                     };
                 }
             }
@@ -622,6 +664,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
         elapsed: start.elapsed(),
         notes,
         exchange: Vec::new(),
+        prepare: Vec::new(),
     }
 }
 

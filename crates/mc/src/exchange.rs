@@ -131,11 +131,27 @@ pub struct SharedLemma {
     pub source: Lane,
 }
 
+/// One clause of an inductive invariant, in netlist vocabulary: the
+/// disjunction of "bit `b` has value `v`" over `lits`. Published by the
+/// PDR lane at convergence (its frame clauses at the fixpoint are
+/// init-true and inductive *as a set*, relative to the shared assumes),
+/// so each clause holds in every reachable assume-satisfying state —
+/// any lane may assert it at any frame of a running solver, exactly
+/// like a [`SharedLemma`], just in clause rather than single-bit form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedInvariant {
+    pub name: String,
+    /// The disjunction; `(bit, value)` reads "bit takes `value`".
+    pub lits: Vec<(Bit, bool)>,
+    pub source: Lane,
+}
+
 /// One bus item.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExchangeItem {
     Clause(SharedClause),
     Lemma(SharedLemma),
+    Invariant(SharedInvariant),
 }
 
 impl ExchangeItem {
@@ -144,6 +160,7 @@ impl ExchangeItem {
         match self {
             ExchangeItem::Clause(c) => c.source,
             ExchangeItem::Lemma(l) => l.source,
+            ExchangeItem::Invariant(i) => i.source,
         }
     }
 }
@@ -197,7 +214,8 @@ impl Exchange {
     }
 
     /// Appends an item. Clauses beyond the capacity cap are dropped (and
-    /// counted); lemmas always land — see [`ExchangeConfig::capacity`].
+    /// counted); lemmas and invariant clauses always land — see
+    /// [`ExchangeConfig::capacity`].
     fn publish(&self, item: ExchangeItem) -> bool {
         let mut items = self.items.write().unwrap();
         if matches!(item, ExchangeItem::Clause(_)) && items.len() >= self.config.capacity {
@@ -330,6 +348,25 @@ impl SharedContext {
         let accepted = bus.publish(ExchangeItem::Lemma(SharedLemma {
             name: name.into(),
             bit,
+            source: self.lane,
+        }));
+        if accepted {
+            self.exports.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Publishes one clause of a proven inductive invariant (PDR's frame
+    /// clauses at convergence). Like lemmas, invariant clauses bypass
+    /// the capacity cap — they are final, bounded in number, and the
+    /// highest-value traffic a proof engine can emit.
+    pub fn publish_invariant(&self, name: impl Into<String>, lits: Vec<(Bit, bool)>) {
+        let Some(bus) = &self.bus else { return };
+        if !self.export_enabled {
+            return;
+        }
+        let accepted = bus.publish(ExchangeItem::Invariant(SharedInvariant {
+            name: name.into(),
+            lits,
             source: self.lane,
         }));
         if accepted {

@@ -10,7 +10,7 @@
 use csl_hdl::Bit;
 use csl_sat::{Budget, Lit, SolveResult};
 
-use crate::exchange::{ExchangeItem, SharedClause, SharedContext};
+use crate::exchange::{ExchangeItem, SharedClause, SharedContext, SharedInvariant};
 use crate::lane::Lane;
 use crate::trace::Trace;
 use crate::ts::TransitionSystem;
@@ -84,10 +84,14 @@ pub fn k_induction_with(
     let mut step = Unroller::new(ts, InitMode::Free);
     step.set_budget(opts.budget.clone());
     let mut lemmas: Vec<Bit> = Vec::new();
+    let mut invs: Vec<SharedInvariant> = Vec::new();
     let mut pending: Vec<SharedClause> = Vec::new();
-    // High-water marks so each (lemma, frame) unit is asserted once.
+    // High-water marks so each (lemma/invariant, frame) unit is asserted
+    // once per instance.
     let (mut base_applied, mut base_frames) = (0usize, 0usize);
     let (mut step_applied, mut step_frames) = (0usize, 0usize);
+    let (mut base_inv_applied, mut base_inv_frames) = (0usize, 0usize);
+    let (mut step_inv_applied, mut step_inv_frames) = (0usize, 0usize);
 
     for k in 1..=opts.max_k {
         if opts.budget.out_of_time() {
@@ -100,6 +104,14 @@ pub fn k_induction_with(
                     ctx.note_imported(1);
                 }
                 ExchangeItem::Clause(c) => pending.push(c.clone()),
+                ExchangeItem::Invariant(inv) => {
+                    // PDR's converged frame clauses hold in every
+                    // reachable assume-satisfying state — importable
+                    // into both instances exactly like lemmas, just in
+                    // clause form.
+                    invs.push(inv.clone());
+                    ctx.note_imported(1);
+                }
             }
         }
 
@@ -115,6 +127,12 @@ pub fn k_induction_with(
             }
         });
         assert_new_lemmas(&mut base, &lemmas, &mut base_applied, &mut base_frames);
+        assert_new_invariants(
+            &mut base,
+            &invs,
+            &mut base_inv_applied,
+            &mut base_inv_frames,
+        );
         let bad = base.bad_any_at(f);
         match base.solve_with(&[bad]) {
             SolveResult::Sat => {
@@ -133,6 +151,12 @@ pub fn k_induction_with(
         // ---- step: k clean frames imply a clean frame k ------------------
         step.assert_assumes_through(k);
         assert_new_lemmas(&mut step, &lemmas, &mut step_applied, &mut step_frames);
+        assert_new_invariants(
+            &mut step,
+            &invs,
+            &mut step_inv_applied,
+            &mut step_inv_frames,
+        );
         // Bads known false at frames 0..k-1 (units accumulate across k).
         let prev_bad = step.bad_any_at(k - 1);
         step.solver.add_clause(&[!prev_bad]);
@@ -156,13 +180,26 @@ pub fn k_induction_with(
     while ctx.is_attached() && !opts.budget.out_of_time() {
         let batch = ctx.poll();
         for item in &batch {
-            if let ExchangeItem::Lemma(l) = &**item {
-                lemmas.push(l.bit);
-                ctx.note_imported(1);
+            match &**item {
+                ExchangeItem::Lemma(l) => {
+                    lemmas.push(l.bit);
+                    ctx.note_imported(1);
+                }
+                ExchangeItem::Invariant(inv) => {
+                    invs.push(inv.clone());
+                    ctx.note_imported(1);
+                }
+                ExchangeItem::Clause(_) => {}
             }
         }
-        if lemmas.len() > step_applied {
+        if lemmas.len() > step_applied || invs.len() > step_inv_applied {
             assert_new_lemmas(&mut step, &lemmas, &mut step_applied, &mut step_frames);
+            assert_new_invariants(
+                &mut step,
+                &invs,
+                &mut step_inv_applied,
+                &mut step_inv_frames,
+            );
             let bad_k = step.bad_any_at(opts.max_k);
             match step.solve_with(&[bad_k]) {
                 SolveResult::Unsat => return KindResult::Proof { k: opts.max_k },
@@ -178,29 +215,56 @@ pub fn k_induction_with(
     }
 }
 
-/// Asserts lemma units the instance has not seen yet: lemmas past
-/// `*applied` on every frame, and previously-applied lemmas on frames
-/// past `*frames_done` — so each (lemma, frame) pair costs one unit
-/// clause over the whole run instead of O(lemmas × frames) per call.
+/// Asserts per-frame units the instance has not seen yet: items past
+/// `*applied` on every frame, and previously-applied items on frames
+/// past `*frames_done` — so each (item, frame) pair costs one call
+/// over the whole run instead of O(items × frames) per invocation.
+/// Shared by the lemma and invariant-clause import paths so the subtle
+/// high-water-mark accounting lives in one place.
+fn assert_new_units<T>(
+    u: &mut Unroller<'_>,
+    items: &[T],
+    applied: &mut usize,
+    frames_done: &mut usize,
+    assert_at: impl Fn(&mut Unroller<'_>, &T, usize),
+) {
+    let num_frames = u.num_frames();
+    for item in &items[..*applied] {
+        for t in *frames_done..num_frames {
+            assert_at(u, item, t);
+        }
+    }
+    for item in &items[*applied..] {
+        for t in 0..num_frames {
+            assert_at(u, item, t);
+        }
+    }
+    *applied = items.len();
+    *frames_done = num_frames;
+}
+
+/// [`assert_new_units`] over invariant lemma bits.
 fn assert_new_lemmas(
     u: &mut Unroller<'_>,
     lemmas: &[Bit],
     applied: &mut usize,
     frames_done: &mut usize,
 ) {
-    let num_frames = u.num_frames();
-    for &b in &lemmas[..*applied] {
-        for t in *frames_done..num_frames {
-            u.assert_lemma_at(b, t);
-        }
-    }
-    for &b in &lemmas[*applied..] {
-        for t in 0..num_frames {
-            u.assert_lemma_at(b, t);
-        }
-    }
-    *applied = lemmas.len();
-    *frames_done = num_frames;
+    assert_new_units(u, lemmas, applied, frames_done, |u, &b, t| {
+        u.assert_lemma_at(b, t)
+    });
+}
+
+/// [`assert_new_units`] over PDR's exported invariant clauses.
+fn assert_new_invariants(
+    u: &mut Unroller<'_>,
+    invs: &[SharedInvariant],
+    applied: &mut usize,
+    frames_done: &mut usize,
+) {
+    assert_new_units(u, invs, applied, frames_done, |u, inv, t| {
+        u.assert_clause_at(&inv.lits, t)
+    });
 }
 
 /// Adds `state(new_frame) != state(f)` for every earlier frame `f`.

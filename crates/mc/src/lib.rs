@@ -26,7 +26,12 @@
 //!   import both into their running solvers between SAT queries,
 //! * [`lane`] — per-lane budget shaping ([`LanePlan`]): wall caps, BMC
 //!   depth schedules and exchange opt-outs threaded through
-//!   [`CheckOptions::lanes`] into both execution modes.
+//!   [`CheckOptions::lanes`] into both execution modes,
+//! * [`prepare`] — instance preparation: the `csl_hdl::xform` reduction
+//!   pipeline (cone-of-influence, constant sweep + cross-copy re-strash,
+//!   dead-latch elimination, compaction) every engine runs behind, with
+//!   [`prepare::PreparedInstance`] carrying the reconstruction that
+//!   lifts counterexamples back to raw-netlist vocabulary.
 //!
 //! # Example: prove a saturating counter never overflows
 //!
@@ -56,19 +61,20 @@ pub mod kind;
 pub mod lane;
 pub mod pdr;
 pub mod portfolio;
+pub mod prepare;
 pub mod sim;
 pub mod trace;
 pub mod ts;
 pub mod unroll;
 
-pub use bmc::{bmc, bmc_with, BmcResult};
+pub use bmc::{bmc, bmc_with, BmcResult, BusMemory};
 pub use engine::{
     check_safety, CheckOptions, CheckReport, ExecMode, InconclusiveReason, ProofEngine,
     SafetyCheck, Verdict,
 };
 pub use exchange::{
     Exchange, ExchangeConfig, ExchangeItem, ExchangeStats, SharedClause, SharedContext,
-    SharedLemma, TimedLit,
+    SharedInvariant, SharedLemma, TimedLit,
 };
 pub use houdini::{houdini, houdini_with, Candidate, HoudiniOutcome, HoudiniResult};
 pub use kind::{k_induction, k_induction_with, KindOptions, KindResult};
@@ -80,6 +86,7 @@ pub use portfolio::{
     race, Backend, BmcBackend, EngineOutcome, HoudiniBackend, KindBackend, LaneResult, LaneSpec,
     LegacyBackend, PdrBackend, RaceReport,
 };
+pub use prepare::{prepare, PrepareConfig, PrepareStats, PreparedInstance};
 pub use sim::{CycleValues, Sim, SimState, StepResult};
 pub use trace::Trace;
 pub use ts::TransitionSystem;

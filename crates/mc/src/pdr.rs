@@ -423,19 +423,58 @@ enum BlockOutcome {
 
 impl PdrState<'_> {
     /// Polls the exchange bus between SAT queries and asserts foreign
-    /// invariant lemmas at both frames of the running instance — the
-    /// in-place equivalent of conjoining them onto the netlist as
-    /// assumes, which is sound because a lemma is init-true and inductive
-    /// under the same assumes this instance asserts. Shared learnt
-    /// clauses are *not* importable here: they are consequences of the
-    /// reset-initialised unrolling, and this instance is free-init.
+    /// invariant lemmas (and invariant clauses) at both frames of the
+    /// running instance — the in-place equivalent of conjoining them
+    /// onto the netlist as assumes, which is sound because a lemma is
+    /// init-true and inductive under the same assumes this instance
+    /// asserts. Shared learnt clauses are *not* importable here: they
+    /// are consequences of the reset-initialised unrolling, and this
+    /// instance is free-init.
     fn import_lemmas(&mut self, ctx: &mut SharedContext) {
         for item in ctx.poll() {
-            if let ExchangeItem::Lemma(l) = &*item {
-                self.u.assert_lemma_at(l.bit, 0);
-                self.u.assert_lemma_at(l.bit, 1);
-                ctx.note_imported(1);
+            match &*item {
+                ExchangeItem::Lemma(l) => {
+                    self.u.assert_lemma_at(l.bit, 0);
+                    self.u.assert_lemma_at(l.bit, 1);
+                    ctx.note_imported(1);
+                }
+                ExchangeItem::Invariant(inv) => {
+                    self.u.assert_clause_at(&inv.lits, 0);
+                    self.u.assert_clause_at(&inv.lits, 1);
+                    ctx.note_imported(1);
+                }
+                ExchangeItem::Clause(_) => {}
             }
+        }
+    }
+
+    /// Publishes the converged inductive invariant onto the exchange
+    /// bus: at the fixpoint `F_level == F_{level+1}`, the frame clauses
+    /// at levels above `level` form (with the property) an inductive,
+    /// init-true invariant relative to the shared assumes — every
+    /// blocked cube was checked init-disjoint before it was added, and
+    /// propagation just proved the set closed under the transition
+    /// relation. Shortest clauses (strongest per literal) go first;
+    /// the export is capped so a clause-heavy proof cannot flood the
+    /// bus.
+    fn export_invariant(&self, ctx: &SharedContext, empty_level: usize) {
+        const MAX_EXPORTED_CLAUSES: usize = 256;
+        if !ctx.is_attached() {
+            // Sequential mode and detached lanes: skip the collect/sort
+            // work whose publications would all be no-ops.
+            return;
+        }
+        let mut cubes: Vec<&Cube> = self.frames[empty_level + 1..].iter().flatten().collect();
+        cubes.sort_by_key(|c| c.len());
+        for (i, cube) in cubes.into_iter().take(MAX_EXPORTED_CLAUSES).enumerate() {
+            let lits: Vec<(csl_hdl::Bit, bool)> = cube
+                .iter()
+                .map(|&(latch, val)| {
+                    // ¬cube: some literal of the cube is flipped.
+                    (self.ts.aig().latches()[latch as usize].output, !val)
+                })
+                .collect();
+            ctx.publish_invariant(format!("pdr-inv-{i}"), lits);
         }
     }
 }
@@ -554,7 +593,12 @@ pub fn pdr_with(ts: &TransitionSystem, opts: PdrOptions, ctx: &mut SharedContext
         // Frontier clean: push clauses forward, check for a fixpoint.
         match st.propagate() {
             Err(()) => return PdrResult::Timeout,
-            Ok(Some(_empty_level)) => {
+            Ok(Some(empty_level)) => {
+                // Convergence: hand the final inductive invariant to the
+                // other lanes before reporting the proof (ROADMAP: "PDR
+                // exporting its frame clauses / final invariant back
+                // onto the bus").
+                st.export_invariant(ctx, empty_level);
                 let invariant_clauses: usize = st.frames.iter().map(|f| f.len()).sum();
                 return PdrResult::Proof {
                     frames: st.top_level(),

@@ -39,9 +39,9 @@ use std::time::{Duration, Instant};
 use csl_hdl::Aig;
 use csl_sat::Budget;
 
-use crate::bmc::{bmc, bmc_with, BmcResult};
+use crate::bmc::{bmc, bmc_with, BmcResult, BusMemory};
 use crate::engine::{InconclusiveReason, ProofEngine};
-use crate::exchange::{Exchange, ExchangeConfig, ExchangeStats, SharedContext, SharedLemma};
+use crate::exchange::{Exchange, ExchangeConfig, ExchangeStats, SharedContext};
 use crate::houdini::{houdini_with, Candidate, HoudiniResult};
 use crate::kind::{k_induction_with, KindOptions, KindResult};
 use crate::lane::Lane;
@@ -166,10 +166,11 @@ impl Backend for BmcBackend {
     }
 
     fn run(&self, ts: &TransitionSystem, budget: Budget, ctx: &mut SharedContext) -> EngineOutcome {
-        // Imported lemmas outlive each schedule step's fresh unroller.
-        let mut lemmas: Vec<SharedLemma> = Vec::new();
+        // Imported lemmas/invariants outlive each schedule step's fresh
+        // unroller.
+        let mut memory = BusMemory::default();
         if self.schedule.is_empty() {
-            return match bmc_with(ts, self.depth, budget, ctx, &mut lemmas) {
+            return match bmc_with(ts, self.depth, budget, ctx, &mut memory) {
                 // The sequential pipeline reports a BMC cex as an attack even
                 // if the replay check fails (with a warning note); mirror that
                 // here so the two modes cannot diverge on verdict kind.
@@ -202,7 +203,7 @@ impl Backend for BmcBackend {
                 }
                 None => budget.clone(),
             };
-            match bmc_with(ts, depth, step_budget, ctx, &mut lemmas) {
+            match bmc_with(ts, depth, step_budget, ctx, &mut memory) {
                 BmcResult::Cex(trace) => return EngineOutcome::Attack(trace),
                 BmcResult::Clean { depth_checked } => clean_to = Some(depth_checked),
                 BmcResult::Timeout { depth_checked } => {

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use csl_hdl::xform::Reconstruction;
 use csl_hdl::Aig;
 
 use crate::sim::{Sim, SimState};
@@ -35,6 +36,35 @@ impl Trace {
     /// Input `idx`'s value at `cycle`, if the solver constrained it.
     pub fn input(&self, cycle: usize, idx: u32) -> Option<bool> {
         self.inputs.get(cycle).and_then(|m| m.get(&idx)).copied()
+    }
+
+    /// Re-expresses a trace found on a prepared (reduced) netlist in the
+    /// original netlist's latch/input indices, via the
+    /// [`Reconstruction`] the preparation pipeline emitted. Latches and
+    /// inputs the reduction removed are simply unconstrained in the
+    /// lifted trace — sound, because a removed latch either cannot
+    /// influence any assume/bad bit or provably holds its reset value,
+    /// so the original netlist reproduces the behaviour from reset on
+    /// its own (the lifted trace replays to the same bad-state hit).
+    pub fn lifted(&self, recon: &Reconstruction) -> Trace {
+        Trace {
+            initial_latches: self
+                .initial_latches
+                .iter()
+                .filter_map(|&(i, v)| Some((recon.original_latch(i)?, v)))
+                .collect(),
+            inputs: self
+                .inputs
+                .iter()
+                .map(|cycle| {
+                    cycle
+                        .iter()
+                        .filter_map(|(&i, &v)| Some((recon.original_input(i)?, v)))
+                        .collect()
+                })
+                .collect(),
+            bad_name: self.bad_name.clone(),
+        }
     }
 
     /// Renders the trace as a waveform table over the design's probes.

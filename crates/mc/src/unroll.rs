@@ -189,6 +189,29 @@ impl<'a> Unroller<'a> {
         self.solver.add_clause(&[l]);
     }
 
+    /// Asserts an invariant *clause* — the disjunction of "bit `b` has
+    /// value `v`" over `lits` — at `frame`. The clause-shaped companion
+    /// of [`Unroller::assert_lemma_at`], used for PDR's exported frame
+    /// clauses; the same soundness argument applies (the clause holds in
+    /// every reachable assume-satisfying state).
+    ///
+    /// # Panics
+    /// Panics if `frame` is not yet unrolled.
+    pub fn assert_clause_at(&mut self, lits: &[(Bit, bool)], frame: usize) {
+        let clause: Vec<Lit> = lits
+            .iter()
+            .map(|&(b, v)| {
+                let l = self.lit_of(b, frame);
+                if v {
+                    l
+                } else {
+                    !l
+                }
+            })
+            .collect();
+        self.solver.add_clause(&clause);
+    }
+
     /// Number of frames currently encoded.
     pub fn num_frames(&self) -> usize {
         self.frame_lits.len()

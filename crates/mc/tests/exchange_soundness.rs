@@ -16,7 +16,8 @@ use rand::{Rng, SeedableRng};
 use csl_hdl::{Aig, Design, Init};
 use csl_mc::exchange::{Exchange, ExchangeConfig, ExchangeItem, SharedClause, SharedContext};
 use csl_mc::{
-    bmc_with, houdini_with, Candidate, InitMode, Lane, SharedLemma, TransitionSystem, Unroller,
+    bmc_with, houdini_with, pdr_with, Candidate, InitMode, Lane, PdrOptions, PdrResult,
+    SharedInvariant, SharedLemma, TransitionSystem, Unroller,
 };
 use csl_sat::{Budget, Lit, SolveResult};
 
@@ -118,7 +119,13 @@ fn exported_bmc_clauses_are_implied_by_the_source_instance() {
             capacity: 1 << 16,
         });
         let mut ctx = SharedContext::attached(bus.clone(), Lane::Bmc, true, true);
-        let _ = bmc_with(&ts, 10, Budget::unlimited(), &mut ctx, &mut Vec::new());
+        let _ = bmc_with(
+            &ts,
+            10,
+            Budget::unlimited(),
+            &mut ctx,
+            &mut csl_mc::BusMemory::default(),
+        );
         // Bound the per-seed verification work; implication checks are
         // individually cheap but the export stream can be long.
         for clause in drain_clauses(&bus).into_iter().take(64) {
@@ -176,4 +183,110 @@ fn streamed_houdini_lemmas_hold_on_all_reachable_frames() {
             );
         }
     }
+}
+
+/// The shared PDR fixture: a counter that saturates at 2 with an
+/// unreachable bad at 7 — plain k-induction fails on it, so a PDR proof
+/// genuinely needs learned frame clauses.
+fn saturating_counter_ts() -> TransitionSystem {
+    let mut d = Design::new("sat");
+    let r = d.reg("r", 3, Init::Zero);
+    let at2 = d.eq_const(&r.q(), 2);
+    let inc = d.add_const(&r.q(), 1);
+    let nxt = d.mux(at2, &r.q(), &inc);
+    d.set_next(&r, nxt);
+    let bad = d.eq_const(&r.q(), 7);
+    d.assert_always("never7", bad.not());
+    TransitionSystem::new(d.finish(), false)
+}
+
+/// A saturating counter whose proof needs PDR strengthening: at
+/// convergence PDR must export its final inductive invariant onto the
+/// bus, and every exported clause must hold at every reachable
+/// assume-satisfying frame (its negation at any reset-reachable frame is
+/// UNSAT).
+#[test]
+fn pdr_exports_its_final_invariant_and_it_holds_on_reachable_frames() {
+    let ts = saturating_counter_ts();
+
+    let bus = Exchange::new(ExchangeConfig::on());
+    let mut ctx = SharedContext::attached(bus.clone(), Lane::Pdr, true, true);
+    match pdr_with(&ts, PdrOptions::default(), &mut ctx) {
+        PdrResult::Proof { .. } => {}
+        other => panic!("expected proof, got {other:?}"),
+    }
+    assert!(ctx.exports() > 0, "convergence must publish the invariant");
+
+    let mut consumer = SharedContext::attached(bus, Lane::Bmc, true, false);
+    let mut invariants: Vec<SharedInvariant> = Vec::new();
+    loop {
+        let batch = consumer.poll();
+        if batch.is_empty() {
+            break;
+        }
+        for item in batch {
+            if let ExchangeItem::Invariant(inv) = &*item {
+                invariants.push(inv.clone());
+            }
+        }
+    }
+    assert!(!invariants.is_empty(), "no invariant clauses on the bus");
+
+    let depth = 10;
+    for inv in &invariants {
+        let mut u = Unroller::new(&ts, InitMode::Reset);
+        u.assert_assumes_through(depth);
+        for k in 0..=depth {
+            // ¬clause: every literal forced to its complementary value.
+            let negated: Vec<Lit> = inv
+                .lits
+                .iter()
+                .map(|&(b, v)| {
+                    let l = u.lit_of(b, k);
+                    if v {
+                        !l
+                    } else {
+                        l
+                    }
+                })
+                .collect();
+            assert_eq!(
+                u.solve_with(&negated),
+                SolveResult::Unsat,
+                "invariant clause `{}` violated at reachable frame {k}",
+                inv.name
+            );
+        }
+    }
+}
+
+/// Importing PDR's invariant clauses must not change a BMC verdict (the
+/// clauses only exclude unreachable states) — and the importer's traffic
+/// counter must see them.
+#[test]
+fn bmc_imports_pdr_invariants_without_verdict_change() {
+    let ts = saturating_counter_ts();
+
+    let bus = Exchange::new(ExchangeConfig::on());
+    let mut pdr_ctx = SharedContext::attached(bus.clone(), Lane::Pdr, false, true);
+    match pdr_with(&ts, PdrOptions::default(), &mut pdr_ctx) {
+        PdrResult::Proof { .. } => {}
+        other => panic!("expected proof, got {other:?}"),
+    }
+    let mut bmc_ctx = SharedContext::attached(bus, Lane::Bmc, true, false);
+    let result = bmc_with(
+        &ts,
+        10,
+        Budget::unlimited(),
+        &mut bmc_ctx,
+        &mut csl_mc::BusMemory::default(),
+    );
+    assert!(
+        matches!(result, csl_mc::BmcResult::Clean { depth_checked: 10 }),
+        "{result:?}"
+    );
+    assert!(
+        bmc_ctx.imports() > 0,
+        "bmc must count the imported invariant clauses"
+    );
 }

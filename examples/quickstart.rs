@@ -31,7 +31,9 @@ fn main() {
             );
             // Render the counterexample waveform over the design's probes —
             // the concrete program and secret assignment are in the trace.
-            println!("{}", trace.render(&query.instance().aig));
+            // Traces come back in raw-netlist vocabulary (preparation is
+            // transparent), so render on the raw instance.
+            println!("{}", trace.render(&query.raw_instance().aig));
         }
         other => println!("unexpected verdict: {other:?}"),
     }

@@ -60,7 +60,8 @@ pub mod prelude {
     pub use csl_contracts::Contract;
     pub use csl_core::api::{
         Budget, CampaignDiff, CampaignReport, ExchangeConfig, ExchangeStats, Lane, LaneBudget,
-        LaneExchange, Matrix, Mode, Query, Report, ReportCache, Verifier,
+        LaneExchange, Matrix, Mode, PrepareConfig, PreparedInstance, Query, Report, ReportCache,
+        Verifier,
     };
     #[allow(deprecated)]
     pub use csl_core::{build_instance, run_campaign, verify, CampaignOptions};
