@@ -1,0 +1,243 @@
+//! Fuzzing probe: quantifies the 64-way bit-parallel fuzzing backend.
+//!
+//! Part 1 measures trials/second of the batched simulator against the
+//! scalar path — on the smoke cell for a clean throughput ratio (no
+//! early exit: the SingleCycle machine never leaks) and on the insecure
+//! Table-2 cells for the findings check: per seed, batched and scalar
+//! campaigns must report the identical leak/no-leak outcome, leaking
+//! trial and leaking cycle.
+//!
+//! Part 2 contrasts fuzzing and formal time-to-attack on the insecure
+//! SimpleOoO core, then runs the fuzzing lane *inside* the portfolio
+//! race with BMC capped below the leak depth — the fuzz lane is the only
+//! engine that can decide, so the attack verdict demonstrates a fuzz
+//! leak cancelling the solver lanes.
+//!
+//! Exits 1 when the batch/scalar findings disagree, when the throughput
+//! ratio misses the 8x floor (release builds), or when the portfolio
+//! fuzz lane fails to find the attack. `--json <path>` archives the
+//! portfolio runs (their `fuzz` blocks included) for CI.
+
+use std::time::{Duration, Instant};
+
+use csl_bench::{bmc_depth, budget_secs, report_args, write_reports};
+use csl_contracts::Contract;
+use csl_core::api::{Budget as ApiBudget, CampaignReport, FuzzPlan, Mode, Report, Verifier};
+use csl_core::{run_fuzz, DesignKind, FuzzOutcome, FuzzReport, Scheme};
+use csl_cpu::Defense;
+use csl_isa::IsaConfig;
+use csl_mc::SafetyCheck;
+use csl_sat::Budget;
+
+/// The raw shadow instance + ISA config for a design (fuzzing needs the
+/// stimulus sizes).
+fn instance(design: DesignKind) -> (SafetyCheck, IsaConfig) {
+    let query = Verifier::new()
+        .design(design)
+        .contract(Contract::Sandboxing)
+        .scheme(Scheme::Shadow)
+        .with_candidates(false)
+        .query()
+        .expect("design and contract are set");
+    let isa = query.config().cpu_config().isa;
+    (query.raw_instance(), isa)
+}
+
+fn outcome_key(r: &FuzzReport) -> String {
+    match &r.outcome {
+        FuzzOutcome::Leak(f) => format!("leak@trial {} cycle {}", f.trials, f.cycle),
+        FuzzOutcome::Exhausted { trials, .. } => format!("clean after {trials}"),
+    }
+}
+
+fn main() {
+    let args = report_args("fuzzprobe");
+    if args.cache.is_some() {
+        println!("note: fuzzprobe always bypasses the result cache (live campaigns only)");
+    }
+    let mut failures: Vec<String> = Vec::new();
+    let wall = Instant::now();
+
+    println!("== part 1a: trials/sec, scalar vs 64-way batched (smoke cell) ==");
+    // The SingleCycle machine never leaks, so both paths run the full
+    // trial budget and the wall ratio is a clean throughput comparison.
+    let (task, isa) = instance(DesignKind::SingleCycle);
+    let trials = if budget_secs(30) < 30 { 2048 } else { 4096 };
+    let base = FuzzPlan::new().trials(trials).cycles(20).seed(0xF0_55);
+    let batched = run_fuzz(&task.aig, &isa, &base, &Budget::unlimited());
+    let scalar = run_fuzz(
+        &task.aig,
+        &isa,
+        &base.clone().scalar(),
+        &Budget::unlimited(),
+    );
+    let speedup = batched.stats.trials_per_sec() / scalar.stats.trials_per_sec().max(1e-9);
+    println!(
+        "scalar : {:>10.0} trials/s ({} trials in {:.2}s)",
+        scalar.stats.trials_per_sec(),
+        scalar.stats.trials,
+        scalar.stats.wall.as_secs_f64()
+    );
+    println!(
+        "batched: {:>10.0} trials/s ({} trials in {:.2}s, {} lanes)",
+        batched.stats.trials_per_sec(),
+        batched.stats.trials,
+        batched.stats.wall.as_secs_f64(),
+        batched.stats.lanes
+    );
+    println!("speedup: {speedup:.1}x (target >= 8x)");
+    if outcome_key(&batched) != outcome_key(&scalar) {
+        failures.push(format!(
+            "smoke cell findings diverge: batched {} vs scalar {}",
+            outcome_key(&batched),
+            outcome_key(&scalar)
+        ));
+    }
+    if speedup < 8.0 {
+        let msg = format!("batch speedup {speedup:.1}x below the 8x floor");
+        if cfg!(debug_assertions) {
+            println!("WARNING (debug build, not gating): {msg}");
+        } else {
+            failures.push(msg);
+        }
+    }
+
+    println!();
+    println!("== part 1b: per-seed findings, batched vs scalar (insecure Table-2 cells) ==");
+    let insecure = [
+        DesignKind::SimpleOoo(Defense::None),
+        DesignKind::SuperOoo,
+        DesignKind::BigOoo,
+    ];
+    for design in insecure {
+        let (task, isa) = instance(design);
+        for seed in [7u64, 0xF0_55] {
+            let plan = FuzzPlan::new().trials(768).cycles(20).seed(seed);
+            let b = run_fuzz(&task.aig, &isa, &plan, &Budget::unlimited());
+            let s = run_fuzz(
+                &task.aig,
+                &isa,
+                &plan.clone().scalar(),
+                &Budget::unlimited(),
+            );
+            let agree = outcome_key(&b) == outcome_key(&s);
+            println!(
+                "{:<22} seed {seed:>6}: batched {:<22} scalar {:<22}{}",
+                design.name(),
+                outcome_key(&b),
+                outcome_key(&s),
+                if agree { "" } else { "  << MISMATCH" }
+            );
+            if !agree {
+                failures.push(format!(
+                    "{} seed {seed}: batched {} vs scalar {}",
+                    design.name(),
+                    outcome_key(&b),
+                    outcome_key(&s)
+                ));
+            }
+        }
+    }
+
+    println!();
+    println!("== part 2: fuzz vs formal time-to-attack (insecure SimpleOoO) ==");
+    let (task, isa) = instance(DesignKind::SimpleOoo(Defense::None));
+    let fuzz = run_fuzz(
+        &task.aig,
+        &isa,
+        &FuzzPlan::new().trials(100_000).cycles(20).seed(7),
+        &Budget::until(Instant::now() + Duration::from_secs(budget_secs(60))),
+    );
+    match &fuzz.outcome {
+        FuzzOutcome::Leak(f) => println!(
+            "fuzz   : attack after {} trials in {:.2}s ({:.0} trials/s)",
+            f.trials,
+            fuzz.stats.wall.as_secs_f64(),
+            fuzz.stats.trials_per_sec()
+        ),
+        FuzzOutcome::Exhausted { trials, .. } => {
+            println!("fuzz   : no leak in {trials} trials (unlucky seed)")
+        }
+    }
+    let t = Instant::now();
+    let formal = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::None))
+        .contract(Contract::Sandboxing)
+        .scheme(Scheme::Shadow)
+        .attack_only(true)
+        .bmc_depth(bmc_depth(12))
+        .wall(Duration::from_secs(budget_secs(120)))
+        .query()
+        .expect("configured")
+        .run();
+    println!(
+        "formal : {} in {:.2}s (BMC, exhaustive to the bound)",
+        formal.cell(),
+        t.elapsed().as_secs_f64()
+    );
+
+    println!();
+    println!("== part 3: fuzz lane inside the portfolio race ==");
+    // BMC capped far below the leak depth: only the fuzz lane can decide
+    // the race, so CEX here means a fuzz leak cancelled the solvers.
+    let mut archived: Vec<Report> = Vec::new();
+    let report = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::None))
+        .contract(Contract::Sandboxing)
+        .scheme(Scheme::Shadow)
+        .with_candidates(false)
+        .mode(Mode::Portfolio)
+        .attack_only(true)
+        .bmc_depth(2)
+        .budget(ApiBudget::wall(Duration::from_secs(budget_secs(120))))
+        .fuzz(FuzzPlan::new().trials(100_000).cycles(20).seed(7))
+        .query()
+        .expect("configured")
+        .run();
+    println!(
+        "race   : {} in {:.2}s",
+        report.cell(),
+        report.elapsed.as_secs_f64()
+    );
+    for note in report
+        .notes
+        .iter()
+        .filter(|n| n.starts_with("fuzz") || n.starts_with("bmc") || n.starts_with("portfolio"))
+    {
+        println!("    | {note}");
+    }
+    if let Some(stats) = &report.fuzz {
+        println!(
+            "    | fuzz lane: {} trials, {:.0} trials/s, leak cycle {:?}",
+            stats.trials,
+            stats.trials_per_sec(),
+            stats.leak_cycle
+        );
+    }
+    if !report.verdict.is_attack() {
+        failures.push(format!(
+            "portfolio fuzz lane failed to find the SimpleOoO attack: {}",
+            report.cell()
+        ));
+    }
+    if report.fuzz.is_none() {
+        failures.push("portfolio report carries no fuzz stats".into());
+    }
+    archived.push(report);
+
+    let campaign = CampaignReport {
+        reports: archived,
+        wall: wall.elapsed(),
+    };
+    write_reports(&campaign, &args);
+
+    if !failures.is_empty() {
+        println!();
+        for f in &failures {
+            println!("FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!();
+    println!("fuzzprobe: all checks passed");
+}

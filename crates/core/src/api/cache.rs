@@ -165,6 +165,13 @@ pub(crate) fn options_fingerprint(h: &mut Fingerprint, opts: &CheckOptions) {
     h.bool(p.const_sweep);
     h.bool(p.dead_latches);
     h.bool(p.compact);
+    // Extra lanes (the fuzzing backend) hash through their labels: a
+    // LaneFactory's label is required to change whenever the backend it
+    // produces does (see its docs), so plan edits miss the cache.
+    h.usize(opts.extra_lanes.len());
+    for lane in &opts.extra_lanes {
+        h.str(lane.label());
+    }
 }
 
 /// A directory of persisted [`Report`]s keyed by query fingerprint,
@@ -341,6 +348,10 @@ mod tests {
                     .with(csl_mc::Lane::Bmc, csl_mc::LaneBudget::depths(&[2, 4])),
                 ..CheckOptions::default()
             },
+            CheckOptions::default().with_extra_lane(crate::fuzz::fuzz_lane(
+                csl_isa::IsaConfig::default(),
+                crate::fuzz::FuzzPlan::default(),
+            )),
         ];
         for opts in tweaked {
             let mut h = Fingerprint::new();
@@ -366,6 +377,7 @@ mod tests {
             notes: vec![],
             exchange: vec![],
             prepare: vec![],
+            fuzz: None,
         };
         assert!(cache.load(1).is_none());
         cache.store(1, &report).unwrap();
@@ -394,6 +406,7 @@ mod tests {
             notes: vec![],
             exchange: vec![],
             prepare: vec![],
+            fuzz: None,
         };
         let unbounded = ReportCache::new(&dir);
         // Three entries with strictly increasing (old) mtimes so the

@@ -47,14 +47,16 @@ use csl_cpu::CpuConfig;
 use csl_mc::{CheckOptions, SafetyCheck};
 
 use crate::campaign::{matrix, run_cells, CampaignCell};
+use crate::fuzz::fuzz_lane;
 use crate::harness::{DesignKind, ExcludeRule, InstanceConfig};
 use crate::shadow::ShadowOptions;
 use crate::verify::{instance_for, run_scheme, Scheme};
 
+pub use crate::fuzz::FuzzPlan;
 pub use cache::ReportCache;
 pub use csl_mc::{
-    ExchangeConfig, ExchangeStats, ExecMode as Mode, InconclusiveReason, Lane, LaneBudget,
-    LaneExchange, LanePlan, PrepareConfig, PrepareStats, PreparedInstance,
+    ExchangeConfig, ExchangeStats, ExecMode as Mode, FuzzStats, InconclusiveReason, Lane,
+    LaneBudget, LaneExchange, LanePlan, PrepareConfig, PrepareStats, PreparedInstance,
 };
 pub use json::{Json, JsonError};
 pub use report::{CampaignDiff, CampaignReport, ReadError, Report, VerdictChange};
@@ -144,6 +146,7 @@ pub struct Verifier {
     threads: usize,
     exchange: ExchangeConfig,
     prepare: PrepareConfig,
+    fuzz: Option<FuzzPlan>,
 }
 
 impl Default for Verifier {
@@ -168,6 +171,7 @@ impl Default for Verifier {
             threads: 0,
             exchange: opts.exchange,
             prepare: opts.prepare,
+            fuzz: None,
         }
     }
 }
@@ -225,6 +229,28 @@ impl Verifier {
     /// expressed in raw-netlist vocabulary regardless.
     pub fn prepare(mut self, prepare: PrepareConfig) -> Verifier {
         self.prepare = prepare;
+        self
+    }
+
+    /// Adds a differential-fuzzing lane to the check (off by default):
+    /// the plan's campaign runs on the 64-way bit-parallel simulator as
+    /// one more attack-finding engine. In portfolio mode it races the
+    /// solver lanes — a concrete leak is decisive and cancels them — and
+    /// in sequential mode it runs first. Findings come back as ordinary
+    /// attack traces (replayable, lifted to raw-netlist vocabulary) and
+    /// the campaign statistics land in the report's `fuzz` block.
+    ///
+    /// Fuzzing applies to the engine-pipeline schemes (`Shadow`,
+    /// `Baseline`); the LEAVE and UPEC scheme runners have fixed engine
+    /// scripts and ignore it.
+    pub fn fuzz(mut self, plan: FuzzPlan) -> Verifier {
+        self.fuzz = Some(plan);
+        self
+    }
+
+    /// Removes a previously configured fuzzing lane.
+    pub fn no_fuzz(mut self) -> Verifier {
+        self.fuzz = None;
         self
     }
 
@@ -315,7 +341,7 @@ impl Verifier {
         let design = self.design.ok_or(BuildError::MissingDesign)?;
         let contract = self.contract.ok_or(BuildError::MissingContract)?;
         let cfg = self.instance_config(design, contract);
-        let opts = self.check_options();
+        let opts = self.check_options_for(design, contract);
         Ok(Query {
             scheme: self.scheme,
             design,
@@ -363,7 +389,20 @@ impl Verifier {
             lanes: self.budget.lanes.clone(),
             exchange: self.exchange.clone(),
             prepare: self.prepare.clone(),
+            extra_lanes: Vec::new(),
         }
+    }
+
+    /// The engine options for one resolved cell. The fuzzing lane needs
+    /// the cell's ISA configuration (stimulus sizes follow the design),
+    /// so the factory is built here rather than in [`check_options`].
+    fn check_options_for(&self, design: DesignKind, contract: Contract) -> CheckOptions {
+        let mut opts = self.check_options();
+        if let Some(plan) = &self.fuzz {
+            let isa = self.instance_config(design, contract).cpu_config().isa;
+            opts.extra_lanes.push(fuzz_lane(isa, plan.clone()));
+        }
+        opts
     }
 
     fn instance_config(&self, design: DesignKind, contract: Contract) -> InstanceConfig {
@@ -516,6 +555,14 @@ impl Matrix {
         self
     }
 
+    /// Adds a per-cell differential-fuzzing lane (see
+    /// [`Verifier::fuzz`]); the stimulus sizes follow each cell's
+    /// design configuration.
+    pub fn fuzz(mut self, plan: FuzzPlan) -> Matrix {
+        self.base = self.base.fuzz(plan);
+        self
+    }
+
     /// Enables the session result cache rooted at `dir`: `run_all` skips
     /// cells whose [`Query::cache_key`] already has a decided report on
     /// disk and stores newly decided ones. Timeouts/unknowns always
@@ -586,7 +633,6 @@ impl Matrix {
             .cache_dir
             .as_ref()
             .map(|dir| ReportCache::new(dir).with_max_entries_opt(self.cache_max_entries));
-        let opts = self.base.check_options();
         let mut slots: Vec<Option<Report>> = vec![None; self.cells.len()];
         let mut keys: Vec<Option<u64>> = vec![None; self.cells.len()];
         if let Some(cache) = &cache {
@@ -606,7 +652,11 @@ impl Matrix {
             .collect();
         let pending: Vec<CampaignCell> = to_run.iter().map(|&i| self.cells[i]).collect();
         let make_cfg = |cell: &CampaignCell| self.base.instance_config(cell.design, cell.contract);
-        let (checks, _pool_wall) = run_cells(&pending, &make_cfg, &opts, self.base.threads);
+        // Options are resolved per cell: the fuzzing lane's stimulus
+        // generator is sized from each cell's design configuration.
+        let make_opts =
+            |cell: &CampaignCell| self.base.check_options_for(cell.design, cell.contract);
+        let (checks, _pool_wall) = run_cells(&pending, &make_cfg, &make_opts, self.base.threads);
         for (&i, check) in to_run.iter().zip(checks) {
             let cell = self.cells[i];
             let report = Report::from_check(cell.scheme, cell.design, cell.contract, check);

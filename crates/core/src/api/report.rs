@@ -18,7 +18,9 @@ use std::time::Duration;
 
 use csl_contracts::Contract;
 use csl_hdl::xform::{PassStats, Shape};
-use csl_mc::{CheckReport, ExchangeStats, InconclusiveReason, Lane, ProofEngine, Trace, Verdict};
+use csl_mc::{
+    CheckReport, ExchangeStats, FuzzStats, InconclusiveReason, Lane, ProofEngine, Trace, Verdict,
+};
 
 use crate::api::json::{Json, JsonError};
 use crate::harness::DesignKind;
@@ -73,6 +75,9 @@ pub struct Report {
     /// preparation (empty when preparation was off or the document
     /// predates the field).
     pub prepare: Vec<PassStats>,
+    /// Fuzzing-lane campaign statistics (`None` when no fuzzing lane
+    /// ran or the document predates the field).
+    pub fuzz: Option<FuzzStats>,
 }
 
 impl Report {
@@ -92,6 +97,7 @@ impl Report {
             notes: check.notes,
             exchange: check.exchange,
             prepare: check.prepare,
+            fuzz: check.fuzz,
         }
     }
 
@@ -145,7 +151,7 @@ impl Report {
     }
 
     fn to_value(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("schema", Json::Str("csl-report-v1".into())),
             ("scheme", Json::Str(self.scheme.name().into())),
             ("design", Json::Str(self.design.name())),
@@ -164,7 +170,13 @@ impl Report {
                 "prepare",
                 Json::Arr(self.prepare.iter().map(pass_stats_to_value).collect()),
             ),
-        ])
+        ];
+        // Written only when a fuzzing lane ran, so fuzz-free documents
+        // stay byte-identical to pre-fuzz ones.
+        if let Some(fuzz) = &self.fuzz {
+            pairs.push(("fuzz", fuzz_to_value(fuzz)));
+        }
+        Json::obj(pairs)
     }
 
     fn from_value(v: &Json) -> Result<Report, ReadError> {
@@ -211,6 +223,9 @@ impl Report {
                 .collect::<Result<Vec<_>, _>>()?,
             None => Vec::new(),
         };
+        // Absent in pre-fuzzing documents (and in every fuzz-free run):
+        // lenient, like the exchange and prepare fields.
+        let fuzz = v.get("fuzz").map(fuzz_from_value).transpose()?;
         Ok(Report {
             scheme,
             design,
@@ -220,8 +235,54 @@ impl Report {
             notes,
             exchange,
             prepare,
+            fuzz,
         })
     }
+}
+
+fn fuzz_to_value(s: &FuzzStats) -> Json {
+    let mut pairs = vec![
+        ("trials", Json::Int(s.trials as i64)),
+        ("sim_cycles", Json::Int(s.sim_cycles as i64)),
+        ("wall", duration_to_value(s.wall)),
+    ];
+    if let Some(cycle) = s.leak_cycle {
+        pairs.push(("leak_cycle", Json::Int(cycle as i64)));
+    }
+    pairs.push(("seed", Json::Int(s.seed as i64)));
+    pairs.push(("lanes", Json::Int(s.lanes as i64)));
+    Json::obj(pairs)
+}
+
+fn fuzz_from_value(v: &Json) -> Result<FuzzStats, ReadError> {
+    let count = |key: &str| -> Result<i64, ReadError> {
+        v.get(key)
+            .and_then(Json::as_int)
+            .ok_or_else(|| ReadError::Schema(format!("bad fuzz {key}")))
+    };
+    let usize_of = |key: &str| -> Result<usize, ReadError> {
+        usize::try_from(count(key)?).map_err(|_| ReadError::Schema(format!("bad fuzz {key}")))
+    };
+    let leak_cycle = match v.get("leak_cycle") {
+        None => None,
+        Some(c) => Some(
+            c.as_int()
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| ReadError::Schema("bad fuzz leak_cycle".into()))?,
+        ),
+    };
+    Ok(FuzzStats {
+        trials: usize_of("trials")?,
+        sim_cycles: count("sim_cycles")? as u64,
+        wall: duration_from_value(
+            v.get("wall")
+                .ok_or_else(|| ReadError::Schema("missing fuzz wall".into()))?,
+        )?,
+        leak_cycle,
+        // Seeds round-trip through the signed JSON integer by casting.
+        seed: count("seed")? as u64,
+        lanes: usize_of("lanes")?,
+    })
 }
 
 fn shape_to_value(s: &Shape) -> Json {
@@ -401,6 +462,9 @@ fn reason_to_value(r: &InconclusiveReason) -> Json {
         InconclusiveReason::NoAttackWithinDepth { depth } => {
             usize_obj("no-attack-within-depth", "depth", *depth)
         }
+        InconclusiveReason::FuzzExhausted { trials } => {
+            usize_obj("fuzz-exhausted", "trials", *trials)
+        }
         InconclusiveReason::AllInconclusive => {
             Json::obj(vec![("kind", Json::Str("all-inconclusive".into()))])
         }
@@ -445,6 +509,9 @@ fn reason_from_value(v: &Json) -> Result<InconclusiveReason, ReadError> {
         }),
         Some("no-attack-within-depth") => Ok(InconclusiveReason::NoAttackWithinDepth {
             depth: usize_field("depth")?,
+        }),
+        Some("fuzz-exhausted") => Ok(InconclusiveReason::FuzzExhausted {
+            trials: usize_field("trials")?,
         }),
         Some("all-inconclusive") => Ok(InconclusiveReason::AllInconclusive),
         Some("other") => Ok(InconclusiveReason::Other(
@@ -911,6 +978,14 @@ mod tests {
                         },
                     },
                 ],
+                fuzz: Some(FuzzStats {
+                    trials: 832,
+                    sim_cycles: 19_968,
+                    wall: Duration::from_millis(413),
+                    leak_cycle: Some(11),
+                    seed: 0xF0_55,
+                    lanes: 64,
+                }),
             },
             Report {
                 scheme: Scheme::Leave,
@@ -921,6 +996,7 @@ mod tests {
                 notes: vec![],
                 exchange: vec![],
                 prepare: vec![],
+                fuzz: None,
             },
             Report {
                 scheme: Scheme::Upec,
@@ -933,6 +1009,7 @@ mod tests {
                 notes: vec!["note".into()],
                 exchange: vec![],
                 prepare: vec![],
+                fuzz: None,
             },
             Report {
                 scheme: Scheme::Baseline,
@@ -943,6 +1020,7 @@ mod tests {
                 notes: vec![],
                 exchange: vec![],
                 prepare: vec![],
+                fuzz: None,
             },
             Report {
                 scheme: Scheme::Shadow,
@@ -955,6 +1033,7 @@ mod tests {
                 notes: vec![],
                 exchange: vec![],
                 prepare: vec![],
+                fuzz: None,
             },
         ]
     }
@@ -1006,6 +1085,29 @@ mod tests {
             report.prepare.is_empty(),
             "documents without a prepare block must parse leniently"
         );
+        assert!(
+            report.fuzz.is_none(),
+            "documents without a fuzz block must parse leniently"
+        );
+    }
+
+    #[test]
+    fn fuzz_block_round_trips_with_and_without_leak() {
+        // With a leak cycle (sample 0) the block is exercised by the
+        // canonical round-trip test above; here the exhausted shape.
+        let mut r = sample_reports()[1].clone();
+        r.fuzz = Some(FuzzStats {
+            trials: 2000,
+            sim_cycles: 48_000,
+            wall: Duration::from_secs(2),
+            leak_cycle: None,
+            seed: u64::MAX - 3, // exercises the signed-integer cast
+            lanes: 1,
+        });
+        let text = r.to_json();
+        let parsed = Report::from_json(&text).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json(), text);
     }
 
     #[test]
@@ -1020,6 +1122,7 @@ mod tests {
             InconclusiveReason::NoInvariants,
             InconclusiveReason::InvariantsInsufficient { survivors: 3 },
             InconclusiveReason::NoAttackWithinDepth { depth: 20 },
+            InconclusiveReason::FuzzExhausted { trials: 2000 },
             InconclusiveReason::AllInconclusive,
             InconclusiveReason::Other("free text".into()),
         ];

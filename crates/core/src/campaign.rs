@@ -80,15 +80,20 @@ fn worker_count(threads: usize, mode: ExecMode, cells: usize) -> usize {
 
 /// The worker-pool core shared by `api::Matrix::run_all` and the
 /// deprecated [`run_campaign`] shim: runs every cell, returns the engine
-/// reports in input order plus the measured wall clock.
+/// reports in input order plus the measured wall clock. Options are
+/// resolved per cell (`make_opts`) because extra lanes — the fuzzing
+/// backend — are configured against each cell's design.
 pub(crate) fn run_cells(
     cells: &[CampaignCell],
     make_cfg: &(dyn Fn(&CampaignCell) -> InstanceConfig + Sync),
-    cell_opts: &CheckOptions,
+    make_opts: &(dyn Fn(&CampaignCell) -> CheckOptions + Sync),
     threads: usize,
 ) -> (Vec<CheckReport>, Duration) {
     let start = Instant::now();
-    let workers = worker_count(threads, cell_opts.mode, cells.len());
+    let mode = cells
+        .first()
+        .map_or(ExecMode::default(), |c| make_opts(c).mode);
+    let workers = worker_count(threads, mode, cells.len());
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<CheckReport>>> =
         Mutex::new((0..cells.len()).map(|_| None).collect());
@@ -102,7 +107,7 @@ pub(crate) fn run_cells(
                 }
                 let cell = cells[i];
                 let cfg = make_cfg(&cell);
-                let report = run_scheme(cell.scheme, &cfg, cell_opts);
+                let report = run_scheme(cell.scheme, &cfg, &make_opts(&cell));
                 slots.lock().unwrap()[i] = Some(report);
             });
         }
@@ -202,7 +207,8 @@ impl CampaignReport {
 #[allow(deprecated)]
 pub fn run_campaign(cells: &[CampaignCell], opts: &CampaignOptions) -> CampaignReport {
     let make_cfg = |cell: &CampaignCell| InstanceConfig::new(cell.design, cell.contract);
-    let (reports, wall) = run_cells(cells, &make_cfg, &opts.cell, opts.threads);
+    let make_opts = |_: &CampaignCell| opts.cell.clone();
+    let (reports, wall) = run_cells(cells, &make_cfg, &make_opts, opts.threads);
     let results = cells
         .iter()
         .zip(reports)
@@ -256,7 +262,8 @@ mod tests {
             ..Default::default()
         };
         let make_cfg = |cell: &CampaignCell| InstanceConfig::new(cell.design, cell.contract);
-        let (reports, _wall) = run_cells(&cells, &make_cfg, &opts, 4);
+        let make_opts = |_: &CampaignCell| opts.clone();
+        let (reports, _wall) = run_cells(&cells, &make_cfg, &make_opts, 4);
         assert_eq!(reports.len(), cells.len());
 
         // The deprecated shim must keep producing the same shape.

@@ -16,6 +16,11 @@
 //! * [`verify`] — the four schemes of Table 2 (Baseline, LEAVE, UPEC,
 //!   Contract Shadow Logic) run to one of the paper's verdicts: an attack
 //!   counterexample, an unbounded proof, UNKNOWN, or a timeout,
+//! * [`fuzz`] — differential fuzzing as a first-class backend (§9's
+//!   contrast class): a [`FuzzPlan`] runs on the 64-way bit-parallel
+//!   simulator, races the solver lanes through [`FuzzBackend`] (a
+//!   `csl_mc::Backend`), and reports findings as replayable
+//!   counterexample traces,
 //! * [`campaign`] — the scheme × design × contract matrix evaluated on a
 //!   worker pool with per-cell budgets and a deterministic result table
 //!   (the Table-2 reproduction engine),
@@ -62,7 +67,9 @@ pub use campaign::{matrix, CampaignCell};
 #[allow(deprecated)]
 pub use campaign::{run_campaign, CampaignOptions, CampaignReport, CellResult};
 pub use fifo::{FifoPlan, RecordFifo};
-pub use fuzz::{fuzz_design, replay_finding, FuzzFinding, FuzzOptions, FuzzOutcome};
+#[allow(deprecated)]
+pub use fuzz::{fuzz_design, replay_finding, FuzzOptions};
+pub use fuzz::{fuzz_lane, run_fuzz, FuzzBackend, FuzzFinding, FuzzOutcome, FuzzPlan, FuzzReport};
 #[allow(deprecated)]
 pub use harness::{build_baseline_instance, build_leave_instance, build_shadow_instance};
 pub use harness::{DesignKind, ExcludeRule, InstanceConfig};

@@ -149,6 +149,7 @@ fn run_leave_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 notes,
                 exchange: Vec::new(),
                 prepare: Vec::new(),
+                fuzz: None,
             }
         }
         HoudiniResult::Timeout => CheckReport {
@@ -157,6 +158,7 @@ fn run_leave_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             notes,
             exchange: Vec::new(),
             prepare: Vec::new(),
+            fuzz: None,
         },
     }
 }
@@ -186,6 +188,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 notes,
                 exchange: Vec::new(),
                 prepare: Vec::new(),
+                fuzz: None,
             };
         }
         BmcResult::Clean { depth_checked } => {
@@ -198,6 +201,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 notes,
                 exchange: Vec::new(),
                 prepare: Vec::new(),
+                fuzz: None,
             };
         }
     }
@@ -215,6 +219,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             notes,
             exchange: Vec::new(),
             prepare: Vec::new(),
+            fuzz: None,
         },
         KindResult::Timeout => CheckReport {
             verdict: Verdict::Timeout,
@@ -222,6 +227,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             notes,
             exchange: Vec::new(),
             prepare: Vec::new(),
+            fuzz: None,
         },
         _ => CheckReport {
             // UPEC's conservative-defence invariant shape admits only
@@ -233,6 +239,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             notes,
             exchange: Vec::new(),
             prepare: Vec::new(),
+            fuzz: None,
         },
     }
 }

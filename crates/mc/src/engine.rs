@@ -21,13 +21,13 @@ use csl_hdl::Aig;
 use csl_sat::Budget;
 
 use crate::bmc::{bmc, BmcResult};
-use crate::exchange::{ExchangeConfig, ExchangeStats};
+use crate::exchange::{ExchangeConfig, ExchangeStats, SharedContext};
 use crate::houdini::{houdini, Candidate, HoudiniResult};
 use crate::kind::{k_induction, KindOptions, KindResult};
 use crate::lane::{Lane, LanePlan};
 use crate::pdr::{pdr, PdrOptions, PdrResult};
 use crate::portfolio::{
-    race, BmcBackend, EngineOutcome, HoudiniBackend, KindBackend, LaneSpec, PdrBackend,
+    race, BmcBackend, EngineOutcome, HoudiniBackend, KindBackend, LaneFactory, LaneSpec, PdrBackend,
 };
 use crate::prepare::{run_prepared, PrepareConfig};
 use crate::sim::Sim;
@@ -68,6 +68,9 @@ pub enum InconclusiveReason {
     InvariantsInsufficient { survivors: usize },
     /// Attack-only mode: the bounded search came back clean.
     NoAttackWithinDepth { depth: usize },
+    /// A fuzzing lane ran out of trials without observing a leak — *not*
+    /// a proof (fuzzing offers no coverage guarantee).
+    FuzzExhausted { trials: usize },
     /// Every engine finished without a verdict.
     AllInconclusive,
     /// Anything else (joined engine notes, external causes).
@@ -98,9 +101,42 @@ impl std::fmt::Display for InconclusiveReason {
             InconclusiveReason::NoAttackWithinDepth { depth } => {
                 write!(f, "no attack within bmc depth {depth}")
             }
+            InconclusiveReason::FuzzExhausted { trials } => {
+                write!(f, "fuzz exhausted {trials} trials without a leak")
+            }
             InconclusiveReason::AllInconclusive => write!(f, "all engines inconclusive"),
             InconclusiveReason::Other(text) => f.write_str(text),
         }
+    }
+}
+
+/// Statistics from a fuzzing lane's campaign, surfaced in
+/// [`CheckReport::fuzz`] (and, one layer up, in the session API's report
+/// JSON as the lenient `fuzz` block). Recorded on every outcome — a leak
+/// *and* an exhausted campaign both carry trial counts, simulated
+/// cycles and wall time, so throughput (trials/second) is computable
+/// without re-running.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzStats {
+    /// Program/secret pairs simulated (including the leaking one).
+    pub trials: usize,
+    /// Total trial-cycles simulated: each simulated cycle of each lane
+    /// counts once, so scalar and batched runs are directly comparable.
+    pub sim_cycles: u64,
+    /// Wall time the fuzzing lane spent.
+    pub wall: Duration,
+    /// Cycle at which the leakage assertion fired, when a leak was found.
+    pub leak_cycle: Option<usize>,
+    /// RNG seed that drove the stimulus stream (replays the campaign).
+    pub seed: u64,
+    /// Bit-parallel lanes per simulation pass (1 = scalar).
+    pub lanes: usize,
+}
+
+impl FuzzStats {
+    /// Campaign throughput in trials per wall-clock second.
+    pub fn trials_per_sec(&self) -> f64 {
+        self.trials as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 }
 
@@ -184,6 +220,14 @@ pub struct CheckOptions {
     /// the raw instance). Attack traces are lifted back to the raw
     /// netlist's vocabulary before they leave [`check_safety`].
     pub prepare: PrepareConfig,
+    /// Additional attack-finding lanes beyond the built-in engines —
+    /// the seam through which the differential-fuzzing backend (and any
+    /// other caller-supplied [`crate::Backend`]) joins the check. In
+    /// portfolio mode each factory's backend races the solver lanes
+    /// (a concrete leak is decisive and cancels them); in sequential
+    /// mode the extra lanes run first, as phase 0 of the pipeline,
+    /// under their [`LanePlan`] budgets. Empty by default.
+    pub extra_lanes: Vec<LaneFactory>,
 }
 
 impl Default for CheckOptions {
@@ -200,6 +244,7 @@ impl Default for CheckOptions {
             lanes: LanePlan::default(),
             exchange: ExchangeConfig::default(),
             prepare: PrepareConfig::default(),
+            extra_lanes: Vec::new(),
         }
     }
 }
@@ -221,6 +266,13 @@ impl CheckOptions {
     /// (builder style).
     pub fn with_prepare(mut self, prepare: PrepareConfig) -> CheckOptions {
         self.prepare = prepare;
+        self
+    }
+
+    /// The same options with one more extra attack-finding lane
+    /// (builder style) — see [`CheckOptions::extra_lanes`].
+    pub fn with_extra_lane(mut self, lane: LaneFactory) -> CheckOptions {
+        self.extra_lanes.push(lane);
         self
     }
 }
@@ -245,6 +297,9 @@ pub struct CheckReport {
     /// Per-pass node/latch reduction statistics from instance
     /// preparation (empty when preparation was off).
     pub prepare: Vec<PassStats>,
+    /// Fuzzing-lane campaign statistics (`None` when no fuzzing lane
+    /// ran — the default).
+    pub fuzz: Option<FuzzStats>,
 }
 
 fn remaining_budget(deadline: Instant) -> Budget {
@@ -299,6 +354,11 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
         depth: opts.bmc_depth,
         schedule: opts.lanes.get(Lane::Bmc).depth_schedule.clone(),
     }))];
+    // Extra attack-finding lanes (fuzzing) race in every mode, including
+    // attack-only: like BMC they hunt counterexamples, never proofs.
+    for factory in &opts.extra_lanes {
+        engines.push(lane_spec(factory.build()));
+    }
     if !opts.attack_only {
         if opts.kind_max_k > 0 {
             engines.push(lane_spec(Box::new(KindBackend {
@@ -341,7 +401,11 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
     let mut attack: Option<Box<Trace>> = None;
     let mut proof: Option<ProofEngine> = None;
     let mut timed_out = false;
+    let mut fuzz: Option<FuzzStats> = None;
     for lane in report.lanes {
+        if fuzz.is_none() {
+            fuzz = lane.fuzz.clone();
+        }
         let traffic = if opts.exchange.enabled {
             format!(" (imports {}, exports {})", lane.imports, lane.exports)
         } else {
@@ -405,11 +469,25 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
         notes,
         exchange,
         prepare: Vec::new(),
+        fuzz,
     }
 }
 
-/// The classic one-engine-at-a-time pipeline.
+/// The classic one-engine-at-a-time pipeline. The thin wrapper exists so
+/// the extra-lane (fuzzing) statistics collected by phase 0 land on
+/// whichever report the pipeline eventually returns.
 fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
+    let mut fuzz = None;
+    let mut report = check_safety_sequential_inner(task, opts, &mut fuzz);
+    report.fuzz = fuzz;
+    report
+}
+
+fn check_safety_sequential_inner(
+    task: &SafetyCheck,
+    opts: &CheckOptions,
+    fuzz: &mut Option<FuzzStats>,
+) -> CheckReport {
     let start = Instant::now();
     let deadline = start + opts.total_budget;
     let mut notes = Vec::new();
@@ -422,6 +500,67 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
     // the phase instead of ending the check.
     let lane_budget = |lane: Lane| Budget::until(opts.lanes.deadline_for(lane, start, deadline));
     let lane_cap_fired = |lane: Lane| opts.lanes.is_capped(lane) && Instant::now() < deadline;
+
+    // ---- phase 0: extra attack-finding lanes (fuzzing) ---------------------
+    // Sequential counterpart of the portfolio's extra lanes: each runs to
+    // completion under its lane budget before the solvers start. A leak
+    // is an attack like any other; an exhausted campaign is a note.
+    for factory in &opts.extra_lanes {
+        let backend = factory.build();
+        let lane = backend.lane();
+        let mut quiet = SharedContext::disabled(lane);
+        let outcome = backend.run(&ts, lane_budget(lane), &mut quiet);
+        if fuzz.is_none() {
+            *fuzz = backend.fuzz_stats();
+        }
+        match outcome {
+            EngineOutcome::Attack(trace) => {
+                notes.push(format!(
+                    "{} found attack at depth {}",
+                    backend.name(),
+                    trace.depth()
+                ));
+                return CheckReport {
+                    verdict: Verdict::Attack(trace),
+                    elapsed: start.elapsed(),
+                    notes,
+                    exchange: Vec::new(),
+                    prepare: Vec::new(),
+                    fuzz: None,
+                };
+            }
+            EngineOutcome::Proof(p) => {
+                return CheckReport {
+                    verdict: Verdict::Proof(p),
+                    elapsed: start.elapsed(),
+                    notes,
+                    exchange: Vec::new(),
+                    prepare: Vec::new(),
+                    fuzz: None,
+                };
+            }
+            EngineOutcome::Inconclusive(reason) => {
+                notes.push(format!("{}: {reason}", backend.name()));
+            }
+            EngineOutcome::Timeout => {
+                if lane_cap_fired(lane) {
+                    notes.push(format!("{} lane cap exhausted; continuing", backend.name()));
+                } else if Instant::now() >= deadline {
+                    notes.push(format!("{} timeout", backend.name()));
+                    return CheckReport {
+                        verdict: Verdict::Timeout,
+                        elapsed: start.elapsed(),
+                        notes,
+                        exchange: Vec::new(),
+                        prepare: Vec::new(),
+                        fuzz: None,
+                    };
+                } else {
+                    notes.push(format!("{} stopped early; continuing", backend.name()));
+                }
+            }
+        }
+    }
 
     // ---- phase 1: attack search (BMC) -------------------------------------
     let bmc_depth = opts
@@ -448,6 +587,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                 notes,
                 exchange: Vec::new(),
                 prepare: Vec::new(),
+                fuzz: None,
             };
         }
         BmcResult::Clean { depth_checked } => {
@@ -466,6 +606,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                     notes,
                     exchange: Vec::new(),
                     prepare: Vec::new(),
+                    fuzz: None,
                 };
             }
         }
@@ -481,6 +622,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
             notes,
             exchange: Vec::new(),
             prepare: Vec::new(),
+            fuzz: None,
         };
     }
 
@@ -504,6 +646,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         notes,
                         exchange: Vec::new(),
                         prepare: Vec::new(),
+                        fuzz: None,
                     };
                 }
                 // Conjoin surviving invariants as constraints for the
@@ -523,6 +666,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         notes,
                         exchange: Vec::new(),
                         prepare: Vec::new(),
+                        fuzz: None,
                     };
                 }
             }
@@ -547,6 +691,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                     notes,
                     exchange: Vec::new(),
                     prepare: Vec::new(),
+                    fuzz: None,
                 };
             }
             KindResult::Cex(trace) => {
@@ -564,6 +709,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         notes,
                         exchange: Vec::new(),
                         prepare: Vec::new(),
+                        fuzz: None,
                     };
                 }
                 notes.push("k-induction base cex failed replay; ignoring".into());
@@ -582,6 +728,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         notes,
                         exchange: Vec::new(),
                         prepare: Vec::new(),
+                        fuzz: None,
                     };
                 }
             }
@@ -610,6 +757,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                     notes,
                     exchange: Vec::new(),
                     prepare: Vec::new(),
+                    fuzz: None,
                 };
             }
             PdrResult::Cex { depth_hint } => {
@@ -625,6 +773,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                             notes,
                             exchange: Vec::new(),
                             prepare: Vec::new(),
+                            fuzz: None,
                         };
                     }
                 }
@@ -635,6 +784,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                     notes,
                     exchange: Vec::new(),
                     prepare: Vec::new(),
+                    fuzz: None,
                 };
             }
             PdrResult::Timeout => {
@@ -648,6 +798,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
                         notes,
                         exchange: Vec::new(),
                         prepare: Vec::new(),
+                        fuzz: None,
                     };
                 }
             }
@@ -665,6 +816,7 @@ fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepo
         notes,
         exchange: Vec::new(),
         prepare: Vec::new(),
+        fuzz: None,
     }
 }
 

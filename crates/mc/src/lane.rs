@@ -32,11 +32,21 @@ pub enum Lane {
     Pdr,
     /// Houdini invariant filtering (plus its strengthened re-runs).
     Houdini,
+    /// Differential fuzzing on the bit-parallel simulator (extra
+    /// attack-finding lanes registered through
+    /// [`crate::CheckOptions::extra_lanes`]).
+    Fuzz,
 }
 
 impl Lane {
     /// All lanes, in pipeline order.
-    pub const ALL: [Lane; 4] = [Lane::Bmc, Lane::KInduction, Lane::Pdr, Lane::Houdini];
+    pub const ALL: [Lane; 5] = [
+        Lane::Bmc,
+        Lane::KInduction,
+        Lane::Pdr,
+        Lane::Houdini,
+        Lane::Fuzz,
+    ];
 
     /// Stable lower-case label (used in notes and serialized reports).
     pub fn name(self) -> &'static str {
@@ -45,6 +55,7 @@ impl Lane {
             Lane::KInduction => "k-induction",
             Lane::Pdr => "pdr",
             Lane::Houdini => "houdini",
+            Lane::Fuzz => "fuzz",
         }
     }
 
@@ -59,6 +70,7 @@ impl Lane {
             Lane::KInduction => 1,
             Lane::Pdr => 2,
             Lane::Houdini => 3,
+            Lane::Fuzz => 4,
         }
     }
 }
@@ -144,7 +156,7 @@ impl LaneBudget {
 /// every lane on the shared clock.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LanePlan {
-    slots: [LaneBudget; 4],
+    slots: [LaneBudget; 5],
 }
 
 impl LanePlan {

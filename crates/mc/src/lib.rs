@@ -5,6 +5,8 @@
 //!
 //! * [`ts::TransitionSystem`] — cone-of-influence-reduced view of a netlist,
 //! * [`sim`] — concrete simulation, counterexample replay and waveforms,
+//!   including the 64-lane bit-parallel [`sim::BatchSim`] behind the
+//!   differential-fuzzing backend,
 //! * [`bmc`] — bounded model checking (attack finding; the paper's `Ht`
 //!   engine role),
 //! * [`kind`] — k-induction with optional unique-state constraints,
@@ -69,7 +71,7 @@ pub mod unroll;
 
 pub use bmc::{bmc, bmc_with, BmcResult, BusMemory};
 pub use engine::{
-    check_safety, CheckOptions, CheckReport, ExecMode, InconclusiveReason, ProofEngine,
+    check_safety, CheckOptions, CheckReport, ExecMode, FuzzStats, InconclusiveReason, ProofEngine,
     SafetyCheck, Verdict,
 };
 pub use exchange::{
@@ -83,11 +85,14 @@ pub use pdr::{pdr, pdr_with, Cube, PdrOptions, PdrResult};
 #[allow(deprecated)]
 pub use portfolio::Engine;
 pub use portfolio::{
-    race, Backend, BmcBackend, EngineOutcome, HoudiniBackend, KindBackend, LaneResult, LaneSpec,
-    LegacyBackend, PdrBackend, RaceReport,
+    race, Backend, BmcBackend, EngineOutcome, HoudiniBackend, KindBackend, LaneFactory, LaneResult,
+    LaneSpec, LegacyBackend, PdrBackend, RaceReport,
 };
 pub use prepare::{prepare, PrepareConfig, PrepareStats, PreparedInstance};
-pub use sim::{CycleValues, Sim, SimState, StepResult};
+pub use sim::{
+    BatchCycleValues, BatchMasks, BatchSim, BatchState, BatchStep, CycleValues, Sim, SimState,
+    StepResult,
+};
 pub use trace::Trace;
 pub use ts::TransitionSystem;
 pub use unroll::{InitMode, Unroller};

@@ -40,7 +40,7 @@ use csl_hdl::Aig;
 use csl_sat::Budget;
 
 use crate::bmc::{bmc, bmc_with, BmcResult, BusMemory};
-use crate::engine::{InconclusiveReason, ProofEngine};
+use crate::engine::{FuzzStats, InconclusiveReason, ProofEngine};
 use crate::exchange::{Exchange, ExchangeConfig, ExchangeStats, SharedContext};
 use crate::houdini::{houdini_with, Candidate, HoudiniResult};
 use crate::kind::{k_induction_with, KindOptions, KindResult};
@@ -84,6 +84,55 @@ pub trait Backend: Send {
     /// The budget/exchange lane this backend occupies.
     fn lane(&self) -> Lane;
     fn run(&self, ts: &TransitionSystem, budget: Budget, ctx: &mut SharedContext) -> EngineOutcome;
+
+    /// Campaign statistics for fuzzing lanes, read *after* `run` returns
+    /// (implementations record them internally). Solver lanes keep the
+    /// default `None`; the race copies the value into its
+    /// [`LaneResult`] so the stats reach [`crate::CheckReport::fuzz`].
+    fn fuzz_stats(&self) -> Option<FuzzStats> {
+        None
+    }
+}
+
+/// A cloneable constructor for caller-supplied lanes, registered through
+/// [`crate::CheckOptions::extra_lanes`]. `CheckOptions` must stay
+/// `Clone`, and a `Box<dyn Backend>` is not — so options carry factories
+/// and each check (each portfolio race, each sequential phase 0) builds
+/// a fresh backend. The label identifies the lane configuration in
+/// session cache keys, so it must change whenever the produced backend's
+/// behaviour does.
+#[derive(Clone)]
+pub struct LaneFactory {
+    label: String,
+    make: Arc<dyn Fn() -> Box<dyn Backend> + Send + Sync>,
+}
+
+impl LaneFactory {
+    pub fn new(
+        label: impl Into<String>,
+        make: impl Fn() -> Box<dyn Backend> + Send + Sync + 'static,
+    ) -> LaneFactory {
+        LaneFactory {
+            label: label.into(),
+            make: Arc::new(make),
+        }
+    }
+
+    /// Stable description of the lane configuration (cache-key input).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Builds a fresh backend instance.
+    pub fn build(&self) -> Box<dyn Backend> {
+        (self.make)()
+    }
+}
+
+impl std::fmt::Debug for LaneFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LaneFactory({})", self.label)
+    }
 }
 
 /// The v1 lane trait: no exchange-bus access.
@@ -453,6 +502,8 @@ pub struct LaneResult {
     pub imports: usize,
     /// Exchange-bus items this lane published.
     pub exports: usize,
+    /// Campaign statistics, when this lane was a fuzzing backend.
+    pub fuzz: Option<FuzzStats>,
 }
 
 /// Everything the race produced: per-lane results (in completion order)
@@ -521,6 +572,7 @@ pub fn race(
                 deadline: spec.deadline,
                 imports: ctx.imports(),
                 exports: ctx.exports(),
+                fuzz: spec.backend.fuzz_stats(),
             });
         }));
     }

@@ -9,21 +9,39 @@
 //! can only ever say "no leak in N trials" while the formal flow can keep
 //! pushing toward a proof.
 //!
+//! Fuzzing is a first-class backend now: `Verifier::fuzz(FuzzPlan)` adds
+//! a 64-way bit-parallel fuzzing lane to the portfolio race, so the
+//! third act below lets the fuzzer and the solvers compete for the same
+//! verdict — whichever finds the attack first cancels the others.
+//!
 //! ```text
 //! cargo run --release --example fuzz_vs_formal
 //! ```
 
 use std::time::{Duration, Instant};
 
-use contract_shadow_logic::core::{fuzz_design, FuzzOptions, FuzzOutcome};
+use contract_shadow_logic::core::api::FuzzPlan;
+use contract_shadow_logic::core::{run_fuzz, FuzzOutcome};
 use contract_shadow_logic::prelude::*;
+use contract_shadow_logic::sat::Budget;
 
 fn main() {
-    let insecure = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-    let secure = InstanceConfig::new(
-        DesignKind::SimpleOoo(Defense::DelaySpectre),
-        Contract::Sandboxing,
-    );
+    let instance = |defense: Defense| {
+        Verifier::new()
+            .design(DesignKind::SimpleOoo(defense))
+            .contract(Contract::Sandboxing)
+            .scheme(Scheme::Shadow)
+            .with_candidates(false)
+            .query()
+            .expect("design and contract are set")
+    };
+    let fuzz = |defense: Defense, plan: &FuzzPlan| {
+        let query = instance(defense);
+        let isa = query.config().cpu_config().isa;
+        // Fuzz the raw instance directly (the portfolio lane would fuzz
+        // the prepared one; both find the same leaks).
+        run_fuzz(&query.raw_instance().aig, &isa, plan, &Budget::unlimited())
+    };
     let formal = |defense: Defense, budget: u64, depth: usize| {
         Verifier::new()
             .design(DesignKind::SimpleOoo(defense))
@@ -38,15 +56,16 @@ fn main() {
     };
 
     println!("== insecure SimpleOoO, sandboxing ==");
-    let t = Instant::now();
-    match fuzz_design(&insecure, &FuzzOptions::default()) {
+    let report = fuzz(Defense::None, &FuzzPlan::default());
+    match report.outcome {
         FuzzOutcome::Leak(f) => println!(
-            "fuzzer:  leak after {} trials in {:.2}s (cycle {})",
+            "fuzzer:  leak after {} trials in {:.2}s (cycle {}, {:.0} trials/s batched)",
             f.trials,
-            t.elapsed().as_secs_f64(),
-            f.cycle
+            report.stats.wall.as_secs_f64(),
+            f.cycle,
+            report.stats.trials_per_sec(),
         ),
-        FuzzOutcome::Exhausted { trials } => {
+        FuzzOutcome::Exhausted { trials, .. } => {
             println!("fuzzer:  nothing in {trials} trials (unlucky seed)")
         }
     }
@@ -60,17 +79,11 @@ fn main() {
 
     println!();
     println!("== secure SimpleOoO-S (Delay-spectre), sandboxing ==");
-    let t = Instant::now();
-    match fuzz_design(
-        &secure,
-        &FuzzOptions {
-            trials: 1500,
-            ..Default::default()
-        },
-    ) {
-        FuzzOutcome::Exhausted { trials } => println!(
+    let report = fuzz(Defense::DelaySpectre, &FuzzPlan::default().trials(1500));
+    match report.outcome {
+        FuzzOutcome::Exhausted { trials, wall, .. } => println!(
             "fuzzer:  no leak in {trials} trials / {:.2}s — *not* a proof",
-            t.elapsed().as_secs_f64()
+            wall.as_secs_f64()
         ),
         FuzzOutcome::Leak(f) => println!("fuzzer:  UNEXPECTED leak: {f:?}"),
     }
@@ -82,4 +95,39 @@ fn main() {
         report.cell(),
         t.elapsed().as_secs_f64()
     );
+
+    println!();
+    println!("== fuzzing as a portfolio lane: fuzz races BMC on the insecure core ==");
+    let report = Verifier::new()
+        .design(DesignKind::SimpleOoo(Defense::None))
+        .contract(Contract::Sandboxing)
+        .scheme(Scheme::Shadow)
+        .mode(Mode::Portfolio)
+        .attack_only(true)
+        .wall(Duration::from_secs(120))
+        .bmc_depth(12)
+        .fuzz(FuzzPlan::default().trials(100_000))
+        .query()
+        .expect("design and contract are set")
+        .run();
+    println!(
+        "race:    {} in {:.2}s — first decisive lane cancels the rest",
+        report.cell(),
+        report.elapsed.as_secs_f64()
+    );
+    for note in report
+        .notes
+        .iter()
+        .filter(|n| n.starts_with("fuzz") || n.starts_with("bmc"))
+    {
+        println!("    | {note}");
+    }
+    if let Some(fuzz) = &report.fuzz {
+        println!(
+            "    | fuzz lane: {} trials at {:.0} trials/s across {} lanes",
+            fuzz.trials,
+            fuzz.trials_per_sec(),
+            fuzz.lanes
+        );
+    }
 }

@@ -59,9 +59,9 @@ pub use csl_sat as sat;
 pub mod prelude {
     pub use csl_contracts::Contract;
     pub use csl_core::api::{
-        Budget, CampaignDiff, CampaignReport, ExchangeConfig, ExchangeStats, Lane, LaneBudget,
-        LaneExchange, Matrix, Mode, PrepareConfig, PreparedInstance, Query, Report, ReportCache,
-        Verifier,
+        Budget, CampaignDiff, CampaignReport, ExchangeConfig, ExchangeStats, FuzzPlan, FuzzStats,
+        Lane, LaneBudget, LaneExchange, Matrix, Mode, PrepareConfig, PreparedInstance, Query,
+        Report, ReportCache, Verifier,
     };
     #[allow(deprecated)]
     pub use csl_core::{build_instance, run_campaign, verify, CampaignOptions};
