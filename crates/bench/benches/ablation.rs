@@ -58,7 +58,7 @@ fn main() {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts = TransitionSystem::new(sound.aig().clone(), false);
+    let ts = TransitionSystem::shared(sound.aig().clone(), false);
     let genuine = match bmc(&ts, bmc_depth(9), budget.clone()) {
         BmcResult::Cex(t) => {
             let clean = !assume_violated_extended(sound.aig(), &t, 16);
@@ -83,7 +83,7 @@ fn main() {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts2 = TransitionSystem::new(broken.aig().clone(), false);
+    let ts2 = TransitionSystem::shared(broken.aig().clone(), false);
     let shallow = genuine.as_ref().map(|t| t.depth() - 1).unwrap_or(5);
     match bmc(&ts2, shallow, budget.clone()) {
         BmcResult::Cex(t) => {
@@ -120,7 +120,7 @@ fn main() {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts3 = TransitionSystem::new(task.aig().clone(), false);
+    let ts3 = TransitionSystem::shared(task.aig().clone(), false);
     match bmc(&ts3, bmc_depth(10), budget) {
         BmcResult::Cex(t) => println!(
             "DoM cex at depth {}: bad `{}` (a leak, never an overflow)",

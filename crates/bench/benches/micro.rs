@@ -72,7 +72,7 @@ fn bench_simulation(c: &mut Criterion) {
 
 fn bench_unroll(c: &mut Criterion) {
     let task = shadow_query().instance();
-    let ts = TransitionSystem::new(task.aig().clone(), false);
+    let ts = TransitionSystem::shared(task.aig().clone(), false);
     c.bench_function("mc/unroll_8_frames", |b| {
         b.iter(|| {
             let mut u = Unroller::new(&ts, InitMode::Reset);

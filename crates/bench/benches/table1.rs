@@ -42,7 +42,7 @@ fn main() {
         // statistics are prepprobe's job.
         let task = query.raw_instance();
         let stats = task.aig.stats_by_prefix(&["cpu1.", "cpu2.", "shadow."]);
-        let ts = TransitionSystem::new(task.aig.clone(), false);
+        let ts = TransitionSystem::shared(task.aig.clone(), false);
         println!(
             "{:<22} {:>8} {:>9} {:>9} {:>10} {:>8} {:>7}",
             design.name(),

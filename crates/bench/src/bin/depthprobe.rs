@@ -1,60 +1,279 @@
-use csl_bench::verifier;
+//! Depth/warm-start probe: quantifies persistent solver sessions.
+//!
+//! Part 1 drives one shadow instance through an escalating BMC depth
+//! schedule twice — a fresh solver per depth versus a single
+//! [`BmcSession`] that keeps its unrolling and learnt clauses — and
+//! prints the per-depth and cumulative costs side by side. Verdicts must
+//! match at every depth.
+//!
+//! Part 2 is the gate: the repeat-query workload on Table-2 cells. Each
+//! cell is checked twice at the same depth — the shape of a CI re-run or
+//! an interactive session asking the same question again — once with
+//! warm-start off (every query pays the full re-encode/re-solve) and
+//! once with warm-start on (the second query resumes the parked session
+//! from the process-wide pool). Verdicts must be byte-identical, the
+//! warm rerun's report must surface `warm_hits >= 1`, and (release
+//! builds only) the median warm speedup across cells must reach the 2x
+//! floor. A depth-escalation pass (shallow query, then deeper) is
+//! reported as well. `--json <path>` archives the warm reruns, solver
+//! blocks included, for CI.
+
+use std::time::{Duration, Instant};
+
+use csl_bench::{bmc_depth, budget_secs, median_duration, report_args, verifier, write_reports};
 use csl_contracts::Contract;
+use csl_core::api::{CampaignReport, Report, Verifier};
 use csl_core::{DesignKind, Scheme};
 use csl_cpu::Defense;
-use csl_mc::{InitMode, TransitionSystem, Unroller};
-use csl_sat::SolveResult;
-use std::time::Instant;
+use csl_mc::exchange::SharedContext;
+use csl_mc::{bmc, BmcResult, BmcSession, Lane, TransitionSystem};
+use csl_sat::Budget;
 
-fn probe(design: DesignKind, contract: Contract, maxd: usize) {
-    let task = verifier(240, maxd, true)
+fn shadow_instance(design: DesignKind, contract: Contract) -> std::sync::Arc<TransitionSystem> {
+    let task = verifier(240, 14, true)
         .design(design)
         .contract(contract)
         .scheme(Scheme::Shadow)
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts = TransitionSystem::new(task.aig().clone(), false);
-    println!(
-        "== {} / {}: {}",
-        design.name(),
-        contract.name(),
-        ts.summary()
-    );
-    let mut u = Unroller::new(&ts, InitMode::Reset);
-    let t0 = Instant::now();
-    for k in 0..=maxd {
-        let t = Instant::now();
-        u.assert_assumes_through(k);
-        let bad = u.bad_any_at(k);
-        let r = u.solve_with(&[bad]);
-        println!(
-            "  depth {k:2}: {:?} in {:.2}s (cum {:.1}s)",
-            r,
-            t.elapsed().as_secs_f64(),
-            t0.elapsed().as_secs_f64()
-        );
-        if r == SolveResult::Sat {
-            break;
-        }
-        u.solver.add_clause(&[!bad]);
-        if t0.elapsed().as_secs_f64() > 240.0 {
-            println!("  (probe budget reached)");
-            break;
-        }
+    TransitionSystem::shared(task.aig().clone(), false)
+}
+
+fn bmc_key(r: &BmcResult) -> String {
+    match r {
+        BmcResult::Cex(t) => format!("cex@{}", t.depth()),
+        BmcResult::Clean { depth_checked } => format!("clean@{depth_checked}"),
+        BmcResult::Timeout { depth_checked } => format!("timeout@{depth_checked:?}"),
     }
 }
 
+/// The verdict portion of a report, elapsed time excluded, for the
+/// byte-identical warm-vs-cold comparison.
+fn verdict_key(r: &Report) -> String {
+    format!("{:?}", r.verdict)
+}
+
+fn run_cell(design: DesignKind, contract: Contract, depth: usize, warm: bool) -> Report {
+    Verifier::new()
+        .design(design)
+        .contract(contract)
+        .scheme(Scheme::Shadow)
+        .attack_only(true)
+        .bmc_depth(depth)
+        .wall(Duration::from_secs(budget_secs(120)))
+        .warm(warm)
+        .query()
+        .expect("design and contract are set")
+        .run()
+}
+
+fn warm_hits(r: &Report) -> u64 {
+    r.solver.iter().map(|s| s.warm_hits).sum()
+}
+
 fn main() {
-    probe(DesignKind::InOrder, Contract::Sandboxing, 14);
-    probe(
-        DesignKind::SimpleOoo(Defense::DelaySpectre),
-        Contract::Sandboxing,
-        12,
+    let args = report_args("depthprobe");
+    if args.cache.is_some() {
+        println!("note: depthprobe always bypasses the result cache (live solves only)");
+    }
+    let mut failures: Vec<String> = Vec::new();
+    let wall = Instant::now();
+
+    println!("== part 1: progressive depth schedule, fresh solver vs one warm session ==");
+    let schedule: Vec<usize> = [2usize, 4, 6, 8]
+        .into_iter()
+        .map(bmc_depth)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let step_budget = || Budget::until(Instant::now() + Duration::from_secs(budget_secs(30)));
+    for (design, contract) in [
+        (DesignKind::InOrder, Contract::Sandboxing),
+        (
+            DesignKind::SimpleOoo(Defense::DelaySpectre),
+            Contract::Sandboxing,
+        ),
+    ] {
+        let ts = shadow_instance(design, contract);
+        println!(
+            "-- {} / {}: {}",
+            design.name(),
+            contract.name(),
+            ts.summary()
+        );
+        let mut session = BmcSession::new(&ts);
+        let (mut cum_fresh, mut cum_warm) = (0f64, 0f64);
+        for &depth in &schedule {
+            let t = Instant::now();
+            let fresh = bmc(&ts, depth, step_budget());
+            let fresh_s = t.elapsed().as_secs_f64();
+            cum_fresh += fresh_s;
+
+            let t = Instant::now();
+            let warm = session.run_to(
+                depth,
+                step_budget(),
+                &mut SharedContext::disabled(Lane::Bmc),
+            );
+            let warm_s = t.elapsed().as_secs_f64();
+            cum_warm += warm_s;
+
+            println!(
+                "  depth {depth:2}: fresh {fresh_s:7.2}s (cum {cum_fresh:6.1}s)   warm {warm_s:7.2}s (cum {cum_warm:6.1}s)   {}",
+                bmc_key(&warm)
+            );
+            // A step budget keeps the probe bounded on the expensive
+            // instances; once either side runs out, deeper steps would
+            // only repeat the timeout — stop escalating this design.
+            if matches!(fresh, BmcResult::Timeout { .. })
+                || matches!(warm, BmcResult::Timeout { .. })
+            {
+                println!("  (step budget reached; stopping the schedule here)");
+                break;
+            }
+            if bmc_key(&fresh) != bmc_key(&warm) {
+                failures.push(format!(
+                    "{}/{} depth {depth}: fresh {} vs warm {}",
+                    design.name(),
+                    contract.name(),
+                    bmc_key(&fresh),
+                    bmc_key(&warm)
+                ));
+            }
+            if matches!(warm, BmcResult::Cex(_)) {
+                break;
+            }
+        }
+    }
+
+    println!();
+    println!("== part 2: repeat-query workload, warm vs cold (Table-2 cells) ==");
+    let cells = [
+        (DesignKind::InOrder, Contract::Sandboxing, bmc_depth(6)),
+        (
+            DesignKind::SimpleOoo(Defense::DelaySpectre),
+            Contract::Sandboxing,
+            bmc_depth(6),
+        ),
+        (
+            DesignKind::SimpleOoo(Defense::DelaySpectre),
+            Contract::ConstantTime,
+            bmc_depth(6),
+        ),
+    ];
+    let mut archived: Vec<Report> = Vec::new();
+    let mut cold_walls: Vec<Duration> = Vec::new();
+    let mut warm_walls: Vec<Duration> = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    for (design, contract, depth) in cells {
+        // Cold pair: every query pays the full cost.
+        let cold_first = run_cell(design, contract, depth, false);
+        let cold_rerun = run_cell(design, contract, depth, false);
+        // Warm pair: the first query parks its session, the rerun
+        // resumes it from the pool.
+        let warm_first = run_cell(design, contract, depth, true);
+        let warm_rerun = run_cell(design, contract, depth, true);
+
+        let speedup = cold_rerun.elapsed.as_secs_f64() / warm_rerun.elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "{:<32} depth {depth:2}: cold rerun {:6.2}s   warm rerun {:6.2}s   {speedup:6.1}x   warm_hits {}",
+            format!("{}/{}", design.name(), contract.name()),
+            cold_rerun.elapsed.as_secs_f64(),
+            warm_rerun.elapsed.as_secs_f64(),
+            warm_hits(&warm_rerun)
+        );
+
+        for (label, a, b) in [
+            ("cold first vs cold rerun", &cold_first, &cold_rerun),
+            ("cold rerun vs warm first", &cold_rerun, &warm_first),
+            ("warm first vs warm rerun", &warm_first, &warm_rerun),
+        ] {
+            if verdict_key(a) != verdict_key(b) {
+                failures.push(format!(
+                    "{}/{}: {label} verdicts differ: {} vs {}",
+                    design.name(),
+                    contract.name(),
+                    verdict_key(a),
+                    verdict_key(b)
+                ));
+            }
+        }
+        if warm_hits(&warm_rerun) == 0 {
+            failures.push(format!(
+                "{}/{}: warm rerun reports no warm hits",
+                design.name(),
+                contract.name()
+            ));
+        }
+        let json = warm_rerun.to_json();
+        if !json.contains("warm_hits") {
+            failures.push(format!(
+                "{}/{}: warm rerun JSON carries no solver block",
+                design.name(),
+                contract.name()
+            ));
+        }
+
+        cold_walls.push(cold_rerun.elapsed);
+        warm_walls.push(warm_rerun.elapsed);
+        speedups.push(speedup);
+        archived.push(warm_rerun);
+    }
+    speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = speedups[speedups.len() / 2];
+    println!(
+        "median: cold rerun {:.2}s vs warm rerun {:.2}s -> {median:.1}x (target >= 2x)",
+        median_duration(cold_walls).as_secs_f64(),
+        median_duration(warm_walls).as_secs_f64(),
     );
-    probe(
-        DesignKind::SimpleOoo(Defense::DelaySpectre),
-        Contract::ConstantTime,
-        12,
+    if median < 2.0 {
+        let msg = format!("median warm-start speedup {median:.1}x below the 2x floor");
+        if cfg!(debug_assertions) {
+            println!("WARNING (debug build, not gating): {msg}");
+        } else {
+            failures.push(msg);
+        }
+    }
+
+    println!();
+    println!("== part 3: depth escalation, warm vs cold (shallow query, then deeper) ==");
+    let (design, contract) = (DesignKind::InOrder, Contract::Sandboxing);
+    let (shallow, deep) = (bmc_depth(4), bmc_depth(6));
+    let _ = run_cell(design, contract, shallow, false);
+    let cold_deep = run_cell(design, contract, deep, false);
+    let _ = run_cell(design, contract, shallow, true);
+    let warm_deep = run_cell(design, contract, deep, true);
+    println!(
+        "{}/{} depth {shallow} -> {deep}: cold deep {:.2}s   warm deep {:.2}s   {:.1}x   warm_hits {}",
+        design.name(),
+        contract.name(),
+        cold_deep.elapsed.as_secs_f64(),
+        warm_deep.elapsed.as_secs_f64(),
+        cold_deep.elapsed.as_secs_f64() / warm_deep.elapsed.as_secs_f64().max(1e-9),
+        warm_hits(&warm_deep)
     );
+    if verdict_key(&cold_deep) != verdict_key(&warm_deep) {
+        failures.push(format!(
+            "escalation verdicts differ: cold {} vs warm {}",
+            verdict_key(&cold_deep),
+            verdict_key(&warm_deep)
+        ));
+    }
+
+    let campaign = CampaignReport {
+        reports: archived,
+        wall: wall.elapsed(),
+    };
+    write_reports(&campaign, &args);
+
+    if !failures.is_empty() {
+        println!();
+        for f in &failures {
+            println!("FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!();
+    println!("depthprobe: all checks passed");
 }

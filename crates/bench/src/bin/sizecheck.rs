@@ -19,7 +19,7 @@ fn show(label: &str, scheme: Scheme) {
         &csl_mc::PrepareConfig::on(),
         query.options().keep_probes,
     );
-    let ts = TransitionSystem::new(prepared.aig().clone(), false);
+    let ts = TransitionSystem::shared(prepared.aig().clone(), false);
     println!(
         "{label}: raw latches={} ands={} | prepared latches={} ands={} | COI {}",
         raw.aig.num_latches(),

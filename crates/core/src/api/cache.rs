@@ -165,6 +165,10 @@ pub(crate) fn options_fingerprint(h: &mut Fingerprint, opts: &CheckOptions) {
     h.bool(p.const_sweep);
     h.bool(p.dead_latches);
     h.bool(p.compact);
+    // Warm-start reuse cannot change a verdict, but it does change the
+    // solver-stats block of the report we would cache, so it is part of
+    // the key like every other knob.
+    h.bool(opts.warm_start);
     // Extra lanes (the fuzzing backend) hash through their labels: a
     // LaneFactory's label is required to change whenever the backend it
     // produces does (see its docs), so plan edits miss the cache.
@@ -348,6 +352,7 @@ mod tests {
                     .with(csl_mc::Lane::Bmc, csl_mc::LaneBudget::depths(&[2, 4])),
                 ..CheckOptions::default()
             },
+            CheckOptions::default().warm(true),
             CheckOptions::default().with_extra_lane(crate::fuzz::fuzz_lane(
                 csl_isa::IsaConfig::default(),
                 crate::fuzz::FuzzPlan::default(),
@@ -378,6 +383,7 @@ mod tests {
             exchange: vec![],
             prepare: vec![],
             fuzz: None,
+            solver: Vec::new(),
         };
         assert!(cache.load(1).is_none());
         cache.store(1, &report).unwrap();
@@ -407,6 +413,7 @@ mod tests {
             exchange: vec![],
             prepare: vec![],
             fuzz: None,
+            solver: Vec::new(),
         };
         let unbounded = ReportCache::new(&dir);
         // Three entries with strictly increasing (old) mtimes so the

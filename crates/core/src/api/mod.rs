@@ -147,6 +147,7 @@ pub struct Verifier {
     exchange: ExchangeConfig,
     prepare: PrepareConfig,
     fuzz: Option<FuzzPlan>,
+    warm_start: bool,
 }
 
 impl Default for Verifier {
@@ -172,6 +173,7 @@ impl Default for Verifier {
             exchange: opts.exchange,
             prepare: opts.prepare,
             fuzz: None,
+            warm_start: opts.warm_start,
         }
     }
 }
@@ -251,6 +253,18 @@ impl Verifier {
     /// Removes a previously configured fuzzing lane.
     pub fn no_fuzz(mut self) -> Verifier {
         self.fuzz = None;
+        self
+    }
+
+    /// Reuses solver sessions across engine calls and across repeated
+    /// checks on the same netlist (off by default): undecided BMC
+    /// unrollings and k-induction base/step pairs are parked in a
+    /// process-wide pool and resumed by the next structurally identical
+    /// query, skipping the re-encode/re-learn cost. Verdicts are
+    /// unaffected; per-lane warm-hit/miss counts land in the report's
+    /// `solver` block.
+    pub fn warm(mut self, on: bool) -> Verifier {
+        self.warm_start = on;
         self
     }
 
@@ -389,6 +403,7 @@ impl Verifier {
             lanes: self.budget.lanes.clone(),
             exchange: self.exchange.clone(),
             prepare: self.prepare.clone(),
+            warm_start: self.warm_start,
             extra_lanes: Vec::new(),
         }
     }

@@ -19,7 +19,8 @@ use std::time::Duration;
 use csl_contracts::Contract;
 use csl_hdl::xform::{PassStats, Shape};
 use csl_mc::{
-    CheckReport, ExchangeStats, FuzzStats, InconclusiveReason, Lane, ProofEngine, Trace, Verdict,
+    CheckReport, ExchangeStats, FuzzStats, InconclusiveReason, Lane, LaneSolverStats, ProofEngine,
+    Trace, Verdict,
 };
 
 use crate::api::json::{Json, JsonError};
@@ -78,6 +79,10 @@ pub struct Report {
     /// Fuzzing-lane campaign statistics (`None` when no fuzzing lane
     /// ran or the document predates the field).
     pub fuzz: Option<FuzzStats>,
+    /// Per-lane solver activity and warm-start hit/miss accounting
+    /// (empty when no SAT lane reported or the document predates the
+    /// field).
+    pub solver: Vec<LaneSolverStats>,
 }
 
 impl Report {
@@ -98,6 +103,7 @@ impl Report {
             exchange: check.exchange,
             prepare: check.prepare,
             fuzz: check.fuzz,
+            solver: check.solver,
         }
     }
 
@@ -176,6 +182,14 @@ impl Report {
         if let Some(fuzz) = &self.fuzz {
             pairs.push(("fuzz", fuzz_to_value(fuzz)));
         }
+        // Same convention for solver stats: written only when a SAT lane
+        // reported, so warm-start-free documents stay byte-identical.
+        if !self.solver.is_empty() {
+            pairs.push((
+                "solver",
+                Json::Arr(self.solver.iter().map(solver_to_value).collect()),
+            ));
+        }
         Json::obj(pairs)
     }
 
@@ -226,6 +240,14 @@ impl Report {
         // Absent in pre-fuzzing documents (and in every fuzz-free run):
         // lenient, like the exchange and prepare fields.
         let fuzz = v.get("fuzz").map(fuzz_from_value).transpose()?;
+        // Absent in pre-warm-start documents: lenient, like fuzz.
+        let solver = match v.get("solver").and_then(Json::as_arr) {
+            Some(items) => items
+                .iter()
+                .map(solver_from_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         Ok(Report {
             scheme,
             design,
@@ -236,6 +258,7 @@ impl Report {
             exchange,
             prepare,
             fuzz,
+            solver,
         })
     }
 }
@@ -282,6 +305,43 @@ fn fuzz_from_value(v: &Json) -> Result<FuzzStats, ReadError> {
         // Seeds round-trip through the signed JSON integer by casting.
         seed: count("seed")? as u64,
         lanes: usize_of("lanes")?,
+    })
+}
+
+fn solver_to_value(s: &LaneSolverStats) -> Json {
+    Json::obj(vec![
+        ("lane", Json::Str(s.lane.name().into())),
+        ("propagations", Json::Int(s.propagations as i64)),
+        ("conflicts", Json::Int(s.conflicts as i64)),
+        ("decisions", Json::Int(s.decisions as i64)),
+        ("restarts", Json::Int(s.restarts as i64)),
+        ("reduced_clauses", Json::Int(s.reduced_clauses as i64)),
+        ("warm_hits", Json::Int(s.warm_hits as i64)),
+        ("warm_misses", Json::Int(s.warm_misses as i64)),
+    ])
+}
+
+fn solver_from_value(v: &Json) -> Result<LaneSolverStats, ReadError> {
+    let lane = v
+        .get("lane")
+        .and_then(Json::as_str)
+        .and_then(Lane::from_name)
+        .ok_or_else(|| ReadError::Schema("bad solver lane".into()))?;
+    let count = |key: &str| -> Result<u64, ReadError> {
+        v.get(key)
+            .and_then(Json::as_int)
+            .and_then(|n| u64::try_from(n).ok())
+            .ok_or_else(|| ReadError::Schema(format!("bad solver {key}")))
+    };
+    Ok(LaneSolverStats {
+        lane,
+        propagations: count("propagations")?,
+        conflicts: count("conflicts")?,
+        decisions: count("decisions")?,
+        restarts: count("restarts")?,
+        reduced_clauses: count("reduced_clauses")?,
+        warm_hits: count("warm_hits")?,
+        warm_misses: count("warm_misses")?,
     })
 }
 
@@ -986,6 +1046,7 @@ mod tests {
                     seed: 0xF0_55,
                     lanes: 64,
                 }),
+                solver: Vec::new(),
             },
             Report {
                 scheme: Scheme::Leave,
@@ -997,6 +1058,7 @@ mod tests {
                 exchange: vec![],
                 prepare: vec![],
                 fuzz: None,
+                solver: Vec::new(),
             },
             Report {
                 scheme: Scheme::Upec,
@@ -1010,6 +1072,7 @@ mod tests {
                 exchange: vec![],
                 prepare: vec![],
                 fuzz: None,
+                solver: Vec::new(),
             },
             Report {
                 scheme: Scheme::Baseline,
@@ -1021,6 +1084,7 @@ mod tests {
                 exchange: vec![],
                 prepare: vec![],
                 fuzz: None,
+                solver: Vec::new(),
             },
             Report {
                 scheme: Scheme::Shadow,
@@ -1034,6 +1098,7 @@ mod tests {
                 exchange: vec![],
                 prepare: vec![],
                 fuzz: None,
+                solver: Vec::new(),
             },
         ]
     }
@@ -1108,6 +1173,47 @@ mod tests {
         let parsed = Report::from_json(&text).unwrap();
         assert_eq!(parsed, r);
         assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn solver_block_round_trips_and_stays_absent_when_empty() {
+        let base = sample_reports()[1].clone();
+        let without = base.to_json();
+        assert!(
+            !without.contains("solver"),
+            "reports with no solver stats must not write the block"
+        );
+
+        let mut r = base;
+        r.solver = vec![
+            LaneSolverStats {
+                lane: Lane::Bmc,
+                propagations: 123_456,
+                conflicts: 789,
+                decisions: 4321,
+                restarts: 7,
+                reduced_clauses: 2,
+                warm_hits: 1,
+                warm_misses: 0,
+            },
+            LaneSolverStats {
+                lane: Lane::KInduction,
+                propagations: 9,
+                conflicts: 0,
+                decisions: 3,
+                restarts: 0,
+                reduced_clauses: 0,
+                warm_hits: 0,
+                warm_misses: 1,
+            },
+        ];
+        let text = r.to_json();
+        let parsed = Report::from_json(&text).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json(), text);
+
+        // Pre-warm-start documents (no solver key) parse leniently.
+        assert!(Report::from_json(&without).unwrap().solver.is_empty());
     }
 
     #[test]

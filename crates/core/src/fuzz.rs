@@ -45,7 +45,7 @@
 //! measures the resulting trials/second against the scalar path.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use csl_hdl::{Aig, Init};
@@ -451,7 +451,7 @@ impl csl_mc::Backend for FuzzBackend {
 
     fn run(
         &self,
-        ts: &TransitionSystem,
+        ts: &Arc<TransitionSystem>,
         budget: Budget,
         _ctx: &mut csl_mc::SharedContext,
     ) -> EngineOutcome {

@@ -121,7 +121,7 @@ fn run_leave_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
     let start = Instant::now();
     let deadline = start + opts.total_budget;
     let budget = Budget::until(deadline);
-    let ts = TransitionSystem::new(task.aig.clone(), opts.keep_probes);
+    let ts = TransitionSystem::shared(task.aig.clone(), opts.keep_probes);
     let mut notes = vec![format!("netlist: {}", ts.summary())];
     match houdini(&ts, &task.candidates, budget) {
         HoudiniResult::Done(out) => {
@@ -150,6 +150,7 @@ fn run_leave_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 exchange: Vec::new(),
                 prepare: Vec::new(),
                 fuzz: None,
+                solver: Vec::new(),
             }
         }
         HoudiniResult::Timeout => CheckReport {
@@ -159,6 +160,7 @@ fn run_leave_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             exchange: Vec::new(),
             prepare: Vec::new(),
             fuzz: None,
+            solver: Vec::new(),
         },
     }
 }
@@ -176,7 +178,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
     let start = Instant::now();
     let deadline = start + opts.total_budget;
     let budget = || Budget::until(deadline);
-    let ts = TransitionSystem::new(task.aig.clone(), opts.keep_probes);
+    let ts = TransitionSystem::shared(task.aig.clone(), opts.keep_probes);
     let mut notes = vec![format!("netlist: {}", ts.summary())];
     match bmc(&ts, opts.bmc_depth, budget()) {
         BmcResult::Cex(trace) => {
@@ -189,6 +191,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 exchange: Vec::new(),
                 prepare: Vec::new(),
                 fuzz: None,
+                solver: Vec::new(),
             };
         }
         BmcResult::Clean { depth_checked } => {
@@ -202,6 +205,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 exchange: Vec::new(),
                 prepare: Vec::new(),
                 fuzz: None,
+                solver: Vec::new(),
             };
         }
     }
@@ -220,6 +224,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             exchange: Vec::new(),
             prepare: Vec::new(),
             fuzz: None,
+            solver: Vec::new(),
         },
         KindResult::Timeout => CheckReport {
             verdict: Verdict::Timeout,
@@ -228,6 +233,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             exchange: Vec::new(),
             prepare: Vec::new(),
             fuzz: None,
+            solver: Vec::new(),
         },
         _ => CheckReport {
             // UPEC's conservative-defence invariant shape admits only
@@ -240,6 +246,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             exchange: Vec::new(),
             prepare: Vec::new(),
             fuzz: None,
+            solver: Vec::new(),
         },
     }
 }

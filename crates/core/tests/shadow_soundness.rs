@@ -28,7 +28,7 @@ fn fifo_overflow_unreachable_with_sync() {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts = TransitionSystem::new(task.aig().clone(), false);
+    let ts = TransitionSystem::shared(task.aig().clone(), false);
     let depth = if cfg!(debug_assertions) { 7 } else { 10 };
     match bmc(&ts, depth, short_budget(240)) {
         BmcResult::Cex(trace) => {
@@ -76,7 +76,7 @@ fn no_drain_ablation_yields_false_attacks() {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts = TransitionSystem::new(task.aig().clone(), false);
+    let ts = TransitionSystem::shared(task.aig().clone(), false);
     let BmcResult::Cex(good) = bmc(&ts, depth, short_budget(240)) else {
         panic!("expected the genuine attack");
     };
@@ -99,7 +99,7 @@ fn no_drain_ablation_yields_false_attacks() {
         .query()
         .expect("design and contract are set")
         .instance();
-    let ts2 = TransitionSystem::new(task2.aig().clone(), false);
+    let ts2 = TransitionSystem::shared(task2.aig().clone(), false);
     match bmc(&ts2, good.depth().saturating_sub(1), short_budget(240)) {
         BmcResult::Cex(bad_cex) => {
             // The weakened assertion admits a superset of traces. Whatever

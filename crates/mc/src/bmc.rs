@@ -7,7 +7,9 @@
 //! pair that satisfies the contract constraint check yet produces divergent
 //! microarchitectural observations.
 
-use csl_sat::{Budget, SolveResult};
+use std::sync::Arc;
+
+use csl_sat::{Budget, SolveResult, SolverStats};
 
 use crate::exchange::{ExchangeItem, SharedContext, SharedInvariant, SharedLemma};
 use crate::lane::Lane;
@@ -46,7 +48,7 @@ impl BmcResult {
 }
 
 /// Runs BMC from depth 0 to `max_depth` (inclusive) under `budget`.
-pub fn bmc(ts: &TransitionSystem, max_depth: usize, budget: Budget) -> BmcResult {
+pub fn bmc(ts: &Arc<TransitionSystem>, max_depth: usize, budget: Budget) -> BmcResult {
     bmc_with(
         ts,
         max_depth,
@@ -67,79 +69,175 @@ pub fn bmc(ts: &TransitionSystem, max_depth: usize, budget: Budget) -> BmcResult
 /// `memory` is the caller's bus memory: imports accumulate there so a
 /// depth-schedule walk can re-assert them in each step's fresh unroller.
 pub fn bmc_with(
-    ts: &TransitionSystem,
+    ts: &Arc<TransitionSystem>,
     max_depth: usize,
     budget: Budget,
     ctx: &mut SharedContext,
     memory: &mut BusMemory,
 ) -> BmcResult {
-    let mut u = Unroller::new(ts, InitMode::Reset);
-    u.set_budget(budget.clone());
-    if let Some(exporter) = ctx.clause_exporter() {
-        let policy = ctx
-            .config()
-            .expect("exporter implies a bus")
-            .export_policy();
-        u.enable_clause_export(exporter, policy);
+    let mut session = BmcSession::new(ts);
+    std::mem::swap(&mut session.memory, memory);
+    let result = session.run_to(max_depth, budget, ctx);
+    std::mem::swap(&mut session.memory, memory);
+    result
+}
+
+/// A persistent BMC solving session: one reset-initialised [`Unroller`]
+/// whose learnt clauses, blocked-depth units and imported bus facts
+/// survive across [`BmcSession::run_to`] calls. This is the warm-start
+/// primitive for the attack-finding lane — a progressive depth schedule
+/// continues where the previous step stopped instead of re-unrolling
+/// from frame 0, and a parked session checked back out of the
+/// [`crate::warm::WarmPool`] resumes a *later query* the same way.
+///
+/// # Soundness
+/// Everything the session retains between runs is a consequence of the
+/// reset-initialised unrolling of its [`TransitionSystem`]: learnt
+/// clauses, the `!bad(k)` units added after each UNSAT depth, and bus
+/// lemmas/invariants (implied facts about the same netlist, per the
+/// exchange rules). None of it is query-specific, so re-running at any
+/// depth returns the verdict a fresh solver would — depths at or below
+/// [`BmcSession::clean_to`] are *proven* clean and answered without
+/// solving.
+pub struct BmcSession {
+    u: Unroller,
+    memory: BusMemory,
+    clean_to: Option<usize>,
+}
+
+impl BmcSession {
+    /// A fresh session over `ts` with nothing checked yet.
+    pub fn new(ts: &Arc<TransitionSystem>) -> BmcSession {
+        BmcSession {
+            u: Unroller::new(ts, InitMode::Reset),
+            memory: BusMemory::default(),
+            clean_to: None,
+        }
     }
-    let mut checked: Option<usize> = None;
-    for k in 0..=max_depth {
-        if budget.out_of_time() {
-            return BmcResult::Timeout {
-                depth_checked: checked,
-            };
+
+    /// Deepest depth proven counterexample-free so far.
+    pub fn clean_to(&self) -> Option<usize> {
+        self.clean_to
+    }
+
+    /// The transition system this session encodes.
+    pub fn ts(&self) -> &Arc<TransitionSystem> {
+        self.u.ts()
+    }
+
+    /// Cumulative statistics of the session's solver (across all runs).
+    pub fn solver_stats(&self) -> SolverStats {
+        self.u.solver.stats
+    }
+
+    /// Garbage the session's solver is dragging along (see
+    /// [`csl_sat::Solver::wasted_literals`]); the pool's park-hygiene
+    /// input.
+    pub fn wasted_literals(&self) -> usize {
+        self.u.solver.wasted_literals()
+    }
+
+    /// Detaches the session from its check's exchange bus so it can be
+    /// parked: the export hook holds a [`crate::exchange::ClauseExporter`]
+    /// whose frame horizons belong to the ending check, and clauses
+    /// learnt during a later run must not be published through it.
+    pub fn prepare_for_park(&mut self) {
+        self.u.disable_clause_export();
+    }
+
+    /// Checks depths up to `max_depth` (inclusive), resuming after the
+    /// deepest depth already proven clean. Re-arms clause export against
+    /// `ctx`'s bus for this run (and only this run). A re-query at or
+    /// below [`BmcSession::clean_to`] is answered `Clean` without
+    /// touching the solver.
+    pub fn run_to(
+        &mut self,
+        max_depth: usize,
+        budget: Budget,
+        ctx: &mut SharedContext,
+    ) -> BmcResult {
+        let u = &mut self.u;
+        u.set_budget(budget.clone());
+        u.disable_clause_export();
+        if let Some(exporter) = ctx.clause_exporter() {
+            let policy = ctx
+                .config()
+                .expect("exporter implies a bus")
+                .export_policy();
+            u.enable_clause_export(exporter, policy);
         }
-        u.assert_assumes_through(k);
-        for item in ctx.poll() {
-            match &*item {
-                ExchangeItem::Lemma(l) => {
-                    // Catch the new lemma up on the frames already
-                    // encoded; frame `k` is covered by the sweep below.
-                    for f in 0..k {
-                        u.assert_lemma_at(l.bit, f);
-                    }
-                    memory.lemmas.push(l.clone());
-                    ctx.note_imported(1);
-                }
-                ExchangeItem::Invariant(inv) => {
-                    for f in 0..k {
-                        u.assert_clause_at(&inv.lits, f);
-                    }
-                    memory.invariants.push(inv.clone());
-                    ctx.note_imported(1);
-                }
-                ExchangeItem::Clause(_) => {}
-            }
-        }
-        for l in memory.lemmas.iter() {
-            u.assert_lemma_at(l.bit, k);
-        }
-        for inv in memory.invariants.iter() {
-            u.assert_clause_at(&inv.lits, k);
-        }
-        let bad = u.bad_any_at(k);
-        match u.solve_with(&[bad]) {
-            SolveResult::Sat => {
-                let name = u
-                    .fired_bad_name(k)
-                    .unwrap_or_else(|| "<unknown bad>".to_string());
-                let trace = u.extract_trace(k + 1, name);
-                return BmcResult::Cex(Box::new(trace));
-            }
-            SolveResult::Unsat => {
-                checked = Some(k);
-                // Block this depth's bad permanently: helps the next depths.
-                u.solver.add_clause(&[!bad]);
-            }
-            SolveResult::Canceled => {
-                return BmcResult::Timeout {
-                    depth_checked: checked,
+        let start = match self.clean_to {
+            Some(c) if c >= max_depth => {
+                // Every depth <= max_depth carries a `!bad` unit already:
+                // answer what a fresh solver would, without solving.
+                return BmcResult::Clean {
+                    depth_checked: max_depth,
                 };
             }
+            Some(c) => c + 1,
+            None => 0,
+        };
+        for k in start..=max_depth {
+            if budget.out_of_time() {
+                return BmcResult::Timeout {
+                    depth_checked: self.clean_to,
+                };
+            }
+            u.assert_assumes_through(k);
+            for item in ctx.poll() {
+                match &*item {
+                    ExchangeItem::Lemma(l) => {
+                        // Catch the new lemma up on the frames already
+                        // encoded; frame `k` is covered by the sweep below.
+                        for f in 0..k {
+                            u.assert_lemma_at(l.bit, f);
+                        }
+                        self.memory.lemmas.push(l.clone());
+                        ctx.note_imported(1);
+                    }
+                    ExchangeItem::Invariant(inv) => {
+                        for f in 0..k {
+                            u.assert_clause_at(&inv.lits, f);
+                        }
+                        self.memory.invariants.push(inv.clone());
+                        ctx.note_imported(1);
+                    }
+                    ExchangeItem::Clause(_) => {}
+                }
+            }
+            for l in self.memory.lemmas.iter() {
+                u.assert_lemma_at(l.bit, k);
+            }
+            for inv in self.memory.invariants.iter() {
+                u.assert_clause_at(&inv.lits, k);
+            }
+            let bad = u.bad_any_at(k);
+            match u.solve_with(&[bad]) {
+                SolveResult::Sat => {
+                    let name = u
+                        .fired_bad_name(k)
+                        .unwrap_or_else(|| "<unknown bad>".to_string());
+                    let trace = u.extract_trace(k + 1, name);
+                    return BmcResult::Cex(Box::new(trace));
+                }
+                SolveResult::Unsat => {
+                    self.clean_to = Some(k);
+                    // Block this depth's bad permanently: helps the next
+                    // depths — and answers warm re-queries at this depth.
+                    u.solver.add_clause(&[!bad]);
+                }
+                SolveResult::Canceled => {
+                    return BmcResult::Timeout {
+                        depth_checked: self.clean_to,
+                    };
+                }
+            }
         }
-    }
-    BmcResult::Clean {
-        depth_checked: checked.expect("max_depth >= 0 always checks frame 0"),
+        BmcResult::Clean {
+            depth_checked: self
+                .clean_to
+                .expect("loop ran to max_depth, so some depth was checked"),
+        }
     }
 }
 
@@ -151,14 +249,14 @@ mod tests {
     use std::time::Instant;
 
     /// Counter that reaches the bad value `target` after `target` cycles.
-    fn counter_design(width: usize, target: u64) -> TransitionSystem {
+    fn counter_design(width: usize, target: u64) -> Arc<TransitionSystem> {
         let mut d = Design::new("counter");
         let c = d.reg("c", width, Init::Zero);
         let nxt = d.add_const(&c.q(), 1);
         d.set_next(&c, nxt);
         let hit = d.eq_const(&c.q(), target);
         d.assert_always("no_hit", hit.not());
-        TransitionSystem::new(d.finish(), false)
+        TransitionSystem::shared(d.finish(), false)
     }
 
     #[test]
@@ -197,7 +295,7 @@ mod tests {
         let hit = d.eq_const(&c.q(), 2);
         d.assert_always("no2", hit.not());
         d.assume(x.not());
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match bmc(&ts, 10, Budget::unlimited()) {
             BmcResult::Clean { .. } => {}
             other => panic!("expected clean, got {other:?}"),
@@ -212,7 +310,7 @@ mod tests {
         d.hold(&r);
         let hit = d.eq_const(&r.q(), 9);
         d.assert_always("no9", hit.not());
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match bmc(&ts, 0, Budget::unlimited()) {
             BmcResult::Cex(t) => {
                 assert_eq!(t.depth(), 1);
@@ -244,7 +342,7 @@ mod tests {
         d.set_next(&t, nxt);
         let fire = d.and_bit(at2, x);
         d.assert_always("no_fire", fire.not());
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match bmc(&ts, 8, Budget::unlimited()) {
             BmcResult::Cex(tr) => {
                 assert_eq!(tr.depth(), 3);

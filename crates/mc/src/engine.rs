@@ -20,12 +20,12 @@ use csl_hdl::xform::PassStats;
 use csl_hdl::Aig;
 use csl_sat::Budget;
 
-use crate::bmc::{bmc, BmcResult};
+use crate::bmc::{BmcResult, BmcSession};
 use crate::exchange::{ExchangeConfig, ExchangeStats, SharedContext};
 use crate::houdini::{houdini, Candidate, HoudiniResult};
-use crate::kind::{k_induction, KindOptions, KindResult};
+use crate::kind::{KindResult, KindSession};
 use crate::lane::{Lane, LanePlan};
-use crate::pdr::{pdr, PdrOptions, PdrResult};
+use crate::pdr::{pdr_with_stats, PdrOptions, PdrResult};
 use crate::portfolio::{
     race, BmcBackend, EngineOutcome, HoudiniBackend, KindBackend, LaneFactory, LaneSpec, PdrBackend,
 };
@@ -33,6 +33,7 @@ use crate::prepare::{run_prepared, PrepareConfig};
 use crate::sim::Sim;
 use crate::trace::Trace;
 use crate::ts::TransitionSystem;
+use crate::warm::{LaneSolverStats, WarmPool};
 
 /// Which engine completed an unbounded proof.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -220,6 +221,15 @@ pub struct CheckOptions {
     /// the raw instance). Attack traces are lifted back to the raw
     /// netlist's vocabulary before they leave [`check_safety`].
     pub prepare: PrepareConfig,
+    /// Reuse solver sessions across engine calls: BMC unrollings and
+    /// k-induction base/step pairs that end undecided are parked in the
+    /// process-wide [`WarmPool`] and resumed by the next check on a
+    /// structurally identical netlist, so depth/budget escalations and
+    /// repeated queries skip the re-encode/re-learn cost. Verdicts are
+    /// unaffected (see `crate::warm` for the soundness argument); the
+    /// per-lane hit/miss accounting lands in [`CheckReport::solver`].
+    /// Off by default.
+    pub warm_start: bool,
     /// Additional attack-finding lanes beyond the built-in engines —
     /// the seam through which the differential-fuzzing backend (and any
     /// other caller-supplied [`crate::Backend`]) joins the check. In
@@ -244,6 +254,7 @@ impl Default for CheckOptions {
             lanes: LanePlan::default(),
             exchange: ExchangeConfig::default(),
             prepare: PrepareConfig::default(),
+            warm_start: false,
             extra_lanes: Vec::new(),
         }
     }
@@ -266,6 +277,13 @@ impl CheckOptions {
     /// (builder style).
     pub fn with_prepare(mut self, prepare: PrepareConfig) -> CheckOptions {
         self.prepare = prepare;
+        self
+    }
+
+    /// The same options with warm-start session reuse enabled
+    /// (builder style) — see [`CheckOptions::warm_start`].
+    pub fn warm(mut self, warm_start: bool) -> CheckOptions {
+        self.warm_start = warm_start;
         self
     }
 
@@ -300,10 +318,42 @@ pub struct CheckReport {
     /// Fuzzing-lane campaign statistics (`None` when no fuzzing lane
     /// ran — the default).
     pub fuzz: Option<FuzzStats>,
+    /// Per-lane solver activity and warm-start accounting, in pipeline
+    /// order (empty when no SAT lane reported — e.g. a fuzz-only check).
+    pub solver: Vec<LaneSolverStats>,
+}
+
+/// Folds a lane-run's stats into `acc`: merged into an existing entry
+/// for the same lane (sequential mode can run one lane several times —
+/// e.g. BMC phase 1 plus the PDR counterexample reconstruction), pushed
+/// otherwise. Keeps `acc` in stable pipeline order for byte-stable
+/// reports.
+fn record_solver_stats(acc: &mut Vec<LaneSolverStats>, stats: LaneSolverStats) {
+    match acc.iter_mut().find(|s| s.lane == stats.lane) {
+        Some(existing) => existing.absorb(&stats),
+        None => acc.push(stats),
+    }
+    acc.sort_by_key(|s| Lane::ALL.iter().position(|l| *l == s.lane));
 }
 
 fn remaining_budget(deadline: Instant) -> Budget {
     Budget::until(deadline)
+}
+
+/// Checks out a warm session or builds a cold one, with `(hits, misses)`
+/// warm-start accounting (both zero when `warm` is off).
+fn checkout_or_build<S>(
+    warm: bool,
+    checkout: impl FnOnce() -> Option<S>,
+    build: impl FnOnce() -> S,
+) -> (S, u64, u64) {
+    if !warm {
+        return (build(), 0, 0);
+    }
+    match checkout() {
+        Some(s) => (s, 1, 0),
+        None => (build(), 0, 1),
+    }
 }
 
 /// Runs the engine pipeline, sequentially or as a portfolio race
@@ -350,10 +400,11 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
         LaneSpec::new(backend, opts.lanes.deadline_for(lane, start, deadline))
             .exchange(xc.import, xc.export)
     };
-    let mut engines: Vec<LaneSpec> = vec![lane_spec(Box::new(BmcBackend {
-        depth: opts.bmc_depth,
-        schedule: opts.lanes.get(Lane::Bmc).depth_schedule.clone(),
-    }))];
+    let mut engines: Vec<LaneSpec> = vec![lane_spec(Box::new(
+        BmcBackend::new(opts.bmc_depth)
+            .schedule(opts.lanes.get(Lane::Bmc).depth_schedule.clone())
+            .warm(opts.warm_start),
+    ))];
     // Extra attack-finding lanes (fuzzing) race in every mode, including
     // attack-only: like BMC they hunt counterexamples, never proofs.
     for factory in &opts.extra_lanes {
@@ -361,25 +412,28 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
     }
     if !opts.attack_only {
         if opts.kind_max_k > 0 {
-            engines.push(lane_spec(Box::new(KindBackend {
-                max_k: opts.kind_max_k,
-            })));
+            engines.push(lane_spec(Box::new(
+                KindBackend::new(opts.kind_max_k).warm(opts.warm_start),
+            )));
         }
         if opts.use_pdr {
-            engines.push(lane_spec(Box::new(PdrBackend {
-                max_frames: opts.pdr_max_frames,
-                bmc_depth: opts.bmc_depth,
-            })));
+            engines.push(lane_spec(Box::new(PdrBackend::new(
+                opts.pdr_max_frames,
+                opts.bmc_depth,
+            ))));
         }
         if !task.candidates.is_empty() {
-            engines.push(lane_spec(Box::new(HoudiniBackend {
-                candidates: task.candidates.clone(),
-                base_aig: task.aig.clone(),
-                keep_probes: opts.keep_probes,
-                kind_max_k: opts.kind_max_k,
-                pdr_max_frames: if opts.use_pdr { opts.pdr_max_frames } else { 0 },
-                bmc_depth: opts.bmc_depth,
-            })));
+            engines.push(lane_spec(Box::new(
+                HoudiniBackend::new(
+                    task.candidates.clone(),
+                    task.aig.clone(),
+                    opts.keep_probes,
+                    opts.kind_max_k,
+                    if opts.use_pdr { opts.pdr_max_frames } else { 0 },
+                    opts.bmc_depth,
+                )
+                .warm(opts.warm_start),
+            )));
         }
     }
     notes.push(format!(
@@ -402,9 +456,13 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
     let mut proof: Option<ProofEngine> = None;
     let mut timed_out = false;
     let mut fuzz: Option<FuzzStats> = None;
+    let mut solver: Vec<LaneSolverStats> = Vec::new();
     for lane in report.lanes {
         if fuzz.is_none() {
             fuzz = lane.fuzz.clone();
+        }
+        if let Some(s) = lane.solver {
+            record_solver_stats(&mut solver, s);
         }
         let traffic = if opts.exchange.enabled {
             format!(" (imports {}, exports {})", lane.imports, lane.exports)
@@ -470,6 +528,7 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
         exchange,
         prepare: Vec::new(),
         fuzz,
+        solver,
     }
 }
 
@@ -478,8 +537,10 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
 /// whichever report the pipeline eventually returns.
 fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
     let mut fuzz = None;
-    let mut report = check_safety_sequential_inner(task, opts, &mut fuzz);
+    let mut solver = Vec::new();
+    let mut report = check_safety_sequential_inner(task, opts, &mut fuzz, &mut solver);
     report.fuzz = fuzz;
+    report.solver = solver;
     report
 }
 
@@ -487,12 +548,13 @@ fn check_safety_sequential_inner(
     task: &SafetyCheck,
     opts: &CheckOptions,
     fuzz: &mut Option<FuzzStats>,
+    solver: &mut Vec<LaneSolverStats>,
 ) -> CheckReport {
     let start = Instant::now();
     let deadline = start + opts.total_budget;
     let mut notes = Vec::new();
 
-    let ts = TransitionSystem::new(task.aig.clone(), opts.keep_probes);
+    let ts = TransitionSystem::shared(task.aig.clone(), opts.keep_probes);
     notes.push(format!("netlist: {}", ts.summary()));
 
     // A lane's phase runs until its own wall cap (if any), clipped to the
@@ -513,6 +575,9 @@ fn check_safety_sequential_inner(
         if fuzz.is_none() {
             *fuzz = backend.fuzz_stats();
         }
+        if let Some(s) = backend.solver_stats() {
+            record_solver_stats(solver, s);
+        }
         match outcome {
             EngineOutcome::Attack(trace) => {
                 notes.push(format!(
@@ -527,6 +592,7 @@ fn check_safety_sequential_inner(
                     exchange: Vec::new(),
                     prepare: Vec::new(),
                     fuzz: None,
+                    solver: Vec::new(),
                 };
             }
             EngineOutcome::Proof(p) => {
@@ -537,6 +603,7 @@ fn check_safety_sequential_inner(
                     exchange: Vec::new(),
                     prepare: Vec::new(),
                     fuzz: None,
+                    solver: Vec::new(),
                 };
             }
             EngineOutcome::Inconclusive(reason) => {
@@ -554,6 +621,7 @@ fn check_safety_sequential_inner(
                         exchange: Vec::new(),
                         prepare: Vec::new(),
                         fuzz: None,
+                        solver: Vec::new(),
                     };
                 } else {
                     notes.push(format!("{} stopped early; continuing", backend.name()));
@@ -570,7 +638,28 @@ fn check_safety_sequential_inner(
         .last()
         .copied()
         .unwrap_or(opts.bmc_depth);
-    match bmc(&ts, bmc_depth, lane_budget(Lane::Bmc)) {
+    let pool = WarmPool::global();
+    let (mut bmc_session, bmc_hits, bmc_misses) = checkout_or_build(
+        opts.warm_start,
+        || pool.checkout_bmc(ts.fingerprint()),
+        || BmcSession::new(&ts),
+    );
+    let bmc_snapshot = bmc_session.solver_stats();
+    let bmc_result = bmc_session.run_to(
+        bmc_depth,
+        lane_budget(Lane::Bmc),
+        &mut SharedContext::disabled(Lane::Bmc),
+    );
+    {
+        let mut st = LaneSolverStats::delta(Lane::Bmc, bmc_snapshot, bmc_session.solver_stats());
+        st.warm_hits = bmc_hits;
+        st.warm_misses = bmc_misses;
+        record_solver_stats(solver, st);
+    }
+    if opts.warm_start && !matches!(bmc_result, BmcResult::Cex(_)) {
+        pool.park_bmc(bmc_session);
+    }
+    match bmc_result {
         BmcResult::Cex(trace) => {
             let (assumes_ok, bad) = Sim::new(ts.aig()).replay(&trace);
             if !(assumes_ok && bad) {
@@ -588,6 +677,7 @@ fn check_safety_sequential_inner(
                 exchange: Vec::new(),
                 prepare: Vec::new(),
                 fuzz: None,
+                solver: Vec::new(),
             };
         }
         BmcResult::Clean { depth_checked } => {
@@ -607,6 +697,7 @@ fn check_safety_sequential_inner(
                     exchange: Vec::new(),
                     prepare: Vec::new(),
                     fuzz: None,
+                    solver: Vec::new(),
                 };
             }
         }
@@ -623,6 +714,7 @@ fn check_safety_sequential_inner(
             exchange: Vec::new(),
             prepare: Vec::new(),
             fuzz: None,
+            solver: Vec::new(),
         };
     }
 
@@ -647,6 +739,7 @@ fn check_safety_sequential_inner(
                         exchange: Vec::new(),
                         prepare: Vec::new(),
                         fuzz: None,
+                        solver: Vec::new(),
                     };
                 }
                 // Conjoin surviving invariants as constraints for the
@@ -667,23 +760,42 @@ fn check_safety_sequential_inner(
                         exchange: Vec::new(),
                         prepare: Vec::new(),
                         fuzz: None,
+                        solver: Vec::new(),
                     };
                 }
             }
         }
     }
-    let proof_ts = TransitionSystem::new(proof_aig, opts.keep_probes);
+    let proof_ts = TransitionSystem::shared(proof_aig, opts.keep_probes);
 
     // ---- phase 3: k-induction ----------------------------------------------
     if opts.kind_max_k > 0 {
-        match k_induction(
-            &proof_ts,
-            KindOptions {
-                max_k: opts.kind_max_k,
-                unique_states: false,
-                budget: lane_budget(Lane::KInduction),
-            },
-        ) {
+        let (mut kind_session, kind_hits, kind_misses) = checkout_or_build(
+            opts.warm_start,
+            || pool.checkout_kind(proof_ts.fingerprint(), false),
+            || KindSession::new(&proof_ts, false),
+        );
+        let kind_snapshot = kind_session.solver_stats();
+        let kind_result = kind_session.run_to(
+            opts.kind_max_k,
+            lane_budget(Lane::KInduction),
+            &mut SharedContext::disabled(Lane::KInduction),
+        );
+        {
+            let mut st = LaneSolverStats::delta(
+                Lane::KInduction,
+                kind_snapshot,
+                kind_session.solver_stats(),
+            );
+            st.warm_hits = kind_hits;
+            st.warm_misses = kind_misses;
+            record_solver_stats(solver, st);
+        }
+        // Parking discipline (see crate::warm): Unknown outcomes only.
+        if opts.warm_start && matches!(kind_result, KindResult::Unknown { .. }) {
+            pool.park_kind(kind_session);
+        }
+        match kind_result {
             KindResult::Proof { k } => {
                 return CheckReport {
                     verdict: Verdict::Proof(ProofEngine::KInduction { k }),
@@ -692,6 +804,7 @@ fn check_safety_sequential_inner(
                     exchange: Vec::new(),
                     prepare: Vec::new(),
                     fuzz: None,
+                    solver: Vec::new(),
                 };
             }
             KindResult::Cex(trace) => {
@@ -710,6 +823,7 @@ fn check_safety_sequential_inner(
                         exchange: Vec::new(),
                         prepare: Vec::new(),
                         fuzz: None,
+                        solver: Vec::new(),
                     };
                 }
                 notes.push("k-induction base cex failed replay; ignoring".into());
@@ -729,6 +843,7 @@ fn check_safety_sequential_inner(
                         exchange: Vec::new(),
                         prepare: Vec::new(),
                         fuzz: None,
+                        solver: Vec::new(),
                     };
                 }
             }
@@ -737,13 +852,16 @@ fn check_safety_sequential_inner(
 
     // ---- phase 4: PDR --------------------------------------------------------
     if opts.use_pdr {
-        match pdr(
+        let (pdr_result, pdr_raw) = pdr_with_stats(
             &proof_ts,
             PdrOptions {
                 max_frames: opts.pdr_max_frames,
                 budget: lane_budget(Lane::Pdr),
             },
-        ) {
+            &mut SharedContext::disabled(Lane::Pdr),
+        );
+        record_solver_stats(solver, LaneSolverStats::cold(Lane::Pdr, pdr_raw));
+        match pdr_result {
             PdrResult::Proof {
                 frames,
                 invariant_clauses,
@@ -758,13 +876,41 @@ fn check_safety_sequential_inner(
                     exchange: Vec::new(),
                     prepare: Vec::new(),
                     fuzz: None,
+                    solver: Vec::new(),
                 };
             }
             PdrResult::Cex { depth_hint } => {
                 notes.push(format!("pdr reports cex near depth {depth_hint}"));
-                // Regenerate a concrete trace with BMC beyond the earlier bound.
+                // Regenerate a concrete trace with BMC beyond the earlier
+                // bound — on the warm path this resumes the phase-1
+                // session (parked clean at `bmc_depth`) instead of
+                // re-unrolling from frame 0.
                 let deep = depth_hint.max(opts.bmc_depth + 1) + 8;
-                if let BmcResult::Cex(trace) = bmc(&ts, deep, remaining_budget(deadline)) {
+                let (mut deep_session, deep_hits, deep_misses) = checkout_or_build(
+                    opts.warm_start,
+                    || pool.checkout_bmc(ts.fingerprint()),
+                    || BmcSession::new(&ts),
+                );
+                let deep_snapshot = deep_session.solver_stats();
+                let deep_result = deep_session.run_to(
+                    deep,
+                    remaining_budget(deadline),
+                    &mut SharedContext::disabled(Lane::Bmc),
+                );
+                {
+                    let mut st = LaneSolverStats::delta(
+                        Lane::Bmc,
+                        deep_snapshot,
+                        deep_session.solver_stats(),
+                    );
+                    st.warm_hits = deep_hits;
+                    st.warm_misses = deep_misses;
+                    record_solver_stats(solver, st);
+                }
+                if opts.warm_start && !matches!(deep_result, BmcResult::Cex(_)) {
+                    pool.park_bmc(deep_session);
+                }
+                if let BmcResult::Cex(trace) = deep_result {
                     let (assumes_ok, bad) = Sim::new(ts.aig()).replay(&trace);
                     if assumes_ok && bad {
                         return CheckReport {
@@ -774,6 +920,7 @@ fn check_safety_sequential_inner(
                             exchange: Vec::new(),
                             prepare: Vec::new(),
                             fuzz: None,
+                            solver: Vec::new(),
                         };
                     }
                 }
@@ -785,6 +932,7 @@ fn check_safety_sequential_inner(
                     exchange: Vec::new(),
                     prepare: Vec::new(),
                     fuzz: None,
+                    solver: Vec::new(),
                 };
             }
             PdrResult::Timeout => {
@@ -799,6 +947,7 @@ fn check_safety_sequential_inner(
                         exchange: Vec::new(),
                         prepare: Vec::new(),
                         fuzz: None,
+                        solver: Vec::new(),
                     };
                 }
             }
@@ -817,6 +966,7 @@ fn check_safety_sequential_inner(
         exchange: Vec::new(),
         prepare: Vec::new(),
         fuzz: None,
+        solver: Vec::new(),
     }
 }
 

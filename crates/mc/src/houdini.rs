@@ -11,6 +11,8 @@
 //! §8 observation that shadow-logic constraints act as invariants.
 
 use csl_hdl::Bit;
+use std::sync::Arc;
+
 use csl_sat::{Budget, Lit, SolveResult};
 
 use crate::ts::TransitionSystem;
@@ -47,7 +49,11 @@ pub struct HoudiniOutcome {
 }
 
 /// Runs the Houdini fixpoint. See the module docs.
-pub fn houdini(ts: &TransitionSystem, candidates: &[Candidate], budget: Budget) -> HoudiniResult {
+pub fn houdini(
+    ts: &Arc<TransitionSystem>,
+    candidates: &[Candidate],
+    budget: Budget,
+) -> HoudiniResult {
     houdini_with(ts, candidates, budget, None)
 }
 
@@ -63,7 +69,7 @@ pub type SurvivorStream<'s> = &'s mut dyn FnMut(usize, &Candidate);
 /// portfolio's Houdini lane uses this to stream lemmas onto the exchange
 /// bus while it keeps working.
 pub fn houdini_with(
-    ts: &TransitionSystem,
+    ts: &Arc<TransitionSystem>,
     candidates: &[Candidate],
     budget: Budget,
     mut on_proven: Option<SurvivorStream<'_>>,
@@ -176,7 +182,7 @@ mod tests {
             name: "a==b".into(),
             bit: eq,
         };
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match houdini(&ts, &[cand], Budget::unlimited()) {
             HoudiniResult::Done(o) => {
                 assert_eq!(o.survivors, vec![0]);
@@ -200,7 +206,7 @@ mod tests {
             name: "a==b".into(),
             bit: eq,
         };
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match houdini(&ts, &[cand], Budget::unlimited()) {
             HoudiniResult::Done(o) => {
                 assert!(o.survivors.is_empty());
@@ -231,7 +237,7 @@ mod tests {
             name: "a==b".into(),
             bit: eq,
         };
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match houdini(&ts, &[cand], Budget::unlimited()) {
             HoudiniResult::Done(o) => {
                 assert!(o.survivors.is_empty());
@@ -264,7 +270,7 @@ mod tests {
             name: "a==b".into(),
             bit: eq,
         };
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match houdini(&ts, &[cand], Budget::unlimited()) {
             HoudiniResult::Done(o) => {
                 assert_eq!(o.survivors, vec![0]);

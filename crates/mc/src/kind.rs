@@ -7,8 +7,10 @@
 //! increasing `k`. Optional unique-states ("simple path") constraints make
 //! the method complete for finite systems at the cost of quadratic clauses.
 
+use std::sync::Arc;
+
 use csl_hdl::Bit;
-use csl_sat::{Budget, Lit, SolveResult};
+use csl_sat::{Budget, Lit, SolveResult, SolverStats};
 
 use crate::exchange::{ExchangeItem, SharedClause, SharedContext, SharedInvariant};
 use crate::lane::Lane;
@@ -50,7 +52,7 @@ impl Default for KindOptions {
 }
 
 /// Runs k-induction for `k = 1..=max_k`.
-pub fn k_induction(ts: &TransitionSystem, opts: KindOptions) -> KindResult {
+pub fn k_induction(ts: &Arc<TransitionSystem>, opts: KindOptions) -> KindResult {
     k_induction_with(ts, opts, &mut SharedContext::disabled(Lane::KInduction))
 }
 
@@ -75,143 +77,271 @@ pub fn k_induction(ts: &TransitionSystem, opts: KindOptions) -> KindResult {
 /// `0..max_k-1`" units, so any shallower re-query would be vacuously
 /// UNSAT and report a false proof.
 pub fn k_induction_with(
-    ts: &TransitionSystem,
+    ts: &Arc<TransitionSystem>,
     opts: KindOptions,
     ctx: &mut SharedContext,
 ) -> KindResult {
-    let mut base = Unroller::new(ts, InitMode::Reset);
-    base.set_budget(opts.budget.clone());
-    let mut step = Unroller::new(ts, InitMode::Free);
-    step.set_budget(opts.budget.clone());
-    let mut lemmas: Vec<Bit> = Vec::new();
-    let mut invs: Vec<SharedInvariant> = Vec::new();
-    let mut pending: Vec<SharedClause> = Vec::new();
+    let mut session = KindSession::new(ts, opts.unique_states);
+    session.run_to(opts.max_k, opts.budget, ctx)
+}
+
+/// A persistent k-induction session: the reset-initialised *base* and
+/// free-initialised *step* [`Unroller`] pair, parked and resumed **as a
+/// unit** (the step instance's accumulated "no bad at shallow frames"
+/// units are only meaningful together with the base instance that proved
+/// them). The warm-start primitive for the induction lane: a re-query at
+/// a deeper `max_k` continues the sweep from [`KindSession::next_k`]
+/// instead of redoing every shallower base/step query.
+///
+/// # Soundness
+/// The step instance accumulates `!bad(0..k-1)` hypothesis units as `k`
+/// grows, so a *shallower* re-query cannot simply re-solve — it would be
+/// vacuously UNSAT and fabricate a proof. [`KindSession::run_to`] guards
+/// this: a `max_k` more than one below `next_k` is answered `Unknown`
+/// without solving, which matches a fresh run exactly **provided the
+/// session was only parked on an `Unknown` outcome` — an `Unknown` at
+/// depth `d ≥ max_k` certifies base-clean and step-open for every
+/// `k ≤ max_k`. The [`crate::warm::WarmPool`] enforces exactly that
+/// parking discipline.
+pub struct KindSession {
+    base: Unroller,
+    step: Unroller,
+    lemmas: Vec<Bit>,
+    invs: Vec<SharedInvariant>,
+    pending: Vec<SharedClause>,
     // High-water marks so each (lemma/invariant, frame) unit is asserted
     // once per instance.
-    let (mut base_applied, mut base_frames) = (0usize, 0usize);
-    let (mut step_applied, mut step_frames) = (0usize, 0usize);
-    let (mut base_inv_applied, mut base_inv_frames) = (0usize, 0usize);
-    let (mut step_inv_applied, mut step_inv_frames) = (0usize, 0usize);
+    base_applied: usize,
+    base_frames: usize,
+    step_applied: usize,
+    step_frames: usize,
+    base_inv_applied: usize,
+    base_inv_frames: usize,
+    step_inv_applied: usize,
+    step_inv_frames: usize,
+    /// The next induction depth the sweep will try (1 when fresh).
+    next_k: usize,
+    unique_states: bool,
+}
 
-    for k in 1..=opts.max_k {
-        if opts.budget.out_of_time() {
-            return KindResult::Timeout;
-        }
-        for item in ctx.poll() {
-            match &*item {
-                ExchangeItem::Lemma(l) => {
-                    lemmas.push(l.bit);
-                    ctx.note_imported(1);
-                }
-                ExchangeItem::Clause(c) => pending.push(c.clone()),
-                ExchangeItem::Invariant(inv) => {
-                    // PDR's converged frame clauses hold in every
-                    // reachable assume-satisfying state — importable
-                    // into both instances exactly like lemmas, just in
-                    // clause form.
-                    invs.push(inv.clone());
-                    ctx.note_imported(1);
-                }
-            }
-        }
-
-        // ---- base: no violation in frames 0..k-1 -------------------------
-        let f = k - 1;
-        base.assert_assumes_through(f);
-        pending.retain(|c| {
-            if base.import_clause(c) {
-                ctx.note_imported(1);
-                false
-            } else {
-                true // not deep enough yet; retry at a later k
-            }
-        });
-        assert_new_lemmas(&mut base, &lemmas, &mut base_applied, &mut base_frames);
-        assert_new_invariants(
-            &mut base,
-            &invs,
-            &mut base_inv_applied,
-            &mut base_inv_frames,
-        );
-        let bad = base.bad_any_at(f);
-        match base.solve_with(&[bad]) {
-            SolveResult::Sat => {
-                let name = base
-                    .fired_bad_name(f)
-                    .unwrap_or_else(|| "<unknown bad>".to_string());
-                let trace = base.extract_trace(f + 1, name);
-                return KindResult::Cex(Box::new(trace));
-            }
-            SolveResult::Unsat => {
-                base.solver.add_clause(&[!bad]);
-            }
-            SolveResult::Canceled => return KindResult::Timeout,
-        }
-
-        // ---- step: k clean frames imply a clean frame k ------------------
-        step.assert_assumes_through(k);
-        assert_new_lemmas(&mut step, &lemmas, &mut step_applied, &mut step_frames);
-        assert_new_invariants(
-            &mut step,
-            &invs,
-            &mut step_inv_applied,
-            &mut step_inv_frames,
-        );
-        // Bads known false at frames 0..k-1 (units accumulate across k).
-        let prev_bad = step.bad_any_at(k - 1);
-        step.solver.add_clause(&[!prev_bad]);
-        if opts.unique_states {
-            add_unique_state_constraints(ts, &mut step, k);
-        }
-        let bad_k = step.bad_any_at(k);
-        match step.solve_with(&[bad_k]) {
-            SolveResult::Unsat => return KindResult::Proof { k },
-            SolveResult::Sat => { /* not inductive at this k; deepen */ }
-            SolveResult::Canceled => return KindResult::Timeout,
+impl KindSession {
+    /// A fresh session over `ts`; `unique_states` is a structural choice
+    /// of the step encoding and therefore fixed per session.
+    pub fn new(ts: &Arc<TransitionSystem>, unique_states: bool) -> KindSession {
+        KindSession {
+            base: Unroller::new(ts, InitMode::Reset),
+            step: Unroller::new(ts, InitMode::Free),
+            lemmas: Vec::new(),
+            invs: Vec::new(),
+            pending: Vec::new(),
+            base_applied: 0,
+            base_frames: 0,
+            step_applied: 0,
+            step_frames: 0,
+            base_inv_applied: 0,
+            base_inv_frames: 0,
+            step_inv_applied: 0,
+            step_inv_frames: 0,
+            next_k: 1,
+            unique_states,
         }
     }
 
-    // Inconclusive — but while fresh lemmas keep arriving on the bus,
-    // retry the deepest step query with them. `k = max_k` is the only
-    // sound retry point: its accumulated hypothesis ("no bad at frames
-    // 0..max_k-1") matches exactly what the base half verified. A poll
-    // batch is capped, so keep draining while batches are non-empty — a
-    // lemma can sit behind a backlog of (here useless) clause items.
-    while ctx.is_attached() && !opts.budget.out_of_time() {
-        let batch = ctx.poll();
-        for item in &batch {
-            match &**item {
-                ExchangeItem::Lemma(l) => {
-                    lemmas.push(l.bit);
-                    ctx.note_imported(1);
-                }
-                ExchangeItem::Invariant(inv) => {
-                    invs.push(inv.clone());
-                    ctx.note_imported(1);
-                }
-                ExchangeItem::Clause(_) => {}
-            }
+    /// The next induction depth a resumed sweep would try.
+    pub fn next_k(&self) -> usize {
+        self.next_k
+    }
+
+    /// Whether the session's step instance carries unique-state clauses.
+    pub fn unique_states(&self) -> bool {
+        self.unique_states
+    }
+
+    /// The transition system this session encodes.
+    pub fn ts(&self) -> &Arc<TransitionSystem> {
+        self.base.ts()
+    }
+
+    /// Cumulative statistics summed over the base and step solvers.
+    pub fn solver_stats(&self) -> SolverStats {
+        let b = self.base.solver.stats;
+        let s = self.step.solver.stats;
+        SolverStats {
+            conflicts: b.conflicts + s.conflicts,
+            decisions: b.decisions + s.decisions,
+            propagations: b.propagations + s.propagations,
+            restarts: b.restarts + s.restarts,
+            learnt_literals: b.learnt_literals + s.learnt_literals,
+            minimized_literals: b.minimized_literals + s.minimized_literals,
+            reduced_clauses: b.reduced_clauses + s.reduced_clauses,
         }
-        if lemmas.len() > step_applied || invs.len() > step_inv_applied {
-            assert_new_lemmas(&mut step, &lemmas, &mut step_applied, &mut step_frames);
-            assert_new_invariants(
-                &mut step,
-                &invs,
-                &mut step_inv_applied,
-                &mut step_inv_frames,
+    }
+
+    /// Worst-solver garbage watermark, the pool's park-hygiene input.
+    pub fn wasted_literals(&self) -> usize {
+        self.base
+            .solver
+            .wasted_literals()
+            .max(self.step.solver.wasted_literals())
+    }
+
+    /// Runs the sweep for `k = next_k..=max_k` under `budget`, then (when
+    /// attached to a bus) the late-lemma retry at `max_k`. A `max_k`
+    /// below `next_k - 1` returns `Unknown` without solving — see the
+    /// type-level soundness note.
+    pub fn run_to(&mut self, max_k: usize, budget: Budget, ctx: &mut SharedContext) -> KindResult {
+        if max_k + 1 < self.next_k {
+            // Strictly shallower than anything this session can still
+            // query: the step instance's hypothesis units are too strong
+            // for a sound re-solve, and the park discipline guarantees a
+            // fresh run would answer Unknown here too.
+            return KindResult::Unknown { max_k_tried: max_k };
+        }
+        self.base.set_budget(budget.clone());
+        self.step.set_budget(budget.clone());
+        let ts = Arc::clone(self.step.ts());
+
+        while self.next_k <= max_k {
+            let k = self.next_k;
+            if budget.out_of_time() {
+                return KindResult::Timeout;
+            }
+            for item in ctx.poll() {
+                match &*item {
+                    ExchangeItem::Lemma(l) => {
+                        self.lemmas.push(l.bit);
+                        ctx.note_imported(1);
+                    }
+                    ExchangeItem::Clause(c) => self.pending.push(c.clone()),
+                    ExchangeItem::Invariant(inv) => {
+                        // PDR's converged frame clauses hold in every
+                        // reachable assume-satisfying state — importable
+                        // into both instances exactly like lemmas, just in
+                        // clause form.
+                        self.invs.push(inv.clone());
+                        ctx.note_imported(1);
+                    }
+                }
+            }
+
+            // ---- base: no violation in frames 0..k-1 -------------------------
+            let f = k - 1;
+            self.base.assert_assumes_through(f);
+            let base = &mut self.base;
+            self.pending.retain(|c| {
+                if base.import_clause(c) {
+                    ctx.note_imported(1);
+                    false
+                } else {
+                    true // not deep enough yet; retry at a later k
+                }
+            });
+            assert_new_lemmas(
+                &mut self.base,
+                &self.lemmas,
+                &mut self.base_applied,
+                &mut self.base_frames,
             );
-            let bad_k = step.bad_any_at(opts.max_k);
-            match step.solve_with(&[bad_k]) {
-                SolveResult::Unsat => return KindResult::Proof { k: opts.max_k },
-                SolveResult::Sat => { /* still open; poll again */ }
+            assert_new_invariants(
+                &mut self.base,
+                &self.invs,
+                &mut self.base_inv_applied,
+                &mut self.base_inv_frames,
+            );
+            let bad = self.base.bad_any_at(f);
+            match self.base.solve_with(&[bad]) {
+                SolveResult::Sat => {
+                    let name = self
+                        .base
+                        .fired_bad_name(f)
+                        .unwrap_or_else(|| "<unknown bad>".to_string());
+                    let trace = self.base.extract_trace(f + 1, name);
+                    return KindResult::Cex(Box::new(trace));
+                }
+                SolveResult::Unsat => {
+                    self.base.solver.add_clause(&[!bad]);
+                }
                 SolveResult::Canceled => return KindResult::Timeout,
             }
-        } else if batch.is_empty() {
-            break; // bus drained and nothing new to try
+
+            // ---- step: k clean frames imply a clean frame k ------------------
+            self.step.assert_assumes_through(k);
+            assert_new_lemmas(
+                &mut self.step,
+                &self.lemmas,
+                &mut self.step_applied,
+                &mut self.step_frames,
+            );
+            assert_new_invariants(
+                &mut self.step,
+                &self.invs,
+                &mut self.step_inv_applied,
+                &mut self.step_inv_frames,
+            );
+            // Bads known false at frames 0..k-1 (units accumulate across k).
+            let prev_bad = self.step.bad_any_at(k - 1);
+            self.step.solver.add_clause(&[!prev_bad]);
+            if self.unique_states {
+                add_unique_state_constraints(&ts, &mut self.step, k);
+            }
+            let bad_k = self.step.bad_any_at(k);
+            // The depth is burned once the step query is posed: whatever
+            // the verdict, the hypothesis units for k are in the solver.
+            self.next_k = k + 1;
+            match self.step.solve_with(&[bad_k]) {
+                SolveResult::Unsat => return KindResult::Proof { k },
+                SolveResult::Sat => { /* not inductive at this k; deepen */ }
+                SolveResult::Canceled => return KindResult::Timeout,
+            }
         }
-    }
-    KindResult::Unknown {
-        max_k_tried: opts.max_k,
+
+        // Inconclusive — but while fresh lemmas keep arriving on the bus,
+        // retry the deepest step query with them. `k = max_k` is the only
+        // sound retry point: its accumulated hypothesis ("no bad at frames
+        // 0..max_k-1") matches exactly what the base half verified. A poll
+        // batch is capped, so keep draining while batches are non-empty — a
+        // lemma can sit behind a backlog of (here useless) clause items.
+        // On a warm session the guard above ensures `next_k == max_k + 1`
+        // here, i.e. the step hypothesis really is `max_k`'s.
+        while ctx.is_attached() && !budget.out_of_time() {
+            let batch = ctx.poll();
+            for item in &batch {
+                match &**item {
+                    ExchangeItem::Lemma(l) => {
+                        self.lemmas.push(l.bit);
+                        ctx.note_imported(1);
+                    }
+                    ExchangeItem::Invariant(inv) => {
+                        self.invs.push(inv.clone());
+                        ctx.note_imported(1);
+                    }
+                    ExchangeItem::Clause(_) => {}
+                }
+            }
+            if self.lemmas.len() > self.step_applied || self.invs.len() > self.step_inv_applied {
+                assert_new_lemmas(
+                    &mut self.step,
+                    &self.lemmas,
+                    &mut self.step_applied,
+                    &mut self.step_frames,
+                );
+                assert_new_invariants(
+                    &mut self.step,
+                    &self.invs,
+                    &mut self.step_inv_applied,
+                    &mut self.step_inv_frames,
+                );
+                let bad_k = self.step.bad_any_at(max_k);
+                match self.step.solve_with(&[bad_k]) {
+                    SolveResult::Unsat => return KindResult::Proof { k: max_k },
+                    SolveResult::Sat => { /* still open; poll again */ }
+                    SolveResult::Canceled => return KindResult::Timeout,
+                }
+            } else if batch.is_empty() {
+                break; // bus drained and nothing new to try
+            }
+        }
+        KindResult::Unknown { max_k_tried: max_k }
     }
 }
 
@@ -222,11 +352,11 @@ pub fn k_induction_with(
 /// Shared by the lemma and invariant-clause import paths so the subtle
 /// high-water-mark accounting lives in one place.
 fn assert_new_units<T>(
-    u: &mut Unroller<'_>,
+    u: &mut Unroller,
     items: &[T],
     applied: &mut usize,
     frames_done: &mut usize,
-    assert_at: impl Fn(&mut Unroller<'_>, &T, usize),
+    assert_at: impl Fn(&mut Unroller, &T, usize),
 ) {
     let num_frames = u.num_frames();
     for item in &items[..*applied] {
@@ -245,7 +375,7 @@ fn assert_new_units<T>(
 
 /// [`assert_new_units`] over invariant lemma bits.
 fn assert_new_lemmas(
-    u: &mut Unroller<'_>,
+    u: &mut Unroller,
     lemmas: &[Bit],
     applied: &mut usize,
     frames_done: &mut usize,
@@ -257,7 +387,7 @@ fn assert_new_lemmas(
 
 /// [`assert_new_units`] over PDR's exported invariant clauses.
 fn assert_new_invariants(
-    u: &mut Unroller<'_>,
+    u: &mut Unroller,
     invs: &[SharedInvariant],
     applied: &mut usize,
     frames_done: &mut usize,
@@ -268,7 +398,7 @@ fn assert_new_invariants(
 }
 
 /// Adds `state(new_frame) != state(f)` for every earlier frame `f`.
-fn add_unique_state_constraints(ts: &TransitionSystem, u: &mut Unroller<'_>, new_frame: usize) {
+fn add_unique_state_constraints(ts: &TransitionSystem, u: &mut Unroller, new_frame: usize) {
     for f in 0..new_frame {
         let mut diff_clause: Vec<Lit> = Vec::new();
         for &li in ts.active_latches() {
@@ -293,7 +423,7 @@ mod tests {
     use csl_hdl::{Design, Init};
 
     /// A register that moves 0 -> 1 -> 2 and saturates; bad at 7.
-    fn saturating() -> TransitionSystem {
+    fn saturating() -> std::sync::Arc<TransitionSystem> {
         let mut d = Design::new("sat3");
         let r = d.reg("r", 3, Init::Zero);
         let at2 = d.eq_const(&r.q(), 2);
@@ -302,7 +432,7 @@ mod tests {
         d.set_next(&r, nxt);
         let bad = d.eq_const(&r.q(), 7);
         d.assert_always("never7", bad.not());
-        TransitionSystem::new(d.finish(), false)
+        TransitionSystem::shared(d.finish(), false)
     }
 
     #[test]
@@ -340,7 +470,7 @@ mod tests {
         d.set_next(&r, masked);
         let bad = r.q().bit(2);
         d.assert_always("bit2_clear", bad.not());
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match k_induction(&ts, KindOptions::default()) {
             KindResult::Proof { k } => assert_eq!(k, 1),
             other => panic!("expected proof, got {other:?}"),
@@ -355,7 +485,7 @@ mod tests {
         d.set_next(&r, inc);
         let bad = d.eq_const(&r.q(), 2);
         d.assert_always("no2", bad.not());
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match k_induction(
             &ts,
             KindOptions {
@@ -384,7 +514,7 @@ mod tests {
         d.set_next(&r, inc);
         let bad = d.eq_const(&r.q(), 12);
         d.assert_always("no12", bad.not());
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
 
         // Three trivially-true lemmas on the bus, but one poll returns
         // only one item: the main sweep consumes two (k=1, k=2) and the

@@ -68,8 +68,9 @@ pub mod sim;
 pub mod trace;
 pub mod ts;
 pub mod unroll;
+pub mod warm;
 
-pub use bmc::{bmc, bmc_with, BmcResult, BusMemory};
+pub use bmc::{bmc, bmc_with, BmcResult, BmcSession, BusMemory};
 pub use engine::{
     check_safety, CheckOptions, CheckReport, ExecMode, FuzzStats, InconclusiveReason, ProofEngine,
     SafetyCheck, Verdict,
@@ -79,9 +80,9 @@ pub use exchange::{
     SharedInvariant, SharedLemma, TimedLit,
 };
 pub use houdini::{houdini, houdini_with, Candidate, HoudiniOutcome, HoudiniResult};
-pub use kind::{k_induction, k_induction_with, KindOptions, KindResult};
+pub use kind::{k_induction, k_induction_with, KindOptions, KindResult, KindSession};
 pub use lane::{Lane, LaneBudget, LaneExchange, LanePlan};
-pub use pdr::{pdr, pdr_with, Cube, PdrOptions, PdrResult};
+pub use pdr::{pdr, pdr_with, pdr_with_stats, Cube, PdrOptions, PdrResult};
 #[allow(deprecated)]
 pub use portfolio::Engine;
 pub use portfolio::{
@@ -96,3 +97,4 @@ pub use sim::{
 pub use trace::Trace;
 pub use ts::TransitionSystem;
 pub use unroll::{InitMode, Unroller};
+pub use warm::{LaneSolverStats, WarmPool, WarmScope, WarmSession};

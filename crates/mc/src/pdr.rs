@@ -20,8 +20,9 @@
 //! syntactic check of classic AIGER-based IC3.
 
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
-use csl_sat::{Budget, Lit, SolveResult};
+use csl_sat::{Budget, Lit, SolveResult, SolverStats};
 
 use crate::exchange::{ExchangeItem, SharedContext};
 use crate::lane::Lane;
@@ -89,9 +90,9 @@ impl Ord for Obligation {
     }
 }
 
-struct PdrState<'a> {
-    ts: &'a TransitionSystem,
-    u: Unroller<'a>,
+struct PdrState {
+    ts: Arc<TransitionSystem>,
+    u: Unroller,
     /// Activation literal per level (index 0 = initial states).
     acts: Vec<Lit>,
     /// frames[i] = cubes blocked at exactly level i (1-based; index 0 unused).
@@ -108,8 +109,8 @@ struct PdrState<'a> {
     queries_since_cleanup: usize,
 }
 
-impl<'a> PdrState<'a> {
-    fn new(ts: &'a TransitionSystem, opts: &PdrOptions) -> PdrState<'a> {
+impl PdrState {
+    fn new(ts: &Arc<TransitionSystem>, opts: &PdrOptions) -> PdrState {
         let mut u = Unroller::new(ts, InitMode::Free);
         u.set_budget(opts.budget.clone());
         u.assert_assumes_through(1);
@@ -132,7 +133,7 @@ impl<'a> PdrState<'a> {
             }
         }
         PdrState {
-            ts,
+            ts: Arc::clone(ts),
             u,
             acts: vec![act0],
             frames: vec![Vec::new()],
@@ -421,7 +422,7 @@ enum BlockOutcome {
     Predecessor(Cube),
 }
 
-impl PdrState<'_> {
+impl PdrState {
     /// Polls the exchange bus between SAT queries and asserts foreign
     /// invariant lemmas (and invariant clauses) at both frames of the
     /// running instance — the in-place equivalent of conjoining them
@@ -480,7 +481,7 @@ impl PdrState<'_> {
 }
 
 /// Runs IC3. See the module docs.
-pub fn pdr(ts: &TransitionSystem, opts: PdrOptions) -> PdrResult {
+pub fn pdr(ts: &Arc<TransitionSystem>, opts: PdrOptions) -> PdrResult {
     pdr_with(ts, opts, &mut SharedContext::disabled(Lane::Pdr))
 }
 
@@ -488,9 +489,31 @@ pub fn pdr(ts: &TransitionSystem, opts: PdrOptions) -> PdrResult {
 /// running solver imports invariant lemmas (see
 /// [`PdrState::import_lemmas`]), shrinking the reachable-state
 /// overapproximation it has to strengthen against.
-pub fn pdr_with(ts: &TransitionSystem, opts: PdrOptions, ctx: &mut SharedContext) -> PdrResult {
-    let mut st = PdrState::new(ts, &opts);
+pub fn pdr_with(
+    ts: &Arc<TransitionSystem>,
+    opts: PdrOptions,
+    ctx: &mut SharedContext,
+) -> PdrResult {
+    pdr_with_stats(ts, opts, ctx).0
+}
 
+/// [`pdr_with`] that also returns the cumulative statistics of the
+/// underlying solver instance, for the per-lane diagnostics block of the
+/// check report. PDR's instance is rebuilt per call (its frame clauses
+/// are level-indexed and not meaningful across netlists), so unlike BMC
+/// and k-induction there is no warm session to park — the stats are the
+/// whole story.
+pub fn pdr_with_stats(
+    ts: &Arc<TransitionSystem>,
+    opts: PdrOptions,
+    ctx: &mut SharedContext,
+) -> (PdrResult, SolverStats) {
+    let mut st = PdrState::new(ts, &opts);
+    let result = pdr_loop(&mut st, &opts, ctx);
+    (result, st.u.solver.stats)
+}
+
+fn pdr_loop(st: &mut PdrState, opts: &PdrOptions, ctx: &mut SharedContext) -> PdrResult {
     // Depth-0 base case: SAT?(Init ∧ bad).
     let mut base_assumptions = vec![st.acts[0], st.bad0];
     match st.u.solve_with(&base_assumptions) {
@@ -651,7 +674,7 @@ mod tests {
         d.set_next(&r, nxt);
         let bad = d.eq_const(&r.q(), 7);
         d.assert_always("never7", bad.not());
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match pdr(&ts, PdrOptions::default()) {
             PdrResult::Proof { .. } => {}
             other => panic!("expected proof, got {other:?}"),
@@ -666,7 +689,7 @@ mod tests {
         d.set_next(&r, inc);
         let bad = d.eq_const(&r.q(), 5);
         d.assert_always("no5", bad.not());
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match pdr(&ts, PdrOptions::default()) {
             PdrResult::Cex { depth_hint } => assert!(depth_hint >= 1),
             other => panic!("expected cex, got {other:?}"),
@@ -680,7 +703,7 @@ mod tests {
         d.hold(&r);
         let bad = d.eq_const(&r.q(), 3);
         d.assert_always("no3", bad.not());
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match pdr(&ts, PdrOptions::default()) {
             PdrResult::Cex { depth_hint } => assert_eq!(depth_hint, 0),
             other => panic!("expected cex, got {other:?}"),
@@ -699,7 +722,7 @@ mod tests {
         let bad = d.eq_const(&r.q(), 1);
         d.assert_always("no1", bad.not());
         d.assume(x.not());
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match pdr(&ts, PdrOptions::default()) {
             PdrResult::Proof { .. } => {}
             other => panic!("expected proof, got {other:?}"),
@@ -723,7 +746,7 @@ mod tests {
         d.set_next(&flag, zero);
         let init_ok = d.implies_bit(flag.q().bit(0), bad.not());
         d.assume(init_ok);
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         match pdr(&ts, PdrOptions::default()) {
             PdrResult::Proof { .. } => {}
             other => panic!("expected proof, got {other:?}"),
@@ -738,7 +761,7 @@ mod tests {
         d.set_next(&r, inc);
         let bad = d.eq_const(&r.q(), 255);
         d.assert_always("no255", bad.not());
-        let ts = TransitionSystem::new(d.finish(), false);
+        let ts = TransitionSystem::shared(d.finish(), false);
         let r = pdr(
             &ts,
             PdrOptions {

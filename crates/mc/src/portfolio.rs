@@ -33,22 +33,23 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use csl_hdl::Aig;
 use csl_sat::Budget;
 
-use crate::bmc::{bmc, bmc_with, BmcResult, BusMemory};
+use crate::bmc::{bmc, BmcResult, BmcSession};
 use crate::engine::{FuzzStats, InconclusiveReason, ProofEngine};
 use crate::exchange::{Exchange, ExchangeConfig, ExchangeStats, SharedContext};
 use crate::houdini::{houdini_with, Candidate, HoudiniResult};
-use crate::kind::{k_induction_with, KindOptions, KindResult};
+use crate::kind::{KindResult, KindSession};
 use crate::lane::Lane;
-use crate::pdr::{pdr_with, PdrOptions, PdrResult};
+use crate::pdr::{pdr_with_stats, PdrOptions, PdrResult};
 use crate::sim::Sim;
 use crate::trace::Trace;
 use crate::ts::TransitionSystem;
+use crate::warm::{LaneSolverStats, WarmPool};
 
 /// What a single backend produced. [`EngineOutcome::Attack`] and
 /// [`EngineOutcome::Proof`] are decisive: the first of either ends the
@@ -83,13 +84,30 @@ pub trait Backend: Send {
     fn name(&self) -> &'static str;
     /// The budget/exchange lane this backend occupies.
     fn lane(&self) -> Lane;
-    fn run(&self, ts: &TransitionSystem, budget: Budget, ctx: &mut SharedContext) -> EngineOutcome;
+    /// The system arrives behind an [`Arc`] so a backend can park its
+    /// solver session (which owns a clone of the `Arc`) in the
+    /// [`WarmPool`] when its run ends undecided.
+    fn run(
+        &self,
+        ts: &Arc<TransitionSystem>,
+        budget: Budget,
+        ctx: &mut SharedContext,
+    ) -> EngineOutcome;
 
     /// Campaign statistics for fuzzing lanes, read *after* `run` returns
     /// (implementations record them internally). Solver lanes keep the
     /// default `None`; the race copies the value into its
     /// [`LaneResult`] so the stats reach [`crate::CheckReport::fuzz`].
     fn fuzz_stats(&self) -> Option<FuzzStats> {
+        None
+    }
+
+    /// Solver activity of the last `run`, read *after* it returns —
+    /// the SAT-lane counterpart of [`Backend::fuzz_stats`]. Non-solver
+    /// lanes keep the default `None`; the race copies the value into
+    /// [`LaneResult::solver`] so it reaches
+    /// [`crate::CheckReport::solver`].
+    fn solver_stats(&self) -> Option<LaneSolverStats> {
         None
     }
 }
@@ -145,6 +163,23 @@ pub trait Engine: Send {
     fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome;
 }
 
+/// Checks out a warm session with `checkout`, or builds one with
+/// `build`; returns the session plus its `(warm_hits, warm_misses)`
+/// accounting. `enabled = false` builds cold and counts nothing.
+fn warm_or_build<S>(
+    enabled: bool,
+    checkout: impl FnOnce() -> Option<S>,
+    build: impl FnOnce() -> S,
+) -> (S, u64, u64) {
+    if !enabled {
+        return (build(), 0, 0);
+    }
+    match checkout() {
+        Some(s) => (s, 1, 0),
+        None => (build(), 0, 1),
+    }
+}
+
 /// Adapter running a v1 [`Engine`] as a [`Backend`] that never touches
 /// the bus.
 #[allow(deprecated)]
@@ -172,7 +207,7 @@ impl Backend for LegacyBackend {
 
     fn run(
         &self,
-        ts: &TransitionSystem,
+        ts: &Arc<TransitionSystem>,
         budget: Budget,
         _ctx: &mut SharedContext,
     ) -> EngineOutcome {
@@ -196,6 +231,13 @@ fn validated_attack(ts: &TransitionSystem, trace: Box<Trace>, engine: &str) -> E
 /// Bounded model checking — the attack-finding lane (the paper's `Ht`).
 /// With the bus on it exports learnt clauses and prunes with imported
 /// lemmas.
+///
+/// The lane drives a single [`BmcSession`] across its whole depth
+/// schedule, so each step continues the previous step's unrolling
+/// instead of re-encoding from frame 0. With [`BmcBackend::warm`] the
+/// session additionally comes from / returns to the global
+/// [`WarmPool`], surviving into the next engine call on the same
+/// netlist.
 pub struct BmcBackend {
     pub depth: usize,
     /// Progressive depth schedule from the lane plan: each step gets an
@@ -203,23 +245,41 @@ pub struct BmcBackend {
     /// whatever earlier steps left over, and the first counterexample
     /// ends the walk. Empty = one pass at `depth`.
     pub schedule: Vec<usize>,
+    warm: bool,
+    stats: Mutex<Option<LaneSolverStats>>,
 }
 
-impl Backend for BmcBackend {
-    fn name(&self) -> &'static str {
-        "bmc"
+impl BmcBackend {
+    /// A cold lane running one pass at `depth`.
+    pub fn new(depth: usize) -> BmcBackend {
+        BmcBackend {
+            depth,
+            schedule: Vec::new(),
+            warm: false,
+            stats: Mutex::new(None),
+        }
     }
 
-    fn lane(&self) -> Lane {
-        Lane::Bmc
+    /// Sets the progressive depth schedule (builder style).
+    pub fn schedule(mut self, schedule: Vec<usize>) -> BmcBackend {
+        self.schedule = schedule;
+        self
     }
 
-    fn run(&self, ts: &TransitionSystem, budget: Budget, ctx: &mut SharedContext) -> EngineOutcome {
-        // Imported lemmas/invariants outlive each schedule step's fresh
-        // unroller.
-        let mut memory = BusMemory::default();
+    /// Enables cross-call session reuse through [`WarmPool::global`].
+    pub fn warm(mut self, warm: bool) -> BmcBackend {
+        self.warm = warm;
+        self
+    }
+
+    fn drive(
+        &self,
+        session: &mut BmcSession,
+        budget: Budget,
+        ctx: &mut SharedContext,
+    ) -> EngineOutcome {
         if self.schedule.is_empty() {
-            return match bmc_with(ts, self.depth, budget, ctx, &mut memory) {
+            return match session.run_to(self.depth, budget, ctx) {
                 // The sequential pipeline reports a BMC cex as an attack even
                 // if the replay check fails (with a warning note); mirror that
                 // here so the two modes cannot diverge on verdict kind.
@@ -252,7 +312,7 @@ impl Backend for BmcBackend {
                 }
                 None => budget.clone(),
             };
-            match bmc_with(ts, depth, step_budget, ctx, &mut memory) {
+            match session.run_to(depth, step_budget, ctx) {
                 BmcResult::Cex(trace) => return EngineOutcome::Attack(trace),
                 BmcResult::Clean { depth_checked } => clean_to = Some(depth_checked),
                 BmcResult::Timeout { depth_checked } => {
@@ -272,10 +332,70 @@ impl Backend for BmcBackend {
     }
 }
 
+impl Backend for BmcBackend {
+    fn name(&self) -> &'static str {
+        "bmc"
+    }
+
+    fn lane(&self) -> Lane {
+        Lane::Bmc
+    }
+
+    fn run(
+        &self,
+        ts: &Arc<TransitionSystem>,
+        budget: Budget,
+        ctx: &mut SharedContext,
+    ) -> EngineOutcome {
+        let pool = WarmPool::global();
+        let (mut session, hits, misses) = warm_or_build(
+            self.warm,
+            || pool.checkout_bmc(ts.fingerprint()),
+            || BmcSession::new(ts),
+        );
+        let snapshot = session.solver_stats();
+        let outcome = self.drive(&mut session, budget, ctx);
+        let mut stats = LaneSolverStats::delta(Lane::Bmc, snapshot, session.solver_stats());
+        stats.warm_hits = hits;
+        stats.warm_misses = misses;
+        *self.stats.lock().unwrap() = Some(stats);
+        if self.warm && !outcome.is_decisive() {
+            pool.park_bmc(session);
+        }
+        outcome
+    }
+
+    fn solver_stats(&self) -> Option<LaneSolverStats> {
+        *self.stats.lock().unwrap()
+    }
+}
+
 /// k-induction on the plain (lemma-free) netlist; with the bus on it
 /// imports shared clauses into its base instance and lemmas into both.
+/// With [`KindBackend::warm`] the base/step [`KindSession`] pair is
+/// parked in the global [`WarmPool`] on an `Unknown` outcome and a later
+/// call on the same netlist resumes the sweep at its old `next_k`.
 pub struct KindBackend {
     pub max_k: usize,
+    warm: bool,
+    stats: Mutex<Option<LaneSolverStats>>,
+}
+
+impl KindBackend {
+    /// A cold lane sweeping `k = 1..=max_k`.
+    pub fn new(max_k: usize) -> KindBackend {
+        KindBackend {
+            max_k,
+            warm: false,
+            stats: Mutex::new(None),
+        }
+    }
+
+    /// Enables cross-call session reuse through [`WarmPool::global`].
+    pub fn warm(mut self, warm: bool) -> KindBackend {
+        self.warm = warm;
+        self
+    }
 }
 
 impl Backend for KindBackend {
@@ -287,16 +407,31 @@ impl Backend for KindBackend {
         Lane::KInduction
     }
 
-    fn run(&self, ts: &TransitionSystem, budget: Budget, ctx: &mut SharedContext) -> EngineOutcome {
-        match k_induction_with(
-            ts,
-            KindOptions {
-                max_k: self.max_k,
-                unique_states: false,
-                budget,
-            },
-            ctx,
-        ) {
+    fn run(
+        &self,
+        ts: &Arc<TransitionSystem>,
+        budget: Budget,
+        ctx: &mut SharedContext,
+    ) -> EngineOutcome {
+        let pool = WarmPool::global();
+        let (mut session, hits, misses) = warm_or_build(
+            self.warm,
+            || pool.checkout_kind(ts.fingerprint(), false),
+            || KindSession::new(ts, false),
+        );
+        let snapshot = session.solver_stats();
+        let result = session.run_to(self.max_k, budget, ctx);
+        let mut stats = LaneSolverStats::delta(Lane::KInduction, snapshot, session.solver_stats());
+        stats.warm_hits = hits;
+        stats.warm_misses = misses;
+        *self.stats.lock().unwrap() = Some(stats);
+        // Parking discipline (see crate::warm): only an Unknown session
+        // may be resumed later — a Timeout base half could still hide an
+        // undiscovered counterexample at an already-swept depth.
+        if self.warm && matches!(result, KindResult::Unknown { .. }) {
+            pool.park_kind(session);
+        }
+        match result {
             KindResult::Proof { k } => EngineOutcome::Proof(ProofEngine::KInduction { k }),
             KindResult::Cex(trace) => validated_attack(ts, trace, "k-induction"),
             KindResult::Unknown { max_k_tried } => {
@@ -305,15 +440,32 @@ impl Backend for KindBackend {
             KindResult::Timeout => EngineOutcome::Timeout,
         }
     }
+
+    fn solver_stats(&self) -> Option<LaneSolverStats> {
+        *self.stats.lock().unwrap()
+    }
 }
 
 /// IC3/PDR on the plain netlist; a cex depth hint is reconstructed into a
 /// concrete trace with a deeper BMC pass, as in the sequential pipeline.
-/// With the bus on it imports lemmas between frontier iterations.
+/// With the bus on it imports lemmas between frontier iterations. PDR's
+/// frame clauses are level-indexed and rebuilt per call, so this lane
+/// has no warm mode — only stats reporting.
 pub struct PdrBackend {
     pub max_frames: usize,
     /// Reconstruction floor: the BMC pass hunts at least this deep.
     pub bmc_depth: usize,
+    stats: Mutex<Option<LaneSolverStats>>,
+}
+
+impl PdrBackend {
+    pub fn new(max_frames: usize, bmc_depth: usize) -> PdrBackend {
+        PdrBackend {
+            max_frames,
+            bmc_depth,
+            stats: Mutex::new(None),
+        }
+    }
 }
 
 impl Backend for PdrBackend {
@@ -325,15 +477,22 @@ impl Backend for PdrBackend {
         Lane::Pdr
     }
 
-    fn run(&self, ts: &TransitionSystem, budget: Budget, ctx: &mut SharedContext) -> EngineOutcome {
-        match pdr_with(
+    fn run(
+        &self,
+        ts: &Arc<TransitionSystem>,
+        budget: Budget,
+        ctx: &mut SharedContext,
+    ) -> EngineOutcome {
+        let (result, raw) = pdr_with_stats(
             ts,
             PdrOptions {
                 max_frames: self.max_frames,
                 budget: budget.clone(),
             },
             ctx,
-        ) {
+        );
+        *self.stats.lock().unwrap() = Some(LaneSolverStats::cold(Lane::Pdr, raw));
+        match result {
             PdrResult::Proof {
                 frames,
                 invariant_clauses,
@@ -356,6 +515,10 @@ impl Backend for PdrBackend {
             }
         }
     }
+
+    fn solver_stats(&self) -> Option<LaneSolverStats> {
+        *self.stats.lock().unwrap()
+    }
 }
 
 /// The Houdini lane: filter candidate relational invariants to an
@@ -376,18 +539,47 @@ pub struct HoudiniBackend {
     pub pdr_max_frames: usize,
     /// Reconstruction floor for strengthened-PDR counterexamples.
     pub bmc_depth: usize,
+    warm: bool,
+    stats: Mutex<Option<LaneSolverStats>>,
 }
 
-impl Backend for HoudiniBackend {
-    fn name(&self) -> &'static str {
-        "houdini"
+impl HoudiniBackend {
+    pub fn new(
+        candidates: Vec<Candidate>,
+        base_aig: Aig,
+        keep_probes: bool,
+        kind_max_k: usize,
+        pdr_max_frames: usize,
+        bmc_depth: usize,
+    ) -> HoudiniBackend {
+        HoudiniBackend {
+            candidates,
+            base_aig,
+            keep_probes,
+            kind_max_k,
+            pdr_max_frames,
+            bmc_depth,
+            warm: false,
+            stats: Mutex::new(None),
+        }
     }
 
-    fn lane(&self) -> Lane {
-        Lane::Houdini
+    /// Enables warm sessions for the strengthened re-run passes. The
+    /// strengthened netlist carries extra assumes and therefore its own
+    /// fingerprint, so those sessions never contaminate (or hit) the
+    /// plain-netlist lanes' pool entries.
+    pub fn warm(mut self, warm: bool) -> HoudiniBackend {
+        self.warm = warm;
+        self
     }
 
-    fn run(&self, ts: &TransitionSystem, budget: Budget, ctx: &mut SharedContext) -> EngineOutcome {
+    fn run_inner(
+        &self,
+        ts: &Arc<TransitionSystem>,
+        budget: Budget,
+        ctx: &mut SharedContext,
+        agg: &mut LaneSolverStats,
+    ) -> EngineOutcome {
         let mut stream = |_: usize, c: &Candidate| {
             ctx.publish_lemma(c.name.clone(), c.bit);
         };
@@ -409,7 +601,7 @@ impl Backend for HoudiniBackend {
         for &i in &out.survivors {
             strengthened.add_assume(self.candidates[i].bit);
         }
-        let sts = TransitionSystem::new(strengthened, self.keep_probes);
+        let sts = TransitionSystem::shared(strengthened, self.keep_probes);
         let mut notes = vec![format!(
             "houdini: {}/{} candidates survive after {} rounds",
             out.survivors.len(),
@@ -420,10 +612,12 @@ impl Backend for HoudiniBackend {
         // lemmas; they neither import nor re-export them.
         let mut quiet = SharedContext::disabled(Lane::Houdini);
         if self.kind_max_k > 0 {
-            let kind = KindBackend {
-                max_k: self.kind_max_k,
-            };
-            match kind.run(&sts, budget.clone(), &mut quiet) {
+            let kind = KindBackend::new(self.kind_max_k).warm(self.warm);
+            let r = kind.run(&sts, budget.clone(), &mut quiet);
+            if let Some(s) = kind.solver_stats() {
+                agg.absorb(&s);
+            }
+            match r {
                 // A cex from the strengthened instance was already replayed
                 // on the *strengthened* netlist; re-validate on the original
                 // before trusting it (the lemmas could mask init states). A
@@ -441,11 +635,12 @@ impl Backend for HoudiniBackend {
             }
         }
         if self.pdr_max_frames > 0 {
-            let pdr = PdrBackend {
-                max_frames: self.pdr_max_frames,
-                bmc_depth: self.bmc_depth,
-            };
-            match pdr.run(&sts, budget, &mut quiet) {
+            let pdr = PdrBackend::new(self.pdr_max_frames, self.bmc_depth);
+            let r = pdr.run(&sts, budget, &mut quiet);
+            if let Some(s) = pdr.solver_stats() {
+                agg.absorb(&s);
+            }
+            match r {
                 EngineOutcome::Attack(trace) => return validated_attack(ts, trace, "houdini+pdr"),
                 EngineOutcome::Proof(p) => return EngineOutcome::Proof(p),
                 EngineOutcome::Inconclusive(n) => notes.push(n.to_string()),
@@ -453,6 +648,39 @@ impl Backend for HoudiniBackend {
             }
         }
         EngineOutcome::Inconclusive(InconclusiveReason::Other(notes.join("; ")))
+    }
+}
+
+impl Backend for HoudiniBackend {
+    fn name(&self) -> &'static str {
+        "houdini"
+    }
+
+    fn lane(&self) -> Lane {
+        Lane::Houdini
+    }
+
+    fn run(
+        &self,
+        ts: &Arc<TransitionSystem>,
+        budget: Budget,
+        ctx: &mut SharedContext,
+    ) -> EngineOutcome {
+        // The lane's stats aggregate its strengthened sub-runs (the
+        // Houdini filtering phase itself keeps its solvers private).
+        let mut agg = LaneSolverStats::delta(
+            Lane::Houdini,
+            csl_sat::SolverStats::default(),
+            csl_sat::SolverStats::default(),
+        );
+        let outcome = self.run_inner(ts, budget, ctx, &mut agg);
+        agg.lane = Lane::Houdini;
+        *self.stats.lock().unwrap() = Some(agg);
+        outcome
+    }
+
+    fn solver_stats(&self) -> Option<LaneSolverStats> {
+        *self.stats.lock().unwrap()
     }
 }
 
@@ -504,6 +732,9 @@ pub struct LaneResult {
     pub exports: usize,
     /// Campaign statistics, when this lane was a fuzzing backend.
     pub fuzz: Option<FuzzStats>,
+    /// Solver activity (and warm-start accounting), when this lane was
+    /// a SAT backend.
+    pub solver: Option<LaneSolverStats>,
 }
 
 /// Everything the race produced: per-lane results (in completion order)
@@ -560,7 +791,7 @@ pub fn race(
         };
         handles.push(std::thread::spawn(move || {
             let start = Instant::now();
-            let ts = TransitionSystem::new(aig, keep_probes);
+            let ts = TransitionSystem::shared(aig, keep_probes);
             let budget = Budget::until(spec.deadline).with_stop(stop);
             let outcome = spec.backend.run(&ts, budget, &mut ctx);
             // The receiver may be gone if the race was already decided.
@@ -573,6 +804,7 @@ pub fn race(
                 imports: ctx.imports(),
                 exports: ctx.exports(),
                 fuzz: spec.backend.fuzz_stats(),
+                solver: spec.backend.solver_stats(),
             });
         }));
     }
@@ -640,7 +872,7 @@ mod tests {
 
         fn run(
             &self,
-            _ts: &TransitionSystem,
+            _ts: &Arc<TransitionSystem>,
             budget: Budget,
             _ctx: &mut SharedContext,
         ) -> EngineOutcome {
@@ -774,7 +1006,7 @@ mod tests {
             }
             fn run(
                 &self,
-                _ts: &TransitionSystem,
+                _ts: &Arc<TransitionSystem>,
                 _budget: Budget,
                 ctx: &mut SharedContext,
             ) -> EngineOutcome {
@@ -792,7 +1024,7 @@ mod tests {
             }
             fn run(
                 &self,
-                _ts: &TransitionSystem,
+                _ts: &Arc<TransitionSystem>,
                 budget: Budget,
                 ctx: &mut SharedContext,
             ) -> EngineOutcome {

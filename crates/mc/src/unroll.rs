@@ -41,8 +41,13 @@ pub enum InitMode {
 }
 
 /// Incremental multi-frame CNF encoder. See the module docs.
-pub struct Unroller<'a> {
-    ts: &'a TransitionSystem,
+///
+/// The unroller *owns* (a share of) its [`TransitionSystem`], so a session
+/// can outlive the engine call that created it — the foundation of the
+/// warm-start layer in [`crate::warm`], which parks live unrollers between
+/// depth steps, budget escalations and repeated queries.
+pub struct Unroller {
+    ts: Arc<TransitionSystem>,
     pub solver: Solver,
     /// `frame_lits[t][node] = Some(lit)` once encoded.
     frame_lits: Vec<Vec<Option<Lit>>>,
@@ -58,13 +63,13 @@ pub struct Unroller<'a> {
     const_true: Lit,
 }
 
-impl<'a> Unroller<'a> {
-    pub fn new(ts: &'a TransitionSystem, init_mode: InitMode) -> Unroller<'a> {
+impl Unroller {
+    pub fn new(ts: &Arc<TransitionSystem>, init_mode: InitMode) -> Unroller {
         let mut solver = Solver::new();
         let const_true = solver.new_var().positive();
         solver.add_clause(&[const_true]);
         let mut u = Unroller {
-            ts,
+            ts: Arc::clone(ts),
             solver,
             frame_lits: Vec::new(),
             assumes_added: 0,
@@ -147,6 +152,26 @@ impl<'a> Unroller<'a> {
                 source: exporter.lane(),
             });
         });
+    }
+
+    /// Turns clause export back off, dropping the origin map and the
+    /// solver-side hook. A session being *parked* (see [`crate::warm`])
+    /// must call this: the hook captures a [`ClauseExporter`] bound to the
+    /// bus of the check that is ending, and a clause learnt during a later
+    /// check must not be published against the dead bus's horizons.
+    pub fn disable_clause_export(&mut self) {
+        self.origins = None;
+        self.solver.clear_export_hook();
+    }
+
+    /// The transition system this session encodes.
+    pub fn ts(&self) -> &Arc<TransitionSystem> {
+        &self.ts
+    }
+
+    /// The session's frame-0 latch treatment.
+    pub fn init_mode(&self) -> InitMode {
+        self.init_mode
     }
 
     /// Whether `clause` may soundly be added to this instance right now:
@@ -247,9 +272,10 @@ impl<'a> Unroller<'a> {
     /// next-state encodings.
     pub fn push_frame(&mut self) {
         let prev = self.frame_lits.len() - 1;
-        let mut nexts: Vec<(u32, Lit)> = Vec::with_capacity(self.ts.active_latches().len());
-        for &li in self.ts.active_latches() {
-            let next_bit = self.ts.aig().latches()[li as usize]
+        let ts = Arc::clone(&self.ts);
+        let mut nexts: Vec<(u32, Lit)> = Vec::with_capacity(ts.active_latches().len());
+        for &li in ts.active_latches() {
+            let next_bit = ts.aig().latches()[li as usize]
                 .next
                 .expect("unsealed latch");
             let l = self.lit_of(next_bit, prev);
@@ -420,9 +446,10 @@ impl<'a> Unroller<'a> {
 
     /// Extracts a trace of `depth` cycles from the current SAT model.
     pub fn extract_trace(&mut self, depth: usize, bad_name: String) -> Trace {
+        let ts = Arc::clone(&self.ts);
         let mut initial_latches = Vec::new();
-        for &li in self.ts.active_latches() {
-            let out = self.ts.aig().latches()[li as usize].output;
+        for &li in ts.active_latches() {
+            let out = ts.aig().latches()[li as usize].output;
             let l = self.lit_of(out, 0);
             if let Some(v) = self.solver.value(l) {
                 initial_latches.push((li, v));
@@ -431,8 +458,8 @@ impl<'a> Unroller<'a> {
         let mut inputs = Vec::with_capacity(depth);
         for t in 0..depth {
             let mut m = HashMap::new();
-            for &ii in self.ts.active_inputs() {
-                let out = self.ts.aig().inputs()[ii as usize].output;
+            for &ii in ts.active_inputs() {
+                let out = ts.aig().inputs()[ii as usize].output;
                 // Only read inputs the frame actually encoded.
                 if self.frame_lits[t][out.node() as usize].is_some() {
                     let l = self.lit_of(out, t);

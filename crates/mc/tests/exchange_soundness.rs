@@ -86,7 +86,7 @@ fn drain_clauses(bus: &std::sync::Arc<Exchange>) -> Vec<SharedClause> {
 
 /// Checks one exported clause against a fresh reset-init unrolling:
 /// `Init ∧ T ∧ assumes(0..assume_frames-1) ∧ ¬clause` must be UNSAT.
-fn assert_clause_implied(ts: &TransitionSystem, clause: &SharedClause, seed: u64) {
+fn assert_clause_implied(ts: &std::sync::Arc<TransitionSystem>, clause: &SharedClause, seed: u64) {
     let mut u = Unroller::new(ts, InitMode::Reset);
     if clause.assume_frames > 0 {
         u.assert_assumes_through(clause.assume_frames - 1);
@@ -109,7 +109,7 @@ fn exported_bmc_clauses_are_implied_by_the_source_instance() {
     let mut total_checked = 0usize;
     for seed in 0..12u64 {
         let aig = random_design(seed);
-        let ts = TransitionSystem::new(aig, false);
+        let ts = TransitionSystem::shared(aig, false);
         let bus = Exchange::new(ExchangeConfig {
             enabled: true,
             // Generous filters so the probe sees plenty of exports.
@@ -156,7 +156,7 @@ fn streamed_houdini_lemmas_hold_on_all_reachable_frames() {
         name: "a==b".into(),
         bit: eq,
     }];
-    let ts = TransitionSystem::new(d.finish(), false);
+    let ts = TransitionSystem::shared(d.finish(), false);
 
     let mut streamed: Vec<SharedLemma> = Vec::new();
     let mut stream = |_: usize, c: &Candidate| {
@@ -188,7 +188,7 @@ fn streamed_houdini_lemmas_hold_on_all_reachable_frames() {
 /// The shared PDR fixture: a counter that saturates at 2 with an
 /// unreachable bad at 7 — plain k-induction fails on it, so a PDR proof
 /// genuinely needs learned frame clauses.
-fn saturating_counter_ts() -> TransitionSystem {
+fn saturating_counter_ts() -> std::sync::Arc<TransitionSystem> {
     let mut d = Design::new("sat");
     let r = d.reg("r", 3, Init::Zero);
     let at2 = d.eq_const(&r.q(), 2);
@@ -197,7 +197,7 @@ fn saturating_counter_ts() -> TransitionSystem {
     d.set_next(&r, nxt);
     let bad = d.eq_const(&r.q(), 7);
     d.assert_always("never7", bad.not());
-    TransitionSystem::new(d.finish(), false)
+    TransitionSystem::shared(d.finish(), false)
 }
 
 /// A saturating counter whose proof needs PDR strengthening: at

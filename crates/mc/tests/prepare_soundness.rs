@@ -159,7 +159,7 @@ fn manual_lift_through_reconstruction_replays() {
             prepared.aig().num_latches() < aig.num_latches(),
             "seed {seed}: the dead/stuck latches must be removed"
         );
-        let ts = TransitionSystem::new(prepared.aig().clone(), false);
+        let ts = TransitionSystem::shared(prepared.aig().clone(), false);
         if let BmcResult::Cex(trace) = bmc(&ts, 24, Budget::unlimited()) {
             // Sanity: the raw reduced-vocabulary trace replays on the
             // reduced netlist…

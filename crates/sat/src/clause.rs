@@ -37,11 +37,13 @@ pub struct ClauseDb {
     clauses: Vec<Clause>,
     /// Number of live learnt clauses (deleted excluded).
     num_learnt: usize,
-    /// Total live literals in learnt clauses, used as reduction heuristic.
+    /// Literal slots released by [`ClauseDb::delete`] and not yet
+    /// compacted: lazy deletion leaves the `Clause` header in place, so
+    /// this is the arena's garbage watermark (see [`ClauseDb::wasted`]),
+    /// not a property of the live clause set.
     freed: usize,
 }
 
-#[allow(dead_code)] // utility surface kept whole; not every method has a caller yet
 impl ClauseDb {
     pub fn new() -> ClauseDb {
         ClauseDb::default()
@@ -91,11 +93,6 @@ impl ClauseDb {
     #[inline]
     pub fn lbd(&self, cref: ClauseRef) -> u32 {
         self.clauses[cref.0 as usize].lbd
-    }
-
-    #[inline]
-    pub fn set_lbd(&mut self, cref: ClauseRef, lbd: u32) {
-        self.clauses[cref.0 as usize].lbd = lbd;
     }
 
     #[inline]
@@ -157,11 +154,6 @@ impl ClauseDb {
     pub fn len(&self) -> usize {
         self.clauses.len()
     }
-
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.clauses.is_empty()
-    }
 }
 
 #[cfg(test)]
@@ -204,14 +196,14 @@ mod tests {
     #[test]
     fn lbd_and_waste_tracking() {
         let mut db = ClauseDb::new();
-        assert!(db.is_empty());
+        assert_eq!(db.len(), 0);
         let a = db.add(lits(&[1, 2, 3]), true, 5);
-        db.set_lbd(a, 2);
-        assert_eq!(db.lbd(a), 2);
+        assert_eq!(db.lbd(a), 5);
         assert_eq!(db.wasted(), 0);
         db.delete(a);
         assert_eq!(db.wasted(), 3);
-        assert!(!db.is_empty());
+        // Lazy deletion: the slot stays in the arena.
+        assert_eq!(db.len(), 1);
     }
 
     #[test]

@@ -112,6 +112,8 @@ pub struct SolverStats {
     pub restarts: u64,
     pub learnt_literals: u64,
     pub minimized_literals: u64,
+    /// Learnt clauses discarded by database reductions.
+    pub reduced_clauses: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -681,6 +683,7 @@ impl Solver {
             self.db.delete(cref);
             removed += 1;
         }
+        self.stats.reduced_clauses += removed as u64;
     }
 
     fn is_reason(&self, cref: ClauseRef) -> bool {
@@ -721,6 +724,14 @@ impl Solver {
             }
         }
         self.original.retain(|&c| !self.db.is_deleted(c));
+    }
+
+    /// Literal slots freed by clause deletions and not yet compacted — a
+    /// rough measure of how much garbage an instance is dragging along.
+    /// Long-lived incremental sessions (warm-start pools) use it to decide
+    /// when a parked solver is too stale to be worth keeping.
+    pub fn wasted_literals(&self) -> usize {
+        self.db.wasted()
     }
 
     fn budget_exhausted(&self) -> bool {
