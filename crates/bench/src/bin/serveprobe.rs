@@ -1,0 +1,240 @@
+//! CI gate for the `csl-serve` campaign daemon: the service path must
+//! be a *transparent* wrapper around the in-process pipeline.
+//!
+//! Four checks, each fatal (exit 1):
+//!
+//! 1. **Transparency** — the smoke matrix submitted over the socket
+//!    assembles to a campaign whose normalized JSON (wall-clock fields
+//!    zeroed) is byte-identical to an in-process
+//!    `Matrix::run_all` of the same cells in sequential mode.
+//! 2. **Crash isolation** — a poisoned cell aborts its worker process;
+//!    the campaign still completes, the cell reports `WorkerCrashed`,
+//!    and exactly one retry was attempted.
+//! 3. **Dedup** — two concurrent identical submissions record a dedup
+//!    hit, solve once, and receive byte-identical reports.
+//! 4. **Resume** — a restarted daemon on the same journal serves every
+//!    decided cell from the journal and still assembles the identical
+//!    normalized campaign.
+//!
+//! `--json <path>` archives the gate outcome plus the daemon-assembled
+//! campaign for the CI artifact trail.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use csl_bench::{bmc_depth, budget_secs, smoke_cells};
+use csl_core::api::{Json, Verifier};
+use csl_core::{DesignKind, Scheme};
+use csl_mc::{InconclusiveReason, Verdict};
+use csl_serve::{
+    normalized_campaign, normalized_report, Bind, CellSpec, Client, Daemon, DaemonConfig,
+    ServeOptions,
+};
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, ok: bool, what: &str) {
+        if ok {
+            println!("  ok: {what}");
+        } else {
+            println!("  FAIL: {what}");
+            self.failures.push(what.to_string());
+        }
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(format!("target/serveprobe/{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() -> ExitCode {
+    // This binary doubles as its daemons' worker executable.
+    csl_serve::serve_worker_if_flagged();
+
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next(),
+            // Accepted for CI-invocation symmetry with the other
+            // probes; serveprobe always uses a fresh scratch cache.
+            "--no-cache" => {}
+            other => {
+                eprintln!("usage: serveprobe [--json <path>] [--no-cache] (got `{other}`)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let options = ServeOptions {
+        budget: Duration::from_secs(budget_secs(20)),
+        bmc_depth: bmc_depth(4),
+        portfolio: false, // sequential: verdicts and traces deterministic
+        ..ServeOptions::default()
+    };
+    let cells: Vec<CellSpec> = smoke_cells().into_iter().map(CellSpec::from).collect();
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+
+    println!(
+        "serveprobe: {} smoke cells, budget {:?}",
+        cells.len(),
+        options.budget
+    );
+
+    // Reference: the same queries, in process, through the campaign API.
+    let reference = options
+        .apply(Verifier::new())
+        .into_matrix(
+            &Scheme::ALL,
+            &[DesignKind::SingleCycle],
+            &[csl_contracts::Contract::Sandboxing],
+        )
+        .run_all();
+    let reference_json = normalized_campaign(&reference).to_json();
+
+    let journal = scratch("journal").join("campaign.journal");
+    let config = || DaemonConfig {
+        bind: Bind::Tcp("127.0.0.1:0".into()),
+        workers: 2,
+        cache_dir: Some(scratch("cache")),
+        cache_max_entries: None,
+        journal: Some(journal.clone()),
+        worker_cmd: None, // current_exe: this binary, hook above
+    };
+
+    // -- 1: transparency --------------------------------------------------
+    let daemon = match Daemon::start(config()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("serveprobe: cannot start daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("daemon listening on {}", daemon.addr());
+    let run = |what: &str, f: &mut dyn FnMut() -> std::io::Result<bool>, gate: &mut Gate| match f()
+    {
+        Ok(ok) => gate.check(ok, what),
+        Err(e) => gate.check(false, &format!("{what} ({e})")),
+    };
+
+    let mut served_json = String::new();
+    run(
+        "daemon campaign is byte-identical to in-process Matrix::run_all",
+        &mut || {
+            let mut client = Client::connect(&daemon.addr())?;
+            let done = client.run("serveprobe-smoke", &cells, &options)?;
+            served_json = normalized_campaign(&done.campaign).to_json();
+            Ok(served_json == reference_json)
+        },
+        &mut gate,
+    );
+
+    // -- 2: crash isolation -----------------------------------------------
+    run(
+        "killed worker costs one cell (WorkerCrashed), one retry, campaign completes",
+        &mut || {
+            let mut client = Client::connect(&daemon.addr())?;
+            let poisoned = CellSpec {
+                poison: true,
+                ..cells[0].clone()
+            };
+            let done = client.run("serveprobe-crash", &[poisoned, cells[0].clone()], &options)?;
+            let crashed = matches!(
+                done.campaign.reports[0].verdict,
+                Verdict::Unknown {
+                    reason: InconclusiveReason::WorkerCrashed { .. }
+                }
+            );
+            let healthy_ok = normalized_report(&done.campaign.reports[1]).to_json()
+                == normalized_report(&reference.reports[0]).to_json();
+            Ok(crashed && healthy_ok && done.stats.retries == 1 && done.stats.crashes == 2)
+        },
+        &mut gate,
+    );
+
+    // -- 3: dedup ----------------------------------------------------------
+    run(
+        "concurrent duplicate submissions solve once and record a dedup hit",
+        &mut || {
+            let delayed = CellSpec {
+                delay_ms: 600,
+                ..cells[0].clone()
+            };
+            let mut a = Client::connect(&daemon.addr())?;
+            let mut b = Client::connect(&daemon.addr())?;
+            let ja = a.submit("serveprobe-dup-a", std::slice::from_ref(&delayed), &options)?;
+            let jb = b.submit("serveprobe-dup-b", std::slice::from_ref(&delayed), &options)?;
+            let da = a.wait_done(ja)?;
+            let db = b.wait_done(jb)?;
+            Ok(da.stats.solved + db.stats.solved == 1
+                && da.stats.dedup_hits + db.stats.dedup_hits == 1
+                && da.campaign.reports[0].to_json() == db.campaign.reports[0].to_json())
+        },
+        &mut gate,
+    );
+
+    match Client::connect(&daemon.addr()).map(Client::shutdown) {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) | Err(e) => {
+            gate.check(false, &format!("clean daemon shutdown ({e})"));
+        }
+    }
+    daemon.join();
+
+    // -- 4: resume ----------------------------------------------------------
+    let mut journal_hits = 0;
+    run(
+        "restarted daemon replays journaled cells and matches the reference",
+        &mut || {
+            let daemon = Daemon::start(config())?; // same journal, fresh session
+            let mut client = Client::connect(&daemon.addr())?;
+            let done = client.run("serveprobe-resume", &cells, &options)?;
+            journal_hits = done.stats.journal_hits;
+            let decided = reference
+                .reports
+                .iter()
+                .filter(|r| r.verdict.is_attack() || r.verdict.is_proof())
+                .count() as u64;
+            let replayed = normalized_campaign(&done.campaign).to_json() == reference_json;
+            client.shutdown()?;
+            daemon.stop();
+            Ok(replayed && journal_hits == decided && decided >= 1)
+        },
+        &mut gate,
+    );
+
+    if let Some(path) = json_path {
+        let artifact = Json::obj(vec![
+            ("probe", Json::Str("serveprobe".into())),
+            ("cells", Json::Int(cells.len() as i64)),
+            ("pass", Json::Bool(gate.failures.is_empty())),
+            (
+                "failures",
+                Json::Arr(gate.failures.iter().cloned().map(Json::Str).collect()),
+            ),
+            ("journal_hits", Json::Int(journal_hits as i64)),
+            ("campaign", Json::parse(&served_json).unwrap_or(Json::Null)),
+        ]);
+        if let Err(e) = std::fs::write(&path, artifact.render()) {
+            eprintln!("serveprobe: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("json report written to {path}");
+    }
+
+    if gate.failures.is_empty() {
+        println!("serveprobe: all gates passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("serveprobe: {} gate(s) failed", gate.failures.len());
+        ExitCode::FAILURE
+    }
+}

@@ -16,8 +16,17 @@
 //! would mask a later, luckier run. `Matrix::run_all` consults the cache
 //! when one is configured (see `Matrix::cache`); the bench bins expose
 //! the `--no-cache` escape hatch.
+//!
+//! The directory is safe to share between concurrent processes (the
+//! `csl-serve` daemon points every worker at one cache): stores write to
+//! a tempfile in the cache directory and `rename` it into place, so a
+//! reader never observes torn JSON. Hit/miss/store counts are kept per
+//! cache handle (shared across clones) and readable via
+//! [`ReportCache::stats`].
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use csl_hdl::{Aig, Node};
 use csl_mc::{Candidate, CheckOptions, SafetyCheck};
@@ -178,6 +187,28 @@ pub(crate) fn options_fingerprint(h: &mut Fingerprint, opts: &CheckOptions) {
     }
 }
 
+/// Hit/miss/store counts of a [`ReportCache`] handle, snapshot by
+/// [`ReportCache::stats`]. Counters are shared across clones of the
+/// handle (workers sharing one cache aggregate into one set) but not
+/// across independently-opened handles on the same directory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Loads that found a parsable entry.
+    pub hits: u64,
+    /// Loads that found nothing (or an unreadable/unparsable entry).
+    pub misses: u64,
+    /// Stores that actually wrote an entry (undecided reports are
+    /// silently skipped and not counted).
+    pub stores: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
 /// A directory of persisted [`Report`]s keyed by query fingerprint,
 /// optionally size-capped: with [`ReportCache::with_max_entries`] the
 /// oldest entries — least-recently *used*, because a hit refreshes the
@@ -186,6 +217,7 @@ pub(crate) fn options_fingerprint(h: &mut Fingerprint, opts: &CheckOptions) {
 pub struct ReportCache {
     dir: PathBuf,
     max_entries: Option<usize>,
+    counters: Arc<CacheCounters>,
 }
 
 impl ReportCache {
@@ -195,6 +227,7 @@ impl ReportCache {
         ReportCache {
             dir: dir.into(),
             max_entries: None,
+            counters: Arc::new(CacheCounters::default()),
         }
     }
 
@@ -223,6 +256,16 @@ impl ReportCache {
         self.max_entries
     }
 
+    /// Snapshot of this handle's hit/miss/store counters (shared across
+    /// clones of the handle).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            stores: self.counters.stores.load(Ordering::Relaxed),
+        }
+    }
+
     fn path_for(&self, key: u64) -> PathBuf {
         self.dir.join(format!("{key:016x}.json"))
     }
@@ -231,6 +274,19 @@ impl ReportCache {
     /// unparsable entries are treated as misses (the cell just reruns).
     /// A hit bumps the entry's mtime so LRU pruning spares it.
     pub fn load(&self, key: u64) -> Option<Report> {
+        match self.load_untracked(key) {
+            Some(report) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(report)
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn load_untracked(&self, key: u64) -> Option<Report> {
         let path = self.path_for(key);
         let text = std::fs::read_to_string(&path).ok()?;
         let report = Report::from_json(&text).ok()?;
@@ -292,12 +348,32 @@ impl ReportCache {
     /// Persists a *decided* report under `key`; timeouts and unknowns are
     /// silently skipped (see the module docs). With a size cap, the
     /// least-recently-used entries are pruned afterwards.
+    ///
+    /// The write is atomic with respect to concurrent readers: the JSON
+    /// goes to a uniquely-named tempfile in the cache directory and is
+    /// `rename`d into place, so a parallel [`ReportCache::load`] sees
+    /// either the old entry, the new entry, or nothing — never a torn
+    /// half-written document.
     pub fn store(&self, key: u64, report: &Report) -> std::io::Result<()> {
         if !(report.verdict.is_attack() || report.verdict.is_proof()) {
             return Ok(());
         }
         std::fs::create_dir_all(&self.dir)?;
-        std::fs::write(self.path_for(key), report.to_json())?;
+        // Unique per process × store: concurrent workers sharing the
+        // directory never collide on the tempfile either.
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            ".{key:016x}.{}-{}.tmp",
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::write(&tmp, report.to_json())?;
+        let renamed = std::fs::rename(&tmp, self.path_for(key));
+        if renamed.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        renamed?;
+        self.counters.stores.fetch_add(1, Ordering::Relaxed);
         if let Some(cap) = self.max_entries {
             self.prune_to(cap);
         }
@@ -392,6 +468,99 @@ mod tests {
         report.verdict = Verdict::Timeout;
         cache.store(2, &report).unwrap();
         assert!(cache.load(2).is_none(), "timeouts are never cached");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counters_track_hits_misses_and_stores() {
+        use csl_contracts::Contract;
+        use csl_mc::{ProofEngine, Verdict};
+
+        let dir = std::env::temp_dir().join(format!("csl-cache-stats-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ReportCache::new(&dir);
+        let mut report = Report {
+            scheme: crate::Scheme::Leave,
+            design: crate::DesignKind::SingleCycle,
+            contract: Contract::Sandboxing,
+            verdict: Verdict::Proof(ProofEngine::Houdini { invariants: 3 }),
+            elapsed: std::time::Duration::from_millis(10),
+            notes: vec![],
+            exchange: vec![],
+            prepare: vec![],
+            fuzz: None,
+            solver: Vec::new(),
+        };
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!(cache.load(7).is_none());
+        cache.store(7, &report).unwrap();
+        assert!(cache.load(7).is_some());
+        // A skipped (undecided) store must not count.
+        report.verdict = Verdict::Timeout;
+        cache.store(8, &report).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 1, 1));
+        // Clones share the counter set.
+        let clone = cache.clone();
+        assert!(clone.load(7).is_some());
+        assert_eq!(cache.stats().hits, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_never_expose_torn_entries() {
+        use csl_contracts::Contract;
+        use csl_mc::{ProofEngine, Verdict};
+
+        let dir = std::env::temp_dir().join(format!("csl-cache-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = Report {
+            scheme: crate::Scheme::Leave,
+            design: crate::DesignKind::SingleCycle,
+            contract: Contract::Sandboxing,
+            verdict: Verdict::Proof(ProofEngine::Houdini { invariants: 3 }),
+            // Enough notes to make the document big enough that a
+            // non-atomic write would be observably torn.
+            elapsed: std::time::Duration::from_millis(10),
+            notes: (0..64).map(|i| format!("filler note {i}")).collect(),
+            exchange: vec![],
+            prepare: vec![],
+            fuzz: None,
+            solver: Vec::new(),
+        };
+        let key = 0x42u64;
+        let cache = ReportCache::new(&dir);
+        cache.store(key, &report).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let cache = cache.clone();
+                let report = &report;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        cache.store(key, report).unwrap();
+                    }
+                });
+            }
+            let reader = ReportCache::new(&dir);
+            scope.spawn(move || {
+                for _ in 0..300 {
+                    // The entry exists for the whole loop; with atomic
+                    // rename-into-place every read parses.
+                    assert!(
+                        reader.load(key).is_some(),
+                        "reader observed a torn or missing entry"
+                    );
+                }
+            });
+        });
+        assert_eq!(cache.stats().stores, 301);
+        // No tempfile debris left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -53,7 +53,7 @@ use crate::shadow::ShadowOptions;
 use crate::verify::{instance_for, run_scheme, Scheme};
 
 pub use crate::fuzz::FuzzPlan;
-pub use cache::ReportCache;
+pub use cache::{CacheStats, ReportCache};
 pub use csl_mc::{
     ExchangeConfig, ExchangeStats, ExecMode as Mode, FuzzStats, InconclusiveReason, Lane,
     LaneBudget, LaneExchange, LanePlan, PrepareConfig, PrepareStats, PreparedInstance,

@@ -156,7 +156,11 @@ impl Report {
         .join(",")
     }
 
-    fn to_value(&self) -> Json {
+    /// The report as a [`Json`] value — the embedding form used when a
+    /// report travels inside a larger document (the `csl-serve` wire
+    /// protocol nests reports in its `update` messages and journal
+    /// lines). [`Report::to_json`] is `to_value().render()`.
+    pub fn to_value(&self) -> Json {
         let mut pairs = vec![
             ("schema", Json::Str("csl-report-v1".into())),
             ("scheme", Json::Str(self.scheme.name().into())),
@@ -193,7 +197,8 @@ impl Report {
         Json::obj(pairs)
     }
 
-    fn from_value(v: &Json) -> Result<Report, ReadError> {
+    /// Parses an embedded report value (inverse of [`Report::to_value`]).
+    pub fn from_value(v: &Json) -> Result<Report, ReadError> {
         match v.get("schema").and_then(Json::as_str) {
             Some("csl-report-v1") => {}
             other => return schema_err(format!("unsupported report schema {other:?}")),
@@ -525,6 +530,10 @@ fn reason_to_value(r: &InconclusiveReason) -> Json {
         InconclusiveReason::FuzzExhausted { trials } => {
             usize_obj("fuzz-exhausted", "trials", *trials)
         }
+        InconclusiveReason::WorkerCrashed { detail } => Json::obj(vec![
+            ("kind", Json::Str("worker-crashed".into())),
+            ("detail", Json::Str(detail.clone())),
+        ]),
         InconclusiveReason::AllInconclusive => {
             Json::obj(vec![("kind", Json::Str("all-inconclusive".into()))])
         }
@@ -572,6 +581,13 @@ fn reason_from_value(v: &Json) -> Result<InconclusiveReason, ReadError> {
         }),
         Some("fuzz-exhausted") => Ok(InconclusiveReason::FuzzExhausted {
             trials: usize_field("trials")?,
+        }),
+        Some("worker-crashed") => Ok(InconclusiveReason::WorkerCrashed {
+            detail: v
+                .get("detail")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ReadError::Schema("missing reason detail".into()))?
+                .to_string(),
         }),
         Some("all-inconclusive") => Ok(InconclusiveReason::AllInconclusive),
         Some("other") => Ok(InconclusiveReason::Other(
@@ -744,6 +760,13 @@ impl CampaignReport {
 
     /// Serializes to the canonical `csl-campaign-v1` JSON document.
     pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// The campaign as a [`Json`] value — the embedding form used when a
+    /// whole campaign travels inside a larger document (the `csl-serve`
+    /// wire protocol nests it in its `done` message).
+    pub fn to_value(&self) -> Json {
         Json::obj(vec![
             ("schema", Json::Str("csl-campaign-v1".into())),
             ("wall", duration_to_value(self.wall)),
@@ -752,12 +775,16 @@ impl CampaignReport {
                 Json::Arr(self.reports.iter().map(Report::to_value).collect()),
             ),
         ])
-        .render()
     }
 
     /// Parses a document written by [`CampaignReport::to_json`].
     pub fn from_json(text: &str) -> Result<CampaignReport, ReadError> {
-        let v = Json::parse(text)?;
+        CampaignReport::from_value(&Json::parse(text)?)
+    }
+
+    /// Parses an embedded campaign value (inverse of
+    /// [`CampaignReport::to_value`]).
+    pub fn from_value(v: &Json) -> Result<CampaignReport, ReadError> {
         match v.get("schema").and_then(Json::as_str) {
             Some("csl-campaign-v1") => {}
             other => return schema_err(format!("unsupported campaign schema {other:?}")),
@@ -1229,6 +1256,9 @@ mod tests {
             InconclusiveReason::InvariantsInsufficient { survivors: 3 },
             InconclusiveReason::NoAttackWithinDepth { depth: 20 },
             InconclusiveReason::FuzzExhausted { trials: 2000 },
+            InconclusiveReason::WorkerCrashed {
+                detail: "signal 9".into(),
+            },
             InconclusiveReason::AllInconclusive,
             InconclusiveReason::Other("free text".into()),
         ];

@@ -1,0 +1,179 @@
+//! A blocking client for the daemon's JSON-lines protocol.
+//!
+//! One connection, one request at a time: submit a campaign, then pump
+//! [`Client::read_response`] (or let [`Client::wait_done`] do it) to
+//! stream per-cell updates until the assembled `done` campaign arrives.
+//! Protocol violations surface as `io::ErrorKind::InvalidData`, daemon
+//! `error` replies as `io::ErrorKind::Other`.
+
+use std::io::{BufRead, BufReader, Write};
+
+use csl_core::api::CampaignReport;
+
+use crate::net::{Conn, ServeAddr};
+use crate::protocol::{Request, Response, ServeStats, Source, StatusInfo};
+use crate::spec::{CellSpec, ServeOptions};
+use csl_core::api::Report;
+
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+/// One `update` line: cell `index` of the submission resolved.
+#[derive(Clone, Debug)]
+pub struct CellUpdate {
+    pub index: u64,
+    pub source: Source,
+    pub report: Report,
+}
+
+/// The terminal `done` line plus every update that preceded it.
+#[derive(Clone, Debug)]
+pub struct JobDone {
+    pub job: u64,
+    pub updates: Vec<CellUpdate>,
+    pub stats: ServeStats,
+    pub campaign: CampaignReport,
+}
+
+fn invalid(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+fn daemon_error(message: String) -> std::io::Error {
+    std::io::Error::other(format!("daemon error: {message}"))
+}
+
+impl Client {
+    pub fn connect(addr: &ServeAddr) -> std::io::Result<Client> {
+        let conn = Conn::connect(addr)?;
+        let writer = conn.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(conn),
+            writer,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> std::io::Result<()> {
+        writeln!(self.writer, "{}", req.to_line())?;
+        self.writer.flush()
+    }
+
+    /// Reads the next protocol line. EOF is `UnexpectedEof`.
+    pub fn read_response(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Response::parse(&line).map_err(invalid);
+        }
+    }
+
+    /// Submits a campaign; returns the daemon-assigned job id after the
+    /// `accepted` line.
+    pub fn submit(
+        &mut self,
+        id: &str,
+        cells: &[CellSpec],
+        options: &ServeOptions,
+    ) -> std::io::Result<u64> {
+        self.send(&Request::Submit {
+            id: id.to_string(),
+            cells: cells.to_vec(),
+            options: Box::new(options.clone()),
+        })?;
+        match self.read_response()? {
+            Response::Accepted { job, .. } => Ok(job),
+            Response::Error { message } => Err(daemon_error(message)),
+            other => Err(invalid(format!("expected `accepted`, got {other:?}"))),
+        }
+    }
+
+    /// Pumps updates until `job`'s campaign completes. Responses for
+    /// other requests interleaved on this connection (status snapshots,
+    /// cancel acks) are skipped.
+    pub fn wait_done(&mut self, job: u64) -> std::io::Result<JobDone> {
+        let mut updates = Vec::new();
+        loop {
+            match self.read_response()? {
+                Response::Update {
+                    job: j,
+                    index,
+                    source,
+                    report,
+                } if j == job => updates.push(CellUpdate {
+                    index,
+                    source,
+                    report: *report,
+                }),
+                Response::Done {
+                    job: j,
+                    stats,
+                    campaign,
+                } if j == job => {
+                    return Ok(JobDone {
+                        job,
+                        updates,
+                        stats,
+                        campaign: *campaign,
+                    })
+                }
+                Response::Error { message } => return Err(daemon_error(message)),
+                _ => {}
+            }
+        }
+    }
+
+    /// Submit-and-wait convenience.
+    pub fn run(
+        &mut self,
+        id: &str,
+        cells: &[CellSpec],
+        options: &ServeOptions,
+    ) -> std::io::Result<JobDone> {
+        let job = self.submit(id, cells, options)?;
+        self.wait_done(job)
+    }
+
+    pub fn status(&mut self) -> std::io::Result<StatusInfo> {
+        self.send(&Request::Status)?;
+        loop {
+            match self.read_response()? {
+                Response::Status(info) => return Ok(*info),
+                Response::Error { message } => return Err(daemon_error(message)),
+                // Updates for a concurrently-running job on this
+                // connection may arrive first.
+                _ => {}
+            }
+        }
+    }
+
+    /// Fire-and-forget cancel; the `cancelled` ack and per-cell
+    /// cancellation updates arrive in the response stream.
+    pub fn cancel(&mut self, job: u64) -> std::io::Result<()> {
+        self.send(&Request::Cancel { job })
+    }
+
+    /// Asks the daemon to exit; consumes the client after `bye`.
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        self.send(&Request::Shutdown)?;
+        loop {
+            match self.read_response() {
+                Ok(Response::Bye) => return Ok(()),
+                Ok(_) => continue,
+                // The daemon may tear the socket down right after `bye`.
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The campaign journal: crash-safe resume for long matrices.
+//!
+//! An append-only file of compact JSON lines, one per *decided* cell:
+//!
+//! ```text
+//! {"key":"00a1b2c3d4e5f607","report":{...csl-report-v1...}}
+//! ```
+//!
+//! Keys are the 16-hex-digit [`crate::spec::cell_key`] (hex strings, not
+//! JSON integers — the key space is the full `u64` and the canonical
+//! JSON layer is `i64`-only). A daemon started with `--journal` loads
+//! the file at boot and serves journaled cells without touching a
+//! worker, so a killed campaign resumes where it died; appends happen as
+//! cells complete, and a torn final line (daemon killed mid-write) is
+//! skipped on load rather than poisoning the resume.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use csl_core::api::{Json, Report};
+
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    pub fn new(path: impl Into<PathBuf>) -> Journal {
+        Journal { path: path.into() }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Every well-formed entry, in file order. Unreadable files read as
+    /// empty (a fresh campaign); garbled lines are skipped.
+    pub fn load(&self) -> Vec<(u64, Report)> {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return Vec::new();
+        };
+        text.lines().filter_map(parse_entry).collect()
+    }
+
+    /// Appends one decided cell. One `write` call per line keeps
+    /// concurrent appends from distinct daemon threads whole (the
+    /// daemon additionally serialises appends behind a mutex).
+    pub fn append(&self, key: u64, report: &Report) -> std::io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let line = Json::obj(vec![
+            ("key", Json::Str(format!("{key:016x}"))),
+            ("report", report.to_value()),
+        ])
+        .render_line();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(format!("{line}\n").as_bytes())
+    }
+}
+
+fn parse_entry(line: &str) -> Option<(u64, Report)> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let v = Json::parse(line).ok()?;
+    let key = u64::from_str_radix(v.get("key")?.as_str()?, 16).ok()?;
+    let report = Report::from_value(v.get("report")?).ok()?;
+    Some((key, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{undecided_report, CellSpec};
+    use csl_contracts::Contract;
+    use csl_core::{DesignKind, Scheme};
+    use csl_mc::InconclusiveReason;
+    use std::time::Duration;
+
+    fn report(scheme: Scheme) -> Report {
+        undecided_report(
+            &CellSpec::new(scheme, DesignKind::SingleCycle, Contract::Sandboxing),
+            InconclusiveReason::Other("journal test".into()),
+            Duration::ZERO,
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn appends_round_trip_and_torn_tails_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("csl-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = Journal::new(dir.join("smoke.journal"));
+        assert!(journal.load().is_empty());
+
+        journal
+            .append(0xdead_beef, &report(Scheme::Shadow))
+            .unwrap();
+        journal.append(u64::MAX, &report(Scheme::Baseline)).unwrap();
+        // Simulate a daemon killed mid-append: a torn trailing line.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(journal.path())
+                .unwrap();
+            f.write_all(b"{\"key\":\"1234\",\"report\":{\"sch").unwrap();
+        }
+
+        let entries = journal.load();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, 0xdead_beef);
+        assert_eq!(entries[0].1.scheme, Scheme::Shadow);
+        assert_eq!(entries[1].0, u64::MAX);
+        assert_eq!(entries[1].1.scheme, Scheme::Baseline);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,74 @@
+//! `csl-serve`: a sharded, crash-isolated verification campaign daemon.
+//!
+//! Long verification campaigns — the paper's scheme × design × contract
+//! matrix at real budgets — have failure modes a single process can't
+//! absorb: one solver OOM or assertion failure takes every other cell's
+//! progress with it, and a killed run restarts from zero. This crate
+//! turns the campaign runner into a small service:
+//!
+//! * **Daemon** ([`Daemon`]): listens on a TCP or Unix socket and
+//!   speaks a JSON-lines protocol ([`protocol`]) — `submit` a list of
+//!   cells, stream per-cell `update` lines as they resolve, receive the
+//!   assembled `done` campaign; plus `status`, `cancel`, `shutdown`.
+//! * **Crash isolation** ([`worker`]): every solve runs in a worker
+//!   *process* (the daemon re-execs its own binary with
+//!   [`WORKER_FLAG`]); a crash costs one cell, is retried once, and
+//!   otherwise lands in the campaign as a
+//!   `Verdict::Unknown { reason: WorkerCrashed { .. } }` report.
+//! * **Dedup**: identical in-flight queries (by
+//!   [`spec::cell_key`], i.e. `Query::cache_key`) are solved once; the
+//!   second submitter subscribes to the first's result.
+//! * **Cache**: the shared on-disk `ReportCache` is consulted before
+//!   any worker runs and fed by every decided verdict.
+//! * **Resume** ([`journal`]): decided cells append to a journal; a
+//!   restarted daemon serves them without re-solving.
+//!
+//! Everything is `std`-only: threads, `std::net`/`std::os::unix::net`,
+//! `std::process`.
+//!
+//! # Embedding
+//!
+//! Any binary that starts a [`Daemon`] in-process (tests, probes,
+//! examples) must call [`serve_worker_if_flagged`] first thing in
+//! `main`, because workers are re-execs of `current_exe()`:
+//!
+//! ```no_run
+//! use csl_serve::{Client, Daemon, DaemonConfig, CellSpec, ServeOptions};
+//! use csl_core::{Scheme, DesignKind};
+//! use csl_contracts::Contract;
+//!
+//! fn main() -> std::io::Result<()> {
+//!     csl_serve::serve_worker_if_flagged();
+//!     let daemon = Daemon::start(DaemonConfig::default())?;
+//!     let mut client = Client::connect(&daemon.addr())?;
+//!     let cells = vec![CellSpec::new(
+//!         Scheme::Shadow,
+//!         DesignKind::SingleCycle,
+//!         Contract::Sandboxing,
+//!     )];
+//!     let done = client.run("demo", &cells, &ServeOptions::default())?;
+//!     println!("{}", done.campaign.render_table());
+//!     client.shutdown()?;
+//!     daemon.join();
+//!     Ok(())
+//! }
+//! ```
+
+pub mod client;
+pub mod daemon;
+pub mod journal;
+pub mod net;
+pub mod protocol;
+pub mod spec;
+pub mod worker;
+
+pub use client::{CellUpdate, Client, JobDone};
+pub use daemon::{default_workers, Daemon, DaemonConfig, DaemonHandle};
+pub use journal::Journal;
+pub use net::{Bind, ServeAddr};
+pub use protocol::{Request, Response, ServeStats, Source, StatusInfo};
+pub use spec::{
+    cell_key, normalized_campaign, normalized_report, run_cell, undecided_report, CellSpec,
+    ServeOptions,
+};
+pub use worker::{serve_worker_if_flagged, worker_main, WORKER_FLAG};

@@ -1,0 +1,80 @@
+//! The `csl-serve` binary: start a campaign daemon from the command
+//! line. Re-exec'd with `--csl-serve-worker` by its own pool, this same
+//! binary is also the worker.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use csl_serve::{Bind, Daemon, DaemonConfig};
+
+const USAGE: &str = "\
+csl-serve: sharded, crash-isolated verification campaign daemon
+
+USAGE:
+    csl-serve [OPTIONS]
+
+OPTIONS:
+    --listen <host:port>   TCP listen address (default 127.0.0.1:9557;
+                           port 0 picks an ephemeral port)
+    --unix <path>          listen on a Unix-domain socket instead
+    --workers <n>          worker processes (default: half the cores)
+    --cache <dir>          shared report-cache directory
+    --cache-max <n>        cache LRU bound, in entries
+    --journal <path>       append-only resume journal
+    -h, --help             this text
+
+PROTOCOL:
+    JSON-lines; see the `Verification service` section of the README.
+";
+
+fn main() -> ExitCode {
+    // Must run before anything else: the daemon's worker pool re-execs
+    // this binary, and this call is what makes those copies workers.
+    csl_serve::serve_worker_if_flagged();
+
+    let mut config = DaemonConfig {
+        bind: Bind::Tcp("127.0.0.1:9557".into()),
+        ..DaemonConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        let result: Result<(), String> = match arg.as_str() {
+            "--listen" => value("--listen").map(|v| config.bind = Bind::Tcp(v)),
+            "--unix" => value("--unix").map(|v| config.bind = Bind::Unix(PathBuf::from(v))),
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse::<usize>()
+                    .map(|n| config.workers = n.max(1))
+                    .map_err(|_| format!("invalid --workers value `{v}`"))
+            }),
+            "--cache" => value("--cache").map(|v| config.cache_dir = Some(PathBuf::from(v))),
+            "--cache-max" => value("--cache-max").and_then(|v| {
+                v.parse::<usize>()
+                    .map(|n| config.cache_max_entries = Some(n))
+                    .map_err(|_| format!("invalid --cache-max value `{v}`"))
+            }),
+            "--journal" => value("--journal").map(|v| config.journal = Some(PathBuf::from(v))),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(e) = result {
+            eprintln!("csl-serve: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match Daemon::start(config) {
+        Ok(handle) => {
+            eprintln!("csl-serve: listening on {}", handle.addr());
+            handle.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("csl-serve: cannot start: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Transport: one stream type over TCP and Unix-domain sockets.
+//!
+//! The daemon binds either a `TcpListener` (loopback by default) or a
+//! `UnixListener`; [`Conn`] erases the difference for the per-connection
+//! protocol loop and the client. [`ServeAddr`] is the connectable
+//! identity a started daemon reports back — for TCP it carries the
+//! *resolved* address, so binding port 0 (tests, `serveprobe`) yields
+//! the real ephemeral port.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// Where a daemon listens (and where clients connect).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeAddr {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for ServeAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+            #[cfg(unix)]
+            ServeAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// How the daemon is asked to bind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Bind {
+    /// `host:port` string; port 0 picks an ephemeral port.
+    Tcp(String),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Default for Bind {
+    fn default() -> Bind {
+        // Port 0: never collide with another daemon on the machine;
+        // the handle reports the resolved port.
+        Bind::Tcp("127.0.0.1:0".into())
+    }
+}
+
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    pub(crate) fn bind(bind: &Bind) -> std::io::Result<(Listener, ServeAddr)> {
+        match bind {
+            Bind::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                let local = listener.local_addr()?;
+                Ok((Listener::Tcp(listener), ServeAddr::Tcp(local)))
+            }
+            #[cfg(unix)]
+            Bind::Unix(path) => {
+                // A stale socket file from a dead daemon blocks bind;
+                // connect() distinguishes live from stale.
+                if path.exists() && UnixStream::connect(path).is_err() {
+                    let _ = std::fs::remove_file(path);
+                }
+                let listener = UnixListener::bind(path)?;
+                Ok((Listener::Unix(listener), ServeAddr::Unix(path.clone())))
+            }
+        }
+    }
+
+    pub(crate) fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Conn::Unix(stream))
+            }
+        }
+    }
+}
+
+/// One accepted or dialled protocol stream.
+pub(crate) enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    pub(crate) fn connect(addr: &ServeAddr) -> std::io::Result<Conn> {
+        match addr {
+            ServeAddr::Tcp(a) => Ok(Conn::Tcp(TcpStream::connect(a)?)),
+            #[cfg(unix)]
+            ServeAddr::Unix(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
+        }
+    }
+
+    pub(crate) fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
+            #[cfg(unix)]
+            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Worker processes: the crash-isolation boundary.
+//!
+//! The daemon never calls the solver in its own address space. Each
+//! pool thread owns one child process — the daemon's own executable
+//! re-exec'd with a `--csl-serve-worker` flag — and speaks a one-line
+//! request / one-line response protocol over the child's stdin/stdout
+//! ([`crate::protocol::WorkerRequest`] / [`WorkerResponse`]). A solver
+//! crash, OOM kill, or stack overflow therefore takes down one cell's
+//! process, not the campaign: the pool thread observes EOF on the
+//! child's stdout, harvests the exit code or signal for the report, and
+//! respawns a fresh worker for the next cell.
+//!
+//! Any binary that embeds [`crate::Daemon`] in-process must call
+//! [`serve_worker_if_flagged`] first thing in `main`, because the
+//! daemon's default worker command is `current_exe()` — the hook is
+//! what turns those re-exec'd copies into workers instead of a fork
+//! bomb of daemons.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::Duration;
+
+use crate::protocol::{WorkerRequest, WorkerResponse};
+use crate::spec::{run_cell, CellSpec, ServeOptions};
+
+/// The argv[1] sentinel that turns a re-exec'd binary into a worker.
+pub const WORKER_FLAG: &str = "--csl-serve-worker";
+
+/// Call first thing in `main` of any binary that may act as a daemon
+/// worker (the `csl-serve` binary itself, `serveprobe`, examples and
+/// tests embedding a daemon in-process). If argv\[1\] is
+/// [`WORKER_FLAG`], runs the worker loop and exits; otherwise returns
+/// immediately.
+pub fn serve_worker_if_flagged() {
+    if std::env::args().nth(1).as_deref() == Some(WORKER_FLAG) {
+        std::process::exit(worker_main());
+    }
+}
+
+/// The worker loop: read a request line from stdin, solve the cell in
+/// this process, write the report line to stdout. Exits 0 on stdin EOF
+/// (the daemon dropped us), non-zero on a protocol error. Fault
+/// injection honoured here — `delay_ms` sleeps before solving,
+/// `poison` aborts, exactly where a real solver crash would land.
+pub fn worker_main() -> i32 {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { return 1 };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match WorkerRequest::parse(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                eprintln!("csl-serve worker: {e}");
+                return 2;
+            }
+        };
+        if req.cell.delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(req.cell.delay_ms));
+        }
+        if req.cell.poison {
+            // The crash-isolation test path: die the way a broken
+            // solver would, after the request is fully consumed.
+            std::process::abort();
+        }
+        let report = run_cell(&req.cell, &req.options);
+        let resp = WorkerResponse { id: req.id, report };
+        if writeln!(stdout, "{}", resp.to_line())
+            .and_then(|_| stdout.flush())
+            .is_err()
+        {
+            return 1;
+        }
+    }
+    0
+}
+
+/// Pool-side handle to one live worker process.
+pub(crate) struct WorkerProc {
+    child: Child,
+    stdin: ChildStdin,
+    /// Lines from the child's stdout, pumped by a reader thread so the
+    /// pool thread can wait with a deadline; the channel disconnects at
+    /// child EOF — i.e. on crash.
+    lines: Receiver<String>,
+    next_id: u64,
+}
+
+impl WorkerProc {
+    pub(crate) fn spawn(cmd: &Path) -> std::io::Result<WorkerProc> {
+        let mut child = Command::new(cmd)
+            .arg(WORKER_FLAG)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            // stderr passes through: worker panics and abort notices
+            // stay visible in the daemon's log.
+            .spawn()?;
+        let stdin = child.stdin.take().expect("worker stdin is piped");
+        let stdout = child.stdout.take().expect("worker stdout is piped");
+        let (tx, lines) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        Ok(WorkerProc {
+            child,
+            stdin,
+            lines,
+            next_id: 0,
+        })
+    }
+
+    /// Sends one cell and waits for its report. `Err` carries a
+    /// human-readable crash/timeout detail, and means this process is
+    /// spent — the caller must drop it (killing the child) and spawn a
+    /// fresh one.
+    pub(crate) fn solve(
+        &mut self,
+        cell: &CellSpec,
+        options: &ServeOptions,
+        deadline: Duration,
+    ) -> Result<WorkerResponse, String> {
+        self.next_id += 1;
+        let req = WorkerRequest {
+            id: self.next_id,
+            cell: cell.clone(),
+            options: options.clone(),
+        };
+        if writeln!(self.stdin, "{}", req.to_line())
+            .and_then(|_| self.stdin.flush())
+            .is_err()
+        {
+            // EPIPE: the child died between cells.
+            return Err(self.exit_detail());
+        }
+        loop {
+            match self.lines.recv_timeout(deadline) {
+                Ok(line) => {
+                    let resp = WorkerResponse::parse(&line)
+                        .map_err(|e| format!("garbled worker output: {e}"))?;
+                    if resp.id != self.next_id {
+                        // A stale reply from a request a previous owner
+                        // timed out on; keep waiting for ours.
+                        continue;
+                    }
+                    return Ok(resp);
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(self.exit_detail()),
+                Err(RecvTimeoutError::Timeout) => {
+                    let _ = self.child.kill();
+                    return Err(format!(
+                        "no verdict within the {deadline:?} watchdog; worker killed"
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Reaps the child and renders how it died.
+    fn exit_detail(&mut self) -> String {
+        match self.child.wait() {
+            Ok(status) => {
+                #[cfg(unix)]
+                {
+                    use std::os::unix::process::ExitStatusExt;
+                    if let Some(sig) = status.signal() {
+                        return format!("signal {sig}");
+                    }
+                }
+                match status.code() {
+                    Some(code) => format!("exit code {code}"),
+                    None => "terminated without an exit code".into(),
+                }
+            }
+            Err(e) => format!("unreapable worker: {e}"),
+        }
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}

@@ -1,0 +1,212 @@
+//! End-to-end daemon tests against the real `csl-serve` binary as the
+//! worker executable: crash isolation (a poisoned worker aborts, the
+//! campaign survives), in-flight dedup (identical concurrent
+//! submissions solve once), journal resume (a restarted daemon serves
+//! decided cells without a worker), and cancellation.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use csl_contracts::Contract;
+use csl_core::{DesignKind, Scheme};
+use csl_mc::{InconclusiveReason, Verdict};
+use csl_serve::{CellSpec, Client, Daemon, DaemonConfig, ServeOptions, Source};
+
+fn worker_cmd() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_csl-serve"))
+}
+
+fn config(workers: usize) -> DaemonConfig {
+    DaemonConfig {
+        workers,
+        worker_cmd: Some(worker_cmd()),
+        ..DaemonConfig::default()
+    }
+}
+
+/// The api-test workhorse knobs: decisive on the single-cycle design in
+/// seconds (sequential mode, so worker verdicts are deterministic).
+fn fast_options() -> ServeOptions {
+    ServeOptions {
+        budget: Duration::from_secs(10),
+        bmc_depth: 4,
+        ..ServeOptions::default()
+    }
+}
+
+fn leave_cell() -> CellSpec {
+    CellSpec::new(Scheme::Leave, DesignKind::SingleCycle, Contract::Sandboxing)
+}
+
+fn decided(report: &csl_core::api::Report) -> bool {
+    report.verdict.is_attack() || report.verdict.is_proof()
+}
+
+#[test]
+fn poisoned_worker_kills_one_cell_not_the_campaign() {
+    let daemon = Daemon::start(config(1)).unwrap();
+    let mut client = Client::connect(&daemon.addr()).unwrap();
+    let poisoned = CellSpec {
+        poison: true,
+        ..leave_cell()
+    };
+    let done = client
+        .run("crash", &[poisoned, leave_cell()], &fast_options())
+        .unwrap();
+
+    assert_eq!(done.campaign.reports.len(), 2);
+    match &done.campaign.reports[0].verdict {
+        Verdict::Unknown {
+            reason: InconclusiveReason::WorkerCrashed { detail },
+        } => {
+            // abort() dies by SIGABRT; accept any exit-style detail so
+            // the assertion is not tied to one libc.
+            assert!(
+                detail.contains("signal") || detail.contains("exit"),
+                "unexpected crash detail: {detail}"
+            );
+        }
+        other => panic!("poisoned cell should report WorkerCrashed, got {other:?}"),
+    }
+    assert!(
+        done.campaign.reports[1].verdict.is_proof(),
+        "the healthy cell must still complete: {:?}",
+        done.campaign.reports[1].verdict
+    );
+    assert_eq!(done.stats.retries, 1, "exactly one retry is attempted");
+    assert_eq!(done.stats.crashes, 2, "first attempt + retry both crash");
+    assert_eq!(done.stats.solved, 1, "only the healthy cell is solved");
+
+    client.shutdown().unwrap();
+    daemon.join();
+}
+
+#[test]
+fn concurrent_identical_submissions_solve_once() {
+    let daemon = Daemon::start(config(2)).unwrap();
+    // The delay keeps the query in flight while the second submission
+    // arrives (and salts the key, so no other test's results interfere).
+    let cell = CellSpec {
+        delay_ms: 500,
+        ..leave_cell()
+    };
+    let mut a = Client::connect(&daemon.addr()).unwrap();
+    let mut b = Client::connect(&daemon.addr()).unwrap();
+    let ja = a
+        .submit("dup-a", std::slice::from_ref(&cell), &fast_options())
+        .unwrap();
+    let jb = b
+        .submit("dup-b", std::slice::from_ref(&cell), &fast_options())
+        .unwrap();
+    let da = a.wait_done(ja).unwrap();
+    let db = b.wait_done(jb).unwrap();
+
+    assert_eq!(
+        da.stats.solved + db.stats.solved,
+        1,
+        "the identical query is solved exactly once"
+    );
+    assert_eq!(da.stats.dedup_hits + db.stats.dedup_hits, 1);
+    assert_eq!(
+        da.campaign.reports[0].to_json(),
+        db.campaign.reports[0].to_json(),
+        "both submitters receive byte-identical reports"
+    );
+    let status = a.status().unwrap();
+    assert_eq!(status.totals.solved, 1);
+    assert!(status.totals.dedup_hits >= 1, "{:?}", status.totals);
+
+    a.shutdown().unwrap();
+    daemon.join();
+}
+
+#[test]
+fn restarted_daemon_serves_journaled_cells() {
+    let dir = std::env::temp_dir().join(format!("csl-serve-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal = dir.join("campaign.journal");
+    let cells = vec![
+        leave_cell(),
+        CellSpec::new(
+            Scheme::Shadow,
+            DesignKind::SingleCycle,
+            Contract::Sandboxing,
+        ),
+    ];
+    let cfg = || DaemonConfig {
+        journal: Some(journal.clone()),
+        ..config(2)
+    };
+
+    let d1 = Daemon::start(cfg()).unwrap();
+    let mut c1 = Client::connect(&d1.addr()).unwrap();
+    let first = c1.run("resume-1", &cells, &fast_options()).unwrap();
+    assert!(
+        first.updates.iter().all(|u| u.source == Source::Worker),
+        "a fresh daemon with an empty journal solves everything"
+    );
+    c1.shutdown().unwrap();
+    d1.join();
+
+    let d2 = Daemon::start(cfg()).unwrap();
+    let mut c2 = Client::connect(&d2.addr()).unwrap();
+    let second = c2.run("resume-2", &cells, &fast_options()).unwrap();
+    let decided_cells = first.campaign.reports.iter().filter(|r| decided(r)).count();
+    assert!(
+        decided_cells >= 1,
+        "LEAVE at least proves the single-cycle design"
+    );
+    assert_eq!(
+        second.stats.journal_hits as usize, decided_cells,
+        "every decided cell is served from the journal without a worker"
+    );
+    assert_eq!(
+        second.stats.solved as usize,
+        cells.len() - decided_cells,
+        "only undecided cells are re-solved"
+    );
+    for update in &second.updates {
+        let before = &first.campaign.reports[update.index as usize];
+        if decided(before) {
+            assert_eq!(update.source, Source::Journal);
+            assert_eq!(
+                update.report.to_json(),
+                before.to_json(),
+                "journal replay is byte-identical"
+            );
+        }
+    }
+    c2.shutdown().unwrap();
+    d2.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_completes_the_job_with_cancelled_cells() {
+    let daemon = Daemon::start(config(1)).unwrap();
+    let mut client = Client::connect(&daemon.addr()).unwrap();
+    let slow = |ms| CellSpec {
+        delay_ms: ms,
+        ..leave_cell()
+    };
+    let job = client
+        .submit("cancel", &[slow(900), slow(901)], &fast_options())
+        .unwrap();
+    client.cancel(job).unwrap();
+    let done = client.wait_done(job).unwrap();
+
+    assert_eq!(done.campaign.reports.len(), 2, "the campaign stays total");
+    assert!(
+        done.stats.cancelled >= 1,
+        "at least the queued cell is cancelled: {:?}",
+        done.stats
+    );
+    assert!(done
+        .updates
+        .iter()
+        .any(|u| u.source == Source::Cancelled
+            && matches!(u.report.verdict, Verdict::Unknown { .. })));
+
+    client.shutdown().unwrap();
+    daemon.join();
+}

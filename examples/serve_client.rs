@@ -1,0 +1,73 @@
+//! A tour of the verification service: start a `csl-serve` daemon
+//! in-process, submit the smoke campaign over the socket, stream
+//! per-cell updates, then resubmit to show in-memory dedup.
+//!
+//! ```sh
+//! cargo run --release --example serve_client
+//! ```
+
+use std::time::Duration;
+
+use contract_shadow_logic::prelude::*;
+use contract_shadow_logic::serve;
+
+fn main() -> std::io::Result<()> {
+    // MUST run before anything else: the daemon's workers are re-execs
+    // of this very binary, flagged with `--csl-serve-worker`.
+    serve::serve_worker_if_flagged();
+
+    // An ephemeral loopback port, two worker processes, and a journal —
+    // kill this example mid-campaign and rerun it: completed cells
+    // come back from the journal instead of re-solving.
+    let journal = std::env::temp_dir().join("csl-serve-example.journal");
+    let daemon = serve::Daemon::start(serve::DaemonConfig {
+        workers: 2,
+        journal: Some(journal.clone()),
+        ..serve::DaemonConfig::default()
+    })?;
+    println!("daemon listening on {}", daemon.addr());
+
+    // Every scheme on the single-cycle design under sandboxing.
+    let cells: Vec<CellSpec> = Scheme::ALL
+        .into_iter()
+        .map(|scheme| CellSpec::new(scheme, DesignKind::SingleCycle, Contract::Sandboxing))
+        .collect();
+    let options = ServeOptions {
+        budget: Duration::from_secs(10),
+        bmc_depth: 4,
+        ..ServeOptions::default()
+    };
+
+    let mut client = Client::connect(&daemon.addr())?;
+    let job = client.submit("example", &cells, &options)?;
+    println!("job {job} accepted ({} cells)", cells.len());
+    let done = client.wait_done(job)?;
+    for update in &done.updates {
+        println!(
+            "  cell {} [{}] {:<10} {}",
+            update.index,
+            update.source.name(),
+            update.report.cell(),
+            update.report.label(),
+        );
+    }
+    print!("{}", done.campaign.render_table());
+    println!(
+        "solved {} / dedup {} / journal {} / crashes {}",
+        done.stats.solved, done.stats.dedup_hits, done.stats.journal_hits, done.stats.crashes
+    );
+
+    // The identical campaign again: decided cells dedup against this
+    // session's results without touching a worker (timeouts/unknowns
+    // re-solve, matching the report-cache policy).
+    let rerun = client.run("example-rerun", &cells, &options)?;
+    println!(
+        "rerun: solved {} / dedup {} (decided cells are never re-solved)",
+        rerun.stats.solved, rerun.stats.dedup_hits
+    );
+
+    client.shutdown()?;
+    daemon.join();
+    let _ = std::fs::remove_file(journal);
+    Ok(())
+}

@@ -18,6 +18,7 @@
 //! | [`contracts`] | `csl-contracts` | sandboxing & constant-time contracts |
 //! | [`cpu`] | `csl-cpu` | in-order, SimpleOoO (+5 defences), superscalar, BigOoO |
 //! | [`core`] | `csl-core` | **the paper's contribution**: shadow logic + schemes |
+//! | [`serve`] | `csl-serve` | campaign daemon: wire protocol, worker processes, dedup, resume |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use csl_hdl as hdl;
 pub use csl_isa as isa;
 pub use csl_mc as mc;
 pub use csl_sat as sat;
+pub use csl_serve as serve;
 
 /// The commonly-needed types in one import: the [`csl_core::api`]
 /// session types plus the enums and configs they consume. The deprecated
@@ -73,4 +75,5 @@ pub mod prelude {
     pub use csl_mc::{
         CheckOptions, CheckReport, ExecMode, InconclusiveReason, ProofEngine, Verdict,
     };
+    pub use csl_serve::{CellSpec, Client, Daemon, DaemonConfig, ServeAddr, ServeOptions};
 }
