@@ -1,0 +1,367 @@
+//! CI gate for the certificate subsystem: every decided verdict must be
+//! independently auditable, cheaply, and the cache must refuse to serve
+//! what it cannot re-audit.
+//!
+//! Four checks, each fatal (exit 1):
+//!
+//! 1. **Corpus evidence** — on the Table-2 corpus, every decided cell's
+//!    evidence re-checks against the freshly built *raw* instance (an
+//!    attack replays, a proof's certificate passes its obligations, a
+//!    proof without a certificate fails), and each re-check finishes in
+//!    well under the cell's original solve time.
+//! 2. **Bin accepts genuine reports** — `csl-certify` exits 0 on an
+//!    archived proof report and an archived attack report.
+//! 3. **Tampering exits 1** — a stripped certificate, an out-of-range
+//!    clause literal, a flipped restored constant / zeroed `k`, and a
+//!    truncated attack trace each make `csl-certify` exit 1.
+//! 4. **Verify-on-load round-trip** — a genuine report stored in a
+//!    `ReportCache` is served on rerun; a forged entry under the same
+//!    key is rejected (counted in `CacheStats::rejected`), evicted, and
+//!    the cell re-solves; the restored entry serves again.
+//!
+//! `--json <path>` archives the gate outcome plus per-cell solve/check
+//! timings for the CI artifact trail.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use csl_bench::{bmc_depth, budget_secs, table2_matrix, verifier};
+use csl_certify::{check_certificate, check_witness, CertKind, Witness};
+use csl_contracts::Contract;
+use csl_core::api::{Json, Query, Report, ReportCache};
+use csl_core::{DesignKind, Scheme};
+use csl_cpu::Defense;
+use csl_mc::Verdict;
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, ok: bool, what: &str) {
+        if ok {
+            println!("  ok: {what}");
+        } else {
+            println!("  FAIL: {what}");
+            self.failures.push(what.to_string());
+        }
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(format!("target/certprobe/{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// The raw instance a report's identity pins down — same rebuild the
+/// `csl-certify` bin and the cache's verify-on-load perform.
+fn raw_task(report: &Report) -> csl_mc::SafetyCheck {
+    csl_core::api::Verifier::new()
+        .design(report.design)
+        .contract(report.contract)
+        .scheme(report.scheme)
+        .query()
+        .expect("reports always carry a design and a contract")
+        .raw_instance()
+}
+
+/// Re-checks one decided report, returning (accepted, check wall time).
+fn audit(report: &Report) -> (bool, Duration) {
+    let start = Instant::now();
+    let ok = match &report.verdict {
+        Verdict::Attack(trace) => {
+            check_witness(&raw_task(report).aig, &Witness::new((**trace).clone())).is_ok()
+        }
+        Verdict::Proof(_) => report
+            .certificate
+            .as_ref()
+            .is_some_and(|cert| check_certificate(&raw_task(report), cert).is_ok()),
+        _ => true,
+    };
+    (ok, start.elapsed())
+}
+
+/// Runs the `csl-certify` binary (a sibling of this one) on a report
+/// file and returns its exit code.
+fn certify_bin(bin: &std::path::Path, report_path: &std::path::Path) -> Option<i32> {
+    std::process::Command::new(bin)
+        .arg(report_path)
+        .output()
+        .ok()
+        .and_then(|out| out.status.code())
+}
+
+fn write_report(dir: &std::path::Path, name: &str, report: &Report) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, report.to_json()).expect("write tamper fixture");
+    path
+}
+
+fn main() -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next(),
+            // Accepted for CI-invocation symmetry with the other
+            // probes; certprobe always bypasses the session cache for
+            // the corpus and uses a fresh scratch cache for gate 4.
+            "--no-cache" => {}
+            other => {
+                eprintln!("usage: certprobe [--json <path>] [--no-cache] (got `{other}`)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+
+    // -- 1: corpus evidence -----------------------------------------------
+    let corpus = table2_matrix(budget_secs(60), bmc_depth(8)).no_cache();
+    println!(
+        "certprobe: Table-2 corpus, {} cells, budget {}s",
+        corpus.cells().len(),
+        budget_secs(60)
+    );
+    let campaign = corpus.run_all();
+    let mut rows: Vec<(String, &'static str, i64, i64)> = Vec::new();
+    let mut decided = 0usize;
+    let mut audited_ok = 0usize;
+    let mut fast_enough = 0usize;
+    let mut total_solve = Duration::ZERO;
+    let mut total_check = Duration::ZERO;
+    for report in &campaign.reports {
+        if !(report.verdict.is_attack() || report.verdict.is_proof()) {
+            continue;
+        }
+        decided += 1;
+        let (ok, check) = audit(report);
+        audited_ok += ok as usize;
+        // "Well under the solve time", with a floor so trivially fast
+        // solves (the whole cell in milliseconds) don't flake the gate.
+        let bound = report.elapsed.max(Duration::from_millis(500));
+        fast_enough += (check <= bound) as usize;
+        total_solve += report.elapsed;
+        total_check += check;
+        println!(
+            "  {:44} {:6} solve {:>7.2}s check {:>6.3}s{}",
+            report.label(),
+            report.cell(),
+            report.elapsed.as_secs_f64(),
+            check.as_secs_f64(),
+            if ok { "" } else { "  REJECTED" }
+        );
+        rows.push((
+            report.label(),
+            report.cell(),
+            report.elapsed.as_millis() as i64,
+            check.as_millis() as i64,
+        ));
+    }
+    gate.check(
+        decided >= 1,
+        "the corpus decides at least one cell under this budget",
+    );
+    gate.check(
+        audited_ok == decided,
+        &format!("every decided cell's evidence re-checks ({audited_ok}/{decided})"),
+    );
+    gate.check(
+        fast_enough == decided,
+        &format!("every re-check runs in well under the solve time ({fast_enough}/{decided})"),
+    );
+    println!(
+        "  corpus totals: solve {:.1}s, check {:.2}s",
+        total_solve.as_secs_f64(),
+        total_check.as_secs_f64()
+    );
+
+    // Tamper fixtures: cells with budget-independent verdicts — LEAVE
+    // proves the single-cycle design fast; the undefended SimpleOoO
+    // yields a Spectre counterexample fast (the smoke gate relies on
+    // both staying stable).
+    let proof_query = |certify: bool| -> Query {
+        verifier(budget_secs(60), bmc_depth(8), false)
+            .certify(certify)
+            .design(DesignKind::SingleCycle)
+            .contract(Contract::Sandboxing)
+            .scheme(Scheme::Leave)
+            .query()
+            .expect("design and contract are set")
+    };
+    let proof_report = proof_query(true).run();
+    let attack_report = verifier(budget_secs(120), bmc_depth(14), true)
+        .design(DesignKind::SimpleOoo(Defense::None))
+        .contract(Contract::Sandboxing)
+        .scheme(Scheme::Shadow)
+        .query()
+        .expect("design and contract are set")
+        .run();
+    gate.check(
+        proof_report.verdict.is_proof() && proof_report.certificate.is_some(),
+        "LEAVE proof fixture decides with a certificate",
+    );
+    gate.check(
+        attack_report.verdict.is_attack(),
+        "Spectre attack fixture decides",
+    );
+
+    // -- 2 & 3: the csl-certify bin on genuine and tampered reports --------
+    let bin = std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            Some(
+                exe.parent()?
+                    .join(format!("csl-certify{}", std::env::consts::EXE_SUFFIX)),
+            )
+        })
+        .filter(|p| p.exists());
+    match bin {
+        None => gate.check(
+            false,
+            "csl-certify binary found next to certprobe (build with `cargo build --release -p csl-bench --bins`)",
+        ),
+        Some(bin) => {
+            let dir = scratch("reports");
+            let genuine = write_report(&dir, "proof.json", &proof_report);
+            gate.check(
+                certify_bin(&bin, &genuine) == Some(0),
+                "csl-certify accepts the genuine proof report (exit 0)",
+            );
+            let genuine_cex = write_report(&dir, "attack.json", &attack_report);
+            gate.check(
+                certify_bin(&bin, &genuine_cex) == Some(0),
+                "csl-certify accepts the genuine attack report (exit 0)",
+            );
+
+            let mut stripped = proof_report.clone();
+            stripped.certificate = None;
+            let stripped = write_report(&dir, "stripped.json", &stripped);
+            gate.check(
+                certify_bin(&bin, &stripped) == Some(1),
+                "stripped certificate exits 1",
+            );
+
+            let mut ranged = proof_report.clone();
+            let cert = ranged.certificate.as_mut().expect("checked above");
+            match &mut cert.kind {
+                CertKind::Inductive { blocked } => blocked.push(vec![(u32::MAX, true)]),
+                CertKind::KInduction { k } => *k = 0,
+            }
+            let ranged = write_report(&dir, "ranged.json", &ranged);
+            gate.check(
+                certify_bin(&bin, &ranged) == Some(1),
+                "out-of-range clause literal / zeroed k exits 1",
+            );
+
+            let mut flipped = proof_report.clone();
+            let cert = flipped.certificate.as_mut().expect("checked above");
+            if let Some(first) = cert.restored.first_mut() {
+                first.1 = !first.1;
+                let flipped = write_report(&dir, "flipped.json", &flipped);
+                gate.check(
+                    certify_bin(&bin, &flipped) == Some(1),
+                    "flipped restored-constant literal exits 1",
+                );
+            }
+
+            let mut truncated = attack_report.clone();
+            if let Verdict::Attack(trace) = &mut truncated.verdict {
+                trace.inputs.clear();
+            }
+            let truncated = write_report(&dir, "truncated.json", &truncated);
+            gate.check(
+                certify_bin(&bin, &truncated) == Some(1),
+                "truncated attack trace exits 1",
+            );
+        }
+    }
+
+    // -- 4: ReportCache verify-on-load round-trip ---------------------------
+    let cache = ReportCache::new(scratch("cache"));
+    let query = proof_query(true);
+    let served = |r: &Report| r.notes.iter().any(|n| n.starts_with("served from cache"));
+
+    let first = query.run_cached(&cache);
+    let second = query.run_cached(&cache);
+    gate.check(
+        !served(&first) && served(&second) && cache.stats().rejected == 0,
+        "genuine entry: miss, then served from cache, no rejections",
+    );
+
+    let mut forged = second.clone();
+    forged.certificate = None;
+    cache
+        .store(query.cache_key(), &forged)
+        .expect("store forged entry");
+    let third = query.run_cached(&cache);
+    gate.check(
+        !served(&third) && third.verdict.is_proof() && cache.stats().rejected == 1,
+        "forged entry: rejected on load, evicted, cell re-solves",
+    );
+    let fourth = query.run_cached(&cache);
+    gate.check(
+        served(&fourth) && cache.stats().rejected == 1,
+        "re-solved entry serves again",
+    );
+
+    // With certification off the same forged entry is served as-is —
+    // the knob really is what gates the audit.
+    let unaudited = proof_query(false);
+    cache
+        .store(unaudited.cache_key(), &forged)
+        .expect("store forged entry");
+    let blind = unaudited.run_cached(&cache);
+    gate.check(
+        served(&blind) && blind.certificate.is_none(),
+        ".certify(false) serves without the audit",
+    );
+
+    if let Some(path) = json_path {
+        let artifact = Json::obj(vec![
+            ("probe", Json::Str("certprobe".into())),
+            ("cells", Json::Int(campaign.reports.len() as i64)),
+            ("decided", Json::Int(decided as i64)),
+            ("pass", Json::Bool(gate.failures.is_empty())),
+            (
+                "failures",
+                Json::Arr(gate.failures.iter().cloned().map(Json::Str).collect()),
+            ),
+            ("solve_ms", Json::Int(total_solve.as_millis() as i64)),
+            ("check_ms", Json::Int(total_check.as_millis() as i64)),
+            (
+                "checks",
+                Json::Arr(
+                    rows.into_iter()
+                        .map(|(label, cell, solve, check)| {
+                            Json::obj(vec![
+                                ("cell", Json::Str(label)),
+                                ("verdict", Json::Str(cell.into())),
+                                ("solve_ms", Json::Int(solve)),
+                                ("check_ms", Json::Int(check)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        if let Err(e) = std::fs::write(&path, artifact.render()) {
+            eprintln!("certprobe: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("json report written to {path}");
+    }
+
+    if gate.failures.is_empty() {
+        println!("certprobe: all gates passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("certprobe: {} gate(s) failed", gate.failures.len());
+        ExitCode::FAILURE
+    }
+}

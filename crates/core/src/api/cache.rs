@@ -178,6 +178,9 @@ pub(crate) fn options_fingerprint(h: &mut Fingerprint, opts: &CheckOptions) {
     // solver-stats block of the report we would cache, so it is part of
     // the key like every other knob.
     h.bool(opts.warm_start);
+    // Certificate emission changes the report's certificate block (and
+    // whether a cached proof can pass verify-on-load), so it keys too.
+    h.bool(opts.certify);
     // Extra lanes (the fuzzing backend) hash through their labels: a
     // LaneFactory's label is required to change whenever the backend it
     // produces does (see its docs), so plan edits miss the cache.
@@ -200,6 +203,10 @@ pub struct CacheStats {
     /// Stores that actually wrote an entry (undecided reports are
     /// silently skipped and not counted).
     pub stores: u64,
+    /// Served entries that failed verify-on-load — the certificate or
+    /// witness did not re-check against the freshly built instance — and
+    /// were evicted so the cell re-solves (see `Query::run_cached`).
+    pub rejected: u64,
 }
 
 #[derive(Debug, Default)]
@@ -207,6 +214,7 @@ struct CacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    rejected: AtomicU64,
 }
 
 /// A directory of persisted [`Report`]s keyed by query fingerprint,
@@ -263,6 +271,7 @@ impl ReportCache {
             hits: self.counters.hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             stores: self.counters.stores.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -343,6 +352,16 @@ impl ReportCache {
         let mut hit = self.load(key)?;
         hit.notes.push(format!("served from cache ({key:016x})"));
         Some(hit)
+    }
+
+    /// Evicts the entry under `key` after it failed verify-on-load: the
+    /// stored certificate or witness no longer re-checks against the
+    /// freshly built instance (a stale schema, a corrupted file, or a
+    /// forged entry), so serving it would launder an unaudited verdict.
+    /// The caller falls through to a real solve.
+    pub fn reject(&self, key: u64) {
+        let _ = std::fs::remove_file(self.path_for(key));
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Persists a *decided* report under `key`; timeouts and unknowns are
@@ -429,6 +448,7 @@ mod tests {
                 ..CheckOptions::default()
             },
             CheckOptions::default().warm(true),
+            CheckOptions::default().certify(false),
             CheckOptions::default().with_extra_lane(crate::fuzz::fuzz_lane(
                 csl_isa::IsaConfig::default(),
                 crate::fuzz::FuzzPlan::default(),
@@ -460,6 +480,7 @@ mod tests {
             prepare: vec![],
             fuzz: None,
             solver: Vec::new(),
+            certificate: None,
         };
         assert!(cache.load(1).is_none());
         cache.store(1, &report).unwrap();
@@ -490,6 +511,7 @@ mod tests {
             prepare: vec![],
             fuzz: None,
             solver: Vec::new(),
+            certificate: None,
         };
         assert_eq!(cache.stats(), CacheStats::default());
         assert!(cache.load(7).is_none());
@@ -527,6 +549,7 @@ mod tests {
             prepare: vec![],
             fuzz: None,
             solver: Vec::new(),
+            certificate: None,
         };
         let key = 0x42u64;
         let cache = ReportCache::new(&dir);
@@ -583,6 +606,7 @@ mod tests {
             prepare: vec![],
             fuzz: None,
             solver: Vec::new(),
+            certificate: None,
         };
         let unbounded = ReportCache::new(&dir);
         // Three entries with strictly increasing (old) mtimes so the

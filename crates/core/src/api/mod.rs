@@ -31,9 +31,13 @@
 //! std::fs::write("report.json", report.to_json()).unwrap();
 //! ```
 //!
-//! The free functions this replaces (`verify`, `run_campaign`, the
-//! `build_*_instance` family) remain as `#[deprecated]` shims for one
-//! release.
+//! Decided verdicts carry independently checkable evidence by default:
+//! proofs an inductive-invariant certificate and attacks a replayable
+//! witness, both in raw-netlist vocabulary, re-validated by the
+//! `csl-certify` crate. The same evidence gates the result cache —
+//! [`Query::run_cached`] and [`Matrix::run_all`] re-check a served
+//! entry against a freshly built instance before trusting it
+//! (verify-on-load), evicting and re-solving anything that fails.
 
 mod cache;
 mod json;
@@ -60,8 +64,6 @@ pub use csl_mc::{
 };
 pub use json::{Json, JsonError};
 pub use report::{CampaignDiff, CampaignReport, ReadError, Report, VerdictChange};
-
-pub(crate) use report::{render_matrix_table, TableCell};
 
 /// The verification budget: a total wall clock (standing in for the
 /// paper's 7-day timeout) plus optional per-lane shaping — wall caps per
@@ -148,6 +150,7 @@ pub struct Verifier {
     prepare: PrepareConfig,
     fuzz: Option<FuzzPlan>,
     warm_start: bool,
+    certify: bool,
 }
 
 impl Default for Verifier {
@@ -174,6 +177,7 @@ impl Default for Verifier {
             prepare: opts.prepare,
             fuzz: None,
             warm_start: opts.warm_start,
+            certify: opts.certify,
         }
     }
 }
@@ -265,6 +269,19 @@ impl Verifier {
     /// `solver` block.
     pub fn warm(mut self, on: bool) -> Verifier {
         self.warm_start = on;
+        self
+    }
+
+    /// Emits a checkable certificate with every proof and gates the
+    /// result cache on re-validation (default on): proofs carry their
+    /// inductive invariant in raw-netlist vocabulary, attacks their
+    /// replayable trace, and [`Query::run_cached`] / [`Matrix::run_all`]
+    /// re-check a cache-served verdict against a freshly built instance
+    /// before serving it — a failed check evicts the entry and the cell
+    /// re-solves. Turning it off skips both the emission and the
+    /// verify-on-load pass (trust-the-cache mode).
+    pub fn certify(mut self, on: bool) -> Verifier {
+        self.certify = on;
         self
     }
 
@@ -404,6 +421,7 @@ impl Verifier {
             exchange: self.exchange.clone(),
             prepare: self.prepare.clone(),
             warm_start: self.warm_start,
+            certify: self.certify,
             extra_lanes: Vec::new(),
         }
     }
@@ -518,14 +536,48 @@ impl Query {
     /// [`Query::run`], consulting (and feeding) a [`ReportCache`]: a hit
     /// skips solving entirely and returns the stored report with a note
     /// appended; a decided miss is stored for next time.
+    ///
+    /// With certification on (the default, see [`Verifier::certify`]) a
+    /// hit is served only after *verify-on-load*: the stored proof
+    /// certificate is re-checked — or the stored attack trace replayed —
+    /// against a freshly built instance, so a stale, corrupted, or
+    /// forged entry can never launder an unaudited verdict. A failed
+    /// check evicts the entry (counted in [`CacheStats::rejected`]) and
+    /// the cell re-solves.
     pub fn run_cached(&self, cache: &ReportCache) -> Report {
         let key = self.cache_key();
         if let Some(hit) = cache.serve(key) {
-            return hit;
+            if !self.opts.certify || self.cached_report_is_sound(&hit) {
+                return hit;
+            }
+            cache.reject(key);
         }
         let report = self.run();
         let _ = cache.store(key, &report);
         report
+    }
+
+    /// The verify-on-load check: does this cache-served report's
+    /// evidence re-check against the freshly built raw instance? Attacks
+    /// must replay to a bad state with every assume held; proofs must
+    /// carry a certificate whose three obligations pass. A proof with no
+    /// certificate fails — under certification the cache only trusts
+    /// what it can audit.
+    fn cached_report_is_sound(&self, report: &Report) -> bool {
+        use csl_certify::{check_certificate, check_witness, Witness};
+        match &report.verdict {
+            csl_mc::Verdict::Attack(trace) => {
+                let task = self.raw_instance();
+                check_witness(&task.aig, &Witness::new((**trace).clone())).is_ok()
+            }
+            csl_mc::Verdict::Proof(_) => match &report.certificate {
+                Some(cert) => check_certificate(&self.raw_instance(), cert).is_ok(),
+                None => false,
+            },
+            // Undecided verdicts are never stored; if one slips in, it
+            // carries no claim worth auditing.
+            _ => true,
+        }
     }
 }
 
@@ -621,6 +673,13 @@ impl Matrix {
         self
     }
 
+    /// Per-cell certificate emission and cache verify-on-load (see
+    /// [`Verifier::certify`]).
+    pub fn certify(mut self, on: bool) -> Matrix {
+        self.base = self.base.certify(on);
+        self
+    }
+
     /// Arbitrary builder access for the remaining knobs.
     pub fn configure(mut self, f: impl FnOnce(Verifier) -> Verifier) -> Matrix {
         self.base = f(self.base);
@@ -657,9 +716,22 @@ impl Matrix {
             // the lookup stays simple rather than threading key
             // computation through the worker pool.
             for (i, cell) in self.cells.iter().enumerate() {
-                let key = self.cell_query(cell).cache_key();
+                let query = self.cell_query(cell);
+                let key = query.cache_key();
                 keys[i] = Some(key);
-                slots[i] = cache.serve(key);
+                // Verify-on-load (see `Query::run_cached`): a served
+                // entry whose certificate or witness fails to re-check
+                // is evicted and the cell re-solves on the pool.
+                slots[i] = match cache.serve(key) {
+                    Some(hit) if !query.options().certify || query.cached_report_is_sound(&hit) => {
+                        Some(hit)
+                    }
+                    Some(_) => {
+                        cache.reject(key);
+                        None
+                    }
+                    None => None,
+                };
             }
         }
         let to_run: Vec<usize> = (0..self.cells.len())
@@ -752,6 +824,66 @@ mod tests {
         // UPEC adds its fault exclusion at instance-build time, not here.
         let task = q.instance();
         assert!(task.aig().num_ands() > 0);
+    }
+
+    #[test]
+    fn run_cached_rejects_tampered_entries_and_resolves() {
+        use csl_mc::Verdict;
+
+        let dir = std::env::temp_dir().join(format!("csl-verify-on-load-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ReportCache::new(&dir);
+        let q = Verifier::new()
+            .design(DesignKind::SingleCycle)
+            .contract(Contract::Sandboxing)
+            .scheme(Scheme::Leave)
+            .wall(Duration::from_secs(60))
+            .query()
+            .unwrap();
+        let first = q.run_cached(&cache);
+        assert!(
+            first.verdict.is_attack() || first.verdict.is_proof(),
+            "smoke cell must decide: {:?}",
+            first.verdict
+        );
+
+        // A genuine entry passes verify-on-load and is served.
+        let second = q.run_cached(&cache);
+        assert!(second.notes.iter().any(|n| n.contains("served from cache")));
+        assert_eq!(cache.stats().rejected, 0);
+
+        // Forge the entry: strip a proof's certificate / gut an attack's
+        // trace. Either way the evidence no longer re-checks.
+        let mut forged = first.clone();
+        match &mut forged.verdict {
+            Verdict::Proof(_) => forged.certificate = None,
+            Verdict::Attack(trace) => trace.inputs.clear(),
+            _ => unreachable!("decided cells only"),
+        }
+        let key = q.cache_key();
+        cache.store(key, &forged).unwrap();
+
+        let third = q.run_cached(&cache);
+        assert_eq!(
+            cache.stats().rejected,
+            1,
+            "the forged entry must be rejected"
+        );
+        assert_eq!(
+            third.verdict.cell(),
+            first.verdict.cell(),
+            "the cell re-solves to the same verdict"
+        );
+        assert!(
+            !third.notes.iter().any(|n| n.contains("served from cache")),
+            "a rejected entry must not be served"
+        );
+
+        // The re-solve stored a fresh, valid entry.
+        let fourth = q.run_cached(&cache);
+        assert!(fourth.notes.iter().any(|n| n.contains("served from cache")));
+        assert_eq!(cache.stats().rejected, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -19,8 +19,8 @@ use std::time::Duration;
 use csl_contracts::Contract;
 use csl_hdl::xform::{PassStats, Shape};
 use csl_mc::{
-    CheckReport, ExchangeStats, FuzzStats, InconclusiveReason, Lane, LaneSolverStats, ProofEngine,
-    Trace, Verdict,
+    CertKind, Certificate, CheckReport, ExchangeStats, FuzzStats, InconclusiveReason, Lane,
+    LaneSolverStats, ProofEngine, Trace, Verdict,
 };
 
 use crate::api::json::{Json, JsonError};
@@ -83,6 +83,11 @@ pub struct Report {
     /// (empty when no SAT lane reported or the document predates the
     /// field).
     pub solver: Vec<LaneSolverStats>,
+    /// The proof's checkable certificate in raw-netlist vocabulary
+    /// (`None` for non-proof verdicts, certificate emission disabled,
+    /// proofs built from imported cross-lane facts, or documents that
+    /// predate the field). Re-validate with `csl_certify`.
+    pub certificate: Option<Certificate>,
 }
 
 impl Report {
@@ -104,6 +109,7 @@ impl Report {
             prepare: check.prepare,
             fuzz: check.fuzz,
             solver: check.solver,
+            certificate: check.certificate,
         }
     }
 
@@ -194,6 +200,11 @@ impl Report {
                 Json::Arr(self.solver.iter().map(solver_to_value).collect()),
             ));
         }
+        // And for the certificate: written only alongside a proof that
+        // carries one, so certificate-free documents stay byte-identical.
+        if let Some(cert) = &self.certificate {
+            pairs.push(("certificate", cert_to_value(cert)));
+        }
         Json::obj(pairs)
     }
 
@@ -253,6 +264,9 @@ impl Report {
                 .collect::<Result<Vec<_>, _>>()?,
             None => Vec::new(),
         };
+        // Absent in pre-certificate documents and every non-proof cell:
+        // lenient, like fuzz and solver.
+        let certificate = v.get("certificate").map(cert_from_value).transpose()?;
         Ok(Report {
             scheme,
             design,
@@ -264,8 +278,96 @@ impl Report {
             prepare,
             fuzz,
             solver,
+            certificate,
         })
     }
+}
+
+/// Canonical certificate encoding: restored constants and blocked-cube
+/// literals as `[index, bool]` pairs (matching the trace encoding),
+/// survivors as plain indices, the kind tagged like verdicts.
+fn cert_to_value(c: &Certificate) -> Json {
+    let pair = |&(i, v): &(u32, bool)| Json::Arr(vec![Json::Int(i as i64), Json::Bool(v)]);
+    let kind = match &c.kind {
+        CertKind::Inductive { blocked } => Json::obj(vec![
+            ("kind", Json::Str("inductive".into())),
+            (
+                "blocked",
+                Json::Arr(
+                    blocked
+                        .iter()
+                        .map(|cube| Json::Arr(cube.iter().map(pair).collect()))
+                        .collect(),
+                ),
+            ),
+        ]),
+        CertKind::KInduction { k } => Json::obj(vec![
+            ("kind", Json::Str("k-induction".into())),
+            ("k", Json::Int(*k as i64)),
+        ]),
+    };
+    Json::obj(vec![
+        ("restored", Json::Arr(c.restored.iter().map(pair).collect())),
+        (
+            "survivors",
+            Json::Arr(c.survivors.iter().map(|&s| Json::Int(s as i64)).collect()),
+        ),
+        ("kind", kind),
+    ])
+}
+
+fn cert_from_value(v: &Json) -> Result<Certificate, ReadError> {
+    let restored = v
+        .get("restored")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ReadError::Schema("missing certificate restored".into()))?
+        .iter()
+        .map(index_bool_pair)
+        .collect::<Result<Vec<_>, _>>()?;
+    let survivors = v
+        .get("survivors")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ReadError::Schema("missing certificate survivors".into()))?
+        .iter()
+        .map(|s| {
+            s.as_int()
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| ReadError::Schema("bad certificate survivor".into()))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let kind = v
+        .get("kind")
+        .ok_or_else(|| ReadError::Schema("missing certificate kind".into()))?;
+    let kind = match kind.get("kind").and_then(Json::as_str) {
+        Some("inductive") => CertKind::Inductive {
+            blocked: kind
+                .get("blocked")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| ReadError::Schema("missing certificate blocked".into()))?
+                .iter()
+                .map(|cube| {
+                    cube.as_arr()
+                        .ok_or_else(|| ReadError::Schema("cube is not an array".into()))?
+                        .iter()
+                        .map(index_bool_pair)
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        Some("k-induction") => CertKind::KInduction {
+            k: kind
+                .get("k")
+                .and_then(Json::as_int)
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| ReadError::Schema("bad certificate k".into()))?,
+        },
+        other => return schema_err(format!("unknown certificate kind {other:?}")),
+    };
+    Ok(Certificate {
+        restored,
+        survivors,
+        kind,
+    })
 }
 
 fn fuzz_to_value(s: &FuzzStats) -> Json {
@@ -442,7 +544,11 @@ fn proof_detail(p: &ProofEngine) -> String {
     match p {
         ProofEngine::Houdini { invariants } => format!("houdini invariants={invariants}"),
         ProofEngine::KInduction { k } => format!("k-induction k={k}"),
-        ProofEngine::Pdr { frames, clauses } => format!("pdr frames={frames} clauses={clauses}"),
+        ProofEngine::Pdr {
+            frames,
+            clauses,
+            fixpoint_level,
+        } => format!("pdr frames={frames} clauses={clauses} fixpoint={fixpoint_level}"),
     }
 }
 
@@ -489,11 +595,16 @@ fn verdict_to_value(v: &Verdict) -> Json {
             ("engine", Json::Str("k-induction".into())),
             ("k", Json::Int(*k as i64)),
         ]),
-        Verdict::Proof(ProofEngine::Pdr { frames, clauses }) => Json::obj(vec![
+        Verdict::Proof(ProofEngine::Pdr {
+            frames,
+            clauses,
+            fixpoint_level,
+        }) => Json::obj(vec![
             ("kind", Json::Str("proof".into())),
             ("engine", Json::Str("pdr".into())),
             ("frames", Json::Int(*frames as i64)),
             ("clauses", Json::Int(*clauses as i64)),
+            ("fixpoint_level", Json::Int(*fixpoint_level as i64)),
         ]),
         Verdict::Timeout => Json::obj(vec![("kind", Json::Str("timeout".into()))]),
         Verdict::Unknown { reason } => Json::obj(vec![
@@ -627,10 +738,17 @@ fn verdict_from_value(v: &Json) -> Result<Verdict, ReadError> {
             Some("k-induction") => Ok(Verdict::Proof(ProofEngine::KInduction {
                 k: int_field("k")?,
             })),
-            Some("pdr") => Ok(Verdict::Proof(ProofEngine::Pdr {
-                frames: int_field("frames")?,
-                clauses: int_field("clauses")?,
-            })),
+            Some("pdr") => {
+                let frames = int_field("frames")?;
+                Ok(Verdict::Proof(ProofEngine::Pdr {
+                    frames,
+                    clauses: int_field("clauses")?,
+                    // Absent in pre-certificate documents: the fixpoint is
+                    // then at most the frame count, which is the lenient
+                    // stand-in closest to the truth.
+                    fixpoint_level: int_field("fixpoint_level").unwrap_or(frames),
+                }))
+            }
             other => schema_err(format!("unknown proof engine {other:?}")),
         },
         Some("timeout") => Ok(Verdict::Timeout),
@@ -922,8 +1040,8 @@ pub(crate) struct TableCell {
     pub text: String,
 }
 
-/// Shared renderer for the paper-style table (used by both the session
-/// API's [`CampaignReport`] and the deprecated campaign shim). Row and
+/// Shared renderer for the paper-style table behind
+/// [`CampaignReport::render_table`]. Row and
 /// column order follow first appearance in `cells` — deterministic for
 /// matrix-ordered input — and every column is padded to its own widest
 /// entry rather than a fixed width.
@@ -1074,6 +1192,7 @@ mod tests {
                     lanes: 64,
                 }),
                 solver: Vec::new(),
+                certificate: None,
             },
             Report {
                 scheme: Scheme::Leave,
@@ -1086,6 +1205,13 @@ mod tests {
                 prepare: vec![],
                 fuzz: None,
                 solver: Vec::new(),
+                certificate: Some(Certificate {
+                    restored: vec![(7, false), (2, true)],
+                    survivors: vec![0, 3, 11],
+                    kind: CertKind::Inductive {
+                        blocked: vec![vec![(4, true)], vec![(1, false), (9, true)]],
+                    },
+                }),
             },
             Report {
                 scheme: Scheme::Upec,
@@ -1100,6 +1226,7 @@ mod tests {
                 prepare: vec![],
                 fuzz: None,
                 solver: Vec::new(),
+                certificate: None,
             },
             Report {
                 scheme: Scheme::Baseline,
@@ -1112,6 +1239,7 @@ mod tests {
                 prepare: vec![],
                 fuzz: None,
                 solver: Vec::new(),
+                certificate: None,
             },
             Report {
                 scheme: Scheme::Shadow,
@@ -1126,6 +1254,7 @@ mod tests {
                 prepare: vec![],
                 fuzz: None,
                 solver: Vec::new(),
+                certificate: None,
             },
         ]
     }
@@ -1241,6 +1370,66 @@ mod tests {
 
         // Pre-warm-start documents (no solver key) parse leniently.
         assert!(Report::from_json(&without).unwrap().solver.is_empty());
+    }
+
+    #[test]
+    fn certificate_block_round_trips_and_stays_absent_when_none() {
+        // The proof sample carries an inductive certificate; exercised by
+        // the canonical round-trip test above. Here: the k-induction kind,
+        // plus the absence convention and lenient parsing.
+        let mut r = sample_reports()[1].clone();
+        r.verdict = Verdict::Proof(ProofEngine::KInduction { k: 5 });
+        r.certificate = Some(Certificate {
+            restored: vec![],
+            survivors: vec![],
+            kind: CertKind::KInduction { k: 5 },
+        });
+        let text = r.to_json();
+        assert!(text.contains("k-induction"));
+        let parsed = Report::from_json(&text).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json(), text);
+
+        r.certificate = None;
+        let without = r.to_json();
+        assert!(
+            !without.contains("certificate"),
+            "certificate-free reports must not write the block"
+        );
+        // Pre-certificate documents (no certificate key) parse leniently.
+        assert!(Report::from_json(&without).unwrap().certificate.is_none());
+    }
+
+    #[test]
+    fn pdr_fixpoint_level_round_trips_and_defaults_to_frames() {
+        let mut r = sample_reports()[1].clone();
+        r.certificate = None;
+        r.verdict = Verdict::Proof(ProofEngine::Pdr {
+            frames: 9,
+            clauses: 31,
+            fixpoint_level: 7,
+        });
+        let text = r.to_json();
+        let parsed = Report::from_json(&text).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json(), text);
+
+        // Documents written before the field default it to the frame
+        // count (the CI reportdiff gate reads older artifacts).
+        let legacy = "{\"schema\": \"csl-report-v1\", \"scheme\": \"LEAVE\", \
+                      \"design\": \"SingleCycle(ISA)\", \"contract\": \"sandboxing\", \
+                      \"verdict\": {\"kind\": \"proof\", \"engine\": \"pdr\", \
+                       \"frames\": 9, \"clauses\": 31}, \
+                      \"elapsed\": {\"secs\": 1, \"nanos\": 0}, \"notes\": []}";
+        let report = Report::from_json(legacy).unwrap();
+        assert_eq!(
+            report.verdict,
+            Verdict::Proof(ProofEngine::Pdr {
+                frames: 9,
+                clauses: 31,
+                fixpoint_level: 9,
+            })
+        );
     }
 
     #[test]

@@ -3,11 +3,11 @@
 //! Table 2 of the paper evaluates every verification scheme against every
 //! processor design under a contract, each cell with its own wall-clock
 //! budget. The cells are independent, so a campaign is embarrassingly
-//! parallel: [`run_campaign`] executes them on a pool of worker threads
-//! (each cell may itself be a portfolio race — the per-cell
-//! [`CheckOptions::mode`] controls that) and reassembles the results in
-//! matrix order, so the output table is deterministic regardless of which
-//! worker finished first.
+//! parallel: `run_cells` (driving `api::Matrix::run_all`) executes them
+//! on a pool of worker threads (each cell may itself be a portfolio race
+//! — the per-cell [`CheckOptions::mode`] controls that) and reassembles
+//! the results in matrix order, so the output table is deterministic
+//! regardless of which worker finished first.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -78,9 +78,9 @@ fn worker_count(threads: usize, mode: ExecMode, cells: usize) -> usize {
     n.clamp(1, cells.max(1))
 }
 
-/// The worker-pool core shared by `api::Matrix::run_all` and the
-/// deprecated [`run_campaign`] shim: runs every cell, returns the engine
-/// reports in input order plus the measured wall clock. Options are
+/// The worker-pool core behind `api::Matrix::run_all`: runs every cell,
+/// returns the engine reports in input order plus the measured wall
+/// clock. Options are
 /// resolved per cell (`make_opts`) because extra lanes — the fuzzing
 /// backend — are configured against each cell's design.
 pub(crate) fn run_cells(
@@ -122,101 +122,6 @@ pub(crate) fn run_cells(
     (reports, start.elapsed())
 }
 
-/// Options for [`run_campaign`].
-#[deprecated(since = "0.2.0", note = "use csl_core::api::Verifier::matrix")]
-#[derive(Clone, Debug, Default)]
-pub struct CampaignOptions {
-    /// Worker threads (0 = sized from the core count, accounting for the
-    /// engine lanes each cell spawns in portfolio mode).
-    pub threads: usize,
-    /// Per-cell check options; `total_budget` is the per-cell budget and
-    /// `mode` selects sequential or portfolio execution inside each cell.
-    pub cell: CheckOptions,
-}
-
-/// One finished cell.
-#[deprecated(since = "0.2.0", note = "use csl_core::api::Report")]
-#[derive(Debug)]
-pub struct CellResult {
-    pub cell: CampaignCell,
-    pub report: CheckReport,
-}
-
-/// A finished campaign: results in the same order as the input cells
-/// (never completion order), plus the measured wall clock.
-#[deprecated(since = "0.2.0", note = "use csl_core::api::CampaignReport")]
-#[derive(Debug)]
-pub struct CampaignReport {
-    #[allow(deprecated)]
-    pub results: Vec<CellResult>,
-    pub wall: Duration,
-}
-
-#[allow(deprecated)]
-impl CampaignReport {
-    /// Looks up a cell's report.
-    pub fn get(
-        &self,
-        scheme: Scheme,
-        design: DesignKind,
-        contract: Contract,
-    ) -> Option<&CheckReport> {
-        self.results
-            .iter()
-            .find(|r| {
-                r.cell.scheme == scheme && r.cell.design == design && r.cell.contract == contract
-            })
-            .map(|r| &r.report)
-    }
-
-    /// Sum of per-cell elapsed times — what a sequential loop would have
-    /// paid (modulo early exits); compare with `wall` for the speedup.
-    pub fn cpu_time(&self) -> Duration {
-        self.results.iter().map(|r| r.report.elapsed).sum()
-    }
-
-    /// Renders the paper-style result table (shared renderer with
-    /// `api::CampaignReport`: every column pads to its widest entry).
-    pub fn render_table(&self) -> String {
-        let cells: Vec<crate::api::TableCell> = self
-            .results
-            .iter()
-            .map(|r| crate::api::TableCell {
-                scheme: r.cell.scheme,
-                design: r.cell.design,
-                contract: r.cell.contract,
-                text: format!(
-                    "{}({:.1}s)",
-                    r.report.verdict.cell(),
-                    r.report.elapsed.as_secs_f64()
-                ),
-            })
-            .collect();
-        crate::api::render_matrix_table(&cells, self.wall, self.cpu_time(), self.results.len())
-    }
-}
-
-/// Runs every cell on a worker pool and returns the results in matrix
-/// order. Workers pull cells from a shared queue, so long cells don't
-/// serialize behind each other; each cell runs the scheme with the shared
-/// per-cell options.
-#[deprecated(
-    since = "0.2.0",
-    note = "use csl_core::api::Verifier::matrix — `.run_all()` returns a persistable report"
-)]
-#[allow(deprecated)]
-pub fn run_campaign(cells: &[CampaignCell], opts: &CampaignOptions) -> CampaignReport {
-    let make_cfg = |cell: &CampaignCell| InstanceConfig::new(cell.design, cell.contract);
-    let make_opts = |_: &CampaignCell| opts.cell.clone();
-    let (reports, wall) = run_cells(cells, &make_cfg, &make_opts, opts.threads);
-    let results = cells
-        .iter()
-        .zip(reports)
-        .map(|(&cell, report)| CellResult { cell, report })
-        .collect();
-    CampaignReport { results, wall }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,7 +157,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn campaign_results_follow_input_order_regardless_of_workers() {
         let cells = smoke_cells();
         let opts = CheckOptions {
@@ -265,22 +169,5 @@ mod tests {
         let make_opts = |_: &CampaignCell| opts.clone();
         let (reports, _wall) = run_cells(&cells, &make_cfg, &make_opts, 4);
         assert_eq!(reports.len(), cells.len());
-
-        // The deprecated shim must keep producing the same shape.
-        #[allow(deprecated)]
-        let report = run_campaign(
-            &cells,
-            &CampaignOptions {
-                threads: 4,
-                cell: opts,
-            },
-        );
-        assert_eq!(report.results.len(), cells.len());
-        for (r, c) in report.results.iter().zip(&cells) {
-            assert_eq!(r.cell, *c);
-        }
-        let table = report.render_table();
-        assert!(table.contains("ContractShadowLogic"), "{table}");
-        assert!(table.contains("SingleCycle"), "{table}");
     }
 }

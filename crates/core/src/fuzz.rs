@@ -57,8 +57,6 @@ use csl_mc::{
 };
 use csl_sat::Budget;
 
-use crate::harness::InstanceConfig;
-
 /// A fuzzing campaign description: how many program/secret pairs to try,
 /// how many cycles to simulate each, the RNG seed, and whether to run
 /// the 64-way bit-parallel simulator (the default) or the scalar one.
@@ -495,64 +493,10 @@ pub fn fuzz_lane(isa: IsaConfig, plan: FuzzPlan) -> LaneFactory {
     })
 }
 
-/// Configuration for the deprecated [`fuzz_design`] shim.
-#[deprecated(since = "0.6.0", note = "use FuzzPlan (csl_core::fuzz)")]
-#[derive(Clone, Copy, Debug)]
-pub struct FuzzOptions {
-    pub trials: usize,
-    /// Cycles to simulate per trial.
-    pub cycles: usize,
-    pub seed: u64,
-}
-
-#[allow(deprecated)]
-impl Default for FuzzOptions {
-    fn default() -> Self {
-        FuzzOptions {
-            trials: 2000,
-            cycles: 24,
-            seed: 0xF0_55,
-        }
-    }
-}
-
-/// Runs a fuzzing campaign against a design × contract.
-#[deprecated(
-    since = "0.6.0",
-    note = "use api::Verifier::fuzz(FuzzPlan) for the portfolio lane, or run_fuzz for a \
-            standalone campaign"
-)]
-#[allow(deprecated)]
-pub fn fuzz_design(cfg: &InstanceConfig, opts: &FuzzOptions) -> FuzzOutcome {
-    let mut shadow_cfg = cfg.clone();
-    shadow_cfg.with_candidates = false;
-    let task = crate::harness::shadow_instance(&shadow_cfg);
-    let isa: IsaConfig = shadow_cfg.cpu_config().isa;
-    let plan = FuzzPlan::new()
-        .trials(opts.trials)
-        .cycles(opts.cycles)
-        .seed(opts.seed);
-    run_fuzz(&task.aig, &isa, &plan, &Budget::unlimited()).outcome
-}
-
-/// Replays a finding, returning true iff it still leaks (determinism /
-/// regression guard for stored findings).
-#[deprecated(
-    since = "0.6.0",
-    note = "findings carry a Trace now; replay with csl_mc::Sim::replay(&finding.trace)"
-)]
-pub fn replay_finding(cfg: &InstanceConfig, finding: &FuzzFinding, _cycles: usize) -> bool {
-    let mut shadow_cfg = cfg.clone();
-    shadow_cfg.with_candidates = false;
-    let task = crate::harness::shadow_instance(&shadow_cfg);
-    let (assumes_ok, bad) = Sim::new(&task.aig).replay(&finding.trace);
-    assumes_ok && bad
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::{shadow_instance, DesignKind};
+    use crate::harness::{shadow_instance, DesignKind, InstanceConfig};
     use csl_contracts::Contract;
     use csl_cpu::Defense;
     use csl_mc::SafetyCheck;
@@ -651,24 +595,5 @@ mod tests {
         let report = run_fuzz(&task.aig, &isa, &FuzzPlan::new(), &budget);
         assert!(report.out_of_budget);
         assert!(matches!(report.outcome, FuzzOutcome::Exhausted { .. }));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_fuzzes() {
-        let cfg = InstanceConfig::new(DesignKind::SimpleOoo(Defense::None), Contract::Sandboxing);
-        let opts = FuzzOptions {
-            trials: if cfg!(debug_assertions) { 1500 } else { 5000 },
-            cycles: 20,
-            seed: 7,
-        };
-        match fuzz_design(&cfg, &opts) {
-            FuzzOutcome::Leak(f) => {
-                assert!(replay_finding(&cfg, &f, 24), "finding must replay");
-            }
-            FuzzOutcome::Exhausted { trials, .. } => {
-                panic!("no leak in {trials} trials on an insecure design")
-            }
-        }
     }
 }

@@ -411,36 +411,6 @@ pub(crate) fn baseline_instance(cfg: &InstanceConfig) -> SafetyCheck {
     }
 }
 
-/// Builds the Contract Shadow Logic instance (Fig. 1b).
-#[deprecated(
-    since = "0.2.0",
-    note = "use csl_core::api::Verifier — `.scheme(Scheme::Shadow).query()?.instance()` \
-            (prepared) or `.raw_instance()`"
-)]
-pub fn build_shadow_instance(cfg: &InstanceConfig) -> SafetyCheck {
-    shadow_instance(cfg)
-}
-
-/// Builds the LEAVE comparison instance.
-#[deprecated(
-    since = "0.2.0",
-    note = "use csl_core::api::Verifier — `.scheme(Scheme::Leave).query()?.instance()` \
-            (prepared) or `.raw_instance()`"
-)]
-pub fn build_leave_instance(cfg: &InstanceConfig) -> SafetyCheck {
-    leave_instance(cfg)
-}
-
-/// Builds the four-machine baseline instance (Fig. 1a).
-#[deprecated(
-    since = "0.2.0",
-    note = "use csl_core::api::Verifier — `.scheme(Scheme::Baseline).query()?.instance()` \
-            (prepared) or `.raw_instance()`"
-)]
-pub fn build_baseline_instance(cfg: &InstanceConfig) -> SafetyCheck {
-    baseline_instance(cfg)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,8 +33,9 @@
 //!   LRU size caps, and persistable
 //!   [`api::Report`]/[`api::CampaignReport`] results (JSON/CSV writers,
 //!   round-trip parsing, cross-run diffing, per-lane exchange traffic,
-//!   per-pass preparation stats). The free functions it replaces remain
-//!   as `#[deprecated]` shims.
+//!   per-pass preparation stats), with proof certificates and attack
+//!   witnesses carried alongside for independent re-checking via
+//!   `csl-certify`.
 //!
 //! # Quickstart
 //!
@@ -64,17 +65,9 @@ pub mod shadow;
 pub mod verify;
 
 pub use campaign::{matrix, CampaignCell};
-#[allow(deprecated)]
-pub use campaign::{run_campaign, CampaignOptions, CampaignReport, CellResult};
 pub use fifo::{FifoPlan, RecordFifo};
-#[allow(deprecated)]
-pub use fuzz::{fuzz_design, replay_finding, FuzzOptions};
 pub use fuzz::{fuzz_lane, run_fuzz, FuzzBackend, FuzzFinding, FuzzOutcome, FuzzPlan, FuzzReport};
-#[allow(deprecated)]
-pub use harness::{build_baseline_instance, build_leave_instance, build_shadow_instance};
 pub use harness::{DesignKind, ExcludeRule, InstanceConfig};
 pub use record::{extract_record, pack_isa_record};
 pub use shadow::{uarch_trace_diff, ShadowOptions, ShadowPre};
 pub use verify::Scheme;
-#[allow(deprecated)]
-pub use verify::{build_instance, verify};

@@ -20,9 +20,9 @@ use std::time::Instant;
 
 use csl_mc::prepare::run_prepared;
 use csl_mc::{
-    bmc, check_safety, houdini, k_induction, BmcResult, CheckOptions, CheckReport, HoudiniResult,
-    InconclusiveReason, KindOptions, KindResult, ProofEngine, SafetyCheck, Sim, TransitionSystem,
-    Verdict,
+    bmc, check_safety, houdini, k_induction, BmcResult, CertKind, Certificate, CheckOptions,
+    CheckReport, HoudiniResult, InconclusiveReason, KindOptions, KindResult, ProofEngine,
+    SafetyCheck, Sim, TransitionSystem, Verdict,
 };
 use csl_sat::Budget;
 
@@ -90,24 +90,6 @@ pub(crate) fn run_scheme(scheme: Scheme, cfg: &InstanceConfig, opts: &CheckOptio
     }
 }
 
-/// Builds the model-checking instance for a scheme.
-#[deprecated(
-    since = "0.2.0",
-    note = "use csl_core::api::Verifier — `.query()?.instance()` (prepared) or `.raw_instance()`"
-)]
-pub fn build_instance(scheme: Scheme, cfg: &InstanceConfig) -> SafetyCheck {
-    instance_for(scheme, cfg)
-}
-
-/// Runs a scheme to a verdict.
-#[deprecated(
-    since = "0.2.0",
-    note = "use csl_core::api::Verifier — `.query()?.run()` returns a persistable Report"
-)]
-pub fn verify(scheme: Scheme, cfg: &InstanceConfig, opts: &CheckOptions) -> CheckReport {
-    run_scheme(scheme, cfg, opts)
-}
-
 /// LEAVE: Houdini-filtered relational invariants or bust. Like
 /// `check_safety`, the engine runs on the prepared (reduced) instance
 /// and the report is lifted back to raw-netlist vocabulary.
@@ -132,16 +114,29 @@ fn run_leave_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 out.rounds,
                 out.dropped_at_init,
             ));
-            let verdict = if out.proves_safety {
-                Verdict::Proof(ProofEngine::Houdini {
-                    invariants: out.survivors.len(),
-                })
-            } else {
-                Verdict::Unknown {
-                    reason: InconclusiveReason::InvariantsInsufficient {
-                        survivors: out.survivors.len(),
+            let (verdict, certificate) = if out.proves_safety {
+                let cert = opts.certify.then(|| Certificate {
+                    restored: Vec::new(),
+                    survivors: out.survivors.clone(),
+                    kind: CertKind::Inductive {
+                        blocked: Vec::new(),
                     },
-                }
+                });
+                (
+                    Verdict::Proof(ProofEngine::Houdini {
+                        invariants: out.survivors.len(),
+                    }),
+                    cert,
+                )
+            } else {
+                (
+                    Verdict::Unknown {
+                        reason: InconclusiveReason::InvariantsInsufficient {
+                            survivors: out.survivors.len(),
+                        },
+                    },
+                    None,
+                )
             };
             CheckReport {
                 verdict,
@@ -151,6 +146,7 @@ fn run_leave_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 prepare: Vec::new(),
                 fuzz: None,
                 solver: Vec::new(),
+                certificate,
             }
         }
         HoudiniResult::Timeout => CheckReport {
@@ -161,6 +157,7 @@ fn run_leave_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             prepare: Vec::new(),
             fuzz: None,
             solver: Vec::new(),
+            certificate: None,
         },
     }
 }
@@ -192,6 +189,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 prepare: Vec::new(),
                 fuzz: None,
                 solver: Vec::new(),
+                certificate: None,
             };
         }
         BmcResult::Clean { depth_checked } => {
@@ -206,6 +204,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 prepare: Vec::new(),
                 fuzz: None,
                 solver: Vec::new(),
+                certificate: None,
             };
         }
     }
@@ -225,6 +224,13 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             prepare: Vec::new(),
             fuzz: None,
             solver: Vec::new(),
+            // A fresh k-induction session with no exchange bus: its
+            // closing k is certificate material as-is.
+            certificate: opts.certify.then(|| Certificate {
+                restored: Vec::new(),
+                survivors: Vec::new(),
+                kind: CertKind::KInduction { k },
+            }),
         },
         KindResult::Timeout => CheckReport {
             verdict: Verdict::Timeout,
@@ -234,6 +240,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             prepare: Vec::new(),
             fuzz: None,
             solver: Vec::new(),
+            certificate: None,
         },
         _ => CheckReport {
             // UPEC's conservative-defence invariant shape admits only
@@ -247,6 +254,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             prepare: Vec::new(),
             fuzz: None,
             solver: Vec::new(),
+            certificate: None,
         },
     }
 }

@@ -1,9 +1,9 @@
 //! The session API's contract with the rest of the repo:
 //!
-//! 1. **Equivalence** — a `Verifier` query returns the same verdict kind
-//!    as the deprecated `verify` free function, and `Verifier::matrix`
-//!    the same verdicts as the deprecated `run_campaign`, on the
-//!    SingleCycle smoke matrix (the stable-verdict workhorse).
+//! 1. **Certified evidence** — every decided verdict of the SingleCycle
+//!    smoke matrix (the stable-verdict workhorse) carries evidence that
+//!    re-checks independently via `csl_certify`: proofs an inductive
+//!    certificate, attacks a replayable witness.
 //! 2. **Persistence** — a report produced by a real verification run
 //!    round-trips through JSON losslessly and byte-stably, and survives
 //!    a file-system write/read cycle (what the `smoke --json` CI
@@ -15,10 +15,11 @@
 
 use std::time::Duration;
 
+use csl_certify::{check_certificate, check_witness, Witness};
 use csl_contracts::Contract;
 use csl_core::api::{Budget, CampaignReport, ExchangeConfig, Mode, Report, Verifier};
-use csl_core::{DesignKind, InstanceConfig, Scheme};
-use csl_mc::{CheckOptions, ExecMode, ProofEngine, Verdict};
+use csl_core::{DesignKind, Scheme};
+use csl_mc::{ProofEngine, Verdict};
 
 const BUDGET: Duration = Duration::from_secs(10);
 const DEPTH: usize = 4;
@@ -32,53 +33,60 @@ fn builder(scheme: Scheme) -> Verifier {
         .bmc_depth(DEPTH)
 }
 
-/// The builder and the deprecated `verify` free function must agree on
-/// verdict kind for every scheme (same engines, same budgets underneath).
+/// Every decided smoke-matrix verdict must carry evidence that an
+/// independent checker accepts against the *unprepared* instance: an
+/// attack replays to a bad state, a proof's certificate passes its
+/// three obligations. A decided cell with no evidence is a failure —
+/// that is the certificate subsystem's whole claim.
 #[test]
-#[allow(deprecated)]
-fn builder_matches_legacy_verify() {
-    let cfg = InstanceConfig::new(DesignKind::SingleCycle, Contract::Sandboxing);
-    let opts = CheckOptions {
-        total_budget: BUDGET,
-        bmc_depth: DEPTH,
-        ..Default::default()
-    };
+fn every_decided_smoke_cell_carries_validatable_evidence() {
+    let mut decided = 0;
     for scheme in Scheme::ALL {
-        let legacy = csl_core::verify(scheme, &cfg, &opts);
-        let session = builder(scheme).query().unwrap().run();
-        assert_eq!(
-            legacy.verdict.cell(),
-            session.cell(),
-            "{}: legacy {:?} vs session {:?}",
-            scheme.name(),
-            legacy.verdict,
-            session.verdict
-        );
+        let query = builder(scheme).query().unwrap();
+        let report = query.run();
+        match &report.verdict {
+            Verdict::Attack(trace) => {
+                decided += 1;
+                let task = query.raw_instance();
+                let check = check_witness(&task.aig, &Witness::new((**trace).clone()));
+                assert!(
+                    check.is_ok(),
+                    "{}: attack witness must replay: {:?}",
+                    scheme.name(),
+                    check
+                );
+            }
+            Verdict::Proof(engine) => {
+                decided += 1;
+                let cert = report.certificate.as_ref().unwrap_or_else(|| {
+                    panic!(
+                        "{}: proof ({engine:?}) must carry a certificate",
+                        scheme.name()
+                    )
+                });
+                let check = check_certificate(&query.raw_instance(), cert);
+                assert!(
+                    check.is_ok(),
+                    "{}: certificate must validate: {:?}",
+                    scheme.name(),
+                    check
+                );
+            }
+            // Budget-dependent (a loaded machine can time any scheme
+            // out): nothing decided means nothing to audit.
+            _ => {}
+        }
     }
+    assert!(
+        decided >= 2,
+        "the smoke matrix must decide at least the fast cells (got {decided})"
+    );
 }
 
-/// `Verifier::matrix(..).run_all()` subsumes the deprecated
-/// `run_campaign`: same cells, same order, same verdict kinds.
+/// `Verifier::matrix(..).run_all()` agrees with running each cell's
+/// query individually: same cells, same order, same verdict kinds.
 #[test]
-#[allow(deprecated)]
-fn matrix_matches_legacy_campaign() {
-    let cells = csl_core::matrix(
-        &Scheme::ALL,
-        &[DesignKind::SingleCycle],
-        &[Contract::Sandboxing],
-    );
-    let legacy = csl_core::run_campaign(
-        &cells,
-        &csl_core::CampaignOptions {
-            threads: 2,
-            cell: CheckOptions {
-                total_budget: BUDGET,
-                bmc_depth: DEPTH,
-                mode: ExecMode::Portfolio,
-                ..Default::default()
-            },
-        },
-    );
+fn matrix_matches_per_cell_queries() {
     let session = Verifier::new()
         .budget(Budget::wall(BUDGET))
         .bmc_depth(DEPTH)
@@ -90,18 +98,20 @@ fn matrix_matches_legacy_campaign() {
             &[Contract::Sandboxing],
         )
         .run_all();
-    assert_eq!(legacy.results.len(), session.reports.len());
-    for (l, s) in legacy.results.iter().zip(&session.reports) {
-        assert_eq!(l.cell.scheme, s.scheme);
-        assert_eq!(l.cell.design, s.design);
-        assert_eq!(l.cell.contract, s.contract);
+    assert_eq!(session.reports.len(), Scheme::ALL.len());
+    for report in &session.reports {
+        let single = builder(report.scheme)
+            .mode(Mode::Portfolio)
+            .query()
+            .unwrap()
+            .run();
         assert_eq!(
-            l.report.verdict.cell(),
-            s.cell(),
-            "{}: legacy {:?} vs session {:?}",
-            s.label(),
-            l.report.verdict,
-            s.verdict
+            single.cell(),
+            report.cell(),
+            "{}: single {:?} vs matrix {:?}",
+            report.label(),
+            single.verdict,
+            report.verdict
         );
     }
 }

@@ -179,7 +179,13 @@ impl Rewrite {
     }
 
     /// The image of an old-netlist bit, composing the edge complement.
+    /// Constants are their own image in every netlist (a pass that no
+    /// longer references the constant node would otherwise drop it from
+    /// the map, breaking composition for bits folded by earlier passes).
     pub fn forward(&self, b: Bit) -> Option<Bit> {
+        if b.is_const() {
+            return Some(b);
+        }
         let img = (*self.forward.get(b.node() as usize)?)?;
         Some(if b.is_complemented() { img.not() } else { img })
     }
@@ -269,6 +275,33 @@ impl Reconstruction {
     /// Number of inputs in the reduced netlist.
     pub fn reduced_inputs(&self) -> usize {
         self.rewrite.input_back.len()
+    }
+
+    /// The restore map for constant-folded state: original latches the
+    /// pipeline replaced by a constant, as `(original_latch_index,
+    /// constant_value)` pairs.
+    ///
+    /// Only [`ConstSweepPass`] folds latches to constants, and only when
+    /// the stuck-at-reset fixpoint proves the latch holds its (concrete)
+    /// reset value in every reachable state — so each returned pair is a
+    /// true invariant of `original`, independently re-checkable by
+    /// induction on the raw netlist. Certificate checkers use this to
+    /// reconstruct the part of an inductive invariant that the
+    /// preparation pipeline discharged before the engines ever ran.
+    ///
+    /// Latches the pipeline merely dropped (cone-of-influence, dead
+    /// latch, compaction) have no image at all and do not appear here.
+    pub fn restored_constants(&self, original: &Aig) -> Vec<(u32, bool)> {
+        original
+            .latches()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| match self.rewrite.forward(l.output) {
+                Some(b) if b == Bit::FALSE => Some((i as u32, false)),
+                Some(b) if b == Bit::TRUE => Some((i as u32, true)),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -951,6 +984,23 @@ mod tests {
         assert_eq!(prepared.aig.bads()[0].name, "never");
         assert_eq!(prepared.aig.bads()[0].bit, Bit::FALSE);
         assert_eq!(prepared.aig.num_latches(), 0);
+    }
+
+    #[test]
+    fn restored_constants_name_swept_latches() {
+        let aig = mixed_design();
+        let prepared = Pipeline::standard(PassOpts { keep_probes: false }).run(&aig, &[]);
+        let restored = prepared.reconstruction.restored_constants(&aig);
+        // Exactly the stuck latch is restored (at its reset value 0);
+        // COI/dead-latch-dropped latches have no image and stay absent.
+        assert_eq!(restored.len(), 1);
+        let (idx, val) = restored[0];
+        assert!(aig.latches()[idx as usize].name.starts_with("stuck"));
+        assert!(!val);
+        // Identity reconstruction restores nothing.
+        assert!(Reconstruction::identity(&aig)
+            .restored_constants(&aig)
+            .is_empty());
     }
 
     #[test]

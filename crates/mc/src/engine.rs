@@ -21,6 +21,7 @@ use csl_hdl::Aig;
 use csl_sat::Budget;
 
 use crate::bmc::{BmcResult, BmcSession};
+use crate::cert::{CertKind, Certificate};
 use crate::exchange::{ExchangeConfig, ExchangeStats, SharedContext};
 use crate::houdini::{houdini, Candidate, HoudiniResult};
 use crate::kind::{KindResult, KindSession};
@@ -44,7 +45,13 @@ pub enum ProofEngine {
     /// k-induction (optionally strengthened by Houdini lemmas).
     KInduction { k: usize },
     /// IC3/PDR (optionally strengthened by Houdini lemmas).
-    Pdr { frames: usize, clauses: usize },
+    Pdr {
+        frames: usize,
+        clauses: usize,
+        /// Frame at which propagation found the inductive fixpoint
+        /// (≤ `frames`; proof strength at a glance).
+        fixpoint_level: usize,
+    },
 }
 
 /// Why an engine (or a whole check) finished without a verdict. The
@@ -247,6 +254,11 @@ pub struct CheckOptions {
     /// mode the extra lanes run first, as phase 0 of the pipeline,
     /// under their [`LanePlan`] budgets. Empty by default.
     pub extra_lanes: Vec<LaneFactory>,
+    /// Attach a checkable [`Certificate`] to every proof verdict (on by
+    /// default; capturing the material is free — no extra SAT calls).
+    /// Proofs that lean on facts imported over the exchange bus are not
+    /// self-contained and ship without a certificate regardless.
+    pub certify: bool,
 }
 
 impl Default for CheckOptions {
@@ -265,6 +277,7 @@ impl Default for CheckOptions {
             prepare: PrepareConfig::default(),
             warm_start: false,
             extra_lanes: Vec::new(),
+            certify: true,
         }
     }
 }
@@ -302,6 +315,13 @@ impl CheckOptions {
         self.extra_lanes.push(lane);
         self
     }
+
+    /// The same options with certificate emission toggled
+    /// (builder style) — see [`CheckOptions::certify`].
+    pub fn certify(mut self, certify: bool) -> CheckOptions {
+        self.certify = certify;
+        self
+    }
 }
 
 /// A verification task: an instrumented netlist plus optional relational
@@ -330,6 +350,13 @@ pub struct CheckReport {
     /// Per-lane solver activity and warm-start accounting, in pipeline
     /// order (empty when no SAT lane reported — e.g. a fuzz-only check).
     pub solver: Vec<LaneSolverStats>,
+    /// Checkable proof artifact for `Verdict::Proof` results, in the
+    /// vocabulary of the netlist this report describes (after
+    /// preparation lifting: the *raw* netlist). `None` for non-proof
+    /// verdicts, when [`CheckOptions::certify`] was off, when the proof
+    /// leaned on exchange-bus imports, or when lifting through the
+    /// preparation pipeline failed (noted in `notes`).
+    pub certificate: Option<Certificate>,
 }
 
 /// Folds a lane-run's stats into `acc`: merged into an existing entry
@@ -463,6 +490,7 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
     // winner report Timeout and only contribute notes.
     let mut attack: Option<Box<Trace>> = None;
     let mut proof: Option<ProofEngine> = None;
+    let mut certificate: Option<Certificate> = None;
     let mut timed_out = false;
     let mut fuzz: Option<FuzzStats> = None;
     let mut solver: Vec<LaneSolverStats> = Vec::new();
@@ -484,7 +512,7 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
             lane.elapsed.as_secs_f64(),
             match &lane.outcome {
                 EngineOutcome::Attack(t) => format!("attack at depth {}", t.depth()),
-                EngineOutcome::Proof(p) => format!("proof {p:?}"),
+                EngineOutcome::Proof(p, _) => format!("proof {p:?}"),
                 EngineOutcome::Inconclusive(reason) => reason.to_string(),
                 EngineOutcome::Timeout => "timeout/canceled".into(),
             }
@@ -496,9 +524,12 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
                     attack = Some(t);
                 }
             }
-            EngineOutcome::Proof(p) => {
+            EngineOutcome::Proof(p, cert) => {
                 // First decisive proof wins; later ones add nothing.
-                proof.get_or_insert(p);
+                if proof.is_none() {
+                    proof = Some(p);
+                    certificate = cert.map(|c| *c);
+                }
             }
             EngineOutcome::Timeout => {
                 // A lane whose wall cap shortened its deadline below the
@@ -514,6 +545,7 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
         }
     }
     let verdict = if let Some(trace) = attack {
+        certificate = None;
         Verdict::Attack(trace)
     } else if let Some(p) = proof {
         Verdict::Proof(p)
@@ -538,6 +570,7 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
         prepare: Vec::new(),
         fuzz,
         solver,
+        certificate: if opts.certify { certificate } else { None },
     }
 }
 
@@ -602,9 +635,10 @@ fn check_safety_sequential_inner(
                     prepare: Vec::new(),
                     fuzz: None,
                     solver: Vec::new(),
+                    certificate: None,
                 };
             }
-            EngineOutcome::Proof(p) => {
+            EngineOutcome::Proof(p, cert) => {
                 return CheckReport {
                     verdict: Verdict::Proof(p),
                     elapsed: start.elapsed(),
@@ -613,6 +647,7 @@ fn check_safety_sequential_inner(
                     prepare: Vec::new(),
                     fuzz: None,
                     solver: Vec::new(),
+                    certificate: if opts.certify { cert.map(|c| *c) } else { None },
                 };
             }
             EngineOutcome::Inconclusive(reason) => {
@@ -631,6 +666,7 @@ fn check_safety_sequential_inner(
                         prepare: Vec::new(),
                         fuzz: None,
                         solver: Vec::new(),
+                        certificate: None,
                     };
                 } else {
                     notes.push(format!("{} stopped early; continuing", backend.name()));
@@ -687,6 +723,7 @@ fn check_safety_sequential_inner(
                 prepare: Vec::new(),
                 fuzz: None,
                 solver: Vec::new(),
+                certificate: None,
             };
         }
         BmcResult::Clean { depth_checked } => {
@@ -707,6 +744,7 @@ fn check_safety_sequential_inner(
                     prepare: Vec::new(),
                     fuzz: None,
                     solver: Vec::new(),
+                    certificate: None,
                 };
             }
         }
@@ -724,11 +762,16 @@ fn check_safety_sequential_inner(
             prepare: Vec::new(),
             fuzz: None,
             solver: Vec::new(),
+            certificate: None,
         };
     }
 
     // ---- phase 2: Houdini lemmas -------------------------------------------
     let mut proof_aig = task.aig.clone();
+    // Surviving candidate indices, remembered so later proof phases can
+    // fold them into their certificates (the survivors become assumes of
+    // `proof_aig`, so any later invariant is relative to them).
+    let mut survivors: Vec<usize> = Vec::new();
     if !task.candidates.is_empty() {
         match houdini(&ts, &task.candidates, lane_budget(Lane::Houdini)) {
             HoudiniResult::Done(out) => {
@@ -739,6 +782,13 @@ fn check_safety_sequential_inner(
                     out.rounds
                 ));
                 if out.proves_safety {
+                    let certificate = opts.certify.then(|| Certificate {
+                        restored: Vec::new(),
+                        survivors: out.survivors.clone(),
+                        kind: CertKind::Inductive {
+                            blocked: Vec::new(),
+                        },
+                    });
                     return CheckReport {
                         verdict: Verdict::Proof(ProofEngine::Houdini {
                             invariants: out.survivors.len(),
@@ -749,6 +799,7 @@ fn check_safety_sequential_inner(
                         prepare: Vec::new(),
                         fuzz: None,
                         solver: Vec::new(),
+                        certificate,
                     };
                 }
                 // Conjoin surviving invariants as constraints for the
@@ -756,6 +807,7 @@ fn check_safety_sequential_inner(
                 for &i in &out.survivors {
                     proof_aig.add_assume(task.candidates[i].bit);
                 }
+                survivors = out.survivors;
             }
             HoudiniResult::Timeout => {
                 if lane_cap_fired(Lane::Houdini) {
@@ -770,6 +822,7 @@ fn check_safety_sequential_inner(
                         prepare: Vec::new(),
                         fuzz: None,
                         solver: Vec::new(),
+                        certificate: None,
                     };
                 }
             }
@@ -800,12 +853,21 @@ fn check_safety_sequential_inner(
             st.warm_misses = kind_misses;
             record_solver_stats(solver, st);
         }
+        // A warm session checked out of the pool may carry facts a
+        // previous (exchange-enabled) run imported — such a proof is not
+        // self-contained, so it ships without a certificate.
+        let kind_imports = kind_session.imported_facts();
         // Parking discipline (see crate::warm): Unknown outcomes only.
         if opts.warm_start && matches!(kind_result, KindResult::Unknown { .. }) {
             pool.park_kind(kind_session);
         }
         match kind_result {
             KindResult::Proof { k } => {
+                let certificate = (opts.certify && kind_imports == 0).then(|| Certificate {
+                    restored: Vec::new(),
+                    survivors: survivors.clone(),
+                    kind: CertKind::KInduction { k },
+                });
                 return CheckReport {
                     verdict: Verdict::Proof(ProofEngine::KInduction { k }),
                     elapsed: start.elapsed(),
@@ -814,6 +876,7 @@ fn check_safety_sequential_inner(
                     prepare: Vec::new(),
                     fuzz: None,
                     solver: Vec::new(),
+                    certificate,
                 };
             }
             KindResult::Cex(trace) => {
@@ -833,6 +896,7 @@ fn check_safety_sequential_inner(
                         prepare: Vec::new(),
                         fuzz: None,
                         solver: Vec::new(),
+                        certificate: None,
                     };
                 }
                 notes.push("k-induction base cex failed replay; ignoring".into());
@@ -853,6 +917,7 @@ fn check_safety_sequential_inner(
                         prepare: Vec::new(),
                         fuzz: None,
                         solver: Vec::new(),
+                        certificate: None,
                     };
                 }
             }
@@ -874,11 +939,19 @@ fn check_safety_sequential_inner(
             PdrResult::Proof {
                 frames,
                 invariant_clauses,
+                fixpoint_level,
+                invariant,
             } => {
+                let certificate = opts.certify.then(|| Certificate {
+                    restored: Vec::new(),
+                    survivors: survivors.clone(),
+                    kind: CertKind::Inductive { blocked: invariant },
+                });
                 return CheckReport {
                     verdict: Verdict::Proof(ProofEngine::Pdr {
                         frames,
                         clauses: invariant_clauses,
+                        fixpoint_level,
                     }),
                     elapsed: start.elapsed(),
                     notes,
@@ -886,6 +959,7 @@ fn check_safety_sequential_inner(
                     prepare: Vec::new(),
                     fuzz: None,
                     solver: Vec::new(),
+                    certificate,
                 };
             }
             PdrResult::Cex { depth_hint } => {
@@ -930,6 +1004,7 @@ fn check_safety_sequential_inner(
                             prepare: Vec::new(),
                             fuzz: None,
                             solver: Vec::new(),
+                            certificate: None,
                         };
                     }
                 }
@@ -942,6 +1017,7 @@ fn check_safety_sequential_inner(
                     prepare: Vec::new(),
                     fuzz: None,
                     solver: Vec::new(),
+                    certificate: None,
                 };
             }
             PdrResult::Timeout => {
@@ -957,6 +1033,7 @@ fn check_safety_sequential_inner(
                         prepare: Vec::new(),
                         fuzz: None,
                         solver: Vec::new(),
+                        certificate: None,
                     };
                 }
             }
@@ -976,6 +1053,7 @@ fn check_safety_sequential_inner(
         prepare: Vec::new(),
         fuzz: None,
         solver: Vec::new(),
+        certificate: None,
     }
 }
 

@@ -157,6 +157,14 @@ impl KindSession {
         self.unique_states
     }
 
+    /// Number of foreign facts (exchange-bus lemmas and invariant
+    /// clauses) baked into this session's solvers. A proof found with
+    /// `imported_facts() > 0` leans on another lane's reasoning, so the
+    /// k-induction frames alone are not a self-contained certificate.
+    pub fn imported_facts(&self) -> usize {
+        self.lemmas.len() + self.invs.len()
+    }
+
     /// The transition system this session encodes.
     pub fn ts(&self) -> &Arc<TransitionSystem> {
         self.base.ts()

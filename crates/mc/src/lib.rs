@@ -56,6 +56,7 @@
 //! ```
 
 pub mod bmc;
+pub mod cert;
 pub mod engine;
 pub mod exchange;
 pub mod houdini;
@@ -71,6 +72,7 @@ pub mod unroll;
 pub mod warm;
 
 pub use bmc::{bmc, bmc_with, BmcResult, BmcSession, BusMemory};
+pub use cert::{CertKind, Certificate};
 pub use engine::{
     check_safety, CheckOptions, CheckReport, ExecMode, FuzzStats, InconclusiveReason, ProofEngine,
     SafetyCheck, Verdict,
@@ -83,11 +85,9 @@ pub use houdini::{houdini, houdini_with, Candidate, HoudiniOutcome, HoudiniResul
 pub use kind::{k_induction, k_induction_with, KindOptions, KindResult, KindSession};
 pub use lane::{Lane, LaneBudget, LaneExchange, LanePlan};
 pub use pdr::{pdr, pdr_with, pdr_with_stats, Cube, PdrOptions, PdrResult};
-#[allow(deprecated)]
-pub use portfolio::Engine;
 pub use portfolio::{
     race, Backend, BmcBackend, EngineOutcome, HoudiniBackend, KindBackend, LaneFactory, LaneResult,
-    LaneSpec, LegacyBackend, PdrBackend, RaceReport,
+    LaneSpec, PdrBackend, RaceReport,
 };
 pub use prepare::{prepare, PrepareConfig, PrepareStats, PreparedInstance};
 pub use sim::{

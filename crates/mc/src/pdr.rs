@@ -39,6 +39,14 @@ pub enum PdrResult {
     Proof {
         frames: usize,
         invariant_clauses: usize,
+        /// Frame index at which propagation found the fixpoint.
+        fixpoint_level: usize,
+        /// The inductive invariant as blocked cubes over latch
+        /// `(index, value)` pairs: Inv = (no bad reachable from) the
+        /// conjunction of ¬cube for each cube here. Certificate
+        /// material — init-true, inductive relative to the assumes,
+        /// and excluding every bad state.
+        invariant: Vec<Cube>,
     },
     /// A counterexample exists; rerun BMC around `depth_hint` to extract a
     /// concrete trace.
@@ -623,9 +631,16 @@ fn pdr_loop(st: &mut PdrState, opts: &PdrOptions, ctx: &mut SharedContext) -> Pd
                 // onto the bus").
                 st.export_invariant(ctx, empty_level);
                 let invariant_clauses: usize = st.frames.iter().map(|f| f.len()).sum();
+                let invariant: Vec<Cube> = st.frames[empty_level + 1..]
+                    .iter()
+                    .flatten()
+                    .cloned()
+                    .collect();
                 return PdrResult::Proof {
                     frames: st.top_level(),
                     invariant_clauses,
+                    fixpoint_level: empty_level,
+                    invariant,
                 };
             }
             Ok(None) => {}

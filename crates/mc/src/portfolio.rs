@@ -28,8 +28,10 @@
 //! re-runs stay as insurance for proof engines that finished before the
 //! lemmas arrived).
 //!
-//! The v1 [`Engine`] trait remains as a deprecated shim for one release;
-//! wrap leftover implementations in [`LegacyBackend`].
+//! Proof outcomes carry optional [`Certificate`] material (the engine's
+//! inductive invariant / closing `k`) so the report layer can attach a
+//! checkable artifact; a lane that leaned on imported bus facts ships
+//! its proof without one, since those facts are not self-contained.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -40,6 +42,7 @@ use csl_hdl::Aig;
 use csl_sat::Budget;
 
 use crate::bmc::{bmc, BmcResult, BmcSession};
+use crate::cert::{CertKind, Certificate};
 use crate::engine::{FuzzStats, InconclusiveReason, ProofEngine};
 use crate::exchange::{Exchange, ExchangeConfig, ExchangeStats, SharedContext};
 use crate::houdini::{houdini_with, Candidate, HoudiniResult};
@@ -58,8 +61,9 @@ use crate::warm::{LaneSolverStats, WarmPool};
 pub enum EngineOutcome {
     /// A replay-validated counterexample.
     Attack(Box<Trace>),
-    /// An unbounded proof.
-    Proof(ProofEngine),
+    /// An unbounded proof, with its checkable certificate material when
+    /// the proof is self-contained (no exchange-bus imports).
+    Proof(ProofEngine, Option<Box<Certificate>>),
     /// Finished inside the budget without a verdict (bounded-clean BMC,
     /// induction that never closed, PDR frame cap, …).
     Inconclusive(InconclusiveReason),
@@ -69,7 +73,7 @@ pub enum EngineOutcome {
 
 impl EngineOutcome {
     pub fn is_decisive(&self) -> bool {
-        matches!(self, EngineOutcome::Attack(_) | EngineOutcome::Proof(_))
+        matches!(self, EngineOutcome::Attack(_) | EngineOutcome::Proof(..))
     }
 }
 
@@ -153,16 +157,6 @@ impl std::fmt::Debug for LaneFactory {
     }
 }
 
-/// The v1 lane trait: no exchange-bus access.
-#[deprecated(
-    since = "0.3.0",
-    note = "implement csl_mc::Backend (run takes a SharedContext); wrap stragglers in LegacyBackend"
-)]
-pub trait Engine: Send {
-    fn name(&self) -> &'static str;
-    fn run(&self, ts: &TransitionSystem, budget: Budget) -> EngineOutcome;
-}
-
 /// Checks out a warm session with `checkout`, or builds one with
 /// `build`; returns the session plus its `(warm_hits, warm_misses)`
 /// accounting. `enabled = false` builds cold and counts nothing.
@@ -177,41 +171,6 @@ fn warm_or_build<S>(
     match checkout() {
         Some(s) => (s, 1, 0),
         None => (build(), 0, 1),
-    }
-}
-
-/// Adapter running a v1 [`Engine`] as a [`Backend`] that never touches
-/// the bus.
-#[allow(deprecated)]
-pub struct LegacyBackend {
-    inner: Box<dyn Engine>,
-    lane: Lane,
-}
-
-#[allow(deprecated)]
-impl LegacyBackend {
-    pub fn new(inner: Box<dyn Engine>, lane: Lane) -> LegacyBackend {
-        LegacyBackend { inner, lane }
-    }
-}
-
-#[allow(deprecated)]
-impl Backend for LegacyBackend {
-    fn name(&self) -> &'static str {
-        self.inner.name()
-    }
-
-    fn lane(&self) -> Lane {
-        self.lane
-    }
-
-    fn run(
-        &self,
-        ts: &Arc<TransitionSystem>,
-        budget: Budget,
-        _ctx: &mut SharedContext,
-    ) -> EngineOutcome {
-        self.inner.run(ts, budget)
     }
 }
 
@@ -425,6 +384,9 @@ impl Backend for KindBackend {
         stats.warm_hits = hits;
         stats.warm_misses = misses;
         *self.stats.lock().unwrap() = Some(stats);
+        // A certificate is only self-contained when neither this run nor
+        // a warm predecessor baked foreign bus facts into the solvers.
+        let imported = session.imported_facts();
         // Parking discipline (see crate::warm): only an Unknown session
         // may be resumed later — a Timeout base half could still hide an
         // undiscovered counterexample at an already-swept depth.
@@ -432,7 +394,16 @@ impl Backend for KindBackend {
             pool.park_kind(session);
         }
         match result {
-            KindResult::Proof { k } => EngineOutcome::Proof(ProofEngine::KInduction { k }),
+            KindResult::Proof { k } => {
+                let cert = (imported == 0).then(|| {
+                    Box::new(Certificate {
+                        restored: Vec::new(),
+                        survivors: Vec::new(),
+                        kind: CertKind::KInduction { k },
+                    })
+                });
+                EngineOutcome::Proof(ProofEngine::KInduction { k }, cert)
+            }
             KindResult::Cex(trace) => validated_attack(ts, trace, "k-induction"),
             KindResult::Unknown { max_k_tried } => {
                 EngineOutcome::Inconclusive(InconclusiveReason::InductionGap { max_k: max_k_tried })
@@ -496,10 +467,28 @@ impl Backend for PdrBackend {
             PdrResult::Proof {
                 frames,
                 invariant_clauses,
-            } => EngineOutcome::Proof(ProofEngine::Pdr {
-                frames,
-                clauses: invariant_clauses,
-            }),
+                fixpoint_level,
+                invariant,
+            } => {
+                // The invariant is inductive relative to whatever the
+                // lane imported; only an import-free run is
+                // self-contained certificate material.
+                let cert = (ctx.imports() == 0).then(|| {
+                    Box::new(Certificate {
+                        restored: Vec::new(),
+                        survivors: Vec::new(),
+                        kind: CertKind::Inductive { blocked: invariant },
+                    })
+                });
+                EngineOutcome::Proof(
+                    ProofEngine::Pdr {
+                        frames,
+                        clauses: invariant_clauses,
+                        fixpoint_level,
+                    },
+                    cert,
+                )
+            }
             PdrResult::Cex { depth_hint } => {
                 let deep = depth_hint.max(self.bmc_depth + 1) + 8;
                 match bmc(ts, deep, budget) {
@@ -588,9 +577,19 @@ impl HoudiniBackend {
             HoudiniResult::Timeout => return EngineOutcome::Timeout,
         };
         if out.proves_safety {
-            return EngineOutcome::Proof(ProofEngine::Houdini {
-                invariants: out.survivors.len(),
+            let cert = Box::new(Certificate {
+                restored: Vec::new(),
+                survivors: out.survivors.clone(),
+                kind: CertKind::Inductive {
+                    blocked: Vec::new(),
+                },
             });
+            return EngineOutcome::Proof(
+                ProofEngine::Houdini {
+                    invariants: out.survivors.len(),
+                },
+                Some(cert),
+            );
         }
         if out.survivors.is_empty() {
             return EngineOutcome::Inconclusive(InconclusiveReason::NoInvariants);
@@ -629,7 +628,18 @@ impl HoudiniBackend {
                         decisive => return decisive,
                     }
                 }
-                EngineOutcome::Proof(p) => return EngineOutcome::Proof(p),
+                EngineOutcome::Proof(p, cert) => {
+                    // The sub-proof holds on the strengthened instance;
+                    // fold the survivors in so the certificate stands on
+                    // the plain netlist too.
+                    return EngineOutcome::Proof(
+                        p,
+                        cert.map(|mut c| {
+                            c.survivors = out.survivors.clone();
+                            c
+                        }),
+                    );
+                }
                 EngineOutcome::Inconclusive(n) => notes.push(n.to_string()),
                 EngineOutcome::Timeout => return EngineOutcome::Timeout,
             }
@@ -642,7 +652,15 @@ impl HoudiniBackend {
             }
             match r {
                 EngineOutcome::Attack(trace) => return validated_attack(ts, trace, "houdini+pdr"),
-                EngineOutcome::Proof(p) => return EngineOutcome::Proof(p),
+                EngineOutcome::Proof(p, cert) => {
+                    return EngineOutcome::Proof(
+                        p,
+                        cert.map(|mut c| {
+                            c.survivors = out.survivors.clone();
+                            c
+                        }),
+                    );
+                }
                 EngineOutcome::Inconclusive(n) => notes.push(n.to_string()),
                 EngineOutcome::Timeout => return EngineOutcome::Timeout,
             }
@@ -910,13 +928,17 @@ mod tests {
     fn fast_engine_wins_and_slow_loser_is_canceled_promptly() {
         let slow_natural_delay = Duration::from_secs(30);
         let (fast, _, _) = fake("fast", Duration::from_millis(10), || {
-            EngineOutcome::Proof(ProofEngine::KInduction { k: 1 })
+            EngineOutcome::Proof(ProofEngine::KInduction { k: 1 }, None)
         });
         let (slow, slow_saw_stop, slow_finished) = fake("slow", slow_natural_delay, || {
-            EngineOutcome::Proof(ProofEngine::Pdr {
-                frames: 1,
-                clauses: 0,
-            })
+            EngineOutcome::Proof(
+                ProofEngine::Pdr {
+                    frames: 1,
+                    clauses: 0,
+                    fixpoint_level: 0,
+                },
+                None,
+            )
         });
         let start = Instant::now();
         let deadline = Instant::now() + Duration::from_secs(60);
@@ -974,7 +996,7 @@ mod tests {
         // Three lanes: the winner plus two with staggered delays; every
         // lane's result must be collected (for the notes) despite the stop.
         let (w, _, _) = fake("winner", Duration::from_millis(1), || {
-            EngineOutcome::Proof(ProofEngine::KInduction { k: 2 })
+            EngineOutcome::Proof(ProofEngine::KInduction { k: 2 }, None)
         });
         let (l1, _, _) = fake("l1", Duration::from_secs(20), || EngineOutcome::Timeout);
         let (l2, _, _) = fake("l2", Duration::from_secs(20), || EngineOutcome::Timeout);
@@ -1056,32 +1078,5 @@ mod tests {
         let consumer = stats.iter().find(|s| s.lane == Lane::KInduction).unwrap();
         assert_eq!(publisher.exports, 1);
         assert_eq!(consumer.imports, 1);
-    }
-
-    /// The deprecated v1 trait still runs through the adapter.
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_engine_shim_races() {
-        struct OldSchool;
-        impl Engine for OldSchool {
-            fn name(&self) -> &'static str {
-                "old"
-            }
-            fn run(&self, _ts: &TransitionSystem, _budget: Budget) -> EngineOutcome {
-                EngineOutcome::Proof(ProofEngine::KInduction { k: 1 })
-            }
-        }
-        let deadline = Instant::now() + Duration::from_secs(10);
-        let report = race(
-            vec![LaneSpec::new(
-                Box::new(LegacyBackend::new(Box::new(OldSchool), Lane::KInduction)),
-                deadline,
-            )],
-            &trivial_aig(),
-            false,
-            &ExchangeConfig::off(),
-        );
-        assert!(report.lanes[0].outcome.is_decisive());
-        assert_eq!(report.lanes[0].engine, "old");
     }
 }

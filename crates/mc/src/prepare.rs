@@ -21,6 +21,7 @@ use csl_hdl::xform::{
 };
 use csl_hdl::Aig;
 
+use crate::cert::{CertKind, Certificate};
 use crate::engine::{CheckReport, SafetyCheck, Verdict};
 use crate::houdini::Candidate;
 
@@ -121,17 +122,49 @@ impl PreparedInstance {
     }
 
     /// Rewrites `report` into original-netlist vocabulary: attack traces
-    /// are lifted through the reconstruction, and the preparation
-    /// statistics (plus a summary note) are attached.
-    pub fn finalize_report(&self, mut report: CheckReport) -> CheckReport {
+    /// and proof certificates are lifted through the reconstruction
+    /// (certificates additionally pick up the constants the pipeline
+    /// restored, via
+    /// [`Reconstruction::restored_constants`]), and the preparation
+    /// statistics (plus a summary note) are attached. `original` is the
+    /// netlist `prepare` ran on. A certificate whose invariant mentions
+    /// a latch with no original image cannot be lifted; it is dropped
+    /// with a note rather than shipped wrong.
+    pub fn finalize_report(&self, original: &Aig, mut report: CheckReport) -> CheckReport {
         if let Verdict::Attack(trace) = report.verdict {
             report.verdict = Verdict::Attack(Box::new(trace.lifted(&self.reconstruction)));
+        }
+        if let Some(cert) = report.certificate.take() {
+            match self.lift_certificate(original, cert) {
+                Some(lifted) => report.certificate = Some(lifted),
+                None => report
+                    .notes
+                    .push("certificate dropped: invariant latch lost in preparation".into()),
+            }
         }
         if self.was_prepared() {
             report.notes.insert(0, self.stats.summary());
             report.prepare = self.stats.passes.clone();
         }
         report
+    }
+
+    /// Re-expresses a certificate found on the prepared netlist in the
+    /// original netlist's latch indices. Candidate (survivor) indices
+    /// are stable — `prepare` rebuilds the candidate list index-aligned
+    /// — so only blocked cubes need mapping; the constants the pipeline
+    /// folded away join the certificate's `restored` set, restoring the
+    /// part of the invariant the engines never saw.
+    fn lift_certificate(&self, original: &Aig, mut cert: Certificate) -> Option<Certificate> {
+        cert.restored = self.reconstruction.restored_constants(original);
+        if let CertKind::Inductive { blocked } = &mut cert.kind {
+            for cube in blocked.iter_mut() {
+                for (latch, _) in cube.iter_mut() {
+                    *latch = self.reconstruction.original_latch(*latch)?;
+                }
+            }
+        }
+        Some(cert)
     }
 }
 
@@ -154,7 +187,7 @@ pub fn run_prepared(
     }
     let start = std::time::Instant::now();
     let prepared = prepare(task, cfg, keep_probes);
-    let mut report = prepared.finalize_report(solve(&prepared.task));
+    let mut report = prepared.finalize_report(&task.aig, solve(&prepared.task));
     report.elapsed = start.elapsed();
     report
 }

@@ -93,8 +93,17 @@ impl Daemon {
             .map(|dir| ReportCache::new(dir).with_max_entries_opt(config.cache_max_entries));
         let journal = config.journal.map(Journal::new);
         let mut done = HashMap::new();
+        let mut rejected_at_boot = 0u64;
         if let Some(journal) = &journal {
             for (key, report) in journal.load() {
+                // Verify-on-load: a journaled verdict is only trusted if
+                // its certificate or witness still re-checks against a
+                // freshly built instance. A failed entry is dropped (the
+                // cell re-solves on first submission) and counted.
+                if !crate::spec::report_is_sound(&report) {
+                    rejected_at_boot += 1;
+                    continue;
+                }
                 done.insert(
                     key,
                     DoneEntry {
@@ -117,7 +126,10 @@ impl Daemon {
                 queue: VecDeque::new(),
                 inflight: HashMap::new(),
                 done,
-                totals: ServeStats::default(),
+                totals: ServeStats {
+                    rejected: rejected_at_boot,
+                    ..ServeStats::default()
+                },
             }),
             work: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -312,10 +324,28 @@ impl Shared {
 
     fn submit(&self, sink: &Sink, id: String, cells: Vec<CellSpec>, options: ServeOptions) {
         // Key derivation builds each cell's netlist — keep it (and the
-        // cache's disk reads) outside the state lock.
+        // cache's disk reads plus verify-on-load SAT calls) outside the
+        // state lock.
         let keys: Vec<u64> = cells.iter().map(|c| cell_key(c, &options)).collect();
+        let mut rejected = 0u64;
         let mut cached: Vec<Option<Report>> = match &self.cache {
-            Some(cache) => keys.iter().map(|&k| cache.load(k)).collect(),
+            Some(cache) => keys
+                .iter()
+                .map(|&k| match cache.load(k) {
+                    // Verify-on-load (unless the submission opted out):
+                    // re-check the stored certificate/witness against a
+                    // freshly built instance before trusting the entry.
+                    Some(report) if !options.certify || crate::spec::report_is_sound(&report) => {
+                        Some(report)
+                    }
+                    Some(_) => {
+                        cache.reject(k);
+                        rejected += 1;
+                        None
+                    }
+                    None => None,
+                })
+                .collect(),
             None => (0..keys.len()).map(|_| None).collect(),
         };
 
@@ -332,6 +362,7 @@ impl Shared {
             },
         );
         st.totals.cells += n as u64;
+        st.totals.rejected += rejected;
         st.jobs.insert(
             job_id,
             Job {
@@ -342,6 +373,7 @@ impl Shared {
                 started: Instant::now(),
                 stats: ServeStats {
                     cells: n as u64,
+                    rejected,
                     ..ServeStats::default()
                 },
             },

@@ -68,7 +68,7 @@ pub use journal::Journal;
 pub use net::{Bind, ServeAddr};
 pub use protocol::{Request, Response, ServeStats, Source, StatusInfo};
 pub use spec::{
-    cell_key, normalized_campaign, normalized_report, run_cell, undecided_report, CellSpec,
-    ServeOptions,
+    cell_key, normalized_campaign, normalized_report, report_is_sound, run_cell, undecided_report,
+    CellSpec, ServeOptions,
 };
 pub use worker::{serve_worker_if_flagged, worker_main, WORKER_FLAG};

@@ -162,6 +162,10 @@ pub struct ServeStats {
     pub retries: u64,
     /// Cells cancelled by the client.
     pub cancelled: u64,
+    /// Cached or journaled verdicts that failed verify-on-load — the
+    /// stored certificate or witness did not re-check against a freshly
+    /// built instance — and fell through to a real solve.
+    pub rejected: u64,
 }
 
 impl ServeStats {
@@ -174,6 +178,7 @@ impl ServeStats {
         self.crashes += other.crashes;
         self.retries += other.retries;
         self.cancelled += other.cancelled;
+        self.rejected += other.rejected;
     }
 
     pub fn to_value(&self) -> Json {
@@ -186,6 +191,7 @@ impl ServeStats {
             ("crashes", Json::Int(self.crashes as i64)),
             ("retries", Json::Int(self.retries as i64)),
             ("cancelled", Json::Int(self.cancelled as i64)),
+            ("rejected", Json::Int(self.rejected as i64)),
         ])
     }
 
@@ -208,6 +214,7 @@ impl ServeStats {
             crashes: field("crashes")?,
             retries: field("retries")?,
             cancelled: field("cancelled")?,
+            rejected: field("rejected")?,
         })
     }
 }

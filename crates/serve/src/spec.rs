@@ -133,6 +133,9 @@ pub struct ServeOptions {
     pub prepare: bool,
     /// Warm-start solver-session reuse on/off.
     pub warm: bool,
+    /// Certificate emission and verify-on-load of cached/journaled
+    /// verdicts on/off (default on).
+    pub certify: bool,
 }
 
 impl Default for ServeOptions {
@@ -145,6 +148,7 @@ impl Default for ServeOptions {
             portfolio: matches!(opts.mode, Mode::Portfolio),
             prepare: opts.prepare.enabled,
             warm: opts.warm_start,
+            certify: opts.certify,
         }
     }
 }
@@ -168,6 +172,7 @@ impl ServeOptions {
                 PrepareConfig::off()
             })
             .warm(self.warm)
+            .certify(self.certify)
     }
 
     /// The fully-resolved query for one cell.
@@ -188,6 +193,7 @@ impl ServeOptions {
             ("portfolio", Json::Bool(self.portfolio)),
             ("prepare", Json::Bool(self.prepare)),
             ("warm", Json::Bool(self.warm)),
+            ("certify", Json::Bool(self.certify)),
         ])
     }
 
@@ -218,6 +224,7 @@ impl ServeOptions {
         opts.portfolio = flag("portfolio", opts.portfolio)?;
         opts.prepare = flag("prepare", opts.prepare)?;
         opts.warm = flag("warm", opts.warm)?;
+        opts.certify = flag("certify", opts.certify)?;
         Ok(opts)
     }
 }
@@ -292,6 +299,40 @@ pub fn undecided_report(
         prepare: Vec::new(),
         fuzz: None,
         solver: Vec::new(),
+        certificate: None,
+    }
+}
+
+/// Verify-on-load for daemon-served verdicts: does the stored report's
+/// evidence re-check against a freshly built instance of its cell? An
+/// attack must replay to a bad state with every assume held; a proof
+/// must carry a certificate whose obligations pass on the raw netlist.
+/// A proof with no certificate fails — the daemon only serves what it
+/// can audit. Undecided verdicts carry no claim and pass vacuously.
+///
+/// The instance is rebuilt from the report's own scheme × design ×
+/// contract under default instance knobs — exactly how worker processes
+/// resolve cells, so the vocabulary matches.
+pub fn report_is_sound(report: &Report) -> bool {
+    use csl_certify::{check_certificate, check_witness, Witness};
+    let raw = || {
+        Verifier::new()
+            .design(report.design)
+            .contract(report.contract)
+            .scheme(report.scheme)
+            .query()
+            .expect("reports always carry a design and a contract")
+            .raw_instance()
+    };
+    match &report.verdict {
+        Verdict::Attack(trace) => {
+            check_witness(&raw().aig, &Witness::new((**trace).clone())).is_ok()
+        }
+        Verdict::Proof(_) => report
+            .certificate
+            .as_ref()
+            .is_some_and(|cert| check_certificate(&raw(), cert).is_ok()),
+        _ => true,
     }
 }
 
@@ -330,6 +371,7 @@ mod tests {
             portfolio: true,
             prepare: false,
             warm: true,
+            certify: false,
         };
         let v = Json::parse(&opts.to_value().render_line()).unwrap();
         assert_eq!(ServeOptions::from_value(&v).unwrap(), opts);

@@ -17,6 +17,7 @@
 //! | [`isa`] | `csl-isa` | MiniISA: encoding, assembler, interpreter |
 //! | [`contracts`] | `csl-contracts` | sandboxing & constant-time contracts |
 //! | [`cpu`] | `csl-cpu` | in-order, SimpleOoO (+5 defences), superscalar, BigOoO |
+//! | [`certify`] | `csl-certify` | independent checking of proof certificates & attack witnesses |
 //! | [`core`] | `csl-core` | **the paper's contribution**: shadow logic + schemes |
 //! | [`serve`] | `csl-serve` | campaign daemon: wire protocol, worker processes, dedup, resume |
 //!
@@ -44,6 +45,7 @@
 //! `spectre_hunt` (the §7.1.4 iterative attack discovery on the BOOM
 //! stand-in), and `defense_audit` (the §7.2 defence comparison).
 
+pub use csl_certify as certify;
 pub use csl_contracts as contracts;
 pub use csl_core as core;
 pub use csl_cpu as cpu;
@@ -54,26 +56,23 @@ pub use csl_sat as sat;
 pub use csl_serve as serve;
 
 /// The commonly-needed types in one import: the [`csl_core::api`]
-/// session types plus the enums and configs they consume. The deprecated
-/// free functions (`verify`, `run_campaign`, `build_instance`) are still
-/// re-exported so existing code keeps compiling — with a deprecation
-/// nudge — for one release.
+/// session types plus the enums and configs they consume.
 pub mod prelude {
+    pub use csl_certify::{check_certificate, check_witness, Rejection, Witness};
     pub use csl_contracts::Contract;
     pub use csl_core::api::{
         Budget, CampaignDiff, CampaignReport, ExchangeConfig, ExchangeStats, FuzzPlan, FuzzStats,
         Lane, LaneBudget, LaneExchange, Matrix, Mode, PrepareConfig, PreparedInstance, Query,
         Report, ReportCache, Verifier,
     };
-    #[allow(deprecated)]
-    pub use csl_core::{build_instance, run_campaign, verify, CampaignOptions};
     pub use csl_core::{
         matrix, CampaignCell, DesignKind, ExcludeRule, InstanceConfig, Scheme, ShadowOptions,
     };
     pub use csl_cpu::{CpuConfig, Defense};
     pub use csl_isa::IsaConfig;
     pub use csl_mc::{
-        CheckOptions, CheckReport, ExecMode, InconclusiveReason, ProofEngine, Verdict,
+        CertKind, Certificate, CheckOptions, CheckReport, ExecMode, InconclusiveReason,
+        ProofEngine, Verdict,
     };
     pub use csl_serve::{CellSpec, Client, Daemon, DaemonConfig, ServeAddr, ServeOptions};
 }
