@@ -1,0 +1,223 @@
+//! CI gate for the contract-synthesis subsystem.
+//!
+//! Three checks, each fatal (exit 1):
+//!
+//! 1. **Lattice position** — on the two fast provably-secure designs
+//!    (SingleCycle, InOrder) the CEGIS driver must terminate `Sound`
+//!    with a minimality-confirmed contract that is lattice-`<=` the
+//!    hand-written constant-time contract (the paper proves both designs
+//!    secure under it, so the strongest sound point can be no weaker).
+//! 2. **Evidence audit** — every step of every walk re-checks through
+//!    `csl-certify` against an independently rebuilt raw instance:
+//!    grow/descent attacks replay as witnesses, accepted candidates'
+//!    proofs pass their certificate obligations.
+//! 3. **Reuse** — a repeated walk over the same lattice (same cache
+//!    directory) re-solves nothing: every query is served from the
+//!    verify-on-load-audited result cache, and the descent reuses
+//!    grow-phase refutations without querying at all. The cache hit-rate
+//!    lands in the JSON artifact.
+//!
+//! ```text
+//! cargo run --release -p csl-bench --bin synthprobe -- [--json <path>] [--no-cache]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use csl_bench::{bmc_depth, budget_secs, verifier};
+use csl_certify::{check_certificate, check_witness, Witness};
+use csl_contracts::Contract;
+use csl_core::api::Json;
+use csl_core::DesignKind;
+use csl_mc::Verdict;
+use csl_synth::{SynthOutcome, SynthesisResult, Synthesizer};
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, ok: bool, what: &str) {
+        if ok {
+            println!("  ok: {what}");
+        } else {
+            println!("  FAIL: {what}");
+            self.failures.push(what.to_string());
+        }
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(format!("target/synthprobe/{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Re-checks every step's evidence against an independently rebuilt raw
+/// instance; returns (audited, accepted).
+fn audit_steps(synth: &Synthesizer, result: &SynthesisResult) -> (usize, usize) {
+    let mut audited = 0usize;
+    let mut ok = 0usize;
+    for step in &result.steps {
+        let task = synth
+            .query_for(result.design, step.candidate)
+            .raw_instance();
+        match &step.report.verdict {
+            Verdict::Attack(trace) => {
+                audited += 1;
+                ok += check_witness(&task.aig, &Witness::new((**trace).clone())).is_ok() as usize;
+            }
+            Verdict::Proof(_) => {
+                audited += 1;
+                ok += step
+                    .report
+                    .certificate
+                    .as_ref()
+                    .is_some_and(|c| check_certificate(&task, c).is_ok())
+                    as usize;
+            }
+            _ => {}
+        }
+    }
+    (audited, ok)
+}
+
+fn main() -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next(),
+            // Accepted for CI-invocation symmetry: synthprobe always
+            // uses a fresh scratch cache (the reuse gate depends on
+            // starting cold).
+            "--no-cache" => {}
+            other => {
+                eprintln!("usage: synthprobe [--json <path>] [--no-cache] (got `{other}`)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+    let budget = budget_secs(120);
+    let depth = bmc_depth(12);
+    println!("synthprobe: CEGIS gates, budget {budget}s, depth {depth}");
+
+    let cache_dir = scratch("cache");
+    let synth = Synthesizer::new()
+        .verifier(verifier(budget, depth, false))
+        .cache(&cache_dir);
+
+    let ct = Contract::constant_time_set();
+    let mut rows: Vec<Json> = Vec::new();
+    let mut cold_results = Vec::new();
+
+    // -- 1 & 2: synthesis on the secure designs + per-step audit ----------
+    for design in [DesignKind::SingleCycle, DesignKind::InOrder] {
+        let result = synth.synthesize(design);
+        print!("{}", result.render());
+        let name = result.design.name();
+        gate.check(
+            result.outcome == SynthOutcome::Sound,
+            &format!("{name}: synthesis terminates Sound"),
+        );
+        gate.check(
+            result.contract.is_subset(ct),
+            &format!(
+                "{name}: synthesized {} is lattice-<= constant-time",
+                result.contract.encode()
+            ),
+        );
+        gate.check(
+            result.minimal_confirmed,
+            &format!("{name}: minimality confirmed (every single-atom drop re-attacks)"),
+        );
+        let (audited, ok) = audit_steps(&synth, &result);
+        gate.check(
+            audited >= result.steps.len().min(2) && ok == audited,
+            &format!("{name}: every step's evidence re-checks via csl-certify ({ok}/{audited})"),
+        );
+        cold_results.push(result);
+    }
+
+    // -- 3: a repeated lattice walk is all cache hits ----------------------
+    let mut hit_rates = Vec::new();
+    for cold in &cold_results {
+        let warm = synth.synthesize(cold.design);
+        let name = warm.design.name();
+        gate.check(
+            warm.outcome == SynthOutcome::Sound && warm.contract == cold.contract,
+            &format!("{name}: repeated walk reaches the same contract"),
+        );
+        gate.check(
+            warm.cache_hits == warm.steps.len(),
+            &format!(
+                "{name}: repeated walk re-solves nothing ({}/{} served from cache)",
+                warm.cache_hits,
+                warm.steps.len()
+            ),
+        );
+        let rate = warm.cache_hits as f64 / warm.steps.len().max(1) as f64;
+        println!(
+            "  {name}: warm hit-rate {:.0}%, {} descent drops reused without a query",
+            rate * 100.0,
+            warm.reused
+        );
+        hit_rates.push((warm, rate));
+    }
+
+    for (cold, (warm, rate)) in cold_results.iter().zip(&hit_rates) {
+        rows.push(Json::obj(vec![
+            ("design", Json::Str(cold.design.name())),
+            ("contract", Json::Str(cold.synthesized().name())),
+            (
+                "outcome_sound",
+                Json::Bool(cold.outcome == SynthOutcome::Sound),
+            ),
+            ("minimal_confirmed", Json::Bool(cold.minimal_confirmed)),
+            ("steps", Json::Int(cold.steps.len() as i64)),
+            ("cold_solved", Json::Int(cold.solved as i64)),
+            ("warm_cache_hits", Json::Int(warm.cache_hits as i64)),
+            ("warm_hit_rate", Json::Str(format!("{:.2}", rate))),
+            ("reused_refutations", Json::Int(warm.reused as i64)),
+            (
+                "cold_elapsed_ms",
+                Json::Int(cold.elapsed.as_millis() as i64),
+            ),
+            (
+                "warm_elapsed_ms",
+                Json::Int(warm.elapsed.as_millis() as i64),
+            ),
+        ]));
+    }
+
+    if let Some(path) = json_path {
+        let artifact = Json::obj(vec![
+            ("probe", Json::Str("synthprobe".into())),
+            ("budget_secs", Json::Int(budget as i64)),
+            ("pass", Json::Bool(gate.failures.is_empty())),
+            (
+                "failures",
+                Json::Arr(gate.failures.iter().cloned().map(Json::Str).collect()),
+            ),
+            ("designs", Json::Arr(rows)),
+        ]);
+        if let Err(e) = std::fs::write(&path, artifact.render()) {
+            eprintln!("synthprobe: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("json report written to {path}");
+    }
+
+    if gate.failures.is_empty() {
+        println!("synthprobe: all gates passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("synthprobe: {} gate(s) failed", gate.failures.len());
+        ExitCode::FAILURE
+    }
+}

@@ -7,18 +7,209 @@
 //! * the **hardware guarantee** — indistinguishability of
 //!   microarchitectural observation traces (`O_uarch`).
 //!
-//! This crate defines the two contracts evaluated in the paper
-//! ([`Contract::Sandboxing`] and [`Contract::ConstantTime`]), the
-//! per-committed-instruction ISA observation record each induces, and the
-//! projection of interpreter [`StepInfo`]s onto those records (the
+//! This crate defines the *grammar* of ISA observations — [`ObsAtom`]s,
+//! combined into [`ObsSet`]s ordered by inclusion — the
+//! per-committed-instruction record a set induces ([`RecordLayout`]), and
+//! the projection of interpreter [`StepInfo`]s onto those records (the
 //! ISA-side half; the RTL-side extraction lives in the shadow logic of
-//! `csl-core`).
+//! `csl-core`). The paper's two hand-written contracts
+//! ([`Contract::Sandboxing`] and [`Contract::ConstantTime`]) are named
+//! points in that lattice; [`Contract::Custom`] carries any other set —
+//! the search space of the `csl-synth` CEGIS loop.
+//!
+//! The lattice order is observation-set inclusion: *fewer* atoms means
+//! the software constraint is easier to satisfy, so the hardware promise
+//! covers more programs — a **stronger** (more precise) contract. A
+//! design sound under a set is sound under every superset
+//! (superset-record equality implies subset-record equality), which is
+//! what makes the synthesis walk monotone.
 //!
 //! `O_uarch` is fixed across contracts, matching §2.2: the address
 //! sequence on the memory bus plus the commit time of every committed
 //! instruction.
 
 use csl_isa::{Exception, Inst, IsaConfig, StepInfo};
+
+/// One primitive ISA-level observation a contract may expose per
+/// committed instruction. Atoms are the terminals of the contract
+/// grammar; a contract's software constraint is "the [`ObsSet`] of atoms
+/// agrees between the two executions, instruction by instruction".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObsAtom {
+    /// The data written back by every committed (non-faulting) load.
+    LoadData,
+    /// The word address of every committed memory access.
+    MemWord,
+    /// The exception event stream (code per committed instruction).
+    Exception,
+    /// Branch direction of every committed branch.
+    BranchTaken,
+    /// Multiplier operands of every committed multiply (only material
+    /// with the MUL extension; contributes no record bits without it).
+    MulOperands,
+    /// Whether the committed access is a store. MiniISA has no stores,
+    /// so this atom is degenerate (constant false) — it exists so the
+    /// grammar covers the access-kind observation real ISAs need.
+    MemIsStore,
+    /// The word address of every committed load specifically (subsumed
+    /// by [`ObsAtom::MemWord`] on MiniISA, where loads are the only
+    /// memory accesses; distinct on ISAs with stores).
+    LoadAddr,
+}
+
+impl ObsAtom {
+    /// Every atom, in the canonical record order. The first five, in
+    /// this order, reproduce the legacy enum-arm layouts bit for bit
+    /// (pinned by `layout_is_stable` below and the
+    /// `atom_equivalence` test suite).
+    pub const ALL: [ObsAtom; 7] = [
+        ObsAtom::LoadData,
+        ObsAtom::MemWord,
+        ObsAtom::Exception,
+        ObsAtom::BranchTaken,
+        ObsAtom::MulOperands,
+        ObsAtom::MemIsStore,
+        ObsAtom::LoadAddr,
+    ];
+
+    /// Stable wire name (used inside [`Contract::name`] encodings).
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsAtom::LoadData => "load_data",
+            ObsAtom::MemWord => "mem_word",
+            ObsAtom::Exception => "exception",
+            ObsAtom::BranchTaken => "branch_taken",
+            ObsAtom::MulOperands => "mul_operands",
+            ObsAtom::MemIsStore => "mem_is_store",
+            ObsAtom::LoadAddr => "load_addr",
+        }
+    }
+
+    /// Inverse of [`ObsAtom::name`].
+    pub fn from_name(name: &str) -> Option<ObsAtom> {
+        ObsAtom::ALL.into_iter().find(|a| a.name() == name)
+    }
+
+    /// Position in the canonical order (the [`ObsSet`] bit index).
+    fn index(self) -> usize {
+        ObsAtom::ALL
+            .iter()
+            .position(|&a| a == self)
+            .expect("every atom is in ALL")
+    }
+
+    /// The record fields this atom contributes, in order. Field names
+    /// are the dispatch keys of the RTL-side extraction
+    /// (`csl_core::record::extract_record`); the same name may appear
+    /// under several atoms (it denotes the same signal).
+    pub fn fields(self, cfg: &IsaConfig) -> Vec<(&'static str, usize)> {
+        match self {
+            ObsAtom::LoadData => vec![("is_load", 1), ("load_data", cfg.xlen)],
+            ObsAtom::MemWord => vec![("is_mem", 1), ("mem_word", cfg.dmem_bits())],
+            ObsAtom::Exception => vec![("exception", 2)],
+            ObsAtom::BranchTaken => vec![("is_branch", 1), ("br_taken", 1)],
+            ObsAtom::MulOperands => {
+                if cfg.enable_mul {
+                    vec![("is_mul", 1), ("mul_a", cfg.xlen), ("mul_b", cfg.xlen)]
+                } else {
+                    Vec::new()
+                }
+            }
+            ObsAtom::MemIsStore => vec![("mem_is_store", 1)],
+            ObsAtom::LoadAddr => vec![("is_load", 1), ("load_addr", cfg.dmem_bits())],
+        }
+    }
+
+    /// Total record bits this atom contributes under `cfg` — the
+    /// "weakening cost" the synthesis loop minimises when several atoms
+    /// separate a counterexample.
+    pub fn bits(self, cfg: &IsaConfig) -> usize {
+        self.fields(cfg).iter().map(|&(_, w)| w).sum()
+    }
+}
+
+/// A set of [`ObsAtom`]s — one point of the contract lattice, ordered by
+/// inclusion. Backed by a bitmask over [`ObsAtom::ALL`], so it is `Copy`
+/// and cheap to key on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObsSet(u16);
+
+impl ObsSet {
+    /// The bottom of the lattice: observe nothing. The strongest
+    /// contract expressible — and the CEGIS loop's starting candidate.
+    pub const EMPTY: ObsSet = ObsSet(0);
+
+    /// Every atom — the top of the lattice (weakest contract).
+    pub fn full() -> ObsSet {
+        ObsAtom::ALL.iter().fold(ObsSet::EMPTY, |s, &a| s.with(a))
+    }
+
+    /// Builds a set from atoms.
+    pub fn of(atoms: &[ObsAtom]) -> ObsSet {
+        atoms.iter().fold(ObsSet::EMPTY, |s, &a| s.with(a))
+    }
+
+    /// This set plus `atom`.
+    pub fn with(self, atom: ObsAtom) -> ObsSet {
+        ObsSet(self.0 | (1 << atom.index()))
+    }
+
+    /// This set minus `atom`.
+    pub fn without(self, atom: ObsAtom) -> ObsSet {
+        ObsSet(self.0 & !(1 << atom.index()))
+    }
+
+    /// Membership test.
+    pub fn contains(self, atom: ObsAtom) -> bool {
+        self.0 & (1 << atom.index()) != 0
+    }
+
+    /// Inclusion — the lattice partial order. `a.is_subset(b)` means `a`
+    /// is the stronger (more precise) contract.
+    pub fn is_subset(self, other: ObsSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Number of atoms in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True iff no atom is observed.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Member atoms in canonical record order.
+    pub fn atoms(self) -> impl Iterator<Item = ObsAtom> {
+        ObsAtom::ALL.into_iter().filter(move |a| self.contains(*a))
+    }
+
+    /// Stable encoding: `none` for the empty set, else `+`-joined atom
+    /// names in canonical order (`load_data+exception`).
+    pub fn encode(self) -> String {
+        if self.is_empty() {
+            return "none".to_string();
+        }
+        self.atoms()
+            .map(ObsAtom::name)
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Inverse of [`ObsSet::encode`]. Lenient about atom order and
+    /// duplicates; rejects unknown atom names.
+    pub fn decode(text: &str) -> Option<ObsSet> {
+        if text == "none" {
+            return Some(ObsSet::EMPTY);
+        }
+        let mut set = ObsSet::EMPTY;
+        for part in text.split('+') {
+            set = set.with(ObsAtom::from_name(part)?);
+        }
+        Some(set)
+    }
+}
 
 /// The software-hardware contract being verified.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -32,31 +223,87 @@ pub enum Contract {
     /// The constant-time contract: committed memory addresses, branch
     /// conditions, and multiplier operands are secret-independent.
     ConstantTime,
+    /// An arbitrary observation set — the synthesis search space.
+    /// Construct through [`Contract::from_obs`], which folds the two
+    /// named points back onto their variants so reports, cache keys and
+    /// equality stay canonical.
+    Custom(ObsSet),
 }
 
 impl Contract {
-    /// All contracts, for sweeps.
+    /// The hand-written contracts of the paper, for sweeps. (Synthesis
+    /// sweeps walk the full [`ObsSet`] lattice instead.)
     pub const ALL: [Contract; 2] = [Contract::Sandboxing, Contract::ConstantTime];
 
-    /// Short table label.
-    pub fn name(self) -> &'static str {
+    /// The observation set behind [`Contract::Sandboxing`].
+    pub fn sandboxing_set() -> ObsSet {
+        ObsSet::of(&[ObsAtom::LoadData, ObsAtom::Exception])
+    }
+
+    /// The observation set behind [`Contract::ConstantTime`].
+    pub fn constant_time_set() -> ObsSet {
+        ObsSet::of(&[
+            ObsAtom::MemWord,
+            ObsAtom::Exception,
+            ObsAtom::BranchTaken,
+            ObsAtom::MulOperands,
+        ])
+    }
+
+    /// The contract's observation set.
+    pub fn obs_set(self) -> ObsSet {
         match self {
-            Contract::Sandboxing => "sandboxing",
-            Contract::ConstantTime => "constant-time",
+            Contract::Sandboxing => Contract::sandboxing_set(),
+            Contract::ConstantTime => Contract::constant_time_set(),
+            Contract::Custom(set) => set,
+        }
+    }
+
+    /// Canonicalising constructor: a set equal to a named contract's
+    /// becomes that named variant, so `from_obs(set).name()` round-trips
+    /// stably through reports and cache keys.
+    pub fn from_obs(set: ObsSet) -> Contract {
+        if set == Contract::sandboxing_set() {
+            Contract::Sandboxing
+        } else if set == Contract::constant_time_set() {
+            Contract::ConstantTime
+        } else {
+            Contract::Custom(set)
+        }
+    }
+
+    /// Short table label. Named contracts keep their historical names
+    /// (old artifacts must keep parsing); custom sets encode as
+    /// `obs:<atom>+<atom>` / `obs:none`.
+    pub fn name(self) -> String {
+        match self {
+            Contract::Sandboxing => "sandboxing".to_string(),
+            Contract::ConstantTime => "constant-time".to_string(),
+            Contract::Custom(set) => format!("obs:{}", set.encode()),
         }
     }
 
     /// Inverse of [`Contract::name`] (used when reading persisted
-    /// reports).
+    /// reports): the two historical names, or a lenient `obs:` set
+    /// encoding (canonicalised through [`Contract::from_obs`], so
+    /// `obs:load_data+exception` parses to [`Contract::Sandboxing`]).
     pub fn from_name(name: &str) -> Option<Contract> {
-        Contract::ALL.into_iter().find(|c| c.name() == name)
+        match name {
+            "sandboxing" => Some(Contract::Sandboxing),
+            "constant-time" => Some(Contract::ConstantTime),
+            other => Some(Contract::from_obs(ObsSet::decode(
+                other.strip_prefix("obs:")?,
+            )?)),
+        }
     }
 }
 
 /// Layout of one `O_ISA` record: named field widths, in order. Both the
 /// ISA-side projection and the RTL-side shadow extraction must agree on
 /// this layout; keeping it in one place is what makes the shadow logic
-/// reusable across designs (§5.1).
+/// reusable across designs (§5.1). The layout is atom-driven — fields of
+/// the set's atoms in canonical order — with the two named contracts
+/// reproducing their historical layouts exactly.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecordLayout {
     fields: Vec<(&'static str, usize)>,
@@ -65,25 +312,23 @@ pub struct RecordLayout {
 impl RecordLayout {
     /// The layout induced by `contract` for `cfg`.
     pub fn for_contract(contract: Contract, cfg: &IsaConfig) -> RecordLayout {
+        RecordLayout::for_set(contract.obs_set(), cfg)
+    }
+
+    /// The layout induced by an observation set: each member atom's
+    /// fields, atoms in canonical order. A set with no material fields
+    /// (empty, or only atoms degenerate under `cfg`) gets a single
+    /// 1-bit constant `pad` field so downstream consumers (record
+    /// FIFOs, packers) never see a zero-width record; its records
+    /// compare trivially equal, which is exactly the "observe nothing"
+    /// semantics.
+    pub fn for_set(set: ObsSet, cfg: &IsaConfig) -> RecordLayout {
         let mut fields: Vec<(&'static str, usize)> = Vec::new();
-        match contract {
-            Contract::Sandboxing => {
-                fields.push(("is_load", 1));
-                fields.push(("load_data", cfg.xlen));
-                fields.push(("exception", 2));
-            }
-            Contract::ConstantTime => {
-                fields.push(("is_mem", 1));
-                fields.push(("mem_word", cfg.dmem_bits()));
-                fields.push(("exception", 2));
-                fields.push(("is_branch", 1));
-                fields.push(("br_taken", 1));
-                if cfg.enable_mul {
-                    fields.push(("is_mul", 1));
-                    fields.push(("mul_a", cfg.xlen));
-                    fields.push(("mul_b", cfg.xlen));
-                }
-            }
+        for atom in set.atoms() {
+            fields.extend(atom.fields(cfg));
+        }
+        if fields.is_empty() {
+            fields.push(("pad", 1));
         }
         RecordLayout { fields }
     }
@@ -96,6 +341,12 @@ impl RecordLayout {
     /// Total record width in bits.
     pub fn total_bits(&self) -> usize {
         self.fields.iter().map(|(_, w)| w).sum()
+    }
+
+    /// True iff a packed record fits one `u64` word (the cross-check
+    /// packer's limit; the RTL path has no width limit).
+    pub fn fits_u64(&self) -> bool {
+        self.total_bits() <= 64
     }
 }
 
@@ -114,43 +365,50 @@ pub struct IsaRecord {
     pub values: Vec<u32>,
 }
 
+/// The ISA-side value of one named record field for a retired
+/// instruction — the single source of truth the atom-driven
+/// [`isa_record`] reads, mirroring the RTL-side signal the shadow logic
+/// taps for the same name.
+fn field_value(name: &str, info: &StepInfo) -> u32 {
+    let faulted = info.exception.is_some();
+    let is_load = info.inst.is_load() && !faulted;
+    match name {
+        "is_load" => is_load as u32,
+        "load_data" => {
+            if is_load {
+                info.writeback.map(|(_, v)| v).unwrap_or(0)
+            } else {
+                0
+            }
+        }
+        "is_mem" => info.mem_word.is_some() as u32,
+        "mem_word" | "load_addr" => info.mem_word.unwrap_or(0),
+        "exception" => exception_code(info.exception),
+        "is_branch" => info.inst.is_branch() as u32,
+        "br_taken" => info.branch_taken.unwrap_or(false) as u32,
+        "is_mul" => matches!(info.inst, Inst::Mul { .. }) as u32,
+        "mul_a" => info.mul_operands.unwrap_or((0, 0)).0,
+        "mul_b" => info.mul_operands.unwrap_or((0, 0)).1,
+        // MiniISA has no stores; the atom is grammar completeness only.
+        "mem_is_store" => 0,
+        "pad" => 0,
+        other => panic!("unknown record field {other}"),
+    }
+}
+
 /// Projects a retired instruction onto the contract's `O_ISA` record.
 /// Every committed instruction produces a record (fields not applicable
 /// to its opcode are zero), so two record streams are comparable
 /// position-by-position.
 pub fn isa_record(contract: Contract, cfg: &IsaConfig, info: &StepInfo) -> IsaRecord {
-    let faulted = info.exception.is_some();
-    let values = match contract {
-        Contract::Sandboxing => {
-            let is_load = info.inst.is_load() && !faulted;
-            let data = if is_load {
-                info.writeback.map(|(_, v)| v).unwrap_or(0)
-            } else {
-                0
-            };
-            vec![is_load as u32, data, exception_code(info.exception)]
-        }
-        Contract::ConstantTime => {
-            let is_mem = info.mem_word.is_some();
-            let word = info.mem_word.unwrap_or(0);
-            let is_br = info.inst.is_branch();
-            let taken = info.branch_taken.unwrap_or(false);
-            let mut v = vec![
-                is_mem as u32,
-                word,
-                exception_code(info.exception),
-                is_br as u32,
-                taken as u32,
-            ];
-            if cfg.enable_mul {
-                let is_mul = matches!(info.inst, Inst::Mul { .. });
-                let (a, b) = info.mul_operands.unwrap_or((0, 0));
-                v.extend([is_mul as u32, a, b]);
-            }
-            v
-        }
-    };
-    IsaRecord { values }
+    let layout = RecordLayout::for_contract(contract, cfg);
+    IsaRecord {
+        values: layout
+            .fields()
+            .iter()
+            .map(|&(name, _)| field_value(name, info))
+            .collect(),
+    }
 }
 
 /// Checks the software constraint over two retirement streams: true iff
@@ -195,6 +453,118 @@ mod tests {
         assert_eq!(ct_mul.total_bits(), 7 + 1 + 4 + 4);
     }
 
+    /// The atom-driven layouts must keep the exact historical field
+    /// order: the shadow logic, the cross-check packer and persisted
+    /// artifacts all depend on it.
+    #[test]
+    fn layout_is_stable() {
+        let cfg = IsaConfig::default();
+        let sb = RecordLayout::for_contract(Contract::Sandboxing, &cfg);
+        assert_eq!(
+            sb.fields(),
+            &[("is_load", 1), ("load_data", 4), ("exception", 2)]
+        );
+        let ct = RecordLayout::for_contract(Contract::ConstantTime, &cfg);
+        assert_eq!(
+            ct.fields(),
+            &[
+                ("is_mem", 1),
+                ("mem_word", 2),
+                ("exception", 2),
+                ("is_branch", 1),
+                ("br_taken", 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_set_pads_to_one_bit() {
+        let cfg = IsaConfig::default();
+        let layout = RecordLayout::for_set(ObsSet::EMPTY, &cfg);
+        assert_eq!(layout.fields(), &[("pad", 1)]);
+        // MulOperands without the extension is degenerate too.
+        let layout = RecordLayout::for_set(ObsSet::of(&[ObsAtom::MulOperands]), &cfg);
+        assert_eq!(layout.fields(), &[("pad", 1)]);
+    }
+
+    #[test]
+    fn obs_set_lattice_basics() {
+        let sb = Contract::sandboxing_set();
+        let ct = Contract::constant_time_set();
+        assert_eq!(sb.len(), 2);
+        assert!(sb.contains(ObsAtom::LoadData) && sb.contains(ObsAtom::Exception));
+        assert!(!sb.is_subset(ct) && !ct.is_subset(sb));
+        assert!(ObsSet::EMPTY.is_subset(sb));
+        assert!(sb.is_subset(ObsSet::full()));
+        assert_eq!(sb.without(ObsAtom::LoadData).with(ObsAtom::LoadData), sb);
+        let atoms: Vec<ObsAtom> = ct.atoms().collect();
+        assert_eq!(
+            atoms,
+            vec![
+                ObsAtom::MemWord,
+                ObsAtom::Exception,
+                ObsAtom::BranchTaken,
+                ObsAtom::MulOperands
+            ]
+        );
+    }
+
+    #[test]
+    fn obs_set_encoding_round_trips() {
+        for set in [
+            ObsSet::EMPTY,
+            ObsSet::full(),
+            Contract::sandboxing_set(),
+            ObsSet::of(&[ObsAtom::MemWord, ObsAtom::LoadAddr]),
+        ] {
+            assert_eq!(ObsSet::decode(&set.encode()), Some(set), "{set:?}");
+        }
+        assert_eq!(ObsSet::decode("none"), Some(ObsSet::EMPTY));
+        assert_eq!(ObsSet::decode("bogus"), None);
+        assert_eq!(ObsSet::decode(""), None);
+    }
+
+    #[test]
+    fn contract_names() {
+        assert_eq!(Contract::Sandboxing.name(), "sandboxing");
+        assert_eq!(Contract::ConstantTime.name(), "constant-time");
+        let custom = Contract::Custom(ObsSet::of(&[ObsAtom::MemWord, ObsAtom::BranchTaken]));
+        assert_eq!(custom.name(), "obs:mem_word+branch_taken");
+        assert_eq!(Contract::Custom(ObsSet::EMPTY).name(), "obs:none");
+    }
+
+    #[test]
+    fn contract_from_name_is_lenient_and_canonical() {
+        // Historical artifacts.
+        assert_eq!(
+            Contract::from_name("sandboxing"),
+            Some(Contract::Sandboxing)
+        );
+        assert_eq!(
+            Contract::from_name("constant-time"),
+            Some(Contract::ConstantTime)
+        );
+        // Obs encodings round-trip.
+        let custom = Contract::Custom(ObsSet::of(&[ObsAtom::MemWord]));
+        assert_eq!(Contract::from_name(&custom.name()), Some(custom));
+        assert_eq!(
+            Contract::from_name("obs:none"),
+            Some(Contract::Custom(ObsSet::EMPTY))
+        );
+        // A named contract's set spelled as an obs encoding canonicalises
+        // back to the named variant (stable cache keys and labels).
+        assert_eq!(
+            Contract::from_name("obs:load_data+exception"),
+            Some(Contract::Sandboxing)
+        );
+        assert_eq!(
+            Contract::from_name("obs:mem_word+exception+branch_taken+mul_operands"),
+            Some(Contract::ConstantTime)
+        );
+        assert_eq!(Contract::from_name("obs:bogus"), None);
+        assert_eq!(Contract::from_name("unknown"), None);
+    }
+
     #[test]
     fn sandboxing_distinguishes_secret_loads() {
         let cfg = IsaConfig::default();
@@ -215,6 +585,20 @@ mod tests {
             &a,
             &b
         ));
+        // The empty set observes nothing: always indistinguishable.
+        assert!(traces_indistinguishable(
+            Contract::Custom(ObsSet::EMPTY),
+            &cfg,
+            &a,
+            &b
+        ));
+        // The full set observes everything the named contracts do.
+        assert!(!traces_indistinguishable(
+            Contract::Custom(ObsSet::full()),
+            &cfg,
+            &a,
+            &b
+        ));
     }
 
     #[test]
@@ -226,6 +610,13 @@ mod tests {
         let b = run(&cfg, src, &[0, 0, 1, 0], 3);
         assert!(!traces_indistinguishable(
             Contract::ConstantTime,
+            &cfg,
+            &a,
+            &b
+        ));
+        // The single-atom {mem_word} contract sees the same difference.
+        assert!(!traces_indistinguishable(
+            Contract::Custom(ObsSet::of(&[ObsAtom::MemWord])),
             &cfg,
             &a,
             &b
@@ -262,6 +653,12 @@ mod tests {
         for c in Contract::ALL {
             assert!(traces_indistinguishable(c, &cfg, &a, &b), "{c:?}");
         }
+        assert!(traces_indistinguishable(
+            Contract::Custom(ObsSet::full()),
+            &cfg,
+            &a,
+            &b
+        ));
     }
 
     #[test]
@@ -280,8 +677,17 @@ mod tests {
     }
 
     #[test]
-    fn contract_names() {
-        assert_eq!(Contract::Sandboxing.name(), "sandboxing");
-        assert_eq!(Contract::ConstantTime.name(), "constant-time");
+    fn atom_bits_rank_weakening_cost() {
+        let cfg = IsaConfig::default();
+        // mem_word (1+2) is a cheaper weakening than load_data (1+4);
+        // the CEGIS loop's minimal-separating-atom choice relies on it.
+        assert!(ObsAtom::MemWord.bits(&cfg) < ObsAtom::LoadData.bits(&cfg));
+        assert_eq!(ObsAtom::Exception.bits(&cfg), 2);
+        assert_eq!(ObsAtom::MulOperands.bits(&cfg), 0);
+        let mul_cfg = IsaConfig {
+            enable_mul: true,
+            ..cfg
+        };
+        assert_eq!(ObsAtom::MulOperands.bits(&mul_cfg), 1 + 4 + 4);
     }
 }

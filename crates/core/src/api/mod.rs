@@ -527,7 +527,7 @@ impl Query {
         let mut h = cache::Fingerprint::new();
         h.str(self.scheme.name());
         h.str(&self.design.name());
-        h.str(self.contract.name());
+        h.str(&self.contract.name());
         cache::options_fingerprint(&mut h, &self.opts);
         cache::instance_fingerprint(&mut h, &self.raw_instance());
         h.finish()

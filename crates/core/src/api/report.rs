@@ -154,7 +154,7 @@ impl Report {
         [
             csv_field(self.scheme.name()),
             csv_field(&self.design.name()),
-            csv_field(self.contract.name()),
+            csv_field(&self.contract.name()),
             csv_field(self.cell()),
             csv_field(&detail),
             self.elapsed.as_millis().to_string(),
@@ -171,7 +171,7 @@ impl Report {
             ("schema", Json::Str("csl-report-v1".into())),
             ("scheme", Json::Str(self.scheme.name().into())),
             ("design", Json::Str(self.design.name())),
-            ("contract", Json::Str(self.contract.name().into())),
+            ("contract", Json::Str(self.contract.name())),
             ("verdict", verdict_to_value(&self.verdict)),
             ("elapsed", duration_to_value(self.elapsed)),
             (

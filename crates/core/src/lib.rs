@@ -68,6 +68,6 @@ pub use campaign::{matrix, CampaignCell};
 pub use fifo::{FifoPlan, RecordFifo};
 pub use fuzz::{fuzz_lane, run_fuzz, FuzzBackend, FuzzFinding, FuzzOutcome, FuzzPlan, FuzzReport};
 pub use harness::{DesignKind, ExcludeRule, InstanceConfig};
-pub use record::{extract_record, pack_isa_record};
+pub use record::{extract_record, pack_isa_record, RecordTooWide};
 pub use shadow::{uarch_trace_diff, ShadowOptions, ShadowPre};
 pub use verify::Scheme;

@@ -3,9 +3,9 @@
 //! The shadow logic monitors the commit ports and packs, per committed
 //! instruction, exactly the fields the contract's observation function
 //! names. The packing order is defined once in
-//! [`csl_contracts::RecordLayout`], shared with the ISA-side projection, so
-//! the RTL extraction and the interpreter agree by construction (tested in
-//! `tests/record_agreement.rs`).
+//! [`csl_contracts::RecordLayout`] (atom-driven, shared with the ISA-side
+//! projection), so the RTL extraction and the interpreter agree by
+//! construction (tested in `tests/record_agreement.rs`).
 
 use csl_contracts::{Contract, RecordLayout};
 use csl_cpu::CommitPort;
@@ -29,13 +29,20 @@ pub fn extract_record(
                 let v = d.resize(&port.value, width);
                 d.mux(port.is_load, &v, &zero)
             }
-            "mem_word" => d.resize(&port.mem_word, width),
+            // `port.mem_word` is the accessed word address, zero when the
+            // slot is not a (non-faulting) load — which on MiniISA (no
+            // stores) is also exactly the load-address observation.
+            "mem_word" | "load_addr" => d.resize(&port.mem_word, width),
             "exception" => d.resize(&port.exception, width),
             "is_branch" => Word::from_bit(port.is_branch),
             "br_taken" => Word::from_bit(port.taken),
             "is_mul" => Word::from_bit(port.is_mul),
             "mul_a" => d.resize(&port.mul_a, width),
             "mul_b" => d.resize(&port.mul_b, width),
+            // MiniISA has no stores: the access-kind observation is a
+            // constant, and a layout with no material fields carries one
+            // constant pad bit (records trivially equal).
+            "mem_is_store" | "pad" => d.lit(width, 0),
             other => panic!("unknown record field {other}"),
         };
         assert_eq!(w.width(), width, "field {name} width mismatch");
@@ -49,15 +56,103 @@ pub fn extract_record(
     out
 }
 
+/// A record layout too wide for the `u64` cross-check packer. The RTL
+/// path (arbitrary-width [`Word`]s) is unaffected; only the software
+/// packing used by the agreement tests and counterexample analysis has
+/// this limit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordTooWide {
+    /// The layout's total width in bits (> 64).
+    pub total_bits: usize,
+}
+
+impl std::fmt::Display for RecordTooWide {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "record layout is {} bits, exceeding the 64-bit packing limit",
+            self.total_bits
+        )
+    }
+}
+
+impl std::error::Error for RecordTooWide {}
+
 /// Packs an ISA-side record ([`csl_contracts::IsaRecord`]) into the same
 /// bit layout, for cross-checking RTL extraction against the interpreter.
-pub fn pack_isa_record(contract: Contract, cfg: &IsaConfig, rec: &csl_contracts::IsaRecord) -> u64 {
+/// Synthesized atom sets can exceed 64 bits (e.g. every atom at a large
+/// `xlen`), which a silent `u64` pack would truncate — that case is a
+/// typed [`RecordTooWide`] error instead.
+pub fn pack_isa_record(
+    contract: Contract,
+    cfg: &IsaConfig,
+    rec: &csl_contracts::IsaRecord,
+) -> Result<u64, RecordTooWide> {
     let layout = RecordLayout::for_contract(contract, cfg);
+    if !layout.fits_u64() {
+        return Err(RecordTooWide {
+            total_bits: layout.total_bits(),
+        });
+    }
     let mut out = 0u64;
     let mut shift = 0;
     for (&(_, width), &value) in layout.fields().iter().zip(&rec.values) {
-        out |= (value as u64 & ((1 << width) - 1)) << shift;
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        out |= (value as u64 & mask) << shift;
         shift += width;
     }
-    out
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csl_contracts::{ObsAtom, ObsSet};
+
+    #[test]
+    fn pack_rejects_over_wide_layouts() {
+        // Every atom at the maximum xlen with MUL on: way past 64 bits.
+        let cfg = IsaConfig {
+            xlen: 16,
+            dmem_size: 4096,
+            enable_mul: true,
+            ..IsaConfig::default()
+        };
+        let contract = Contract::Custom(ObsSet::full());
+        let layout = RecordLayout::for_contract(contract, &cfg);
+        assert!(!layout.fits_u64());
+        let rec = csl_contracts::IsaRecord {
+            values: vec![0; layout.fields().len()],
+        };
+        assert_eq!(
+            pack_isa_record(contract, &cfg, &rec),
+            Err(RecordTooWide {
+                total_bits: layout.total_bits()
+            })
+        );
+    }
+
+    #[test]
+    fn pack_accepts_every_default_config_set() {
+        let cfg = IsaConfig::default();
+        let contract = Contract::Custom(ObsSet::full());
+        assert!(RecordLayout::for_contract(contract, &cfg).fits_u64());
+        let layout = RecordLayout::for_contract(contract, &cfg);
+        let rec = csl_contracts::IsaRecord {
+            values: vec![1; layout.fields().len()],
+        };
+        assert!(pack_isa_record(contract, &cfg, &rec).is_ok());
+    }
+
+    #[test]
+    fn pad_field_packs_to_zero() {
+        let cfg = IsaConfig::default();
+        let contract = Contract::Custom(ObsSet::of(&[ObsAtom::MemIsStore]));
+        let rec = csl_contracts::IsaRecord { values: vec![0] };
+        assert_eq!(pack_isa_record(contract, &cfg, &rec), Ok(0));
+    }
 }

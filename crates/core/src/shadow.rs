@@ -114,6 +114,10 @@ impl ShadowPre {
             RecordFifo::depth_for_width(width)
         };
         let rec_width = csl_contracts::RecordLayout::for_contract(contract, cfg).total_bits();
+        // Synthesized observation sets can be empty or degenerate; the
+        // layout guarantees at least one (pad) bit so the FIFOs and the
+        // popped-pair comparison below stay well-formed.
+        assert!(rec_width >= 1, "record layout produced a zero-width record");
         let max_pop = width + 1;
         let mut plans = Vec::new();
         let mut fifos = Vec::new();
@@ -122,7 +126,18 @@ impl ShadowPre {
             let pushes: Vec<(Bit, Word)> = p
                 .commits
                 .iter()
-                .map(|c| (c.valid, extract_record(d, contract, cfg, c)))
+                .map(|c| {
+                    let rec = extract_record(d, contract, cfg, c);
+                    // The layout is the single source of truth for the
+                    // record width; a mismatch here would silently
+                    // truncate observations inside the FIFO.
+                    assert_eq!(
+                        rec.width(),
+                        rec_width,
+                        "extracted record width disagrees with the contract layout"
+                    );
+                    (c.valid, rec)
+                })
                 .collect();
             let plan = fifo.plan(d, &pushes);
             plans.push(plan);

@@ -43,7 +43,8 @@ fn check_contract(contract: Contract, cfg: IsaConfig, seed: u64) {
             let r = sim.step(&state, |_, _| false);
             let hw = r.values.word(&record_bits);
             let info = interp::step(&cfg, &mut arch, &imem, &dmem);
-            let sw = pack_isa_record(contract, &cfg, &isa_record(contract, &cfg, &info));
+            let sw = pack_isa_record(contract, &cfg, &isa_record(contract, &cfg, &info))
+                .expect("default-config layouts fit u64");
             assert_eq!(
                 hw, sw,
                 "cycle {cycle}: rtl record {hw:#x} != isa record {sw:#x} for {:?}",
@@ -91,4 +92,32 @@ fn constant_time_records_agree_with_mul() {
     let mut rng = StdRng::seed_from_u64(105);
     let _ = &mut rng;
     check_contract(Contract::ConstantTime, cfg, 105);
+}
+
+/// Synthesized (custom) observation sets go through the same atom-driven
+/// extraction; spot-check the RTL/ISA agreement across the lattice,
+/// including the degenerate empty set and the new atoms.
+#[test]
+fn custom_set_records_agree() {
+    use csl_contracts::{ObsAtom, ObsSet};
+    for (seed, set) in [
+        (201, ObsSet::EMPTY),
+        (202, ObsSet::of(&[ObsAtom::MemWord])),
+        (203, ObsSet::of(&[ObsAtom::MemWord, ObsAtom::BranchTaken])),
+        (204, ObsSet::of(&[ObsAtom::LoadAddr, ObsAtom::MemIsStore])),
+        (205, ObsSet::full()),
+    ] {
+        check_contract(Contract::Custom(set), IsaConfig::default(), seed);
+    }
+}
+
+/// A custom set equal to a named contract's must canonicalise to the
+/// named variant and extract the identical record bits.
+#[test]
+fn named_sets_canonicalise_and_agree() {
+    let sb = Contract::from_obs(Contract::sandboxing_set());
+    assert_eq!(sb, Contract::Sandboxing);
+    let ct = Contract::from_obs(Contract::constant_time_set());
+    assert_eq!(ct, Contract::ConstantTime);
+    check_contract(sb, IsaConfig::default(), 301);
 }

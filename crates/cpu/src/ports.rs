@@ -80,6 +80,11 @@ impl CpuPorts {
             d.probe(&format!("{p}.exception"), &c.exception);
             d.probe(&format!("{p}.writes_reg"), &Word::from_bit(c.writes_reg));
             d.probe(&format!("{p}.is_mul"), &Word::from_bit(c.is_mul));
+            // Multiplier operands: contract observations under the MUL
+            // extension, read back by counterexample analysis (csl-synth)
+            // when diffing retirement streams.
+            d.probe(&format!("{p}.mul_a"), &c.mul_a);
+            d.probe(&format!("{p}.mul_b"), &c.mul_b);
         }
         d.probe("bus.valid", &Word::from_bit(self.bus_valid));
         d.probe("bus.addr", &self.bus_addr);

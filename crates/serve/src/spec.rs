@@ -59,7 +59,7 @@ impl CellSpec {
         let mut pairs = vec![
             ("scheme", Json::Str(self.scheme.name().into())),
             ("design", Json::Str(self.design.name())),
-            ("contract", Json::Str(self.contract.name().into())),
+            ("contract", Json::Str(self.contract.name())),
         ];
         // Fault-injection knobs are written only when set, so ordinary
         // submissions stay free of test vocabulary.
@@ -360,6 +360,45 @@ mod tests {
         };
         let v = Json::parse(&faulty.to_value().render_line()).unwrap();
         assert_eq!(CellSpec::from_value(&v).unwrap(), faulty);
+    }
+
+    /// Synthesized (`obs:`-named) contracts must survive the wire: a
+    /// cell carrying an arbitrary observation set round-trips through
+    /// the JSON protocol, resolves to a well-formed query, and
+    /// canonicalizes exactly like the in-process `Contract::from_name`
+    /// (so a set spelled in a different atom order dedups to the same
+    /// cell key).
+    #[test]
+    fn obs_contracts_round_trip_on_the_wire() {
+        use csl_contracts::{ObsAtom, ObsSet};
+        let set = ObsSet::of(&[ObsAtom::MemWord, ObsAtom::BranchTaken]);
+        let cell = CellSpec::new(Scheme::Shadow, DesignKind::InOrder, Contract::Custom(set));
+        let line = cell.to_value().render_line();
+        assert!(line.contains("obs:mem_word+branch_taken"), "{line}");
+        let parsed = CellSpec::from_value(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, cell);
+
+        // A client spelling the same set in another order resolves to
+        // the same cell (and therefore the same cache/dedup key).
+        let reordered =
+            Json::parse(&line.replace("obs:mem_word+branch_taken", "obs:branch_taken+mem_word"))
+                .unwrap();
+        let same = CellSpec::from_value(&reordered).unwrap();
+        assert_eq!(same, cell);
+        let opts = ServeOptions {
+            budget: Duration::from_secs(5),
+            ..ServeOptions::default()
+        };
+        assert_eq!(cell_key(&same, &opts), cell_key(&cell, &opts));
+
+        // A set that coincides with a named contract canonicalizes to it.
+        let named =
+            Json::parse(&line.replace("obs:mem_word+branch_taken", "obs:load_data+exception"))
+                .unwrap();
+        assert_eq!(
+            CellSpec::from_value(&named).unwrap().contract,
+            Contract::Sandboxing
+        );
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Counterexample analysis: from a shadow-instance attack trace to the
+//! observation atom that separates the two retirement streams.
+//!
+//! A shadow counterexample demonstrates *"the candidate contract's
+//! observations agreed, yet the microarchitectural traces diverged"*. The
+//! CEGIS driver needs to know **what** differed between the two
+//! executions that the candidate failed to capture, so it replays the
+//! trace on the concrete simulator (over the raw netlist, whose probes
+//! survive preparation), collects each machine's retired-instruction
+//! stream, projects both streams through every observation atom, and
+//! reports the atoms whose projections disagree. By the shadow
+//! construction the streams already agree on every atom *in* the
+//! candidate (popped record pairs are assumed equal and the bad state
+//! requires both FIFOs drained), so any separating atom is a genuine
+//! refinement direction — and if none exists, the leak is invisible to
+//! every contract in the grammar (a transient leak in the paper's sense)
+//! and no sound contract exists on this lattice.
+
+use csl_contracts::{ObsAtom, ObsSet};
+use csl_hdl::Aig;
+use csl_isa::IsaConfig;
+use csl_mc::{Sim, SimState, Trace};
+
+/// One retired instruction's observable facts, read back from the commit
+/// probes of one machine copy during trace replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitEvent {
+    /// Cycle the instruction retired in (diagnostic; not an observation).
+    pub cycle: usize,
+    /// Retiring PC (diagnostic; not an observation).
+    pub pc: u64,
+    /// Writeback value (the load data for loads).
+    pub value: u64,
+    /// Non-faulting load retired.
+    pub is_load: bool,
+    /// Memory word address touched (zero for non-loads).
+    pub mem_word: u64,
+    /// Branch retired.
+    pub is_branch: bool,
+    /// Branch outcome.
+    pub taken: bool,
+    /// Exception code (0 none, 1 misaligned, 2 illegal).
+    pub exception: u64,
+    /// Multiply retired.
+    pub is_mul: bool,
+    /// Multiplier operands.
+    pub mul_a: u64,
+    pub mul_b: u64,
+}
+
+/// Per-slot probe bit vectors for one machine copy, resolved once before
+/// the replay loop.
+struct SlotProbes {
+    valid: Vec<csl_hdl::Bit>,
+    pc: Vec<csl_hdl::Bit>,
+    value: Vec<csl_hdl::Bit>,
+    is_load: Vec<csl_hdl::Bit>,
+    mem_word: Vec<csl_hdl::Bit>,
+    is_branch: Vec<csl_hdl::Bit>,
+    taken: Vec<csl_hdl::Bit>,
+    exception: Vec<csl_hdl::Bit>,
+    is_mul: Vec<csl_hdl::Bit>,
+    mul_a: Vec<csl_hdl::Bit>,
+    mul_b: Vec<csl_hdl::Bit>,
+}
+
+fn slot_probes(aig: &Aig, machine: &str) -> Vec<SlotProbes> {
+    let find = |name: &str| -> Option<Vec<csl_hdl::Bit>> {
+        aig.probes()
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.bits.clone())
+    };
+    let mut slots = Vec::new();
+    for i in 0.. {
+        let pre = format!("{machine}.c{i}.");
+        let Some(valid) = find(&format!("{pre}valid")) else {
+            break;
+        };
+        let get = |field: &str| {
+            find(&format!("{pre}{field}"))
+                .unwrap_or_else(|| panic!("commit probe `{pre}{field}` missing from the netlist"))
+        };
+        slots.push(SlotProbes {
+            valid,
+            pc: get("pc"),
+            value: get("value"),
+            is_load: get("is_load"),
+            mem_word: get("mem_word"),
+            is_branch: get("is_branch"),
+            taken: get("taken"),
+            exception: get("exception"),
+            is_mul: get("is_mul"),
+            mul_a: get("mul_a"),
+            mul_b: get("mul_b"),
+        });
+    }
+    slots
+}
+
+/// Replays an attack trace on the raw netlist and collects both machine
+/// copies' retirement streams (`cpu1`, `cpu2`), oldest instruction first.
+///
+/// # Panics
+/// Panics if the netlist carries no commit probes for the two machine
+/// scopes — i.e. when handed an instance that is not a two-copy harness.
+pub fn commit_streams(aig: &Aig, trace: &Trace) -> [Vec<CommitEvent>; 2] {
+    let probes = [slot_probes(aig, "cpu1"), slot_probes(aig, "cpu2")];
+    assert!(
+        !probes[0].is_empty() && !probes[1].is_empty(),
+        "no cpu1/cpu2 commit probes: not a two-copy verification instance"
+    );
+    let mut streams: [Vec<CommitEvent>; 2] = [Vec::new(), Vec::new()];
+    let mut sim = Sim::new(aig);
+    let mut state = SimState::reset(aig);
+    for &(i, v) in &trace.initial_latches {
+        state.set_latch(i as usize, v);
+    }
+    for cycle in 0..trace.depth() {
+        let r = sim.step(&state, |i, _| trace.input(cycle, i as u32).unwrap_or(false));
+        for (m, slots) in probes.iter().enumerate() {
+            for s in slots {
+                if r.values.word(&s.valid) != 0 {
+                    streams[m].push(CommitEvent {
+                        cycle,
+                        pc: r.values.word(&s.pc),
+                        value: r.values.word(&s.value),
+                        is_load: r.values.word(&s.is_load) != 0,
+                        mem_word: r.values.word(&s.mem_word),
+                        is_branch: r.values.word(&s.is_branch) != 0,
+                        taken: r.values.word(&s.taken) != 0,
+                        exception: r.values.word(&s.exception),
+                        is_mul: r.values.word(&s.is_mul) != 0,
+                        mul_a: r.values.word(&s.mul_a),
+                        mul_b: r.values.word(&s.mul_b),
+                    });
+                }
+            }
+        }
+        state = r.next;
+    }
+    streams
+}
+
+/// One retirement event projected through one observation atom — the
+/// values the contract record would expose. Mirrors
+/// `csl_contracts::field_value` on the RTL side: gating bits first, data
+/// masked to zero when the gate is off.
+fn project(atom: ObsAtom, cfg: &IsaConfig, e: &CommitEvent) -> Vec<u64> {
+    match atom {
+        ObsAtom::LoadData => vec![e.is_load as u64, if e.is_load { e.value } else { 0 }],
+        ObsAtom::MemWord => vec![e.is_load as u64, e.mem_word],
+        ObsAtom::Exception => vec![e.exception],
+        ObsAtom::BranchTaken => vec![e.is_branch as u64, e.taken as u64],
+        ObsAtom::MulOperands => {
+            if cfg.enable_mul {
+                vec![e.is_mul as u64, e.mul_a, e.mul_b]
+            } else {
+                Vec::new()
+            }
+        }
+        // MiniISA has no stores: the atom is degenerate (constant false)
+        // and can never separate two executions.
+        ObsAtom::MemIsStore => vec![0],
+        ObsAtom::LoadAddr => vec![e.is_load as u64, e.mem_word],
+    }
+}
+
+/// The atoms whose projections distinguish the two retirement streams.
+///
+/// Streams from a genuine shadow counterexample have equal length (the
+/// bad state requires both record FIFOs empty and the pipelines drained);
+/// a length mismatch is tolerated by comparing the common prefix, so a
+/// scheme with weaker alignment guarantees still gets a useful answer.
+pub fn separating_atoms(cfg: &IsaConfig, s1: &[CommitEvent], s2: &[CommitEvent]) -> Vec<ObsAtom> {
+    ObsAtom::ALL
+        .into_iter()
+        .filter(|&atom| {
+            s1.iter()
+                .zip(s2)
+                .any(|(a, b)| project(atom, cfg, a) != project(atom, cfg, b))
+        })
+        .collect()
+}
+
+/// Picks the refinement atom: among the separating atoms not already in
+/// the candidate, the one whose record fields are cheapest (fewest bits
+/// under `cfg`), ties broken by canonical atom order. Weakening the
+/// contract as little as possible per step keeps the walk near the
+/// strongest sound point of the lattice.
+pub fn cheapest_new_atom(
+    cfg: &IsaConfig,
+    separating: &[ObsAtom],
+    candidate: ObsSet,
+) -> Option<ObsAtom> {
+    separating
+        .iter()
+        .copied()
+        .filter(|&a| !candidate.contains(a))
+        .min_by_key(|&a| a.bits(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(value: u64, mem_word: u64, taken: bool) -> CommitEvent {
+        CommitEvent {
+            cycle: 0,
+            pc: 0,
+            value,
+            is_load: true,
+            mem_word,
+            is_branch: true,
+            taken,
+            exception: 0,
+            is_mul: false,
+            mul_a: 0,
+            mul_b: 0,
+        }
+    }
+
+    #[test]
+    fn separating_atoms_see_only_real_differences() {
+        let cfg = IsaConfig::default();
+        let a = vec![event(1, 2, false)];
+        let b = vec![event(9, 2, false)];
+        let seps = separating_atoms(&cfg, &a, &b);
+        assert_eq!(seps, vec![ObsAtom::LoadData]);
+        let b = vec![event(1, 3, true)];
+        let seps = separating_atoms(&cfg, &a, &b);
+        assert!(seps.contains(&ObsAtom::MemWord));
+        assert!(seps.contains(&ObsAtom::LoadAddr));
+        assert!(seps.contains(&ObsAtom::BranchTaken));
+        assert!(!seps.contains(&ObsAtom::LoadData));
+        assert!(!seps.contains(&ObsAtom::Exception));
+        assert!(!seps.contains(&ObsAtom::MemIsStore));
+    }
+
+    #[test]
+    fn mul_operands_only_separate_under_the_extension() {
+        let cfg = IsaConfig::default();
+        let mut a = event(1, 1, false);
+        a.is_mul = true;
+        a.mul_a = 3;
+        let mut b = a.clone();
+        b.mul_a = 5;
+        assert!(separating_atoms(&cfg, &[a.clone()], &[b.clone()]).is_empty());
+        let cfg = IsaConfig {
+            enable_mul: true,
+            ..IsaConfig::default()
+        };
+        assert_eq!(
+            separating_atoms(&cfg, &[a], &[b]),
+            vec![ObsAtom::MulOperands]
+        );
+    }
+
+    #[test]
+    fn cheapest_atom_prefers_fewest_bits_then_canonical_order() {
+        let cfg = IsaConfig::default();
+        // mem_word (1 + dmem_bits) is cheaper than load_data (1 + xlen)
+        // at the default sizes, and beats the equally-priced load_addr on
+        // canonical order.
+        let seps = vec![ObsAtom::LoadData, ObsAtom::MemWord, ObsAtom::LoadAddr];
+        assert_eq!(
+            cheapest_new_atom(&cfg, &seps, ObsSet::EMPTY),
+            Some(ObsAtom::MemWord)
+        );
+        // Already-held atoms are never re-proposed.
+        assert_eq!(
+            cheapest_new_atom(
+                &cfg,
+                &seps,
+                ObsSet::of(&[ObsAtom::MemWord, ObsAtom::LoadAddr])
+            ),
+            Some(ObsAtom::LoadData)
+        );
+        assert_eq!(cheapest_new_atom(&cfg, &[], ObsSet::EMPTY), None);
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`certify`] | `csl-certify` | independent checking of proof certificates & attack witnesses |
 //! | [`core`] | `csl-core` | **the paper's contribution**: shadow logic + schemes |
 //! | [`serve`] | `csl-serve` | campaign daemon: wire protocol, worker processes, dedup, resume |
+//! | [`synth`] | `csl-synth` | CEGIS contract synthesis over the observation-set lattice |
 //!
 //! # Quickstart
 //!
@@ -54,12 +55,13 @@ pub use csl_isa as isa;
 pub use csl_mc as mc;
 pub use csl_sat as sat;
 pub use csl_serve as serve;
+pub use csl_synth as synth;
 
 /// The commonly-needed types in one import: the [`csl_core::api`]
 /// session types plus the enums and configs they consume.
 pub mod prelude {
     pub use csl_certify::{check_certificate, check_witness, Rejection, Witness};
-    pub use csl_contracts::Contract;
+    pub use csl_contracts::{Contract, ObsAtom, ObsSet};
     pub use csl_core::api::{
         Budget, CampaignDiff, CampaignReport, ExchangeConfig, ExchangeStats, FuzzPlan, FuzzStats,
         Lane, LaneBudget, LaneExchange, Matrix, Mode, PrepareConfig, PreparedInstance, Query,
@@ -75,4 +77,5 @@ pub mod prelude {
         ProofEngine, Verdict,
     };
     pub use csl_serve::{CellSpec, Client, Daemon, DaemonConfig, ServeAddr, ServeOptions};
+    pub use csl_synth::{SynthOutcome, SynthPhase, SynthStep, SynthesisResult, Synthesizer};
 }
