@@ -122,6 +122,18 @@ pub(crate) fn netlist_fingerprint(aig: &Aig) -> u64 {
     h.finish()
 }
 
+/// Key for a persisted fuzz corpus: the netlist it was collected on plus
+/// the fuzz plan's label (which folds in every coverage knob). A corpus
+/// is only replayable against the netlist it was mined from — latch
+/// indices in its frontier cubes are positional — so any structural
+/// change must miss.
+pub(crate) fn corpus_fingerprint(aig: &Aig, label: &str) -> u64 {
+    let mut h = Fingerprint::new();
+    h.u64(netlist_fingerprint(aig));
+    h.str(label);
+    h.finish()
+}
+
 /// Folds a full verification instance (netlist + invariant candidates)
 /// into the hasher.
 pub(crate) fn instance_fingerprint(h: &mut Fingerprint, task: &SafetyCheck) {
@@ -168,6 +180,7 @@ pub(crate) fn options_fingerprint(h: &mut Fingerprint, opts: &CheckOptions) {
     h.u64(x.max_clause_lbd as u64);
     h.usize(x.max_imports_per_poll);
     h.usize(x.capacity);
+    h.bool(x.adaptive);
     let p = &opts.prepare;
     h.bool(p.enabled);
     h.bool(p.coi);
@@ -437,6 +450,10 @@ mod tests {
             },
             CheckOptions::default().portfolio(),
             CheckOptions::default().with_exchange(csl_mc::ExchangeConfig::on()),
+            CheckOptions::default().with_exchange(csl_mc::ExchangeConfig {
+                adaptive: true,
+                ..csl_mc::ExchangeConfig::on()
+            }),
             CheckOptions::default().with_prepare(csl_mc::PrepareConfig::off()),
             CheckOptions::default().with_prepare(csl_mc::PrepareConfig {
                 const_sweep: false,
@@ -452,6 +469,11 @@ mod tests {
             CheckOptions::default().with_extra_lane(crate::fuzz::fuzz_lane(
                 csl_isa::IsaConfig::default(),
                 crate::fuzz::FuzzPlan::default(),
+            )),
+            // Coverage mode reaches the key through the lane label.
+            CheckOptions::default().with_extra_lane(crate::fuzz::fuzz_lane(
+                csl_isa::IsaConfig::default(),
+                crate::fuzz::FuzzPlan::default().coverage(true),
             )),
         ];
         for opts in tweaked {
@@ -479,6 +501,7 @@ mod tests {
             exchange: vec![],
             prepare: vec![],
             fuzz: None,
+            coverage: None,
             solver: Vec::new(),
             certificate: None,
         };
@@ -510,6 +533,7 @@ mod tests {
             exchange: vec![],
             prepare: vec![],
             fuzz: None,
+            coverage: None,
             solver: Vec::new(),
             certificate: None,
         };
@@ -548,6 +572,7 @@ mod tests {
             exchange: vec![],
             prepare: vec![],
             fuzz: None,
+            coverage: None,
             solver: Vec::new(),
             certificate: None,
         };
@@ -605,6 +630,7 @@ mod tests {
             exchange: vec![],
             prepare: vec![],
             fuzz: None,
+            coverage: None,
             solver: Vec::new(),
             certificate: None,
         };

@@ -39,7 +39,7 @@
 //! entry against a freshly built instance before trusting it
 //! (verify-on-load), evicting and re-solving anything that fails.
 
-mod cache;
+pub(crate) mod cache;
 mod json;
 mod report;
 
@@ -59,8 +59,8 @@ use crate::verify::{instance_for, run_scheme, Scheme};
 pub use crate::fuzz::FuzzPlan;
 pub use cache::{CacheStats, ReportCache};
 pub use csl_mc::{
-    ExchangeConfig, ExchangeStats, ExecMode as Mode, FuzzStats, InconclusiveReason, Lane,
-    LaneBudget, LaneExchange, LanePlan, PrepareConfig, PrepareStats, PreparedInstance,
+    CoverageStats, ExchangeConfig, ExchangeStats, ExecMode as Mode, FuzzStats, InconclusiveReason,
+    Lane, LaneBudget, LaneExchange, LanePlan, PrepareConfig, PrepareStats, PreparedInstance,
 };
 pub use json::{Json, JsonError};
 pub use report::{CampaignDiff, CampaignReport, ReadError, Report, VerdictChange};

@@ -19,8 +19,8 @@ use std::time::Duration;
 use csl_contracts::Contract;
 use csl_hdl::xform::{PassStats, Shape};
 use csl_mc::{
-    CertKind, Certificate, CheckReport, ExchangeStats, FuzzStats, InconclusiveReason, Lane,
-    LaneSolverStats, ProofEngine, Trace, Verdict,
+    CertKind, Certificate, CheckReport, CoverageStats, ExchangeStats, FuzzStats,
+    InconclusiveReason, Lane, LaneSolverStats, ProofEngine, Trace, Verdict,
 };
 
 use crate::api::json::{Json, JsonError};
@@ -79,6 +79,10 @@ pub struct Report {
     /// Fuzzing-lane campaign statistics (`None` when no fuzzing lane
     /// ran or the document predates the field).
     pub fuzz: Option<FuzzStats>,
+    /// Coverage-guided fuzzing accounting (`None` when the fuzzing lane
+    /// ran blind, no fuzzing lane ran, or the document predates the
+    /// field).
+    pub coverage: Option<CoverageStats>,
     /// Per-lane solver activity and warm-start hit/miss accounting
     /// (empty when no SAT lane reported or the document predates the
     /// field).
@@ -108,6 +112,7 @@ impl Report {
             exchange: check.exchange,
             prepare: check.prepare,
             fuzz: check.fuzz,
+            coverage: check.coverage,
             solver: check.solver,
             certificate: check.certificate,
         }
@@ -192,6 +197,12 @@ impl Report {
         if let Some(fuzz) = &self.fuzz {
             pairs.push(("fuzz", fuzz_to_value(fuzz)));
         }
+        // Same convention for coverage: written only when the fuzzing
+        // lane ran coverage-guided, so blind-campaign documents stay
+        // byte-identical to pre-coverage ones.
+        if let Some(coverage) = &self.coverage {
+            pairs.push(("coverage", coverage_to_value(coverage)));
+        }
         // Same convention for solver stats: written only when a SAT lane
         // reported, so warm-start-free documents stay byte-identical.
         if !self.solver.is_empty() {
@@ -256,6 +267,9 @@ impl Report {
         // Absent in pre-fuzzing documents (and in every fuzz-free run):
         // lenient, like the exchange and prepare fields.
         let fuzz = v.get("fuzz").map(fuzz_from_value).transpose()?;
+        // Absent in pre-coverage documents and every blind campaign:
+        // lenient, like fuzz.
+        let coverage = v.get("coverage").map(coverage_from_value).transpose()?;
         // Absent in pre-warm-start documents: lenient, like fuzz.
         let solver = match v.get("solver").and_then(Json::as_arr) {
             Some(items) => items
@@ -277,6 +291,7 @@ impl Report {
             exchange,
             prepare,
             fuzz,
+            coverage,
             solver,
             certificate,
         })
@@ -373,6 +388,8 @@ fn cert_from_value(v: &Json) -> Result<Certificate, ReadError> {
 fn fuzz_to_value(s: &FuzzStats) -> Json {
     let mut pairs = vec![
         ("trials", Json::Int(s.trials as i64)),
+        ("corpus_trials", Json::Int(s.corpus_trials as i64)),
+        ("random_trials", Json::Int(s.random_trials as i64)),
         ("sim_cycles", Json::Int(s.sim_cycles as i64)),
         ("wall", duration_to_value(s.wall)),
     ];
@@ -401,8 +418,18 @@ fn fuzz_from_value(v: &Json) -> Result<FuzzStats, ReadError> {
                 .ok_or_else(|| ReadError::Schema("bad fuzz leak_cycle".into()))?,
         ),
     };
+    // The trial-provenance split is absent in pre-coverage documents;
+    // `0` (no corpus draws) is then both lenient and true.
+    let lenient = |key: &str| -> Result<usize, ReadError> {
+        match v.get(key) {
+            None => Ok(0),
+            Some(_) => usize_of(key),
+        }
+    };
     Ok(FuzzStats {
         trials: usize_of("trials")?,
+        corpus_trials: lenient("corpus_trials")?,
+        random_trials: lenient("random_trials")?,
         sim_cycles: count("sim_cycles")? as u64,
         wall: duration_from_value(
             v.get("wall")
@@ -510,6 +537,10 @@ fn exchange_to_value(s: &ExchangeStats) -> Json {
         ("lane", Json::Str(s.lane.name().into())),
         ("imports", Json::Int(s.imports as i64)),
         ("exports", Json::Int(s.exports as i64)),
+        ("obligations", Json::Int(s.obligations as i64)),
+        ("policy_len", Json::Int(s.policy_len as i64)),
+        ("policy_lbd", Json::Int(s.policy_lbd as i64)),
+        ("adaptive", Json::Bool(s.adaptive)),
     ])
 }
 
@@ -525,10 +556,59 @@ fn exchange_from_value(v: &Json) -> Result<ExchangeStats, ReadError> {
             .and_then(|n| usize::try_from(n).ok())
             .ok_or_else(|| ReadError::Schema(format!("bad exchange {key}")))
     };
+    // Obligation and policy accounting is absent in pre-coverage
+    // documents; zeros/false are then lenient and true (no obligations
+    // flowed, no policy was logged).
+    let lenient = |key: &str| -> Result<usize, ReadError> {
+        match v.get(key) {
+            None => Ok(0),
+            Some(_) => count(key),
+        }
+    };
     Ok(ExchangeStats {
         lane,
         imports: count("imports")?,
         exports: count("exports")?,
+        obligations: lenient("obligations")?,
+        policy_len: lenient("policy_len")?,
+        policy_lbd: lenient("policy_lbd")? as u32,
+        adaptive: v.get("adaptive").and_then(Json::as_bool).unwrap_or(false),
+    })
+}
+
+fn coverage_to_value(s: &CoverageStats) -> Json {
+    Json::obj(vec![
+        ("latches_toggled", Json::Int(s.latches_toggled as i64)),
+        ("latches_total", Json::Int(s.latches_total as i64)),
+        ("signatures", Json::Int(s.signatures as i64)),
+        (
+            "new_coverage_trials",
+            Json::Int(s.new_coverage_trials as i64),
+        ),
+        ("corpus_size", Json::Int(s.corpus_size as i64)),
+        (
+            "obligations_exported",
+            Json::Int(s.obligations_exported as i64),
+        ),
+        ("stimuli_rejected", Json::Int(s.stimuli_rejected as i64)),
+    ])
+}
+
+fn coverage_from_value(v: &Json) -> Result<CoverageStats, ReadError> {
+    let count = |key: &str| -> Result<usize, ReadError> {
+        v.get(key)
+            .and_then(Json::as_int)
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| ReadError::Schema(format!("bad coverage {key}")))
+    };
+    Ok(CoverageStats {
+        latches_toggled: count("latches_toggled")?,
+        latches_total: count("latches_total")?,
+        signatures: count("signatures")?,
+        new_coverage_trials: count("new_coverage_trials")?,
+        corpus_size: count("corpus_size")?,
+        obligations_exported: count("obligations_exported")?,
+        stimuli_rejected: count("stimuli_rejected")?,
     })
 }
 
@@ -1144,11 +1224,19 @@ mod tests {
                         lane: Lane::Bmc,
                         imports: 2,
                         exports: 17,
+                        obligations: 0,
+                        policy_len: 6,
+                        policy_lbd: 4,
+                        adaptive: false,
                     },
                     ExchangeStats {
                         lane: Lane::KInduction,
                         imports: 9,
                         exports: 0,
+                        obligations: 3,
+                        policy_len: 12,
+                        policy_lbd: 6,
+                        adaptive: true,
                     },
                 ],
                 prepare: vec![
@@ -1185,11 +1273,22 @@ mod tests {
                 ],
                 fuzz: Some(FuzzStats {
                     trials: 832,
+                    corpus_trials: 512,
+                    random_trials: 320,
                     sim_cycles: 19_968,
                     wall: Duration::from_millis(413),
                     leak_cycle: Some(11),
                     seed: 0xF0_55,
                     lanes: 64,
+                }),
+                coverage: Some(CoverageStats {
+                    latches_toggled: 141,
+                    latches_total: 200,
+                    signatures: 57,
+                    new_coverage_trials: 61,
+                    corpus_size: 48,
+                    obligations_exported: 9,
+                    stimuli_rejected: 17,
                 }),
                 solver: Vec::new(),
                 certificate: None,
@@ -1204,6 +1303,7 @@ mod tests {
                 exchange: vec![],
                 prepare: vec![],
                 fuzz: None,
+                coverage: None,
                 solver: Vec::new(),
                 certificate: Some(Certificate {
                     restored: vec![(7, false), (2, true)],
@@ -1225,6 +1325,7 @@ mod tests {
                 exchange: vec![],
                 prepare: vec![],
                 fuzz: None,
+                coverage: None,
                 solver: Vec::new(),
                 certificate: None,
             },
@@ -1238,6 +1339,7 @@ mod tests {
                 exchange: vec![],
                 prepare: vec![],
                 fuzz: None,
+                coverage: None,
                 solver: Vec::new(),
                 certificate: None,
             },
@@ -1253,6 +1355,7 @@ mod tests {
                 exchange: vec![],
                 prepare: vec![],
                 fuzz: None,
+                coverage: None,
                 solver: Vec::new(),
                 certificate: None,
             },
@@ -1313,12 +1416,70 @@ mod tests {
     }
 
     #[test]
+    fn pre_coverage_artifacts_parse_and_diff_cleanly() {
+        // A report archived before the coverage subsystem existed: the
+        // fuzz block has no trial-provenance split, the exchange stats
+        // carry no obligation/policy keys, and there is no coverage
+        // block. It must load leniently (zeros/false/None) and diff
+        // cleanly against a re-serialization of itself — the CI
+        // reportdiff gate reads exactly such artifacts.
+        let legacy = "{\"schema\": \"csl-report-v1\", \"scheme\": \"UPEC\", \
+                      \"design\": \"InOrder(Sodor)\", \"contract\": \"constant-time\", \
+                      \"verdict\": {\"kind\": \"timeout\"}, \
+                      \"elapsed\": {\"secs\": 2, \"nanos\": 0}, \"notes\": [], \
+                      \"exchange\": [{\"lane\": \"bmc\", \"imports\": 4, \"exports\": 9}], \
+                      \"fuzz\": {\"trials\": 640, \"sim_cycles\": 12800, \
+                       \"wall\": {\"secs\": 1, \"nanos\": 0}, \"seed\": 7, \"lanes\": 64}}";
+        let report = Report::from_json(legacy).unwrap();
+        assert_eq!(report.fuzz.as_ref().unwrap().trials, 640);
+        assert_eq!(report.fuzz.as_ref().unwrap().corpus_trials, 0);
+        assert_eq!(report.fuzz.as_ref().unwrap().random_trials, 0);
+        assert_eq!(report.exchange[0].imports, 4);
+        assert_eq!(report.exchange[0].obligations, 0);
+        assert_eq!(report.exchange[0].policy_len, 0);
+        assert!(!report.exchange[0].adaptive);
+        assert!(
+            report.coverage.is_none(),
+            "documents without a coverage block must parse leniently"
+        );
+        // The round trip is stable from the new serialization onwards,
+        // and a campaign diff against the reparsed report is clean.
+        let reserialized = report.to_json();
+        let reparsed = Report::from_json(&reserialized).unwrap();
+        assert_eq!(reparsed, report);
+        assert_eq!(reparsed.to_json(), reserialized);
+        let before = CampaignReport {
+            reports: vec![report],
+            wall: Duration::from_secs(2),
+        };
+        let after = CampaignReport {
+            reports: vec![reparsed],
+            wall: Duration::from_secs(3),
+        };
+        assert!(before.diff(&after).is_clean());
+    }
+
+    #[test]
+    fn coverage_block_stays_absent_for_blind_campaigns() {
+        let mut r = sample_reports()[0].clone();
+        r.coverage = None;
+        let text = r.to_json();
+        assert!(
+            !text.contains("coverage"),
+            "blind-campaign reports must not write the block"
+        );
+        assert!(Report::from_json(&text).unwrap().coverage.is_none());
+    }
+
+    #[test]
     fn fuzz_block_round_trips_with_and_without_leak() {
         // With a leak cycle (sample 0) the block is exercised by the
         // canonical round-trip test above; here the exhausted shape.
         let mut r = sample_reports()[1].clone();
         r.fuzz = Some(FuzzStats {
             trials: 2000,
+            corpus_trials: 0,
+            random_trials: 2000,
             sim_cycles: 48_000,
             wall: Duration::from_secs(2),
             leak_cycle: None,

@@ -45,15 +45,17 @@
 //! measures the resulting trials/second against the scalar path.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use csl_hdl::{Aig, Init};
+use csl_cover::{BatchCoverage, Corpus, CorpusEntry, CoverageMap, RejectionFilter, ScalarCoverage};
+use csl_hdl::{Aig, Bit, Init, Node};
 use csl_isa::progen::{self, OpMix, StimulusPair};
 use csl_isa::IsaConfig;
 use csl_mc::{
-    BatchSim, BatchState, EngineOutcome, FuzzStats, InconclusiveReason, Lane, LaneFactory, Sim,
-    SimState, Trace, TransitionSystem,
+    BatchSim, BatchState, CoverageStats, EngineOutcome, ExchangeItem, FuzzStats,
+    InconclusiveReason, Lane, LaneFactory, SharedContext, Sim, SimState, Trace, TransitionSystem,
 };
 use csl_sat::Budget;
 
@@ -75,6 +77,16 @@ pub struct FuzzPlan {
     pub batch: bool,
     /// Opcode weights for the structured half of the program stream.
     pub mix: OpMix,
+    /// Coverage-guided mode (see the `csl_cover` crate): track per-trial
+    /// latch-toggle coverage, evolve a mutation corpus from trials that
+    /// reached new coverage, exchange frontier states with the proof
+    /// lanes, and skip stimuli the formal side proved dead. `false`
+    /// keeps the campaign bit-identical to the blind fuzzer.
+    pub coverage: bool,
+    /// Directory for corpus persistence across campaigns (keyed by plan
+    /// label + netlist fingerprint, like the session report cache).
+    /// `None` keeps the corpus in memory only.
+    pub corpus_dir: Option<PathBuf>,
 }
 
 impl Default for FuzzPlan {
@@ -86,6 +98,8 @@ impl Default for FuzzPlan {
             seed: 0xF0_55,
             batch: true,
             mix: OpMix::default(),
+            coverage: false,
+            corpus_dir: None,
         }
     }
 }
@@ -127,13 +141,33 @@ impl FuzzPlan {
         self
     }
 
+    /// Enables/disables coverage-guided mode (builder style).
+    pub fn coverage(mut self, coverage: bool) -> FuzzPlan {
+        self.coverage = coverage;
+        self
+    }
+
+    /// Sets the corpus persistence directory (builder style); implies
+    /// nothing unless coverage mode is on.
+    pub fn corpus_dir(mut self, dir: impl Into<PathBuf>) -> FuzzPlan {
+        self.corpus_dir = Some(dir.into());
+        self
+    }
+
     /// Stable description of this plan, used as the lane label and as a
     /// session cache-key component — it must change whenever the
-    /// campaign the plan describes does.
+    /// campaign the plan describes does. Coverage knobs only appear when
+    /// coverage mode is on, so pre-existing blind-campaign keys are
+    /// unchanged.
     pub fn label(&self) -> String {
         let m = &self.mix;
+        let cov = if self.coverage {
+            format!(",cov=1,corpus={}", self.corpus_dir.is_some() as u8)
+        } else {
+            String::new()
+        };
         format!(
-            "fuzz(trials={},cycles={},seed={},batch={},mix={}/{}/{}/{}/{}/{})",
+            "fuzz(trials={},cycles={},seed={},batch={},mix={}/{}/{}/{}/{}/{}{cov})",
             self.trials, self.cycles, self.seed, self.batch, m.li, m.add, m.ld, m.bnz, m.mul, m.nop
         )
     }
@@ -182,6 +216,8 @@ pub enum FuzzOutcome {
 pub struct FuzzReport {
     pub outcome: FuzzOutcome,
     pub stats: FuzzStats,
+    /// Coverage accounting, present when the plan ran coverage-guided.
+    pub coverage: Option<CoverageStats>,
     /// The campaign stopped because the budget (wall clock or stop
     /// flag), not the trial count, ran out.
     pub out_of_budget: bool,
@@ -263,6 +299,34 @@ fn leak_bads(aig: &Aig) -> Vec<usize> {
     }
 }
 
+/// Marks the latches in the combinational fan-in cone of the leakage
+/// oracle. A trial that toggles these came close to exciting the
+/// property logic; the campaign uses the per-trial count as the *heat*
+/// rank when selecting mutation parents, so the corpus — which by
+/// construction holds only surviving (non-leaking) stimuli — still
+/// steers mutants toward the attack surface rather than away from it.
+fn bad_cone_latches(aig: &Aig, oracle: &[usize]) -> Vec<bool> {
+    let mut in_cone = vec![false; aig.latches().len()];
+    let mut seen = vec![false; aig.num_nodes()];
+    let mut stack: Vec<Bit> = oracle.iter().map(|&bi| aig.bads()[bi].bit).collect();
+    while let Some(b) = stack.pop() {
+        let idx = b.node() as usize;
+        if seen[idx] {
+            continue;
+        }
+        seen[idx] = true;
+        match aig.node(b) {
+            Node::And(x, y) => {
+                stack.push(x);
+                stack.push(y);
+            }
+            Node::Latch(l) => in_cone[l as usize] = true,
+            Node::Const | Node::Input(_) => {}
+        }
+    }
+    in_cone
+}
+
 /// Runs a fuzzing campaign against an instrumented netlist under a
 /// budget. Each trial draws a random program, random public memory, and
 /// two random (differing) secrets, then simulates the product machine.
@@ -274,6 +338,24 @@ fn leak_bads(aig: &Aig) -> Vec<usize> {
 /// pass; findings are identical to the scalar path for the same seed
 /// (earliest leaking trial, earliest leaking cycle), only faster.
 pub fn run_fuzz(aig: &Aig, isa: &IsaConfig, plan: &FuzzPlan, budget: &Budget) -> FuzzReport {
+    let mut ctx = SharedContext::disabled(Lane::Fuzz);
+    run_fuzz_shared(aig, isa, plan, budget, &mut ctx)
+}
+
+/// [`run_fuzz`] with an exchange-bus handle: a coverage-guided campaign
+/// imports PDR frontier clauses into its rejection filter and exports
+/// fuzz-reached states as proof obligations through `ctx`. A blind plan
+/// never touches the bus, so this is exactly [`run_fuzz`] for it.
+pub fn run_fuzz_shared(
+    aig: &Aig,
+    isa: &IsaConfig,
+    plan: &FuzzPlan,
+    budget: &Budget,
+    ctx: &mut SharedContext,
+) -> FuzzReport {
+    if plan.coverage {
+        return run_fuzz_coverage(aig, isa, plan, budget, ctx);
+    }
     let start = Instant::now();
     let oracle = leak_bads(aig);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(plan.seed);
@@ -383,6 +465,8 @@ pub fn run_fuzz(aig: &Aig, isa: &IsaConfig, plan: &FuzzPlan, budget: &Budget) ->
     let wall = start.elapsed();
     let stats = FuzzStats {
         trials,
+        corpus_trials: 0,
+        random_trials: trials,
         sim_cycles,
         wall,
         leak_cycle: leak.as_ref().map(|(_, cycle, _, _)| *cycle),
@@ -411,8 +495,392 @@ pub fn run_fuzz(aig: &Aig, isa: &IsaConfig, plan: &FuzzPlan, budget: &Budget) ->
     FuzzReport {
         outcome,
         stats,
+        coverage: None,
         out_of_budget,
     }
+}
+
+/// What one coverage-guided generation (≤64 trials drawn at a fixed
+/// boundary) produced, identical between the batch and scalar
+/// executors so the corpus evolves the same way under both.
+struct Generation {
+    /// Per-lane earliest `(cycle, bad index)` leak, assumes held.
+    first_leak: Vec<Option<(usize, usize)>>,
+    /// Per-lane coverage record; `None` for filter-rejected lanes.
+    coverage: Vec<Option<csl_cover::TrialCoverage>>,
+    /// Per-lane reached latch state, for lanes that survived every
+    /// cycle with assumes held (obligation / corpus material).
+    exit: Vec<Option<Vec<(u32, bool)>>>,
+    /// Lanes skipped by the rejection filter.
+    rejected: usize,
+    /// Trial-cycles actually simulated (alive lanes only).
+    sim_cycles: u64,
+    /// Whether any cycle ran (budget-expiry accounting).
+    simulated: bool,
+    out_of_budget: bool,
+}
+
+fn run_generation_batch(
+    aig: &Aig,
+    sim: &mut BatchSim,
+    stims: &[StimulusPair],
+    cycles: usize,
+    oracle: &[usize],
+    filter: &RejectionFilter,
+    budget: &Budget,
+) -> Generation {
+    let width = stims.len();
+    let latches = aig.latches().len();
+    let mut state = load_batch(aig, stims);
+    let width_mask: u64 = if width == 64 { !0 } else { (1u64 << width) - 1 };
+    let reject = filter.reject_mask(&state) & width_mask;
+    let mut alive = width_mask & !reject;
+    let mut cov = BatchCoverage::new(latches);
+    let mut first_leak: Vec<Option<(usize, usize)>> = vec![None; width];
+    let mut sim_cycles = 0u64;
+    let mut simulated = false;
+    let mut out_of_budget = false;
+    for _cycle in 0..cycles {
+        if budget.out_of_time() {
+            out_of_budget = true;
+            break;
+        }
+        if alive == 0 {
+            break;
+        }
+        let r = sim.step_masks(&state, |_, _| 0);
+        simulated = true;
+        sim_cycles += alive.count_ones() as u64;
+        // A violated assume invalidates the lane from this cycle on —
+        // its toggles this cycle do not count, matching the scalar
+        // executor's break-before-record.
+        alive &= !r.violated_lanes();
+        cov.step(&state, &r.next, alive);
+        for &bi in oracle {
+            let fired = r.fired_bads[bi] & alive;
+            if fired != 0 {
+                for (lane, slot) in first_leak.iter_mut().enumerate() {
+                    if (fired >> lane) & 1 == 1 && slot.is_none() {
+                        *slot = Some((_cycle, bi));
+                    }
+                }
+            }
+        }
+        for (lane, slot) in first_leak.iter().enumerate() {
+            if slot.is_some() {
+                alive &= !(1u64 << lane);
+            }
+        }
+        state = r.next;
+    }
+    let coverage = (0..width)
+        .map(|l| ((reject >> l) & 1 == 0).then(|| cov.lane(l)))
+        .collect();
+    // Only lanes that survived the whole window with assumes held carry
+    // a reached state the formal side may treat as a true frontier.
+    let exit = (0..width)
+        .map(|l| {
+            ((alive >> l) & 1 == 1 && !out_of_budget).then(|| {
+                let s = state.lane(l);
+                (0..latches).map(|i| (i as u32, s.latch(i))).collect()
+            })
+        })
+        .collect();
+    Generation {
+        first_leak,
+        coverage,
+        exit,
+        rejected: reject.count_ones() as usize,
+        sim_cycles,
+        simulated,
+        out_of_budget,
+    }
+}
+
+fn run_generation_scalar(
+    aig: &Aig,
+    sim: &mut Sim,
+    stims: &[StimulusPair],
+    cycles: usize,
+    oracle: &[usize],
+    filter: &RejectionFilter,
+    budget: &Budget,
+) -> Generation {
+    let width = stims.len();
+    let latches = aig.latches().len();
+    let mut first_leak: Vec<Option<(usize, usize)>> = vec![None; width];
+    let mut coverage: Vec<Option<csl_cover::TrialCoverage>> = vec![None; width];
+    let mut exit: Vec<Option<Vec<(u32, bool)>>> = vec![None; width];
+    let mut rejected = 0usize;
+    let mut sim_cycles = 0u64;
+    let mut simulated = false;
+    let mut out_of_budget = false;
+    'lanes: for (l, stim) in stims.iter().enumerate() {
+        let mut state = load_scalar(aig, stim);
+        if filter.rejects(&state) {
+            rejected += 1;
+            continue;
+        }
+        let mut sc = ScalarCoverage::new(latches);
+        let mut survived = true;
+        for cycle in 0..cycles {
+            if budget.out_of_time() {
+                out_of_budget = true;
+                coverage[l] = Some(sc.finish());
+                break 'lanes;
+            }
+            let r = sim.step(&state, |_, _| false);
+            simulated = true;
+            sim_cycles += 1;
+            if !r.violated_assumes.is_empty() {
+                survived = false;
+                break;
+            }
+            sc.step(&state, &r.next);
+            if let Some(&bi) = oracle
+                .iter()
+                .find(|&&bi| r.fired_bads.contains(&aig.bads()[bi].name))
+            {
+                first_leak[l] = Some((cycle, bi));
+                survived = false;
+                break;
+            }
+            state = r.next;
+        }
+        if survived {
+            exit[l] = Some((0..latches).map(|i| (i as u32, state.latch(i))).collect());
+        }
+        coverage[l] = Some(sc.finish());
+    }
+    Generation {
+        first_leak,
+        coverage,
+        exit,
+        rejected,
+        sim_cycles,
+        simulated,
+        out_of_budget,
+    }
+}
+
+/// The coverage-guided campaign (see the `csl_cover` crate and the
+/// module docs). Trials are drawn and ingested at fixed ≤64-trial
+/// generation boundaries regardless of execution width, and every RNG
+/// draw happens in trial order, so a fixed seed evolves the identical
+/// corpus batched or scalar.
+fn run_fuzz_coverage(
+    aig: &Aig,
+    isa: &IsaConfig,
+    plan: &FuzzPlan,
+    budget: &Budget,
+    ctx: &mut SharedContext,
+) -> FuzzReport {
+    /// Fraction (out of 4) of trials drawn as corpus mutants once the
+    /// corpus is non-empty.
+    const MUTANT_NUM: u32 = 1;
+    /// Campaign-wide cap on exported proof obligations — the proof
+    /// lanes only need a few representative frontier states.
+    const MAX_OBLIGATIONS: usize = 32;
+
+    let start = Instant::now();
+    let oracle = leak_bads(aig);
+    let cone = bad_cone_latches(aig, &oracle);
+    let latches = aig.latches().len();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(plan.seed);
+    let corpus_path = plan.corpus_dir.as_ref().map(|dir| {
+        let key = corpus_key(aig, plan);
+        dir.join(format!("{key:016x}.corpus"))
+    });
+    let mut corpus = corpus_path
+        .as_ref()
+        .and_then(|p| Corpus::load(p).ok())
+        .unwrap_or_default();
+    let mut map = CoverageMap::new(latches);
+    let mut filter = RejectionFilter::new(latches);
+    let mut batch_sim = plan.batch.then(|| BatchSim::new(aig));
+    let mut scalar_sim = (!plan.batch).then(|| Sim::new(aig));
+
+    let mut trials = 0usize;
+    let mut corpus_trials = 0usize;
+    let mut random_trials = 0usize;
+    let mut sim_cycles = 0u64;
+    let mut rejected = 0usize;
+    let mut obligations = 0usize;
+    let mut leak: Option<(StimulusPair, usize, usize, String)> = None;
+    let mut out_of_budget = false;
+
+    while trials < plan.trials && !out_of_budget {
+        if budget.out_of_time() {
+            out_of_budget = true;
+            break;
+        }
+        // Import frontier clauses published by PDR since the last
+        // generation; other item kinds are not for this lane.
+        for item in ctx.poll() {
+            if let ExchangeItem::Frontier(f) = &*item {
+                if filter.add(f) {
+                    ctx.note_imported(1);
+                }
+            }
+        }
+        // Draw the generation, one RNG decision + draw per trial in
+        // trial order. Mutant selection sees the corpus as frozen at
+        // this boundary.
+        let width = BatchSim::LANES.min(plan.trials - trials);
+        let frozen = corpus.len();
+        let mut stims = Vec::with_capacity(width);
+        let mut is_mutant = Vec::with_capacity(width);
+        for t in 0..width {
+            use rand::Rng;
+            let mutate = frozen > 0 && rng.gen_range(0..4u32) < MUTANT_NUM;
+            is_mutant.push(mutate);
+            if mutate {
+                // Tournament of two by heat: the corpus holds only
+                // surviving stimuli, so uniform selection would breed
+                // from benign programs; preferring the hotter candidate
+                // keeps mutants near the property cone.
+                let (a, b) = (rng.gen_range(0..frozen), rng.gen_range(0..frozen));
+                let base = if corpus.get(a).heat >= corpus.get(b).heat {
+                    a
+                } else {
+                    b
+                };
+                let donor = rng.gen_range(0..frozen);
+                let (m, _) = progen::mutate_stimulus(
+                    isa,
+                    &mut rng,
+                    &corpus.get(base).stim,
+                    &corpus.get(donor).stim,
+                );
+                stims.push(m);
+            } else {
+                stims.push(progen::random_stimulus(
+                    isa,
+                    &plan.mix,
+                    &mut rng,
+                    (trials + t) % 2 == 1,
+                ));
+            }
+        }
+        let generation = match (&mut batch_sim, &mut scalar_sim) {
+            (Some(sim), _) => {
+                run_generation_batch(aig, sim, &stims, plan.cycles, &oracle, &filter, budget)
+            }
+            (_, Some(sim)) => {
+                run_generation_scalar(aig, sim, &stims, plan.cycles, &oracle, &filter, budget)
+            }
+            _ => unreachable!("one executor is always configured"),
+        };
+        sim_cycles += generation.sim_cycles;
+        rejected += generation.rejected;
+        out_of_budget |= generation.out_of_budget;
+        // Provenance tracks *counted* trials only, so the split always
+        // sums to the trial count even when a leak ends the generation
+        // early or a budget expiry discards it entirely.
+        let counted = if let Some(lane) = (0..width).find(|&l| generation.first_leak[l].is_some()) {
+            let (cycle, bi) = generation.first_leak[lane].expect("lane just matched");
+            leak = Some((
+                stims[lane].clone(),
+                cycle,
+                trials + lane + 1,
+                aig.bads()[bi].name.clone(),
+            ));
+            lane + 1
+        } else if generation.simulated || generation.rejected > 0 {
+            width
+        } else {
+            0
+        };
+        trials += counted;
+        corpus_trials += is_mutant[..counted].iter().filter(|&&m| m).count();
+        random_trials += is_mutant[..counted].iter().filter(|&&m| !m).count();
+        if leak.is_some() {
+            break;
+        }
+        // Ingest coverage in lane order; trials that reached new
+        // coverage *and* survived the window join the corpus, and their
+        // reached states travel to the proof lanes as obligations.
+        let new_before = map.new_coverage_trials();
+        for (l, stim) in stims.iter().enumerate() {
+            let Some(trial_cov) = &generation.coverage[l] else {
+                continue;
+            };
+            let new = map.ingest(trial_cov);
+            if !new {
+                continue;
+            }
+            if let Some(frontier) = &generation.exit[l] {
+                let heat = (0..latches)
+                    .filter(|&i| cone[i] && trial_cov.toggled(i))
+                    .count() as u32;
+                corpus.push(CorpusEntry {
+                    stim: stim.clone(),
+                    signature: trial_cov.signature(),
+                    depth: trial_cov.depth,
+                    heat,
+                    frontier: frontier.clone(),
+                });
+                if obligations < MAX_OBLIGATIONS {
+                    ctx.publish_obligation(frontier.clone(), trial_cov.depth);
+                    obligations += 1;
+                }
+            }
+        }
+        ctx.note_coverage_delta(map.new_coverage_trials() - new_before);
+    }
+    if leak.is_some() {
+        out_of_budget = false;
+    }
+    if let Some(path) = &corpus_path {
+        // Persistence is best-effort: an unwritable corpus directory
+        // must not fail the campaign.
+        let _ = corpus.save(path);
+    }
+
+    let wall = start.elapsed();
+    let stats = FuzzStats {
+        trials,
+        corpus_trials,
+        random_trials,
+        sim_cycles,
+        wall,
+        leak_cycle: leak.as_ref().map(|(_, cycle, _, _)| *cycle),
+        seed: plan.seed,
+        lanes: if plan.batch { BatchSim::LANES } else { 1 },
+    };
+    let coverage = Some(map.stats(corpus.len(), obligations, rejected));
+    let outcome = match leak {
+        Some((stim, cycle, trial, bad_name)) => {
+            let trace = finding_trace(aig, &stim, cycle, &bad_name);
+            FuzzOutcome::Leak(Box::new(FuzzFinding {
+                imem: stim.imem,
+                public: stim.public,
+                secret_a: stim.secret_a,
+                secret_b: stim.secret_b,
+                cycle,
+                trials: trial,
+                trace,
+            }))
+        }
+        None => FuzzOutcome::Exhausted {
+            trials,
+            wall,
+            sim_cycles,
+        },
+    };
+    FuzzReport {
+        outcome,
+        stats,
+        coverage,
+        out_of_budget,
+    }
+}
+
+/// Corpus persistence key: plan label + netlist fingerprint, mirroring
+/// the session report cache's keying so one directory can serve many
+/// designs without collisions.
+fn corpus_key(aig: &Aig, plan: &FuzzPlan) -> u64 {
+    crate::api::cache::corpus_fingerprint(aig, &plan.label())
 }
 
 /// The fuzzing lane of the engine portfolio: a [`csl_mc::Backend`] that
@@ -426,6 +894,7 @@ pub struct FuzzBackend {
     isa: IsaConfig,
     plan: FuzzPlan,
     stats: Mutex<Option<FuzzStats>>,
+    coverage: Mutex<Option<CoverageStats>>,
 }
 
 impl FuzzBackend {
@@ -434,6 +903,7 @@ impl FuzzBackend {
             isa,
             plan,
             stats: Mutex::new(None),
+            coverage: Mutex::new(None),
         }
     }
 }
@@ -451,10 +921,11 @@ impl csl_mc::Backend for FuzzBackend {
         &self,
         ts: &Arc<TransitionSystem>,
         budget: Budget,
-        _ctx: &mut csl_mc::SharedContext,
+        ctx: &mut csl_mc::SharedContext,
     ) -> EngineOutcome {
-        let report = run_fuzz(ts.aig(), &self.isa, &self.plan, &budget);
+        let report = run_fuzz_shared(ts.aig(), &self.isa, &self.plan, &budget, ctx);
         *self.stats.lock().unwrap() = Some(report.stats.clone());
+        *self.coverage.lock().unwrap() = report.coverage;
         match report.outcome {
             FuzzOutcome::Leak(finding) => {
                 // The Backend contract: validate counterexamples before
@@ -480,6 +951,10 @@ impl csl_mc::Backend for FuzzBackend {
 
     fn fuzz_stats(&self) -> Option<FuzzStats> {
         self.stats.lock().unwrap().clone()
+    }
+
+    fn coverage_stats(&self) -> Option<CoverageStats> {
+        *self.coverage.lock().unwrap()
     }
 }
 
@@ -595,5 +1070,173 @@ mod tests {
         let report = run_fuzz(&task.aig, &isa, &FuzzPlan::new(), &budget);
         assert!(report.out_of_budget);
         assert!(matches!(report.outcome, FuzzOutcome::Exhausted { .. }));
+    }
+
+    #[test]
+    fn coverage_campaign_agrees_batched_vs_scalar_per_seed() {
+        let (task, isa) = insecure_task();
+        let trials = if cfg!(debug_assertions) { 192 } else { 768 };
+        for seed in [7u64, 23] {
+            let base = FuzzPlan::new()
+                .trials(trials)
+                .cycles(12)
+                .seed(seed)
+                .coverage(true);
+            let batched = run_fuzz(&task.aig, &isa, &base, &Budget::unlimited());
+            let scalar = run_fuzz(
+                &task.aig,
+                &isa,
+                &base.clone().scalar(),
+                &Budget::unlimited(),
+            );
+            match (&batched.outcome, &scalar.outcome) {
+                (FuzzOutcome::Leak(b), FuzzOutcome::Leak(s)) => {
+                    assert_eq!(b.trials, s.trials, "seed {seed}: leak trial differs");
+                    assert_eq!(b.cycle, s.cycle, "seed {seed}: leak cycle differs");
+                    assert_eq!(b.imem, s.imem, "seed {seed}: stimulus differs");
+                }
+                (FuzzOutcome::Exhausted { .. }, FuzzOutcome::Exhausted { .. }) => {}
+                (b, s) => panic!("seed {seed}: batch {b:?} vs scalar {s:?}"),
+            }
+            // The corpus evolves identically: same trial provenance, same
+            // coverage accounting, regardless of execution width.
+            assert_eq!(batched.stats.corpus_trials, scalar.stats.corpus_trials);
+            assert_eq!(batched.stats.random_trials, scalar.stats.random_trials);
+            let (bc, sc) = (batched.coverage.unwrap(), scalar.coverage.unwrap());
+            assert_eq!(bc.signatures, sc.signatures, "seed {seed}");
+            assert_eq!(bc.latches_toggled, sc.latches_toggled, "seed {seed}");
+            assert_eq!(bc.corpus_size, sc.corpus_size, "seed {seed}");
+            assert_eq!(
+                bc.new_coverage_trials, sc.new_coverage_trials,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_campaign_reports_stats_and_finds_the_leak() {
+        let (task, isa) = insecure_task();
+        let trials = if cfg!(debug_assertions) { 1500 } else { 5000 };
+        let plan = FuzzPlan::new()
+            .trials(trials)
+            .cycles(20)
+            .seed(7)
+            .coverage(true);
+        let report = run_fuzz(&task.aig, &isa, &plan, &Budget::unlimited());
+        let cov = report.coverage.expect("coverage plan must report stats");
+        assert!(cov.latches_toggled > 0, "trials must toggle latches");
+        assert!(cov.latches_toggled <= cov.latches_total);
+        assert!(cov.signatures > 0);
+        assert_eq!(
+            report.stats.corpus_trials + report.stats.random_trials,
+            report.stats.trials
+        );
+        assert!(
+            matches!(report.outcome, FuzzOutcome::Leak(_)),
+            "coverage guidance must not lose the leak: {:?}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn corpus_persists_across_campaigns_via_corpus_dir() {
+        let (task, isa) = insecure_task();
+        let dir = std::env::temp_dir().join(format!("csl-corpus-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A secure-design campaign exhausts (no early leak exit), so the
+        // corpus it banks is non-trivial.
+        let (secure, secure_isa) = secure_task();
+        let plan = FuzzPlan::new()
+            .trials(128)
+            .cycles(10)
+            .seed(11)
+            .coverage(true)
+            .corpus_dir(&dir);
+        let first = run_fuzz(&secure.aig, &secure_isa, &plan, &Budget::unlimited());
+        let banked = first.coverage.unwrap().corpus_size;
+        assert!(banked > 0, "campaign must bank corpus entries");
+        let saved: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "corpus"))
+            .collect();
+        assert_eq!(saved.len(), 1, "one corpus file per plan x netlist key");
+        // A second campaign on the same plan warm-starts from the saved
+        // corpus: its very first generation can draw mutants.
+        let second = run_fuzz(&secure.aig, &secure_isa, &plan, &Budget::unlimited());
+        assert!(
+            second.stats.corpus_trials > 0,
+            "warm-started campaign must draw corpus mutants"
+        );
+        // A different netlist misses the key and starts cold — no
+        // cross-design corpus pollution.
+        let other = run_fuzz(
+            &task.aig,
+            &isa,
+            &plan.clone().trials(64),
+            &Budget::unlimited(),
+        );
+        drop(other);
+        let files = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "corpus"))
+            .count();
+        assert_eq!(files, 2, "each netlist keys its own corpus file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frontier_imports_reject_stimuli_and_count_in_stats() {
+        use csl_mc::{Exchange, ExchangeConfig};
+
+        let (task, isa) = secure_task();
+        let bus = Exchange::new(ExchangeConfig::on());
+        let mut ctx = SharedContext::attached(bus.clone(), Lane::Fuzz, true, true);
+        // Forge frontier clauses that no state can satisfy together: a
+        // clause {l=0} rejects states where latch 0 is 1 and {l=1}
+        // rejects states where it is 0, so every stimulus trips one.
+        let publisher = SharedContext::attached(bus, Lane::Pdr, true, true);
+        for val in [false, true] {
+            publisher.publish_frontier(format!("test-front-{val}"), vec![(0, val)], 1);
+        }
+        let plan = FuzzPlan::new().trials(64).cycles(6).seed(3).coverage(true);
+        let report = run_fuzz_shared(&task.aig, &isa, &plan, &Budget::unlimited(), &mut ctx);
+        let cov = report.coverage.unwrap();
+        assert!(
+            cov.stimuli_rejected > 0,
+            "opposed-polarity frontier clauses must reject every stimulus"
+        );
+        let stats = ctx.stats();
+        assert!(stats.imports >= 1, "filter adds must count as imports");
+    }
+
+    #[test]
+    fn coverage_campaign_exports_obligations_to_the_bus() {
+        use csl_mc::{Exchange, ExchangeConfig};
+
+        let (task, isa) = secure_task();
+        let bus = Exchange::new(ExchangeConfig::on());
+        let mut ctx = SharedContext::attached(bus.clone(), Lane::Fuzz, true, true);
+        let plan = FuzzPlan::new()
+            .trials(128)
+            .cycles(10)
+            .seed(5)
+            .coverage(true);
+        let report = run_fuzz_shared(&task.aig, &isa, &plan, &Budget::unlimited(), &mut ctx);
+        let cov = report.coverage.unwrap();
+        assert!(
+            cov.obligations_exported > 0,
+            "surviving new-coverage trials must export obligations"
+        );
+        // The obligations are visible to another lane.
+        let mut consumer = SharedContext::attached(bus, Lane::Pdr, true, true);
+        let seen = consumer
+            .poll()
+            .iter()
+            .filter(|i| matches!(&***i, ExchangeItem::Obligation(_)))
+            .count();
+        assert!(seen >= 1, "obligations must reach the bus");
     }
 }

@@ -20,7 +20,11 @@
 //!   contrast class): a [`FuzzPlan`] runs on the 64-way bit-parallel
 //!   simulator, races the solver lanes through [`FuzzBackend`] (a
 //!   `csl_mc::Backend`), and reports findings as replayable
-//!   counterexample traces,
+//!   counterexample traces; with `FuzzPlan::coverage(true)` the
+//!   campaign is coverage-guided (see `csl_cover`): latch-toggle
+//!   coverage drives a mutation corpus, and the exchange bus carries
+//!   fuzz-reached frontier states to PDR and proven-unreachable
+//!   clauses back as a stimulus rejection filter,
 //! * [`campaign`] — the scheme × design × contract matrix evaluated on a
 //!   worker pool with per-cell budgets and a deterministic result table
 //!   (the Table-2 reproduction engine),
@@ -66,7 +70,10 @@ pub mod verify;
 
 pub use campaign::{matrix, CampaignCell};
 pub use fifo::{FifoPlan, RecordFifo};
-pub use fuzz::{fuzz_lane, run_fuzz, FuzzBackend, FuzzFinding, FuzzOutcome, FuzzPlan, FuzzReport};
+pub use fuzz::{
+    fuzz_lane, run_fuzz, run_fuzz_shared, FuzzBackend, FuzzFinding, FuzzOutcome, FuzzPlan,
+    FuzzReport,
+};
 pub use harness::{DesignKind, ExcludeRule, InstanceConfig};
 pub use record::{extract_record, pack_isa_record, RecordTooWide};
 pub use shadow::{uarch_trace_diff, ShadowOptions, ShadowPre};

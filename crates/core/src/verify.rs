@@ -145,6 +145,7 @@ fn run_leave_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 exchange: Vec::new(),
                 prepare: Vec::new(),
                 fuzz: None,
+                coverage: None,
                 solver: Vec::new(),
                 certificate,
             }
@@ -156,6 +157,7 @@ fn run_leave_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             exchange: Vec::new(),
             prepare: Vec::new(),
             fuzz: None,
+            coverage: None,
             solver: Vec::new(),
             certificate: None,
         },
@@ -188,6 +190,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 exchange: Vec::new(),
                 prepare: Vec::new(),
                 fuzz: None,
+                coverage: None,
                 solver: Vec::new(),
                 certificate: None,
             };
@@ -203,6 +206,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
                 exchange: Vec::new(),
                 prepare: Vec::new(),
                 fuzz: None,
+                coverage: None,
                 solver: Vec::new(),
                 certificate: None,
             };
@@ -223,6 +227,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             exchange: Vec::new(),
             prepare: Vec::new(),
             fuzz: None,
+            coverage: None,
             solver: Vec::new(),
             // A fresh k-induction session with no exchange bus: its
             // closing k is certificate material as-is.
@@ -239,6 +244,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             exchange: Vec::new(),
             prepare: Vec::new(),
             fuzz: None,
+            coverage: None,
             solver: Vec::new(),
             certificate: None,
         },
@@ -253,6 +259,7 @@ fn run_upec_prepared(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
             exchange: Vec::new(),
             prepare: Vec::new(),
             fuzz: None,
+            coverage: None,
             solver: Vec::new(),
             certificate: None,
         },

@@ -160,10 +160,9 @@ impl BmcSession {
         u.set_budget(budget.clone());
         u.disable_clause_export();
         if let Some(exporter) = ctx.clause_exporter() {
-            let policy = ctx
-                .config()
-                .expect("exporter implies a bus")
-                .export_policy();
+            // The *live* policy: adaptive buses move the thresholds with
+            // import hit rates and coverage deltas between runs.
+            let policy = ctx.export_policy().expect("exporter implies a bus");
             u.enable_clause_export(exporter, policy);
         }
         let start = match self.clean_to {
@@ -202,7 +201,11 @@ impl BmcSession {
                         self.memory.invariants.push(inv.clone());
                         ctx.note_imported(1);
                     }
-                    ExchangeItem::Clause(_) => {}
+                    // Clauses are for the k-induction base instance;
+                    // obligations/frontiers are fuzz↔PDR traffic.
+                    ExchangeItem::Clause(_)
+                    | ExchangeItem::Obligation(_)
+                    | ExchangeItem::Frontier(_) => {}
                 }
             }
             for l in self.memory.lemmas.iter() {

@@ -137,6 +137,11 @@ impl std::fmt::Display for InconclusiveReason {
 pub struct FuzzStats {
     /// Program/secret pairs simulated (including the leaking one).
     pub trials: usize,
+    /// Of `trials`, how many were corpus-sourced mutants (coverage-guided
+    /// mode; zero for the blind fuzzer).
+    pub corpus_trials: usize,
+    /// Of `trials`, how many were drawn fresh from the random generator.
+    pub random_trials: usize,
     /// Total trial-cycles simulated: each simulated cycle of each lane
     /// counts once, so scalar and batched runs are directly comparable.
     pub sim_cycles: u64,
@@ -151,10 +156,38 @@ pub struct FuzzStats {
 }
 
 impl FuzzStats {
-    /// Campaign throughput in trials per wall-clock second.
+    /// Campaign throughput in trials per wall-clock second. A campaign
+    /// whose wall clock never ticked (zero-trial runs, sub-resolution
+    /// timers) reports 0.0 rather than an absurd extrapolation.
     pub fn trials_per_sec(&self) -> f64 {
-        self.trials as f64 / self.wall.as_secs_f64().max(1e-9)
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.trials as f64 / secs
     }
+}
+
+/// Coverage accounting from a coverage-guided fuzzing lane (see the
+/// `csl_cover` crate), surfaced in [`CheckReport::coverage`] and — one
+/// layer up — as the lenient `coverage` block of the session report
+/// JSON. All plain counters, so the block is cheap to persist and diff.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoverageStats {
+    /// Distinct latches observed toggling at least once.
+    pub latches_toggled: usize,
+    /// Latches the coverage map tracks (the simulated netlist's total).
+    pub latches_total: usize,
+    /// Distinct per-trial coverage signatures (stable-hash dedup keys).
+    pub signatures: usize,
+    /// Trials that reached coverage no earlier trial had reached.
+    pub new_coverage_trials: usize,
+    /// Corpus entries at the end of the campaign.
+    pub corpus_size: usize,
+    /// Fuzz-reached states exported to PDR as proof obligations.
+    pub obligations_exported: usize,
+    /// Stimuli skipped by the PDR-frontier rejection filter.
+    pub stimuli_rejected: usize,
 }
 
 /// The paper's verification outcomes (§5.3 "Model Checking with Contract
@@ -347,6 +380,9 @@ pub struct CheckReport {
     /// Fuzzing-lane campaign statistics (`None` when no fuzzing lane
     /// ran — the default).
     pub fuzz: Option<FuzzStats>,
+    /// Coverage accounting from a coverage-guided fuzzing lane (`None`
+    /// unless a fuzz lane ran with coverage tracking on).
+    pub coverage: Option<CoverageStats>,
     /// Per-lane solver activity and warm-start accounting, in pipeline
     /// order (empty when no SAT lane reported — e.g. a fuzz-only check).
     pub solver: Vec<LaneSolverStats>,
@@ -493,10 +529,14 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
     let mut certificate: Option<Certificate> = None;
     let mut timed_out = false;
     let mut fuzz: Option<FuzzStats> = None;
+    let mut coverage: Option<CoverageStats> = None;
     let mut solver: Vec<LaneSolverStats> = Vec::new();
     for lane in report.lanes {
         if fuzz.is_none() {
             fuzz = lane.fuzz.clone();
+        }
+        if coverage.is_none() {
+            coverage = lane.coverage;
         }
         if let Some(s) = lane.solver {
             record_solver_stats(&mut solver, s);
@@ -569,6 +609,7 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
         exchange,
         prepare: Vec::new(),
         fuzz,
+        coverage,
         solver,
         certificate: if opts.certify { certificate } else { None },
     }
@@ -579,9 +620,12 @@ fn check_safety_portfolio(task: &SafetyCheck, opts: &CheckOptions) -> CheckRepor
 /// whichever report the pipeline eventually returns.
 fn check_safety_sequential(task: &SafetyCheck, opts: &CheckOptions) -> CheckReport {
     let mut fuzz = None;
+    let mut coverage = None;
     let mut solver = Vec::new();
-    let mut report = check_safety_sequential_inner(task, opts, &mut fuzz, &mut solver);
+    let mut report =
+        check_safety_sequential_inner(task, opts, &mut fuzz, &mut coverage, &mut solver);
     report.fuzz = fuzz;
+    report.coverage = coverage;
     report.solver = solver;
     report
 }
@@ -590,6 +634,7 @@ fn check_safety_sequential_inner(
     task: &SafetyCheck,
     opts: &CheckOptions,
     fuzz: &mut Option<FuzzStats>,
+    coverage: &mut Option<CoverageStats>,
     solver: &mut Vec<LaneSolverStats>,
 ) -> CheckReport {
     let start = Instant::now();
@@ -617,6 +662,9 @@ fn check_safety_sequential_inner(
         if fuzz.is_none() {
             *fuzz = backend.fuzz_stats();
         }
+        if coverage.is_none() {
+            *coverage = backend.coverage_stats();
+        }
         if let Some(s) = backend.solver_stats() {
             record_solver_stats(solver, s);
         }
@@ -634,6 +682,7 @@ fn check_safety_sequential_inner(
                     exchange: Vec::new(),
                     prepare: Vec::new(),
                     fuzz: None,
+                    coverage: None,
                     solver: Vec::new(),
                     certificate: None,
                 };
@@ -646,6 +695,7 @@ fn check_safety_sequential_inner(
                     exchange: Vec::new(),
                     prepare: Vec::new(),
                     fuzz: None,
+                    coverage: None,
                     solver: Vec::new(),
                     certificate: if opts.certify { cert.map(|c| *c) } else { None },
                 };
@@ -665,6 +715,7 @@ fn check_safety_sequential_inner(
                         exchange: Vec::new(),
                         prepare: Vec::new(),
                         fuzz: None,
+                        coverage: None,
                         solver: Vec::new(),
                         certificate: None,
                     };
@@ -722,6 +773,7 @@ fn check_safety_sequential_inner(
                 exchange: Vec::new(),
                 prepare: Vec::new(),
                 fuzz: None,
+                coverage: None,
                 solver: Vec::new(),
                 certificate: None,
             };
@@ -743,6 +795,7 @@ fn check_safety_sequential_inner(
                     exchange: Vec::new(),
                     prepare: Vec::new(),
                     fuzz: None,
+                    coverage: None,
                     solver: Vec::new(),
                     certificate: None,
                 };
@@ -761,6 +814,7 @@ fn check_safety_sequential_inner(
             exchange: Vec::new(),
             prepare: Vec::new(),
             fuzz: None,
+            coverage: None,
             solver: Vec::new(),
             certificate: None,
         };
@@ -798,6 +852,7 @@ fn check_safety_sequential_inner(
                         exchange: Vec::new(),
                         prepare: Vec::new(),
                         fuzz: None,
+                        coverage: None,
                         solver: Vec::new(),
                         certificate,
                     };
@@ -821,6 +876,7 @@ fn check_safety_sequential_inner(
                         exchange: Vec::new(),
                         prepare: Vec::new(),
                         fuzz: None,
+                        coverage: None,
                         solver: Vec::new(),
                         certificate: None,
                     };
@@ -875,6 +931,7 @@ fn check_safety_sequential_inner(
                     exchange: Vec::new(),
                     prepare: Vec::new(),
                     fuzz: None,
+                    coverage: None,
                     solver: Vec::new(),
                     certificate,
                 };
@@ -895,6 +952,7 @@ fn check_safety_sequential_inner(
                         exchange: Vec::new(),
                         prepare: Vec::new(),
                         fuzz: None,
+                        coverage: None,
                         solver: Vec::new(),
                         certificate: None,
                     };
@@ -916,6 +974,7 @@ fn check_safety_sequential_inner(
                         exchange: Vec::new(),
                         prepare: Vec::new(),
                         fuzz: None,
+                        coverage: None,
                         solver: Vec::new(),
                         certificate: None,
                     };
@@ -958,6 +1017,7 @@ fn check_safety_sequential_inner(
                     exchange: Vec::new(),
                     prepare: Vec::new(),
                     fuzz: None,
+                    coverage: None,
                     solver: Vec::new(),
                     certificate,
                 };
@@ -1003,6 +1063,7 @@ fn check_safety_sequential_inner(
                             exchange: Vec::new(),
                             prepare: Vec::new(),
                             fuzz: None,
+                            coverage: None,
                             solver: Vec::new(),
                             certificate: None,
                         };
@@ -1016,6 +1077,7 @@ fn check_safety_sequential_inner(
                     exchange: Vec::new(),
                     prepare: Vec::new(),
                     fuzz: None,
+                    coverage: None,
                     solver: Vec::new(),
                     certificate: None,
                 };
@@ -1032,6 +1094,7 @@ fn check_safety_sequential_inner(
                         exchange: Vec::new(),
                         prepare: Vec::new(),
                         fuzz: None,
+                        coverage: None,
                         solver: Vec::new(),
                         certificate: None,
                     };
@@ -1052,6 +1115,7 @@ fn check_safety_sequential_inner(
         exchange: Vec::new(),
         prepare: Vec::new(),
         fuzz: None,
+        coverage: None,
         solver: Vec::new(),
         certificate: None,
     }

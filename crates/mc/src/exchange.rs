@@ -59,6 +59,14 @@ pub struct ExchangeConfig {
     /// are the highest-value traffic — a BMC clause flood must not evict
     /// them.
     pub capacity: usize,
+    /// Adapt the clause [`ExportPolicy`] thresholds at runtime from
+    /// observed import hit rates and coverage deltas instead of keeping
+    /// the static `max_clause_len`/`max_clause_lbd` knobs: when importers
+    /// drain the bus faster than it fills, the filter widens (longer,
+    /// higher-LBD clauses are worth shipping); when nothing is consumed,
+    /// it tightens back below the static knobs. The decision in force is
+    /// logged per lane in [`ExchangeStats`].
+    pub adaptive: bool,
 }
 
 impl Default for ExchangeConfig {
@@ -69,6 +77,7 @@ impl Default for ExchangeConfig {
             max_clause_lbd: 4,
             max_imports_per_poll: 64,
             capacity: 4096,
+            adaptive: false,
         }
     }
 }
@@ -87,7 +96,18 @@ impl ExchangeConfig {
         ExchangeConfig::default()
     }
 
-    /// The solver-level export filter these knobs describe.
+    /// The enabled bus with adaptive export thresholds.
+    pub fn adaptive() -> ExchangeConfig {
+        ExchangeConfig {
+            enabled: true,
+            adaptive: true,
+            ..ExchangeConfig::default()
+        }
+    }
+
+    /// The *static* solver-level export filter these knobs describe.
+    /// Under [`ExchangeConfig::adaptive`] the live filter is
+    /// [`Exchange::current_policy`], which starts from this one.
     pub fn export_policy(&self) -> ExportPolicy {
         ExportPolicy {
             max_len: self.max_clause_len,
@@ -146,12 +166,54 @@ pub struct SharedInvariant {
     pub source: Lane,
 }
 
+/// A concretely-reached deep state, exported by the coverage-guided fuzz
+/// lane (see `csl_cover`) as a *proof obligation* for PDR: the cube is a
+/// full assignment over the shared netlist's active latches that
+/// simulation actually visited `depth` cycles after an assume-consistent
+/// reset. PDR consumes it two ways: as a directed reachability probe (is
+/// a bad state one transition away from this known-reachable state?) and
+/// as a generalized initial frame (generalization must not block a cube
+/// containing a state the fuzzer has proven reachable at that depth).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedObligation {
+    /// Full assignment over active latches, `(latch index, value)`,
+    /// sorted by latch index. Latch indices — not [`Bit`]s — because the
+    /// consumer side may be a simulator as well as a solver.
+    pub cube: Vec<(u32, bool)>,
+    /// Reset-relative cycle at which simulation reached the state (the
+    /// whole prefix satisfied the contract assumes).
+    pub depth: usize,
+    pub source: Lane,
+}
+
+/// An init-true frame clause from a *non-converged* PDR frontier. Unlike
+/// a [`SharedInvariant`] clause it is **not** known inductive — it only
+/// says "no assume-consistent state reachable in ≤ `level` steps
+/// satisfies the negated cube", and it is init-true by PDR's
+/// init-disjointness check. Solver lanes must therefore ignore it; its
+/// consumer is the fuzzer's rejection filter, which may soundly skip a
+/// stimulus whose *reset state* falsifies the clause (such a state
+/// cannot satisfy the assumes at cycle 0, so no valid trial starts
+/// there).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedFrontier {
+    pub name: String,
+    /// The disjunction over latch indices; `(latch, value)` reads "latch
+    /// takes `value`". Falsified only when every latch differs.
+    pub lits: Vec<(u32, bool)>,
+    /// Frame the clause was proven at.
+    pub level: usize,
+    pub source: Lane,
+}
+
 /// One bus item.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExchangeItem {
     Clause(SharedClause),
     Lemma(SharedLemma),
     Invariant(SharedInvariant),
+    Obligation(SharedObligation),
+    Frontier(SharedFrontier),
 }
 
 impl ExchangeItem {
@@ -161,6 +223,8 @@ impl ExchangeItem {
             ExchangeItem::Clause(c) => c.source,
             ExchangeItem::Lemma(l) => l.source,
             ExchangeItem::Invariant(i) => i.source,
+            ExchangeItem::Obligation(o) => o.source,
+            ExchangeItem::Frontier(f) => f.source,
         }
     }
 }
@@ -174,6 +238,31 @@ pub struct ExchangeStats {
     pub imports: usize,
     /// Items this lane published.
     pub exports: usize,
+    /// Of `imports`, how many were fuzz-reached [`SharedObligation`]s.
+    pub obligations: usize,
+    /// The clause export-filter length threshold in force when the lane
+    /// finished (equals the static knob unless the bus is adaptive).
+    pub policy_len: usize,
+    /// The clause export-filter LBD threshold in force at the end.
+    pub policy_lbd: u32,
+    /// Whether the thresholds were adapted at runtime.
+    pub adaptive: bool,
+}
+
+impl ExchangeStats {
+    /// Stats with zero traffic and detached-bus policy fields, as lanes
+    /// without a live bus report them.
+    pub fn empty(lane: Lane) -> ExchangeStats {
+        ExchangeStats {
+            lane,
+            imports: 0,
+            exports: 0,
+            obligations: 0,
+            policy_len: 0,
+            policy_lbd: 0,
+            adaptive: false,
+        }
+    }
 }
 
 /// The shared bus. Create one per portfolio race with [`Exchange::new`]
@@ -184,6 +273,14 @@ pub struct Exchange {
     config: ExchangeConfig,
     items: RwLock<Vec<Arc<ExchangeItem>>>,
     dropped: AtomicUsize,
+    /// Fetch calls across all lanes (the denominator of the import hit
+    /// rate the adaptive policy watches).
+    polls: AtomicUsize,
+    /// Items handed to importers across all lanes.
+    fetched: AtomicUsize,
+    /// New-coverage events noted by the fuzz lane; a moving coverage
+    /// frontier keeps the adaptive filter wide.
+    coverage_delta: AtomicUsize,
 }
 
 impl Exchange {
@@ -192,11 +289,55 @@ impl Exchange {
             config,
             items: RwLock::new(Vec::new()),
             dropped: AtomicUsize::new(0),
+            polls: AtomicUsize::new(0),
+            fetched: AtomicUsize::new(0),
+            coverage_delta: AtomicUsize::new(0),
         })
     }
 
     pub fn config(&self) -> &ExchangeConfig {
         &self.config
+    }
+
+    /// The clause export filter currently in force. Static configs
+    /// return [`ExchangeConfig::export_policy`] unchanged; adaptive
+    /// configs derive the thresholds from the observed import hit rate
+    /// (items drained per poll, across all lanes) and from coverage
+    /// deltas noted by the fuzz lane:
+    ///
+    /// * importers keeping up with publications (≥ 1 item per poll on
+    ///   average) ⇒ widen to 2× length, +2 LBD — the traffic is being
+    ///   used, so ship more of it;
+    /// * a warmed-up bus (≥ 16 polls) that nobody has drained ⇒ tighten
+    ///   to half length, LBD capped at 2 — only glue clauses are worth
+    ///   the propagation overhead;
+    /// * any new-coverage events ⇒ +2 length on top, keeping the filter
+    ///   open while the fuzz frontier is still moving.
+    pub fn current_policy(&self) -> ExportPolicy {
+        let base = self.config.export_policy();
+        if !self.config.adaptive {
+            return base;
+        }
+        let polls = self.polls.load(Ordering::Relaxed);
+        let hits = self.fetched.load(Ordering::Relaxed);
+        let mut policy = base;
+        if polls >= 16 && hits == 0 {
+            policy.max_len = (base.max_len / 2).max(2);
+            policy.max_lbd = base.max_lbd.min(2);
+        } else if polls > 0 && hits >= polls {
+            policy.max_len = base.max_len.saturating_mul(2);
+            policy.max_lbd = base.max_lbd.saturating_add(2);
+        }
+        if self.coverage_delta.load(Ordering::Relaxed) > 0 {
+            policy.max_len = policy.max_len.saturating_add(2);
+        }
+        policy
+    }
+
+    /// New-coverage events noted so far (see
+    /// [`SharedContext::note_coverage_delta`]).
+    pub fn coverage_delta(&self) -> usize {
+        self.coverage_delta.load(Ordering::Relaxed)
     }
 
     /// Items published so far (including ones every consumer has seen).
@@ -239,6 +380,8 @@ impl Exchange {
                 out.push(item.clone());
             }
         }
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        self.fetched.fetch_add(out.len(), Ordering::Relaxed);
         (out, pos)
     }
 }
@@ -279,6 +422,7 @@ pub struct SharedContext {
     export_enabled: bool,
     imports: Arc<AtomicUsize>,
     exports: Arc<AtomicUsize>,
+    obligations: Arc<AtomicUsize>,
 }
 
 impl SharedContext {
@@ -294,6 +438,7 @@ impl SharedContext {
             export_enabled: false,
             imports: Arc::new(AtomicUsize::new(0)),
             exports: Arc::new(AtomicUsize::new(0)),
+            obligations: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -308,6 +453,7 @@ impl SharedContext {
             export_enabled: export,
             imports: Arc::new(AtomicUsize::new(0)),
             exports: Arc::new(AtomicUsize::new(0)),
+            obligations: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -374,6 +520,56 @@ impl SharedContext {
         }
     }
 
+    /// Publishes a fuzz-reached state as a PDR proof obligation. Like
+    /// lemmas, obligations bypass the capacity cap: the fuzzer self-caps
+    /// how many it exports and each one is high-value directed work for
+    /// the proof lanes.
+    pub fn publish_obligation(&self, cube: Vec<(u32, bool)>, depth: usize) {
+        let Some(bus) = &self.bus else { return };
+        if !self.export_enabled || cube.is_empty() {
+            return;
+        }
+        let accepted = bus.publish(ExchangeItem::Obligation(SharedObligation {
+            cube,
+            depth,
+            source: self.lane,
+        }));
+        if accepted {
+            self.exports.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Publishes one init-true frontier clause (PDR's non-converged frame
+    /// clauses, for the fuzzer's rejection filter).
+    pub fn publish_frontier(&self, name: impl Into<String>, lits: Vec<(u32, bool)>, level: usize) {
+        let Some(bus) = &self.bus else { return };
+        if !self.export_enabled || lits.is_empty() {
+            return;
+        }
+        let accepted = bus.publish(ExchangeItem::Frontier(SharedFrontier {
+            name: name.into(),
+            lits,
+            level,
+            source: self.lane,
+        }));
+        if accepted {
+            self.exports.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The live clause export filter (adaptive buses move it at runtime),
+    /// or `None` when detached.
+    pub fn export_policy(&self) -> Option<ExportPolicy> {
+        self.bus.as_deref().map(Exchange::current_policy)
+    }
+
+    /// Records `n` new-coverage events for the adaptive export policy.
+    pub fn note_coverage_delta(&self, n: usize) {
+        if let Some(bus) = &self.bus {
+            bus.coverage_delta.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Pulls the next batch of foreign items (bounded by
     /// [`ExchangeConfig::max_imports_per_poll`]), advancing this lane's
     /// cursor. Returns an empty batch when detached or importing is
@@ -396,6 +592,13 @@ impl SharedContext {
         self.imports.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` applied items that were fuzz-reached obligations
+    /// (counted both as imports and in the obligation breakdown).
+    pub fn note_obligations(&self, n: usize) {
+        self.imports.fetch_add(n, Ordering::Relaxed);
+        self.obligations.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn imports(&self) -> usize {
         self.imports.load(Ordering::Relaxed)
     }
@@ -404,12 +607,21 @@ impl SharedContext {
         self.exports.load(Ordering::Relaxed)
     }
 
-    /// This lane's traffic counters.
+    pub fn obligations(&self) -> usize {
+        self.obligations.load(Ordering::Relaxed)
+    }
+
+    /// This lane's traffic counters, plus the export policy in force.
     pub fn stats(&self) -> ExchangeStats {
+        let policy = self.bus.as_deref().map(Exchange::current_policy);
         ExchangeStats {
             lane: self.lane,
             imports: self.imports(),
             exports: self.exports(),
+            obligations: self.obligations(),
+            policy_len: policy.map_or(0, |p| p.max_len),
+            policy_lbd: policy.map_or(0, |p| p.max_lbd),
+            adaptive: self.bus.as_deref().is_some_and(|b| b.config().adaptive),
         }
     }
 }
@@ -488,6 +700,95 @@ mod tests {
         assert!(ctx.poll().is_empty());
         assert!(ctx.clause_exporter().is_none());
         assert_eq!(ctx.stats().exports, 0);
+    }
+
+    #[test]
+    fn obligations_and_frontiers_flow_and_are_counted() {
+        let bus = Exchange::new(ExchangeConfig::on());
+        let fuzz = SharedContext::attached(bus.clone(), Lane::Fuzz, true, true);
+        let mut pdr = SharedContext::attached(bus.clone(), Lane::Pdr, true, true);
+        fuzz.publish_obligation(vec![(0, true), (3, false)], 9);
+        pdr.publish_frontier("pdr-front-2-0", vec![(1, true)], 2);
+        assert_eq!(fuzz.stats().exports, 1);
+        assert_eq!(pdr.stats().exports, 1);
+
+        let batch = pdr.poll();
+        assert_eq!(
+            batch.len(),
+            1,
+            "pdr sees the obligation, not its own clause"
+        );
+        match batch[0].as_ref() {
+            ExchangeItem::Obligation(o) => {
+                assert_eq!(o.depth, 9);
+                assert_eq!(o.cube, vec![(0, true), (3, false)]);
+                assert_eq!(o.source, Lane::Fuzz);
+            }
+            other => panic!("expected obligation, got {other:?}"),
+        }
+        pdr.note_obligations(1);
+        let stats = pdr.stats();
+        assert_eq!(stats.imports, 1);
+        assert_eq!(stats.obligations, 1);
+
+        // Empty payloads are silently refused.
+        fuzz.publish_obligation(Vec::new(), 1);
+        pdr.publish_frontier("empty", Vec::new(), 1);
+        assert_eq!(bus.len(), 2);
+    }
+
+    #[test]
+    fn static_policy_is_untouched_by_traffic() {
+        let bus = Exchange::new(ExchangeConfig::on());
+        let ctx = SharedContext::attached(bus.clone(), Lane::Bmc, true, true);
+        for _ in 0..32 {
+            let mut c = SharedContext::attached(bus.clone(), Lane::Pdr, true, true);
+            c.poll();
+        }
+        let policy = bus.current_policy();
+        assert_eq!(policy.max_len, 8);
+        assert_eq!(policy.max_lbd, 4);
+        let stats = ctx.stats();
+        assert!(!stats.adaptive);
+        assert_eq!((stats.policy_len, stats.policy_lbd), (8, 4));
+    }
+
+    #[test]
+    fn adaptive_policy_tracks_hit_rate_and_coverage() {
+        let bus = Exchange::new(ExchangeConfig::adaptive());
+        let fuzz = SharedContext::attached(bus.clone(), Lane::Fuzz, true, true);
+
+        // Fresh bus: too few polls to judge, thresholds stay static.
+        assert_eq!(bus.current_policy().max_len, 8);
+
+        // A warmed-up bus nobody drains tightens the filter.
+        for _ in 0..16 {
+            let mut c = SharedContext::attached(bus.clone(), Lane::Pdr, true, true);
+            c.poll();
+        }
+        let tight = bus.current_policy();
+        assert_eq!(tight.max_len, 4);
+        assert_eq!(tight.max_lbd, 2);
+
+        // Importers consuming at >= 1 item/poll widen it again; the
+        // hit counter only moves when fetch returns foreign items.
+        for i in 0..64 {
+            fuzz.publish_lemma(format!("l{i}"), Bit::from_packed(2));
+        }
+        let mut pdr = SharedContext::attached(bus.clone(), Lane::Pdr, true, true);
+        while !pdr.poll().is_empty() {}
+        let wide = bus.current_policy();
+        assert_eq!(wide.max_len, 16);
+        assert_eq!(wide.max_lbd, 6);
+
+        // Coverage deltas keep the filter open a little wider still,
+        // and the decision is logged in the lane stats.
+        fuzz.note_coverage_delta(3);
+        assert_eq!(bus.coverage_delta(), 3);
+        assert_eq!(bus.current_policy().max_len, 18);
+        let stats = fuzz.stats();
+        assert!(stats.adaptive);
+        assert_eq!(stats.policy_len, 18);
     }
 
     #[test]

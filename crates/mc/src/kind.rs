@@ -229,6 +229,9 @@ impl KindSession {
                         self.invs.push(inv.clone());
                         ctx.note_imported(1);
                     }
+                    // Obligations target PDR; frontier clauses are not
+                    // inductive and must not enter a proof instance.
+                    ExchangeItem::Obligation(_) | ExchangeItem::Frontier(_) => {}
                 }
             }
 
@@ -323,7 +326,9 @@ impl KindSession {
                         self.invs.push(inv.clone());
                         ctx.note_imported(1);
                     }
-                    ExchangeItem::Clause(_) => {}
+                    ExchangeItem::Clause(_)
+                    | ExchangeItem::Obligation(_)
+                    | ExchangeItem::Frontier(_) => {}
                 }
             }
             if self.lemmas.len() > self.step_applied || self.invs.len() > self.step_inv_applied {

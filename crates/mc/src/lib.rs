@@ -74,12 +74,12 @@ pub mod warm;
 pub use bmc::{bmc, bmc_with, BmcResult, BmcSession, BusMemory};
 pub use cert::{CertKind, Certificate};
 pub use engine::{
-    check_safety, CheckOptions, CheckReport, ExecMode, FuzzStats, InconclusiveReason, ProofEngine,
-    SafetyCheck, Verdict,
+    check_safety, CheckOptions, CheckReport, CoverageStats, ExecMode, FuzzStats,
+    InconclusiveReason, ProofEngine, SafetyCheck, Verdict,
 };
 pub use exchange::{
     Exchange, ExchangeConfig, ExchangeItem, ExchangeStats, SharedClause, SharedContext,
-    SharedInvariant, SharedLemma, TimedLit,
+    SharedFrontier, SharedInvariant, SharedLemma, SharedObligation, TimedLit,
 };
 pub use houdini::{houdini, houdini_with, Candidate, HoudiniOutcome, HoudiniResult};
 pub use kind::{k_induction, k_induction_with, KindOptions, KindResult, KindSession};

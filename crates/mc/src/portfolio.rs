@@ -43,7 +43,7 @@ use csl_sat::Budget;
 
 use crate::bmc::{bmc, BmcResult, BmcSession};
 use crate::cert::{CertKind, Certificate};
-use crate::engine::{FuzzStats, InconclusiveReason, ProofEngine};
+use crate::engine::{CoverageStats, FuzzStats, InconclusiveReason, ProofEngine};
 use crate::exchange::{Exchange, ExchangeConfig, ExchangeStats, SharedContext};
 use crate::houdini::{houdini_with, Candidate, HoudiniResult};
 use crate::kind::{KindResult, KindSession};
@@ -112,6 +112,14 @@ pub trait Backend: Send {
     /// [`LaneResult::solver`] so it reaches
     /// [`crate::CheckReport::solver`].
     fn solver_stats(&self) -> Option<LaneSolverStats> {
+        None
+    }
+
+    /// Coverage accounting of the last `run`, read *after* it returns —
+    /// populated only by coverage-guided fuzzing lanes. The race copies
+    /// the value into [`LaneResult::coverage`] so it reaches
+    /// [`crate::CheckReport::coverage`].
+    fn coverage_stats(&self) -> Option<CoverageStats> {
         None
     }
 }
@@ -748,8 +756,19 @@ pub struct LaneResult {
     pub imports: usize,
     /// Exchange-bus items this lane published.
     pub exports: usize,
+    /// Fuzz-reached proof obligations among the imports.
+    pub obligations: usize,
+    /// Clause-export length threshold the lane ran under (0 = no bus).
+    pub policy_len: usize,
+    /// Clause-export LBD threshold the lane ran under (0 = no bus).
+    pub policy_lbd: u32,
+    /// Whether the export policy was adapted from bus traffic.
+    pub adaptive: bool,
     /// Campaign statistics, when this lane was a fuzzing backend.
     pub fuzz: Option<FuzzStats>,
+    /// Coverage accounting, when this lane was a coverage-guided fuzzing
+    /// backend.
+    pub coverage: Option<CoverageStats>,
     /// Solver activity (and warm-start accounting), when this lane was
     /// a SAT backend.
     pub solver: Option<LaneSolverStats>,
@@ -772,6 +791,10 @@ impl RaceReport {
                 lane: l.lane,
                 imports: l.imports,
                 exports: l.exports,
+                obligations: l.obligations,
+                policy_len: l.policy_len,
+                policy_lbd: l.policy_lbd,
+                adaptive: l.adaptive,
             })
             .collect()
     }
@@ -812,6 +835,7 @@ pub fn race(
             let ts = TransitionSystem::shared(aig, keep_probes);
             let budget = Budget::until(spec.deadline).with_stop(stop);
             let outcome = spec.backend.run(&ts, budget, &mut ctx);
+            let xs = ctx.stats();
             // The receiver may be gone if the race was already decided.
             let _ = tx.send(LaneResult {
                 engine: spec.backend.name(),
@@ -819,9 +843,14 @@ pub fn race(
                 outcome,
                 elapsed: start.elapsed(),
                 deadline: spec.deadline,
-                imports: ctx.imports(),
-                exports: ctx.exports(),
+                imports: xs.imports,
+                exports: xs.exports,
+                obligations: xs.obligations,
+                policy_len: xs.policy_len,
+                policy_lbd: xs.policy_lbd,
+                adaptive: xs.adaptive,
                 fuzz: spec.backend.fuzz_stats(),
+                coverage: spec.backend.coverage_stats(),
                 solver: spec.backend.solver_stats(),
             });
         }));

@@ -117,6 +117,7 @@ fn exported_bmc_clauses_are_implied_by_the_source_instance() {
             max_clause_lbd: 20,
             max_imports_per_poll: 256,
             capacity: 1 << 16,
+            adaptive: false,
         });
         let mut ctx = SharedContext::attached(bus.clone(), Lane::Bmc, true, true);
         let _ = bmc_with(

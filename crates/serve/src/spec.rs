@@ -298,6 +298,7 @@ pub fn undecided_report(
         exchange: Vec::new(),
         prepare: Vec::new(),
         fuzz: None,
+        coverage: None,
         solver: Vec::new(),
         certificate: None,
     }
